@@ -1,0 +1,63 @@
+"""Ablation: does per-query max-normalization in Equation 3 matter?
+
+The paper fuses BM25 scores from the text and node channels; our
+implementation max-normalizes each channel per query first (DESIGN.md §3).
+This bench compares fused HIT@1 with and without normalization across
+betas — without it, whichever channel happens to have larger raw BM25
+magnitudes silently dominates and beta loses its meaning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.config import EngineConfig, FusionConfig
+from repro.eval.harness import NewsLinkRetriever
+from repro.search.engine import NewsLinkEngine
+
+BETAS = (0.2, 0.5, 0.8)
+
+
+def _hit1(harness, engine, beta: float) -> float:
+    retriever = NewsLinkRetriever(engine, beta)
+    row = harness.evaluate_retriever(retriever, engine.pipeline, modes=("density",))
+    return row.by_mode["density"].metrics["HIT@1"]
+
+
+@pytest.mark.benchmark(group="ablation-fusion")
+def test_ablation_fusion_normalization(benchmark, kaggle_dataset, kaggle_harness):
+    normalized_engine = NewsLinkEngine(
+        kaggle_dataset.world.graph, EngineConfig(fusion=FusionConfig(normalize=True))
+    )
+    raw_engine = NewsLinkEngine(
+        kaggle_dataset.world.graph, EngineConfig(fusion=FusionConfig(normalize=False))
+    )
+    normalized_engine.index_corpus(kaggle_harness.searchable_corpus)
+    raw_engine.index_corpus(kaggle_harness.searchable_corpus)
+
+    def run() -> list[tuple[float, float, float]]:
+        rows = []
+        for beta in BETAS:
+            rows.append(
+                (
+                    beta,
+                    _hit1(kaggle_harness, normalized_engine, beta),
+                    _hit1(kaggle_harness, raw_engine, beta),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation — Equation 3 channel normalization (Kaggle, HIT@1 density)"]
+    lines.append(f"{'beta':>5}  {'normalized':>10}  {'raw':>10}")
+    for beta, normalized, raw in rows:
+        lines.append(f"{beta:>5}  {normalized:>10.3f}  {raw:>10.3f}")
+    best_normalized = max(normalized for _, normalized, _ in rows)
+    best_raw = max(raw for *_, raw in rows)
+    lines.append(
+        f"best over betas: normalized {best_normalized:.3f} vs raw {best_raw:.3f}"
+    )
+    report = "\n".join(lines)
+    write_result("ablation_fusion", report)
+    assert best_normalized >= best_raw - 0.15, report

@@ -1,0 +1,64 @@
+"""Ablation: Fagin's Threshold Algorithm vs exhaustive fusion top-k.
+
+The paper's NS component cites the Threshold Algorithm [49] for query
+processing.  We run TA over the real per-query BOW/BON score maps and
+measure how much of the channels' sorted lists it actually touches before
+the stop condition fires — identical results, a fraction of the accesses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.eval.queries import build_query_cases
+from repro.search.bon import bon_terms
+from repro.search.threshold import threshold_topk_with_stats
+from repro.search.topk import top_k
+
+
+@pytest.mark.benchmark(group="ablation-topk")
+def test_ablation_threshold_algorithm(benchmark, cnn_dataset, cnn_engine):
+    cases = build_query_cases(cnn_dataset.split.test, cnn_engine.pipeline, "density")
+    beta = 0.2
+    channel_pairs = []
+    for case in cases:
+        _, query_embedding = cnn_engine.process_query(case.query_text)
+        bow = cnn_engine._text_scorer.score(  # noqa: SLF001 - bench peek
+            cnn_engine._analyzer.analyze(case.query_text)  # noqa: SLF001
+        )
+        bon = (
+            cnn_engine._node_scorer.score(bon_terms(query_embedding))  # noqa: SLF001
+            if not query_embedding.is_empty
+            else {}
+        )
+        channel_pairs.append((bow, bon))
+
+    def run() -> tuple[int, int, int]:
+        accesses = entries = agreements = 0
+        for bow, bon in channel_pairs:
+            channels = [(bow, 1 - beta), (bon, beta)]
+            ranked, used = threshold_topk_with_stats(channels, 10)
+            accesses += used
+            entries += len(bow) + len(bon)
+            fused: dict[str, float] = {}
+            for scores, weight in channels:
+                for doc_id, score in scores.items():
+                    fused[doc_id] = fused.get(doc_id, 0.0) + weight * score
+            expected = top_k(fused, 10)
+            agreements += int(
+                [d for d, _ in ranked] == [d for d, _ in expected]
+            )
+        return accesses, entries, agreements
+
+    accesses, entries, agreements = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = (
+        "Ablation — Threshold Algorithm top-k vs exhaustive fusion "
+        f"(CNN, {len(channel_pairs)} queries, k=10, beta=0.2)\n"
+        f"sorted accesses used:   {accesses}\n"
+        f"total channel entries:  {entries}\n"
+        f"rankings identical:     {agreements}/{len(channel_pairs)}"
+    )
+    write_result("ablation_topk", report)
+    assert agreements == len(channel_pairs), report
+    assert accesses <= entries, report

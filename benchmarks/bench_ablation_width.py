@@ -1,0 +1,71 @@
+"""Ablation: the LCAG "width" (all-shortest-paths coverage) property.
+
+The paper motivates keeping ALL shortest paths per label (Definition 3):
+width enriches the embedding's coverage and therefore the BON channel's
+recall.  We compare the full LCAG embedder against a narrowed variant that
+keeps only one shortest path per label (same roots, same depths).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.config import EngineConfig, FusionConfig, LcagConfig
+from repro.eval.harness import NewsLinkRetriever
+from repro.search.engine import NewsLinkEngine
+
+
+@pytest.mark.benchmark(group="ablation-width")
+def test_ablation_width(benchmark, kaggle_dataset, kaggle_harness):
+    wide_engine = NewsLinkEngine(
+        kaggle_dataset.world.graph,
+        EngineConfig(fusion=FusionConfig(beta=1.0)),
+    )
+    narrow_engine = NewsLinkEngine(
+        kaggle_dataset.world.graph,
+        EngineConfig(
+            lcag=LcagConfig(single_paths=True),
+            fusion=FusionConfig(beta=1.0),
+        ),
+    )
+    wide_engine.index_corpus(kaggle_harness.searchable_corpus)
+    narrow_engine.index_corpus(kaggle_harness.searchable_corpus)
+
+    def run() -> dict[str, dict[str, float]]:
+        results = {}
+        for name, engine in (("wide", wide_engine), ("narrow", narrow_engine)):
+            row = kaggle_harness.evaluate_retriever(
+                NewsLinkRetriever(engine, 1.0, name=name),
+                engine.pipeline,
+                modes=("density",),
+            )
+            results[name] = row.by_mode["density"].metrics
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    wide_nodes = sum(
+        len(wide_engine.embedding(doc_id).nodes)
+        for doc_id in kaggle_harness.searchable_corpus.doc_ids()
+        if wide_engine.has_embedding(doc_id)
+    )
+    narrow_nodes = sum(
+        len(narrow_engine.embedding(doc_id).nodes)
+        for doc_id in kaggle_harness.searchable_corpus.doc_ids()
+        if narrow_engine.has_embedding(doc_id)
+    )
+    lines = [
+        "Ablation — LCAG width (all shortest paths vs one per label), "
+        "beta=1, Kaggle density queries",
+        f"total embedding nodes: wide {wide_nodes} vs narrow {narrow_nodes}",
+    ]
+    for metric in sorted(results["wide"]):
+        lines.append(
+            f"{metric:>7}: wide {results['wide'][metric]:.3f}  "
+            f"narrow {results['narrow'][metric]:.3f}"
+        )
+    report = "\n".join(lines)
+    write_result("ablation_width", report)
+    # Width must actually add coverage; quality should not collapse.
+    assert wide_nodes >= narrow_nodes, report
+    assert results["wide"]["HIT@5"] >= results["narrow"]["HIT@5"] - 0.15, report

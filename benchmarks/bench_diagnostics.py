@@ -1,0 +1,44 @@
+"""Corpus diagnostics: the paper's prose-level statistics.
+
+§VII-G says there are "around 8 to 10 news segments per news document";
+§VII-A2 keeps 91-96% of documents (those with an embedding); Table V's
+matching ratio sits in the high 90s.  This bench regenerates all of those
+corpus-level numbers in one table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.eval.diagnostics import corpus_diagnostics
+
+
+def _run(dataset, engine, name: str) -> str:
+    diagnostics = corpus_diagnostics(dataset.split.full, engine)
+    lines = [f"Corpus diagnostics — {name}", *diagnostics.lines()]
+    lines.append("")
+    lines.append(
+        "paper anchors: 8-10 segments/doc (§VII-G); 91-96% embeddable "
+        "(§VII-A2); ~96-98% matching (Table V)"
+    )
+    report = "\n".join(lines)
+    assert diagnostics.embeddable_fraction > 0.85, report
+    assert diagnostics.avg_induced_fraction > 0.0, report
+    return report
+
+
+@pytest.mark.benchmark(group="diagnostics")
+def test_diagnostics_cnn(benchmark, cnn_dataset, cnn_engine):
+    report = benchmark.pedantic(
+        _run, args=(cnn_dataset, cnn_engine, "CNN"), rounds=1, iterations=1
+    )
+    write_result("diagnostics_cnn", report)
+
+
+@pytest.mark.benchmark(group="diagnostics")
+def test_diagnostics_kaggle(benchmark, kaggle_dataset, kaggle_engine):
+    report = benchmark.pedantic(
+        _run, args=(kaggle_dataset, kaggle_engine, "Kaggle"), rounds=1, iterations=1
+    )
+    write_result("diagnostics_kaggle", report)

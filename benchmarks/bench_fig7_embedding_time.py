@@ -1,0 +1,101 @@
+"""Figure 7: average embedding time per news document.
+
+Two reproduced claims:
+
+1. the NE component (subgraph search) dominates the NLP component's cost;
+2. the LCAG algorithm embeds faster than the tree-based one, because its
+   depth-based termination (C1 & C2) cuts the traversal earlier than the
+   sum-based bound TreeEmb must use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.config import LcagConfig, TreeEmbConfig
+from repro.core.lcag import LcagEmbedder, SearchStats, find_lcag
+from repro.core.tree_emb import TreeEmbedder, find_gst_tree
+from repro.errors import ReproError
+from repro.eval.timing import measure_corpus_embedding
+
+
+def _sample_corpus(dataset, limit: int = 60):
+    documents = list(dataset.split.full)[:limit]
+    from repro.data.document import Corpus
+
+    return Corpus(documents)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_lcag_embedding_time(benchmark, cnn_dataset, cnn_engine):
+    corpus = _sample_corpus(cnn_dataset)
+    embedder = LcagEmbedder(cnn_dataset.world.graph)
+    timings = benchmark.pedantic(
+        measure_corpus_embedding,
+        args=(corpus, cnn_engine.pipeline, embedder),
+        rounds=1,
+        iterations=1,
+    )
+    report = (
+        "Figure 7 — average embedding time per document (LCAG / NewsLink)\n"
+        f"documents: {timings.documents}\n"
+        f"NLP avg: {timings.nlp_avg * 1000:.2f} ms\n"
+        f"NE  avg: {timings.ne_avg * 1000:.2f} ms"
+    )
+    write_result("fig7_lcag", report)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_tree_embedding_time(benchmark, cnn_dataset, cnn_engine):
+    corpus = _sample_corpus(cnn_dataset)
+    embedder = TreeEmbedder(cnn_dataset.world.graph)
+    timings = benchmark.pedantic(
+        measure_corpus_embedding,
+        args=(corpus, cnn_engine.pipeline, embedder),
+        rounds=1,
+        iterations=1,
+    )
+    report = (
+        "Figure 7 — average embedding time per document (TreeEmb)\n"
+        f"documents: {timings.documents}\n"
+        f"NLP avg: {timings.nlp_avg * 1000:.2f} ms\n"
+        f"NE  avg: {timings.ne_avg * 1000:.2f} ms"
+    )
+    write_result("fig7_tree", report)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_lcag_explores_no_more_than_tree(benchmark, cnn_dataset, cnn_engine):
+    """The mechanism behind Fig 7: LCAG pops <= TreeEmb pops per group."""
+    graph = cnn_dataset.world.graph
+    groups = []
+    for document in list(cnn_dataset.split.full)[:40]:
+        processed = cnn_engine.pipeline.process(document.text, document.doc_id)
+        for group in processed.groups:
+            if len(group.labels) >= 2:
+                groups.append(processed.group_sources(group))
+
+    def run() -> tuple[int, int]:
+        lcag_pops = tree_pops = 0
+        for sources in groups:
+            lcag_stats, tree_stats = SearchStats(), SearchStats()
+            try:
+                find_lcag(graph, sources, LcagConfig(), lcag_stats)
+                find_gst_tree(graph, sources, TreeEmbConfig(), tree_stats)
+            except ReproError:
+                continue
+            lcag_pops += lcag_stats.pops
+            tree_pops += tree_stats.pops
+        return lcag_pops, tree_pops
+
+    lcag_pops, tree_pops = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = (
+        "Figure 7 mechanism — frontier pops over "
+        f"{len(groups)} multi-entity groups\n"
+        f"LCAG pops:    {lcag_pops}\n"
+        f"TreeEmb pops: {tree_pops}\n"
+        f"ratio: {lcag_pops / max(1, tree_pops):.2f} (paper: LCAG terminates earlier)"
+    )
+    assert lcag_pops <= tree_pops, report
+    write_result("fig7_pops", report)

@@ -1,0 +1,140 @@
+"""Scalability beyond the paper: embedding cost vs. knowledge-graph size.
+
+The paper argues (§VII-G) that early termination keeps the NE component
+from traversing the full Wikidata graph.  Here we grow the synthetic world
+several-fold and check that per-group G* search work (frontier pops)
+grows far slower than the graph does — the search stays local around the
+entities.  A second bench measures the segment-embedding cache: repeated
+entity groups across a corpus make a large share of NE work redundant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.config import EngineConfig, NewsConfig, WorldConfig
+from repro.core.cache import CachingEmbedder
+from repro.core.lcag import LcagEmbedder, SearchStats, find_lcag
+from repro.data.datasets import make_dataset
+from repro.errors import ReproError
+
+
+def _world_config(multiplier: int) -> WorldConfig:
+    return WorldConfig(
+        num_countries=4 * multiplier,
+        provinces_per_country=4,
+        cities_per_province=4,
+        num_organizations=20 * multiplier,
+        num_persons=50 * multiplier,
+        num_events=24 * multiplier,
+        extra_edges=80 * multiplier,
+        seed=31,
+    )
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_scalability_pops_vs_graph_size(benchmark):
+    def run() -> list[tuple[int, int, float]]:
+        rows = []
+        for multiplier in (1, 2, 4):
+            dataset = make_dataset(
+                f"scale{multiplier}",
+                _world_config(multiplier),
+                NewsConfig(num_documents=60, seed=32),
+            )
+            from repro.search.engine import NewsLinkEngine
+
+            engine = NewsLinkEngine(dataset.world.graph)
+            pops = 0
+            groups = 0
+            for document in list(dataset.corpus)[:40]:
+                processed = engine.pipeline.process(document.text, document.doc_id)
+                for group in processed.groups:
+                    if len(group.labels) < 2:
+                        continue
+                    stats = SearchStats()
+                    try:
+                        find_lcag(
+                            dataset.world.graph,
+                            processed.group_sources(group),
+                            stats=stats,
+                        )
+                    except ReproError:
+                        continue
+                    pops += stats.pops
+                    groups += 1
+            rows.append(
+                (
+                    dataset.world.graph.num_nodes,
+                    pops,
+                    pops / max(1, groups),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Scalability — G* search work vs KG size (40 docs each)"]
+    lines.append(f"{'KG nodes':>9}  {'total pops':>11}  {'pops/group':>11}")
+    for nodes, pops, per_group in rows:
+        lines.append(f"{nodes:>9}  {pops:>11}  {per_group:>11.1f}")
+    smallest, largest = rows[0], rows[-1]
+    graph_growth = largest[0] / smallest[0]
+    work_growth = largest[2] / max(1e-9, smallest[2])
+    lines.append(
+        f"graph grew {graph_growth:.1f}x; per-group work grew {work_growth:.1f}x"
+    )
+    report = "\n".join(lines)
+    write_result("scalability_pops", report)
+    # The search must stay local: work grows sublinearly with graph size.
+    assert work_growth < graph_growth, report
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_cache_hit_rate_on_corpus(benchmark, cnn_dataset):
+    """Segment-embedding cache effectiveness over a real corpus."""
+    graph = cnn_dataset.world.graph
+
+    def run() -> tuple[float, int]:
+        from repro.search.engine import NewsLinkEngine
+
+        engine = NewsLinkEngine(graph, EngineConfig(cache_embeddings=True))
+        engine.index_corpus(cnn_dataset.split.full)
+        cached = engine._embedder  # noqa: SLF001 - bench introspection
+        assert isinstance(cached, CachingEmbedder)
+        return cached.stats.hit_rate, cached.stats.requests
+
+    hit_rate, requests = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = (
+        "Segment-embedding cache over the CNN-like corpus\n"
+        f"embed requests: {requests}\n"
+        f"cache hit rate: {hit_rate:.1%}\n"
+        "(duplicate entity groups across documents make their G* reusable)"
+    )
+    write_result("scalability_cache", report)
+    assert hit_rate > 0.05, report
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_cached_engine_results_identical(benchmark, cnn_dataset):
+    """Caching must not change a single search result."""
+    from repro.eval.queries import build_query_cases
+    from repro.search.engine import NewsLinkEngine
+
+    graph = cnn_dataset.world.graph
+    plain = NewsLinkEngine(graph)
+    cached = NewsLinkEngine(graph, EngineConfig(cache_embeddings=True))
+    plain.index_corpus(cnn_dataset.split.full)
+    cached.index_corpus(cnn_dataset.split.full)
+    cases = build_query_cases(cnn_dataset.split.test, plain.pipeline, "density")
+
+    def run() -> int:
+        agreements = 0
+        for case in cases:
+            a = [(r.doc_id, round(r.score, 9)) for r in plain.search(case.query_text, k=10)]
+            b = [(r.doc_id, round(r.score, 9)) for r in cached.search(case.query_text, k=10)]
+            agreements += int(a == b)
+        return agreements
+
+    agreements = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert agreements == len(cases)

@@ -1,0 +1,74 @@
+"""Table IV: overall search quality against every competitor.
+
+Regenerates SIM@{5,10,20} and HIT@{1,5} for DOC2VEC, SBERT, LDA, QEPRF,
+Lucene and NewsLink(0.2) on both datasets, density/random query cells as in
+the paper.  The expected *shape* (paper, Table IV): NewsLink(0.2) gives the
+best HIT@k, Lucene and QEPRF follow closely, and the dense/topic methods
+(DOC2VEC, SBERT, LDA) trail far behind on HIT@k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import PAPER, write_result
+from repro.config import Doc2VecConfig, LdaConfig
+from repro.eval.harness import compare_rows, format_table
+
+
+def _run_table(harness, engine, dataset_name: str) -> str:
+    competitors = harness.build_competitors(
+        engine,
+        doc2vec=Doc2VecConfig(dim=32, epochs=6),
+        lda=LdaConfig(num_topics=16, iterations=20, infer_iterations=10),
+    )
+    rows = harness.run_table(competitors, engine.pipeline)
+    lines = [format_table(rows, title=f"Table IV — {dataset_name} (measured)")]
+    lines.append("")
+    lines.append(f"paper reference (HIT cells, {dataset_name}):")
+    for method, cells in PAPER["table4"][dataset_name].items():
+        lines.append(
+            f"  {method:<14} HIT@1 {cells['HIT@1']:<12} HIT@5 {cells['HIT@5']}"
+        )
+    row_map = {row.method: row for row in rows}
+    comparison = compare_rows(
+        row_map["NewsLink(0.2)"], row_map["Lucene"], metric="HIT@1"
+    )
+    lines.append("")
+    lines.append(
+        "paired bootstrap NewsLink(0.2) vs Lucene, HIT@1 density: "
+        f"delta={comparison.delta:+.3f}, p={comparison.p_value:.3f} "
+        f"({'significant' if comparison.significant() else 'not significant'} "
+        f"at this corpus size)"
+    )
+    report = "\n".join(lines)
+    # Shape assertions: NewsLink(0.2) must not lose to the dense methods,
+    # and should match or beat Lucene on HIT@1 (density queries).
+    by_method = {row.method: row for row in rows}
+    newslink_hit = by_method["NewsLink(0.2)"].by_mode["density"].metrics["HIT@1"]
+    lucene_hit = by_method["Lucene"].by_mode["density"].metrics["HIT@1"]
+    doc2vec_hit = by_method["DOC2VEC"].by_mode["density"].metrics["HIT@1"]
+    lda_hit = by_method["LDA"].by_mode["density"].metrics["HIT@1"]
+    assert newslink_hit >= lucene_hit, report
+    assert newslink_hit > doc2vec_hit, report
+    assert newslink_hit > lda_hit, report
+    return report
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_cnn(benchmark, cnn_harness, cnn_engine):
+    report = benchmark.pedantic(
+        _run_table, args=(cnn_harness, cnn_engine, "CNN"), rounds=1, iterations=1
+    )
+    write_result("table4_cnn", report)
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_kaggle(benchmark, kaggle_harness, kaggle_engine):
+    report = benchmark.pedantic(
+        _run_table,
+        args=(kaggle_harness, kaggle_engine, "Kaggle"),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("table4_kaggle", report)

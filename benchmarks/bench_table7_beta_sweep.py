@@ -1,0 +1,78 @@
+"""Table VII: NewsLink(beta) vs TreeEmb(beta) for beta in {0.2, 0.5, 0.8, 1}.
+
+Two claims reproduced from §VII-F:
+
+1. the LCAG subgraph-embedding model beats the tree-based (GST
+   approximation) model at the same beta, and
+2. beta = 0.2 is the sweet spot; pure embeddings (beta = 1) trail blended
+   scoring but remain competitive (beta = 0 reduces exactly to Lucene).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.eval.harness import NewsLinkRetriever, format_table
+
+BETAS = (0.2, 0.5, 0.8, 1.0)
+
+
+def _run_sweep(harness, lcag_engine, tree_engine, dataset_name: str) -> str:
+    retrievers = [
+        NewsLinkRetriever(lcag_engine, beta, name=f"NewsLink({beta:g})")
+        for beta in BETAS
+    ]
+    retrievers.extend(
+        NewsLinkRetriever(tree_engine, beta, name=f"TreeEmb({beta:g})")
+        for beta in BETAS
+    )
+    rows = harness.run_table(retrievers, lcag_engine.pipeline)
+    report = format_table(
+        rows, title=f"Table VII — {dataset_name}: beta sweep, LCAG vs TreeEmb"
+    )
+    by_method = {row.method: row for row in rows}
+    num_queries = rows[0].by_mode["density"].num_queries
+
+    def hit1(method: str) -> float:
+        return by_method[method].by_mode["density"].metrics["HIT@1"]
+
+    def aggregate_hit(prefix: str) -> float:
+        values = []
+        for beta in BETAS:
+            row = by_method[f"{prefix}({beta:g})"]
+            for scores in row.by_mode.values():
+                values.append(scores.metrics["HIT@1"])
+                values.append(scores.metrics["HIT@5"])
+        return sum(values) / len(values)
+
+    # Claim 1: aggregated over betas, modes and cut-offs, LCAG's wider
+    # embeddings should not lose to the tree model.  The paper's gap is
+    # ~0.01-0.02, below one-query resolution here, so allow that slack.
+    tolerance = 1.0 / num_queries
+    assert aggregate_hit("NewsLink") >= aggregate_hit("TreeEmb") - tolerance, report
+    # Claim 2: blending (0.2) beats embeddings-only (1.0).
+    assert hit1("NewsLink(0.2)") >= hit1("NewsLink(1)"), report
+    return report
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_cnn(benchmark, cnn_harness, cnn_engine, cnn_tree_engine):
+    report = benchmark.pedantic(
+        _run_sweep,
+        args=(cnn_harness, cnn_engine, cnn_tree_engine, "CNN"),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("table7_cnn", report)
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_kaggle(benchmark, kaggle_harness, kaggle_engine, kaggle_tree_engine):
+    report = benchmark.pedantic(
+        _run_sweep,
+        args=(kaggle_harness, kaggle_engine, kaggle_tree_engine, "Kaggle"),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("table7_kaggle", report)

@@ -1,0 +1,34 @@
+"""Table VIII: query-processing time breakdown per component.
+
+The paper reports that the subgraph-embedding step (NE) costs the most per
+test query, with the NLP and NS components minor.  We time the three
+stages over the density query set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import PAPER, write_result
+from repro.eval.queries import build_query_cases
+from repro.eval.timing import measure_query_breakdown
+
+
+@pytest.mark.benchmark(group="table8")
+def test_table8_query_breakdown(benchmark, cnn_dataset, cnn_engine):
+    cases = build_query_cases(cnn_dataset.split.test, cnn_engine.pipeline, "density")
+    queries = [case.query_text for case in cases]
+    breakdown = benchmark.pedantic(
+        measure_query_breakdown, args=(cnn_engine, queries), rounds=1, iterations=1
+    )
+    report = (
+        "Table VIII — per-query processing time breakdown (CNN-like)\n"
+        f"queries: {len(queries)}\n"
+        f"NLP  avg: {breakdown['nlp'] * 1000:7.2f} ms\n"
+        f"NE   avg: {breakdown['ne'] * 1000:7.2f} ms\n"
+        f"NS   avg: {breakdown['ns'] * 1000:7.2f} ms\n"
+        f"total avg: {breakdown['total'] * 1000:6.2f} ms\n"
+        f"paper: {PAPER['table8']}"
+    )
+    write_result("table8_query_breakdown", report)
+    assert breakdown["total"] > 0

@@ -1,0 +1,140 @@
+"""Shared benchmark fixtures: datasets, harnesses and indexed engines.
+
+Every table and figure of the paper's §VII has a ``bench_*.py`` here.  The
+heavy setup (world + corpus generation, judge training, index building) is
+done once per session in fixtures so the benchmarked bodies isolate the
+interesting work.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(default 1.0 ≈ 300-320 documents per dataset, ~30 test queries each, a
+couple of minutes end to end); results are printed AND written to
+``benchmarks/results/*.txt`` so they survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import EngineConfig, EvalConfig, FastTextConfig, FusionConfig
+from repro.data.datasets import (
+    DatasetBundle,
+    cnn_like_config,
+    kaggle_like_config,
+    make_dataset,
+)
+from repro.eval.harness import EvaluationHarness
+from repro.search.engine import NewsLinkEngine
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Paper-reported values, quoted in result files for side-by-side reading.
+PAPER = {
+    "table4": {
+        "CNN": {
+            "DOC2VEC": {"HIT@1": ".333/.230", "HIT@5": ".545/.337"},
+            "SBERT": {"HIT@1": ".127/.103", "HIT@5": ".204/.172"},
+            "LDA": {"HIT@1": ".055/.046", "HIT@5": ".135/.109"},
+            "QEPRF": {"HIT@1": ".807/.793", "HIT@5": ".915/.914"},
+            "Lucene": {"HIT@1": ".807/.806", "HIT@5": ".917/.926"},
+            "NewsLink(0.2)": {"HIT@1": ".876/.862", "HIT@5": ".972/.967"},
+        },
+        "Kaggle": {
+            "DOC2VEC": {"HIT@1": ".439/.087", "HIT@5": ".495/.126"},
+            "SBERT": {"HIT@1": ".181/.149", "HIT@5": ".247/.208"},
+            "LDA": {"HIT@1": ".057/.045", "HIT@5": ".123/.099"},
+            "QEPRF": {"HIT@1": ".829/.822", "HIT@5": ".891/.894"},
+            "Lucene": {"HIT@1": ".831/.838", "HIT@5": ".895/.917"},
+            "NewsLink(0.2)": {"HIT@1": ".910/.892", "HIT@5": ".966/.953"},
+        },
+    },
+    "table5": {"CNN": "97.54%", "Kaggle": "96.49%"},
+    "fig5": "majority helpful (20 participants x 10 pairs)",
+    "table8": "NE component dominates query time; NLP and NS are minor",
+}
+
+
+def bench_scale() -> float:
+    """The dataset scale factor for this benchmark run."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def write_result(name: str, content: str) -> None:
+    """Persist a result table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n", encoding="utf-8")
+    print(f"\n=== {name} ===")
+    print(content)
+
+
+@pytest.fixture(scope="session")
+def cnn_dataset() -> DatasetBundle:
+    """The CNN-like dataset."""
+    world_config, news_config = cnn_like_config(scale=bench_scale())
+    return make_dataset("CNN", world_config, news_config)
+
+
+@pytest.fixture(scope="session")
+def kaggle_dataset() -> DatasetBundle:
+    """The Kaggle-like dataset."""
+    world_config, news_config = kaggle_like_config(scale=bench_scale())
+    return make_dataset("Kaggle", world_config, news_config)
+
+
+def _make_harness(dataset: DatasetBundle) -> EvaluationHarness:
+    return EvaluationHarness(
+        dataset,
+        eval_config=EvalConfig(),
+        fasttext_config=FastTextConfig(dim=48, epochs=4),
+    )
+
+
+@pytest.fixture(scope="session")
+def cnn_harness(cnn_dataset) -> EvaluationHarness:
+    """Harness (judge trained) for the CNN-like dataset."""
+    return _make_harness(cnn_dataset)
+
+
+@pytest.fixture(scope="session")
+def kaggle_harness(kaggle_dataset) -> EvaluationHarness:
+    """Harness (judge trained) for the Kaggle-like dataset."""
+    return _make_harness(kaggle_dataset)
+
+
+def _indexed_engine(dataset: DatasetBundle, config: EngineConfig) -> NewsLinkEngine:
+    engine = NewsLinkEngine(dataset.world.graph, config)
+    engine.index_corpus(dataset.split.full)
+    return engine
+
+
+@pytest.fixture(scope="session")
+def cnn_engine(cnn_dataset) -> NewsLinkEngine:
+    """Indexed LCAG engine for the CNN-like dataset."""
+    return _indexed_engine(cnn_dataset, EngineConfig(fusion=FusionConfig(beta=0.2)))
+
+
+@pytest.fixture(scope="session")
+def kaggle_engine(kaggle_dataset) -> NewsLinkEngine:
+    """Indexed LCAG engine for the Kaggle-like dataset."""
+    return _indexed_engine(kaggle_dataset, EngineConfig(fusion=FusionConfig(beta=0.2)))
+
+
+@pytest.fixture(scope="session")
+def cnn_tree_engine(cnn_dataset) -> NewsLinkEngine:
+    """Indexed TreeEmb engine for the CNN-like dataset (Table VII)."""
+    return _indexed_engine(
+        cnn_dataset,
+        EngineConfig(use_tree_embedder=True, fusion=FusionConfig(beta=0.2)),
+    )
+
+
+@pytest.fixture(scope="session")
+def kaggle_tree_engine(kaggle_dataset) -> NewsLinkEngine:
+    """Indexed TreeEmb engine for the Kaggle-like dataset (Table VII)."""
+    return _indexed_engine(
+        kaggle_dataset,
+        EngineConfig(use_tree_embedder=True, fusion=FusionConfig(beta=0.2)),
+    )

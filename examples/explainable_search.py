@@ -1,0 +1,79 @@
+"""Explainable search — the paper's Figure 6 / Table VI case study flow.
+
+Retrieves with subgraph embeddings only (beta = 1), then shows the overlap
+of the query and result embeddings and the relationship paths that explain
+the match, exactly the artifact shown to the paper's user-study
+participants.
+
+Run with::
+
+    python examples/explainable_search.py
+"""
+
+from __future__ import annotations
+
+from repro import NewsLinkEngine, make_dataset, cnn_like_config
+from repro.config import EngineConfig, FusionConfig
+from repro.core.overlap import embedding_overlap, induced_entities
+
+
+def main() -> None:
+    world_config, news_config = cnn_like_config(scale=0.3)
+    dataset = make_dataset("case-study", world_config, news_config)
+    engine = NewsLinkEngine(
+        dataset.world.graph,
+        EngineConfig(fusion=FusionConfig(beta=1.0)),  # embeddings only
+    )
+    engine.index_corpus(dataset.corpus)
+    graph = dataset.world.graph
+
+    # Take a topical document whose embedding is rich (several KG nodes)
+    # and query with its entity-densest sentence.
+    from repro.eval.queries import select_query_sentence
+
+    query_doc = next(
+        doc
+        for doc in dataset.corpus
+        if doc.topic_id
+        and engine.has_embedding(doc.doc_id)
+        and len(engine.embedding(doc.doc_id).nodes) >= 5
+    )
+    query = select_query_sentence(query_doc, engine.pipeline, mode="density").query_text
+    results = engine.search(query, k=3)
+    # The query document itself would be the trivial top hit; pick the best
+    # *other* document, like the paper's Q/R pair.
+    others = [r for r in results if r.doc_id != query_doc.doc_id]
+    if not others:
+        print("no non-trivial result found; try another seed")
+        return
+    result = others[0]
+    result_embedding = engine.embedding(result.doc_id)
+
+    print("Q:", query)
+    print("R:", dataset.corpus.get(result.doc_id).text[:160], "...\n")
+
+    # Overlap analysis (the Figure 1 / Figure 6 blue-in-green region).
+    _, fresh_query_embedding = engine.process_query(query)
+    overlap = embedding_overlap(fresh_query_embedding, result_embedding)
+    print(f"embedding overlap: {len(overlap.shared_nodes)} shared nodes, "
+          f"jaccard={overlap.jaccard_nodes:.2f}")
+    print("shared nodes:",
+          ", ".join(sorted(graph.node(n).label for n in overlap.shared_nodes)))
+
+    # Induced entities (Table I's last column): context the text never says.
+    mentioned = set()
+    processed_q = engine.pipeline.process(query, "q")
+    for node_ids in processed_q.label_sources.values():
+        mentioned |= node_ids
+    induced = induced_entities(fresh_query_embedding, mentioned)
+    print("induced entities:",
+          ", ".join(sorted(graph.node(n).label for n in induced)) or "(none)")
+
+    # Relationship paths (Table VI).
+    print("\nrelationship paths:")
+    for line in engine.explain_verbalized(query, result.doc_id, max_paths=6):
+        print("   ", line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: build a world, index news, search, and explain a result.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import NewsLinkEngine, cnn_like_config, make_dataset
+
+
+def main() -> None:
+    # 1. Generate a synthetic world (the offline Wikidata substitute) and a
+    #    news corpus coupled to it.
+    world_config, news_config = cnn_like_config(scale=0.3)
+    dataset = make_dataset("quickstart", world_config, news_config)
+    print(
+        f"world: {dataset.world.graph.num_nodes} nodes, "
+        f"{dataset.world.graph.num_edges} edges; "
+        f"corpus: {len(dataset.corpus)} documents"
+    )
+
+    # 2. Index the corpus: every document is embedded into the KG.
+    engine = NewsLinkEngine(dataset.world.graph)
+    skipped = engine.index_corpus(dataset.corpus)
+    print(f"indexed {engine.num_indexed} documents ({len(skipped)} unembeddable)")
+
+    # 3. Search with a partial query — the entity-densest sentence of a
+    #    document, as in the paper's evaluation task.
+    from repro.eval.queries import select_query_sentence
+
+    source = next(doc for doc in dataset.corpus if doc.topic_id)
+    query = select_query_sentence(source, engine.pipeline, mode="density").query_text
+    print(f"\nquery: {query!r}\n")
+    results = engine.search(query, k=5)
+    for rank, result in enumerate(results, start=1):
+        title = dataset.corpus.get(result.doc_id).title
+        print(f"{rank}. {result.doc_id}  score={result.score:.3f}  {title}")
+
+    # 4. Explain the top result with KG relationship paths.
+    if results:
+        print("\nwhy is the top result related?")
+        for line in engine.explain_verbalized(query, results[0].doc_id, max_paths=5):
+            print("   ", line)
+
+
+if __name__ == "__main__":
+    main()

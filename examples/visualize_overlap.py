@@ -1,0 +1,58 @@
+"""Render the Figure 1 overlap picture as Graphviz DOT.
+
+Writes ``tq_embedding.dot`` and ``overlap.dot``; render with e.g.::
+
+    dot -Tpng overlap.dot -o overlap.png
+
+Run with::
+
+    python examples/visualize_overlap.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro import Corpus, NewsDocument, NewsLinkEngine
+from repro.viz import embedding_to_dot, overlap_to_dot
+
+from vocabulary_mismatch import build_khyber_graph
+
+
+def main(output_dir: str = ".") -> None:
+    graph = build_khyber_graph()
+    engine = NewsLinkEngine(graph)
+    engine.index_corpus(
+        Corpus(
+            [
+                NewsDocument(
+                    "t_q",
+                    "Pakistan fought Taliban in Upper Dir. "
+                    "Clashes spread toward Swat Valley.",
+                ),
+                NewsDocument(
+                    "t_r",
+                    "Taliban claimed a bombing in Lahore. "
+                    "Peshawar also saw attacks, Pakistan said.",
+                ),
+            ]
+        )
+    )
+    t_q = engine.embedding("t_q")
+    t_r = engine.embedding("t_r")
+
+    out = Path(output_dir)
+    (out / "tq_embedding.dot").write_text(
+        embedding_to_dot(t_q, graph, title="T_q"), encoding="utf-8"
+    )
+    (out / "overlap.dot").write_text(
+        overlap_to_dot(t_q, t_r, graph, title="Figure 1"), encoding="utf-8"
+    )
+    print(f"wrote {out / 'tq_embedding.dot'} and {out / 'overlap.dot'}")
+    print("\npreview of overlap.dot:")
+    print(overlap_to_dot(t_q, t_r, graph)[:600], "...")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else ".")

@@ -1,0 +1,107 @@
+"""NewsLink reproduction: intuitive news search with knowledge graphs.
+
+A from-scratch Python implementation of *NewsLink: Empowering Intuitive
+News Search with Knowledge Graphs* (Yang, Li & Tung, ICDE 2021) — the
+Lowest Common Ancestor Graph subgraph-embedding model, the full
+NLP/NE/NS architecture, every baseline the paper compares against, and a
+benchmark per table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import NewsLinkEngine, make_dataset, cnn_like_config
+
+    world_cfg, news_cfg = cnn_like_config(scale=0.3)
+    dataset = make_dataset("cnn-like", world_cfg, news_cfg)
+    engine = NewsLinkEngine(dataset.world.graph)
+    engine.index_corpus(dataset.corpus)
+    for result in engine.search("some partial news text", k=5):
+        print(result.doc_id, result.score)
+        print(engine.explain_verbalized("some partial news text", result.doc_id))
+"""
+
+from repro.config import (
+    Bm25Config,
+    Doc2VecConfig,
+    EngineConfig,
+    EvalConfig,
+    FastTextConfig,
+    FusionConfig,
+    LcagConfig,
+    LdaConfig,
+    NerConfig,
+    NewsConfig,
+    QeprfConfig,
+    SbertConfig,
+    TreeEmbConfig,
+    WorldConfig,
+)
+from repro.kg import KnowledgeGraph, LabelIndex, Node, Edge, EntityType, generate_world
+from repro.nlp import NlpPipeline
+from repro.core import (
+    CommonAncestorGraph,
+    LcagEmbedder,
+    TreeEmbedder,
+    DocumentEmbedding,
+    find_lcag,
+    find_gst_tree,
+    embed_document,
+    explain_pair,
+    verbalize_path,
+)
+from repro.search import NewsLinkEngine, SearchResult
+from repro.data import (
+    NewsDocument,
+    Corpus,
+    make_dataset,
+    cnn_like_config,
+    kaggle_like_config,
+)
+from repro.eval import EvaluationHarness, NewsLinkRetriever, FastTextModel
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bm25Config",
+    "Doc2VecConfig",
+    "EngineConfig",
+    "EvalConfig",
+    "FastTextConfig",
+    "FusionConfig",
+    "LcagConfig",
+    "LdaConfig",
+    "NerConfig",
+    "NewsConfig",
+    "QeprfConfig",
+    "SbertConfig",
+    "TreeEmbConfig",
+    "WorldConfig",
+    "KnowledgeGraph",
+    "LabelIndex",
+    "Node",
+    "Edge",
+    "EntityType",
+    "generate_world",
+    "NlpPipeline",
+    "CommonAncestorGraph",
+    "LcagEmbedder",
+    "TreeEmbedder",
+    "DocumentEmbedding",
+    "find_lcag",
+    "find_gst_tree",
+    "embed_document",
+    "explain_pair",
+    "verbalize_path",
+    "NewsLinkEngine",
+    "SearchResult",
+    "NewsDocument",
+    "Corpus",
+    "make_dataset",
+    "cnn_like_config",
+    "kaggle_like_config",
+    "EvaluationHarness",
+    "NewsLinkRetriever",
+    "FastTextModel",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Competitor retrieval methods (paper §VII-A3).
+
+Every method implements the :class:`Retriever` protocol so the evaluation
+harness can run them interchangeably:
+
+* ``LuceneRetriever`` — BM25 VSM over text (the "Lucene" row),
+* ``Doc2VecRetriever`` — PV-DBOW trained on the training split,
+* ``SbertRetriever`` — frozen dense sentence encoder (SBERT substitute),
+* ``LdaRetriever`` — collapsed-Gibbs LDA topic vectors,
+* ``QeprfRetriever`` — KG-description query expansion + PRF over BM25.
+"""
+
+from repro.baselines.base import Retriever, RankedResults
+from repro.baselines.lucene import LuceneRetriever
+from repro.baselines.doc2vec import Doc2VecModel, Doc2VecRetriever
+from repro.baselines.sbert import SbertEncoder, SbertRetriever
+from repro.baselines.lda import LdaModel, LdaRetriever
+from repro.baselines.qeprf import QeprfRetriever
+
+__all__ = [
+    "Retriever",
+    "RankedResults",
+    "LuceneRetriever",
+    "Doc2VecModel",
+    "Doc2VecRetriever",
+    "SbertEncoder",
+    "SbertRetriever",
+    "LdaModel",
+    "LdaRetriever",
+    "QeprfRetriever",
+]

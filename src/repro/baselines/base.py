@@ -1,0 +1,28 @@
+"""The retrieval interface every competitor implements."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.data.document import Corpus
+
+#: A ranked result list: ``[(doc_id, score), ...]`` best first.
+RankedResults = list[tuple[str, float]]
+
+
+@runtime_checkable
+class Retriever(Protocol):
+    """A document retrieval method under evaluation."""
+
+    @property
+    def name(self) -> str:
+        """Display name used in result tables."""
+        ...
+
+    def index_corpus(self, corpus: Corpus) -> None:
+        """Index the searchable corpus."""
+        ...
+
+    def search(self, text: str, k: int) -> RankedResults:
+        """Top-``k`` results for a text query, best first."""
+        ...

@@ -1,0 +1,234 @@
+"""DOC2VEC baseline: PV-DBOW / PV-DM with negative sampling (Le &
+Mikolov 2014).
+
+The paper trains Gensim's doc2vec (500 dims) on the training split and
+infers vectors for all documents; this is the same model implemented in
+numpy.  Two paragraph-vector modes are supported:
+
+* **PV-DBOW** (default here): the document vector alone predicts each of
+  its words against sampled negatives — fast and strong for similarity;
+* **PV-DM** (Gensim's default): the document vector averaged with the
+  context words' input vectors predicts the center word.
+
+Inference for unseen text runs the same updates with all word matrices
+frozen, exactly like Gensim's ``infer_vector``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import RankedResults
+from repro.config import Doc2VecConfig
+from repro.data.document import Corpus
+from repro.embeddings.negative_sampling import NegativeSampler
+from repro.embeddings.sgd import sgns_update
+from repro.embeddings.vocab import Vocabulary
+from repro.errors import ModelNotTrainedError
+from repro.nlp.tokenizer import tokenize_words
+from repro.search.topk import top_k
+from repro.utils.rng import ensure_rng
+
+
+class Doc2VecModel:
+    """Trainable PV-DBOW model."""
+
+    def __init__(self, config: Doc2VecConfig | None = None) -> None:
+        self.config = config or Doc2VecConfig()
+        self._vocab = Vocabulary(min_count=self.config.min_count)
+        self._word_output: np.ndarray | None = None
+        self._word_input: np.ndarray | None = None  # PV-DM only
+        self._sampler: NegativeSampler | None = None
+        self._rng = ensure_rng(self.config.seed)
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The model vocabulary."""
+        return self._vocab
+
+    @property
+    def is_trained(self) -> bool:
+        """True once :meth:`train` has run."""
+        return self._word_output is not None
+
+    # ------------------------------------------------------------------
+    def train(self, texts: list[str]) -> np.ndarray:
+        """Train on ``texts``; returns the learned document matrix."""
+        tokenized = [tokenize_words(text) for text in texts]
+        for tokens in tokenized:
+            self._vocab.observe(tokens)
+        self._vocab.finalize()
+        if len(self._vocab) == 0:
+            raise ModelNotTrainedError("no vocabulary survived min_count")
+        dim = self.config.dim
+        doc_vectors = (
+            self._rng.random((len(texts), dim)) - 0.5
+        ) / dim
+        self._word_output = np.zeros((len(self._vocab), dim), dtype=np.float64)
+        if self.config.mode == "dm":
+            self._word_input = (
+                self._rng.random((len(self._vocab), dim)) - 0.5
+            ) / dim
+        self._sampler = NegativeSampler(self._vocab.frequencies, rng=self._rng)
+        encoded = [self._vocab.encode(tokens) for tokens in tokenized]
+        total_steps = self.config.epochs * max(1, len(texts))
+        step = 0
+        for epoch in range(self.config.epochs):
+            order = self._rng.permutation(len(texts))
+            for doc_index in order:
+                lr = self._learning_rate(step, total_steps)
+                step += 1
+                self._train_document(doc_vectors[doc_index], encoded[doc_index], lr)
+            del epoch
+        return doc_vectors
+
+    def _learning_rate(self, step: int, total_steps: int) -> float:
+        fraction = step / max(1, total_steps)
+        lr = self.config.learning_rate * (1.0 - fraction)
+        return max(lr, self.config.min_learning_rate)
+
+    def _train_document(
+        self,
+        doc_vector: np.ndarray,
+        word_ids: np.ndarray,
+        lr: float,
+        freeze_words: bool = False,
+    ) -> None:
+        if word_ids.size == 0:
+            return
+        if self.config.mode == "dm":
+            self._train_document_dm(doc_vector, word_ids, lr, freeze_words)
+        else:
+            self._train_document_dbow(doc_vector, word_ids, lr, freeze_words)
+
+    def _train_document_dbow(
+        self,
+        doc_vector: np.ndarray,
+        word_ids: np.ndarray,
+        lr: float,
+        freeze_words: bool,
+    ) -> None:
+        assert self._word_output is not None and self._sampler is not None
+        negatives = self._sampler.draw((word_ids.size, self.config.negative))
+        output_ids = np.concatenate([word_ids[:, None], negatives], axis=1).ravel()
+        labels = np.zeros((word_ids.size, self.config.negative + 1))
+        labels[:, 0] = 1.0
+        sgns_update(
+            doc_vector,
+            self._word_output,
+            output_ids,
+            labels.ravel(),
+            lr,
+            update_output=not freeze_words,
+        )
+
+    def _train_document_dm(
+        self,
+        doc_vector: np.ndarray,
+        word_ids: np.ndarray,
+        lr: float,
+        freeze_words: bool,
+    ) -> None:
+        assert self._word_output is not None and self._sampler is not None
+        assert self._word_input is not None
+        window = self.config.window
+        n = word_ids.size
+        labels = np.zeros(self.config.negative + 1)
+        labels[0] = 1.0
+        for position in range(n):
+            center = int(word_ids[position])
+            lo = max(0, position - window)
+            hi = min(n, position + window + 1)
+            context = np.concatenate(
+                [word_ids[lo:position], word_ids[position + 1 : hi]]
+            )
+            count = context.size + 1
+            input_vector = (
+                doc_vector + self._word_input[context].sum(axis=0)
+            ) / count
+            negatives = self._sampler.draw(self.config.negative)
+            output_ids = np.concatenate([[center], negatives])
+            before = input_vector.copy()
+            sgns_update(
+                input_vector,
+                self._word_output,
+                output_ids,
+                labels,
+                lr,
+                update_output=not freeze_words,
+            )
+            # Distribute the averaged-input gradient to the constituents.
+            delta = (input_vector - before) / count
+            doc_vector += delta
+            if not freeze_words and context.size:
+                np.add.at(self._word_input, context, delta)
+
+    # ------------------------------------------------------------------
+    def infer(self, text: str) -> np.ndarray:
+        """Infer a vector for unseen ``text`` with frozen word outputs."""
+        if self._word_output is None or self._sampler is None:
+            raise ModelNotTrainedError("Doc2VecModel.infer before train")
+        word_ids = self._vocab.encode(tokenize_words(text))
+        vector = (self._rng.random(self.config.dim) - 0.5) / self.config.dim
+        for epoch in range(self.config.infer_epochs):
+            fraction = epoch / max(1, self.config.infer_epochs)
+            lr = max(
+                self.config.learning_rate * (1.0 - fraction),
+                self.config.min_learning_rate,
+            )
+            self._train_document(vector, word_ids, lr, freeze_words=True)
+        return vector
+
+    def infer_many(self, texts: list[str]) -> np.ndarray:
+        """Infer vectors for several texts (rows align with input order)."""
+        return np.vstack([self.infer(text) for text in texts])
+
+
+class Doc2VecRetriever:
+    """Cosine retrieval over PV-DBOW vectors."""
+
+    def __init__(
+        self,
+        config: Doc2VecConfig | None = None,
+        training_texts: list[str] | None = None,
+    ) -> None:
+        self._model = Doc2VecModel(config)
+        self._training_texts = training_texts
+        self._doc_ids: list[str] = []
+        self._matrix: np.ndarray | None = None
+
+    @property
+    def name(self) -> str:
+        """Display name."""
+        return "DOC2VEC"
+
+    @property
+    def model(self) -> Doc2VecModel:
+        """The underlying model."""
+        return self._model
+
+    def index_corpus(self, corpus: Corpus) -> None:
+        """Train (on the configured training texts, else on the corpus)
+        and infer normalized vectors for every corpus document."""
+        texts = self._training_texts
+        if texts is None:
+            texts = [document.text for document in corpus]
+        self._model.train(texts)
+        self._doc_ids = corpus.doc_ids()
+        matrix = self._model.infer_many([doc.text for doc in corpus])
+        self._matrix = _normalize_rows(matrix)
+
+    def search(self, text: str, k: int) -> RankedResults:
+        """Cosine top-``k`` against the inferred document matrix."""
+        if self._matrix is None:
+            raise ModelNotTrainedError("index_corpus must run before search")
+        query = self._model.infer(text)
+        norm = np.linalg.norm(query) or 1.0
+        scores = self._matrix @ (query / norm)
+        return top_k(dict(zip(self._doc_ids, scores.tolist())), k)
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return matrix / norms

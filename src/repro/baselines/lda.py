@@ -1,0 +1,179 @@
+"""LDA baseline: collapsed Gibbs sampling (Blei et al. 2003; Griffiths &
+Steyvers sampler).
+
+The paper trains PLDA with 500 topics on the training split; this is the
+same model with a standard collapsed Gibbs sampler and fold-in inference
+for unseen documents.  Documents are compared by the cosine of their
+topic-mixture vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import RankedResults
+from repro.config import LdaConfig
+from repro.data.document import Corpus
+from repro.embeddings.vocab import Vocabulary
+from repro.errors import ModelNotTrainedError
+from repro.nlp.stopwords import is_stopword
+from repro.nlp.tokenizer import tokenize_words
+from repro.search.topk import top_k
+from repro.utils.rng import ensure_rng
+
+
+class LdaModel:
+    """Collapsed-Gibbs latent Dirichlet allocation."""
+
+    def __init__(self, config: LdaConfig | None = None) -> None:
+        self.config = config or LdaConfig()
+        self._vocab = Vocabulary(min_count=self.config.min_count)
+        self._rng = ensure_rng(self.config.seed)
+        # topic-word counts learned in training; frozen for fold-in.
+        self._topic_word: np.ndarray | None = None
+        self._topic_totals: np.ndarray | None = None
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The model vocabulary."""
+        return self._vocab
+
+    @property
+    def is_trained(self) -> bool:
+        """True once :meth:`train` has run."""
+        return self._topic_word is not None
+
+    def _tokenize(self, text: str) -> list[str]:
+        return [w for w in tokenize_words(text) if not is_stopword(w)]
+
+    # ------------------------------------------------------------------
+    def train(self, texts: list[str]) -> np.ndarray:
+        """Gibbs-sample topic assignments; returns doc-topic mixtures."""
+        tokenized = [self._tokenize(text) for text in texts]
+        for tokens in tokenized:
+            self._vocab.observe(tokens)
+        self._vocab.finalize()
+        if len(self._vocab) == 0:
+            raise ModelNotTrainedError("no vocabulary survived min_count")
+        docs = [self._vocab.encode(tokens) for tokens in tokenized]
+        k = self.config.num_topics
+        v = len(self._vocab)
+        alpha, beta = self.config.alpha, self.config.beta
+        topic_word = np.zeros((k, v), dtype=np.float64)
+        topic_totals = np.zeros(k, dtype=np.float64)
+        doc_topic = np.zeros((len(docs), k), dtype=np.float64)
+        assignments: list[np.ndarray] = []
+        for d, words in enumerate(docs):
+            z = self._rng.integers(0, k, size=words.size)
+            assignments.append(z)
+            for word, topic in zip(words, z):
+                topic_word[topic, word] += 1
+                topic_totals[topic] += 1
+                doc_topic[d, topic] += 1
+        for _ in range(self.config.iterations):
+            for d, words in enumerate(docs):
+                z = assignments[d]
+                for position in range(words.size):
+                    word, old = words[position], z[position]
+                    topic_word[old, word] -= 1
+                    topic_totals[old] -= 1
+                    doc_topic[d, old] -= 1
+                    weights = (
+                        (topic_word[:, word] + beta)
+                        / (topic_totals + v * beta)
+                        * (doc_topic[d] + alpha)
+                    )
+                    new = _sample_index(weights, self._rng)
+                    z[position] = new
+                    topic_word[new, word] += 1
+                    topic_totals[new] += 1
+                    doc_topic[d, new] += 1
+        self._topic_word = topic_word
+        self._topic_totals = topic_totals
+        mixtures = doc_topic + alpha
+        return mixtures / mixtures.sum(axis=1, keepdims=True)
+
+    # ------------------------------------------------------------------
+    def infer(self, text: str) -> np.ndarray:
+        """Fold-in inference: sample topics with frozen topic-word counts."""
+        if self._topic_word is None or self._topic_totals is None:
+            raise ModelNotTrainedError("LdaModel.infer before train")
+        words = self._vocab.encode(self._tokenize(text))
+        k = self.config.num_topics
+        alpha, beta = self.config.alpha, self.config.beta
+        v = len(self._vocab)
+        doc_topic = np.zeros(k, dtype=np.float64)
+        z = self._rng.integers(0, k, size=words.size)
+        for word, topic in zip(words, z):
+            doc_topic[topic] += 1
+            del word
+        for _ in range(self.config.infer_iterations):
+            for position in range(words.size):
+                word, old = words[position], z[position]
+                doc_topic[old] -= 1
+                weights = (
+                    (self._topic_word[:, word] + beta)
+                    / (self._topic_totals + v * beta)
+                    * (doc_topic + alpha)
+                )
+                new = _sample_index(weights, self._rng)
+                z[position] = new
+                doc_topic[new] += 1
+        mixture = doc_topic + alpha
+        return mixture / mixture.sum()
+
+    def infer_many(self, texts: list[str]) -> np.ndarray:
+        """Fold-in several texts."""
+        return np.vstack([self.infer(text) for text in texts])
+
+
+def _sample_index(weights: np.ndarray, rng: np.random.Generator) -> int:
+    total = weights.sum()
+    if total <= 0:
+        return int(rng.integers(weights.size))
+    return int(np.searchsorted(np.cumsum(weights), rng.random() * total))
+
+
+class LdaRetriever:
+    """Cosine retrieval over LDA topic mixtures."""
+
+    def __init__(
+        self,
+        config: LdaConfig | None = None,
+        training_texts: list[str] | None = None,
+    ) -> None:
+        self._model = LdaModel(config)
+        self._training_texts = training_texts
+        self._doc_ids: list[str] = []
+        self._matrix: np.ndarray | None = None
+
+    @property
+    def name(self) -> str:
+        """Display name."""
+        return "LDA"
+
+    @property
+    def model(self) -> LdaModel:
+        """The underlying model."""
+        return self._model
+
+    def index_corpus(self, corpus: Corpus) -> None:
+        """Train and fold-in every corpus document."""
+        texts = self._training_texts
+        if texts is None:
+            texts = [document.text for document in corpus]
+        self._model.train(texts)
+        self._doc_ids = corpus.doc_ids()
+        matrix = self._model.infer_many([doc.text for doc in corpus])
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        self._matrix = matrix / norms
+
+    def search(self, text: str, k: int) -> RankedResults:
+        """Cosine top-``k`` over topic mixtures."""
+        if self._matrix is None:
+            raise ModelNotTrainedError("index_corpus must run before search")
+        query = self._model.infer(text)
+        norm = np.linalg.norm(query) or 1.0
+        scores = self._matrix @ (query / norm)
+        return top_k(dict(zip(self._doc_ids, scores.tolist())), k)

@@ -1,0 +1,65 @@
+"""The "Lucene" baseline: BM25 vector-space retrieval over text.
+
+The paper uses Apache Lucene 7.7.0 with BM25 defaults; this is the same
+scoring over our from-scratch inverted index (see DESIGN.md §1).  It is
+also exactly NewsLink with ``beta = 0`` (Table VII note).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import RankedResults
+from repro.config import Bm25Config
+from repro.data.document import Corpus
+from repro.search.analyzer import Analyzer
+from repro.search.bm25 import Bm25Scorer
+from repro.search.inverted_index import InvertedIndex
+from repro.search.topk import top_k
+
+
+class LuceneRetriever:
+    """BM25 text retrieval (keyword matching)."""
+
+    def __init__(self, bm25: Bm25Config | None = None) -> None:
+        self._analyzer = Analyzer()
+        self._index = InvertedIndex()
+        self._scorer = Bm25Scorer(self._index, bm25)
+        self._forward: dict[str, dict[str, int]] = {}
+
+    @property
+    def name(self) -> str:
+        """Display name."""
+        return "Lucene"
+
+    @property
+    def index(self) -> InvertedIndex:
+        """The underlying inverted index (shared with QEPRF)."""
+        return self._index
+
+    @property
+    def scorer(self) -> Bm25Scorer:
+        """The BM25 scorer."""
+        return self._scorer
+
+    @property
+    def analyzer(self) -> Analyzer:
+        """The analysis chain."""
+        return self._analyzer
+
+    def index_corpus(self, corpus: Corpus) -> None:
+        """Index every document's analyzed text."""
+        for document in corpus:
+            terms = self._analyzer.analyze(document.text)
+            self._index.add_document(document.doc_id, terms)
+            counts: dict[str, int] = {}
+            for term in terms:
+                counts[term] = counts.get(term, 0) + 1
+            self._forward[document.doc_id] = counts
+
+    def doc_terms(self, doc_id: str) -> dict[str, int]:
+        """Forward index: term counts of one document (empty if unknown)."""
+        return self._forward.get(doc_id, {})
+
+    def search(self, text: str, k: int) -> RankedResults:
+        """BM25 top-``k``."""
+        scores = self._scorer.score(self._analyzer.analyze(text))
+        return top_k(scores, k)

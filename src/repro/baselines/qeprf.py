@@ -1,0 +1,92 @@
+"""QEPRF baseline: query expansion with KG entity descriptions plus
+pseudo-relevance feedback (Xiong & Callan, ICTIR 2015 — unsupervised).
+
+Pipeline per query:
+
+1. link query entities to KG nodes (exact matching, as NewsLink does),
+2. expand the query with the top TF terms of the linked nodes'
+   *descriptions* (the paper's Freebase-description expansion),
+3. run BM25, take the top pseudo-relevant documents, and add RM1-style
+   feedback terms,
+4. re-run BM25 with the weighted expanded query.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.baselines.base import RankedResults
+from repro.baselines.lucene import LuceneRetriever
+from repro.config import Bm25Config, NerConfig, QeprfConfig
+from repro.data.document import Corpus
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.label_index import LabelIndex
+from repro.nlp.ner import GazetteerNer
+from repro.search.topk import top_k
+
+
+class QeprfRetriever:
+    """Entity-description query expansion + PRF over BM25."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        config: QeprfConfig | None = None,
+        label_index: LabelIndex | None = None,
+        bm25: Bm25Config | None = None,
+        ner_config: NerConfig | None = None,
+    ) -> None:
+        self._graph = graph
+        self._config = config or QeprfConfig()
+        self._label_index = label_index or LabelIndex(graph)
+        self._ner = GazetteerNer(self._label_index, ner_config)
+        self._lucene = LuceneRetriever(bm25)
+
+    @property
+    def name(self) -> str:
+        """Display name."""
+        return "QEPRF"
+
+    def index_corpus(self, corpus: Corpus) -> None:
+        """Index the corpus for the underlying BM25 retrieval."""
+        self._lucene.index_corpus(corpus)
+
+    # ------------------------------------------------------------------
+    def description_terms(self, text: str) -> list[str]:
+        """Expansion terms from descriptions of the query's linked nodes."""
+        analyzer = self._lucene.analyzer
+        counts: Counter[str] = Counter()
+        for mention in self._ner.recognize(text):
+            for node_id in sorted(mention.node_ids):
+                description = self._graph.node(node_id).description
+                counts.update(analyzer.analyze(description))
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [term for term, _ in ranked[: self._config.expansion_terms]]
+
+    def _prf_terms(self, term_weights: dict[str, float]) -> list[str]:
+        """RM1-ish feedback: frequent terms of the top pseudo-relevant docs."""
+        scores = self._lucene.scorer.score_weighted(term_weights)
+        pseudo = top_k(scores, self._config.prf_docs)
+        counts: Counter[str] = Counter()
+        for doc_id, _ in pseudo:
+            counts.update(self._lucene.doc_terms(doc_id))
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [term for term, _ in ranked[: self._config.prf_terms]]
+
+    def expanded_query(self, text: str) -> dict[str, float]:
+        """The final weighted query: original + descriptions + feedback."""
+        weights: dict[str, float] = {}
+        for term in self._lucene.analyzer.analyze(text):
+            weights[term] = weights.get(term, 0.0) + self._config.original_weight
+        for term in self.description_terms(text):
+            weights[term] = weights.get(term, 0.0) + self._config.description_weight
+        if self._config.prf_terms > 0:
+            for term in self._prf_terms(dict(weights)):
+                weights[term] = weights.get(term, 0.0) + self._config.prf_weight
+        return weights
+
+    def search(self, text: str, k: int) -> RankedResults:
+        """BM25 top-``k`` with the expanded, weighted query."""
+        weights = self.expanded_query(text)
+        scores = self._lucene.scorer.score_weighted(weights)
+        return top_k(scores, k)

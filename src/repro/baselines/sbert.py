@@ -1,0 +1,156 @@
+"""SBERT baseline substitute: a frozen dense sentence encoder.
+
+The paper uses the pretrained ``bert-large-nli-mean-tokens`` SBERT model.
+No pretrained transformer is available offline, so this encoder reproduces
+SBERT's *role* in the study — a deterministic, corpus-independent dense
+semantic encoder compared with cosine similarity:
+
+* word vectors come from a seeded hash kernel (stable across processes),
+* sentence vectors are SIF-weighted means with first-component removal
+  (strong classical sentence embeddings, Arora et al. 2017),
+* the encoder is never trained on the evaluation corpus ("pretrained").
+
+Like real SBERT in the paper's Table IV, it captures soft similarity but
+cannot do exact document recovery as well as lexical methods, and offers
+no explanation of its matches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import RankedResults
+from repro.config import SbertConfig
+from repro.data.document import Corpus
+from repro.embeddings.sif import principal_components, subtract_components
+from repro.errors import ModelNotTrainedError
+from repro.nlp.stopwords import is_stopword
+from repro.nlp.tokenizer import tokenize_words
+from repro.search.topk import top_k
+from repro.utils.hashing import stable_hash
+
+
+class SbertEncoder:
+    """Deterministic hash-kernel sentence encoder."""
+
+    def __init__(self, config: SbertConfig | None = None) -> None:
+        self._config = config or SbertConfig()
+        self._word_cache: dict[str, np.ndarray] = {}
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimensionality."""
+        return self._config.dim
+
+    def word_vector(self, word: str) -> np.ndarray:
+        """The frozen "pretrained" vector of ``word``.
+
+        Derived from a seeded Gaussian generator keyed by the word's stable
+        hash, so every process sees identical vectors.
+        """
+        cached = self._word_cache.get(word)
+        if cached is None:
+            seed = stable_hash(word, salt=self._config.seed)
+            generator = np.random.default_rng(seed)
+            cached = generator.standard_normal(self._config.dim)
+            cached /= np.linalg.norm(cached) or 1.0
+            self._word_cache[word] = cached
+        return cached
+
+    def _sif_weight(self, word: str, frequencies: dict[str, float]) -> float:
+        a = self._config.sif_a
+        return a / (a + frequencies.get(word, 0.0))
+
+    def encode(
+        self, texts: list[str], frequencies: dict[str, float] | None = None
+    ) -> np.ndarray:
+        """Encode ``texts`` into a (n, dim) matrix of SIF-pooled vectors.
+
+        ``frequencies`` (relative word frequencies) drive the SIF weights;
+        when omitted they are estimated from the given texts.  Principal-
+        component removal is a separate, corpus-level step (see
+        :class:`SbertRetriever`) so queries and documents share one space.
+        """
+        tokenized = [
+            [w for w in tokenize_words(text) if not is_stopword(w)]
+            for text in texts
+        ]
+        if frequencies is None:
+            frequencies = estimate_frequencies(tokenized)
+        matrix = np.zeros((len(texts), self._config.dim))
+        for row, tokens in enumerate(tokenized):
+            if not tokens:
+                continue
+            total_weight = 0.0
+            for word in tokens:
+                weight = self._sif_weight(word, frequencies)
+                matrix[row] += weight * self.word_vector(word)
+                total_weight += weight
+            if total_weight > 0:
+                matrix[row] /= total_weight
+        return matrix
+
+
+def estimate_frequencies(tokenized: list[list[str]]) -> dict[str, float]:
+    """Relative word frequencies over tokenized texts."""
+    counts: dict[str, int] = {}
+    total = 0
+    for tokens in tokenized:
+        for word in tokens:
+            counts[word] = counts.get(word, 0) + 1
+            total += 1
+    if total == 0:
+        return {}
+    return {word: count / total for word, count in counts.items()}
+
+
+class SbertRetriever:
+    """Cosine retrieval over frozen sentence embeddings."""
+
+    def __init__(self, config: SbertConfig | None = None) -> None:
+        self._config = config or SbertConfig()
+        self._encoder = SbertEncoder(self._config)
+        self._doc_ids: list[str] = []
+        self._matrix: np.ndarray | None = None
+        self._frequencies: dict[str, float] = {}
+        self._components: np.ndarray | None = None
+
+    @property
+    def name(self) -> str:
+        """Display name."""
+        return "SBERT"
+
+    @property
+    def encoder(self) -> SbertEncoder:
+        """The underlying encoder."""
+        return self._encoder
+
+    def index_corpus(self, corpus: Corpus) -> None:
+        """Encode every document (no training — the encoder is frozen)."""
+        texts = [document.text for document in corpus]
+        tokenized = [
+            [w for w in tokenize_words(t) if not is_stopword(w)] for t in texts
+        ]
+        self._frequencies = estimate_frequencies(tokenized)
+        self._doc_ids = corpus.doc_ids()
+        matrix = self._encoder.encode(texts, self._frequencies)
+        self._components = principal_components(
+            matrix, self._config.remove_components
+        )
+        self._matrix = _normalize_rows(subtract_components(matrix, self._components))
+
+    def search(self, text: str, k: int) -> RankedResults:
+        """Cosine top-``k``."""
+        if self._matrix is None or self._components is None:
+            raise ModelNotTrainedError("index_corpus must run before search")
+        query = self._encoder.encode([text], self._frequencies)
+        query = subtract_components(query, self._components)[0]
+        norm = np.linalg.norm(query) or 1.0
+        scores = self._matrix @ (query / norm)
+        return top_k(dict(zip(self._doc_ids, scores.tolist())), k)
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return matrix / norms

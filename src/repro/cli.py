@@ -1,0 +1,202 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro generate DIR [--dataset cnn|kaggle] [--scale S] — synthesize a
+        dataset: knowledge graph (kg.json) + corpus (corpus.jsonl)
+    repro index DIR [--tree] [--beta B]                   — build and save
+        the NewsLink index (index.json) for a generated dataset
+    repro search DIR QUERY [-k N] [--beta B] [--explain]  — query an
+        indexed dataset and optionally print relationship paths
+    repro evaluate DIR [-k N]                             — quick Lucene
+        vs NewsLink comparison on the dataset's test split
+
+Run ``python -m repro <subcommand> --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.config import EngineConfig, FusionConfig
+from repro.data.datasets import cnn_like_config, kaggle_like_config, make_dataset
+from repro.data.loaders import load_corpus_jsonl, save_corpus_jsonl
+from repro.kg.io import load_graph_json, save_graph_json
+from repro.search.engine import NewsLinkEngine
+
+_KG_FILE = "kg.json"
+_CORPUS_FILE = "corpus.jsonl"
+_INDEX_FILE = "index.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NewsLink reproduction: KG-powered explainable news search",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="synthesize a dataset (KG + news corpus)"
+    )
+    generate.add_argument("directory", type=Path)
+    generate.add_argument(
+        "--dataset", choices=("cnn", "kaggle"), default="cnn",
+        help="which canned configuration to use",
+    )
+    generate.add_argument("--scale", type=float, default=0.5)
+
+    index = subparsers.add_parser("index", help="embed + index the corpus")
+    index.add_argument("directory", type=Path)
+    index.add_argument("--beta", type=float, default=0.2)
+    index.add_argument(
+        "--tree", action="store_true", help="use the TreeEmb ablation embedder"
+    )
+
+    search = subparsers.add_parser("search", help="query an indexed dataset")
+    search.add_argument("directory", type=Path)
+    search.add_argument("query")
+    search.add_argument("-k", type=int, default=5)
+    search.add_argument("--beta", type=float, default=None)
+    search.add_argument(
+        "--explain", action="store_true",
+        help="print relationship paths for the top result",
+    )
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="quick Lucene vs NewsLink HIT@k on the test split"
+    )
+    evaluate.add_argument("directory", type=Path)
+    evaluate.add_argument("-k", type=int, default=5)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve the indexed dataset over HTTP (JSON API)"
+    )
+    serve.add_argument("directory", type=Path)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    return parser
+
+
+def _load_engine(directory: Path, beta: float | None = None) -> NewsLinkEngine:
+    graph = load_graph_json(directory / _KG_FILE)
+    config = EngineConfig()
+    if beta is not None:
+        config = EngineConfig(fusion=FusionConfig(beta=beta))
+    engine = NewsLinkEngine(graph, config)
+    index_path = directory / _INDEX_FILE
+    if not index_path.exists():
+        raise SystemExit(
+            f"no index at {index_path}; run `repro index {directory}` first"
+        )
+    engine.load_index(index_path)
+    return engine
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    factory = cnn_like_config if args.dataset == "cnn" else kaggle_like_config
+    world_config, news_config = factory(scale=args.scale)
+    dataset = make_dataset(args.dataset, world_config, news_config)
+    args.directory.mkdir(parents=True, exist_ok=True)
+    save_graph_json(dataset.world.graph, args.directory / _KG_FILE)
+    save_corpus_jsonl(dataset.corpus, args.directory / _CORPUS_FILE)
+    print(
+        f"wrote {dataset.world.graph.num_nodes}-node KG and "
+        f"{len(dataset.corpus)}-document corpus to {args.directory}"
+    )
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    graph = load_graph_json(args.directory / _KG_FILE)
+    corpus = load_corpus_jsonl(args.directory / _CORPUS_FILE)
+    config = EngineConfig(
+        fusion=FusionConfig(beta=args.beta), use_tree_embedder=args.tree
+    )
+    engine = NewsLinkEngine(graph, config)
+    skipped = engine.index_corpus(corpus)
+    engine.save_index(args.directory / _INDEX_FILE)
+    print(
+        f"indexed {engine.num_indexed} documents "
+        f"({len(skipped)} had no subgraph embedding); "
+        f"index saved to {args.directory / _INDEX_FILE}"
+    )
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    engine = _load_engine(args.directory, args.beta)
+    results = engine.search(args.query, k=args.k, beta=args.beta)
+    if not results:
+        print("no results")
+        return 1
+    corpus = load_corpus_jsonl(args.directory / _CORPUS_FILE)
+    for rank, result in enumerate(results, start=1):
+        title = corpus.get(result.doc_id).title if result.doc_id in corpus else ""
+        print(f"{rank}. {result.doc_id}  score={result.score:.3f}  {title}")
+        snippet = engine.snippet(args.query, result.doc_id)
+        if snippet.text:
+            print(f"   {snippet.text}")
+    if args.explain:
+        print("\nwhy the top result is related:")
+        explanation = engine.explanation(args.query, results[0].doc_id)
+        for line in explanation.lines():
+            print("   ", line)
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.eval.queries import build_query_cases
+
+    graph = load_graph_json(args.directory / _KG_FILE)
+    corpus = load_corpus_jsonl(args.directory / _CORPUS_FILE)
+    engine = NewsLinkEngine(graph)
+    engine.index_corpus(corpus)
+    # last 10% of the corpus acts as the query set
+    documents = list(corpus)
+    test_docs = documents[-max(1, len(documents) // 10):]
+    from repro.data.document import Corpus
+
+    cases = build_query_cases(Corpus(test_docs), engine.pipeline, mode="density")
+    hits = {"Lucene (beta=0)": 0, "NewsLink (beta=0.2)": 0}
+    for case in cases:
+        for name, beta in (("Lucene (beta=0)", 0.0), ("NewsLink (beta=0.2)", 0.2)):
+            ranked = engine.search(case.query_text, k=args.k, beta=beta)
+            if any(r.doc_id == case.query_doc_id for r in ranked):
+                hits[name] += 1
+    print(f"HIT@{args.k} over {len(cases)} density queries:")
+    for name, count in hits.items():
+        print(f"  {name:<20} {count}/{len(cases)} = {count / len(cases):.3f}")
+    from repro.eval.diagnostics import corpus_diagnostics
+
+    print("\ncorpus diagnostics:")
+    for line in corpus_diagnostics(corpus, engine).lines():
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import serve
+
+    engine = _load_engine(args.directory)
+    serve(engine, host=args.host, port=args.port)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "index": _cmd_index,
+        "search": _cmd_search,
+        "evaluate": _cmd_evaluate,
+        "serve": _cmd_serve,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

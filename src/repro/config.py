@@ -1,0 +1,365 @@
+"""Frozen configuration dataclasses for every component of the reproduction.
+
+Each component takes an explicit config object so experiments are fully
+parameterized and reproducible.  Validation happens eagerly in
+``__post_init__`` — a bad parameter fails at construction, not mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class LcagConfig:
+    """Parameters for the G* (Lowest Common Ancestor Graph) search.
+
+    Attributes:
+        max_pops: budget on frontier pops before the search gives up
+            (the paper's ``while Not Timeout`` guard).
+        max_depth: optional cap on path length considered during expansion;
+            ``None`` means unbounded.
+        collect_all_min_depth: when True (paper behaviour) the search keeps
+            expanding until every candidate whose depth ties the first
+            candidate has been collected, which is required for exact
+            compactness sorting.
+        single_paths: ablation switch — keep only ONE shortest path per
+            label instead of the full shortest-path DAG, removing the
+            "width"/coverage property while keeping the LCAG root choice.
+    """
+
+    max_pops: int = 200_000
+    max_depth: float | None = None
+    collect_all_min_depth: bool = True
+    single_paths: bool = False
+
+    def __post_init__(self) -> None:
+        _require(self.max_pops > 0, "max_pops must be positive")
+        if self.max_depth is not None:
+            _require(self.max_depth > 0, "max_depth must be positive when set")
+
+
+@dataclass(frozen=True)
+class TreeEmbConfig:
+    """Parameters for the TreeEmb (GST-approximation) baseline embedder."""
+
+    max_pops: int = 200_000
+    max_depth: float | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.max_pops > 0, "max_pops must be positive")
+
+
+@dataclass(frozen=True)
+class NerConfig:
+    """Gazetteer NER configuration (spaCy substitute).
+
+    Attributes:
+        max_gram: longest multi-word entity span to consider.
+        require_capitalized: only propose spans whose tokens are capitalized
+            (standard newswire NER heuristic).
+        allowed_types: entity types kept, mirroring the paper's filter
+            (all types except numbers/quantities).  ``OTHER`` is allowed by
+            default so untyped nodes of imported KGs still match.
+    """
+
+    max_gram: int = 4
+    require_capitalized: bool = True
+    allowed_types: tuple[str, ...] = (
+        "PERSON",
+        "NORP",
+        "FAC",
+        "ORG",
+        "GPE",
+        "LOC",
+        "PRODUCT",
+        "EVENT",
+        "WORK_OF_ART",
+        "LAW",
+        "LANGUAGE",
+        "OTHER",
+    )
+
+    def __post_init__(self) -> None:
+        _require(self.max_gram >= 1, "max_gram must be >= 1")
+        _require(len(self.allowed_types) > 0, "allowed_types must be non-empty")
+
+
+@dataclass(frozen=True)
+class Bm25Config:
+    """BM25 scoring parameters (Lucene 7.x defaults)."""
+
+    k1: float = 1.2
+    b: float = 0.75
+
+    def __post_init__(self) -> None:
+        _require(self.k1 >= 0, "k1 must be non-negative")
+        _require(0.0 <= self.b <= 1.0, "b must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class FusionConfig:
+    """Equation 3 score fusion: F = (1-beta)*BOW + beta*BON.
+
+    Attributes:
+        beta: weight on the Bag-Of-Node (subgraph embedding) channel.
+        normalize: per-query max-normalize each channel before combining.
+            Off by default: the paper combines raw BM25 scores, and raw
+            magnitudes carry useful confidence — a query with a weak
+            subgraph embedding naturally contributes little BON mass
+            (see benchmarks/bench_ablation_fusion.py).
+        candidate_pool: number of top candidates taken from each channel's
+            inverted index before fusion (the paper retrieves candidates
+            from both indexes).
+    """
+
+    beta: float = 0.2
+    normalize: bool = False
+    candidate_pool: int = 200
+
+    def __post_init__(self) -> None:
+        _require(0.0 <= self.beta <= 1.0, "beta must lie in [0, 1]")
+        _require(self.candidate_pool > 0, "candidate_pool must be positive")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration of the end-to-end NewsLink engine.
+
+    Attributes:
+        disambiguate: filter ambiguous label candidates by group coherence
+            before embedding (see :mod:`repro.nlp.disambiguation`).
+        disambiguation_distance: coherence radius for that filter.
+    """
+
+    lcag: LcagConfig = field(default_factory=LcagConfig)
+    ner: NerConfig = field(default_factory=NerConfig)
+    bm25: Bm25Config = field(default_factory=Bm25Config)
+    fusion: FusionConfig = field(default_factory=FusionConfig)
+    use_tree_embedder: bool = False
+    tree_emb: TreeEmbConfig = field(default_factory=TreeEmbConfig)
+    disambiguate: bool = False
+    disambiguation_distance: float = 3.0
+    cache_embeddings: bool = False
+    cache_size: int = 10_000
+    segment_window: int = 1
+
+    def __post_init__(self) -> None:
+        _require(
+            self.disambiguation_distance > 0,
+            "disambiguation_distance must be positive",
+        )
+        _require(self.cache_size > 0, "cache_size must be positive")
+        _require(self.segment_window >= 1, "segment_window must be >= 1")
+
+
+@dataclass(frozen=True)
+class Doc2VecConfig:
+    """Doc2vec training hyperparameters (Gensim substitute).
+
+    Attributes:
+        mode: ``"dbow"`` (PV-DBOW: the doc vector predicts each word) or
+            ``"dm"`` (PV-DM: doc vector averaged with context word vectors
+            predicts the center word — Gensim's default).
+    """
+
+    dim: int = 64
+    epochs: int = 12
+    negative: int = 5
+    learning_rate: float = 0.05
+    min_learning_rate: float = 0.0005
+    min_count: int = 2
+    window: int = 8
+    infer_epochs: int = 25
+    mode: str = "dbow"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.dim > 0, "dim must be positive")
+        _require(self.epochs > 0, "epochs must be positive")
+        _require(self.negative >= 1, "negative must be >= 1")
+        _require(self.learning_rate > 0, "learning_rate must be positive")
+        _require(self.min_count >= 1, "min_count must be >= 1")
+        _require(self.mode in ("dbow", "dm"), "mode must be 'dbow' or 'dm'")
+        _require(self.window >= 1, "window must be >= 1")
+
+
+@dataclass(frozen=True)
+class SbertConfig:
+    """Frozen hash-kernel sentence encoder (SBERT substitute).
+
+    The encoder is deterministic ("pretrained"): word vectors come from a
+    seeded hash kernel, pooled with SIF weighting and first-component
+    removal, mimicking a frozen dense semantic encoder.
+    """
+
+    dim: int = 128
+    sif_a: float = 1e-3
+    remove_components: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.dim > 0, "dim must be positive")
+        _require(self.sif_a > 0, "sif_a must be positive")
+        _require(self.remove_components >= 0, "remove_components must be >= 0")
+
+
+@dataclass(frozen=True)
+class LdaConfig:
+    """Collapsed-Gibbs LDA hyperparameters (PLDA substitute)."""
+
+    num_topics: int = 32
+    alpha: float = 0.1
+    beta: float = 0.01
+    iterations: int = 60
+    infer_iterations: int = 30
+    min_count: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.num_topics >= 2, "num_topics must be >= 2")
+        _require(self.alpha > 0 and self.beta > 0, "alpha and beta must be positive")
+        _require(self.iterations > 0, "iterations must be positive")
+
+
+@dataclass(frozen=True)
+class QeprfConfig:
+    """Query expansion with KG descriptions + pseudo-relevance feedback."""
+
+    expansion_terms: int = 10
+    prf_docs: int = 10
+    prf_terms: int = 10
+    original_weight: float = 1.0
+    description_weight: float = 0.35
+    prf_weight: float = 0.5
+
+    def __post_init__(self) -> None:
+        _require(self.expansion_terms >= 0, "expansion_terms must be >= 0")
+        _require(self.prf_docs >= 1, "prf_docs must be >= 1")
+        _require(self.prf_terms >= 0, "prf_terms must be >= 0")
+
+
+@dataclass(frozen=True)
+class FastTextConfig:
+    """Skip-gram + subword judge embedding (FastText substitute)."""
+
+    dim: int = 64
+    epochs: int = 8
+    negative: int = 5
+    window: int = 5
+    min_count: int = 2
+    min_ngram: int = 3
+    max_ngram: int = 5
+    bucket: int = 50_000
+    learning_rate: float = 0.05
+    subsample_threshold: float = 1e-3
+    sif_pooling: bool = True
+    sif_a: float = 1e-3
+    remove_components: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.dim > 0, "dim must be positive")
+        _require(self.min_ngram >= 1, "min_ngram must be >= 1")
+        _require(self.max_ngram >= self.min_ngram, "max_ngram must be >= min_ngram")
+        _require(self.bucket > 0, "bucket must be positive")
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Synthetic Wikidata-like world generator parameters.
+
+    The generated world plants the structural motifs NewsLink exploits:
+    geographic containment hierarchies, organizations with members, events
+    with participants, and multiple parallel relationship paths.
+    """
+
+    num_countries: int = 6
+    provinces_per_country: int = 4
+    cities_per_province: int = 4
+    num_organizations: int = 24
+    num_persons: int = 80
+    num_events: int = 16
+    participants_per_event: int = 6
+    extra_edges: int = 60
+    alias_probability: float = 0.45
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.num_countries >= 1, "num_countries must be >= 1")
+        _require(self.num_events >= 1, "num_events must be >= 1")
+        _require(
+            0.0 <= self.alias_probability <= 1.0,
+            "alias_probability must lie in [0, 1]",
+        )
+
+
+@dataclass(frozen=True)
+class NewsConfig:
+    """Synthetic news corpus generator parameters (CNN/Kaggle substitute).
+
+    Attributes:
+        num_documents: corpus size.
+        sentences_per_doc: (min, max) sentences per document.
+        entities_per_sentence: (min, max) entity mentions per sentence.
+        offtopic_probability: chance a sentence draws filler vocabulary only.
+        entity_dropout: probability an on-topic entity is *not* mentioned in
+            a given document — this creates the vocabulary-mismatch setting
+            the paper's robustness claim rests on.
+        noise_doc_fraction: fraction of documents about no planted topic.
+        unknown_entity_probability: chance an entity slot is filled with a
+            name that exists in no KG node.  These mentions are identified
+            by NER but unmatched, which is what keeps the Table V entity
+            matching ratio below 100% (the paper reports ~96-98%).
+    """
+
+    num_documents: int = 300
+    sentences_per_doc: tuple[int, int] = (4, 9)
+    entities_per_sentence: tuple[int, int] = (1, 4)
+    offtopic_probability: float = 0.15
+    entity_dropout: float = 0.45
+    noise_doc_fraction: float = 0.1
+    unknown_entity_probability: float = 0.04
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.num_documents >= 1, "num_documents must be >= 1")
+        lo, hi = self.sentences_per_doc
+        _require(1 <= lo <= hi, "sentences_per_doc must satisfy 1 <= lo <= hi")
+        lo, hi = self.entities_per_sentence
+        _require(0 <= lo <= hi, "entities_per_sentence must satisfy 0 <= lo <= hi")
+        _require(0.0 <= self.entity_dropout < 1.0, "entity_dropout must lie in [0, 1)")
+        _require(
+            0.0 <= self.noise_doc_fraction < 1.0,
+            "noise_doc_fraction must lie in [0, 1)",
+        )
+        _require(
+            0.0 <= self.unknown_entity_probability < 1.0,
+            "unknown_entity_probability must lie in [0, 1)",
+        )
+
+
+@dataclass(frozen=True)
+class EvalConfig:
+    """Evaluation-task configuration (§VII-B)."""
+
+    top_ks_sim: tuple[int, ...] = (5, 10, 20)
+    top_ks_hit: tuple[int, ...] = (1, 5)
+    test_fraction: float = 0.1
+    validation_fraction: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(len(self.top_ks_sim) > 0, "top_ks_sim must be non-empty")
+        _require(len(self.top_ks_hit) > 0, "top_ks_hit must be non-empty")
+        _require(
+            0.0 < self.test_fraction < 1.0,
+            "test_fraction must lie in (0, 1)",
+        )

@@ -1,0 +1,57 @@
+"""NE component: the paper's primary contribution (§V).
+
+Implements the Common Ancestor Graph model, the compactness order, the
+Lowest Common Ancestor Graph (G*) search (Algorithms 1-3), the TreeEmb
+GST-approximation baseline (§VII-F), document-level embedding union, and
+the overlap/explanation machinery (Tables II & VI).
+"""
+
+from repro.core.compactness import (
+    distance_vector,
+    compare_compactness,
+    sort_by_compactness,
+)
+from repro.core.ancestor_graph import CommonAncestorGraph
+from repro.core.lcag import LcagEmbedder, find_lcag, brute_force_lcag
+from repro.core.tree_emb import TreeEmbedder, find_gst_tree
+from repro.core.document_embedding import DocumentEmbedding, embed_document
+from repro.core.overlap import embedding_overlap, induced_entities, OverlapSummary
+from repro.core.explain import RelationshipPath, explain_pair, verbalize_path
+from repro.core.presentation import (
+    Explanation,
+    ExplanationOptions,
+    ExplanationPresenter,
+)
+from repro.core.serialization import (
+    cag_to_dict,
+    cag_from_dict,
+    embedding_to_dict,
+    embedding_from_dict,
+)
+
+__all__ = [
+    "Explanation",
+    "ExplanationOptions",
+    "ExplanationPresenter",
+    "cag_to_dict",
+    "cag_from_dict",
+    "embedding_to_dict",
+    "embedding_from_dict",
+    "distance_vector",
+    "compare_compactness",
+    "sort_by_compactness",
+    "CommonAncestorGraph",
+    "LcagEmbedder",
+    "find_lcag",
+    "brute_force_lcag",
+    "TreeEmbedder",
+    "find_gst_tree",
+    "DocumentEmbedding",
+    "embed_document",
+    "embedding_overlap",
+    "induced_entities",
+    "OverlapSummary",
+    "RelationshipPath",
+    "explain_pair",
+    "verbalize_path",
+]

@@ -1,0 +1,85 @@
+"""The Common Ancestor Graph model (paper Definition 3).
+
+A common ancestor graph ``G_r(L)`` for entity labels ``L`` rooted at ``r``
+is the union over labels of **all** shortest paths from the label's source
+nodes to ``r`` — multiple parallel paths give the embedding its "width"
+(coverage), while the root choice controls its "depth" (compactness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.compactness import compare_compactness, distance_vector
+from repro.kg.types import OrientedEdge
+
+
+@dataclass(frozen=True)
+class CommonAncestorGraph:
+    """A common ancestor graph ``G_r(L)`` (Definition 3).
+
+    Attributes:
+        root: the common-ancestor node id ``r``.
+        labels: the entity labels ``L`` the graph covers (sorted).
+        distances: label -> ``D(l, root)`` (Definition 2).
+        nodes: all node ids on any retained shortest path (incl. root).
+        edges: oriented edges of the retained paths, pointing at the root.
+        label_paths: label -> (nodes, edges) of that label's shortest-path
+            DAG, kept for path-level explanations (Tables II/VI).
+    """
+
+    root: str
+    labels: tuple[str, ...]
+    distances: dict[str, float]
+    nodes: frozenset[str]
+    edges: frozenset[OrientedEdge]
+    label_paths: dict[str, tuple[frozenset[str], frozenset[OrientedEdge]]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        missing = set(self.labels) - set(self.distances)
+        if missing:
+            raise ValueError(f"distances missing for labels: {sorted(missing)}")
+
+    @property
+    def depth(self) -> float:
+        """``d(G_r) = max_l D(l, root)`` (Definition 3)."""
+        if not self.distances:
+            return 0.0
+        return max(self.distances.values())
+
+    @property
+    def vector(self) -> tuple[float, ...]:
+        """Descending per-label distance vector (for Definition 4)."""
+        return distance_vector(self.distances)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the subgraph embedding."""
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of oriented edges in the subgraph embedding."""
+        return len(self.edges)
+
+    def is_more_compact_than(self, other: "CommonAncestorGraph") -> bool:
+        """Definition 4: True when ``self < other`` in compactness order."""
+        return compare_compactness(self.vector, other.vector) < 0
+
+    def equally_compact(self, other: "CommonAncestorGraph") -> bool:
+        """Definition 4 case 1: identical distance vectors."""
+        return compare_compactness(self.vector, other.vector) == 0
+
+    def paths_for_label(
+        self, label: str
+    ) -> tuple[frozenset[str], frozenset[OrientedEdge]]:
+        """The shortest-path DAG (nodes, edges) from ``label`` to the root."""
+        return self.label_paths.get(label, (frozenset(), frozenset()))
+
+    def __repr__(self) -> str:  # concise: full edge sets are noisy
+        return (
+            f"CommonAncestorGraph(root={self.root!r}, labels={len(self.labels)}, "
+            f"depth={self.depth}, nodes={self.num_nodes}, edges={self.num_edges})"
+        )

@@ -1,0 +1,96 @@
+"""Segment-embedding cache.
+
+Entity groups repeat across a corpus — different documents about the same
+story produce identical maximal co-occurrence groups — so the NE
+component's dominant cost (Fig 7) can be amortized by caching ``G*``
+results keyed by the group's exact label→sources mapping.  Embeddings are
+immutable, so sharing them is safe.
+
+The cache wraps any :class:`SegmentEmbedder` (LCAG, TreeEmb, or the
+disambiguating decorator), preserving the protocol.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.core.ancestor_graph import CommonAncestorGraph
+from repro.core.document_embedding import SegmentEmbedder
+
+_CacheKey = tuple[tuple[str, frozenset[str]], ...]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 when unused)."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+
+@dataclass
+class CachingEmbedder:
+    """LRU-caching decorator around a segment embedder.
+
+    ``None`` results (unembeddable groups) are cached too — retrying them
+    is exactly as expensive as a successful search.
+    """
+
+    inner: SegmentEmbedder
+    max_entries: int = 10_000
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self._cache: OrderedDict[_CacheKey, CommonAncestorGraph | None] = (
+            OrderedDict()
+        )
+
+    @staticmethod
+    def _key(label_sources: Mapping[str, frozenset[str]]) -> _CacheKey:
+        return tuple(sorted(
+            (label, frozenset(sources))
+            for label, sources in label_sources.items()
+        ))
+
+    def embed(
+        self, label_sources: Mapping[str, frozenset[str]]
+    ) -> CommonAncestorGraph | None:
+        """Embed one group, via the cache."""
+        if not label_sources:
+            return None
+        key = self._key(label_sources)
+        if key in self._cache:
+            self.stats.hits += 1
+            self._cache.move_to_end(key)
+            return self._cache[key]
+        self.stats.misses += 1
+        result = self.inner.embed(label_sources)
+        self._cache[key] = result
+        if len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+        return result
+
+    def clear(self) -> None:
+        """Drop every cached entry (counters are kept)."""
+        self._cache.clear()
+
+    @property
+    def size(self) -> int:
+        """Number of cached entries."""
+        return len(self._cache)

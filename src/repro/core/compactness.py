@@ -1,0 +1,59 @@
+"""The compactness order (paper Definition 4).
+
+Given two common ancestor graphs over the same label set, their per-label
+root distances are sorted in descending order and compared
+lexicographically; the smaller vector is the more *compact* graph.  The
+order is a total preorder: graphs with identical distance vectors are
+equally compact (Definition 4 case 1), and the library breaks such ties by
+root id so results are deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+_TIE_EPS = 1e-9
+
+
+def distance_vector(distances: Mapping[str, float]) -> tuple[float, ...]:
+    """Per-label distances sorted in descending order (D(1) >= D(2) ...)."""
+    return tuple(sorted(distances.values(), reverse=True))
+
+
+def compare_compactness(
+    vector_a: Sequence[float], vector_b: Sequence[float]
+) -> int:
+    """Three-way compare of two descending distance vectors (Definition 4).
+
+    Returns -1 when ``vector_a`` is more compact (G_a < G_b), 0 when
+    equally compact, +1 otherwise.  Vectors must have equal length — they
+    describe ancestor graphs over the same label set.
+    """
+    if len(vector_a) != len(vector_b):
+        raise ValueError(
+            "compactness is only defined over the same label set; got "
+            f"vectors of length {len(vector_a)} and {len(vector_b)}"
+        )
+    for a, b in zip(vector_a, vector_b):
+        if math.isinf(a) and math.isinf(b):
+            continue
+        if a < b - _TIE_EPS:
+            return -1
+        if a > b + _TIE_EPS:
+            return 1
+    return 0
+
+
+def sort_by_compactness(
+    candidates: Sequence[tuple[str, Mapping[str, float]]],
+) -> list[tuple[str, Mapping[str, float]]]:
+    """Sort ``(root, distances)`` candidates by compactness, then root id.
+
+    The first element after sorting is the root of the Lowest Common
+    Ancestor Graph (Definition 5).
+    """
+    return sorted(
+        candidates,
+        key=lambda item: (distance_vector(item[1]), item[0]),
+    )

@@ -1,0 +1,125 @@
+"""Document-level subgraph embeddings.
+
+A news document's embedding is the union of the per-segment ``G*``'s of its
+maximal entity co-occurrence set (§V intro, Figure 4).  Node multiplicity —
+the number of segment embeddings containing a node — is the Bag-Of-Node
+term frequency used by the NS component (§VI).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.core.ancestor_graph import CommonAncestorGraph
+from repro.kg.types import OrientedEdge
+from repro.nlp.pipeline import ProcessedDocument
+
+
+class SegmentEmbedder(Protocol):
+    """Anything that can embed one entity group into a subgraph."""
+
+    def embed(
+        self, label_sources: Mapping[str, frozenset[str]]
+    ) -> CommonAncestorGraph | None:
+        """Embed one entity group; None when no embedding exists."""
+        ...
+
+
+@dataclass(frozen=True)
+class DocumentEmbedding:
+    """The subgraph embedding of one news document.
+
+    Attributes:
+        doc_id: the document's identifier.
+        graphs: one :class:`CommonAncestorGraph` per embedded entity group.
+        node_counts: node id -> number of segment graphs containing it
+            (the BON term frequency; overlapped nodes count higher).
+    """
+
+    doc_id: str
+    graphs: tuple[CommonAncestorGraph, ...]
+    node_counts: dict[str, int]
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        """All node ids across segment embeddings."""
+        return frozenset(self.node_counts)
+
+    @property
+    def edges(self) -> frozenset[OrientedEdge]:
+        """All oriented edges across segment embeddings."""
+        edges: set[OrientedEdge] = set()
+        for graph in self.graphs:
+            edges |= graph.edges
+        return frozenset(edges)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no entity group could be embedded."""
+        return not self.graphs
+
+    @property
+    def roots(self) -> tuple[str, ...]:
+        """The lowest-common-ancestor roots, one per segment embedding."""
+        return tuple(graph.root for graph in self.graphs)
+
+    def bon_counts(self) -> dict[str, int]:
+        """Bag-Of-Node term frequencies (copy)."""
+        return dict(self.node_counts)
+
+    def entity_nodes(self) -> frozenset[str]:
+        """Source (entity leaf) nodes across all segment embeddings."""
+        sources: set[str] = set()
+        for graph in self.graphs:
+            for label in graph.labels:
+                sources |= sources_for_label(graph, label)
+        return frozenset(sources)
+
+
+def sources_for_label(graph: CommonAncestorGraph, label: str) -> frozenset[str]:
+    """The entity (distance-0) nodes of ``label``'s shortest-path DAG.
+
+    Edges of the DAG are oriented towards the root, so its sources are the
+    nodes that never appear as an edge target; when the DAG has no edges the
+    label's node *is* the root (distance 0).
+    """
+    nodes, edges = graph.paths_for_label(label)
+    if not nodes:
+        return frozenset()
+    if not edges:
+        return frozenset(nodes)
+    targets = {edge.target for edge in edges}
+    return frozenset(node for node in nodes if node not in targets)
+
+
+def union_embedding(
+    doc_id: str, graphs: Sequence[CommonAncestorGraph]
+) -> DocumentEmbedding:
+    """Union segment embeddings into a :class:`DocumentEmbedding`."""
+    counts: Counter[str] = Counter()
+    for graph in graphs:
+        counts.update(graph.nodes)
+    return DocumentEmbedding(
+        doc_id=doc_id, graphs=tuple(graphs), node_counts=dict(counts)
+    )
+
+
+def embed_document(
+    processed: ProcessedDocument, embedder: SegmentEmbedder
+) -> DocumentEmbedding:
+    """Embed a processed document: one ``G*`` per maximal entity group.
+
+    Groups that cannot be embedded (no common ancestor within budget) are
+    skipped — the paper likewise drops documents with no embedding from
+    the evaluation corpus (§VII-A2).
+    """
+    graphs: list[CommonAncestorGraph] = []
+    for group in processed.groups:
+        sources = processed.group_sources(group)
+        graph = embedder.embed(sources)
+        if graph is not None:
+            graphs.append(graph)
+    return union_embedding(processed.doc_id, graphs)

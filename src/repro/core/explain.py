@@ -1,0 +1,160 @@
+"""Relationship-path explanations (paper Tables II & VI).
+
+Given the subgraph embeddings of a query and a result, the overlap induces
+KG paths that link entities *between* the two texts — the intuitive clues
+NewsLink surfaces to users.  Paths are found inside the union of the two
+embeddings (never the whole KG), must pass through the overlap region, and
+are verbalized with node labels and relation arrows, e.g.::
+
+    Clinton -[candidate_of]-> Election 2016 <-[candidate_of]- Trump
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.document_embedding import DocumentEmbedding
+from repro.core.overlap import embedding_overlap
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.types import OrientedEdge
+
+
+@dataclass(frozen=True)
+class RelationshipPath:
+    """A KG path linking an entity of the query to an entity of the result.
+
+    Attributes:
+        nodes: node ids along the path, endpoints included.
+        edges: edges along the path, ``edges[i]`` connects ``nodes[i]`` and
+            ``nodes[i+1]`` (in either KG direction).
+        via: an overlap node the path passes through (the shared evidence).
+    """
+
+    nodes: tuple[str, ...]
+    edges: tuple[OrientedEdge, ...]
+    via: str
+
+    @property
+    def length(self) -> int:
+        """Number of edges on the path."""
+        return len(self.edges)
+
+    @property
+    def endpoints(self) -> tuple[str, str]:
+        """The two linked entity node ids."""
+        return self.nodes[0], self.nodes[-1]
+
+
+def verbalize_path(path: RelationshipPath, graph: KnowledgeGraph) -> str:
+    """Render ``path`` with node labels and directed relation arrows."""
+    if not path.nodes:
+        return ""
+    parts = [graph.node(path.nodes[0]).label]
+    for index, edge in enumerate(path.edges):
+        left, right = path.nodes[index], path.nodes[index + 1]
+        kg_edge = edge.as_kg_edge()
+        if kg_edge.source == left:
+            parts.append(f" -[{kg_edge.relation}]-> ")
+        else:
+            parts.append(f" <-[{kg_edge.relation}]- ")
+        parts.append(graph.node(right).label)
+        del right
+    return "".join(parts)
+
+
+def explain_pair(
+    query_embedding: DocumentEmbedding,
+    result_embedding: DocumentEmbedding,
+    max_paths: int = 10,
+    max_length: int = 6,
+) -> list[RelationshipPath]:
+    """Relationship paths linking query entities to result entities.
+
+    Searches the union of the two embeddings with BFS (unweighted — the
+    embeddings are already shortest-path unions), keeps only paths that
+    touch the overlap region, and returns the shortest ``max_paths`` paths
+    sorted by length then endpoints.
+    """
+    overlap = embedding_overlap(query_embedding, result_embedding)
+    if overlap.is_empty:
+        return []
+    adjacency = _union_adjacency(query_embedding, result_embedding)
+    query_entities = sorted(query_embedding.entity_nodes())
+    result_entities = set(result_embedding.entity_nodes())
+    shared = overlap.shared_nodes
+
+    paths: list[RelationshipPath] = []
+    seen_pairs: set[frozenset[str]] = set()
+    for start in query_entities:
+        if start not in adjacency:
+            continue
+        for path in _bfs_paths(adjacency, start, result_entities, max_length):
+            # Unordered: when X and Y appear in both texts, keep only one
+            # of the X->Y / Y->X renderings.
+            endpoint_pair = frozenset((path.nodes[0], path.nodes[-1]))
+            if endpoint_pair in seen_pairs:
+                continue
+            on_overlap = [node for node in path.nodes if node in shared]
+            if not on_overlap:
+                continue
+            seen_pairs.add(endpoint_pair)
+            paths.append(
+                RelationshipPath(nodes=path.nodes, edges=path.edges, via=on_overlap[0])
+            )
+    paths.sort(key=lambda p: (p.length, p.endpoints))
+    return paths[:max_paths]
+
+
+@dataclass(frozen=True)
+class _RawPath:
+    nodes: tuple[str, ...]
+    edges: tuple[OrientedEdge, ...]
+
+
+def _union_adjacency(
+    a: DocumentEmbedding, b: DocumentEmbedding
+) -> dict[str, list[tuple[str, OrientedEdge]]]:
+    adjacency: dict[str, list[tuple[str, OrientedEdge]]] = {}
+    for edge in sorted(
+        a.edges | b.edges, key=lambda e: (e.source, e.target, e.relation)
+    ):
+        adjacency.setdefault(edge.source, []).append((edge.target, edge))
+        adjacency.setdefault(edge.target, []).append((edge.source, edge))
+    return adjacency
+
+
+def _bfs_paths(
+    adjacency: dict[str, list[tuple[str, OrientedEdge]]],
+    start: str,
+    targets: set[str],
+    max_length: int,
+) -> list[_RawPath]:
+    """Shortest path from ``start`` to each reachable target (BFS tree)."""
+    parents: dict[str, tuple[str, OrientedEdge] | None] = {start: None}
+    queue: deque[tuple[str, int]] = deque([(start, 0)])
+    while queue:
+        node, depth = queue.popleft()
+        if depth >= max_length:
+            continue
+        for neighbor, edge in adjacency.get(node, []):
+            if neighbor in parents:
+                continue
+            parents[neighbor] = (node, edge)
+            queue.append((neighbor, depth + 1))
+    paths: list[_RawPath] = []
+    for target in sorted(targets):
+        if target == start or target not in parents:
+            continue
+        nodes: list[str] = [target]
+        edges: list[OrientedEdge] = []
+        current = target
+        while parents[current] is not None:
+            parent, edge = parents[current]  # type: ignore[misc]
+            edges.append(edge)
+            nodes.append(parent)
+            current = parent
+        nodes.reverse()
+        edges.reverse()
+        paths.append(_RawPath(nodes=tuple(nodes), edges=tuple(edges)))
+    return paths

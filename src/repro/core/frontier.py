@@ -1,0 +1,100 @@
+"""Per-label frontier queues and the global path-enumeration order.
+
+Algorithm 1 keeps one distance min-priority queue ``F_i`` per entity label;
+Algorithm 2 (*PathEnumeration*) always advances the frontier with the
+globally smallest tentative distance (Equation 2), which makes the sequence
+of popped distances monotonically non-decreasing (Lemma 3) — the property
+the termination test and candidate collection rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.traversal import MultiSourceShortestPaths
+
+
+class FrontierPool:
+    """The set of per-label frontiers ``F = {F_1, ..., F_m}``."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        label_sources: Mapping[str, frozenset[str]],
+        max_depth: float | None = None,
+    ) -> None:
+        if not label_sources:
+            raise ValueError("label_sources must contain at least one label")
+        for label, sources in label_sources.items():
+            if not sources:
+                raise ValueError(f"label {label!r} has an empty source set S(l)")
+        self._labels = tuple(sorted(label_sources))
+        self._frontiers: dict[str, MultiSourceShortestPaths] = {
+            label: MultiSourceShortestPaths(
+                graph, label_sources[label], max_depth=max_depth
+            )
+            for label in self._labels
+        }
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """The entity labels, in deterministic (sorted) order."""
+        return self._labels
+
+    def frontier(self, label: str) -> MultiSourceShortestPaths:
+        """The frontier ``F_i`` for ``label``."""
+        return self._frontiers[label]
+
+    def peek_global_min(self) -> tuple[str, str, float] | None:
+        """Equation 2: the ``(label, node, distance)`` to enumerate next.
+
+        Ties are broken by label order then node id so runs are
+        deterministic.  Returns None when every frontier is exhausted.
+        """
+        best: tuple[float, str, str] | None = None
+        for label in self._labels:
+            peeked = self._frontiers[label].peek_min()
+            if peeked is None:
+                continue
+            node, dist = peeked
+            key = (dist, label, node)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            return None
+        dist, label, node = best
+        return label, node, dist
+
+    def pop_global_min(self) -> tuple[str, str, float] | None:
+        """Algorithm 2: settle the Equation-2 argmin node for its label."""
+        peeked = self.peek_global_min()
+        if peeked is None:
+            return None
+        label, expected_node, expected_dist = peeked
+        node, dist = self._frontiers[label].pop()
+        assert node == expected_node and abs(dist - expected_dist) < 1e-9
+        return label, node, dist
+
+    def next_distance(self) -> float:
+        """``D'_min``: the distance of the next path to be enumerated.
+
+        Used by the termination condition C2 (Algorithm 1 line 11);
+        +inf when all frontiers are exhausted.
+        """
+        peeked = self.peek_global_min()
+        if peeked is None:
+            return math.inf
+        return peeked[2]
+
+    def settled_by_all(self, node: str) -> bool:
+        """True when every label has settled (reached) ``node``."""
+        return all(f.is_settled(node) for f in self._frontiers.values())
+
+    def distances_at(self, node: str) -> dict[str, float]:
+        """Per-label settled distance at ``node`` (+inf when unreached)."""
+        return {
+            label: self._frontiers[label].distance(node)
+            for label in self._labels
+        }

@@ -1,0 +1,216 @@
+"""The G* search algorithm (paper Algorithms 1-3).
+
+Three procedures:
+
+1. *PathEnumeration* — advance the globally closest frontier (Equation 2),
+   giving monotonically non-decreasing pop distances (Lemma 3).
+2. *CandidateCollection* — a popped node settled by **all** labels locates a
+   candidate common ancestor graph; its depth is the max per-label distance.
+3. *Compactness sorting* — once conditions C1 (a candidate exists) and C2
+   (the next path's distance exceeds the collected min depth) hold, sort the
+   candidates by the compactness order and return the winner (Theorem 1).
+
+``brute_force_lcag`` is an exhaustive reference implementation used by the
+property-based tests to verify Algorithm 1 end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.config import LcagConfig
+from repro.core.ancestor_graph import CommonAncestorGraph
+from repro.core.compactness import distance_vector
+from repro.core.frontier import FrontierPool
+from repro.errors import NoCommonAncestorError, SearchTimeoutError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.traversal import MultiSourceShortestPaths, shortest_path_dag
+from repro.kg.types import OrientedEdge
+
+_TIE_EPS = 1e-9
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation of one G* search (used by Fig 7 / ablations).
+
+    Attributes:
+        pops: frontier pops performed (path enumerations).
+        candidates: candidate common ancestors collected.
+        terminated_early: True when C1 & C2 fired before frontier exhaustion.
+    """
+
+    pops: int = 0
+    candidates: int = 0
+    terminated_early: bool = False
+
+
+def find_lcag(
+    graph: KnowledgeGraph,
+    label_sources: Mapping[str, frozenset[str]],
+    config: LcagConfig | None = None,
+    stats: SearchStats | None = None,
+) -> CommonAncestorGraph:
+    """Find the Lowest Common Ancestor Graph ``G*`` (Definition 5).
+
+    Args:
+        graph: the knowledge graph (searched in its bidirected view).
+        label_sources: label -> ``S(l)``, each non-empty.
+        config: search budget parameters.
+        stats: optional instrumentation sink.
+
+    Raises:
+        NoCommonAncestorError: the labels cannot all reach any single node.
+        SearchTimeoutError: the pop budget ran out before any candidate.
+    """
+    config = config or LcagConfig()
+    stats = stats if stats is not None else SearchStats()
+    pool = FrontierPool(graph, label_sources, max_depth=config.max_depth)
+    candidates: list[tuple[str, dict[str, float]]] = []
+    min_depth = math.inf
+
+    while stats.pops < config.max_pops:
+        popped = pool.pop_global_min()  # PathEnumeration (Algorithm 2)
+        if popped is None:
+            break
+        stats.pops += 1
+        _, node, _ = popped
+        # CandidateCollection (Algorithm 3): does the frontier node now
+        # carry all labels?
+        if pool.settled_by_all(node):
+            distances = pool.distances_at(node)
+            depth = max(distances.values())
+            candidates.append((node, distances))
+            stats.candidates += 1
+            min_depth = min(min_depth, depth)
+        # Termination test: C1 (candidate exists) and C2 (the next path is
+        # strictly deeper than the best collected depth).
+        if candidates:
+            next_distance = pool.next_distance()
+            strict = min_depth < next_distance - _TIE_EPS
+            relaxed = min_depth <= next_distance + _TIE_EPS
+            if strict or (not config.collect_all_min_depth and relaxed):
+                stats.terminated_early = True
+                break
+    else:
+        if not candidates:
+            raise SearchTimeoutError(
+                f"G* search exhausted its pop budget ({config.max_pops}) "
+                f"before finding any common ancestor",
+                pops=stats.pops,
+            )
+
+    if not candidates:
+        raise NoCommonAncestorError(pool.labels)
+
+    root, distances = min(
+        candidates, key=lambda item: (distance_vector(item[1]), item[0])
+    )
+    return _build_graph(pool, root, distances, single_paths=config.single_paths)
+
+
+def _build_graph(
+    pool: FrontierPool,
+    root: str,
+    distances: dict[str, float],
+    single_paths: bool = False,
+) -> CommonAncestorGraph:
+    """Materialize ``G_root``: union of (all) shortest paths per label.
+
+    With ``single_paths`` only one deterministic shortest path per label is
+    kept — the width ablation.
+    """
+    nodes: set[str] = {root}
+    edges: set[OrientedEdge] = set()
+    label_paths: dict[str, tuple[frozenset[str], frozenset[OrientedEdge]]] = {}
+    for label in pool.labels:
+        frontier = pool.frontier(label)
+        if single_paths:
+            raw_nodes, raw_edges = frontier.extract_single_path_to(root)
+            path_nodes, path_edges = frozenset(raw_nodes), frozenset(raw_edges)
+        else:
+            dag_nodes, dag_edges = frontier.extract_paths_to(root)
+            path_nodes, path_edges = frozenset(dag_nodes), frozenset(dag_edges)
+        label_paths[label] = (path_nodes, path_edges)
+        nodes |= path_nodes
+        edges |= path_edges
+    return CommonAncestorGraph(
+        root=root,
+        labels=pool.labels,
+        distances=distances,
+        nodes=frozenset(nodes),
+        edges=frozenset(edges),
+        label_paths=label_paths,
+    )
+
+
+def brute_force_lcag(
+    graph: KnowledgeGraph,
+    label_sources: Mapping[str, frozenset[str]],
+) -> CommonAncestorGraph:
+    """Exhaustive reference: scan **every** node as a potential root.
+
+    Runs one complete multi-source Dijkstra per label, then evaluates the
+    compactness order over all nodes reached by every label.  Exponentially
+    simpler to trust than Algorithm 1, and used to verify it in tests.
+    """
+    if not label_sources:
+        raise ValueError("label_sources must contain at least one label")
+    labels = tuple(sorted(label_sources))
+    searches: dict[str, MultiSourceShortestPaths] = {
+        label: shortest_path_dag(graph, label_sources[label]) for label in labels
+    }
+    best: tuple[tuple[float, ...], str] | None = None
+    best_distances: dict[str, float] | None = None
+    for node_id in graph.node_ids():
+        distances = {label: searches[label].distance(node_id) for label in labels}
+        if any(math.isinf(d) for d in distances.values()):
+            continue
+        key = (distance_vector(distances), node_id)
+        if best is None or key < best:
+            best = key
+            best_distances = distances
+    if best is None or best_distances is None:
+        raise NoCommonAncestorError(labels)
+    root = best[1]
+    nodes: set[str] = {root}
+    edges: set[OrientedEdge] = set()
+    label_paths: dict[str, tuple[frozenset[str], frozenset[OrientedEdge]]] = {}
+    for label in labels:
+        path_nodes, path_edges = searches[label].extract_paths_to(root)
+        label_paths[label] = (frozenset(path_nodes), frozenset(path_edges))
+        nodes |= path_nodes
+        edges |= path_edges
+    return CommonAncestorGraph(
+        root=root,
+        labels=labels,
+        distances=best_distances,
+        nodes=frozenset(nodes),
+        edges=frozenset(edges),
+        label_paths=label_paths,
+    )
+
+
+@dataclass
+class LcagEmbedder:
+    """Segment embedder backed by the G* search (the paper's NE component).
+
+    Satisfies the ``SegmentEmbedder`` protocol used by
+    :func:`repro.core.document_embedding.embed_document`.
+    """
+
+    graph: KnowledgeGraph
+    config: LcagConfig = field(default_factory=LcagConfig)
+
+    def embed(
+        self, label_sources: Mapping[str, frozenset[str]]
+    ) -> CommonAncestorGraph | None:
+        """Embed one entity group; None when no embedding exists."""
+        if not label_sources:
+            return None
+        try:
+            return find_lcag(self.graph, label_sources, self.config)
+        except (NoCommonAncestorError, SearchTimeoutError):
+            return None

@@ -1,0 +1,62 @@
+"""Embedding overlap analysis.
+
+The overlap of two documents' subgraph embeddings is NewsLink's evidence of
+relatedness (§I, Figure 1): shared *induced* entities raise retrieval
+confidence, and the overlapping region induces the relationship paths shown
+to users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.document_embedding import DocumentEmbedding
+from repro.kg.types import OrientedEdge
+
+
+@dataclass(frozen=True)
+class OverlapSummary:
+    """Overlap between two document embeddings.
+
+    Attributes:
+        shared_nodes: node ids present in both embeddings.
+        shared_edges: oriented edges present in both embeddings.
+        jaccard_nodes: node-set Jaccard similarity.
+    """
+
+    shared_nodes: frozenset[str]
+    shared_edges: frozenset[OrientedEdge]
+    jaccard_nodes: float
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the embeddings share no nodes."""
+        return not self.shared_nodes
+
+
+def embedding_overlap(
+    a: DocumentEmbedding, b: DocumentEmbedding
+) -> OverlapSummary:
+    """Compute the overlap summary of two document embeddings."""
+    nodes_a, nodes_b = a.nodes, b.nodes
+    shared_nodes = nodes_a & nodes_b
+    union_size = len(nodes_a | nodes_b)
+    jaccard = len(shared_nodes) / union_size if union_size else 0.0
+    shared_edges = a.edges & b.edges
+    return OverlapSummary(
+        shared_nodes=frozenset(shared_nodes),
+        shared_edges=frozenset(shared_edges),
+        jaccard_nodes=jaccard,
+    )
+
+
+def induced_entities(
+    embedding: DocumentEmbedding, mentioned_nodes: frozenset[str] | set[str]
+) -> frozenset[str]:
+    """Nodes the embedding *induced* from the KG (Table I, last column).
+
+    These are embedding nodes that do not correspond to any entity mention
+    in the document's text — the extra context (e.g. *Khyber* for the
+    Pakistan/Taliban stories) that improves robustness.
+    """
+    return frozenset(embedding.nodes - set(mentioned_nodes))

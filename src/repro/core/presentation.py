@@ -1,0 +1,148 @@
+"""Explanation presentation (the paper's §VII-D future-work items).
+
+The user study's negative feedback identified three failure modes, which
+this module addresses when assembling what to show:
+
+1. *redundancy* — "if the additional information already appears in the
+   news, it is not helpful": paths are ranked novelty-first, preferring
+   those that traverse induced (never-mentioned) nodes;
+2. *overload* — "too much information overwhelms users": a total-node
+   budget greedily truncates the selection;
+3. shared matched entities are listed separately and compactly, since
+   they are the trivial keyword evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.document_embedding import DocumentEmbedding
+from repro.core.explain import RelationshipPath, explain_pair, verbalize_path
+from repro.kg.graph import KnowledgeGraph
+
+
+@dataclass(frozen=True)
+class ExplanationOptions:
+    """Presentation knobs.
+
+    Attributes:
+        max_paths: hard cap on displayed relationship paths.
+        max_total_nodes: node budget across all displayed paths — the user
+            study's overload thresholds started around ~18 nodes.
+        prefer_novel: rank paths by novel-node count before length.
+        max_path_length: longest path (edges) considered at all.
+    """
+
+    max_paths: int = 6
+    max_total_nodes: int = 18
+    prefer_novel: bool = True
+    max_path_length: int = 5
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """A presentable explanation of one query/result pair.
+
+    Attributes:
+        shared_entity_labels: entities mentioned by both texts.
+        paths: the selected relationship paths, display order.
+        novel_nodes: node ids shown that neither text mentions.
+        total_nodes: distinct nodes across the selected paths.
+    """
+
+    shared_entity_labels: tuple[str, ...]
+    paths: tuple[RelationshipPath, ...]
+    novel_nodes: frozenset[str]
+    total_nodes: int
+    _graph: KnowledgeGraph = field(repr=False, compare=False, hash=False)
+
+    @property
+    def novelty(self) -> float:
+        """Fraction of displayed nodes that are novel (never in text)."""
+        if self.total_nodes == 0:
+            return 0.0
+        return len(self.novel_nodes) / self.total_nodes
+
+    def lines(self) -> list[str]:
+        """Human-readable rendering."""
+        rendered = [
+            f"{label} (mentioned by both)" for label in self.shared_entity_labels
+        ]
+        rendered.extend(verbalize_path(path, self._graph) for path in self.paths)
+        return rendered
+
+    def render(self) -> str:
+        """The full explanation as one string."""
+        return "\n".join(self.lines())
+
+
+class ExplanationPresenter:
+    """Selects and orders relationship paths for display."""
+
+    def __init__(self, graph: KnowledgeGraph) -> None:
+        self._graph = graph
+
+    def build(
+        self,
+        query_embedding: DocumentEmbedding,
+        result_embedding: DocumentEmbedding,
+        options: ExplanationOptions | None = None,
+    ) -> Explanation:
+        """Assemble the explanation for one query/result pair."""
+        options = options or ExplanationOptions()
+        mentioned = query_embedding.entity_nodes() | result_embedding.entity_nodes()
+        shared = sorted(
+            query_embedding.entity_nodes() & result_embedding.entity_nodes()
+        )
+        candidates = explain_pair(
+            query_embedding,
+            result_embedding,
+            max_paths=max(options.max_paths * 4, 16),
+            max_length=options.max_path_length,
+        )
+        ranked = self._rank(candidates, mentioned, options)
+        selected = self._apply_node_budget(ranked, options)
+        shown_nodes: set[str] = set()
+        for path in selected:
+            shown_nodes.update(path.nodes)
+        return Explanation(
+            shared_entity_labels=tuple(
+                self._graph.node(node_id).label for node_id in shared
+            ),
+            paths=tuple(selected),
+            novel_nodes=frozenset(shown_nodes - mentioned),
+            total_nodes=len(shown_nodes),
+            _graph=self._graph,
+        )
+
+    # ------------------------------------------------------------------
+    def _rank(
+        self,
+        paths: list[RelationshipPath],
+        mentioned: frozenset[str],
+        options: ExplanationOptions,
+    ) -> list[RelationshipPath]:
+        def novel_count(path: RelationshipPath) -> int:
+            return sum(1 for node in path.nodes if node not in mentioned)
+
+        if options.prefer_novel:
+            return sorted(
+                paths,
+                key=lambda p: (-novel_count(p), p.length, p.endpoints),
+            )
+        return sorted(paths, key=lambda p: (p.length, p.endpoints))
+
+    def _apply_node_budget(
+        self, ranked: list[RelationshipPath], options: ExplanationOptions
+    ) -> list[RelationshipPath]:
+        selected: list[RelationshipPath] = []
+        shown: set[str] = set()
+        for path in ranked:
+            if len(selected) >= options.max_paths:
+                break
+            new_nodes = set(path.nodes) - shown
+            if selected and len(shown) + len(new_nodes) > options.max_total_nodes:
+                continue
+            selected.append(path)
+            shown.update(path.nodes)
+        return selected

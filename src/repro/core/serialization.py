@@ -1,0 +1,91 @@
+"""Serialization of subgraph embeddings.
+
+Embedding a large corpus is the dominant cost (Fig 7), so a production
+deployment persists the computed embeddings and indexes; these helpers
+give :class:`CommonAncestorGraph` and :class:`DocumentEmbedding` a
+lossless JSON representation.
+"""
+
+from __future__ import annotations
+
+from repro.core.ancestor_graph import CommonAncestorGraph
+from repro.core.document_embedding import DocumentEmbedding
+from repro.errors import DataError
+from repro.kg.types import OrientedEdge
+
+
+def _edge_to_list(edge: OrientedEdge) -> list:
+    return [edge.source, edge.target, edge.relation, edge.forward, edge.weight]
+
+
+def _edge_from_list(raw: list) -> OrientedEdge:
+    if len(raw) != 5:
+        raise DataError(f"oriented edge record must have 5 fields, got {len(raw)}")
+    return OrientedEdge(
+        source=str(raw[0]),
+        target=str(raw[1]),
+        relation=str(raw[2]),
+        forward=bool(raw[3]),
+        weight=float(raw[4]),
+    )
+
+
+def cag_to_dict(graph: CommonAncestorGraph) -> dict:
+    """A JSON-serializable representation of one ``G*``."""
+    return {
+        "root": graph.root,
+        "labels": list(graph.labels),
+        "distances": dict(graph.distances),
+        "nodes": sorted(graph.nodes),
+        "edges": [_edge_to_list(edge) for edge in sorted(graph.edges, key=_edge_to_list)],
+        "label_paths": {
+            label: {
+                "nodes": sorted(nodes),
+                "edges": [_edge_to_list(e) for e in sorted(edges, key=_edge_to_list)],
+            }
+            for label, (nodes, edges) in graph.label_paths.items()
+        },
+    }
+
+
+def cag_from_dict(payload: dict) -> CommonAncestorGraph:
+    """Inverse of :func:`cag_to_dict`."""
+    try:
+        label_paths = {
+            label: (
+                frozenset(raw["nodes"]),
+                frozenset(_edge_from_list(e) for e in raw["edges"]),
+            )
+            for label, raw in payload.get("label_paths", {}).items()
+        }
+        return CommonAncestorGraph(
+            root=str(payload["root"]),
+            labels=tuple(payload["labels"]),
+            distances={k: float(v) for k, v in payload["distances"].items()},
+            nodes=frozenset(payload["nodes"]),
+            edges=frozenset(_edge_from_list(e) for e in payload["edges"]),
+            label_paths=label_paths,
+        )
+    except KeyError as exc:
+        raise DataError(f"ancestor-graph record missing field: {exc}") from exc
+
+
+def embedding_to_dict(embedding: DocumentEmbedding) -> dict:
+    """A JSON-serializable representation of a document embedding."""
+    return {
+        "doc_id": embedding.doc_id,
+        "graphs": [cag_to_dict(graph) for graph in embedding.graphs],
+        "node_counts": dict(embedding.node_counts),
+    }
+
+
+def embedding_from_dict(payload: dict) -> DocumentEmbedding:
+    """Inverse of :func:`embedding_to_dict`."""
+    try:
+        return DocumentEmbedding(
+            doc_id=str(payload["doc_id"]),
+            graphs=tuple(cag_from_dict(g) for g in payload["graphs"]),
+            node_counts={k: int(v) for k, v in payload["node_counts"].items()},
+        )
+    except KeyError as exc:
+        raise DataError(f"embedding record missing field: {exc}") from exc

@@ -1,0 +1,128 @@
+"""TreeEmb: the tree-based subgraph-extraction baseline (paper §VII-F).
+
+Approximates the Group Steiner Tree model in the classic way (BANKS /
+bidirectional-expansion style): choose the root minimizing the **sum** of
+per-label shortest-path distances (an m-approximation of the GST optimum),
+and keep exactly **one** shortest path per label — "depth over width".  The
+paper swaps this embedder into the NE component to show that the LCAG
+model's coverage property is what buys the extra search quality, and that
+the LCAG algorithm terminates earlier.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.config import TreeEmbConfig
+from repro.core.ancestor_graph import CommonAncestorGraph
+from repro.core.frontier import FrontierPool
+from repro.core.lcag import SearchStats
+from repro.errors import NoCommonAncestorError, SearchTimeoutError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.types import OrientedEdge
+
+_TIE_EPS = 1e-9
+
+
+def find_gst_tree(
+    graph: KnowledgeGraph,
+    label_sources: Mapping[str, frozenset[str]],
+    config: TreeEmbConfig | None = None,
+    stats: SearchStats | None = None,
+) -> CommonAncestorGraph:
+    """Find the approximate Group Steiner Tree for ``label_sources``.
+
+    Uses the same interleaved multi-source Dijkstra machinery as the G*
+    search but optimizes the *sum* of distances and can only terminate when
+    the next enumeration distance exceeds the best total cost — a strictly
+    weaker cut-off than the LCAG depth bound, which is why TreeEmb explores
+    more (Fig 7).
+
+    Raises:
+        NoCommonAncestorError: the labels cannot all reach any single node.
+        SearchTimeoutError: the pop budget ran out before any candidate.
+    """
+    config = config or TreeEmbConfig()
+    stats = stats if stats is not None else SearchStats()
+    pool = FrontierPool(graph, label_sources, max_depth=config.max_depth)
+    best_root: str | None = None
+    best_cost = math.inf
+    best_distances: dict[str, float] | None = None
+
+    while stats.pops < config.max_pops:
+        popped = pool.pop_global_min()
+        if popped is None:
+            break
+        stats.pops += 1
+        _, node, _ = popped
+        if pool.settled_by_all(node):
+            distances = pool.distances_at(node)
+            cost = sum(distances.values())
+            stats.candidates += 1
+            if cost < best_cost - _TIE_EPS or (
+                abs(cost - best_cost) <= _TIE_EPS
+                and best_root is not None
+                and node < best_root
+            ):
+                best_root = node
+                best_cost = cost
+                best_distances = distances
+        # Any future candidate completes at a pop distance that lower-bounds
+        # its depth, and depth lower-bounds the sum; terminate only when the
+        # next distance alone already exceeds the best sum.
+        if best_root is not None and pool.next_distance() > best_cost + _TIE_EPS:
+            stats.terminated_early = True
+            break
+    else:
+        if best_root is None:
+            raise SearchTimeoutError(
+                f"GST tree search exhausted its pop budget ({config.max_pops})",
+                pops=stats.pops,
+            )
+
+    if best_root is None or best_distances is None:
+        raise NoCommonAncestorError(pool.labels)
+    return _build_tree(pool, best_root, best_distances)
+
+
+def _build_tree(
+    pool: FrontierPool, root: str, distances: dict[str, float]
+) -> CommonAncestorGraph:
+    """One shortest path per label, unioned into a (near-)tree."""
+    nodes: set[str] = {root}
+    edges: set[OrientedEdge] = set()
+    label_paths: dict[str, tuple[frozenset[str], frozenset[OrientedEdge]]] = {}
+    for label in pool.labels:
+        path_nodes, path_edges = pool.frontier(label).extract_single_path_to(root)
+        label_paths[label] = (frozenset(path_nodes), frozenset(path_edges))
+        nodes.update(path_nodes)
+        edges.update(path_edges)
+    return CommonAncestorGraph(
+        root=root,
+        labels=pool.labels,
+        distances=distances,
+        nodes=frozenset(nodes),
+        edges=frozenset(edges),
+        label_paths=label_paths,
+    )
+
+
+@dataclass
+class TreeEmbedder:
+    """Segment embedder backed by the GST approximation (TreeEmb)."""
+
+    graph: KnowledgeGraph
+    config: TreeEmbConfig = field(default_factory=TreeEmbConfig)
+
+    def embed(
+        self, label_sources: Mapping[str, frozenset[str]]
+    ) -> CommonAncestorGraph | None:
+        """Embed one entity group; None when no embedding exists."""
+        if not label_sources:
+            return None
+        try:
+            return find_gst_tree(self.graph, label_sources, self.config)
+        except (NoCommonAncestorError, SearchTimeoutError):
+            return None

@@ -1,0 +1,32 @@
+"""Corpus substrate: documents, splits, topics and the synthetic news
+generator that stands in for the paper's CNN and Kaggle datasets.
+"""
+
+from repro.data.document import NewsDocument, Corpus
+from repro.data.splits import SplitCorpus, split_corpus
+from repro.data.topics import Topic, topics_from_world
+from repro.data.synthetic_news import NewsGenerator, generate_corpus
+from repro.data.datasets import (
+    DatasetBundle,
+    make_dataset,
+    cnn_like_config,
+    kaggle_like_config,
+)
+from repro.data.loaders import save_corpus_jsonl, load_corpus_jsonl
+
+__all__ = [
+    "save_corpus_jsonl",
+    "load_corpus_jsonl",
+    "NewsDocument",
+    "Corpus",
+    "SplitCorpus",
+    "split_corpus",
+    "Topic",
+    "topics_from_world",
+    "NewsGenerator",
+    "generate_corpus",
+    "DatasetBundle",
+    "make_dataset",
+    "cnn_like_config",
+    "kaggle_like_config",
+]

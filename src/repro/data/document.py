@@ -1,0 +1,72 @@
+"""News documents and corpora."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class NewsDocument:
+    """A news document.
+
+    Attributes:
+        doc_id: unique document id.
+        text: the full body text.
+        title: optional headline.
+        topic_id: id of the planted topic/event the document was generated
+            about, or "" for noise documents; used as evaluation ground
+            truth by some diagnostics (never shown to retrieval methods).
+    """
+
+    doc_id: str
+    text: str
+    title: str = ""
+    topic_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.doc_id:
+            raise DataError("doc_id must be non-empty")
+
+
+class Corpus:
+    """An ordered collection of documents with id lookup."""
+
+    def __init__(self, documents: Iterable[NewsDocument] = ()) -> None:
+        self._documents: list[NewsDocument] = []
+        self._by_id: dict[str, int] = {}
+        for document in documents:
+            self.add(document)
+
+    def add(self, document: NewsDocument) -> None:
+        """Append ``document``; duplicate ids are rejected."""
+        if document.doc_id in self._by_id:
+            raise DataError(f"duplicate doc_id: {document.doc_id!r}")
+        self._by_id[document.doc_id] = len(self._documents)
+        self._documents.append(document)
+
+    def get(self, doc_id: str) -> NewsDocument:
+        """The document with ``doc_id``; raises ``DataError`` if missing."""
+        index = self._by_id.get(doc_id)
+        if index is None:
+            raise DataError(f"unknown doc_id: {doc_id!r}")
+        return self._documents[index]
+
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._by_id
+
+    def __iter__(self) -> Iterator[NewsDocument]:
+        return iter(self._documents)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def doc_ids(self) -> list[str]:
+        """All document ids in corpus order."""
+        return [document.doc_id for document in self._documents]
+
+    def subset(self, doc_ids: Iterable[str]) -> "Corpus":
+        """A new corpus restricted to ``doc_ids`` (in the given order)."""
+        return Corpus(self.get(doc_id) for doc_id in doc_ids)

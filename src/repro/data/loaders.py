@@ -1,0 +1,55 @@
+"""Corpus serialization: JSONL (one document per line)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.data.document import Corpus, NewsDocument
+from repro.errors import DataError
+
+
+def save_corpus_jsonl(corpus: Corpus, path: str | Path) -> None:
+    """Write ``corpus`` as JSON lines."""
+    lines = [
+        json.dumps(
+            {
+                "doc_id": document.doc_id,
+                "text": document.text,
+                "title": document.title,
+                "topic_id": document.topic_id,
+            }
+        )
+        for document in corpus
+    ]
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_corpus_jsonl(path: str | Path) -> Corpus:
+    """Load a corpus written by :func:`save_corpus_jsonl`.
+
+    Extra fields are ignored; ``doc_id`` and ``text`` are required.
+    """
+    corpus = Corpus()
+    text = Path(path).read_text(encoding="utf-8")
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise DataError(f"{path}:{line_number}: invalid JSON") from exc
+        try:
+            corpus.add(
+                NewsDocument(
+                    doc_id=str(record["doc_id"]),
+                    text=str(record["text"]),
+                    title=str(record.get("title", "")),
+                    topic_id=str(record.get("topic_id", "")),
+                )
+            )
+        except KeyError as exc:
+            raise DataError(
+                f"{path}:{line_number}: document record missing field {exc}"
+            ) from exc
+    return corpus

@@ -1,0 +1,60 @@
+"""Train / validation / test splitting (paper §VII-A3: 80/10/10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.document import Corpus
+from repro.errors import ConfigError
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class SplitCorpus:
+    """A random split of a corpus.
+
+    Attributes:
+        train: documents used to fit trainable competitors (DOC2VEC, LDA).
+        validation: documents held out for tuning.
+        test: documents whose sentences become evaluation queries.
+    """
+
+    train: Corpus
+    validation: Corpus
+    test: Corpus
+
+    @property
+    def full(self) -> Corpus:
+        """The full searchable corpus (train + validation + test).
+
+        Retrieval always runs against the whole corpus — HIT@k asks whether
+        the *test* document is recovered from it.
+        """
+        documents = list(self.train) + list(self.validation) + list(self.test)
+        return Corpus(documents)
+
+
+def split_corpus(
+    corpus: Corpus,
+    test_fraction: float = 0.1,
+    validation_fraction: float = 0.1,
+    rng: int | np.random.Generator | None = 0,
+) -> SplitCorpus:
+    """Randomly split ``corpus`` into train/validation/test."""
+    if test_fraction + validation_fraction >= 1.0:
+        raise ConfigError("test + validation fractions must sum below 1")
+    generator = ensure_rng(rng)
+    doc_ids = corpus.doc_ids()
+    order = generator.permutation(len(doc_ids))
+    num_test = max(1, int(round(len(doc_ids) * test_fraction)))
+    num_validation = max(1, int(round(len(doc_ids) * validation_fraction)))
+    test_ids = [doc_ids[i] for i in order[:num_test]]
+    validation_ids = [doc_ids[i] for i in order[num_test : num_test + num_validation]]
+    train_ids = [doc_ids[i] for i in order[num_test + num_validation :]]
+    return SplitCorpus(
+        train=corpus.subset(train_ids),
+        validation=corpus.subset(validation_ids),
+        test=corpus.subset(test_ids),
+    )

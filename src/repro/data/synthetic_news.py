@@ -1,0 +1,243 @@
+"""Synthetic news generator (CNN / Kaggle corpus substitute).
+
+Documents are generated from the planted topics of a synthetic world.  The
+key property engineered here is **vocabulary mismatch**: two documents
+about the same topic mention *different* subsets of the topic's entity
+pool (controlled by ``entity_dropout``), so pure keyword methods see little
+lexical overlap while the KG connects the differing entities through the
+shared event/region nodes — exactly the setting of the paper's Example 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import NewsConfig
+from repro.data.document import Corpus, NewsDocument
+from repro.data.topics import GENERAL_VOCABULARY, Topic, topics_from_world
+from repro.kg.synthetic import SyntheticWorld
+from repro.utils.rng import ensure_rng
+
+# Sentence templates: {eN} slots take entity mentions, {wN} slots topical
+# words and {g} general filler.  Templates never put a capitalized filler
+# word anywhere but sentence-initial position.
+_TEMPLATES: tuple[tuple[str, int], ...] = (
+    ("{e0} said the {w0} involving {e1} would continue despite growing {w1}.", 2),
+    ("Witnesses near {e0} described heavy {w0} as {e1} responded to the {w1}.", 2),
+    ("The {w0} around {e0} intensified while {e1} and {e2} traded accusations.", 3),
+    ("Sources close to {e0} confirmed a new {w0} after weeks of {w1}.", 1),
+    ("Reports from {e0} suggested that the {w0} had spread towards {e1}.", 2),
+    ("Analysts said {e0} faced mounting {w0} over the {w1} with {e1}.", 2),
+    ("Officials announced that {e0} would join the {w0} amid the ongoing {w1}.", 1),
+    ("Observers linked the {w0} to tensions between {e0} and {e1}.", 2),
+    ("The {g} said {e0} remained central to the {w0} despite the {w1}.", 1),
+    ("Supporters of {e0} gathered as news of the {w0} reached {e1}.", 2),
+    ("A spokesman for {e0} declined to comment on the {w0}.", 1),
+    ("Pressure grew on {e0}, {e1} and {e2} as the {w0} entered a new phase.", 3),
+)
+
+_OFFTOPIC_TEMPLATES: tuple[str, ...] = (
+    "Commentators noted that the wider {w0} showed no sign of easing.",
+    "The {g} added that further {w0} was expected later in the week.",
+    "Local {g} voiced {w0} about the pace of the official {w1}.",
+    "Regional media carried extensive {w0} on the unfolding {w1}.",
+)
+
+
+class NewsGenerator:
+    """Generates a news corpus coupled to a synthetic world."""
+
+    def __init__(
+        self,
+        world: SyntheticWorld,
+        config: NewsConfig | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        self._world = world
+        self._config = config or NewsConfig()
+        self._rng = ensure_rng(self._config.seed if rng is None else rng)
+        self._topics = topics_from_world(world)
+        if not self._topics:
+            raise ValueError("world has no events to build topics from")
+        # Pool of arbitrary mentionable nodes for noise documents.
+        self._noise_pool = [
+            *world.persons,
+            *world.cities,
+            *world.organizations,
+        ]
+        # Out-of-KG names: identified by NER but never matched — the reason
+        # the Table V ratio sits below 100%.  The suffixes are disjoint from
+        # the world generator's so they cannot collide with real labels.
+        self._unknown_names = [
+            f"{prefix}{suffix}"
+            for prefix in ("Xan", "Yev", "Zul", "Qor", "Vrin", "Ost")
+            for suffix in ("heim", "dale", "croft", "wyck")
+        ]
+
+    @property
+    def topics(self) -> list[Topic]:
+        """The topics documents are generated about."""
+        return self._topics
+
+    # ------------------------------------------------------------------
+    def generate(self) -> Corpus:
+        """Generate the full corpus per the configuration."""
+        corpus = Corpus()
+        num_noise = int(round(self._config.num_documents * self._config.noise_doc_fraction))
+        num_topical = self._config.num_documents - num_noise
+        for index in range(num_topical):
+            topic = self._topics[int(self._rng.integers(len(self._topics)))]
+            corpus.add(self.generate_document(f"doc{index:05d}", topic))
+        for index in range(num_topical, self._config.num_documents):
+            corpus.add(self._generate_noise_document(f"doc{index:05d}"))
+        return corpus
+
+    def generate_document(self, doc_id: str, topic: Topic) -> NewsDocument:
+        """Generate one document about ``topic``.
+
+        The document's mentionable entity subset is drawn once with
+        ``entity_dropout``, so different documents about the same topic
+        mention different entities.
+        """
+        kept = self._document_entity_subset(topic)
+        num_sentences = int(
+            self._rng.integers(
+                self._config.sentences_per_doc[0],
+                self._config.sentences_per_doc[1] + 1,
+            )
+        )
+        sentences = [
+            self._sentence(topic.vocabulary, kept)
+            for _ in range(num_sentences)
+        ]
+        title = self._title(topic, kept)
+        return NewsDocument(
+            doc_id=doc_id,
+            text=" ".join(sentences),
+            title=title,
+            topic_id=topic.topic_id,
+        )
+
+    # ------------------------------------------------------------------
+    def _document_entity_subset(self, topic: Topic) -> list[str]:
+        kept = [
+            node_id
+            for node_id in topic.mention_pool
+            if self._rng.random() >= self._config.entity_dropout
+        ]
+        if not kept:
+            # Always keep at least one core entity so the document is
+            # embeddable and on-topic.
+            core = list(topic.core_ids) or list(topic.mention_pool)
+            kept = [core[int(self._rng.integers(len(core)))]]
+        return kept
+
+    def _mention(self, node_id: str, unknown_probability: float = 0.0) -> str:
+        if self._rng.random() < unknown_probability:
+            return self._unknown_names[
+                int(self._rng.integers(len(self._unknown_names)))
+            ]
+        node = self._world.graph.node(node_id)
+        # Aliases create the paper's vocabulary mismatch: "Vallini" and
+        # "Jorro Vallini" are different index terms for BM25 but resolve to
+        # the same KG node for the BON channel.
+        if node.aliases and self._rng.random() < 0.3:
+            return node.aliases[0]
+        return node.label
+
+    def _pick_words(self, vocabulary: tuple[str, ...], count: int) -> list[str]:
+        indexes = self._rng.choice(len(vocabulary), size=count, replace=False)
+        return [vocabulary[int(i)] for i in indexes]
+
+    def _sentence(
+        self,
+        vocabulary: tuple[str, ...],
+        kept: list[str],
+        unknown_probability: float = 0.0,
+    ) -> str:
+        if self._rng.random() < self._config.offtopic_probability:
+            template = _OFFTOPIC_TEMPLATES[
+                int(self._rng.integers(len(_OFFTOPIC_TEMPLATES)))
+            ]
+            return self._fill(template, [], vocabulary)
+        max_entities = min(
+            len(kept), self._config.entities_per_sentence[1]
+        )
+        eligible = [
+            (template, needed)
+            for template, needed in _TEMPLATES
+            if needed <= max_entities
+        ]
+        if not eligible:
+            template = _OFFTOPIC_TEMPLATES[0]
+            return self._fill(template, [], vocabulary)
+        template, needed = eligible[int(self._rng.integers(len(eligible)))]
+        chosen = self._rng.choice(len(kept), size=needed, replace=False)
+        mentions = [
+            self._mention(kept[int(i)], unknown_probability) for i in chosen
+        ]
+        return self._fill(template, mentions, vocabulary)
+
+    def _fill(
+        self, template: str, mentions: list[str], vocabulary: tuple[str, ...]
+    ) -> str:
+        words = self._pick_words(vocabulary, 3)
+        general = GENERAL_VOCABULARY[
+            int(self._rng.integers(len(GENERAL_VOCABULARY)))
+        ]
+        values = {
+            "g": general,
+            "w0": words[0],
+            "w1": words[1],
+            "w2": words[2],
+        }
+        for index, mention in enumerate(mentions):
+            values[f"e{index}"] = mention
+        return template.format(**values)
+
+    def _title(self, topic: Topic, kept: list[str]) -> str:
+        word = topic.vocabulary[int(self._rng.integers(len(topic.vocabulary)))]
+        anchor = self._mention(kept[int(self._rng.integers(len(kept)))])
+        return f"{word.capitalize()} developments around {anchor}"
+
+    def _generate_noise_document(self, doc_id: str) -> NewsDocument:
+        """A document about no planted topic: random entities + filler."""
+        num_sentences = int(
+            self._rng.integers(
+                self._config.sentences_per_doc[0],
+                self._config.sentences_per_doc[1] + 1,
+            )
+        )
+        picks = self._rng.choice(
+            len(self._noise_pool),
+            size=min(4, len(self._noise_pool)),
+            replace=False,
+        )
+        kept = [self._noise_pool[int(i)] for i in picks]
+        vocabulary = GENERAL_VOCABULARY
+        # Unknown (out-of-KG) names are confined to noise documents: they
+        # keep the Table V matching ratio below 100% without starving the
+        # topical queries of KG signal.  The multiplier makes the handful
+        # of noise documents carry a visible share of unmatched mentions.
+        unknown_probability = min(
+            0.9, self._config.unknown_entity_probability * 8
+        )
+        sentences = [
+            self._sentence(vocabulary, kept, unknown_probability)
+            for _ in range(num_sentences)
+        ]
+        return NewsDocument(
+            doc_id=doc_id,
+            text=" ".join(sentences),
+            title="General developments",
+            topic_id="",
+        )
+
+
+def generate_corpus(
+    world: SyntheticWorld,
+    config: NewsConfig | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> Corpus:
+    """Convenience wrapper: generate a corpus for ``world``."""
+    return NewsGenerator(world, config, rng).generate()

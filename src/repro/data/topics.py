@@ -1,0 +1,94 @@
+"""Topics: the coupling between planted KG events and news vocabulary.
+
+Each synthetic-world event becomes a news *topic*: documents about the
+topic mention subsets of the event's KG neighbourhood and use the topic
+kind's vocabulary.  Entities vary document-to-document (the vocabulary
+mismatch the paper's robustness claim targets); the vocabulary provides
+the textual signal lexical baselines rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kg.synthetic import EventSpec, SyntheticWorld
+
+#: Per-kind topical vocabulary (lowercase so the NER never fires on it).
+KIND_VOCABULARY: dict[str, tuple[str, ...]] = {
+    "conflict": (
+        "militants", "offensive", "airstrike", "ceasefire", "troops",
+        "casualties", "insurgents", "shelling", "security", "forces",
+        "bombing", "checkpoint", "clashes", "stronghold",
+    ),
+    "election": (
+        "voters", "ballot", "campaign", "polls", "primary", "debate",
+        "turnout", "candidacy", "rally", "manifesto", "incumbent",
+        "landslide", "coalition", "electorate",
+    ),
+    "tournament": (
+        "match", "finals", "league", "goal", "coach", "stadium", "season",
+        "victory", "supporters", "fixture", "penalty", "title", "squad",
+        "championship",
+    ),
+    "summit": (
+        "talks", "delegation", "agreement", "sanctions", "negotiations",
+        "treaty", "diplomats", "cooperation", "communique", "accord",
+        "bilateral", "envoys", "summitry", "protocol",
+    ),
+    "merger": (
+        "shares", "acquisition", "deal", "regulators", "shareholders",
+        "markets", "billions", "takeover", "antitrust", "valuation",
+        "synergies", "bid", "stockholders", "divestiture",
+    ),
+    "scandal": (
+        "investigation", "charges", "probe", "corruption", "allegations",
+        "prosecutor", "testimony", "indictment", "resignation", "bribery",
+        "subpoena", "misconduct", "whistleblower", "coverup",
+    ),
+}
+
+#: Kind-agnostic newswire filler (lowercase).
+GENERAL_VOCABULARY: tuple[str, ...] = (
+    "officials", "reported", "according", "statement", "sources",
+    "government", "crisis", "response", "meeting", "announced",
+    "spokesman", "witnesses", "analysts", "reports", "situation",
+    "developments", "authorities", "residents", "pressure", "concerns",
+)
+
+
+@dataclass(frozen=True)
+class Topic:
+    """A news topic derived from one planted event.
+
+    Attributes:
+        topic_id: equals the event's KG node id.
+        kind: event kind (conflict, election, ...).
+        name: the event node's label.
+        mention_pool: node ids whose labels documents may mention.
+        core_ids: the characteristic participant subset.
+        vocabulary: the kind's topical word list.
+    """
+
+    topic_id: str
+    kind: str
+    name: str
+    mention_pool: tuple[str, ...]
+    core_ids: tuple[str, ...]
+    vocabulary: tuple[str, ...]
+
+    @classmethod
+    def from_event(cls, event: EventSpec) -> "Topic":
+        """Build the topic for ``event``."""
+        return cls(
+            topic_id=event.event_id,
+            kind=event.kind,
+            name=event.name,
+            mention_pool=event.mention_pool,
+            core_ids=event.core_ids,
+            vocabulary=KIND_VOCABULARY[event.kind],
+        )
+
+
+def topics_from_world(world: SyntheticWorld) -> list[Topic]:
+    """All topics of a synthetic world, one per planted event."""
+    return [Topic.from_event(event) for event in world.events]

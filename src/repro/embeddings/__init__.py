@@ -1,0 +1,31 @@
+"""Shared dense-vector substrate.
+
+Implements from scratch the machinery the neural competitors and the
+FastText judge embedding need: vocabulary building, unigram^0.75 negative
+sampling, character n-gram hashing (subwords), vectorized SGNS updates and
+SIF pooling.
+"""
+
+from repro.embeddings.vocab import Vocabulary
+from repro.embeddings.negative_sampling import NegativeSampler
+from repro.embeddings.subword import char_ngrams, ngram_bucket_ids
+from repro.embeddings.sgd import sgns_update, sigmoid
+from repro.embeddings.sif import (
+    sif_weights,
+    principal_components,
+    subtract_components,
+    remove_principal_components,
+)
+
+__all__ = [
+    "Vocabulary",
+    "NegativeSampler",
+    "char_ngrams",
+    "ngram_bucket_ids",
+    "sgns_update",
+    "sigmoid",
+    "sif_weights",
+    "principal_components",
+    "subtract_components",
+    "remove_principal_components",
+]

@@ -1,0 +1,31 @@
+"""Negative sampling from the unigram^0.75 distribution (Mikolov 2013)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+class NegativeSampler:
+    """Draws negative word ids proportional to ``count(w) ** 0.75``."""
+
+    def __init__(
+        self,
+        frequencies: np.ndarray,
+        power: float = 0.75,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if len(frequencies) == 0:
+            raise ValueError("frequencies must be non-empty")
+        weights = np.asarray(frequencies, dtype=np.float64) ** power
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("frequencies must contain positive mass")
+        self._cumulative = np.cumsum(weights / total)
+        self._rng = ensure_rng(rng)
+
+    def draw(self, shape: int | tuple[int, ...]) -> np.ndarray:
+        """Sample negative ids with the given shape."""
+        uniforms = self._rng.random(size=shape)
+        return np.searchsorted(self._cumulative, uniforms).astype(np.int64)

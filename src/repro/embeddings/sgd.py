@@ -1,0 +1,48 @@
+"""Vectorized skip-gram-with-negative-sampling updates."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def sgns_update(
+    input_vector: np.ndarray,
+    output_matrix: np.ndarray,
+    output_ids: np.ndarray,
+    labels: np.ndarray,
+    learning_rate: float,
+    update_input: bool = True,
+    update_output: bool = True,
+) -> float:
+    """One SGNS step for a single input vector against several outputs.
+
+    ``labels`` are 1.0 for the positive (context) rows, 0.0 for negatives.
+    Duplicate ids in ``output_ids`` are handled with ``np.add.at``.
+    Returns the batch's logistic loss (for convergence diagnostics).
+    """
+    rows = output_matrix[output_ids]
+    scores = rows @ input_vector
+    probabilities = sigmoid(scores)
+    gradient = (probabilities - labels) * learning_rate
+    if update_input:
+        input_delta = gradient @ rows
+    if update_output:
+        np.add.at(output_matrix, output_ids, -np.outer(gradient, input_vector))
+    if update_input:
+        input_vector -= input_delta
+    eps = 1e-10
+    loss = -(
+        labels * np.log(probabilities + eps)
+        + (1.0 - labels) * np.log(1.0 - probabilities + eps)
+    ).sum()
+    return float(loss)

@@ -1,0 +1,54 @@
+"""Smooth Inverse Frequency pooling (Arora et al. 2017).
+
+Used by the SBERT substitute: SIF-weighted mean pooling with principal
+component removal turns frozen word vectors into surprisingly strong
+sentence embeddings — the behavioural stand-in for a pretrained dense
+encoder.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+
+def sif_weights(
+    frequencies: Mapping[str, float], a: float = 1e-3
+) -> dict[str, float]:
+    """Per-word SIF weights ``a / (a + p(w))``."""
+    return {word: a / (a + p) for word, p in frequencies.items()}
+
+
+def principal_components(matrix: np.ndarray, num_components: int = 1) -> np.ndarray:
+    """Top principal directions (rows) of the row-vectors in ``matrix``."""
+    if num_components <= 0 or matrix.shape[0] == 0:
+        return np.zeros((0, matrix.shape[1] if matrix.ndim == 2 else 0))
+    centered = matrix - matrix.mean(axis=0, keepdims=True)
+    # SVD of the (n x d) matrix; right-singular vectors span the components.
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    return vt[:num_components]
+
+
+def subtract_components(matrix: np.ndarray, components: np.ndarray) -> np.ndarray:
+    """Subtract the projections of rows onto ``components``.
+
+    Components fitted on a reference corpus can be applied to new vectors
+    (e.g. queries) so corpus and query embeddings live in the same space.
+    """
+    if components.shape[0] == 0:
+        return matrix
+    projection = matrix @ components.T @ components
+    return matrix - projection
+
+
+def remove_principal_components(
+    matrix: np.ndarray, num_components: int = 1
+) -> np.ndarray:
+    """Fit-and-subtract convenience: sharpen semantic cosine similarity.
+
+    Rows are sentence vectors; the dominant component mostly encodes
+    syntax/frequency artefacts, and removing it sharpens semantic cosine
+    similarity.
+    """
+    return subtract_components(matrix, principal_components(matrix, num_components))

@@ -1,0 +1,29 @@
+"""Character n-gram hashing (FastText-style subwords)."""
+
+from __future__ import annotations
+
+from repro.utils.hashing import stable_hash
+
+
+def char_ngrams(word: str, min_ngram: int, max_ngram: int) -> list[str]:
+    """The padded character n-grams of ``word`` (FastText's ``<word>``).
+
+    >>> char_ngrams("ab", 3, 3)
+    ['<ab', 'ab>']
+    """
+    padded = f"<{word}>"
+    grams: list[str] = []
+    for size in range(min_ngram, max_ngram + 1):
+        for start in range(len(padded) - size + 1):
+            grams.append(padded[start : start + size])
+    return grams
+
+
+def ngram_bucket_ids(
+    word: str, min_ngram: int, max_ngram: int, bucket: int
+) -> list[int]:
+    """Deterministically hash a word's n-grams into ``bucket`` slots."""
+    return [
+        stable_hash(gram, salt=7) % bucket
+        for gram in char_ngrams(word, min_ngram, max_ngram)
+    ]

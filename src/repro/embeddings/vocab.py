@@ -1,0 +1,88 @@
+"""Vocabulary with min-count pruning and frequency bookkeeping."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import ModelNotTrainedError
+
+
+class Vocabulary:
+    """A token vocabulary built from tokenized documents."""
+
+    def __init__(self, min_count: int = 1) -> None:
+        self._min_count = min_count
+        self._counts: Counter[str] = Counter()
+        self._word_to_id: dict[str, int] = {}
+        self._id_to_word: list[str] = []
+        self._frequencies: np.ndarray | None = None
+        self._total = 0
+
+    def observe(self, tokens: Iterable[str]) -> None:
+        """Accumulate token counts (call before :meth:`finalize`)."""
+        self._counts.update(tokens)
+
+    def finalize(self) -> None:
+        """Freeze the vocabulary, dropping tokens below ``min_count``."""
+        kept = sorted(
+            (word for word, count in self._counts.items() if count >= self._min_count)
+        )
+        self._id_to_word = kept
+        self._word_to_id = {word: index for index, word in enumerate(kept)}
+        counts = np.array([self._counts[word] for word in kept], dtype=np.float64)
+        self._total = int(counts.sum())
+        self._frequencies = counts / max(self._total, 1)
+
+    @property
+    def is_finalized(self) -> bool:
+        """True after :meth:`finalize`."""
+        return self._frequencies is not None
+
+    def _require_finalized(self) -> None:
+        if not self.is_finalized:
+            raise ModelNotTrainedError("vocabulary not finalized")
+
+    def __len__(self) -> int:
+        return len(self._id_to_word)
+
+    def __contains__(self, word: object) -> bool:
+        return word in self._word_to_id
+
+    def id_of(self, word: str) -> int | None:
+        """The id of ``word``; None when out of vocabulary."""
+        return self._word_to_id.get(word)
+
+    def word_of(self, index: int) -> str:
+        """The word with id ``index``."""
+        return self._id_to_word[index]
+
+    def encode(self, tokens: Iterable[str]) -> np.ndarray:
+        """Map tokens to known ids, silently dropping OOV tokens."""
+        self._require_finalized()
+        ids = [self._word_to_id[t] for t in tokens if t in self._word_to_id]
+        return np.array(ids, dtype=np.int64)
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """Relative frequencies aligned with word ids."""
+        self._require_finalized()
+        assert self._frequencies is not None
+        return self._frequencies
+
+    @property
+    def total_count(self) -> int:
+        """Total kept-token count."""
+        return self._total
+
+    def count_of(self, word: str) -> int:
+        """The raw corpus count of ``word`` (0 when unseen or pruned)."""
+        if word in self._word_to_id:
+            return self._counts[word]
+        return 0
+
+    def words(self) -> list[str]:
+        """All kept words in id order."""
+        return list(self._id_to_word)

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised for structural problems in a knowledge graph."""
+
+
+class NodeNotFoundError(GraphError):
+    """Raised when a node id is not present in the graph."""
+
+    def __init__(self, node_id: str) -> None:
+        super().__init__(f"node not found: {node_id!r}")
+        self.node_id = node_id
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when an edge lookup fails."""
+
+
+class LabelNotFoundError(GraphError):
+    """Raised when an entity label matches no node in the label index."""
+
+    def __init__(self, label: str) -> None:
+        super().__init__(f"label matches no KG node: {label!r}")
+        self.label = label
+
+
+class EmbeddingError(ReproError):
+    """Raised when a subgraph embedding cannot be produced."""
+
+
+class NoCommonAncestorError(EmbeddingError):
+    """Raised when no common ancestor graph exists for a label group."""
+
+    def __init__(self, labels: tuple[str, ...]) -> None:
+        super().__init__(f"no common ancestor graph exists for labels {labels!r}")
+        self.labels = labels
+
+
+class SearchTimeoutError(EmbeddingError):
+    """Raised when the G* search exhausts its pop/time budget."""
+
+    def __init__(self, message: str, pops: int) -> None:
+        super().__init__(message)
+        self.pops = pops
+
+
+class IndexError_(ReproError):
+    """Raised for retrieval-index misuse (name avoids builtin shadowing)."""
+
+
+class DocumentNotIndexedError(IndexError_):
+    """Raised when a document id is queried but was never indexed."""
+
+    def __init__(self, doc_id: str) -> None:
+        super().__init__(f"document not indexed: {doc_id!r}")
+        self.doc_id = doc_id
+
+
+class ModelNotTrainedError(ReproError):
+    """Raised when inference is requested from an untrained model."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid configuration values."""
+
+
+class DataError(ReproError):
+    """Raised for malformed corpus or KG input data."""

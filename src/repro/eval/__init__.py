@@ -1,0 +1,57 @@
+"""Evaluation harness (paper §VII).
+
+The FastText judge embedding (SIM@k space), the SIM@k / HIT@k metrics, the
+Partial Query Similarity Search task, the run-all-competitors harness, the
+simulated user study (Fig 5), and component timing (Fig 7, Table VIII).
+"""
+
+from repro.eval.fasttext import FastTextModel
+from repro.eval.metrics import sim_at_k, hit_at_k, MetricTable
+from repro.eval.queries import select_query_sentence, QueryCase, build_query_cases
+from repro.eval.tasks import PartialQueryTask, TaskScores
+from repro.eval.harness import (
+    EvaluationHarness,
+    NewsLinkRetriever,
+    TableRow,
+    compare_rows,
+    format_table,
+)
+from repro.eval.significance import (
+    BootstrapResult,
+    paired_bootstrap,
+    per_query_hits,
+)
+from repro.eval.user_study import UserStudySimulator, StudyOutcome
+from repro.eval.timing import (
+    measure_corpus_embedding,
+    measure_query_breakdown,
+    EmbeddingTimings,
+)
+from repro.eval.diagnostics import CorpusDiagnostics, corpus_diagnostics
+
+__all__ = [
+    "CorpusDiagnostics",
+    "corpus_diagnostics",
+    "compare_rows",
+    "BootstrapResult",
+    "paired_bootstrap",
+    "per_query_hits",
+    "FastTextModel",
+    "sim_at_k",
+    "hit_at_k",
+    "MetricTable",
+    "select_query_sentence",
+    "QueryCase",
+    "build_query_cases",
+    "PartialQueryTask",
+    "TaskScores",
+    "EvaluationHarness",
+    "NewsLinkRetriever",
+    "TableRow",
+    "format_table",
+    "UserStudySimulator",
+    "StudyOutcome",
+    "measure_corpus_embedding",
+    "measure_query_breakdown",
+    "EmbeddingTimings",
+]

@@ -1,0 +1,217 @@
+"""The run-all-competitors harness that regenerates Tables IV and VII.
+
+Builds every retriever against a :class:`DatasetBundle`, runs the Partial
+Query Similarity Search task with density and random queries, and formats
+the results as the paper's ``density/random`` cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import (
+    Doc2VecRetriever,
+    LdaRetriever,
+    LuceneRetriever,
+    QeprfRetriever,
+    Retriever,
+    SbertRetriever,
+)
+from repro.baselines.base import RankedResults
+from repro.config import (
+    Doc2VecConfig,
+    EngineConfig,
+    EvalConfig,
+    FastTextConfig,
+    LdaConfig,
+    SbertConfig,
+)
+from repro.data.datasets import DatasetBundle
+from repro.data.document import Corpus
+from repro.eval.fasttext import FastTextModel
+from repro.eval.queries import QueryCase, build_query_cases
+from repro.eval.tasks import PartialQueryTask, TaskScores
+from repro.search.engine import NewsLinkEngine
+
+
+class NewsLinkRetriever:
+    """Adapts :class:`NewsLinkEngine` to the :class:`Retriever` protocol.
+
+    Several retrievers with different beta can share one indexed engine
+    (indexing dominates cost; beta only affects query-time fusion).
+    """
+
+    def __init__(self, engine: NewsLinkEngine, beta: float, name: str | None = None) -> None:
+        self._engine = engine
+        self._beta = beta
+        self._name = name or f"NewsLink({beta:g})"
+
+    @property
+    def name(self) -> str:
+        """Display name, e.g. ``NewsLink(0.2)``."""
+        return self._name
+
+    @property
+    def engine(self) -> NewsLinkEngine:
+        """The shared engine."""
+        return self._engine
+
+    def index_corpus(self, corpus: Corpus) -> None:
+        """Index the corpus once; later retrievers sharing the engine skip."""
+        if self._engine.num_indexed == 0:
+            self._engine.index_corpus(corpus)
+
+    def search(self, text: str, k: int) -> RankedResults:
+        """Fused top-``k`` with this retriever's beta."""
+        results = self._engine.search(text, k, beta=self._beta)
+        return [(r.doc_id, r.score) for r in results]
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One method's row in a results table: mode -> scores."""
+
+    method: str
+    by_mode: dict[str, TaskScores]
+
+    def cell(self, metric: str) -> str:
+        """The paper's ``density/random`` cell for ``metric``."""
+        density = self.by_mode.get("density")
+        random_ = self.by_mode.get("random")
+        left = f"{density.metrics.get(metric, 0.0):.3f}" if density else "-"
+        right = f"{random_.metrics.get(metric, 0.0):.3f}" if random_ else "-"
+        return f"{left}/{right}"
+
+
+@dataclass
+class EvaluationHarness:
+    """Evaluates a set of retrievers on one dataset.
+
+    Attributes:
+        dataset: the dataset bundle (world + corpus + split).
+        eval_config: metric cutoffs and seeds.
+        fasttext_config: judge embedding hyperparameters.
+    """
+
+    dataset: DatasetBundle
+    eval_config: EvalConfig = field(default_factory=EvalConfig)
+    fasttext_config: FastTextConfig = field(default_factory=FastTextConfig)
+
+    def __post_init__(self) -> None:
+        self._searchable = self.dataset.split.full
+        self._judge = FastTextModel(self.fasttext_config)
+        self._judge.train([doc.text for doc in self._searchable])
+        self._task = PartialQueryTask(
+            self._searchable,
+            self._judge,
+            sim_ks=self.eval_config.top_ks_sim,
+            hit_ks=self.eval_config.top_ks_hit,
+        )
+        self._cases: dict[str, list[QueryCase]] = {}
+
+    @property
+    def judge(self) -> FastTextModel:
+        """The trained judge embedding."""
+        return self._judge
+
+    @property
+    def searchable_corpus(self) -> Corpus:
+        """The corpus every retriever indexes."""
+        return self._searchable
+
+    def query_cases(self, mode: str, pipeline) -> list[QueryCase]:
+        """Query cases for ``mode``, built once and cached."""
+        if mode not in self._cases:
+            self._cases[mode] = build_query_cases(
+                self.dataset.split.test,
+                pipeline,
+                mode=mode,
+                rng=self.eval_config.seed,
+            )
+        return self._cases[mode]
+
+    def evaluate_retriever(
+        self, retriever: Retriever, pipeline, modes: tuple[str, ...] = ("density", "random")
+    ) -> TableRow:
+        """Index the corpus and run both query modes for one retriever."""
+        retriever.index_corpus(self._searchable)
+        by_mode = {
+            mode: self._task.evaluate(retriever, self.query_cases(mode, pipeline), mode)
+            for mode in modes
+        }
+        return TableRow(method=retriever.name, by_mode=by_mode)
+
+    # ------------------------------------------------------------------
+    # default competitor construction (Table IV line-up)
+    # ------------------------------------------------------------------
+    def build_competitors(
+        self,
+        engine: NewsLinkEngine,
+        doc2vec: Doc2VecConfig | None = None,
+        sbert: SbertConfig | None = None,
+        lda: LdaConfig | None = None,
+        newslink_beta: float = 0.2,
+    ) -> list[Retriever]:
+        """The paper's Table IV line-up, sharing ``engine`` for NewsLink.
+
+        DOC2VEC and LDA are trained on the training split only (§VII-A3).
+        """
+        train_texts = [doc.text for doc in self.dataset.split.train]
+        return [
+            Doc2VecRetriever(doc2vec or Doc2VecConfig(), training_texts=train_texts),
+            SbertRetriever(sbert or SbertConfig()),
+            LdaRetriever(lda or LdaConfig(), training_texts=train_texts),
+            QeprfRetriever(self.dataset.world.graph, label_index=engine.label_index),
+            LuceneRetriever(),
+            NewsLinkRetriever(engine, beta=newslink_beta),
+        ]
+
+    def run_table(
+        self, retrievers: list[Retriever], pipeline
+    ) -> list[TableRow]:
+        """Evaluate every retriever; returns rows in input order."""
+        return [self.evaluate_retriever(r, pipeline) for r in retrievers]
+
+
+def compare_rows(
+    row_a: TableRow,
+    row_b: TableRow,
+    metric: str = "HIT@1",
+    mode: str = "density",
+    samples: int = 10_000,
+):
+    """Paired bootstrap comparison of two evaluated methods.
+
+    Both rows must come from the same harness run (aligned query sets).
+    Returns a :class:`repro.eval.significance.BootstrapResult` where
+    system A is ``row_a``.
+    """
+    from repro.eval.significance import paired_bootstrap
+
+    scores_a = row_a.by_mode[mode].per_query.get(metric)
+    scores_b = row_b.by_mode[mode].per_query.get(metric)
+    if not scores_a or not scores_b:
+        raise ValueError(f"per-query values for {metric!r} are unavailable")
+    return paired_bootstrap(scores_a, scores_b, samples=samples)
+
+
+def format_table(
+    rows: list[TableRow],
+    metrics: tuple[str, ...] = ("SIM@5", "SIM@10", "SIM@20", "HIT@1", "HIT@5"),
+    title: str = "",
+) -> str:
+    """Render rows as an aligned text table (density/random cells)."""
+    header = ["method", *metrics]
+    body = [[row.method, *(row.cell(metric) for metric in metrics)] for row in rows]
+    widths = [
+        max(len(str(line[col])) for line in [header, *body])
+        for col in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(str(v).ljust(w) for v, w in zip(line, widths)))
+    return "\n".join(lines)

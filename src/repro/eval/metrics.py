@@ -1,0 +1,56 @@
+"""Evaluation metrics: SIM@k (Equation 4) and HIT@k (§VII-B)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+
+def sim_at_k(similarities: Sequence[float], k: int) -> float:
+    """Mean judge-space cosine of the top ``k`` results for one query.
+
+    ``similarities`` holds cosine(Q, R_j) for the ranked results R_1..R_n;
+    fewer than ``k`` results average over what exists (0.0 when empty).
+    """
+    window = list(similarities[:k])
+    if not window:
+        return 0.0
+    return sum(window) / len(window)
+
+
+def hit_at_k(query_doc_id: str, ranked_ids: Sequence[str], k: int) -> bool:
+    """True when the query's source document appears in the top ``k``."""
+    return query_doc_id in ranked_ids[:k]
+
+
+@dataclass
+class MetricTable:
+    """Accumulates per-query metric values and reports means.
+
+    Keys are metric names like ``"SIM@5"`` or ``"HIT@1"``.
+    """
+
+    values: dict[str, list[float]] = field(default_factory=dict)
+
+    def add(self, metric: str, value: float) -> None:
+        """Record one query's value for ``metric``."""
+        self.values.setdefault(metric, []).append(float(value))
+
+    def mean(self, metric: str) -> float:
+        """Mean over recorded queries (Equation 4's outer average)."""
+        series = self.values.get(metric, [])
+        if not series:
+            return 0.0
+        return sum(series) / len(series)
+
+    def count(self, metric: str) -> int:
+        """Number of recorded queries for ``metric``."""
+        return len(self.values.get(metric, []))
+
+    def metrics(self) -> list[str]:
+        """All recorded metric names, sorted."""
+        return sorted(self.values)
+
+    def as_dict(self) -> dict[str, float]:
+        """Metric name -> mean."""
+        return {metric: self.mean(metric) for metric in self.metrics()}

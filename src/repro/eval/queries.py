@@ -1,0 +1,87 @@
+"""Query selection for the Partial Query Similarity Search task (§VII-B).
+
+From each test document we select one sentence as the query: either the
+sentence with the **largest entity density** (entities per term — it
+captures the most context) or a **random** sentence (the paper's fairness
+control).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.document import Corpus, NewsDocument
+from repro.nlp.pipeline import NlpPipeline
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class QueryCase:
+    """One evaluation query.
+
+    Attributes:
+        query_doc_id: the test document the sentence came from.
+        query_text: the partial query (one sentence).
+        mode: "density" or "random".
+        matching_ratio: entity matching ratio of the query sentence
+            (feeds Table V).
+    """
+
+    query_doc_id: str
+    query_text: str
+    mode: str
+    matching_ratio: float
+
+
+def select_query_sentence(
+    document: NewsDocument,
+    pipeline: NlpPipeline,
+    mode: str = "density",
+    rng: int | np.random.Generator | None = 0,
+) -> QueryCase:
+    """Select one query sentence from ``document``.
+
+    ``mode="density"`` picks the sentence with the largest entity density;
+    ``mode="random"`` picks uniformly at random.  Documents with no
+    sentences yield the full text as the query.
+    """
+    if mode not in ("density", "random"):
+        raise ValueError(f"unknown query mode: {mode!r}")
+    processed = pipeline.process(document.text, document.doc_id)
+    segments = processed.segments
+    if not segments:
+        return QueryCase(document.doc_id, document.text, mode, 1.0)
+    if mode == "density":
+        chosen = max(
+            segments,
+            key=lambda segment: (
+                segment.matched_entity_density,
+                segment.entity_density,
+                -segment.index,
+            ),
+        )
+    else:
+        generator = ensure_rng(rng)
+        chosen = segments[int(generator.integers(len(segments)))]
+    mentions = chosen.mentions
+    if mentions:
+        ratio = sum(1 for m in mentions if m.matched) / len(mentions)
+    else:
+        ratio = 1.0
+    return QueryCase(document.doc_id, chosen.sentence.text, mode, ratio)
+
+
+def build_query_cases(
+    test_corpus: Corpus,
+    pipeline: NlpPipeline,
+    mode: str = "density",
+    rng: int | np.random.Generator | None = 0,
+) -> list[QueryCase]:
+    """One query case per test document."""
+    generator = ensure_rng(rng)
+    return [
+        select_query_sentence(document, pipeline, mode, generator)
+        for document in test_corpus
+    ]

@@ -1,0 +1,94 @@
+"""The Partial Query Similarity Search task (§VII-B).
+
+Given a partial query (one sentence of a test document Q), retrieve top-k
+documents from the entire corpus.  SIM@k averages the judge-space cosine
+between the *complete* document Q and each result; HIT@k asks whether Q
+itself is recovered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import Retriever
+from repro.data.document import Corpus
+from repro.eval.fasttext import FastTextModel
+from repro.eval.metrics import MetricTable, hit_at_k, sim_at_k
+from repro.eval.queries import QueryCase
+
+
+@dataclass(frozen=True)
+class TaskScores:
+    """Aggregated results of one method on one query set.
+
+    Attributes:
+        method: retriever display name.
+        mode: query selection mode ("density"/"random").
+        metrics: metric name -> mean (e.g. ``{"SIM@5": 0.96, "HIT@1": .87}``).
+        num_queries: number of evaluated queries.
+        per_query: metric name -> per-query values in case order (kept so
+            paired significance tests can compare methods query by query).
+    """
+
+    method: str
+    mode: str
+    metrics: dict[str, float]
+    num_queries: int
+    per_query: dict[str, list[float]] = field(default_factory=dict)
+
+
+class PartialQueryTask:
+    """Runs retrievers over a query set and scores them."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        judge: FastTextModel,
+        sim_ks: tuple[int, ...] = (5, 10, 20),
+        hit_ks: tuple[int, ...] = (1, 5),
+    ) -> None:
+        self._corpus = corpus
+        self._judge = judge
+        self._sim_ks = sim_ks
+        self._hit_ks = hit_ks
+        self._max_k = max((*sim_ks, *hit_ks))
+        # Precompute normalized judge vectors for every corpus document.
+        ids = corpus.doc_ids()
+        matrix = judge.encode_documents([corpus.get(i).text for i in ids])
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        self._judge_ids = {doc_id: row for row, doc_id in enumerate(ids)}
+        self._judge_matrix = matrix / norms
+
+    def _judge_cosine(self, doc_a: str, doc_b: str) -> float:
+        row_a = self._judge_ids.get(doc_a)
+        row_b = self._judge_ids.get(doc_b)
+        if row_a is None or row_b is None:
+            return 0.0
+        return float(self._judge_matrix[row_a] @ self._judge_matrix[row_b])
+
+    def evaluate(
+        self, retriever: Retriever, cases: list[QueryCase], mode: str
+    ) -> TaskScores:
+        """Evaluate ``retriever`` on ``cases``."""
+        table = MetricTable()
+        for case in cases:
+            ranked = retriever.search(case.query_text, self._max_k)
+            ranked_ids = [doc_id for doc_id, _ in ranked]
+            similarities = [
+                self._judge_cosine(case.query_doc_id, doc_id)
+                for doc_id in ranked_ids
+            ]
+            for k in self._sim_ks:
+                table.add(f"SIM@{k}", sim_at_k(similarities, k))
+            for k in self._hit_ks:
+                table.add(f"HIT@{k}", float(hit_at_k(case.query_doc_id, ranked_ids, k)))
+        return TaskScores(
+            method=retriever.name,
+            mode=mode,
+            metrics=table.as_dict(),
+            num_queries=len(cases),
+            per_query={metric: list(table.values[metric]) for metric in table.values},
+        )

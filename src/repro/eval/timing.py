@@ -1,0 +1,78 @@
+"""Component timing experiments (paper Fig 7 and Table VIII).
+
+Fig 7 measures the average per-document embedding time for the corpus and
+contrasts the LCAG algorithm with the tree-based one; Table VIII breaks a
+test query's processing time down by component (NLP / NE / NS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.document_embedding import SegmentEmbedder, embed_document
+from repro.data.document import Corpus
+from repro.nlp.pipeline import NlpPipeline
+from repro.search.engine import NewsLinkEngine
+from repro.utils.timing import Stopwatch, TimingBreakdown
+
+
+@dataclass(frozen=True)
+class EmbeddingTimings:
+    """Average per-document seconds by component (Fig 7).
+
+    Attributes:
+        nlp_avg: NLP component (segmentation + NER + Definition 1).
+        ne_avg: NE component (subgraph-embedding search).
+        documents: number of processed documents.
+        ne_pops: total frontier pops in the NE stage, when instrumented.
+    """
+
+    nlp_avg: float
+    ne_avg: float
+    documents: int
+    ne_pops: int = 0
+
+
+def measure_corpus_embedding(
+    corpus: Corpus,
+    pipeline: NlpPipeline,
+    embedder: SegmentEmbedder,
+) -> EmbeddingTimings:
+    """Time the NLP and NE stages over ``corpus`` (Fig 7's bars)."""
+    timing = TimingBreakdown()
+    documents = 0
+    for document in corpus:
+        documents += 1
+        with timing.measure("nlp"):
+            processed = pipeline.process(document.text, document.doc_id)
+        with timing.measure("ne"):
+            embed_document(processed, embedder)
+    return EmbeddingTimings(
+        nlp_avg=timing.average("nlp"),
+        ne_avg=timing.average("ne"),
+        documents=documents,
+    )
+
+
+def measure_query_breakdown(
+    engine: NewsLinkEngine,
+    queries: list[str],
+    k: int = 20,
+) -> dict[str, float]:
+    """Average per-query seconds by component (Table VIII).
+
+    Returns ``{"nlp": ..., "ne": ..., "ns": ..., "total": ...}``.
+    """
+    timing = TimingBreakdown()
+    total = 0.0
+    for query in queries:
+        with Stopwatch() as stopwatch:
+            engine.search(query, k=k, timing=timing)
+        total += stopwatch.elapsed
+    count = max(1, len(queries))
+    return {
+        "nlp": timing.total("nlp") / count,
+        "ne": timing.total("ne") / count,
+        "ns": timing.total("ns") / count,
+        "total": total / count,
+    }

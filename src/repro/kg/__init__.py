@@ -1,0 +1,37 @@
+"""Knowledge-graph substrate.
+
+Implements the labeled, weighted, (bi)directed multigraph the NE component
+searches, an exact label/alias index (the paper's ``S(l)`` mapping), shortest
+path machinery that keeps full shortest-path DAGs, serialization, statistics,
+and the synthetic Wikidata-like world generator used in place of the Wikidata
+dump (see DESIGN.md §1).
+"""
+
+from repro.kg.types import Node, Edge, EntityType
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.label_index import LabelIndex
+from repro.kg.traversal import (
+    MultiSourceShortestPaths,
+    shortest_path_dag,
+    pairwise_distance,
+)
+from repro.kg.synthetic import SyntheticWorld, generate_world
+from repro.kg.statistics import GraphStatistics, compute_statistics
+from repro.kg.wikidata import WikidataImportConfig, load_wikidata_dump
+
+__all__ = [
+    "WikidataImportConfig",
+    "load_wikidata_dump",
+    "Node",
+    "Edge",
+    "EntityType",
+    "KnowledgeGraph",
+    "LabelIndex",
+    "MultiSourceShortestPaths",
+    "shortest_path_dag",
+    "pairwise_distance",
+    "SyntheticWorld",
+    "generate_world",
+    "GraphStatistics",
+    "compute_statistics",
+]

@@ -1,0 +1,218 @@
+"""The :class:`KnowledgeGraph` container.
+
+A labeled, weighted, directed multigraph with an implicit *bidirected view*:
+the NE component (paper §V-A) adds a reversed edge for every original edge to
+enhance connectivity, so traversal iterates both out-edges (forward) and
+in-edges (reverse) with equal weight.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import DataError, NodeNotFoundError
+from repro.kg.types import Edge, EntityType, Node
+
+
+class KnowledgeGraph:
+    """In-memory knowledge graph.
+
+    Nodes are keyed by ``node_id``; edges are stored in per-node adjacency
+    lists.  Parallel edges with distinct relations are allowed; exact
+    duplicates (same source, target and relation) are collapsed keeping the
+    smaller weight.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, Node] = {}
+        self._out: dict[str, list[Edge]] = {}
+        self._in: dict[str, list[Edge]] = {}
+        self._edge_keys: dict[tuple[str, str, str], Edge] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Insert ``node``; replacing an existing node keeps its edges."""
+        self._nodes[node.node_id] = node
+        self._out.setdefault(node.node_id, [])
+        self._in.setdefault(node.node_id, [])
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Insert every node in ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, edge: Edge) -> None:
+        """Insert a directed edge; both endpoints must already exist."""
+        if edge.source not in self._nodes:
+            raise NodeNotFoundError(edge.source)
+        if edge.target not in self._nodes:
+            raise NodeNotFoundError(edge.target)
+        if edge.weight <= 0:
+            raise DataError(
+                f"edge weight must be positive, got {edge.weight} for {edge.key()}"
+            )
+        existing = self._edge_keys.get(edge.key())
+        if existing is not None:
+            if edge.weight < existing.weight:
+                self._replace_edge(existing, edge)
+            return
+        self._edge_keys[edge.key()] = edge
+        self._out[edge.source].append(edge)
+        self._in[edge.target].append(edge)
+
+    def add_edges(self, edges: Iterable[Edge]) -> None:
+        """Insert every edge in ``edges``."""
+        for edge in edges:
+            self.add_edge(edge)
+
+    def _replace_edge(self, old: Edge, new: Edge) -> None:
+        self._edge_keys[new.key()] = new
+        out_list = self._out[old.source]
+        out_list[out_list.index(old)] = new
+        in_list = self._in[old.target]
+        in_list[in_list.index(old)] = new
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def node(self, node_id: str) -> Node:
+        """Return the node with ``node_id`` or raise ``NodeNotFoundError``."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NodeNotFoundError(node_id) from None
+
+    def has_node(self, node_id: str) -> bool:
+        """True if ``node_id`` is present."""
+        return node_id in self._nodes
+
+    def has_edge(self, source: str, target: str, relation: str) -> bool:
+        """True if the exact directed edge exists."""
+        return (source, target, relation) in self._edge_keys
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate all nodes in insertion order."""
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> Iterator[str]:
+        """Iterate all node ids in insertion order."""
+        return iter(self._nodes)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate all directed edges."""
+        return iter(self._edge_keys.values())
+
+    def out_edges(self, node_id: str) -> list[Edge]:
+        """Outgoing edges of ``node_id``."""
+        if node_id not in self._nodes:
+            raise NodeNotFoundError(node_id)
+        return self._out[node_id]
+
+    def in_edges(self, node_id: str) -> list[Edge]:
+        """Incoming edges of ``node_id``."""
+        if node_id not in self._nodes:
+            raise NodeNotFoundError(node_id)
+        return self._in[node_id]
+
+    def bidirected_neighbors(self, node_id: str) -> Iterator[tuple[str, Edge, bool]]:
+        """Neighbours of ``node_id`` in the bidirected view (§V-A).
+
+        Yields ``(neighbor_id, edge, forward)`` triples: ``forward`` is True
+        when the KG stores ``node_id -> neighbor`` (the edge is traversed in
+        its original direction) and False when the traversal uses the added
+        reverse edge.
+        """
+        if node_id not in self._nodes:
+            raise NodeNotFoundError(node_id)
+        for edge in self._out[node_id]:
+            yield edge.target, edge, True
+        for edge in self._in[node_id]:
+            yield edge.source, edge, False
+
+    def degree(self, node_id: str) -> int:
+        """Bidirected degree of ``node_id``."""
+        if node_id not in self._nodes:
+            raise NodeNotFoundError(node_id)
+        return len(self._out[node_id]) + len(self._in[node_id])
+
+    def nodes_of_type(self, entity_type: EntityType) -> list[Node]:
+        """All nodes whose entity type equals ``entity_type``."""
+        return [n for n in self._nodes.values() if n.entity_type is entity_type]
+
+    # ------------------------------------------------------------------
+    # size
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges (before the bidirected view)."""
+        return len(self._edge_keys)
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._nodes
+
+    def __repr__(self) -> str:
+        return f"KnowledgeGraph(nodes={self.num_nodes}, edges={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # subgraph helpers
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, node_ids: Iterable[str]) -> "KnowledgeGraph":
+        """The subgraph induced by ``node_ids`` (edges with both endpoints)."""
+        keep = set(node_ids)
+        sub = KnowledgeGraph()
+        for node_id in keep:
+            sub.add_node(self.node(node_id))
+        for edge in self.edges():
+            if edge.source in keep and edge.target in keep:
+                sub.add_edge(edge)
+        return sub
+
+    def reweighted(self, relation_weights: dict[str, float]) -> "KnowledgeGraph":
+        """A copy with per-relation weight multipliers applied.
+
+        Embedding extensions downweight generic relations (e.g. broad
+        ``diplomatic_relation`` edges) so the G* search prefers specific
+        connections; relations absent from the map keep their weight.
+        """
+        reweighted = KnowledgeGraph()
+        for node in self.nodes():
+            reweighted.add_node(node)
+        for edge in self.edges():
+            factor = relation_weights.get(edge.relation, 1.0)
+            if factor <= 0:
+                raise DataError(
+                    f"relation weight for {edge.relation!r} must be positive"
+                )
+            reweighted.add_edge(
+                Edge(edge.source, edge.target, edge.relation, edge.weight * factor)
+            )
+        return reweighted
+
+    def connected_components(self) -> list[set[str]]:
+        """Weakly-connected components (bidirected view)."""
+        seen: set[str] = set()
+        components: list[set[str]] = []
+        for start in self._nodes:
+            if start in seen:
+                continue
+            component: set[str] = {start}
+            stack = [start]
+            while stack:
+                current = stack.pop()
+                for neighbor, _, _ in self.bidirected_neighbors(current):
+                    if neighbor not in component:
+                        component.add(neighbor)
+                        stack.append(neighbor)
+            seen |= component
+            components.append(component)
+        return components

@@ -1,0 +1,117 @@
+"""Knowledge-graph serialization.
+
+Two interchange formats are supported:
+
+* **JSON** — a single document with ``nodes`` and ``edges`` arrays; lossless
+  (keeps aliases, descriptions, entity types).
+* **TSV** — a triples file ``source<TAB>relation<TAB>target[<TAB>weight]``
+  plus an optional nodes file; the common shape of public KG dumps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import DataError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.types import Edge, EntityType, Node
+
+
+def graph_to_dict(graph: KnowledgeGraph) -> dict:
+    """A JSON-serializable representation of ``graph``."""
+    return {
+        "nodes": [
+            {
+                "id": node.node_id,
+                "label": node.label,
+                "type": node.entity_type.value,
+                "aliases": list(node.aliases),
+                "description": node.description,
+            }
+            for node in graph.nodes()
+        ],
+        "edges": [
+            {
+                "source": edge.source,
+                "target": edge.target,
+                "relation": edge.relation,
+                "weight": edge.weight,
+            }
+            for edge in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(payload: dict) -> KnowledgeGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    if "nodes" not in payload or "edges" not in payload:
+        raise DataError("graph payload must contain 'nodes' and 'edges'")
+    graph = KnowledgeGraph()
+    for raw in payload["nodes"]:
+        try:
+            node = Node(
+                node_id=str(raw["id"]),
+                label=str(raw["label"]),
+                entity_type=EntityType.from_string(raw.get("type", "OTHER")),
+                aliases=tuple(raw.get("aliases", ())),
+                description=str(raw.get("description", "")),
+            )
+        except KeyError as exc:
+            raise DataError(f"node record missing field: {exc}") from exc
+        graph.add_node(node)
+    for raw in payload["edges"]:
+        try:
+            edge = Edge(
+                source=str(raw["source"]),
+                target=str(raw["target"]),
+                relation=str(raw["relation"]),
+                weight=float(raw.get("weight", 1.0)),
+            )
+        except KeyError as exc:
+            raise DataError(f"edge record missing field: {exc}") from exc
+        graph.add_edge(edge)
+    return graph
+
+
+def save_graph_json(graph: KnowledgeGraph, path: str | Path) -> None:
+    """Write ``graph`` to ``path`` as a single JSON document."""
+    payload = graph_to_dict(graph)
+    Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+
+def load_graph_json(path: str | Path) -> KnowledgeGraph:
+    """Load a graph previously written by :func:`save_graph_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return graph_from_dict(payload)
+
+
+def save_graph_tsv(graph: KnowledgeGraph, edges_path: str | Path) -> None:
+    """Write the edge list as TSV triples with weights."""
+    lines = [
+        f"{edge.source}\t{edge.relation}\t{edge.target}\t{edge.weight}"
+        for edge in graph.edges()
+    ]
+    Path(edges_path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_graph_tsv(edges_path: str | Path) -> KnowledgeGraph:
+    """Load TSV triples; nodes are created implicitly with id==label."""
+    graph = KnowledgeGraph()
+    text = Path(edges_path).read_text(encoding="utf-8")
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        parts = line.split("\t")
+        if len(parts) not in (3, 4):
+            raise DataError(
+                f"{edges_path}:{line_number}: expected 3 or 4 tab-separated "
+                f"fields, got {len(parts)}"
+            )
+        source, relation, target = parts[0], parts[1], parts[2]
+        weight = float(parts[3]) if len(parts) == 4 else 1.0
+        for node_id in (source, target):
+            if not graph.has_node(node_id):
+                graph.add_node(Node(node_id=node_id, label=node_id))
+        graph.add_edge(Edge(source, target, relation, weight))
+    return graph

@@ -1,0 +1,59 @@
+"""Descriptive statistics over a knowledge graph.
+
+Used by tests and benchmarks to sanity-check that the synthetic world has
+Wikidata-like structure (connected, shallow, with parallel paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.traversal import MultiSourceShortestPaths
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Summary statistics of a KG.
+
+    Attributes:
+        num_nodes: node count.
+        num_edges: directed edge count.
+        num_components: weakly-connected component count.
+        largest_component: size of the largest component.
+        mean_degree: average bidirected degree.
+        max_degree: maximum bidirected degree.
+        eccentricity_sample: max shortest-path distance observed from a
+            sample node in the largest component (a diameter lower bound).
+    """
+
+    num_nodes: int
+    num_edges: int
+    num_components: int
+    largest_component: int
+    mean_degree: float
+    max_degree: int
+    eccentricity_sample: float
+
+
+def compute_statistics(graph: KnowledgeGraph) -> GraphStatistics:
+    """Compute :class:`GraphStatistics` for ``graph``."""
+    components = graph.connected_components()
+    degrees = [graph.degree(node_id) for node_id in graph.node_ids()]
+    largest = max(components, key=len) if components else set()
+    eccentricity = 0.0
+    if largest:
+        anchor = min(largest)
+        sssp = MultiSourceShortestPaths(graph, [anchor])
+        distances = sssp.run_to_completion()
+        if distances:
+            eccentricity = max(distances.values())
+    return GraphStatistics(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_components=len(components),
+        largest_component=len(largest),
+        mean_degree=(sum(degrees) / len(degrees)) if degrees else 0.0,
+        max_degree=max(degrees, default=0),
+        eccentricity_sample=eccentricity,
+    )

@@ -1,0 +1,473 @@
+"""Synthetic Wikidata-like world generator.
+
+The paper embeds news into the public Wikidata dump (30M nodes).  Offline we
+generate a world with the same structural motifs the NE component exploits:
+
+* geographic containment hierarchies (city -> province -> country),
+* organizations headquartered in places and tied to countries,
+* persons with citizenship, memberships and leadership roles,
+* **events** that link many entities together — these play the role of the
+  paper's induced common ancestors (e.g. the "US presidential election"
+  node of Figure 6 that never occurs in the news text),
+* parallel relationship paths (a person reaches a country both through
+  citizenship and through their organization), so the LCAG "width" property
+  is observable.
+
+Every generated surface form is made of capitalized invented words so the
+gazetteer NER's capitalization heuristic fires and no label collides with
+English filler vocabulary.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import WorldConfig
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.types import Edge, EntityType, Node
+from repro.utils.rng import ensure_rng
+
+_ONSETS = [
+    "Ba", "Bel", "Cor", "Dal", "Del", "Dor", "Fal", "Gar", "Hal", "Jor",
+    "Kal", "Kel", "Lan", "Lor", "Mar", "Mel", "Nor", "Or", "Pal", "Quin",
+    "Ral", "Sal", "Tal", "Tor", "Ul", "Val", "Ver", "Wes", "Yor", "Zan",
+]
+_MIDDLES = ["da", "de", "di", "do", "ga", "ka", "la", "li", "ma", "mi", "na", "ni", "ra", "ri", "sa", "ta", "ti", "va", "vi", "za"]
+_PLACE_SUFFIXES = ["land", "mark", "ovia", "stan", "burg", "ford", "holm", "ville", "grad", "port", "shire", "field"]
+_PERSON_FIRST_SUFFIXES = ["an", "ar", "en", "ia", "in", "is", "on", "or", "ra", "us"]
+_PERSON_LAST_SUFFIXES = ["ez", "ini", "man", "sen", "ski", "son", "stein", "ton", "wall", "wicz"]
+
+_ORG_PATTERNS = {
+    "party": ["{} Party", "{} Alliance", "{} Movement"],
+    "militant": ["{} Front", "{} Brigade", "{} Liberation Army"],
+    "company": ["{} Industries", "{} Holdings", "{} Energy"],
+    "club": ["{} United", "{} Rovers", "{} Athletic"],
+    "agency": ["{} Bureau", "{} Authority", "{} Commission"],
+}
+_ORG_KINDS = list(_ORG_PATTERNS)
+
+EVENT_KINDS = ("conflict", "election", "tournament", "summit", "merger", "scandal")
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """A planted event: the topical nucleus news documents are drawn from.
+
+    Attributes:
+        event_id: the event's KG node id.
+        kind: one of :data:`EVENT_KINDS`.
+        name: the event node's label (usually *not* mentioned in news text,
+            so it appears only as an induced entity in embeddings).
+        country_id: anchor country node id.
+        mention_pool: node ids whose labels news documents may mention.
+        core_ids: the tight participant set (subset of ``mention_pool``)
+            most characteristic of the event.
+    """
+
+    event_id: str
+    kind: str
+    name: str
+    country_id: str
+    mention_pool: tuple[str, ...]
+    core_ids: tuple[str, ...]
+
+
+@dataclass
+class SyntheticWorld:
+    """The generated world: a KG plus the planted event inventory."""
+
+    graph: KnowledgeGraph
+    events: list[EventSpec]
+    config: WorldConfig
+    countries: list[str] = field(default_factory=list)
+    provinces: list[str] = field(default_factory=list)
+    cities: list[str] = field(default_factory=list)
+    organizations: list[str] = field(default_factory=list)
+    persons: list[str] = field(default_factory=list)
+
+
+class _NameFactory:
+    """Deterministic unique-name generator built on invented syllables."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._used: set[str] = set()
+
+    def _syllable_word(self, with_middle_prob: float = 0.55) -> str:
+        onset = _ONSETS[int(self._rng.integers(len(_ONSETS)))]
+        if self._rng.random() < with_middle_prob:
+            onset += _MIDDLES[int(self._rng.integers(len(_MIDDLES)))]
+        return onset
+
+    def _unique(self, candidate_factory) -> str:
+        for _ in range(1000):
+            name = candidate_factory()
+            if name not in self._used:
+                self._used.add(name)
+                return name
+        raise RuntimeError("name space exhausted; enlarge syllable inventory")
+
+    def place(self) -> str:
+        return self._unique(
+            lambda: self._syllable_word()
+            + _PLACE_SUFFIXES[int(self._rng.integers(len(_PLACE_SUFFIXES)))]
+        )
+
+    def person(self) -> str:
+        def build() -> str:
+            first = self._syllable_word(0.3) + _PERSON_FIRST_SUFFIXES[
+                int(self._rng.integers(len(_PERSON_FIRST_SUFFIXES)))
+            ]
+            last = self._syllable_word(0.5) + _PERSON_LAST_SUFFIXES[
+                int(self._rng.integers(len(_PERSON_LAST_SUFFIXES)))
+            ]
+            return f"{first} {last}"
+
+        return self._unique(build)
+
+    def organization(self, kind: str) -> str:
+        patterns = _ORG_PATTERNS[kind]
+
+        def build() -> str:
+            pattern = patterns[int(self._rng.integers(len(patterns)))]
+            return pattern.format(self._syllable_word())
+
+        return self._unique(build)
+
+    def event(self, kind: str, anchor_label: str, year: int) -> str:
+        titles = {
+            "conflict": f"{anchor_label} Insurgency of {year}",
+            "election": f"{anchor_label} General Election {year}",
+            "tournament": f"{anchor_label} Championship {year}",
+            "summit": f"{anchor_label} Summit {year}",
+            "merger": f"{anchor_label} Merger Deal of {year}",
+            "scandal": f"{anchor_label} Corruption Affair of {year}",
+        }
+        return self._unique(lambda: titles[kind])
+
+
+class _WorldBuilder:
+    """Stateful builder that assembles the world step by step."""
+
+    def __init__(self, config: WorldConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self.rng = rng
+        self.names = _NameFactory(rng)
+        self.graph = KnowledgeGraph()
+        self._ids = itertools.count(1)
+        self.countries: list[str] = []
+        self.provinces: list[str] = []
+        self.cities: list[str] = []
+        self.province_cities: dict[str, list[str]] = {}
+        self.country_provinces: dict[str, list[str]] = {}
+        self.org_ids: dict[str, list[str]] = {kind: [] for kind in _ORG_KINDS}
+        self.org_country: dict[str, str] = {}
+        self.persons: list[str] = []
+        self.person_country: dict[str, str] = {}
+        self.org_members: dict[str, list[str]] = {}
+        self.events: list[EventSpec] = []
+
+    # -- helpers -------------------------------------------------------
+    def _new_node(
+        self,
+        label: str,
+        entity_type: EntityType,
+        description: str,
+        alias: str | None = None,
+    ) -> str:
+        node_id = f"Q{next(self._ids)}"
+        aliases: tuple[str, ...] = ()
+        if alias is None and self.rng.random() < self.config.alias_probability:
+            alias = self._derive_alias(label, entity_type)
+        if alias:
+            aliases = (alias,)
+        self.graph.add_node(
+            Node(
+                node_id=node_id,
+                label=label,
+                entity_type=entity_type,
+                aliases=aliases,
+                description=description,
+            )
+        )
+        return node_id
+
+    def _derive_alias(self, label: str, entity_type: EntityType) -> str | None:
+        words = label.split()
+        if entity_type is EntityType.PERSON and len(words) >= 2:
+            return words[-1]  # family-name mention, common in newswire
+        if entity_type is EntityType.ORG and len(words) >= 2:
+            return "".join(word[0] for word in words).upper()
+        if entity_type in (EntityType.GPE, EntityType.LOC) and len(words) == 1:
+            return f"{label} Region"
+        return None
+
+    def _edge(self, source: str, target: str, relation: str) -> None:
+        self.graph.add_edge(Edge(source, target, relation))
+
+    def _choice(self, pool: list[str]) -> str:
+        return pool[int(self.rng.integers(len(pool)))]
+
+    def _sample(self, pool: list[str], k: int) -> list[str]:
+        k = min(k, len(pool))
+        if k == 0:
+            return []
+        indexes = self.rng.choice(len(pool), size=k, replace=False)
+        return [pool[int(i)] for i in indexes]
+
+    # -- build steps ---------------------------------------------------
+    def build_geography(self) -> None:
+        for _ in range(self.config.num_countries):
+            country_label = self.names.place()
+            country = self._new_node(
+                country_label,
+                EntityType.GPE,
+                f"sovereign country of {country_label}",
+            )
+            self.countries.append(country)
+            self.country_provinces[country] = []
+            for _ in range(self.config.provinces_per_country):
+                province_label = self.names.place()
+                province = self._new_node(
+                    province_label,
+                    EntityType.GPE,
+                    f"province of {country_label}",
+                )
+                self.provinces.append(province)
+                self.country_provinces[country].append(province)
+                self.province_cities[province] = []
+                self._edge(province, country, "located_in")
+                for _ in range(self.config.cities_per_province):
+                    city_label = self.names.place()
+                    city = self._new_node(
+                        city_label,
+                        EntityType.GPE,
+                        f"city in {province_label}, {country_label}",
+                    )
+                    self.cities.append(city)
+                    self.province_cities[province].append(city)
+                    self._edge(city, province, "located_in")
+        # Neighbouring provinces within a country share borders, creating
+        # the parallel geographic paths seen in the paper's Figure 1.
+        for country in self.countries:
+            provinces = self.country_provinces[country]
+            for left, right in zip(provinces, provinces[1:]):
+                self._edge(left, right, "shares_border_with")
+        # Chain countries to keep the world connected.
+        for left, right in zip(self.countries, self.countries[1:]):
+            self._edge(left, right, "diplomatic_relation")
+
+    def build_organizations(self) -> None:
+        for index in range(self.config.num_organizations):
+            kind = _ORG_KINDS[index % len(_ORG_KINDS)]
+            label = self.names.organization(kind)
+            country = self._choice(self.countries)
+            city = self._choice(self.cities)
+            org = self._new_node(
+                label,
+                EntityType.ORG,
+                f"{kind} organization based in {self.graph.node(city).label}",
+            )
+            self.org_ids[kind].append(org)
+            self.org_country[org] = country
+            self.org_members[org] = []
+            self._edge(org, city, "headquartered_in")
+            self._edge(org, country, "operates_in")
+
+    def build_persons(self) -> None:
+        all_orgs = [org for orgs in self.org_ids.values() for org in orgs]
+        for index in range(self.config.num_persons):
+            label = self.names.person()
+            country = self._choice(self.countries)
+            person = self._new_node(
+                label,
+                EntityType.PERSON,
+                f"public figure from {self.graph.node(country).label}",
+            )
+            self.persons.append(person)
+            self.person_country[person] = country
+            self._edge(person, country, "citizen_of")
+            if all_orgs and self.rng.random() < 0.7:
+                org = self._choice(all_orgs)
+                self._edge(person, org, "member_of")
+                self.org_members[org].append(person)
+        # Leaders: one head of state per country, one leader per org.
+        for country in self.countries:
+            leader = self._choice(self.persons)
+            self._edge(leader, country, "head_of_state_of")
+        for org in all_orgs:
+            if self.rng.random() < 0.6:
+                leader = self._choice(self.persons)
+                self._edge(leader, org, "leader_of")
+                self.org_members[org].append(leader)
+
+    # -- events --------------------------------------------------------
+    def build_events(self) -> None:
+        year_counter = itertools.count(2009)
+        for index in range(self.config.num_events):
+            kind = EVENT_KINDS[index % len(EVENT_KINDS)]
+            year = next(year_counter)
+            builder = getattr(self, f"_build_{kind}_event")
+            spec = builder(year)
+            self.events.append(spec)
+
+    def _event_node(self, kind: str, anchor_label: str, year: int) -> tuple[str, str]:
+        name = self.names.event(kind, anchor_label, year)
+        node = self._new_node(
+            name, EntityType.EVENT, f"{kind} event involving {anchor_label}"
+        )
+        return node, name
+
+    def _build_conflict_event(self, year: int) -> EventSpec:
+        country = self._choice(self.countries)
+        province = self._choice(self.country_provinces[country])
+        cities = self._sample(self.province_cities[province], 4)
+        militants = self._sample(self.org_ids["militant"], 2)
+        event, name = self._event_node(
+            "conflict", self.graph.node(province).label, year
+        )
+        self._edge(event, province, "occurs_in")
+        self._edge(country, event, "participant_of")
+        for militant in militants:
+            self._edge(militant, event, "participant_of")
+        persons = [
+            person
+            for militant in militants
+            for person in self.org_members.get(militant, [])
+        ]
+        pool = [country, province, *cities, *militants, *persons]
+        core = [*militants, country, province]
+        return EventSpec(event, "conflict", name, country, tuple(pool), tuple(core))
+
+    def _build_election_event(self, year: int) -> EventSpec:
+        country = self._choice(self.countries)
+        candidates = self._sample(self.persons, 4)
+        parties = self._sample(self.org_ids["party"], 3)
+        event, name = self._event_node(
+            "election", self.graph.node(country).label, year
+        )
+        self._edge(event, country, "held_in")
+        for candidate in candidates:
+            self._edge(candidate, event, "candidate_of")
+        for party in parties:
+            self._edge(party, event, "participant_of")
+        pool = [country, *candidates, *parties]
+        return EventSpec(
+            event, "election", name, country, tuple(pool), tuple(candidates)
+        )
+
+    def _build_tournament_event(self, year: int) -> EventSpec:
+        clubs = self._sample(self.org_ids["club"], 4)
+        city = self._choice(self.cities)
+        country = self._choice(self.countries)
+        event, name = self._event_node(
+            "tournament", self.graph.node(city).label, year
+        )
+        self._edge(event, city, "held_in")
+        for club in clubs:
+            self._edge(club, event, "participant_of")
+        players = [
+            member for club in clubs for member in self.org_members.get(club, [])
+        ]
+        pool = [city, *clubs, *players]
+        return EventSpec(event, "tournament", name, country, tuple(pool), tuple(clubs))
+
+    def _build_summit_event(self, year: int) -> EventSpec:
+        attending = self._sample(self.countries, 4)
+        host_city = self._choice(self.cities)
+        event, name = self._event_node(
+            "summit", self.graph.node(host_city).label, year
+        )
+        self._edge(event, host_city, "held_in")
+        for country in attending:
+            self._edge(country, event, "participant_of")
+        pool = [host_city, *attending]
+        return EventSpec(
+            event, "summit", name, attending[0], tuple(pool), tuple(attending)
+        )
+
+    def _build_merger_event(self, year: int) -> EventSpec:
+        companies = self._sample(self.org_ids["company"], 3)
+        country = self._choice(self.countries)
+        event, name = self._event_node(
+            "merger", self.graph.node(companies[0]).label, year
+        )
+        for company in companies:
+            self._edge(company, event, "party_to")
+        self._edge(event, country, "occurs_in")
+        executives = [
+            member
+            for company in companies
+            for member in self.org_members.get(company, [])
+        ]
+        pool = [*companies, country, *executives]
+        return EventSpec(event, "merger", name, country, tuple(pool), tuple(companies))
+
+    def _build_scandal_event(self, year: int) -> EventSpec:
+        person = self._choice(self.persons)
+        agency = self._choice(self.org_ids["agency"]) if self.org_ids["agency"] else None
+        country = self.person_country[person]
+        event, name = self._event_node(
+            "scandal", self.graph.node(person).label.split()[-1], year
+        )
+        self._edge(person, event, "involved_in")
+        pool = [person, country]
+        core = [person]
+        if agency:
+            self._edge(agency, event, "investigator_of")
+            pool.append(agency)
+            core.append(agency)
+        self._edge(event, country, "occurs_in")
+        return EventSpec(event, "scandal", name, country, tuple(pool), tuple(core))
+
+    def build_extra_edges(self) -> None:
+        """Random long-range relations that create alternative paths."""
+        relations = [
+            ("twinned_with", self.cities, self.cities),
+            ("ally_of", self.provinces, self.provinces),
+            ("diplomatic_relation", self.countries, self.countries),
+        ]
+        for _ in range(self.config.extra_edges):
+            relation, pool_a, pool_b = relations[
+                int(self.rng.integers(len(relations)))
+            ]
+            if not pool_a or not pool_b:
+                continue
+            source = self._choice(pool_a)
+            target = self._choice(pool_b)
+            if source != target:
+                self._edge(source, target, relation)
+
+    def finish(self) -> SyntheticWorld:
+        return SyntheticWorld(
+            graph=self.graph,
+            events=self.events,
+            config=self.config,
+            countries=self.countries,
+            provinces=self.provinces,
+            cities=self.cities,
+            organizations=[o for orgs in self.org_ids.values() for o in orgs],
+            persons=self.persons,
+        )
+
+
+def generate_world(
+    config: WorldConfig | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> SyntheticWorld:
+    """Generate a :class:`SyntheticWorld` from ``config``.
+
+    Deterministic given ``config.seed`` (or an explicit ``rng``).
+    """
+    config = config or WorldConfig()
+    generator = ensure_rng(config.seed if rng is None else rng)
+    builder = _WorldBuilder(config, generator)
+    builder.build_geography()
+    builder.build_organizations()
+    builder.build_persons()
+    builder.build_events()
+    builder.build_extra_edges()
+    return builder.finish()

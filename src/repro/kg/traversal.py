@@ -1,0 +1,214 @@
+"""Shortest-path machinery over the bidirected KG view.
+
+The G* search (Algorithm 1) interleaves one Dijkstra *per entity label*, so
+:class:`MultiSourceShortestPaths` exposes an incremental, pop-one-node-at-a-
+time interface.  It also maintains full shortest-path **DAG** predecessors,
+because the Lowest Common Ancestor Graph must preserve *all* shortest paths
+``P(l -> r, D)`` from a label's source nodes to the root (Equation 1) — the
+"width"/coverage property that distinguishes LCAG from tree models.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Iterable
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.types import OrientedEdge
+
+# Tolerance for "two paths have the same weight".  Edge weights are user
+# data (usually 1.0); exact float equality would make tie detection fragile
+# under summation order.
+_TIE_EPS = 1e-9
+
+
+class MultiSourceShortestPaths:
+    """Incremental multi-source Dijkstra with shortest-path DAG tracking.
+
+    Sources all start at distance 0 (Definition 2: the entity-node distance
+    ``D(l, v)`` is the minimum over the label's source set ``S(l)``).  The
+    search runs over the *bidirected* view of the graph (§V-A).
+
+    Typical use::
+
+        sssp = MultiSourceShortestPaths(graph, sources)
+        while (peeked := sssp.peek_min()) is not None:
+            node, dist = sssp.pop()
+            ...
+
+    Popped nodes are *settled*: their distance is final and their
+    predecessor set already contains every tie predecessor (ties can only
+    come from strictly closer nodes because edge weights are positive).
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        sources: Iterable[str],
+        max_depth: float | None = None,
+    ) -> None:
+        self._graph = graph
+        self._max_depth = math.inf if max_depth is None else max_depth
+        self._settled: dict[str, float] = {}
+        self._tentative: dict[str, float] = {}
+        # node -> list of (pred_node, OrientedEdge towards node)
+        self._preds: dict[str, list[tuple[str, OrientedEdge]]] = {}
+        self._heap: list[tuple[float, str]] = []
+        self._sources = frozenset(sources)
+        for source in self._sources:
+            graph.node(source)  # raises NodeNotFoundError on bad input
+            self._tentative[source] = 0.0
+            self._preds[source] = []
+            heapq.heappush(self._heap, (0.0, source))
+
+    @property
+    def sources(self) -> frozenset[str]:
+        """The source node-id set (``S(l)`` for a label search)."""
+        return self._sources
+
+    # ------------------------------------------------------------------
+    # incremental interface
+    # ------------------------------------------------------------------
+    def peek_min(self) -> tuple[str, float] | None:
+        """The next node to settle and its distance, or None if exhausted."""
+        self._discard_stale()
+        if not self._heap:
+            return None
+        dist, node = self._heap[0]
+        return node, dist
+
+    def pop(self) -> tuple[str, float] | None:
+        """Settle and return the closest unsettled node, or None."""
+        peeked = self.peek_min()
+        if peeked is None:
+            return None
+        node, dist = peeked
+        heapq.heappop(self._heap)
+        del self._tentative[node]
+        self._settled[node] = dist
+        self._relax_neighbors(node, dist)
+        return node, dist
+
+    def _discard_stale(self) -> None:
+        while self._heap:
+            dist, node = self._heap[0]
+            current = self._tentative.get(node)
+            if current is not None and abs(current - dist) <= _TIE_EPS:
+                return
+            heapq.heappop(self._heap)
+
+    def _relax_neighbors(self, node: str, dist: float) -> None:
+        for neighbor, edge, forward in self._graph.bidirected_neighbors(node):
+            if neighbor in self._settled:
+                continue
+            candidate = dist + edge.weight
+            if candidate > self._max_depth + _TIE_EPS:
+                continue
+            oriented = OrientedEdge(
+                source=node,
+                target=neighbor,
+                relation=edge.relation,
+                forward=forward,
+                weight=edge.weight,
+            )
+            current = self._tentative.get(neighbor, math.inf)
+            if candidate < current - _TIE_EPS:
+                self._tentative[neighbor] = candidate
+                self._preds[neighbor] = [(node, oriented)]
+                heapq.heappush(self._heap, (candidate, neighbor))
+            elif abs(candidate - current) <= _TIE_EPS:
+                self._preds[neighbor].append((node, oriented))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_settled(self, node: str) -> bool:
+        """True if ``node``'s distance is final."""
+        return node in self._settled
+
+    def distance(self, node: str) -> float:
+        """Settled distance of ``node``; +inf when not settled yet."""
+        return self._settled.get(node, math.inf)
+
+    def settled_nodes(self) -> dict[str, float]:
+        """A copy of the settled node -> distance mapping."""
+        return dict(self._settled)
+
+    def run_to_completion(self) -> dict[str, float]:
+        """Settle every reachable node (within max_depth); return distances."""
+        while self.pop() is not None:
+            pass
+        return self.settled_nodes()
+
+    # ------------------------------------------------------------------
+    # shortest-path DAG extraction
+    # ------------------------------------------------------------------
+    def extract_paths_to(
+        self, target: str
+    ) -> tuple[set[str], set[OrientedEdge]]:
+        """All shortest paths from the sources to ``target`` (Equation 1).
+
+        Returns the node set and oriented edge set of the union of every
+        shortest path; edges are oriented source -> ... -> ``target``.
+        Requires ``target`` to be settled.
+        """
+        if target not in self._settled:
+            raise KeyError(f"target {target!r} is not settled")
+        nodes: set[str] = {target}
+        edges: set[OrientedEdge] = set()
+        stack = [target]
+        while stack:
+            current = stack.pop()
+            for pred, oriented in self._preds.get(current, []):
+                edges.add(oriented)
+                if pred not in nodes:
+                    nodes.add(pred)
+                    stack.append(pred)
+        return nodes, edges
+
+    def extract_single_path_to(
+        self, target: str
+    ) -> tuple[list[str], list[OrientedEdge]]:
+        """One (deterministic) shortest path to ``target``.
+
+        Used by the TreeEmb baseline, which keeps exactly one path per
+        label.  Ties are broken by the smallest predecessor node id so the
+        extraction is deterministic.
+        """
+        if target not in self._settled:
+            raise KeyError(f"target {target!r} is not settled")
+        path_nodes = [target]
+        path_edges: list[OrientedEdge] = []
+        current = target
+        while self._preds.get(current):
+            pred, oriented = min(self._preds[current], key=lambda item: item[0])
+            path_edges.append(oriented)
+            path_nodes.append(pred)
+            current = pred
+        path_nodes.reverse()
+        path_edges.reverse()
+        return path_nodes, path_edges
+
+
+def shortest_path_dag(
+    graph: KnowledgeGraph,
+    sources: Iterable[str],
+    max_depth: float | None = None,
+) -> MultiSourceShortestPaths:
+    """Run a multi-source Dijkstra to completion and return it."""
+    sssp = MultiSourceShortestPaths(graph, sources, max_depth=max_depth)
+    sssp.run_to_completion()
+    return sssp
+
+
+def pairwise_distance(graph: KnowledgeGraph, source: str, target: str) -> float:
+    """Bidirected shortest-path distance between two nodes (+inf if none)."""
+    sssp = MultiSourceShortestPaths(graph, [source])
+    while True:
+        popped = sssp.pop()
+        if popped is None:
+            return math.inf
+        node, dist = popped
+        if node == target:
+            return dist

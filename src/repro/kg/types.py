@@ -1,0 +1,115 @@
+"""Core KG value types: nodes, edges and entity types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class EntityType(str, enum.Enum):
+    """Entity types recognized during NER (paper §IV).
+
+    The paper keeps "all entity types except those representing numbers or
+    quantities"; the members below are the kept types plus ``OTHER`` for
+    untyped KG nodes (e.g. intermediate relationship nodes).
+    """
+
+    PERSON = "PERSON"
+    NORP = "NORP"  # nationality, religious or political group
+    FAC = "FAC"  # facility
+    ORG = "ORG"
+    GPE = "GPE"  # geo-political entity
+    LOC = "LOC"
+    PRODUCT = "PRODUCT"
+    EVENT = "EVENT"
+    WORK_OF_ART = "WORK_OF_ART"
+    LAW = "LAW"
+    LANGUAGE = "LANGUAGE"
+    OTHER = "OTHER"
+
+    @classmethod
+    def from_string(cls, value: str) -> "EntityType":
+        """Parse ``value`` case-insensitively, defaulting to ``OTHER``."""
+        try:
+            return cls(value.upper())
+        except ValueError:
+            return cls.OTHER
+
+
+@dataclass(frozen=True)
+class Node:
+    """A knowledge-graph entity node.
+
+    Attributes:
+        node_id: unique id, e.g. ``"Q42"`` in Wikidata style.
+        label: canonical (preferred) label.
+        entity_type: semantic type used by the NER filter.
+        aliases: alternative surface forms that also match this node.
+        description: short textual description (QEPRF expands queries with
+            these, mirroring Xiong & Callan's use of Freebase descriptions).
+    """
+
+    node_id: str
+    label: str
+    entity_type: EntityType = EntityType.OTHER
+    aliases: tuple[str, ...] = ()
+    description: str = ""
+
+    def surface_forms(self) -> tuple[str, ...]:
+        """All strings that exact-match this node: label plus aliases."""
+        return (self.label, *self.aliases)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed, typed, weighted relationship edge.
+
+    Attributes:
+        source: source node id.
+        target: target node id.
+        relation: relation name, e.g. ``"located_in"``.
+        weight: positive traversal cost (the paper's examples use 1).
+    """
+
+    source: str
+    target: str
+    relation: str
+    weight: float = 1.0
+
+    def reversed(self) -> "Edge":
+        """The reverse-orientation edge with the same relation and weight."""
+        return Edge(self.target, self.source, self.relation, self.weight)
+
+    def key(self) -> tuple[str, str, str]:
+        """Identity key ignoring weight (used for de-duplication)."""
+        return (self.source, self.target, self.relation)
+
+
+# Directed edge as stored in subgraph embeddings: orientation is *towards*
+# the common-ancestor root; ``forward`` records whether the traversal used
+# the original KG direction or the added reverse direction.
+@dataclass(frozen=True)
+class OrientedEdge:
+    """An edge of a subgraph embedding, oriented towards the root.
+
+    Attributes:
+        source: tail node id (closer to the entity leaf).
+        target: head node id (closer to the root).
+        relation: the original KG relation name.
+        forward: True if the KG stores ``source -> target`` with this
+            relation; False if the traversal used the reverse direction
+            (the KG stores ``target -> source``).
+        weight: traversal cost of the edge.
+    """
+
+    source: str
+    target: str
+    relation: str
+    forward: bool = True
+    weight: float = 1.0
+
+    def as_kg_edge(self) -> Edge:
+        """Recover the original KG-direction :class:`Edge`."""
+        if self.forward:
+            return Edge(self.source, self.target, self.relation, self.weight)
+        return Edge(self.target, self.source, self.relation, self.weight)

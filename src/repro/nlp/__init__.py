@@ -1,0 +1,37 @@
+"""NLP component (paper §IV): tokenization, sentence segmentation, NER and
+maximal entity co-occurrence sets.
+
+The paper implements this component with spaCy; here it is built from
+scratch: a regex tokenizer, a rule/gazetteer NER over the KG label index
+(with the paper's entity-type filter), and the Definition 1 reduction of
+per-segment entity groups.
+"""
+
+from repro.nlp.tokenizer import Token, tokenize, tokenize_words
+from repro.nlp.sentences import split_sentences, Sentence
+from repro.nlp.stopwords import STOPWORDS, is_stopword
+from repro.nlp.stemmer import porter_stem
+from repro.nlp.ner import EntityMention, GazetteerNer
+from repro.nlp.cooccurrence import maximal_cooccurrence_sets, EntityGroup
+from repro.nlp.disambiguation import DisambiguatingEmbedder, disambiguate_group
+from repro.nlp.pipeline import NlpPipeline, ProcessedDocument, NewsSegment
+
+__all__ = [
+    "DisambiguatingEmbedder",
+    "disambiguate_group",
+    "Token",
+    "tokenize",
+    "tokenize_words",
+    "Sentence",
+    "split_sentences",
+    "STOPWORDS",
+    "is_stopword",
+    "porter_stem",
+    "EntityMention",
+    "GazetteerNer",
+    "maximal_cooccurrence_sets",
+    "EntityGroup",
+    "NlpPipeline",
+    "ProcessedDocument",
+    "NewsSegment",
+]

@@ -1,0 +1,79 @@
+"""Maximal entity co-occurrence sets (paper Definition 1).
+
+Given the entity label sets identified for all news segments of a document,
+only sets that are not proper subsets of another are kept (and exact
+duplicates are kept once).  This reduces the number of subgraph-embedding
+searches the NE component must run per document.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EntityGroup:
+    """A group of co-occurring entity labels from one news segment.
+
+    Attributes:
+        labels: the normalized entity labels in the group.
+        segment_index: index of the originating news segment.
+    """
+
+    labels: frozenset[str]
+    segment_index: int
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+def maximal_cooccurrence_sets(
+    groups: Sequence[frozenset[str]],
+) -> list[frozenset[str]]:
+    """Return the maximal entity co-occurrence set ``U_m`` (Definition 1).
+
+    A label set ``L_i`` survives iff it is not a proper subset of any other
+    input set; among equal sets only the first occurrence is kept.  Output
+    order follows first occurrence in the input.
+
+    >>> maximal_cooccurrence_sets(
+    ...     [frozenset({"a", "b"}), frozenset({"a"}), frozenset({"a", "b"})]
+    ... )
+    [frozenset({'a', 'b'})]
+    """
+    kept: list[frozenset[str]] = []
+    seen: set[frozenset[str]] = set()
+    for index, candidate in enumerate(groups):
+        if not candidate or candidate in seen:
+            continue
+        is_proper_subset = any(
+            candidate < other for other in groups if other is not candidate
+        )
+        if is_proper_subset:
+            continue
+        # Equal sets elsewhere are fine (Definition 1 keeps one of them);
+        # ``seen`` already guarantees only the first is emitted.
+        del index
+        kept.append(candidate)
+        seen.add(candidate)
+    return kept
+
+
+def maximal_groups(groups: Sequence[EntityGroup]) -> list[EntityGroup]:
+    """Definition 1 applied to :class:`EntityGroup` objects.
+
+    Keeps the earliest segment's group when several groups carry equal
+    label sets.
+    """
+    label_sets = [group.labels for group in groups]
+    surviving = maximal_cooccurrence_sets(label_sets)
+    result: list[EntityGroup] = []
+    used: set[frozenset[str]] = set()
+    for labels in surviving:
+        for group in groups:
+            if group.labels == labels and labels not in used:
+                result.append(group)
+                used.add(labels)
+                break
+    return result

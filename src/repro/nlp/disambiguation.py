@@ -1,0 +1,83 @@
+"""Coherence-based entity disambiguation.
+
+Exact label matching maps ambiguous surface forms ("Lahore" names two KG
+nodes in the paper's Table I) to *every* candidate node.  The G* search
+tolerates that — ``D(l, v)`` minimizes over ``S(l)`` — but wrong-sense
+candidates can hijack the minimum when they happen to sit near the root.
+
+This extension filters each ambiguous label's candidate set by *coherence
+with the rest of its co-occurrence group*: a candidate survives if it lies
+within ``max_distance`` (bidirected) of some candidate of another label in
+the same group.  When no candidate survives, the original set is kept —
+disambiguation must never make a group unembeddable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.document_embedding import SegmentEmbedder
+from repro.core.ancestor_graph import CommonAncestorGraph
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.traversal import MultiSourceShortestPaths
+
+
+def disambiguate_group(
+    graph: KnowledgeGraph,
+    label_sources: Mapping[str, frozenset[str]],
+    max_distance: float = 3.0,
+) -> dict[str, frozenset[str]]:
+    """Filter ambiguous candidate sets by group coherence.
+
+    Labels with a single candidate pass through untouched; groups with a
+    single label cannot be disambiguated and pass through whole.
+    """
+    labels = list(label_sources)
+    if len(labels) < 2:
+        return dict(label_sources)
+    result: dict[str, frozenset[str]] = {}
+    for label in labels:
+        candidates = label_sources[label]
+        if len(candidates) <= 1:
+            result[label] = candidates
+            continue
+        other_sources = frozenset().union(
+            *(label_sources[other] for other in labels if other != label)
+        )
+        if not other_sources:
+            result[label] = candidates
+            continue
+        search = MultiSourceShortestPaths(
+            graph, other_sources, max_depth=max_distance
+        )
+        search.run_to_completion()
+        coherent = frozenset(
+            candidate for candidate in candidates if search.is_settled(candidate)
+        )
+        result[label] = coherent if coherent else candidates
+    return result
+
+
+@dataclass
+class DisambiguatingEmbedder:
+    """Decorator embedder: disambiguate the group, then delegate.
+
+    Wraps any :class:`SegmentEmbedder` (LCAG or TreeEmb), satisfying the
+    same protocol so it drops into ``embed_document`` and the engine.
+    """
+
+    graph: KnowledgeGraph
+    inner: SegmentEmbedder
+    max_distance: float = 3.0
+
+    def embed(
+        self, label_sources: Mapping[str, frozenset[str]]
+    ) -> CommonAncestorGraph | None:
+        """Embed with coherence-filtered candidate sets."""
+        if not label_sources:
+            return None
+        filtered = disambiguate_group(
+            self.graph, label_sources, self.max_distance
+        )
+        return self.inner.embed(filtered)

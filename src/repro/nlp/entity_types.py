@@ -1,0 +1,38 @@
+"""Entity-type policy for NER (paper §IV).
+
+The paper keeps every entity type "except those representing numbers or
+quantities", listing person, nationality/religious/political groups,
+facilities, organization, GPE, location, product, event, work of art, law
+and language.
+"""
+
+from __future__ import annotations
+
+from repro.kg.types import EntityType
+
+#: The paper's allowed types (§IV), excluding numeric/quantity types.
+PAPER_ALLOWED_TYPES: frozenset[EntityType] = frozenset(
+    {
+        EntityType.PERSON,
+        EntityType.NORP,
+        EntityType.FAC,
+        EntityType.ORG,
+        EntityType.GPE,
+        EntityType.LOC,
+        EntityType.PRODUCT,
+        EntityType.EVENT,
+        EntityType.WORK_OF_ART,
+        EntityType.LAW,
+        EntityType.LANGUAGE,
+    }
+)
+
+#: spaCy types the paper's filter drops.
+EXCLUDED_TYPE_NAMES: frozenset[str] = frozenset(
+    {"DATE", "TIME", "PERCENT", "MONEY", "QUANTITY", "ORDINAL", "CARDINAL"}
+)
+
+
+def is_allowed(entity_type: EntityType, allowed_names: tuple[str, ...]) -> bool:
+    """True when ``entity_type`` is in the configured allow-list."""
+    return entity_type.value in allowed_names

@@ -1,0 +1,168 @@
+"""Gazetteer named-entity recognition (spaCy substitute).
+
+The recognizer proposes capitalized spans and resolves them against the KG
+label index with exact matching (§IV).  Spans that look like entities but
+match no KG node are still *identified* (with an empty node set) — the
+ratio of matched to identified mentions is the paper's Table V entity
+matching ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import NerConfig
+from repro.kg.label_index import LabelIndex
+from repro.kg.types import EntityType
+from repro.nlp.stopwords import is_stopword
+from repro.nlp.tokenizer import Token, tokenize
+
+
+@dataclass(frozen=True)
+class EntityMention:
+    """An entity mention in text.
+
+    Attributes:
+        text: the exact surface span.
+        start: character offset (relative to the text the NER was given).
+        end: one-past-the-end character offset.
+        node_ids: KG nodes whose surface forms exact-match this mention;
+            empty when the mention is identified but unmatched.
+        entity_type: the type of a matching KG node, or ``OTHER`` when
+            unmatched.
+    """
+
+    text: str
+    start: int
+    end: int
+    node_ids: frozenset[str]
+    entity_type: EntityType = EntityType.OTHER
+
+    @property
+    def matched(self) -> bool:
+        """True when the mention resolves to at least one KG node."""
+        return bool(self.node_ids)
+
+
+class GazetteerNer:
+    """Longest-match gazetteer NER over a :class:`LabelIndex`."""
+
+    def __init__(self, label_index: LabelIndex, config: NerConfig | None = None) -> None:
+        self._index = label_index
+        self._config = config or NerConfig()
+
+    @property
+    def config(self) -> NerConfig:
+        """The active NER configuration."""
+        return self._config
+
+    def recognize(self, text: str) -> list[EntityMention]:
+        """Recognize entity mentions in ``text`` (one sentence/segment).
+
+        Scans left to right, preferring the longest span (up to
+        ``max_gram`` tokens) that exact-matches the KG; failing that, a
+        maximal run of capitalized words becomes an identified-but-unmatched
+        mention.  Type-filtered per the paper (§IV).
+        """
+        tokens = tokenize(text)
+        mentions: list[EntityMention] = []
+        index = 0
+        while index < len(tokens):
+            if not self._can_start_span(tokens, index):
+                index += 1
+                continue
+            mention, consumed = self._match_at(text, tokens, index)
+            if mention is not None:
+                if self._type_allowed(mention):
+                    mentions.append(mention)
+                index += consumed
+            else:
+                index += 1
+        return mentions
+
+    # ------------------------------------------------------------------
+    def _can_start_span(self, tokens: list[Token], index: int) -> bool:
+        token = tokens[index]
+        if not token.is_word:
+            return False
+        if self._config.require_capitalized and not token.is_capitalized:
+            return False
+        return not is_stopword(token.text)
+
+    def _span_tokens_ok(
+        self,
+        tokens: list[Token],
+        start: int,
+        length: int,
+        require_capitalized: bool | None = None,
+    ) -> bool:
+        if require_capitalized is None:
+            require_capitalized = self._config.require_capitalized
+        span = tokens[start : start + length]
+        if len(span) < length:
+            return False
+        for position, token in enumerate(span):
+            if not token.is_word:
+                return False
+            interior = 0 < position < length - 1
+            if interior and is_stopword(token.text):
+                # Lowercase function words are fine inside a name
+                # ("Bank of Pakistan").
+                continue
+            if require_capitalized and not token.is_capitalized:
+                return False
+        # Spans must not end in a stopword ("Bank of" is not an entity).
+        return not is_stopword(span[-1].text)
+
+    def _match_at(
+        self, text: str, tokens: list[Token], start: int
+    ) -> tuple[EntityMention | None, int]:
+        # 1) longest gazetteer match wins
+        for length in range(self._config.max_gram, 0, -1):
+            if not self._span_tokens_ok(tokens, start, length):
+                continue
+            surface = text[tokens[start].start : tokens[start + length - 1].end]
+            node_ids = self._index.try_lookup(surface)
+            if node_ids:
+                return (
+                    EntityMention(
+                        text=surface,
+                        start=tokens[start].start,
+                        end=tokens[start + length - 1].end,
+                        node_ids=node_ids,
+                        entity_type=self._dominant_type(node_ids),
+                    ),
+                    length,
+                )
+        # 2) heuristic: a maximal capitalized run is an unmatched mention.
+        # Capitalization is required here regardless of config — without
+        # the gazetteer, casing is the only entity signal.
+        length = 0
+        while self._span_tokens_ok(tokens, start, length + 1, require_capitalized=True):
+            length += 1
+            if length >= self._config.max_gram:
+                break
+        if length == 0:
+            return None, 1
+        if length == 1 and start == 0:
+            # A lone capitalized sentence-initial word is most likely just
+            # sentence case, not an entity.
+            return None, 1
+        surface = text[tokens[start].start : tokens[start + length - 1].end]
+        mention = EntityMention(
+            text=surface,
+            start=tokens[start].start,
+            end=tokens[start + length - 1].end,
+            node_ids=frozenset(),
+        )
+        return mention, length
+
+    def _dominant_type(self, node_ids: frozenset[str]) -> EntityType:
+        graph = self._index.graph
+        types = sorted(graph.node(node_id).entity_type.value for node_id in node_ids)
+        return EntityType.from_string(types[0]) if types else EntityType.OTHER
+
+    def _type_allowed(self, mention: EntityMention) -> bool:
+        if not mention.matched:
+            return True
+        return mention.entity_type.value in self._config.allowed_types

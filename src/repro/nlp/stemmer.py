@@ -1,0 +1,196 @@
+"""Porter stemmer, implemented from the original 1980 paper.
+
+Used by the analyzer chain of the search engine (Lucene's default English
+analysis applies stemming); implemented from scratch because no NLP
+dependency is available offline.
+"""
+
+from __future__ import annotations
+
+_VOWELS = "aeiou"
+
+
+def _is_consonant(word: str, index: int) -> bool:
+    char = word[index]
+    if char in _VOWELS:
+        return False
+    if char == "y":
+        return index == 0 or not _is_consonant(word, index - 1)
+    return True
+
+
+def _measure(stem: str) -> int:
+    """Porter's m: the number of VC sequences in the stem."""
+    forms = []
+    for index in range(len(stem)):
+        forms.append("c" if _is_consonant(stem, index) else "v")
+    collapsed = "".join(forms)
+    # collapse runs
+    reduced = []
+    for char in collapsed:
+        if not reduced or reduced[-1] != char:
+            reduced.append(char)
+    pattern = "".join(reduced)
+    if pattern.startswith("c"):
+        pattern = pattern[1:]
+    if pattern.endswith("v"):
+        pattern = pattern[:-1]
+    # What remains alternates v/c, starting with 'v' and ending with 'c',
+    # so each VC pair contributes exactly two characters.
+    return len(pattern) // 2
+
+
+def _contains_vowel(stem: str) -> bool:
+    return any(not _is_consonant(stem, index) for index in range(len(stem)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (
+        len(word) >= 2
+        and word[-1] == word[-2]
+        and _is_consonant(word, len(word) - 1)
+    )
+
+
+def _ends_cvc(word: str) -> bool:
+    if len(word) < 3:
+        return False
+    if not (
+        _is_consonant(word, len(word) - 3)
+        and not _is_consonant(word, len(word) - 2)
+        and _is_consonant(word, len(word) - 1)
+    ):
+        return False
+    return word[-1] not in "wxy"
+
+
+def _replace_suffix(word: str, suffix: str, replacement: str, min_measure: int) -> str | None:
+    if not word.endswith(suffix):
+        return None
+    stem = word[: len(word) - len(suffix)]
+    if _measure(stem) > min_measure - 1:
+        return stem + replacement
+    return word
+
+
+def _step_1a(word: str) -> str:
+    if word.endswith("sses"):
+        return word[:-2]
+    if word.endswith("ies"):
+        return word[:-2]
+    if word.endswith("ss"):
+        return word
+    if word.endswith("s"):
+        return word[:-1]
+    return word
+
+
+def _step_1b(word: str) -> str:
+    if word.endswith("eed"):
+        stem = word[:-3]
+        if _measure(stem) > 0:
+            return word[:-1]
+        return word
+    applied = False
+    if word.endswith("ed") and _contains_vowel(word[:-2]):
+        word = word[:-2]
+        applied = True
+    elif word.endswith("ing") and _contains_vowel(word[:-3]):
+        word = word[:-3]
+        applied = True
+    if applied:
+        if word.endswith(("at", "bl", "iz")):
+            return word + "e"
+        if _ends_double_consonant(word) and word[-1] not in "lsz":
+            return word[:-1]
+        if _measure(word) == 1 and _ends_cvc(word):
+            return word + "e"
+    return word
+
+
+def _step_1c(word: str) -> str:
+    if word.endswith("y") and _contains_vowel(word[:-1]):
+        return word[:-1] + "i"
+    return word
+
+
+_STEP2_RULES = [
+    ("ational", "ate"), ("tional", "tion"), ("enci", "ence"), ("anci", "ance"),
+    ("izer", "ize"), ("abli", "able"), ("alli", "al"), ("entli", "ent"),
+    ("eli", "e"), ("ousli", "ous"), ("ization", "ize"), ("ation", "ate"),
+    ("ator", "ate"), ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+    ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"), ("biliti", "ble"),
+]
+
+_STEP3_RULES = [
+    ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+    ("ical", "ic"), ("ful", ""), ("ness", ""),
+]
+
+_STEP4_SUFFIXES = [
+    "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+    "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+]
+
+
+def _step_2(word: str) -> str:
+    for suffix, replacement in _STEP2_RULES:
+        if word.endswith(suffix):
+            stem = word[: len(word) - len(suffix)]
+            if _measure(stem) > 0:
+                return stem + replacement
+            return word
+    return word
+
+
+def _step_3(word: str) -> str:
+    for suffix, replacement in _STEP3_RULES:
+        if word.endswith(suffix):
+            stem = word[: len(word) - len(suffix)]
+            if _measure(stem) > 0:
+                return stem + replacement
+            return word
+    return word
+
+
+def _step_4(word: str) -> str:
+    for suffix in _STEP4_SUFFIXES:
+        if word.endswith(suffix):
+            stem = word[: len(word) - len(suffix)]
+            if _measure(stem) > 1:
+                return stem
+            return word
+    if word.endswith("ion"):
+        stem = word[:-3]
+        if stem.endswith(("s", "t")) and _measure(stem) > 1:
+            return stem
+    return word
+
+
+def _step_5(word: str) -> str:
+    if word.endswith("e"):
+        stem = word[:-1]
+        m = _measure(stem)
+        if m > 1 or (m == 1 and not _ends_cvc(stem)):
+            word = stem
+    if word.endswith("ll") and _measure(word) > 1:
+        word = word[:-1]
+    return word
+
+
+def porter_stem(word: str) -> str:
+    """Stem ``word`` with the Porter algorithm.
+
+    Words of length <= 2 are returned unchanged, per the original paper.
+    """
+    word = word.lower()
+    if len(word) <= 2 or not word.isalpha():
+        return word
+    word = _step_1a(word)
+    word = _step_1b(word)
+    word = _step_1c(word)
+    word = _step_2(word)
+    word = _step_3(word)
+    word = _step_4(word)
+    word = _step_5(word)
+    return word

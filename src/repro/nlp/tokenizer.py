@@ -1,0 +1,60 @@
+"""Regex tokenizer with character offsets.
+
+Offsets are preserved so the NER can report exact mention spans and so
+entity density (entities per term, §VII-B) can be computed per sentence.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    [A-Za-z]+(?:'[A-Za-z]+)?   # words, with internal apostrophe (don't)
+    | \d+(?:[.,]\d+)*          # numbers like 1,000 or 3.14
+    | [^\w\s]                  # single punctuation mark
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A token with its surface text and character span.
+
+    Attributes:
+        text: the token surface form.
+        start: character offset of the first character.
+        end: character offset one past the last character.
+    """
+
+    text: str
+    start: int
+    end: int
+
+    @property
+    def is_word(self) -> bool:
+        """True for alphabetic tokens (not numbers or punctuation)."""
+        return self.text[:1].isalpha()
+
+    @property
+    def is_capitalized(self) -> bool:
+        """True if the token begins with an uppercase letter."""
+        return self.text[:1].isupper()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into :class:`Token` objects with offsets."""
+    return [
+        Token(match.group(), match.start(), match.end())
+        for match in _TOKEN_PATTERN.finditer(text)
+    ]
+
+
+def tokenize_words(text: str, lowercase: bool = True) -> list[str]:
+    """Word-only tokenization (drops numbers and punctuation)."""
+    words = [token.text for token in tokenize(text) if token.is_word]
+    if lowercase:
+        words = [word.lower() for word in words]
+    return words

@@ -1,0 +1,36 @@
+"""NS component (paper §VI): index building and query processing.
+
+A from-scratch inverted-index retrieval stack (the Lucene substitute):
+analyzer chain, postings, BM25 and TF-IDF scoring, the Bag-Of-Node channel
+over subgraph embeddings, Equation 3 score fusion, and the end-to-end
+:class:`NewsLinkEngine`.
+"""
+
+from repro.search.analyzer import Analyzer
+from repro.search.inverted_index import InvertedIndex
+from repro.search.bm25 import Bm25Scorer
+from repro.search.tfidf import TfIdfScorer
+from repro.search.bon import bon_terms
+from repro.search.fusion import fuse_scores
+from repro.search.topk import top_k
+from repro.search.wand import MaxScoreRanker
+from repro.search.threshold import threshold_topk, threshold_topk_with_stats
+from repro.search.snippets import Snippet, SnippetGenerator
+from repro.search.engine import NewsLinkEngine, SearchResult
+
+__all__ = [
+    "Snippet",
+    "SnippetGenerator",
+    "Analyzer",
+    "InvertedIndex",
+    "Bm25Scorer",
+    "TfIdfScorer",
+    "bon_terms",
+    "fuse_scores",
+    "top_k",
+    "MaxScoreRanker",
+    "threshold_topk",
+    "threshold_topk_with_stats",
+    "NewsLinkEngine",
+    "SearchResult",
+]

@@ -1,0 +1,38 @@
+"""Text analysis chain for indexing and querying.
+
+Mirrors Lucene's default English analysis: lowercase tokenization, stopword
+removal and (Porter) stemming.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.stemmer import porter_stem
+from repro.nlp.stopwords import is_stopword
+from repro.nlp.tokenizer import tokenize_words
+
+
+class Analyzer:
+    """Configurable lowercase/stop/stem analyzer."""
+
+    def __init__(self, remove_stopwords: bool = True, stem: bool = True) -> None:
+        self._remove_stopwords = remove_stopwords
+        self._stem = stem
+        self._stem_cache: dict[str, str] = {}
+
+    def analyze(self, text: str) -> list[str]:
+        """Analyze ``text`` into index terms."""
+        terms = []
+        for word in tokenize_words(text, lowercase=True):
+            if self._remove_stopwords and is_stopword(word):
+                continue
+            if self._stem:
+                word = self._cached_stem(word)
+            terms.append(word)
+        return terms
+
+    def _cached_stem(self, word: str) -> str:
+        stemmed = self._stem_cache.get(word)
+        if stemmed is None:
+            stemmed = porter_stem(word)
+            self._stem_cache[word] = stemmed
+        return stemmed

@@ -1,0 +1,67 @@
+"""BM25 scoring (Robertson & Zaragoza), with Lucene's IDF formulation.
+
+This is the term-weighting the paper uses for both channels: "The scoring
+is based on BM25 with default settings provided by Lucene" (§VII-A4).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Mapping
+
+from repro.config import Bm25Config
+from repro.search.inverted_index import InvertedIndex
+
+
+class Bm25Scorer:
+    """Scores queries against an :class:`InvertedIndex` with BM25."""
+
+    def __init__(self, index: InvertedIndex, config: Bm25Config | None = None) -> None:
+        self._index = index
+        self._config = config or Bm25Config()
+
+    @property
+    def index(self) -> InvertedIndex:
+        """The underlying index."""
+        return self._index
+
+    def idf(self, term: str) -> float:
+        """Lucene's BM25 IDF: ``ln(1 + (N - df + 0.5) / (df + 0.5))``."""
+        df = self._index.doc_frequency(term)
+        n = self._index.num_docs
+        return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+
+    def score(self, query_terms: Iterable[str]) -> dict[str, float]:
+        """BM25 scores of all documents matching any query term.
+
+        Repeated query terms contribute multiplicatively (standard bag
+        semantics).
+        """
+        weights = Counter(query_terms)
+        return self.score_weighted(weights)
+
+    def score_weighted(self, term_weights: Mapping[str, float]) -> dict[str, float]:
+        """BM25 with per-term query weights (used by query expansion)."""
+        k1 = self._config.k1
+        b = self._config.b
+        avgdl = self._index.avg_doc_length
+        scores: dict[str, float] = {}
+        for term, weight in term_weights.items():
+            if weight == 0:
+                continue
+            postings = self._index.postings(term)
+            if not postings:
+                continue
+            idf = self.idf(term)
+            for doc_id, tf in postings.items():
+                dl = self._index.doc_length(doc_id)
+                norm = 1.0 if avgdl == 0 else (1.0 - b + b * dl / avgdl)
+                contribution = idf * (tf * (k1 + 1.0)) / (tf + k1 * norm)
+                scores[doc_id] = scores.get(doc_id, 0.0) + weight * contribution
+        return scores
+
+    def score_document(self, query_terms: Iterable[str], doc_id: str) -> float:
+        """BM25 score of one document (brute-force reference for tests)."""
+        scores = self.score(query_terms)
+        return scores.get(doc_id, 0.0)

@@ -1,0 +1,18 @@
+"""Bag-Of-Node (BON) representation of subgraph embeddings (§VI).
+
+A document embedding becomes a bag whose "terms" are KG node ids, with term
+frequency equal to the node's multiplicity across the document's segment
+embeddings (overlapped nodes count higher — Figure 4's orange nodes).
+"""
+
+from __future__ import annotations
+
+from repro.core.document_embedding import DocumentEmbedding
+
+
+def bon_terms(embedding: DocumentEmbedding) -> list[str]:
+    """Flatten ``embedding`` into BON index terms (node ids with repeats)."""
+    terms: list[str] = []
+    for node_id in sorted(embedding.node_counts):
+        terms.extend([node_id] * embedding.node_counts[node_id])
+    return terms

@@ -1,0 +1,391 @@
+"""The end-to-end NewsLink engine (architecture of Figure 2).
+
+``NewsLinkEngine`` wires the three components together:
+
+* **NLP** — sentence segmentation, NER, maximal entity co-occurrence sets;
+* **NE**  — one ``G*`` per entity group, unioned into a document embedding;
+* **NS**  — two inverted indexes (text terms and embedding nodes), BM25 on
+  each, Equation 3 fusion, top-k ranking, and path explanations.
+
+Each stage can be timed into a :class:`TimingBreakdown` for the Fig 7 and
+Table VIII experiments.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.config import EngineConfig
+from repro.core.document_embedding import (
+    DocumentEmbedding,
+    SegmentEmbedder,
+    embed_document,
+)
+from typing import TYPE_CHECKING
+
+from repro.core.explain import RelationshipPath, explain_pair, verbalize_path
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.presentation import Explanation, ExplanationOptions
+    from repro.search.snippets import Snippet
+from repro.core.lcag import LcagEmbedder
+from repro.core.tree_emb import TreeEmbedder
+from repro.data.document import Corpus, NewsDocument
+from repro.errors import DataError, DocumentNotIndexedError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.label_index import LabelIndex
+from repro.nlp.pipeline import NlpPipeline, ProcessedDocument
+from repro.search.analyzer import Analyzer
+from repro.search.bm25 import Bm25Scorer
+from repro.search.bon import bon_terms
+from repro.search.fusion import fuse_scores
+from repro.search.inverted_index import InvertedIndex
+from repro.search.topk import top_k
+from repro.utils.timing import TimingBreakdown
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked search result.
+
+    Attributes:
+        doc_id: the retrieved document.
+        score: the fused Equation 3 score.
+        bow_score: the text channel's (normalized) contribution basis.
+        bon_score: the node channel's (normalized) contribution basis.
+    """
+
+    doc_id: str
+    score: float
+    bow_score: float
+    bon_score: float
+
+
+class NewsLinkEngine:
+    """Index a news corpus against a KG and search it with Equation 3."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        config: EngineConfig | None = None,
+        label_index: LabelIndex | None = None,
+    ) -> None:
+        self._graph = graph
+        self._config = config or EngineConfig()
+        self._label_index = label_index or LabelIndex(graph)
+        self._pipeline = NlpPipeline(
+            self._label_index,
+            self._config.ner,
+            segment_window=self._config.segment_window,
+        )
+        self._embedder: SegmentEmbedder
+        if self._config.use_tree_embedder:
+            self._embedder = TreeEmbedder(graph, self._config.tree_emb)
+        else:
+            self._embedder = LcagEmbedder(graph, self._config.lcag)
+        if self._config.disambiguate:
+            from repro.nlp.disambiguation import DisambiguatingEmbedder
+
+            self._embedder = DisambiguatingEmbedder(
+                graph, self._embedder, self._config.disambiguation_distance
+            )
+        if self._config.cache_embeddings:
+            from repro.core.cache import CachingEmbedder
+
+            self._embedder = CachingEmbedder(
+                self._embedder, self._config.cache_size
+            )
+        self._analyzer = Analyzer()
+        self._text_index = InvertedIndex()
+        self._node_index = InvertedIndex()
+        self._text_scorer = Bm25Scorer(self._text_index, self._config.bm25)
+        self._node_scorer = Bm25Scorer(self._node_index, self._config.bm25)
+        self._embeddings: dict[str, DocumentEmbedding] = {}
+        self._texts: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> KnowledgeGraph:
+        """The knowledge graph documents are embedded into."""
+        return self._graph
+
+    @property
+    def config(self) -> EngineConfig:
+        """The engine configuration."""
+        return self._config
+
+    @property
+    def label_index(self) -> LabelIndex:
+        """The exact-match label index (``S(l)``)."""
+        return self._label_index
+
+    @property
+    def pipeline(self) -> NlpPipeline:
+        """The NLP component."""
+        return self._pipeline
+
+    @property
+    def num_indexed(self) -> int:
+        """Number of indexed documents."""
+        return self._text_index.num_docs
+
+    def embedding(self, doc_id: str) -> DocumentEmbedding:
+        """The stored subgraph embedding of ``doc_id``."""
+        embedding = self._embeddings.get(doc_id)
+        if embedding is None:
+            raise DocumentNotIndexedError(doc_id)
+        return embedding
+
+    def has_embedding(self, doc_id: str) -> bool:
+        """True when ``doc_id`` was indexed with a non-empty embedding."""
+        return doc_id in self._embeddings
+
+    # ------------------------------------------------------------------
+    # index building (§VI)
+    # ------------------------------------------------------------------
+    def index_document(
+        self,
+        document: NewsDocument,
+        timing: TimingBreakdown | None = None,
+    ) -> bool:
+        """Process, embed and index one document.
+
+        Returns False (and indexes nothing) when no subgraph embedding can
+        be found — the paper filters such documents from the corpus
+        (§VII-A2).
+        """
+        timing = timing or TimingBreakdown()
+        with timing.measure("nlp"):
+            processed = self._pipeline.process(document.text, document.doc_id)
+        with timing.measure("ne"):
+            embedding = embed_document(processed, self._embedder)
+        if embedding.is_empty:
+            return False
+        with timing.measure("ns"):
+            self._text_index.add_document(
+                document.doc_id, self._analyzer.analyze(document.text)
+            )
+            self._node_index.add_document(document.doc_id, bon_terms(embedding))
+            self._embeddings[document.doc_id] = embedding
+            self._texts[document.doc_id] = document.text
+        return True
+
+    def index_corpus(
+        self,
+        corpus: Corpus,
+        timing: TimingBreakdown | None = None,
+    ) -> list[str]:
+        """Index every document of ``corpus``; returns skipped doc ids."""
+        skipped = []
+        for document in corpus:
+            if not self.index_document(document, timing=timing):
+                skipped.append(document.doc_id)
+        return skipped
+
+    # ------------------------------------------------------------------
+    # query processing (§VI)
+    # ------------------------------------------------------------------
+    def process_query(
+        self, text: str, timing: TimingBreakdown | None = None
+    ) -> tuple[ProcessedDocument, DocumentEmbedding]:
+        """Run the NLP and NE stages on a query text."""
+        timing = timing or TimingBreakdown()
+        with timing.measure("nlp"):
+            processed = self._pipeline.process(text, "__query__")
+        with timing.measure("ne"):
+            embedding = embed_document(processed, self._embedder)
+        return processed, embedding
+
+    def search(
+        self,
+        text: str,
+        k: int = 10,
+        timing: TimingBreakdown | None = None,
+        beta: float | None = None,
+    ) -> list[SearchResult]:
+        """Top-``k`` search with Equation 3 fusion.
+
+        ``beta`` overrides the configured fusion weight for this query,
+        which lets the Table VII sweep reuse one indexed engine.
+        """
+        timing = timing or TimingBreakdown()
+        _, query_embedding = self.process_query(text, timing=timing)
+        with timing.measure("ns"):
+            results = self._rank(text, query_embedding, k, beta)
+        return results
+
+    def search_with_embedding(
+        self,
+        text: str,
+        query_embedding: DocumentEmbedding,
+        k: int = 10,
+        beta: float | None = None,
+    ) -> list[SearchResult]:
+        """Rank with a precomputed query embedding (used by benchmarks)."""
+        return self._rank(text, query_embedding, k, beta)
+
+    def _rank(
+        self,
+        text: str,
+        query_embedding: DocumentEmbedding,
+        k: int,
+        beta: float | None = None,
+    ) -> list[SearchResult]:
+        fusion = self._config.fusion
+        if beta is not None and beta != fusion.beta:
+            fusion = replace(fusion, beta=beta)
+        beta = fusion.beta
+        bow_scores: dict[str, float] = {}
+        bon_scores: dict[str, float] = {}
+        if beta < 1.0:
+            bow_scores = self._text_scorer.score(self._analyzer.analyze(text))
+        if beta > 0.0 and not query_embedding.is_empty:
+            bon_scores = self._node_scorer.score(bon_terms(query_embedding))
+        fused = fuse_scores(bow_scores, bon_scores, fusion)
+        ranked = top_k(fused, k)
+        return [
+            SearchResult(
+                doc_id=doc_id,
+                score=score,
+                bow_score=bow_scores.get(doc_id, 0.0),
+                bon_score=bon_scores.get(doc_id, 0.0),
+            )
+            for doc_id, score in ranked
+        ]
+
+    # ------------------------------------------------------------------
+    # maintenance & persistence
+    # ------------------------------------------------------------------
+    def remove_document(self, doc_id: str) -> None:
+        """Remove an indexed document from both indexes."""
+        if doc_id not in self._embeddings:
+            raise DocumentNotIndexedError(doc_id)
+        self._text_index.remove_document(doc_id)
+        self._node_index.remove_document(doc_id)
+        del self._embeddings[doc_id]
+        self._texts.pop(doc_id, None)
+
+    def document_text(self, doc_id: str) -> str:
+        """The stored raw text of an indexed document."""
+        text = self._texts.get(doc_id)
+        if text is None:
+            raise DocumentNotIndexedError(doc_id)
+        return text
+
+    def snippet(self, query_text: str, doc_id: str) -> "Snippet":
+        """A query-biased, highlighted snippet of an indexed document."""
+        from repro.search.snippets import SnippetGenerator
+
+        generator = SnippetGenerator(self._analyzer, self._text_scorer)
+        return generator.generate(self.document_text(doc_id), query_text)
+
+    def save_index(self, path: "str | Path") -> None:
+        """Persist both inverted indexes and all document embeddings.
+
+        Embedding a corpus dominates indexing cost (Fig 7); saving lets a
+        deployment reload in seconds.  The knowledge graph itself is not
+        stored — load with the same graph (persist it separately with
+        :func:`repro.kg.io.save_graph_json`).
+        """
+        from repro.core.serialization import embedding_to_dict
+
+        payload = {
+            "format": "newslink-index",
+            "version": 1,
+            "text_index": self._text_index.to_forward_map(),
+            "node_index": self._node_index.to_forward_map(),
+            "texts": dict(self._texts),
+            "embeddings": [
+                embedding_to_dict(embedding)
+                for embedding in self._embeddings.values()
+            ],
+        }
+        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    def load_index(self, path: "str | Path") -> int:
+        """Load an index written by :meth:`save_index`; returns doc count.
+
+        Existing index contents are replaced.
+        """
+        from repro.core.serialization import embedding_from_dict
+
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("format") != "newslink-index":
+            raise DataError(f"{path}: not a NewsLink index file")
+        self._text_index = InvertedIndex()
+        self._node_index = InvertedIndex()
+        self._text_scorer = Bm25Scorer(self._text_index, self._config.bm25)
+        self._node_scorer = Bm25Scorer(self._node_index, self._config.bm25)
+        self._embeddings = {}
+        self._texts = {
+            doc_id: str(text) for doc_id, text in payload.get("texts", {}).items()
+        }
+        for doc_id, counts in payload["text_index"].items():
+            self._text_index.add_document_counts(doc_id, counts)
+        for doc_id, counts in payload["node_index"].items():
+            self._node_index.add_document_counts(doc_id, counts)
+        for raw in payload["embeddings"]:
+            embedding = embedding_from_dict(raw)
+            self._embeddings[embedding.doc_id] = embedding
+        return self.num_indexed
+
+    # ------------------------------------------------------------------
+    # explanations (Tables II & VI)
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        query_text: str,
+        result_doc_id: str,
+        max_paths: int = 10,
+    ) -> list[RelationshipPath]:
+        """Relationship paths linking the query to a retrieved document."""
+        _, query_embedding = self.process_query(query_text)
+        result_embedding = self.embedding(result_doc_id)
+        return explain_pair(query_embedding, result_embedding, max_paths=max_paths)
+
+    def explanation(
+        self,
+        query_text: str,
+        result_doc_id: str,
+        options: "ExplanationOptions | None" = None,
+    ) -> "Explanation":
+        """A presentable explanation (novelty-ranked, overload-budgeted).
+
+        Implements the presentation improvements the paper's user-study
+        feedback motivates (§VII-D); see :mod:`repro.core.presentation`.
+        """
+        from repro.core.presentation import ExplanationPresenter
+
+        _, query_embedding = self.process_query(query_text)
+        result_embedding = self.embedding(result_doc_id)
+        presenter = ExplanationPresenter(self._graph)
+        return presenter.build(query_embedding, result_embedding, options)
+
+    def explain_verbalized(
+        self,
+        query_text: str,
+        result_doc_id: str,
+        max_paths: int = 10,
+    ) -> list[str]:
+        """Human-readable rendering of :meth:`explain`.
+
+        Entities mentioned in both the query and the result (the trivial
+        keyword evidence, Table I's "matched entities") are listed first,
+        followed by the relationship paths linking the *unmatched* ones.
+        """
+        _, query_embedding = self.process_query(query_text)
+        result_embedding = self.embedding(result_doc_id)
+        shared = sorted(
+            query_embedding.entity_nodes() & result_embedding.entity_nodes()
+        )
+        lines = [
+            f"{self._graph.node(node_id).label} (mentioned by both)"
+            for node_id in shared
+        ]
+        paths = explain_pair(query_embedding, result_embedding, max_paths=max_paths)
+        lines.extend(verbalize_path(path, self._graph) for path in paths)
+        return lines

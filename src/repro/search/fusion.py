@@ -1,0 +1,48 @@
+"""Equation 3 score fusion.
+
+``F(T_q, T_c) = (1 - beta) * F_BOW(T_q, T_c) + beta * F_BON(G*_q, G*_c)``
+
+Both channels are BM25 scores, combined raw by default as in the paper:
+raw magnitudes carry confidence, so a query whose subgraph embedding is
+weak naturally contributes little BON mass.  Per-query max-normalization
+is available as an option and compared in
+``benchmarks/bench_ablation_fusion.py``.  With ``beta = 0`` the fused
+ranking equals the text-only (Lucene) ranking; with ``beta = 1`` it is
+purely the subgraph-embedding ranking.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.config import FusionConfig
+
+
+def _max_normalize(scores: Mapping[str, float]) -> dict[str, float]:
+    if not scores:
+        return {}
+    peak = max(scores.values())
+    if peak <= 0:
+        return dict(scores)
+    return {doc_id: value / peak for doc_id, value in scores.items()}
+
+
+def fuse_scores(
+    bow_scores: Mapping[str, float],
+    bon_scores: Mapping[str, float],
+    config: FusionConfig | None = None,
+) -> dict[str, float]:
+    """Combine the two channels per Equation 3."""
+    config = config or FusionConfig()
+    beta = config.beta
+    if config.normalize:
+        bow_scores = _max_normalize(bow_scores)
+        bon_scores = _max_normalize(bon_scores)
+    fused: dict[str, float] = {}
+    if beta < 1.0:
+        for doc_id, score in bow_scores.items():
+            fused[doc_id] = (1.0 - beta) * score
+    if beta > 0.0:
+        for doc_id, score in bon_scores.items():
+            fused[doc_id] = fused.get(doc_id, 0.0) + beta * score
+    return fused

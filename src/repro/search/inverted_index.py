@@ -1,0 +1,112 @@
+"""Inverted index over generic terms.
+
+The same structure indexes text terms (Bag-Of-Word channel) and subgraph
+embedding node ids (Bag-Of-Node channel, §VI) — the paper's "scoring
+compatibility" design point.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.errors import DocumentNotIndexedError
+
+
+class InvertedIndex:
+    """term -> {doc_id: term frequency}, plus document statistics."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, dict[str, int]] = {}
+        self._doc_lengths: dict[str, int] = {}
+        self._total_length = 0
+
+    def add_document(self, doc_id: str, terms: Iterable[str]) -> None:
+        """Index ``doc_id``'s terms; re-adding a doc id replaces it."""
+        if doc_id in self._doc_lengths:
+            self.remove_document(doc_id)
+        counts = Counter(terms)
+        length = sum(counts.values())
+        self._doc_lengths[doc_id] = length
+        self._total_length += length
+        for term, frequency in counts.items():
+            self._postings.setdefault(term, {})[doc_id] = frequency
+
+    def add_document_counts(self, doc_id: str, counts: dict[str, int]) -> None:
+        """Index ``doc_id`` from precomputed term counts (persistence path)."""
+        if doc_id in self._doc_lengths:
+            self.remove_document(doc_id)
+        length = sum(counts.values())
+        self._doc_lengths[doc_id] = length
+        self._total_length += length
+        for term, frequency in counts.items():
+            if frequency > 0:
+                self._postings.setdefault(term, {})[doc_id] = int(frequency)
+
+    def to_forward_map(self) -> dict[str, dict[str, int]]:
+        """doc_id -> {term: tf} (the invertible forward representation)."""
+        forward: dict[str, dict[str, int]] = {
+            doc_id: {} for doc_id in self._doc_lengths
+        }
+        for term, postings in self._postings.items():
+            for doc_id, tf in postings.items():
+                forward[doc_id][term] = tf
+        return forward
+
+    def remove_document(self, doc_id: str) -> None:
+        """Remove ``doc_id`` from the index."""
+        length = self._doc_lengths.pop(doc_id, None)
+        if length is None:
+            raise DocumentNotIndexedError(doc_id)
+        self._total_length -= length
+        empty_terms = []
+        for term, postings in self._postings.items():
+            postings.pop(doc_id, None)
+            if not postings:
+                empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+
+    # ------------------------------------------------------------------
+    def postings(self, term: str) -> dict[str, int]:
+        """The posting map of ``term`` (empty when unseen)."""
+        return self._postings.get(term, {})
+
+    def doc_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        return len(self._postings.get(term, {}))
+
+    def doc_length(self, doc_id: str) -> int:
+        """Number of term occurrences indexed for ``doc_id``."""
+        length = self._doc_lengths.get(doc_id)
+        if length is None:
+            raise DocumentNotIndexedError(doc_id)
+        return length
+
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._doc_lengths
+
+    @property
+    def num_docs(self) -> int:
+        """Number of indexed documents."""
+        return len(self._doc_lengths)
+
+    @property
+    def num_terms(self) -> int:
+        """Number of distinct terms."""
+        return len(self._postings)
+
+    @property
+    def avg_doc_length(self) -> float:
+        """Mean document length; 0.0 for an empty index."""
+        if not self._doc_lengths:
+            return 0.0
+        return self._total_length / len(self._doc_lengths)
+
+    def doc_ids(self) -> list[str]:
+        """All indexed document ids."""
+        return list(self._doc_lengths)
+
+    def vocabulary(self) -> Iterable[str]:
+        """All distinct terms."""
+        return self._postings.keys()

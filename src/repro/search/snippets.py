@@ -1,0 +1,110 @@
+"""Result snippet generation.
+
+Search UIs show a query-biased extract of each hit.  The generator scores
+each sentence of the document by analyzed-term overlap with the query
+(IDF-weighted, so rare matched terms dominate) and returns the best
+window of consecutive sentences with the matched terms highlighted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.search.analyzer import Analyzer
+from repro.search.bm25 import Bm25Scorer
+from repro.nlp.sentences import split_sentences
+from repro.nlp.tokenizer import tokenize
+
+
+@dataclass(frozen=True)
+class Snippet:
+    """A query-biased document extract.
+
+    Attributes:
+        text: the extracted (possibly highlighted) text.
+        start: character offset of the extract in the source document.
+        end: one past the last character.
+        score: the extract's query-overlap score.
+    """
+
+    text: str
+    start: int
+    end: int
+    score: float
+
+
+class SnippetGenerator:
+    """Generates query-biased snippets from document text."""
+
+    def __init__(
+        self,
+        analyzer: Analyzer | None = None,
+        scorer: Bm25Scorer | None = None,
+        max_sentences: int = 2,
+        highlight: tuple[str, str] | None = ("**", "**"),
+    ) -> None:
+        self._analyzer = analyzer or Analyzer()
+        self._scorer = scorer  # supplies IDF when available
+        self._max_sentences = max_sentences
+        self._highlight = highlight
+
+    def _term_weight(self, term: str) -> float:
+        if self._scorer is None:
+            return 1.0
+        return max(self._scorer.idf(term), 0.0)
+
+    def generate(self, document_text: str, query: str) -> Snippet:
+        """The best snippet of ``document_text`` for ``query``.
+
+        Falls back to the document's first sentence when nothing matches.
+        """
+        query_terms = set(self._analyzer.analyze(query))
+        sentences = split_sentences(document_text)
+        if not sentences:
+            return Snippet(text="", start=0, end=0, score=0.0)
+        sentence_scores = []
+        for sentence in sentences:
+            terms = self._analyzer.analyze(sentence.text)
+            matched = set(terms) & query_terms
+            sentence_scores.append(sum(self._term_weight(t) for t in matched))
+        best_start = 0
+        best_key = (-1.0, -1.0)
+        best_score = 0.0
+        window = min(self._max_sentences, len(sentences))
+        for start in range(len(sentences) - window + 1):
+            score = sum(sentence_scores[start : start + window])
+            # Tie-break towards windows that *lead* with the matching
+            # sentence, so matches are not trailed by unrelated context.
+            key = (score, sentence_scores[start])
+            if key > best_key:
+                best_key = key
+                best_score = score
+                best_start = start
+        first = sentences[best_start]
+        last = sentences[best_start + window - 1]
+        extract = document_text[first.start : last.end]
+        if self._highlight and query_terms:
+            extract = self._apply_highlight(extract, query_terms)
+        return Snippet(
+            text=extract,
+            start=first.start,
+            end=last.end,
+            score=max(best_score, 0.0),
+        )
+
+    def _apply_highlight(self, text: str, query_terms: set[str]) -> str:
+        """Wrap matched words with the highlight markers."""
+        assert self._highlight is not None
+        open_mark, close_mark = self._highlight
+        pieces: list[str] = []
+        cursor = 0
+        for token in tokenize(text):
+            if not token.is_word:
+                continue
+            analyzed = self._analyzer.analyze(token.text)
+            if analyzed and analyzed[0] in query_terms:
+                pieces.append(text[cursor : token.start])
+                pieces.append(f"{open_mark}{text[token.start : token.end]}{close_mark}")
+                cursor = token.end
+        pieces.append(text[cursor:])
+        return "".join(pieces)

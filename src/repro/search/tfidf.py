@@ -1,0 +1,67 @@
+"""TF-IDF cosine scoring (the classic Vector Space Model).
+
+An alternative scorer to BM25 — the paper notes NewsLink is "based on the
+typical term-weighting (e.g. TF-IDF) and scoring functions (e.g. cosine
+similarity) that are widely used in VSM".
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.search.inverted_index import InvertedIndex
+
+
+class TfIdfScorer:
+    """Cosine similarity between ltc-weighted query and document vectors."""
+
+    def __init__(self, index: InvertedIndex) -> None:
+        self._index = index
+        self._doc_norms: dict[str, float] | None = None
+
+    def idf(self, term: str) -> float:
+        """Smoothed IDF: ``ln(1 + N / (df + 1))``."""
+        df = self._index.doc_frequency(term)
+        return math.log(1.0 + self._index.num_docs / (df + 1.0))
+
+    def _ensure_norms(self) -> dict[str, float]:
+        if self._doc_norms is None:
+            sums: dict[str, float] = {doc_id: 0.0 for doc_id in self._index.doc_ids()}
+            for term in self._index.vocabulary():
+                idf = self.idf(term)
+                for doc_id, tf in self._index.postings(term).items():
+                    weight = (1.0 + math.log(tf)) * idf
+                    sums[doc_id] += weight * weight
+            self._doc_norms = {
+                doc_id: math.sqrt(total) if total > 0 else 1.0
+                for doc_id, total in sums.items()
+            }
+        return self._doc_norms
+
+    def invalidate(self) -> None:
+        """Drop cached norms after the index changed."""
+        self._doc_norms = None
+
+    def score(self, query_terms: Iterable[str]) -> dict[str, float]:
+        """Cosine scores of all documents matching any query term."""
+        counts = Counter(query_terms)
+        if not counts:
+            return {}
+        query_weights = {
+            term: (1.0 + math.log(tf)) * self.idf(term)
+            for term, tf in counts.items()
+        }
+        query_norm = math.sqrt(sum(w * w for w in query_weights.values())) or 1.0
+        norms = self._ensure_norms()
+        scores: dict[str, float] = {}
+        for term, query_weight in query_weights.items():
+            idf = self.idf(term)
+            for doc_id, tf in self._index.postings(term).items():
+                doc_weight = (1.0 + math.log(tf)) * idf
+                scores[doc_id] = scores.get(doc_id, 0.0) + query_weight * doc_weight
+        return {
+            doc_id: value / (query_norm * norms[doc_id])
+            for doc_id, value in scores.items()
+        }

@@ -1,0 +1,108 @@
+"""Fagin's Threshold Algorithm for fused two-channel top-k.
+
+The paper's NS component "employ[s] existing top-k ranking algorithms
+[49]" — reference [49] is Fagin's Threshold Algorithm (TA).  Equation 3 is
+a monotone aggregation of the BOW and BON channel scores, exactly TA's
+setting: walk the channels' score lists in descending order (sorted
+access), look up each newly-seen document's other-channel score (random
+access), and stop as soon as the k-th best fused score exceeds the
+threshold ``sum_i w_i * (last score seen on channel i)`` — no unseen
+document can beat it.
+
+Results are identical to exhaustively fusing both score maps
+(property-tested); the win is early termination when the top documents
+dominate both channels.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.search.topk import top_k
+
+#: One aggregation input: (score map, non-negative weight).
+Channel = tuple[Mapping[str, float], float]
+
+
+def threshold_topk(
+    channels: Sequence[Channel], k: int
+) -> list[tuple[str, float]]:
+    """Top-``k`` documents under the weighted-sum aggregation of channels.
+
+    Documents absent from a channel contribute 0 there (our BM25 maps only
+    hold matching documents).  Ties are broken by ascending doc id, like
+    :func:`repro.search.topk.top_k`.
+    """
+    ranked, _ = threshold_topk_with_stats(channels, k)
+    return ranked
+
+
+def threshold_topk_with_stats(
+    channels: Sequence[Channel], k: int
+) -> tuple[list[tuple[str, float]], int]:
+    """Like :func:`threshold_topk`, also returning the sorted-access count
+    (benchmarks use it to demonstrate early termination)."""
+    if k <= 0:
+        return [], 0
+    active = [
+        (scores, weight) for scores, weight in channels if weight > 0 and scores
+    ]
+    if not active:
+        return [], 0
+    # Sorted-access lists: descending score, ascending doc id on ties.
+    sorted_lists = [
+        (
+            sorted(scores.items(), key=lambda kv: (-kv[1], kv[0])),
+            scores,
+            weight,
+        )
+        for scores, weight in active
+    ]
+    positions = [0] * len(sorted_lists)
+    seen: dict[str, float] = {}
+    accesses = 0
+
+    def fused_score(doc_id: str) -> float:
+        return sum(
+            weight * scores.get(doc_id, 0.0)
+            for _, scores, weight in sorted_lists
+        )
+
+    while True:
+        progressed = False
+        for index, (ordered, _, _) in enumerate(sorted_lists):
+            position = positions[index]
+            if position >= len(ordered):
+                continue
+            progressed = True
+            doc_id, _ = ordered[position]
+            positions[index] = position + 1
+            accesses += 1
+            if doc_id not in seen:
+                seen[doc_id] = fused_score(doc_id)
+        if not progressed:
+            break
+        # Threshold: the best fused score any *unseen* document could have.
+        # On an exhausted channel an unseen document scores 0, so that
+        # channel contributes nothing.
+        threshold = 0.0
+        for index, (ordered, _, weight) in enumerate(sorted_lists):
+            position = positions[index]
+            if position == 0 or position > len(ordered):
+                continue
+            if position == len(ordered):
+                continue  # exhausted: unseen docs are absent here
+            threshold += weight * ordered[position - 1][1]
+        exhausted = all(
+            position >= len(ordered)
+            for position, (ordered, _, _) in zip(positions, sorted_lists)
+        )
+        if len(seen) >= k:
+            kth = sorted(seen.values(), reverse=True)[k - 1]
+            # Strict (>) so an unseen document cannot even tie the k-th
+            # score and steal the doc-id tie-break.
+            if kth > threshold or exhausted:
+                break
+        elif exhausted:
+            break
+    return top_k(seen, k), accesses

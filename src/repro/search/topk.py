@@ -1,0 +1,20 @@
+"""Top-k selection over score maps."""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Mapping
+
+
+def top_k(scores: Mapping[str, float], k: int) -> list[tuple[str, float]]:
+    """The ``k`` highest-scoring ``(doc_id, score)`` pairs.
+
+    Sorted by descending score; ties broken by ascending doc id so results
+    are deterministic.
+    """
+    if k <= 0:
+        return []
+    # heapq.nsmallest on (-score, doc_id) gives descending score with
+    # ascending id tie-break in O(n log k).
+    pairs = heapq.nsmallest(k, scores.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [(doc_id, score) for doc_id, score in pairs]

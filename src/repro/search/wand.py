@@ -1,0 +1,218 @@
+"""MaxScore top-k retrieval with upper-bound pruning.
+
+The paper's NS component "employ[s] existing top-k ranking algorithms
+[49], [38]" (threshold-algorithm family) for query processing.  This
+module implements the MaxScore variant of document-at-a-time dynamic
+pruning for BM25: terms are ordered by their maximum possible score
+contribution, and once a document cannot beat the current k-th score even
+with every remaining term, its scoring is skipped.
+
+Results are *identical* to exhaustive scoring (property-tested); the win
+is skipped work on large posting lists.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+from repro.config import Bm25Config
+from repro.search.bm25 import Bm25Scorer
+from repro.search.inverted_index import InvertedIndex
+
+
+class _TermCursor:
+    """A sorted posting-list cursor for one query term."""
+
+    __slots__ = ("term", "weight", "upper_bound", "postings", "position")
+
+    def __init__(
+        self,
+        term: str,
+        weight: float,
+        upper_bound: float,
+        postings: list[tuple[str, int]],
+    ) -> None:
+        self.term = term
+        self.weight = weight
+        self.upper_bound = upper_bound
+        self.postings = postings
+        self.position = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.position >= len(self.postings)
+
+    @property
+    def current_doc(self) -> str:
+        return self.postings[self.position][0]
+
+    @property
+    def current_tf(self) -> int:
+        return self.postings[self.position][1]
+
+    def advance_to(self, doc_id: str) -> None:
+        """Move the cursor to the first posting with doc >= doc_id."""
+        postings = self.postings
+        lo, hi = self.position, len(postings)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if postings[mid][0] < doc_id:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.position = lo
+
+
+class MaxScoreRanker:
+    """Top-k BM25 ranking with MaxScore pruning.
+
+    Produces exactly the same ranked list as scoring every matching
+    document (ties broken by ascending doc id), but skips documents that
+    provably cannot enter the top k.
+    """
+
+    def __init__(self, index: InvertedIndex, config: Bm25Config | None = None) -> None:
+        self._index = index
+        self._config = config or Bm25Config()
+        self._scorer = Bm25Scorer(index, self._config)
+
+    @property
+    def pruned_docs(self) -> int:
+        """Documents skipped by the bound check in the last query."""
+        return self._last_pruned
+
+    _last_pruned: int = 0
+
+    # ------------------------------------------------------------------
+    def _term_contribution(self, term: str, tf: int, doc_id: str) -> float:
+        k1, b = self._config.k1, self._config.b
+        avgdl = self._index.avg_doc_length
+        dl = self._index.doc_length(doc_id)
+        norm = 1.0 if avgdl == 0 else (1.0 - b + b * dl / avgdl)
+        return self._scorer.idf(term) * (tf * (k1 + 1.0)) / (tf + k1 * norm)
+
+    def _upper_bound(self, term: str) -> float:
+        """Max possible BM25 contribution of ``term`` for any document.
+
+        The tf factor ``tf*(k1+1)/(tf + k1*norm)`` is increasing in tf and
+        bounded by ``k1+1`` as tf grows; using the true max tf in the
+        posting list with the most favourable length norm (b-dependent)
+        gives a tight, safe bound.
+        """
+        postings = self._index.postings(term)
+        if not postings:
+            return 0.0
+        k1, b = self._config.k1, self._config.b
+        max_tf = max(postings.values())
+        avgdl = self._index.avg_doc_length
+        if avgdl == 0:
+            min_norm = 1.0
+        else:
+            min_dl = min(self._index.doc_length(doc_id) for doc_id in postings)
+            min_norm = min(1.0, 1.0 - b + b * min_dl / avgdl)
+        return self._scorer.idf(term) * (max_tf * (k1 + 1.0)) / (
+            max_tf + k1 * min_norm
+        )
+
+    # ------------------------------------------------------------------
+    def top_k(
+        self, query_terms: Sequence[str], k: int
+    ) -> list[tuple[str, float]]:
+        """The top-``k`` documents for ``query_terms`` under BM25."""
+        self._last_pruned = 0
+        if k <= 0 or not query_terms:
+            return []
+        weights: dict[str, float] = {}
+        for term in query_terms:
+            weights[term] = weights.get(term, 0.0) + 1.0
+        cursors = []
+        for term, weight in weights.items():
+            postings = sorted(self._index.postings(term).items())
+            if not postings:
+                continue
+            cursors.append(
+                _TermCursor(
+                    term, weight, weight * self._upper_bound(term), postings
+                )
+            )
+        if not cursors:
+            return []
+        # Ascending by upper bound: a suffix sum tells us how much the
+        # cheapest terms can still add.
+        cursors.sort(key=lambda c: c.upper_bound)
+        suffix_bounds = [0.0] * (len(cursors) + 1)
+        for i in range(len(cursors) - 1, -1, -1):
+            suffix_bounds[i] = suffix_bounds[i + 1] + cursors[i].upper_bound
+
+        # heap of (score, neg-docid-order proxy): python heap is min-heap;
+        # ties must favour the *smaller* doc id, so compare (score, rev).
+        heap: list[tuple[float, _ReverseStr]] = []
+        threshold = float("-inf")
+
+        while True:
+            # The next candidate document: the smallest current doc id.
+            candidate: str | None = None
+            for cursor in cursors:
+                if not cursor.exhausted:
+                    doc = cursor.current_doc
+                    if candidate is None or doc < candidate:
+                        candidate = doc
+            if candidate is None:
+                break
+            # Which terms can contribute, and what is the total bound?
+            bound = 0.0
+            for cursor in cursors:
+                if not cursor.exhausted and cursor.current_doc == candidate:
+                    bound += cursor.upper_bound
+            # Strict: at bound == threshold the document could still tie
+            # the k-th score with a smaller doc id and win the tie-break.
+            if len(heap) == k and bound < threshold:
+                # Provably outside the top-k: skip scoring entirely.
+                self._last_pruned += 1
+                for cursor in cursors:
+                    if not cursor.exhausted and cursor.current_doc == candidate:
+                        cursor.position += 1
+                continue
+            score = 0.0
+            for cursor in cursors:
+                if not cursor.exhausted and cursor.current_doc == candidate:
+                    score += cursor.weight * self._term_contribution(
+                        cursor.term, cursor.current_tf, candidate
+                    )
+                    cursor.position += 1
+            entry = (score, _ReverseStr(candidate))
+            if len(heap) < k:
+                heapq.heappush(heap, entry)
+            elif entry > heap[0]:
+                heapq.heapreplace(heap, entry)
+            if len(heap) == k:
+                threshold = heap[0][0]
+        ranked = sorted(
+            ((doc.value, score) for score, doc in heap),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+        return ranked
+
+
+class _ReverseStr:
+    """A string wrapper with inverted ordering (for min-heap tie-breaks).
+
+    In the heap, the *worst* entry must sit at the root.  Between equal
+    scores the worst entry is the LARGEST doc id (we keep smaller ids), so
+    comparisons are reversed.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_ReverseStr") -> bool:
+        return self.value > other.value
+
+    def __gt__(self, other: "_ReverseStr") -> bool:
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ReverseStr) and self.value == other.value

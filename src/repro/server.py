@@ -1,0 +1,140 @@
+"""A dependency-free HTTP API over an indexed engine.
+
+The paper positions NewsLink as easy to integrate "with most existing
+search systems, such as ElasticSearch and Lucene"; this module gives the
+engine the corresponding service surface using only the standard library:
+
+* ``GET /health``                         — liveness + index size
+* ``GET /search?q=...&k=5&beta=0.2``      — ranked results with snippets
+* ``GET /explain?q=...&doc=<doc_id>``     — shared entities + paths
+* ``GET /document?id=<doc_id>``           — the stored raw text
+
+Responses are JSON.  Start with::
+
+    from repro.server import serve
+    serve(engine, port=8080)            # blocks
+
+or create a :class:`ThreadingHTTPServer` via :func:`make_server` to manage
+the lifecycle yourself (the tests do this).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import DocumentNotIndexedError, ReproError
+from repro.search.engine import NewsLinkEngine
+
+
+def _search_payload(engine: NewsLinkEngine, params: dict) -> dict:
+    query = params.get("q", [""])[0]
+    if not query:
+        raise _BadRequest("missing required parameter: q")
+    k = int(params.get("k", ["10"])[0])
+    beta_values = params.get("beta")
+    beta = float(beta_values[0]) if beta_values else None
+    results = engine.search(query, k=k, beta=beta)
+    payload = []
+    for rank, result in enumerate(results, start=1):
+        snippet = engine.snippet(query, result.doc_id)
+        payload.append(
+            {
+                "rank": rank,
+                "doc_id": result.doc_id,
+                "score": result.score,
+                "bow_score": result.bow_score,
+                "bon_score": result.bon_score,
+                "snippet": snippet.text,
+            }
+        )
+    return {"query": query, "k": k, "results": payload}
+
+
+def _explain_payload(engine: NewsLinkEngine, params: dict) -> dict:
+    query = params.get("q", [""])[0]
+    doc_id = params.get("doc", [""])[0]
+    if not query or not doc_id:
+        raise _BadRequest("missing required parameters: q and doc")
+    explanation = engine.explanation(query, doc_id)
+    return {
+        "query": query,
+        "doc_id": doc_id,
+        "shared_entities": list(explanation.shared_entity_labels),
+        "paths": explanation.lines()[len(explanation.shared_entity_labels):],
+        "novelty": explanation.novelty,
+        "total_nodes": explanation.total_nodes,
+    }
+
+
+def _document_payload(engine: NewsLinkEngine, params: dict) -> dict:
+    doc_id = params.get("id", [""])[0]
+    if not doc_id:
+        raise _BadRequest("missing required parameter: id")
+    return {"doc_id": doc_id, "text": engine.document_text(doc_id)}
+
+
+class _BadRequest(Exception):
+    pass
+
+
+def make_handler(engine: NewsLinkEngine) -> type[BaseHTTPRequestHandler]:
+    """A request-handler class bound to ``engine``."""
+
+    class NewsLinkHandler(BaseHTTPRequestHandler):
+        def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+            pass  # keep tests/CLIs quiet; override for access logs
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            parsed = urlparse(self.path)
+            params = parse_qs(parsed.query)
+            try:
+                if parsed.path == "/health":
+                    body = {"status": "ok", "indexed": engine.num_indexed}
+                elif parsed.path == "/search":
+                    body = _search_payload(engine, params)
+                elif parsed.path == "/explain":
+                    body = _explain_payload(engine, params)
+                elif parsed.path == "/document":
+                    body = _document_payload(engine, params)
+                else:
+                    self._reply(404, {"error": f"unknown path {parsed.path}"})
+                    return
+            except _BadRequest as exc:
+                self._reply(400, {"error": str(exc)})
+                return
+            except DocumentNotIndexedError as exc:
+                self._reply(404, {"error": str(exc)})
+                return
+            except (ValueError, ReproError) as exc:
+                self._reply(400, {"error": str(exc)})
+                return
+            self._reply(200, body)
+
+        def _reply(self, status: int, body: dict) -> None:
+            data = json.dumps(body).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+    return NewsLinkHandler
+
+
+def make_server(
+    engine: NewsLinkEngine, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A ready-to-run server (``port=0`` picks a free port)."""
+    return ThreadingHTTPServer((host, port), make_handler(engine))
+
+
+def serve(engine: NewsLinkEngine, host: str = "127.0.0.1", port: int = 8080) -> None:
+    """Serve forever (blocking)."""
+    server = make_server(engine, host, port)
+    print(f"NewsLink API listening on http://{host}:{server.server_address[1]}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        server.shutdown()

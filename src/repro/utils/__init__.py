@@ -1,0 +1,14 @@
+"""Shared utilities: seeded randomness, timing, and text hashing."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, TimingBreakdown
+from repro.utils.hashing import stable_hash, hash_to_unit_interval
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "TimingBreakdown",
+    "stable_hash",
+    "hash_to_unit_interval",
+]

@@ -1,0 +1,28 @@
+"""Stable text hashing.
+
+Python's builtin ``hash`` is salted per process, so dense-vector components
+that derive "pretrained" vectors from token identity (the SBERT substitute,
+FastText subword buckets) use these deterministic hashes instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_MASK64 = (1 << 64) - 1
+
+
+def stable_hash(text: str, salt: int = 0) -> int:
+    """Return a deterministic 64-bit hash of ``text``.
+
+    The same ``(text, salt)`` pair hashes identically across processes and
+    Python versions, which keeps hash-derived embeddings reproducible.
+    """
+    payload = f"{salt}\x00{text}".encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "little") & _MASK64
+
+
+def hash_to_unit_interval(text: str, salt: int = 0) -> float:
+    """Map ``text`` deterministically to a float in ``[0, 1)``."""
+    return stable_hash(text, salt) / float(1 << 64)

@@ -1,0 +1,84 @@
+"""Lightweight timing utilities for the Fig 7 / Table VIII experiments."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """A context-manager stopwatch measuring wall-clock seconds.
+
+    >>> with Stopwatch() as sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class TimingBreakdown:
+    """Accumulates per-component wall-clock time across repeated operations.
+
+    Used by :mod:`repro.eval.timing` to produce the paper's component
+    breakdowns (NLP / NE / NS).
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def add(self, component: str, seconds: float) -> None:
+        """Record ``seconds`` of work attributed to ``component``."""
+        self.totals[component] = self.totals.get(component, 0.0) + seconds
+        self.counts[component] = self.counts.get(component, 0) + 1
+
+    def measure(self, component: str) -> "_MeasureContext":
+        """Return a context manager that times its body into ``component``."""
+        return _MeasureContext(self, component)
+
+    def average(self, component: str) -> float:
+        """Mean seconds per recorded operation for ``component``."""
+        count = self.counts.get(component, 0)
+        if count == 0:
+            return 0.0
+        return self.totals[component] / count
+
+    def total(self, component: str) -> float:
+        """Total seconds recorded for ``component``."""
+        return self.totals.get(component, 0.0)
+
+    def components(self) -> list[str]:
+        """Component names in insertion order."""
+        return list(self.totals)
+
+    def merge(self, other: "TimingBreakdown") -> None:
+        """Fold another breakdown's totals and counts into this one."""
+        for component, seconds in other.totals.items():
+            self.totals[component] = self.totals.get(component, 0.0) + seconds
+        for component, count in other.counts.items():
+            self.counts[component] = self.counts.get(component, 0) + count
+
+
+class _MeasureContext:
+    def __init__(self, breakdown: TimingBreakdown, component: str) -> None:
+        self._breakdown = breakdown
+        self._component = component
+        self._start = 0.0
+
+    def __enter__(self) -> "_MeasureContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._breakdown.add(self._component, time.perf_counter() - self._start)

@@ -1,0 +1,10 @@
+"""Visualization: Graphviz DOT export of subgraph embeddings.
+
+The paper's figures render query/result embeddings with the overlap
+highlighted; these helpers emit the equivalent DOT markup so any Graphviz
+renderer reproduces them.
+"""
+
+from repro.viz.dot import embedding_to_dot, overlap_to_dot, graph_to_dot
+
+__all__ = ["embedding_to_dot", "overlap_to_dot", "graph_to_dot"]

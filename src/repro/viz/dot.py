@@ -1,0 +1,118 @@
+"""Graphviz DOT rendering of embeddings and overlaps (Figures 1, 4, 6).
+
+The emitted markup follows the paper's visual language: the query
+embedding is blue, the result embedding green, their overlap orange, and
+common-ancestor roots are drawn as boxes (Figure 4's square nodes).
+"""
+
+from __future__ import annotations
+
+from repro.core.document_embedding import DocumentEmbedding
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.types import OrientedEdge
+
+_QUERY_COLOR = "#4c72b0"  # blue
+_RESULT_COLOR = "#55a868"  # green
+_OVERLAP_COLOR = "#dd8452"  # orange
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _node_line(
+    node_id: str,
+    label: str,
+    color: str,
+    shape: str = "ellipse",
+) -> str:
+    return (
+        f"  {_quote(node_id)} [label={_quote(label)}, shape={shape}, "
+        f'style=filled, fillcolor="{color}", fontcolor="white"];'
+    )
+
+
+def _edge_line(edge: OrientedEdge) -> str:
+    kg_edge = edge.as_kg_edge()
+    return (
+        f"  {_quote(kg_edge.source)} -> {_quote(kg_edge.target)} "
+        f"[label={_quote(kg_edge.relation)}];"
+    )
+
+
+def embedding_to_dot(
+    embedding: DocumentEmbedding,
+    graph: KnowledgeGraph,
+    title: str = "embedding",
+    color: str = _QUERY_COLOR,
+) -> str:
+    """Render one document embedding as a DOT digraph.
+
+    Roots (lowest common ancestors) are boxes, as in the paper's Figure 4.
+    """
+    roots = set(embedding.roots)
+    lines = [f"digraph {_quote(title)} {{", "  rankdir=BT;"]
+    for node_id in sorted(embedding.nodes):
+        label = graph.node(node_id).label
+        shape = "box" if node_id in roots else "ellipse"
+        lines.append(_node_line(node_id, label, color, shape))
+    for edge in sorted(
+        embedding.edges, key=lambda e: (e.source, e.target, e.relation)
+    ):
+        lines.append(_edge_line(edge))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def overlap_to_dot(
+    query_embedding: DocumentEmbedding,
+    result_embedding: DocumentEmbedding,
+    graph: KnowledgeGraph,
+    title: str = "overlap",
+) -> str:
+    """Render a query/result embedding pair with the overlap in orange.
+
+    This is the Figure 1 / Figure 6 artifact: blue = query-only nodes,
+    green = result-only nodes, orange = shared evidence.
+    """
+    shared = query_embedding.nodes & result_embedding.nodes
+    lines = [f"digraph {_quote(title)} {{", "  rankdir=BT;"]
+    for node_id in sorted(query_embedding.nodes | result_embedding.nodes):
+        if node_id in shared:
+            color = _OVERLAP_COLOR
+        elif node_id in query_embedding.nodes:
+            color = _QUERY_COLOR
+        else:
+            color = _RESULT_COLOR
+        roots = set(query_embedding.roots) | set(result_embedding.roots)
+        shape = "box" if node_id in roots else "ellipse"
+        lines.append(_node_line(node_id, graph.node(node_id).label, color, shape))
+    seen: set[tuple[str, str, str]] = set()
+    for edge in sorted(
+        query_embedding.edges | result_embedding.edges,
+        key=lambda e: (e.source, e.target, e.relation),
+    ):
+        key = edge.as_kg_edge().key()
+        if key in seen:
+            continue
+        seen.add(key)
+        lines.append(_edge_line(edge))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def graph_to_dot(graph: KnowledgeGraph, title: str = "kg") -> str:
+    """Render a whole (small) knowledge graph as DOT."""
+    lines = [f"digraph {_quote(title)} {{"]
+    for node in graph.nodes():
+        lines.append(
+            f"  {_quote(node.node_id)} [label={_quote(node.label)}];"
+        )
+    for edge in graph.edges():
+        lines.append(
+            f"  {_quote(edge.source)} -> {_quote(edge.target)} "
+            f"[label={_quote(edge.relation)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Shared corpus for baseline retriever tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.document import Corpus, NewsDocument
+
+TOPIC_A = [
+    "The election campaign entered its final week as voters prepared ballots.",
+    "Polls showed the incumbent trailing after a bruising debate over turnout.",
+    "Campaign officials promised a strong rally before the ballot deadline.",
+]
+TOPIC_B = [
+    "Militants launched an offensive near the border, shelling two villages.",
+    "Troops responded to the insurgents with airstrikes and new checkpoints.",
+    "The ceasefire collapsed as casualties mounted from continued shelling.",
+]
+
+
+@pytest.fixture(scope="package")
+def two_topic_corpus() -> Corpus:
+    documents = []
+    for index, text in enumerate(TOPIC_A):
+        documents.append(NewsDocument(f"a{index}", text, topic_id="A"))
+    for index, text in enumerate(TOPIC_B):
+        documents.append(NewsDocument(f"b{index}", text, topic_id="B"))
+    return Corpus(documents)

@@ -1,0 +1,109 @@
+"""Tests for the PV-DBOW doc2vec baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.doc2vec import Doc2VecModel, Doc2VecRetriever
+from repro.config import Doc2VecConfig
+from repro.errors import ModelNotTrainedError
+
+SMALL_CONFIG = Doc2VecConfig(dim=16, epochs=30, infer_epochs=30, min_count=1, seed=0)
+
+
+class TestDoc2VecModel:
+    def test_train_returns_doc_matrix(self, two_topic_corpus):
+        model = Doc2VecModel(SMALL_CONFIG)
+        matrix = model.train([doc.text for doc in two_topic_corpus])
+        assert matrix.shape == (len(two_topic_corpus), 16)
+        assert model.is_trained
+
+    def test_infer_before_train_raises(self):
+        with pytest.raises(ModelNotTrainedError):
+            Doc2VecModel(SMALL_CONFIG).infer("anything")
+
+    def test_infer_shape(self, two_topic_corpus):
+        model = Doc2VecModel(SMALL_CONFIG)
+        model.train([doc.text for doc in two_topic_corpus])
+        assert model.infer("the election ballot").shape == (16,)
+
+    def test_topical_similarity(self, two_topic_corpus):
+        """Same-topic docs should be more similar than cross-topic ones."""
+        texts = [doc.text for doc in two_topic_corpus]
+        model = Doc2VecModel(SMALL_CONFIG)
+        matrix = model.train(texts)
+        normalized = matrix / np.linalg.norm(matrix, axis=1, keepdims=True)
+        within_a = normalized[0] @ normalized[1]
+        across = normalized[0] @ normalized[3]
+        assert within_a > across
+
+    def test_empty_vocab_raises(self):
+        model = Doc2VecModel(Doc2VecConfig(dim=4, min_count=100))
+        with pytest.raises(ModelNotTrainedError):
+            model.train(["tiny text"])
+
+
+class TestDoc2VecRetriever:
+    def test_name(self):
+        assert Doc2VecRetriever(SMALL_CONFIG).name == "DOC2VEC"
+
+    def test_search_before_index_raises(self):
+        with pytest.raises(ModelNotTrainedError):
+            Doc2VecRetriever(SMALL_CONFIG).search("x", 3)
+
+    def test_search_returns_ranked(self, two_topic_corpus):
+        retriever = Doc2VecRetriever(SMALL_CONFIG)
+        retriever.index_corpus(two_topic_corpus)
+        results = retriever.search(
+            "militants shelling checkpoints and airstrikes", k=3
+        )
+        assert len(results) == 3
+        scores = [score for _, score in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_training_texts_override(self, two_topic_corpus):
+        retriever = Doc2VecRetriever(
+            SMALL_CONFIG,
+            training_texts=[doc.text for doc in list(two_topic_corpus)[:4]],
+        )
+        retriever.index_corpus(two_topic_corpus)
+        assert len(retriever.search("election", k=6)) == 6
+
+
+DM_CONFIG = Doc2VecConfig(
+    dim=16, epochs=20, infer_epochs=20, min_count=1, mode="dm", window=4, seed=0
+)
+
+
+class TestPvDmMode:
+    def test_train_and_infer(self, two_topic_corpus):
+        model = Doc2VecModel(DM_CONFIG)
+        matrix = model.train([doc.text for doc in two_topic_corpus])
+        assert matrix.shape == (len(two_topic_corpus), 16)
+        vector = model.infer("the election ballot campaign")
+        assert vector.shape == (16,)
+        assert np.isfinite(vector).all()
+
+    def test_topical_similarity(self, two_topic_corpus):
+        texts = [doc.text for doc in two_topic_corpus]
+        model = Doc2VecModel(DM_CONFIG)
+        matrix = model.train(texts)
+        normalized = matrix / np.linalg.norm(matrix, axis=1, keepdims=True)
+        within_a = normalized[0] @ normalized[1]
+        across = normalized[0] @ normalized[3]
+        assert within_a > across
+
+    def test_retriever_with_dm(self, two_topic_corpus):
+        retriever = Doc2VecRetriever(DM_CONFIG)
+        retriever.index_corpus(two_topic_corpus)
+        results = retriever.search("voters and ballots in the campaign", k=3)
+        assert len(results) == 3
+
+    def test_invalid_mode_rejected(self):
+        import pytest as _pytest
+
+        from repro.errors import ConfigError
+
+        with _pytest.raises(ConfigError):
+            Doc2VecConfig(mode="skipgram")

@@ -1,0 +1,64 @@
+"""Tests for the collapsed-Gibbs LDA baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.lda import LdaModel, LdaRetriever
+from repro.config import LdaConfig
+from repro.errors import ModelNotTrainedError
+
+SMALL_CONFIG = LdaConfig(
+    num_topics=4, iterations=40, infer_iterations=20, min_count=1, seed=0
+)
+
+
+class TestLdaModel:
+    def test_train_returns_mixtures(self, two_topic_corpus):
+        model = LdaModel(SMALL_CONFIG)
+        mixtures = model.train([doc.text for doc in two_topic_corpus])
+        assert mixtures.shape == (len(two_topic_corpus), 4)
+        assert np.allclose(mixtures.sum(axis=1), 1.0)
+        assert (mixtures >= 0).all()
+
+    def test_infer_before_train_raises(self):
+        with pytest.raises(ModelNotTrainedError):
+            LdaModel(SMALL_CONFIG).infer("x")
+
+    def test_infer_is_distribution(self, two_topic_corpus):
+        model = LdaModel(SMALL_CONFIG)
+        model.train([doc.text for doc in two_topic_corpus])
+        mixture = model.infer("the election ballot counted voters")
+        assert mixture.sum() == pytest.approx(1.0)
+
+    def test_topics_separate_clusters(self, two_topic_corpus):
+        texts = [doc.text for doc in two_topic_corpus]
+        model = LdaModel(SMALL_CONFIG)
+        mixtures = model.train(texts)
+        normalized = mixtures / np.linalg.norm(mixtures, axis=1, keepdims=True)
+        within = normalized[0] @ normalized[1]
+        across = normalized[0] @ normalized[4]
+        assert within > across - 1e-9
+
+    def test_empty_vocab_raises(self):
+        model = LdaModel(LdaConfig(num_topics=2, min_count=50))
+        with pytest.raises(ModelNotTrainedError):
+            model.train(["short text"])
+
+
+class TestLdaRetriever:
+    def test_name(self):
+        assert LdaRetriever(SMALL_CONFIG).name == "LDA"
+
+    def test_search_before_index_raises(self):
+        with pytest.raises(ModelNotTrainedError):
+            LdaRetriever(SMALL_CONFIG).search("x", 1)
+
+    def test_ranked_results(self, two_topic_corpus):
+        retriever = LdaRetriever(SMALL_CONFIG)
+        retriever.index_corpus(two_topic_corpus)
+        results = retriever.search("airstrikes on insurgent checkpoints", k=4)
+        assert len(results) == 4
+        scores = [score for _, score in results]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,41 @@
+"""Tests for the Lucene (BM25 text) baseline."""
+
+from __future__ import annotations
+
+from repro.baselines.lucene import LuceneRetriever
+
+
+class TestLuceneRetriever:
+    def test_name(self):
+        assert LuceneRetriever().name == "Lucene"
+
+    def test_retrieves_on_topic(self, two_topic_corpus):
+        retriever = LuceneRetriever()
+        retriever.index_corpus(two_topic_corpus)
+        results = retriever.search("ballot and turnout in the election", k=3)
+        assert results
+        assert all(doc_id.startswith("a") for doc_id, _ in results)
+
+    def test_exact_sentence_recovers_source(self, two_topic_corpus):
+        retriever = LuceneRetriever()
+        retriever.index_corpus(two_topic_corpus)
+        query = "Militants launched an offensive near the border, shelling two villages."
+        results = retriever.search(query, k=1)
+        assert results[0][0] == "b0"
+
+    def test_k_limit(self, two_topic_corpus):
+        retriever = LuceneRetriever()
+        retriever.index_corpus(two_topic_corpus)
+        assert len(retriever.search("the election", k=2)) <= 2
+
+    def test_doc_terms_forward_index(self, two_topic_corpus):
+        retriever = LuceneRetriever()
+        retriever.index_corpus(two_topic_corpus)
+        terms = retriever.doc_terms("a0")
+        assert terms
+        assert retriever.doc_terms("missing") == {}
+
+    def test_no_match_empty(self, two_topic_corpus):
+        retriever = LuceneRetriever()
+        retriever.index_corpus(two_topic_corpus)
+        assert retriever.search("zzz qqq xyzzy", k=5) == []

@@ -1,0 +1,78 @@
+"""Tests for the QEPRF baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.qeprf import QeprfRetriever
+from repro.config import QeprfConfig
+from repro.data.document import Corpus, NewsDocument
+
+
+@pytest.fixture()
+def qeprf(figure1_graph) -> QeprfRetriever:
+    retriever = QeprfRetriever(figure1_graph)
+    corpus = Corpus(
+        [
+            NewsDocument(
+                "d1",
+                "Taliban militants clashed with the army in the province of Pakistan.",
+            ),
+            NewsDocument("d2", "A country in South Asia saw heavy monsoon rain."),
+            NewsDocument("d3", "The festival in Lahore drew large crowds."),
+        ]
+    )
+    retriever.index_corpus(corpus)
+    return retriever
+
+
+class TestDescriptionExpansion:
+    def test_description_terms_from_linked_nodes(self, qeprf):
+        # "Pakistan" links to v6 whose description is "country in South Asia"
+        terms = qeprf.description_terms("Floods hit Pakistan")
+        assert "countri" in terms or "country" in terms
+        assert any("asia" in t for t in terms)
+
+    def test_no_entities_no_terms(self, qeprf):
+        assert qeprf.description_terms("nothing about anywhere") == []
+
+
+class TestExpandedQuery:
+    def test_original_terms_weighted_highest(self, qeprf):
+        weights = qeprf.expanded_query("Floods hit Pakistan")
+        assert weights["pakistan"] >= 1.0
+        # expansion terms present with smaller weight
+        expansion = [t for t in weights if weights[t] < 1.0]
+        assert expansion
+
+    def test_description_expansion_pulls_related_doc(self, figure1_graph):
+        """'Pakistan' expands with 'country in South Asia' and retrieves d2,
+        which never mentions Pakistan (the QE mechanism)."""
+        retriever = QeprfRetriever(
+            figure1_graph,
+            QeprfConfig(prf_terms=0, expansion_terms=10, description_weight=1.0),
+        )
+        corpus = Corpus(
+            [
+                NewsDocument("d2", "A country in South Asia saw heavy monsoon rain."),
+                NewsDocument("d3", "The festival drew large crowds downtown."),
+            ]
+        )
+        retriever.index_corpus(corpus)
+        results = retriever.search("Pakistan floods", k=2)
+        assert results and results[0][0] == "d2"
+
+
+class TestSearch:
+    def test_name(self, qeprf):
+        assert qeprf.name == "QEPRF"
+
+    def test_basic_relevance(self, qeprf):
+        results = qeprf.search("Taliban fighting in Pakistan", k=2)
+        assert results[0][0] == "d1"
+
+    def test_prf_disabled(self, figure1_graph):
+        retriever = QeprfRetriever(figure1_graph, QeprfConfig(prf_terms=0))
+        corpus = Corpus([NewsDocument("d1", "Taliban in Pakistan province.")])
+        retriever.index_corpus(corpus)
+        assert retriever.search("Taliban", k=1)

@@ -1,0 +1,82 @@
+"""Tests for the SBERT-substitute encoder/retriever."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.sbert import SbertEncoder, SbertRetriever, estimate_frequencies
+from repro.config import SbertConfig
+from repro.errors import ModelNotTrainedError
+
+
+class TestSbertEncoder:
+    def test_word_vectors_deterministic(self):
+        a = SbertEncoder().word_vector("taliban")
+        b = SbertEncoder().word_vector("taliban")
+        assert (a == b).all()
+
+    def test_word_vectors_unit_norm(self):
+        vector = SbertEncoder().word_vector("pakistan")
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_different_seeds_differ(self):
+        a = SbertEncoder(SbertConfig(seed=0)).word_vector("x")
+        b = SbertEncoder(SbertConfig(seed=1)).word_vector("x")
+        assert not np.allclose(a, b)
+
+    def test_encode_shape(self):
+        matrix = SbertEncoder(SbertConfig(dim=32)).encode(["one text", "two texts"])
+        assert matrix.shape == (2, 32)
+
+    def test_empty_text_zero_vector(self):
+        matrix = SbertEncoder().encode(["", "real words here"])
+        assert np.linalg.norm(matrix[0]) == 0.0
+        assert np.linalg.norm(matrix[1]) > 0.0
+
+    def test_shared_words_raise_similarity(self):
+        encoder = SbertEncoder()
+        matrix = encoder.encode(
+            [
+                "militants attacked the village border",
+                "militants attacked the village checkpoint",
+                "parliament debated fiscal budget policy",
+            ]
+        )
+        normalized = matrix / np.maximum(
+            np.linalg.norm(matrix, axis=1, keepdims=True), 1e-12
+        )
+        assert normalized[0] @ normalized[1] > normalized[0] @ normalized[2]
+
+
+class TestEstimateFrequencies:
+    def test_sums_to_one(self):
+        frequencies = estimate_frequencies([["a", "b"], ["a"]])
+        assert sum(frequencies.values()) == pytest.approx(1.0)
+        assert frequencies["a"] == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert estimate_frequencies([]) == {}
+
+
+class TestSbertRetriever:
+    def test_name(self):
+        assert SbertRetriever().name == "SBERT"
+
+    def test_search_before_index_raises(self):
+        with pytest.raises(ModelNotTrainedError):
+            SbertRetriever().search("x", 1)
+
+    def test_topical_retrieval(self, two_topic_corpus):
+        retriever = SbertRetriever(SbertConfig(dim=64))
+        retriever.index_corpus(two_topic_corpus)
+        results = retriever.search("insurgents shelled the checkpoint", k=3)
+        top_ids = [doc_id for doc_id, _ in results]
+        assert sum(1 for d in top_ids if d.startswith("b")) >= 2
+
+    def test_deterministic_across_instances(self, two_topic_corpus):
+        a = SbertRetriever()
+        a.index_corpus(two_topic_corpus)
+        b = SbertRetriever()
+        b.index_corpus(two_topic_corpus)
+        assert a.search("election votes", 3) == b.search("election votes", 3)

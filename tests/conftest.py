@@ -1,0 +1,110 @@
+"""Shared fixtures: the paper's Figure 1 graph, tiny worlds and datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EvalConfig, NewsConfig, WorldConfig
+from repro.data.datasets import DatasetBundle, make_dataset
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.label_index import LabelIndex
+from repro.kg.synthetic import SyntheticWorld, generate_world
+from repro.kg.types import Edge, EntityType, Node
+
+
+def build_figure1_graph() -> KnowledgeGraph:
+    """The running example of the paper's Figure 1 / Examples 3-4.
+
+    Nodes: v0 Khyber, v1 Waziristan, v2 Taliban, v3 Kunar, v4 Lahore,
+    v5 Peshawar, v6 Pakistan, v7 Upper Dir, v8 Swat Valley.
+    The structure satisfies every distance the paper states:
+    D(Taliban, v0) = 2 with two shortest paths (via Waziristan and via
+    Kunar), and Upper Dir / Swat Valley / Pakistan are all at distance 1
+    from Khyber.
+    """
+    graph = KnowledgeGraph()
+    nodes = [
+        Node("v0", "Khyber", EntityType.GPE, description="province of Pakistan"),
+        Node("v1", "Waziristan", EntityType.GPE),
+        Node("v2", "Taliban", EntityType.ORG),
+        Node("v3", "Kunar", EntityType.GPE),
+        Node("v4", "Lahore", EntityType.GPE),
+        Node("v5", "Peshawar", EntityType.GPE),
+        Node("v6", "Pakistan", EntityType.GPE, description="country in South Asia"),
+        Node("v7", "Upper Dir", EntityType.GPE),
+        Node("v8", "Swat Valley", EntityType.LOC),
+    ]
+    graph.add_nodes(nodes)
+    edges = [
+        # Two parallel length-2 routes from Taliban to Khyber.
+        Edge("v2", "v1", "operates_in"),
+        Edge("v1", "v0", "located_near"),
+        Edge("v2", "v3", "operates_in"),
+        Edge("v3", "v0", "located_near"),
+        # Distance-1 neighbours of Khyber.
+        Edge("v7", "v0", "located_in"),
+        Edge("v8", "v0", "located_near"),
+        Edge("v0", "v6", "located_in"),
+        # Other places of the T_r story.
+        Edge("v4", "v6", "located_in"),
+        Edge("v5", "v0", "located_in"),
+    ]
+    graph.add_edges(edges)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def figure1_graph() -> KnowledgeGraph:
+    """Session-cached Figure 1 graph."""
+    return build_figure1_graph()
+
+
+@pytest.fixture(scope="session")
+def figure1_index(figure1_graph: KnowledgeGraph) -> LabelIndex:
+    """Label index over the Figure 1 graph."""
+    return LabelIndex(figure1_graph)
+
+
+@pytest.fixture(scope="session")
+def tiny_world() -> SyntheticWorld:
+    """A small but complete synthetic world."""
+    return generate_world(
+        WorldConfig(
+            num_countries=3,
+            provinces_per_country=2,
+            cities_per_province=3,
+            num_organizations=10,
+            num_persons=20,
+            num_events=6,
+            extra_edges=15,
+            seed=42,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> DatasetBundle:
+    """A small dataset bundle for integration tests."""
+    world_config = WorldConfig(
+        num_countries=3,
+        provinces_per_country=2,
+        cities_per_province=3,
+        num_organizations=10,
+        num_persons=24,
+        num_events=8,
+        extra_edges=20,
+        seed=5,
+    )
+    news_config = NewsConfig(
+        num_documents=60,
+        sentences_per_doc=(4, 8),
+        entity_dropout=0.4,
+        noise_doc_fraction=0.1,
+        seed=6,
+    )
+    return make_dataset(
+        "tiny",
+        world_config,
+        news_config,
+        eval_config=EvalConfig(test_fraction=0.15, validation_fraction=0.1),
+    )

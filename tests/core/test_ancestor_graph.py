@@ -1,0 +1,76 @@
+"""Tests for the CommonAncestorGraph model (Definition 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ancestor_graph import CommonAncestorGraph
+from repro.kg.types import OrientedEdge
+
+
+def make_graph(distances: dict[str, float], root: str = "r") -> CommonAncestorGraph:
+    return CommonAncestorGraph(
+        root=root,
+        labels=tuple(sorted(distances)),
+        distances=distances,
+        nodes=frozenset({root}),
+        edges=frozenset(),
+    )
+
+
+class TestBasics:
+    def test_depth_is_max_distance(self):
+        graph = make_graph({"a": 2.0, "b": 1.0})
+        assert graph.depth == 2.0
+
+    def test_depth_empty(self):
+        assert make_graph({}).depth == 0.0
+
+    def test_vector(self):
+        graph = make_graph({"a": 1.0, "b": 3.0})
+        assert graph.vector == (3.0, 1.0)
+
+    def test_missing_distance_rejected(self):
+        with pytest.raises(ValueError):
+            CommonAncestorGraph(
+                root="r",
+                labels=("a", "b"),
+                distances={"a": 1.0},
+                nodes=frozenset({"r"}),
+                edges=frozenset(),
+            )
+
+    def test_counts(self):
+        edge = OrientedEdge("x", "r", "rel")
+        graph = CommonAncestorGraph(
+            root="r",
+            labels=("a",),
+            distances={"a": 1.0},
+            nodes=frozenset({"r", "x"}),
+            edges=frozenset({edge}),
+        )
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 1
+
+    def test_repr_is_concise(self):
+        assert "depth" in repr(make_graph({"a": 1.0}))
+
+
+class TestCompactnessMethods:
+    def test_is_more_compact_than(self):
+        tighter = make_graph({"a": 1.0, "b": 1.0})
+        looser = make_graph({"a": 2.0, "b": 1.0})
+        assert tighter.is_more_compact_than(looser)
+        assert not looser.is_more_compact_than(tighter)
+
+    def test_equally_compact(self):
+        a = make_graph({"a": 1.0, "b": 2.0}, root="r1")
+        b = make_graph({"a": 2.0, "b": 1.0}, root="r2")
+        assert a.equally_compact(b)
+
+
+class TestLabelPaths:
+    def test_paths_for_missing_label_empty(self):
+        graph = make_graph({"a": 1.0})
+        nodes, edges = graph.paths_for_label("zzz")
+        assert nodes == frozenset() and edges == frozenset()

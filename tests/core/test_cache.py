@@ -1,0 +1,95 @@
+"""Tests for the segment-embedding cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import CachingEmbedder
+from repro.core.lcag import LcagEmbedder
+
+
+class CountingEmbedder:
+    """Wraps an embedder and counts real embed calls."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def embed(self, label_sources):
+        self.calls += 1
+        return self.inner.embed(label_sources)
+
+
+@pytest.fixture()
+def sources(figure1_index):
+    return {
+        "taliban": figure1_index.lookup("Taliban"),
+        "pakistan": figure1_index.lookup("Pakistan"),
+    }
+
+
+class TestCachingEmbedder:
+    def test_second_call_hits_cache(self, figure1_graph, sources):
+        counting = CountingEmbedder(LcagEmbedder(figure1_graph))
+        cached = CachingEmbedder(counting)
+        first = cached.embed(sources)
+        second = cached.embed(sources)
+        assert counting.calls == 1
+        assert first is second
+        assert cached.stats.hits == 1
+        assert cached.stats.misses == 1
+        assert cached.stats.hit_rate == 0.5
+
+    def test_key_is_order_insensitive(self, figure1_graph, figure1_index):
+        counting = CountingEmbedder(LcagEmbedder(figure1_graph))
+        cached = CachingEmbedder(counting)
+        a = {
+            "taliban": figure1_index.lookup("Taliban"),
+            "pakistan": figure1_index.lookup("Pakistan"),
+        }
+        b = dict(reversed(list(a.items())))
+        cached.embed(a)
+        cached.embed(b)
+        assert counting.calls == 1
+
+    def test_none_results_cached(self, figure1_graph):
+        from repro.kg.graph import KnowledgeGraph
+        from repro.kg.types import Node
+
+        island_graph = KnowledgeGraph()
+        island_graph.add_node(Node("a", "A"))
+        island_graph.add_node(Node("b", "B"))
+        counting = CountingEmbedder(LcagEmbedder(island_graph))
+        cached = CachingEmbedder(counting)
+        group = {"a": frozenset({"a"}), "b": frozenset({"b"})}
+        assert cached.embed(group) is None
+        assert cached.embed(group) is None
+        assert counting.calls == 1
+
+    def test_lru_eviction(self, figure1_graph, figure1_index):
+        counting = CountingEmbedder(LcagEmbedder(figure1_graph))
+        cached = CachingEmbedder(counting, max_entries=1)
+        first = {"taliban": figure1_index.lookup("Taliban")}
+        second = {"pakistan": figure1_index.lookup("Pakistan")}
+        cached.embed(first)
+        cached.embed(second)  # evicts first
+        assert cached.size == 1
+        cached.embed(first)  # miss again
+        assert counting.calls == 3
+
+    def test_clear(self, figure1_graph, sources):
+        cached = CachingEmbedder(LcagEmbedder(figure1_graph))
+        cached.embed(sources)
+        cached.clear()
+        assert cached.size == 0
+        cached.embed(sources)
+        assert cached.stats.misses == 2
+
+    def test_empty_group(self, figure1_graph):
+        cached = CachingEmbedder(LcagEmbedder(figure1_graph))
+        assert cached.embed({}) is None
+        assert cached.stats.requests == 0
+
+    def test_bad_capacity(self, figure1_graph):
+        with pytest.raises(ValueError):
+            CachingEmbedder(LcagEmbedder(figure1_graph), max_entries=0)

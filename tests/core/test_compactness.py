@@ -1,0 +1,91 @@
+"""Tests for the compactness order (Definition 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.compactness import (
+    compare_compactness,
+    distance_vector,
+    sort_by_compactness,
+)
+
+
+class TestDistanceVector:
+    def test_sorted_descending(self):
+        assert distance_vector({"a": 1.0, "b": 3.0, "c": 2.0}) == (3.0, 2.0, 1.0)
+
+    def test_empty(self):
+        assert distance_vector({}) == ()
+
+
+class TestPaperExample:
+    def test_definition_4_example(self):
+        """The worked example after Definition 4: G_v0 < G_u."""
+        g_v0 = (2.0, 1.0, 1.0, 1.0)
+        g_u = (2.0, 2.0, 1.0, 1.0)
+        assert compare_compactness(g_v0, g_u) == -1
+        assert compare_compactness(g_u, g_v0) == 1
+
+    def test_equal_vectors(self):
+        assert compare_compactness((2.0, 1.0), (2.0, 1.0)) == 0
+
+
+class TestCompare:
+    def test_first_component_dominates(self):
+        assert compare_compactness((1.0, 9.0), (2.0, 0.0)) == -1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compare_compactness((1.0,), (1.0, 2.0))
+
+    def test_infinite_distances_equal(self):
+        assert compare_compactness((math.inf,), (math.inf,)) == 0
+
+    def test_finite_beats_infinite(self):
+        assert compare_compactness((5.0,), (math.inf,)) == -1
+
+
+vectors = st.lists(
+    st.floats(min_value=0, max_value=10, allow_nan=False), min_size=3, max_size=3
+)
+
+
+class TestOrderProperties:
+    @given(vectors, vectors)
+    def test_antisymmetry(self, a, b):
+        a, b = tuple(sorted(a, reverse=True)), tuple(sorted(b, reverse=True))
+        assert compare_compactness(a, b) == -compare_compactness(b, a)
+
+    @given(vectors, vectors, vectors)
+    def test_transitivity(self, a, b, c):
+        a = tuple(sorted(a, reverse=True))
+        b = tuple(sorted(b, reverse=True))
+        c = tuple(sorted(c, reverse=True))
+        if compare_compactness(a, b) <= 0 and compare_compactness(b, c) <= 0:
+            assert compare_compactness(a, c) <= 0
+
+    @given(vectors)
+    def test_reflexive_equality(self, a):
+        a = tuple(sorted(a, reverse=True))
+        assert compare_compactness(a, a) == 0
+
+
+class TestSortByCompactness:
+    def test_lowest_first(self):
+        candidates = [
+            ("r2", {"a": 2.0, "b": 2.0}),
+            ("r1", {"a": 2.0, "b": 1.0}),
+            ("r3", {"a": 3.0, "b": 0.0}),
+        ]
+        ordered = sort_by_compactness(candidates)
+        assert [root for root, _ in ordered] == ["r1", "r2", "r3"]
+
+    def test_tie_broken_by_root_id(self):
+        candidates = [("z", {"a": 1.0}), ("a", {"a": 1.0})]
+        ordered = sort_by_compactness(candidates)
+        assert [root for root, _ in ordered] == ["a", "z"]

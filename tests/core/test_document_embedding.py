@@ -1,0 +1,125 @@
+"""Tests for document-level embedding union and BON counts."""
+
+from __future__ import annotations
+
+from repro.core.document_embedding import (
+    DocumentEmbedding,
+    embed_document,
+    sources_for_label,
+    union_embedding,
+)
+from repro.core.lcag import LcagEmbedder, find_lcag
+from repro.nlp.pipeline import NlpPipeline
+
+
+class TestUnionEmbedding:
+    def test_counts_across_graphs(self, figure1_graph, figure1_index):
+        g1 = find_lcag(
+            figure1_graph,
+            {
+                "taliban": figure1_index.lookup("Taliban"),
+                "pakistan": figure1_index.lookup("Pakistan"),
+            },
+        )
+        g2 = find_lcag(
+            figure1_graph,
+            {
+                "upper dir": figure1_index.lookup("Upper Dir"),
+                "pakistan": figure1_index.lookup("Pakistan"),
+            },
+        )
+        embedding = union_embedding("doc", [g1, g2])
+        assert embedding.node_counts["v6"] >= 1  # pakistan in both or one
+        overlap_nodes = [n for n, c in embedding.node_counts.items() if c == 2]
+        assert overlap_nodes  # the overlapped (orange) nodes exist
+
+    def test_empty(self):
+        embedding = union_embedding("doc", [])
+        assert embedding.is_empty
+        assert embedding.nodes == frozenset()
+        assert embedding.edges == frozenset()
+        assert embedding.roots == ()
+
+    def test_bon_counts_copy(self, figure1_graph, figure1_index):
+        g1 = find_lcag(figure1_graph, {"taliban": figure1_index.lookup("Taliban")})
+        embedding = union_embedding("doc", [g1])
+        counts = embedding.bon_counts()
+        counts["v2"] = 999
+        assert embedding.node_counts["v2"] != 999
+
+
+class TestSourcesForLabel:
+    def test_depth_zero_label(self, figure1_graph, figure1_index):
+        g = find_lcag(figure1_graph, {"taliban": figure1_index.lookup("Taliban")})
+        assert sources_for_label(g, "taliban") == frozenset({"v2"})
+
+    def test_sources_in_deeper_graph(self, figure1_graph, figure1_index):
+        g = find_lcag(
+            figure1_graph,
+            {
+                "taliban": figure1_index.lookup("Taliban"),
+                "upper dir": figure1_index.lookup("Upper Dir"),
+            },
+        )
+        assert sources_for_label(g, "taliban") == frozenset({"v2"})
+        assert sources_for_label(g, "upper dir") == frozenset({"v7"})
+
+    def test_missing_label(self, figure1_graph, figure1_index):
+        g = find_lcag(figure1_graph, {"taliban": figure1_index.lookup("Taliban")})
+        assert sources_for_label(g, "nope") == frozenset()
+
+    def test_entity_nodes(self, figure1_graph, figure1_index):
+        g = find_lcag(
+            figure1_graph,
+            {
+                "taliban": figure1_index.lookup("Taliban"),
+                "pakistan": figure1_index.lookup("Pakistan"),
+            },
+        )
+        embedding = union_embedding("doc", [g])
+        assert embedding.entity_nodes() == frozenset({"v2", "v6"})
+
+
+class TestEmbedDocument:
+    def test_figure_4_style_union(self, figure1_graph, figure1_index):
+        pipeline = NlpPipeline(figure1_index)
+        text = (
+            "Pakistan fought Taliban near Upper Dir. "
+            "Taliban bombed Peshawar. "
+            "Swat Valley and Upper Dir were affected."
+        )
+        processed = pipeline.process(text, "doc")
+        embedding = embed_document(processed, LcagEmbedder(figure1_graph))
+        assert not embedding.is_empty
+        assert len(embedding.graphs) == len(processed.groups)
+        assert embedding.doc_id == "doc"
+
+    def test_unembeddable_document(self, figure1_graph, figure1_index):
+        pipeline = NlpPipeline(figure1_index)
+        processed = pipeline.process("nothing recognizable here", "doc")
+        embedding = embed_document(processed, LcagEmbedder(figure1_graph))
+        assert embedding.is_empty
+
+    def test_skips_failed_groups(self, figure1_graph, figure1_index):
+        """A group whose labels are disconnected is skipped, not fatal."""
+        from repro.kg.types import Node
+
+        figure1_graph_local = figure1_graph
+        # (Figure 1 graph is connected, so simulate with a custom embedder.)
+        class FlakyEmbedder:
+            def __init__(self):
+                self.calls = 0
+
+            def embed(self, label_sources):
+                self.calls += 1
+                if self.calls == 1:
+                    return None
+                return find_lcag(figure1_graph_local, label_sources)
+
+        pipeline = NlpPipeline(figure1_index)
+        text = "Taliban moved. Pakistan responded."
+        processed = pipeline.process(text, "doc")
+        assert len(processed.groups) == 2
+        embedding = embed_document(processed, FlakyEmbedder())
+        assert len(embedding.graphs) == 1
+        del Node

@@ -1,0 +1,113 @@
+"""Tests for relationship-path explanations (Tables II & VI)."""
+
+from __future__ import annotations
+
+from repro.core.document_embedding import union_embedding
+from repro.core.explain import explain_pair, verbalize_path
+from repro.core.lcag import find_lcag
+
+
+def embed(figure1_graph, figure1_index, labels: list[str], doc_id: str):
+    sources = {label.lower(): figure1_index.lookup(label) for label in labels}
+    graph = find_lcag(figure1_graph, sources)
+    return union_embedding(doc_id, [graph])
+
+
+class TestExplainPair:
+    def test_paths_link_query_and_result_entities(self, figure1_graph, figure1_index):
+        t_q = embed(
+            figure1_graph,
+            figure1_index,
+            ["Upper Dir", "Swat Valley", "Pakistan", "Taliban"],
+            "t_q",
+        )
+        t_r = embed(
+            figure1_graph,
+            figure1_index,
+            ["Lahore", "Peshawar", "Pakistan", "Taliban"],
+            "t_r",
+        )
+        paths = explain_pair(t_q, t_r)
+        assert paths
+        query_entities = t_q.entity_nodes()
+        result_entities = t_r.entity_nodes()
+        for path in paths:
+            start, end = path.endpoints
+            assert start in query_entities
+            assert end in result_entities
+            assert path.via in (t_q.nodes & t_r.nodes)
+            assert len(path.nodes) == len(path.edges) + 1
+
+    def test_table_ii_style_path_exists(self, figure1_graph, figure1_index):
+        """Upper Dir -> Khyber <- Peshawar: linking unmatched entities."""
+        t_q = embed(figure1_graph, figure1_index, ["Upper Dir", "Taliban"], "t_q")
+        t_r = embed(figure1_graph, figure1_index, ["Peshawar", "Taliban"], "t_r")
+        paths = explain_pair(t_q, t_r)
+        rendered = [verbalize_path(p, figure1_graph) for p in paths]
+        assert any("Upper Dir" in r and "Peshawar" in r and "Khyber" in r for r in rendered)
+
+    def test_no_overlap_no_paths(self, figure1_graph, figure1_index):
+        a = embed(figure1_graph, figure1_index, ["Lahore"], "a")
+        b = embed(figure1_graph, figure1_index, ["Kunar"], "b")
+        assert explain_pair(a, b) == []
+
+    def test_max_paths_respected(self, figure1_graph, figure1_index):
+        t_q = embed(
+            figure1_graph,
+            figure1_index,
+            ["Upper Dir", "Swat Valley", "Pakistan", "Taliban"],
+            "t_q",
+        )
+        t_r = embed(
+            figure1_graph,
+            figure1_index,
+            ["Lahore", "Peshawar", "Pakistan", "Taliban"],
+            "t_r",
+        )
+        paths = explain_pair(t_q, t_r, max_paths=2)
+        assert len(paths) <= 2
+
+    def test_paths_sorted_by_length(self, figure1_graph, figure1_index):
+        t_q = embed(
+            figure1_graph,
+            figure1_index,
+            ["Upper Dir", "Swat Valley", "Pakistan", "Taliban"],
+            "t_q",
+        )
+        t_r = embed(
+            figure1_graph,
+            figure1_index,
+            ["Lahore", "Peshawar", "Pakistan", "Taliban"],
+            "t_r",
+        )
+        lengths = [p.length for p in explain_pair(t_q, t_r)]
+        assert lengths == sorted(lengths)
+
+    def test_max_length_bound(self, figure1_graph, figure1_index):
+        t_q = embed(figure1_graph, figure1_index, ["Upper Dir", "Taliban"], "t_q")
+        t_r = embed(figure1_graph, figure1_index, ["Lahore", "Taliban"], "t_r")
+        for path in explain_pair(t_q, t_r, max_length=2):
+            assert path.length <= 2
+
+
+class TestVerbalizePath:
+    def test_arrow_directions(self, figure1_graph, figure1_index):
+        t_q = embed(figure1_graph, figure1_index, ["Upper Dir", "Taliban"], "t_q")
+        t_r = embed(figure1_graph, figure1_index, ["Peshawar", "Taliban"], "t_r")
+        paths = explain_pair(t_q, t_r)
+        rendered = [verbalize_path(p, figure1_graph) for p in paths]
+        joined = " | ".join(rendered)
+        assert "-[" in joined
+        assert "]->" in joined or "<-[" in joined
+
+    def test_single_node_path(self, figure1_graph):
+        from repro.core.explain import RelationshipPath
+
+        path = RelationshipPath(nodes=("v0",), edges=(), via="v0")
+        assert verbalize_path(path, figure1_graph) == "Khyber"
+
+    def test_empty_path(self, figure1_graph):
+        from repro.core.explain import RelationshipPath
+
+        path = RelationshipPath(nodes=(), edges=(), via="")
+        assert verbalize_path(path, figure1_graph) == ""

@@ -1,0 +1,94 @@
+"""Tests for the frontier pool (Algorithm 2 / Equation 2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.frontier import FrontierPool
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.types import Edge, Node
+
+
+def path_graph() -> KnowledgeGraph:
+    """a - b - c - d - e (bidirected chain via forward edges)."""
+    graph = KnowledgeGraph()
+    graph.add_nodes([Node(x, x.upper()) for x in "abcde"])
+    for left, right in zip("abcd", "bcde"):
+        graph.add_edge(Edge(left, right, "r"))
+    return graph
+
+
+class TestConstruction:
+    def test_requires_labels(self):
+        with pytest.raises(ValueError):
+            FrontierPool(path_graph(), {})
+
+    def test_requires_sources(self):
+        with pytest.raises(ValueError):
+            FrontierPool(path_graph(), {"l1": frozenset()})
+
+    def test_labels_sorted(self):
+        pool = FrontierPool(
+            path_graph(), {"z": frozenset({"a"}), "a": frozenset({"e"})}
+        )
+        assert pool.labels == ("a", "z")
+
+
+class TestGlobalOrder:
+    def test_pop_distances_nondecreasing(self):
+        """Lemma 3: the enumeration order is monotone."""
+        pool = FrontierPool(
+            path_graph(),
+            {"l1": frozenset({"a"}), "l2": frozenset({"e"})},
+        )
+        distances = []
+        while (popped := pool.pop_global_min()) is not None:
+            distances.append(popped[2])
+        assert distances == sorted(distances)
+        # both frontiers settle all 5 nodes
+        assert len(distances) == 10
+
+    def test_equation_2_selects_global_min(self):
+        pool = FrontierPool(
+            path_graph(),
+            {"near": frozenset({"a"}), "far": frozenset({"e"})},
+        )
+        label, node, dist = pool.pop_global_min()
+        assert dist == 0.0
+        # deterministic tie-break: label order first
+        assert label == "far" and node == "e"
+
+    def test_next_distance_tracks_head(self):
+        pool = FrontierPool(path_graph(), {"l1": frozenset({"a"})})
+        assert pool.next_distance() == 0.0
+        pool.pop_global_min()
+        assert pool.next_distance() == 1.0
+
+    def test_next_distance_inf_when_exhausted(self):
+        pool = FrontierPool(path_graph(), {"l1": frozenset({"a"})})
+        while pool.pop_global_min() is not None:
+            pass
+        assert math.isinf(pool.next_distance())
+
+
+class TestSettlement:
+    def test_settled_by_all(self):
+        pool = FrontierPool(
+            path_graph(),
+            {"l1": frozenset({"a"}), "l2": frozenset({"c"})},
+        )
+        while pool.pop_global_min() is not None:
+            pass
+        assert pool.settled_by_all("b")
+        distances = pool.distances_at("b")
+        assert distances == {"l1": 1.0, "l2": 1.0}
+
+    def test_distances_at_unreached(self):
+        graph = path_graph()
+        graph.add_node(Node("island", "Island"))
+        pool = FrontierPool(graph, {"l1": frozenset({"a"})})
+        while pool.pop_global_min() is not None:
+            pass
+        assert math.isinf(pool.distances_at("island")["l1"])

@@ -1,0 +1,287 @@
+"""Tests for the G* search algorithm (Algorithms 1-3, Theorem 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import LcagConfig
+from repro.core.compactness import compare_compactness
+from repro.core.lcag import LcagEmbedder, SearchStats, brute_force_lcag, find_lcag
+from repro.errors import NoCommonAncestorError, SearchTimeoutError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.label_index import LabelIndex
+from repro.kg.types import Edge, Node
+
+
+class TestFigure1:
+    """Exactness on the paper's running example (Examples 3-4, Figure 1)."""
+
+    def label_sources(self, figure1_index: LabelIndex) -> dict[str, frozenset[str]]:
+        return {
+            "upper dir": figure1_index.lookup("Upper Dir"),
+            "swat valley": figure1_index.lookup("Swat Valley"),
+            "pakistan": figure1_index.lookup("Pakistan"),
+            "taliban": figure1_index.lookup("Taliban"),
+        }
+
+    def test_root_is_khyber(self, figure1_graph, figure1_index):
+        result = find_lcag(figure1_graph, self.label_sources(figure1_index))
+        assert result.root == "v0"
+
+    def test_distance_vector_matches_paper(self, figure1_graph, figure1_index):
+        """D(1)=2 (Taliban), D(2)=D(3)=D(4)=1."""
+        result = find_lcag(figure1_graph, self.label_sources(figure1_index))
+        assert result.vector == (2.0, 1.0, 1.0, 1.0)
+        assert result.depth == 2.0
+
+    def test_both_taliban_paths_preserved(self, figure1_graph, figure1_index):
+        """Example 4 / coverage: P(v2 -> v0, 2) has two paths."""
+        result = find_lcag(figure1_graph, self.label_sources(figure1_index))
+        nodes, edges = result.paths_for_label("taliban")
+        assert {"v2", "v1", "v3", "v0"} <= set(nodes)
+        assert len(edges) == 4  # v2->v1, v1->v0, v2->v3, v3->v0
+
+    def test_matches_brute_force(self, figure1_graph, figure1_index):
+        fast = find_lcag(figure1_graph, self.label_sources(figure1_index))
+        slow = brute_force_lcag(figure1_graph, self.label_sources(figure1_index))
+        assert fast.root == slow.root
+        assert fast.vector == slow.vector
+        assert fast.nodes == slow.nodes
+        assert fast.edges == slow.edges
+
+    def test_lemma_2_distance_bound(self, figure1_graph, figure1_index):
+        """Any two nodes of G* are within 2 * d(G*)."""
+        from repro.kg.traversal import pairwise_distance
+
+        result = find_lcag(figure1_graph, self.label_sources(figure1_index))
+        sub = figure1_graph.induced_subgraph(result.nodes)
+        del sub  # Lemma 2 is about distances in K via the root, not the subgraph
+        bound = 2 * result.depth
+        nodes = sorted(result.nodes)
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                assert pairwise_distance(figure1_graph, a, b) <= bound
+
+
+class TestSmallCases:
+    def test_single_label_root_is_source(self):
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node("a", "A"), Node("b", "B")])
+        graph.add_edge(Edge("a", "b", "r"))
+        result = find_lcag(graph, {"l": frozenset({"a"})})
+        assert result.root == "a"
+        assert result.depth == 0.0
+        assert result.nodes == frozenset({"a"})
+        assert result.edges == frozenset()
+
+    def test_single_label_multiple_sources_tie_break(self):
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node("x", "L"), Node("y", "L2"), Node("m", "M")])
+        graph.add_edge(Edge("x", "m", "r"))
+        graph.add_edge(Edge("m", "y", "r"))
+        result = find_lcag(graph, {"l": frozenset({"x", "y"})})
+        # depth 0 at both x and y; smallest id wins
+        assert result.root == "x"
+
+    def test_two_labels_meet_in_middle(self):
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node(c, c.upper()) for c in "abc"])
+        graph.add_edges([Edge("a", "b", "r"), Edge("b", "c", "r")])
+        result = find_lcag(graph, {"l1": frozenset({"a"}), "l2": frozenset({"c"})})
+        assert result.root == "b"
+        assert result.vector == (1.0, 1.0)
+
+    def test_disconnected_labels_raise(self):
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node("a", "A"), Node("b", "B")])
+        with pytest.raises(NoCommonAncestorError):
+            find_lcag(graph, {"l1": frozenset({"a"}), "l2": frozenset({"b"})})
+
+    def test_timeout_raises_without_candidates(self):
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node(f"n{i}", f"N{i}") for i in range(20)])
+        for i in range(19):
+            graph.add_edge(Edge(f"n{i}", f"n{i+1}", "r"))
+        config = LcagConfig(max_pops=3)
+        with pytest.raises(SearchTimeoutError):
+            find_lcag(
+                graph,
+                {"l1": frozenset({"n0"}), "l2": frozenset({"n19"})},
+                config,
+            )
+
+    def test_timeout_with_candidate_returns_best_so_far(self):
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node(c, c.upper()) for c in "abc"])
+        graph.add_edges([Edge("a", "b", "r"), Edge("b", "c", "r")])
+        # enough pops to find a candidate, then budget runs out
+        config = LcagConfig(max_pops=6)
+        result = find_lcag(
+            graph, {"l1": frozenset({"a"}), "l2": frozenset({"c"})}, config
+        )
+        assert result.root == "b"
+
+    def test_stats_populated(self):
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node(c, c.upper()) for c in "abc"])
+        graph.add_edges([Edge("a", "b", "r"), Edge("b", "c", "r")])
+        stats = SearchStats()
+        find_lcag(
+            graph,
+            {"l1": frozenset({"a"}), "l2": frozenset({"c"})},
+            stats=stats,
+        )
+        assert stats.pops > 0
+        assert stats.candidates >= 1
+        assert stats.terminated_early
+
+    def test_multiple_equal_depth_candidates_sorted_by_vector(self):
+        """Two candidates share depth; compactness sorting must compare
+        the full vector (Definition 4 case 2)."""
+        graph = KnowledgeGraph()
+        # labels at a and z.
+        # root u: D(a,u)=2, D(z,u)=1 -> vector (2,1)
+        # root w: D(a,w)=2, D(z,w)=2 -> vector (2,2)  (same depth)
+        graph.add_nodes([Node(c, c.upper()) for c in ("a", "m", "u", "w", "y", "z")])
+        graph.add_edges(
+            [
+                Edge("a", "m", "r"),
+                Edge("m", "u", "r"),
+                Edge("z", "u", "r"),
+                Edge("a", "y", "r"),
+                Edge("y", "w", "r"),
+                Edge("z", "y", "r"),
+            ]
+        )
+        result = find_lcag(graph, {"la": frozenset({"a"}), "lz": frozenset({"z"})})
+        slow = brute_force_lcag(graph, {"la": frozenset({"a"}), "lz": frozenset({"z"})})
+        assert result.root == slow.root
+        assert result.vector == slow.vector
+
+
+class TestSinglePathsAblation:
+    def test_narrow_variant_keeps_one_taliban_path(
+        self, figure1_graph, figure1_index
+    ):
+        sources = {
+            "upper dir": figure1_index.lookup("Upper Dir"),
+            "swat valley": figure1_index.lookup("Swat Valley"),
+            "pakistan": figure1_index.lookup("Pakistan"),
+            "taliban": figure1_index.lookup("Taliban"),
+        }
+        wide = find_lcag(figure1_graph, sources)
+        narrow = find_lcag(figure1_graph, sources, LcagConfig(single_paths=True))
+        assert narrow.root == wide.root
+        assert narrow.vector == wide.vector
+        assert narrow.num_edges < wide.num_edges
+        assert not ({"v1", "v3"} <= set(narrow.nodes))
+
+
+class TestEmbedder:
+    def test_embed_empty_group_returns_none(self, figure1_graph):
+        embedder = LcagEmbedder(figure1_graph)
+        assert embedder.embed({}) is None
+
+    def test_embed_disconnected_returns_none(self):
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node("a", "A"), Node("b", "B")])
+        embedder = LcagEmbedder(graph)
+        assert embedder.embed({"l1": frozenset({"a"}), "l2": frozenset({"b"})}) is None
+
+    def test_embed_success(self, figure1_graph, figure1_index):
+        embedder = LcagEmbedder(figure1_graph)
+        result = embedder.embed({"taliban": figure1_index.lookup("Taliban")})
+        assert result is not None and result.root == "v2"
+
+
+# ---------------------------------------------------------------------------
+# property-based: Algorithm 1 == brute force on random graphs (Theorem 1)
+# ---------------------------------------------------------------------------
+@st.composite
+def lcag_cases(draw):
+    n = draw(st.integers(min_value=3, max_value=14))
+    edges = {(i, i + 1) for i in range(n - 1)}  # connected chain
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=15,
+        )
+    )
+    for a, b in extra:
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    graph = KnowledgeGraph()
+    graph.add_nodes([Node(f"n{i:02d}", f"N{i}") for i in range(n)])
+    for a, b in sorted(edges):
+        graph.add_edge(Edge(f"n{a:02d}", f"n{b:02d}", "r"))
+    num_labels = draw(st.integers(min_value=1, max_value=3))
+    label_sources = {}
+    for index in range(num_labels):
+        size = draw(st.integers(min_value=1, max_value=2))
+        members = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        label_sources[f"l{index}"] = frozenset(f"n{m:02d}" for m in members)
+    return graph, label_sources
+
+
+class TestTheorem1:
+    @settings(max_examples=80, deadline=None)
+    @given(lcag_cases())
+    def test_algorithm_matches_brute_force(self, case):
+        graph, label_sources = case
+        fast = find_lcag(graph, label_sources)
+        slow = brute_force_lcag(graph, label_sources)
+        # Theorem 1: the algorithm returns *a* lowest common ancestor graph.
+        assert compare_compactness(fast.vector, slow.vector) == 0
+        # Determinism contract: ties broken by root id in both paths.
+        assert fast.root == slow.root
+        assert fast.nodes == slow.nodes
+        assert fast.edges == slow.edges
+
+    @settings(max_examples=50, deadline=None)
+    @given(lcag_cases())
+    def test_lemma_1_smallest_depth(self, case):
+        """G* has the smallest depth over all common ancestor graphs."""
+        import math
+
+        from repro.kg.traversal import shortest_path_dag
+
+        graph, label_sources = case
+        fast = find_lcag(graph, label_sources)
+        searches = {
+            label: shortest_path_dag(graph, sources)
+            for label, sources in label_sources.items()
+        }
+        for node_id in graph.node_ids():
+            depths = [searches[label].distance(node_id) for label in label_sources]
+            if any(math.isinf(d) for d in depths):
+                continue
+            assert fast.depth <= max(depths) + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(lcag_cases())
+    def test_coverage_all_shortest_paths_kept(self, case):
+        """Every label's DAG edge advances distance by exactly one."""
+        from repro.kg.traversal import shortest_path_dag
+
+        graph, label_sources = case
+        fast = find_lcag(graph, label_sources)
+        for label, sources in label_sources.items():
+            reference = shortest_path_dag(graph, sources)
+            _, edges = fast.paths_for_label(label)
+            for edge in edges:
+                assert (
+                    reference.distance(edge.target)
+                    == reference.distance(edge.source) + 1
+                )

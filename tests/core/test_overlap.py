@@ -1,0 +1,71 @@
+"""Tests for embedding overlap and induced entities."""
+
+from __future__ import annotations
+
+from repro.core.document_embedding import union_embedding
+from repro.core.lcag import find_lcag
+from repro.core.overlap import embedding_overlap, induced_entities
+
+
+def embed(figure1_graph, figure1_index, labels: list[str], doc_id: str):
+    sources = {label.lower(): figure1_index.lookup(label) for label in labels}
+    graph = find_lcag(figure1_graph, sources)
+    return union_embedding(doc_id, [graph])
+
+
+class TestEmbeddingOverlap:
+    def test_paper_example_overlap(self, figure1_graph, figure1_index):
+        """T_q and T_r overlap on Khyber and the induced region (Fig 1)."""
+        t_q = embed(
+            figure1_graph,
+            figure1_index,
+            ["Upper Dir", "Swat Valley", "Pakistan", "Taliban"],
+            "t_q",
+        )
+        t_r = embed(
+            figure1_graph, figure1_index, ["Lahore", "Peshawar", "Pakistan", "Taliban"], "t_r"
+        )
+        overlap = embedding_overlap(t_q, t_r)
+        assert "v0" in overlap.shared_nodes  # Khyber: induced in both
+        assert "v2" in overlap.shared_nodes and "v6" in overlap.shared_nodes
+        assert 0.0 < overlap.jaccard_nodes <= 1.0
+        assert not overlap.is_empty
+
+    def test_disjoint_embeddings(self, figure1_graph, figure1_index):
+        a = embed(figure1_graph, figure1_index, ["Lahore"], "a")
+        b = embed(figure1_graph, figure1_index, ["Kunar"], "b")
+        overlap = embedding_overlap(a, b)
+        assert overlap.is_empty
+        assert overlap.jaccard_nodes == 0.0
+
+    def test_identical_embeddings(self, figure1_graph, figure1_index):
+        a = embed(figure1_graph, figure1_index, ["Taliban", "Pakistan"], "a")
+        b = embed(figure1_graph, figure1_index, ["Taliban", "Pakistan"], "b")
+        overlap = embedding_overlap(a, b)
+        assert overlap.jaccard_nodes == 1.0
+        assert overlap.shared_edges == a.edges
+
+    def test_empty_embeddings(self):
+        a = union_embedding("a", [])
+        b = union_embedding("b", [])
+        overlap = embedding_overlap(a, b)
+        assert overlap.is_empty and overlap.jaccard_nodes == 0.0
+
+
+class TestInducedEntities:
+    def test_khyber_is_induced(self, figure1_graph, figure1_index):
+        """Khyber (v0) is in the embedding but never in the text (Table I)."""
+        t_q = embed(
+            figure1_graph,
+            figure1_index,
+            ["Upper Dir", "Swat Valley", "Pakistan", "Taliban"],
+            "t_q",
+        )
+        mentioned = frozenset({"v7", "v8", "v6", "v2"})
+        induced = induced_entities(t_q, mentioned)
+        assert "v0" in induced
+        assert induced & mentioned == frozenset()
+
+    def test_no_induced_when_all_mentioned(self, figure1_graph, figure1_index):
+        a = embed(figure1_graph, figure1_index, ["Taliban"], "a")
+        assert induced_entities(a, {"v2"}) == frozenset()

@@ -1,0 +1,119 @@
+"""Tests for the explanation presenter (§VII-D future-work items)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.document_embedding import union_embedding
+from repro.core.lcag import find_lcag
+from repro.core.presentation import (
+    Explanation,
+    ExplanationOptions,
+    ExplanationPresenter,
+)
+
+
+def embed(figure1_graph, figure1_index, labels: list[str], doc_id: str):
+    sources = {label.lower(): figure1_index.lookup(label) for label in labels}
+    return union_embedding(doc_id, [find_lcag(figure1_graph, sources)])
+
+
+@pytest.fixture()
+def pair(figure1_graph, figure1_index):
+    t_q = embed(
+        figure1_graph,
+        figure1_index,
+        ["Upper Dir", "Swat Valley", "Pakistan", "Taliban"],
+        "t_q",
+    )
+    t_r = embed(
+        figure1_graph,
+        figure1_index,
+        ["Lahore", "Peshawar", "Pakistan", "Taliban"],
+        "t_r",
+    )
+    return t_q, t_r
+
+
+class TestPresenter:
+    def test_shared_entities_listed(self, figure1_graph, pair):
+        presenter = ExplanationPresenter(figure1_graph)
+        explanation = presenter.build(*pair)
+        assert set(explanation.shared_entity_labels) == {"Pakistan", "Taliban"}
+
+    def test_paths_within_budget(self, figure1_graph, pair):
+        presenter = ExplanationPresenter(figure1_graph)
+        options = ExplanationOptions(max_paths=3, max_total_nodes=8)
+        explanation = presenter.build(*pair, options)
+        assert len(explanation.paths) <= 3
+        assert explanation.total_nodes <= 8
+
+    def test_budget_never_blocks_first_path(self, figure1_graph, pair):
+        presenter = ExplanationPresenter(figure1_graph)
+        options = ExplanationOptions(max_paths=3, max_total_nodes=1)
+        explanation = presenter.build(*pair, options)
+        # the best path always shows even if it alone exceeds the budget
+        assert len(explanation.paths) == 1
+
+    def test_novelty_first_ranking(self, figure1_graph, pair):
+        presenter = ExplanationPresenter(figure1_graph)
+        explanation = presenter.build(
+            *pair, ExplanationOptions(prefer_novel=True, max_paths=10)
+        )
+        mentioned = pair[0].entity_nodes() | pair[1].entity_nodes()
+
+        def novel(path):
+            return sum(1 for node in path.nodes if node not in mentioned)
+
+        counts = [novel(path) for path in explanation.paths]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_length_ranking_when_novelty_off(self, figure1_graph, pair):
+        presenter = ExplanationPresenter(figure1_graph)
+        explanation = presenter.build(
+            *pair, ExplanationOptions(prefer_novel=False, max_paths=10)
+        )
+        lengths = [path.length for path in explanation.paths]
+        assert lengths == sorted(lengths)
+
+    def test_novelty_metric(self, figure1_graph, pair):
+        presenter = ExplanationPresenter(figure1_graph)
+        explanation = presenter.build(*pair)
+        assert 0.0 <= explanation.novelty <= 1.0
+        # Khyber (v0) is never mentioned and sits on most paths.
+        assert "v0" in explanation.novel_nodes
+
+    def test_render(self, figure1_graph, pair):
+        presenter = ExplanationPresenter(figure1_graph)
+        text = presenter.build(*pair).render()
+        assert "mentioned by both" in text
+        assert "-[" in text
+
+    def test_empty_overlap(self, figure1_graph, figure1_index):
+        a = embed(figure1_graph, figure1_index, ["Lahore"], "a")
+        b = embed(figure1_graph, figure1_index, ["Kunar"], "b")
+        explanation = ExplanationPresenter(figure1_graph).build(a, b)
+        assert explanation.paths == ()
+        assert explanation.novelty == 0.0
+
+
+class TestEngineIntegration:
+    def test_engine_explanation(self, figure1_graph):
+        from repro.data.document import Corpus, NewsDocument
+        from repro.search.engine import NewsLinkEngine
+
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(
+            Corpus(
+                [
+                    NewsDocument(
+                        "t_r", "Taliban bombed Lahore. Peshawar and Pakistan reacted."
+                    )
+                ]
+            )
+        )
+        explanation = engine.explanation(
+            "Pakistan fought Taliban in Upper Dir", "t_r"
+        )
+        assert isinstance(explanation, Explanation)
+        assert explanation.lines()

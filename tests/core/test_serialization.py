@@ -1,0 +1,78 @@
+"""Tests for embedding serialization round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.document_embedding import union_embedding
+from repro.core.lcag import find_lcag
+from repro.core.serialization import (
+    cag_from_dict,
+    cag_to_dict,
+    embedding_from_dict,
+    embedding_to_dict,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture()
+def sample_graph(figure1_graph, figure1_index):
+    return find_lcag(
+        figure1_graph,
+        {
+            "taliban": figure1_index.lookup("Taliban"),
+            "upper dir": figure1_index.lookup("Upper Dir"),
+            "pakistan": figure1_index.lookup("Pakistan"),
+        },
+    )
+
+
+class TestCagRoundTrip:
+    def test_lossless(self, sample_graph):
+        restored = cag_from_dict(cag_to_dict(sample_graph))
+        assert restored.root == sample_graph.root
+        assert restored.labels == sample_graph.labels
+        assert restored.distances == sample_graph.distances
+        assert restored.nodes == sample_graph.nodes
+        assert restored.edges == sample_graph.edges
+        for label in sample_graph.labels:
+            assert restored.paths_for_label(label) == sample_graph.paths_for_label(
+                label
+            )
+
+    def test_json_serializable(self, sample_graph):
+        text = json.dumps(cag_to_dict(sample_graph))
+        restored = cag_from_dict(json.loads(text))
+        assert restored.vector == sample_graph.vector
+
+    def test_missing_field_raises(self):
+        with pytest.raises(DataError):
+            cag_from_dict({"root": "x"})
+
+    def test_bad_edge_record(self, sample_graph):
+        payload = cag_to_dict(sample_graph)
+        payload["edges"] = [["a", "b"]]
+        with pytest.raises(DataError):
+            cag_from_dict(payload)
+
+
+class TestEmbeddingRoundTrip:
+    def test_lossless(self, sample_graph):
+        embedding = union_embedding("doc7", [sample_graph, sample_graph])
+        restored = embedding_from_dict(embedding_to_dict(embedding))
+        assert restored.doc_id == "doc7"
+        assert restored.node_counts == embedding.node_counts
+        assert restored.nodes == embedding.nodes
+        assert restored.edges == embedding.edges
+        assert len(restored.graphs) == 2
+
+    def test_empty_embedding(self):
+        embedding = union_embedding("empty", [])
+        restored = embedding_from_dict(embedding_to_dict(embedding))
+        assert restored.is_empty
+
+    def test_missing_field_raises(self):
+        with pytest.raises(DataError):
+            embedding_from_dict({"doc_id": "x"})

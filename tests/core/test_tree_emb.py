@@ -1,0 +1,109 @@
+"""Tests for the TreeEmb (GST approximation) baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TreeEmbConfig
+from repro.core.lcag import SearchStats, find_lcag
+from repro.core.tree_emb import TreeEmbedder, find_gst_tree
+from repro.errors import NoCommonAncestorError, SearchTimeoutError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.traversal import shortest_path_dag
+from repro.kg.types import Edge, Node
+
+from tests.core.test_lcag import lcag_cases
+
+
+class TestSmallCases:
+    def test_two_labels_meet_in_middle(self):
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node(c, c.upper()) for c in "abc"])
+        graph.add_edges([Edge("a", "b", "r"), Edge("b", "c", "r")])
+        tree = find_gst_tree(graph, {"l1": frozenset({"a"}), "l2": frozenset({"c"})})
+        # Sum objective ties at 2 for roots a, b and c; id tie-break -> "a".
+        assert tree.root == "a"
+        assert sum(tree.distances.values()) == 2.0
+        assert tree.num_edges == 2
+
+    def test_single_path_kept_not_all(self, figure1_graph, figure1_index):
+        """Unlike G*, TreeEmb keeps ONE Taliban path, not both."""
+        sources = {
+            "taliban": figure1_index.lookup("Taliban"),
+            "upper dir": figure1_index.lookup("Upper Dir"),
+            "pakistan": figure1_index.lookup("Pakistan"),
+            "swat valley": figure1_index.lookup("Swat Valley"),
+        }
+        tree = find_gst_tree(figure1_graph, sources)
+        lcag = find_lcag(figure1_graph, sources)
+        assert tree.num_edges < lcag.num_edges
+        # one of {v1, v3} is on the kept Taliban path but not both
+        assert not ({"v1", "v3"} <= set(tree.nodes))
+
+    def test_disconnected_raises(self):
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node("a", "A"), Node("b", "B")])
+        with pytest.raises(NoCommonAncestorError):
+            find_gst_tree(graph, {"l1": frozenset({"a"}), "l2": frozenset({"b"})})
+
+    def test_timeout(self):
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node(f"n{i}", f"N{i}") for i in range(20)])
+        for i in range(19):
+            graph.add_edge(Edge(f"n{i}", f"n{i+1}", "r"))
+        with pytest.raises(SearchTimeoutError):
+            find_gst_tree(
+                graph,
+                {"l1": frozenset({"n0"}), "l2": frozenset({"n19"})},
+                TreeEmbConfig(max_pops=3),
+            )
+
+    def test_embedder_protocol(self, figure1_graph, figure1_index):
+        embedder = TreeEmbedder(figure1_graph)
+        assert embedder.embed({}) is None
+        result = embedder.embed({"taliban": figure1_index.lookup("Taliban")})
+        assert result is not None
+
+
+class TestGstObjective:
+    @settings(max_examples=60, deadline=None)
+    @given(lcag_cases())
+    def test_root_minimizes_distance_sum(self, case):
+        """TreeEmb's root minimizes sum of per-label distances (the classic
+        m-approximation objective)."""
+        graph, label_sources = case
+        tree = find_gst_tree(graph, label_sources)
+        searches = {
+            label: shortest_path_dag(graph, sources)
+            for label, sources in label_sources.items()
+        }
+        best = math.inf
+        for node_id in graph.node_ids():
+            distances = [searches[label].distance(node_id) for label in label_sources]
+            if any(math.isinf(d) for d in distances):
+                continue
+            best = min(best, sum(distances))
+        assert sum(tree.distances.values()) == pytest.approx(best)
+
+    @settings(max_examples=40, deadline=None)
+    @given(lcag_cases())
+    def test_tree_edge_budget(self, case):
+        """One path per label: edges <= sum of per-label distances."""
+        graph, label_sources = case
+        tree = find_gst_tree(graph, label_sources)
+        assert tree.num_edges <= sum(tree.distances.values())
+
+    @settings(max_examples=40, deadline=None)
+    @given(lcag_cases())
+    def test_lcag_terminates_no_later(self, case):
+        """The LCAG cut-off (depth) is at least as sharp as TreeEmb's
+        (sum) — the Fig 7 efficiency claim."""
+        graph, label_sources = case
+        lcag_stats, tree_stats = SearchStats(), SearchStats()
+        find_lcag(graph, label_sources, stats=lcag_stats)
+        find_gst_tree(graph, label_sources, stats=tree_stats)
+        assert lcag_stats.pops <= tree_stats.pops

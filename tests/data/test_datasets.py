@@ -1,0 +1,48 @@
+"""Tests for canned dataset bundles."""
+
+from __future__ import annotations
+
+from repro.config import EvalConfig
+from repro.data.datasets import cnn_like_config, kaggle_like_config, make_dataset
+
+
+class TestConfigs:
+    def test_cnn_scales(self):
+        small_world, small_news = cnn_like_config(scale=0.1)
+        big_world, big_news = cnn_like_config(scale=1.0)
+        assert big_world.num_events > small_world.num_events
+        assert big_news.num_documents > small_news.num_documents
+
+    def test_kaggle_is_noisier_than_cnn(self):
+        _, cnn_news = cnn_like_config()
+        _, kaggle_news = kaggle_like_config()
+        assert kaggle_news.entity_dropout > cnn_news.entity_dropout
+        assert kaggle_news.noise_doc_fraction > cnn_news.noise_doc_fraction
+
+
+class TestMakeDataset:
+    def test_bundle_consistency(self):
+        world_config, news_config = cnn_like_config(scale=0.1)
+        bundle = make_dataset("cnn-mini", world_config, news_config)
+        assert bundle.name == "cnn-mini"
+        assert len(bundle.corpus) == news_config.num_documents
+        assert len(bundle.topics) == len(bundle.world.events)
+        assert len(bundle.split.full) == len(bundle.corpus)
+
+    def test_deterministic(self):
+        world_config, news_config = kaggle_like_config(scale=0.1)
+        a = make_dataset("k", world_config, news_config)
+        b = make_dataset("k", world_config, news_config)
+        assert [d.text for d in a.corpus] == [d.text for d in b.corpus]
+        assert a.split.test.doc_ids() == b.split.test.doc_ids()
+
+    def test_eval_config_fractions(self):
+        world_config, news_config = cnn_like_config(scale=0.1)
+        bundle = make_dataset(
+            "c",
+            world_config,
+            news_config,
+            EvalConfig(test_fraction=0.2, validation_fraction=0.1),
+        )
+        expected_test = round(len(bundle.corpus) * 0.2)
+        assert len(bundle.split.test) == expected_test

@@ -1,0 +1,52 @@
+"""Tests for documents and corpora."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.document import Corpus, NewsDocument
+from repro.errors import DataError
+
+
+class TestNewsDocument:
+    def test_requires_doc_id(self):
+        with pytest.raises(DataError):
+            NewsDocument("", "text")
+
+    def test_defaults(self):
+        document = NewsDocument("d1", "text")
+        assert document.title == ""
+        assert document.topic_id == ""
+
+
+class TestCorpus:
+    def test_add_and_get(self):
+        corpus = Corpus([NewsDocument("d1", "one")])
+        corpus.add(NewsDocument("d2", "two"))
+        assert corpus.get("d2").text == "two"
+        assert len(corpus) == 2
+
+    def test_duplicate_rejected(self):
+        corpus = Corpus([NewsDocument("d1", "one")])
+        with pytest.raises(DataError):
+            corpus.add(NewsDocument("d1", "dup"))
+
+    def test_missing_raises(self):
+        with pytest.raises(DataError):
+            Corpus().get("nope")
+
+    def test_contains_and_iter(self):
+        corpus = Corpus([NewsDocument("d1", "one"), NewsDocument("d2", "two")])
+        assert "d1" in corpus and "zzz" not in corpus
+        assert [d.doc_id for d in corpus] == ["d1", "d2"]
+
+    def test_doc_ids_order(self):
+        corpus = Corpus([NewsDocument("b", "x"), NewsDocument("a", "y")])
+        assert corpus.doc_ids() == ["b", "a"]
+
+    def test_subset(self):
+        corpus = Corpus(
+            [NewsDocument("d1", "1"), NewsDocument("d2", "2"), NewsDocument("d3", "3")]
+        )
+        sub = corpus.subset(["d3", "d1"])
+        assert sub.doc_ids() == ["d3", "d1"]

@@ -1,0 +1,49 @@
+"""Tests for corpus JSONL serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.document import Corpus, NewsDocument
+from repro.data.loaders import load_corpus_jsonl, save_corpus_jsonl
+from repro.errors import DataError
+
+
+class TestCorpusJsonl:
+    def test_round_trip(self, tmp_path):
+        corpus = Corpus(
+            [
+                NewsDocument("d1", "text one", title="T1", topic_id="Q5"),
+                NewsDocument("d2", "text two"),
+            ]
+        )
+        path = tmp_path / "corpus.jsonl"
+        save_corpus_jsonl(corpus, path)
+        restored = load_corpus_jsonl(path)
+        assert restored.doc_ids() == ["d1", "d2"]
+        assert restored.get("d1").title == "T1"
+        assert restored.get("d1").topic_id == "Q5"
+        assert restored.get("d2").text == "text two"
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text('{"doc_id": "a", "text": "x"}\n\n', encoding="utf-8")
+        assert len(load_corpus_jsonl(path)) == 1
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text("not json\n", encoding="utf-8")
+        with pytest.raises(DataError):
+            load_corpus_jsonl(path)
+
+    def test_missing_field_raises(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text('{"doc_id": "a"}\n', encoding="utf-8")
+        with pytest.raises(DataError):
+            load_corpus_jsonl(path)
+
+    def test_unicode_round_trip(self, tmp_path):
+        corpus = Corpus([NewsDocument("d1", "Attaqué à Peshawar — «décès»")])
+        path = tmp_path / "corpus.jsonl"
+        save_corpus_jsonl(corpus, path)
+        assert load_corpus_jsonl(path).get("d1").text == "Attaqué à Peshawar — «décès»"

@@ -1,0 +1,55 @@
+"""Tests for corpus splitting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.document import Corpus, NewsDocument
+from repro.data.splits import split_corpus
+from repro.errors import ConfigError
+
+
+def corpus_of(n: int) -> Corpus:
+    return Corpus([NewsDocument(f"d{i}", f"text {i}") for i in range(n)])
+
+
+class TestSplitCorpus:
+    def test_partition_is_complete_and_disjoint(self):
+        corpus = corpus_of(50)
+        split = split_corpus(corpus, 0.1, 0.1, rng=0)
+        all_ids = (
+            set(split.train.doc_ids())
+            | set(split.validation.doc_ids())
+            | set(split.test.doc_ids())
+        )
+        assert all_ids == set(corpus.doc_ids())
+        assert len(split.train) + len(split.validation) + len(split.test) == 50
+
+    def test_fractions_respected(self):
+        split = split_corpus(corpus_of(100), 0.1, 0.1, rng=0)
+        assert len(split.test) == 10
+        assert len(split.validation) == 10
+        assert len(split.train) == 80
+
+    def test_deterministic(self):
+        a = split_corpus(corpus_of(30), rng=7)
+        b = split_corpus(corpus_of(30), rng=7)
+        assert a.test.doc_ids() == b.test.doc_ids()
+
+    def test_different_seeds_differ(self):
+        a = split_corpus(corpus_of(30), rng=1)
+        b = split_corpus(corpus_of(30), rng=2)
+        assert a.test.doc_ids() != b.test.doc_ids()
+
+    def test_minimum_one_per_split(self):
+        split = split_corpus(corpus_of(5), 0.01, 0.01, rng=0)
+        assert len(split.test) >= 1
+        assert len(split.validation) >= 1
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(ConfigError):
+            split_corpus(corpus_of(10), 0.6, 0.5)
+
+    def test_full_property(self):
+        split = split_corpus(corpus_of(20), rng=0)
+        assert len(split.full) == 20

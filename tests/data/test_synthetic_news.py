@@ -1,0 +1,95 @@
+"""Tests for the synthetic news generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NewsConfig
+from repro.data.synthetic_news import NewsGenerator, generate_corpus
+from repro.data.topics import topics_from_world
+from repro.kg.label_index import LabelIndex
+from repro.nlp.pipeline import NlpPipeline
+
+
+class TestGeneration:
+    def test_corpus_size(self, tiny_world):
+        corpus = generate_corpus(tiny_world, NewsConfig(num_documents=40, seed=1))
+        assert len(corpus) == 40
+
+    def test_deterministic(self, tiny_world):
+        config = NewsConfig(num_documents=20, seed=9)
+        a = generate_corpus(tiny_world, config)
+        b = generate_corpus(tiny_world, config)
+        assert [d.text for d in a] == [d.text for d in b]
+
+    def test_noise_fraction(self, tiny_world):
+        config = NewsConfig(num_documents=40, noise_doc_fraction=0.25, seed=2)
+        corpus = generate_corpus(tiny_world, config)
+        noise = [d for d in corpus if d.topic_id == ""]
+        assert len(noise) == 10
+
+    def test_topical_docs_reference_topic_entities(self, tiny_world):
+        generator = NewsGenerator(tiny_world, NewsConfig(num_documents=10, seed=3))
+        corpus = generator.generate()
+        index = LabelIndex(tiny_world.graph)
+        pipeline = NlpPipeline(index)
+        topic_by_id = {t.topic_id: t for t in topics_from_world(tiny_world)}
+        checked = 0
+        for document in corpus:
+            if not document.topic_id:
+                continue
+            topic = topic_by_id[document.topic_id]
+            pool = set(topic.mention_pool)
+            processed = pipeline.process(document.text, document.doc_id)
+            mentioned = set().union(
+                *(processed.label_sources.values() or [set()])
+            )
+            if processed.label_sources:
+                assert mentioned & pool, document.text
+                checked += 1
+        assert checked > 0
+
+    def test_sentence_counts_in_range(self, tiny_world):
+        config = NewsConfig(num_documents=10, sentences_per_doc=(3, 5), seed=4)
+        corpus = generate_corpus(tiny_world, config)
+        from repro.nlp.sentences import split_sentences
+
+        for document in corpus:
+            count = len(split_sentences(document.text))
+            assert 3 <= count <= 5
+
+    def test_titles_present(self, tiny_world):
+        corpus = generate_corpus(tiny_world, NewsConfig(num_documents=5, seed=5))
+        assert all(d.title for d in corpus)
+
+    def test_vocabulary_mismatch_exists(self, tiny_world):
+        """Two docs about the same topic should usually differ in entities."""
+        generator = NewsGenerator(
+            tiny_world, NewsConfig(num_documents=30, entity_dropout=0.5, seed=6)
+        )
+        corpus = generator.generate()
+        by_topic: dict[str, list[str]] = {}
+        for document in corpus:
+            if document.topic_id:
+                by_topic.setdefault(document.topic_id, []).append(document.text)
+        index = LabelIndex(tiny_world.graph)
+        pipeline = NlpPipeline(index)
+        differing_pairs = 0
+        total_pairs = 0
+        for texts in by_topic.values():
+            if len(texts) < 2:
+                continue
+            first = set(pipeline.process(texts[0], "a").label_sources)
+            second = set(pipeline.process(texts[1], "b").label_sources)
+            total_pairs += 1
+            if first != second:
+                differing_pairs += 1
+        assert total_pairs > 0
+        assert differing_pairs / total_pairs > 0.5
+
+    def test_world_without_events_rejected(self, tiny_world):
+        import dataclasses
+
+        empty = dataclasses.replace(tiny_world, events=[])
+        with pytest.raises(ValueError):
+            NewsGenerator(empty, NewsConfig(num_documents=5))

@@ -1,0 +1,34 @@
+"""Tests for topic coupling."""
+
+from __future__ import annotations
+
+from repro.data.topics import KIND_VOCABULARY, Topic, topics_from_world
+from repro.kg.synthetic import EVENT_KINDS
+
+
+class TestTopics:
+    def test_one_topic_per_event(self, tiny_world):
+        topics = topics_from_world(tiny_world)
+        assert len(topics) == len(tiny_world.events)
+
+    def test_topic_fields(self, tiny_world):
+        topic = topics_from_world(tiny_world)[0]
+        event = tiny_world.events[0]
+        assert topic.topic_id == event.event_id
+        assert topic.kind == event.kind
+        assert topic.mention_pool == event.mention_pool
+        assert topic.vocabulary == KIND_VOCABULARY[event.kind]
+
+    def test_every_kind_has_vocabulary(self):
+        for kind in EVENT_KINDS:
+            assert len(KIND_VOCABULARY[kind]) >= 10
+
+    def test_vocabulary_is_lowercase(self):
+        """Topic words must not trigger the capitalization NER heuristic."""
+        for words in KIND_VOCABULARY.values():
+            for word in words:
+                assert word == word.lower()
+
+    def test_from_event_roundtrip(self, tiny_world):
+        topic = Topic.from_event(tiny_world.events[1])
+        assert topic.name == tiny_world.events[1].name

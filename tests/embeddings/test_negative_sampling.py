@@ -1,0 +1,42 @@
+"""Tests for the negative sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embeddings.negative_sampling import NegativeSampler
+
+
+class TestNegativeSampler:
+    def test_shapes(self):
+        sampler = NegativeSampler(np.array([0.5, 0.3, 0.2]), rng=0)
+        assert sampler.draw(5).shape == (5,)
+        assert sampler.draw((3, 4)).shape == (3, 4)
+
+    def test_ids_in_range(self):
+        sampler = NegativeSampler(np.array([0.5, 0.3, 0.2]), rng=0)
+        draws = sampler.draw(1000)
+        assert draws.min() >= 0 and draws.max() <= 2
+
+    def test_distribution_follows_power(self):
+        frequencies = np.array([0.9, 0.1])
+        sampler = NegativeSampler(frequencies, rng=0)
+        draws = sampler.draw(20_000)
+        observed = (draws == 0).mean()
+        weights = frequencies**0.75
+        expected = weights[0] / weights.sum()
+        assert observed == pytest.approx(expected, abs=0.02)
+
+    def test_deterministic(self):
+        a = NegativeSampler(np.array([0.5, 0.5]), rng=7).draw(20)
+        b = NegativeSampler(np.array([0.5, 0.5]), rng=7).draw(20)
+        assert (a == b).all()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NegativeSampler(np.array([]))
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            NegativeSampler(np.array([0.0, 0.0]))

@@ -1,0 +1,85 @@
+"""Tests for SGNS updates and the sigmoid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embeddings.sgd import sgns_update, sigmoid
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_extremes_stable(self):
+        values = sigmoid(np.array([-1000.0, 1000.0]))
+        assert values[0] == pytest.approx(0.0, abs=1e-12)
+        assert values[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_monotone(self):
+        xs = np.linspace(-5, 5, 11)
+        ys = sigmoid(xs)
+        assert (np.diff(ys) > 0).all()
+
+
+class TestSgnsUpdate:
+    def test_loss_decreases_over_steps(self):
+        rng = np.random.default_rng(0)
+        input_vector = rng.standard_normal(8) * 0.1
+        output = rng.standard_normal((5, 8)) * 0.1
+        ids = np.array([0, 1, 2])
+        labels = np.array([1.0, 0.0, 0.0])
+        losses = [
+            sgns_update(input_vector, output, ids, labels, 0.1) for _ in range(50)
+        ]
+        assert losses[-1] < losses[0]
+
+    def test_positive_score_grows(self):
+        rng = np.random.default_rng(1)
+        input_vector = rng.standard_normal(4) * 0.01
+        output = rng.standard_normal((2, 4)) * 0.01
+        before = output[0] @ input_vector
+        for _ in range(100):
+            sgns_update(input_vector, output, np.array([0, 1]), np.array([1.0, 0.0]), 0.2)
+        after = output[0] @ input_vector
+        assert after > before
+
+    def test_frozen_output(self):
+        rng = np.random.default_rng(2)
+        input_vector = rng.standard_normal(4)
+        output = rng.standard_normal((2, 4))
+        snapshot = output.copy()
+        sgns_update(
+            input_vector, output, np.array([0]), np.array([1.0]), 0.1, update_output=False
+        )
+        assert (output == snapshot).all()
+
+    def test_frozen_input(self):
+        rng = np.random.default_rng(3)
+        input_vector = rng.standard_normal(4)
+        snapshot = input_vector.copy()
+        output = rng.standard_normal((2, 4))
+        sgns_update(
+            input_vector, output, np.array([0]), np.array([1.0]), 0.1, update_input=False
+        )
+        assert (input_vector == snapshot).all()
+
+    def test_duplicate_output_ids_accumulate(self):
+        input_vector = np.ones(3)
+        output = np.zeros((1, 3))
+        sgns_update(
+            input_vector.copy(),
+            output,
+            np.array([0, 0]),
+            np.array([1.0, 1.0]),
+            0.1,
+        )
+        # two identical positive updates must both land on row 0
+        single = np.zeros((1, 3))
+        sgns_update(
+            np.ones(3), single, np.array([0]), np.array([1.0]), 0.1
+        )
+        assert np.linalg.norm(output[0]) == pytest.approx(
+            2 * np.linalg.norm(single[0])
+        )

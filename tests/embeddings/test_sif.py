@@ -1,0 +1,57 @@
+"""Tests for SIF weighting and principal-component removal."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embeddings.sif import (
+    principal_components,
+    remove_principal_components,
+    sif_weights,
+    subtract_components,
+)
+
+
+class TestSifWeights:
+    def test_rare_words_weigh_more(self):
+        weights = sif_weights({"common": 0.1, "rare": 0.0001})
+        assert weights["rare"] > weights["common"]
+
+    def test_bounded_by_one(self):
+        weights = sif_weights({"w": 0.5}, a=1e-3)
+        assert 0 < weights["w"] < 1
+
+
+class TestPrincipalComponents:
+    def test_dominant_direction_found(self):
+        rng = np.random.default_rng(0)
+        direction = np.array([1.0, 0.0, 0.0])
+        matrix = np.outer(rng.standard_normal(50), direction)
+        matrix += rng.standard_normal((50, 3)) * 0.01
+        components = principal_components(matrix, 1)
+        assert abs(components[0] @ direction) == pytest.approx(1.0, abs=0.01)
+
+    def test_zero_components(self):
+        matrix = np.ones((3, 2))
+        assert principal_components(matrix, 0).shape[0] == 0
+
+    def test_removal_orthogonalizes(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.standard_normal((20, 5))
+        components = principal_components(matrix, 2)
+        cleaned = subtract_components(matrix, components)
+        assert np.abs(cleaned @ components.T).max() == pytest.approx(0.0, abs=1e-9)
+
+    def test_subtract_empty_components_identity(self):
+        matrix = np.ones((3, 2))
+        components = np.zeros((0, 2))
+        assert (subtract_components(matrix, components) == matrix).all()
+
+    def test_remove_convenience(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.standard_normal((10, 4))
+        cleaned = remove_principal_components(matrix, 1)
+        assert cleaned.shape == matrix.shape
+        # total variance cannot grow
+        assert np.linalg.norm(cleaned) <= np.linalg.norm(matrix) + 1e-9

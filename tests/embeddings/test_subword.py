@@ -1,0 +1,44 @@
+"""Tests for char n-gram subwords."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.embeddings.subword import char_ngrams, ngram_bucket_ids
+
+
+class TestCharNgrams:
+    def test_example(self):
+        assert char_ngrams("ab", 3, 3) == ["<ab", "ab>"]
+
+    def test_range(self):
+        grams = char_ngrams("cat", 3, 4)
+        assert "<ca" in grams and "cat" in grams and "at>" in grams
+        assert "<cat" in grams and "cat>" in grams
+
+    def test_word_shorter_than_min(self):
+        # "<a>" has length 3 -> one 3-gram
+        assert char_ngrams("a", 3, 5) == ["<a>"]
+
+    @given(st.text(alphabet="abcdef", min_size=1, max_size=10))
+    def test_gram_lengths(self, word):
+        for gram in char_ngrams(word, 3, 5):
+            assert 3 <= len(gram) <= 5
+
+
+class TestBucketIds:
+    def test_deterministic(self):
+        assert ngram_bucket_ids("taliban", 3, 5, 1000) == ngram_bucket_ids(
+            "taliban", 3, 5, 1000
+        )
+
+    @given(st.text(alphabet="abcdef", min_size=1, max_size=10))
+    def test_in_range(self, word):
+        for bucket_id in ngram_bucket_ids(word, 3, 5, 97):
+            assert 0 <= bucket_id < 97
+
+    def test_similar_words_share_buckets(self):
+        a = set(ngram_bucket_ids("running", 3, 5, 100_000))
+        b = set(ngram_bucket_ids("runner", 3, 5, 100_000))
+        assert a & b  # shared stems share n-grams

@@ -1,0 +1,58 @@
+"""Tests for the vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.embeddings.vocab import Vocabulary
+from repro.errors import ModelNotTrainedError
+
+
+def build_vocab(min_count: int = 1) -> Vocabulary:
+    vocab = Vocabulary(min_count=min_count)
+    vocab.observe(["a", "b", "b", "c", "c", "c"])
+    vocab.finalize()
+    return vocab
+
+
+class TestVocabulary:
+    def test_size(self):
+        assert len(build_vocab()) == 3
+
+    def test_min_count_prunes(self):
+        vocab = build_vocab(min_count=2)
+        assert len(vocab) == 2
+        assert "a" not in vocab
+
+    def test_ids_stable_and_sorted(self):
+        vocab = build_vocab()
+        assert vocab.word_of(0) == "a"
+        assert vocab.id_of("c") == 2
+
+    def test_encode_drops_oov(self):
+        vocab = build_vocab(min_count=2)
+        ids = vocab.encode(["a", "b", "zzz", "c"])
+        assert [vocab.word_of(i) for i in ids] == ["b", "c"]
+
+    def test_frequencies_sum_to_one(self):
+        vocab = build_vocab()
+        assert vocab.frequencies.sum() == pytest.approx(1.0)
+
+    def test_count_of(self):
+        vocab = build_vocab()
+        assert vocab.count_of("c") == 3
+        assert vocab.count_of("zzz") == 0
+
+    def test_total_count(self):
+        assert build_vocab().total_count == 6
+
+    def test_unfinalized_raises(self):
+        vocab = Vocabulary()
+        vocab.observe(["a"])
+        with pytest.raises(ModelNotTrainedError):
+            vocab.encode(["a"])
+        with pytest.raises(ModelNotTrainedError):
+            _ = vocab.frequencies
+
+    def test_words(self):
+        assert build_vocab().words() == ["a", "b", "c"]

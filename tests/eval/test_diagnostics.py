@@ -1,0 +1,69 @@
+"""Tests for corpus diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.document import Corpus, NewsDocument
+from repro.eval.diagnostics import corpus_diagnostics
+from repro.search.engine import NewsLinkEngine
+
+
+@pytest.fixture(scope="module")
+def engine_and_corpus(figure1_graph):
+    corpus = Corpus(
+        [
+            NewsDocument(
+                "t_q",
+                "Pakistan fought Taliban in Upper Dir. "
+                "Swat Valley saw clashes too. "
+                "Taliban and Pakistan kept fighting.",
+            ),
+            NewsDocument("t_r", "Taliban bombed Lahore. Peshawar reacted."),
+            NewsDocument("off", "Nothing recognizable happened anywhere nice."),
+        ]
+    )
+    engine = NewsLinkEngine(figure1_graph)
+    engine.index_corpus(corpus)
+    return engine, corpus
+
+
+class TestCorpusDiagnostics:
+    def test_counts(self, engine_and_corpus):
+        engine, corpus = engine_and_corpus
+        diagnostics = corpus_diagnostics(corpus, engine)
+        assert diagnostics.documents == 3
+        assert diagnostics.embeddable_fraction == pytest.approx(2 / 3)
+        assert diagnostics.avg_segments == pytest.approx((3 + 2 + 1) / 3)
+
+    def test_definition1_reduces_groups(self, engine_and_corpus):
+        engine, corpus = engine_and_corpus
+        diagnostics = corpus_diagnostics(corpus, engine)
+        # t_q's third sentence repeats a subset of its first -> one group
+        # gets merged away.
+        assert diagnostics.avg_groups_maximal <= diagnostics.avg_groups_raw
+
+    def test_embedding_sizes_positive(self, engine_and_corpus):
+        engine, corpus = engine_and_corpus
+        diagnostics = corpus_diagnostics(corpus, engine)
+        assert diagnostics.avg_embedding_nodes > 0
+        assert diagnostics.avg_embedding_edges > 0
+
+    def test_induced_fraction_bounds(self, engine_and_corpus):
+        engine, corpus = engine_and_corpus
+        diagnostics = corpus_diagnostics(corpus, engine)
+        assert 0.0 <= diagnostics.avg_induced_fraction <= 1.0
+        # Khyber is induced for t_q/t_r, so the fraction is non-zero.
+        assert diagnostics.avg_induced_fraction > 0.0
+
+    def test_lines(self, engine_and_corpus):
+        engine, corpus = engine_and_corpus
+        lines = corpus_diagnostics(corpus, engine).lines()
+        assert any("induced" in line for line in lines)
+        assert len(lines) == 9
+
+    def test_empty_corpus(self, figure1_graph):
+        engine = NewsLinkEngine(figure1_graph)
+        diagnostics = corpus_diagnostics(Corpus(), engine)
+        assert diagnostics.documents == 0
+        assert diagnostics.embeddable_fraction == 0.0

@@ -1,0 +1,118 @@
+"""Tests for the FastText judge embedding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import FastTextConfig
+from repro.errors import ModelNotTrainedError
+from repro.eval.fasttext import FastTextModel
+
+# A clean two-cluster corpus: topic words never co-occur across topics.
+# The tiny-corpus config disables PC removal (with only two topics, PC1 IS
+# the topic axis) and relaxes subsampling (relative frequencies are large).
+SMALL = FastTextConfig(
+    dim=24,
+    epochs=25,
+    min_count=1,
+    bucket=5_000,
+    subsample_threshold=0.05,
+    remove_components=0,
+    seed=0,
+)
+
+_A = ["election", "campaign", "ballot", "voters", "polls"]
+_B = ["militants", "troops", "checkpoint", "village", "shelling"]
+
+
+def _cluster_texts() -> list[str]:
+    rng = np.random.default_rng(0)
+    texts = []
+    for _ in range(15):
+        texts.append(" ".join(_A[i] for i in rng.permutation(5)[:4]))
+        texts.append(" ".join(_B[i] for i in rng.permutation(5)[:4]))
+    return texts
+
+
+TEXTS = _cluster_texts()
+
+
+@pytest.fixture(scope="module")
+def model() -> FastTextModel:
+    model = FastTextModel(SMALL)
+    model.train(TEXTS)
+    return model
+
+
+def _cos(model: FastTextModel, a: str, b: str) -> float:
+    va, vb = model.word_vector(a), model.word_vector(b)
+    return float(va @ vb / (np.linalg.norm(va) * np.linalg.norm(vb)))
+
+
+class TestTraining:
+    def test_untrained_raises(self):
+        with pytest.raises(ModelNotTrainedError):
+            FastTextModel(SMALL).word_vector("x")
+
+    def test_word_vector_shape(self, model):
+        assert model.word_vector("election").shape == (24,)
+
+    def test_oov_word_gets_subword_vector(self, model):
+        vector = model.word_vector("electioneering")  # OOV, shares subwords
+        assert np.linalg.norm(vector) > 0
+
+    def test_cluster_words_closer_than_cross_cluster(self, model):
+        assert _cos(model, "election", "ballot") > _cos(model, "election", "checkpoint")
+        assert _cos(model, "troops", "militants") > _cos(model, "troops", "polls")
+
+
+class TestDocVectors:
+    def test_doc_vector_shape(self, model):
+        assert model.doc_vector("the election ballot").shape == (24,)
+
+    def test_empty_doc_zero(self, model):
+        # A fully OOV / empty text may pick up the centering shift; the raw
+        # empty string must still produce a finite vector.
+        assert np.isfinite(model.doc_vector("")).all()
+
+    def test_same_topic_docs_more_similar(self, model):
+        within = model.cosine("election campaign ballot", "voters polls election")
+        across = model.cosine("election campaign ballot", "militants troops")
+        assert within > across
+
+    def test_cosine_bounds(self, model):
+        value = model.cosine(TEXTS[0], TEXTS[1])
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+    def test_cosine_self_is_one(self, model):
+        assert model.cosine(TEXTS[0], TEXTS[0]) == pytest.approx(1.0)
+
+    def test_encode_documents(self, model):
+        matrix = model.encode_documents(TEXTS[:3])
+        assert matrix.shape == (3, 24)
+
+    def test_mean_pooling_mode(self):
+        import dataclasses
+
+        config = dataclasses.replace(SMALL, sif_pooling=False, epochs=3)
+        model = FastTextModel(config)
+        model.train(TEXTS)
+        assert model.doc_vector(TEXTS[0]).shape == (24,)
+
+    def test_component_removal_mode_runs(self):
+        import dataclasses
+
+        config = dataclasses.replace(SMALL, remove_components=1, epochs=3)
+        model = FastTextModel(config)
+        model.train(TEXTS)
+        assert np.isfinite(model.doc_vector(TEXTS[0])).all()
+
+
+class TestDeterminism:
+    def test_same_seed_same_model(self):
+        a = FastTextModel(SMALL)
+        a.train(TEXTS)
+        b = FastTextModel(SMALL)
+        b.train(TEXTS)
+        assert np.allclose(a.doc_vector(TEXTS[0]), b.doc_vector(TEXTS[0]))

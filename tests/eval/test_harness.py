@@ -1,0 +1,103 @@
+"""Tests for the evaluation harness (Tables IV / VII machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.lucene import LuceneRetriever
+from repro.config import EvalConfig, FastTextConfig
+from repro.eval.harness import EvaluationHarness, NewsLinkRetriever, format_table
+from repro.search.engine import NewsLinkEngine
+
+
+@pytest.fixture(scope="module")
+def harness(tiny_dataset) -> EvaluationHarness:
+    return EvaluationHarness(
+        tiny_dataset,
+        eval_config=EvalConfig(top_ks_sim=(5,), top_ks_hit=(1, 5)),
+        fasttext_config=FastTextConfig(dim=16, epochs=2, bucket=5000),
+    )
+
+
+@pytest.fixture(scope="module")
+def engine(tiny_dataset) -> NewsLinkEngine:
+    return NewsLinkEngine(tiny_dataset.world.graph)
+
+
+class TestNewsLinkRetriever:
+    def test_name_formatting(self, engine):
+        assert NewsLinkRetriever(engine, 0.2).name == "NewsLink(0.2)"
+        assert NewsLinkRetriever(engine, 1.0).name == "NewsLink(1)"
+        assert NewsLinkRetriever(engine, 0.5, name="Custom").name == "Custom"
+
+    def test_shared_engine_indexes_once(self, harness, engine):
+        a = NewsLinkRetriever(engine, 0.2)
+        b = NewsLinkRetriever(engine, 1.0)
+        a.index_corpus(harness.searchable_corpus)
+        indexed = engine.num_indexed
+        b.index_corpus(harness.searchable_corpus)
+        assert engine.num_indexed == indexed
+
+
+class TestHarness:
+    def test_evaluate_retriever_both_modes(self, harness, engine):
+        row = harness.evaluate_retriever(LuceneRetriever(), engine.pipeline)
+        assert set(row.by_mode) == {"density", "random"}
+        for scores in row.by_mode.values():
+            assert scores.num_queries == len(harness.dataset.split.test)
+            assert "HIT@1" in scores.metrics
+
+    def test_query_cases_cached(self, harness, engine):
+        first = harness.query_cases("density", engine.pipeline)
+        second = harness.query_cases("density", engine.pipeline)
+        assert first is second
+
+    def test_run_table_and_format(self, harness, engine):
+        rows = harness.run_table(
+            [LuceneRetriever(), NewsLinkRetriever(engine, 0.2)], engine.pipeline
+        )
+        table = format_table(rows, metrics=("SIM@5", "HIT@1"), title="mini")
+        assert "mini" in table
+        assert "Lucene" in table and "NewsLink(0.2)" in table
+        assert "/" in table  # density/random cells
+
+    def test_cell_formatting(self, harness, engine):
+        rows = harness.run_table([LuceneRetriever()], engine.pipeline)
+        cell = rows[0].cell("HIT@1")
+        left, right = cell.split("/")
+        assert 0.0 <= float(left) <= 1.0
+        assert 0.0 <= float(right) <= 1.0
+
+    def test_build_competitors_lineup(self, harness, engine):
+        competitors = harness.build_competitors(engine)
+        names = [c.name for c in competitors]
+        assert names == [
+            "DOC2VEC",
+            "SBERT",
+            "LDA",
+            "QEPRF",
+            "Lucene",
+            "NewsLink(0.2)",
+        ]
+
+
+class TestCompareRows:
+    def test_bootstrap_over_rows(self, harness, engine):
+        from repro.baselines.lucene import LuceneRetriever
+        from repro.eval.harness import compare_rows
+
+        row_a = harness.evaluate_retriever(LuceneRetriever(), engine.pipeline)
+        row_b = harness.evaluate_retriever(LuceneRetriever(), engine.pipeline)
+        result = compare_rows(row_a, row_b, metric="HIT@1")
+        assert result.delta == 0.0
+        assert not result.significant()
+
+    def test_missing_metric_rejected(self, harness, engine):
+        from repro.baselines.lucene import LuceneRetriever
+        from repro.eval.harness import compare_rows
+
+        row = harness.evaluate_retriever(LuceneRetriever(), engine.pipeline)
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            compare_rows(row, row, metric="NDCG@3")

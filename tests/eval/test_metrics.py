@@ -1,0 +1,58 @@
+"""Tests for SIM@k and HIT@k."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.metrics import MetricTable, hit_at_k, sim_at_k
+
+
+class TestSimAtK:
+    def test_mean_of_top_k(self):
+        assert sim_at_k([1.0, 0.5, 0.0], 2) == pytest.approx(0.75)
+
+    def test_shorter_than_k(self):
+        assert sim_at_k([0.8], 5) == pytest.approx(0.8)
+
+    def test_empty(self):
+        assert sim_at_k([], 5) == 0.0
+
+    @given(
+        st.lists(st.floats(min_value=-1, max_value=1), max_size=20),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_bounded(self, sims, k):
+        assert -1.0 <= sim_at_k(sims, k) <= 1.0
+
+
+class TestHitAtK:
+    def test_hit(self):
+        assert hit_at_k("q", ["a", "q", "b"], 2)
+
+    def test_miss_outside_k(self):
+        assert not hit_at_k("q", ["a", "b", "q"], 2)
+
+    def test_empty_ranking(self):
+        assert not hit_at_k("q", [], 5)
+
+
+class TestMetricTable:
+    def test_mean(self):
+        table = MetricTable()
+        table.add("HIT@1", 1.0)
+        table.add("HIT@1", 0.0)
+        assert table.mean("HIT@1") == 0.5
+        assert table.count("HIT@1") == 2
+
+    def test_unknown_metric(self):
+        table = MetricTable()
+        assert table.mean("SIM@5") == 0.0
+        assert table.count("SIM@5") == 0
+
+    def test_as_dict_sorted(self):
+        table = MetricTable()
+        table.add("SIM@5", 0.9)
+        table.add("HIT@1", 1.0)
+        assert list(table.as_dict()) == ["HIT@1", "SIM@5"]

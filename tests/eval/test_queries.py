@@ -1,0 +1,65 @@
+"""Tests for partial-query selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.document import NewsDocument
+from repro.eval.queries import build_query_cases, select_query_sentence
+from repro.nlp.pipeline import NlpPipeline
+
+
+@pytest.fixture()
+def pipeline(figure1_index) -> NlpPipeline:
+    return NlpPipeline(figure1_index)
+
+
+DOC = NewsDocument(
+    "d1",
+    "Officials spoke at length about the weather and other things. "
+    "Taliban attacked Peshawar near Upper Dir. "
+    "Nothing else happened that day.",
+)
+
+
+class TestDensityMode:
+    def test_picks_densest_sentence(self, pipeline):
+        case = select_query_sentence(DOC, pipeline, mode="density")
+        assert "Taliban" in case.query_text
+        assert case.mode == "density"
+        assert case.query_doc_id == "d1"
+
+    def test_matching_ratio_reported(self, pipeline):
+        case = select_query_sentence(DOC, pipeline, mode="density")
+        assert case.matching_ratio == 1.0
+
+
+class TestRandomMode:
+    def test_deterministic_given_seed(self, pipeline):
+        a = select_query_sentence(DOC, pipeline, mode="random", rng=3)
+        b = select_query_sentence(DOC, pipeline, mode="random", rng=3)
+        assert a.query_text == b.query_text
+
+    def test_returns_a_sentence_of_the_doc(self, pipeline):
+        case = select_query_sentence(DOC, pipeline, mode="random", rng=1)
+        assert case.query_text.rstrip(".") in DOC.text
+
+
+class TestEdgeCases:
+    def test_unknown_mode_rejected(self, pipeline):
+        with pytest.raises(ValueError):
+            select_query_sentence(DOC, pipeline, mode="weird")
+
+    def test_empty_document_falls_back_to_text(self, pipeline):
+        empty = NewsDocument("d2", "   ")
+        case = select_query_sentence(empty, pipeline, mode="density")
+        assert case.query_text == empty.text
+
+
+class TestBuildQueryCases:
+    def test_one_case_per_doc(self, pipeline, tiny_dataset):
+        cases = build_query_cases(tiny_dataset.split.test, pipeline, "density")
+        assert len(cases) == len(tiny_dataset.split.test)
+        assert {c.query_doc_id for c in cases} == set(
+            tiny_dataset.split.test.doc_ids()
+        )

@@ -1,0 +1,103 @@
+"""Tests for the paired bootstrap test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.significance import BootstrapResult, paired_bootstrap, per_query_hits
+
+
+class TestPairedBootstrap:
+    def test_clear_difference_significant(self):
+        rng = np.random.default_rng(0)
+        a = (0.8 + 0.05 * rng.standard_normal(60)).tolist()
+        b = (0.5 + 0.05 * rng.standard_normal(60)).tolist()
+        result = paired_bootstrap(a, b, samples=2000, rng=0)
+        assert result.delta > 0.2
+        assert result.significant(0.05)
+
+    def test_identical_systems_not_significant(self):
+        scores = [0.0, 1.0, 1.0, 0.0, 1.0] * 10
+        result = paired_bootstrap(scores, scores, samples=2000, rng=0)
+        assert result.delta == 0.0
+        assert not result.significant(0.05)
+        assert result.p_value == 1.0
+
+    def test_tiny_noise_not_significant(self):
+        rng = np.random.default_rng(1)
+        base = rng.random(30)
+        a = (base + 0.001 * rng.standard_normal(30)).tolist()
+        result = paired_bootstrap(a, base.tolist(), samples=2000, rng=0)
+        assert not result.significant(0.01)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        a = (0.9 + 0.02 * rng.standard_normal(40)).tolist()
+        b = (0.4 + 0.02 * rng.standard_normal(40)).tolist()
+        forward = paired_bootstrap(a, b, samples=1000, rng=0)
+        backward = paired_bootstrap(b, a, samples=1000, rng=0)
+        assert forward.delta == pytest.approx(-backward.delta)
+        assert forward.significant() and backward.significant()
+
+    def test_deterministic(self):
+        a = [1.0, 0.0, 1.0, 1.0]
+        b = [0.0, 0.0, 1.0, 0.0]
+        first = paired_bootstrap(a, b, samples=500, rng=7)
+        second = paired_bootstrap(a, b, samples=500, rng=7)
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0], [1.0, 0.0])
+        with pytest.raises(ValueError):
+            paired_bootstrap([], [])
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0], [1.0], samples=0)
+
+    def test_p_value_bounds(self):
+        result = paired_bootstrap([1.0, 0.0], [0.0, 1.0], samples=100, rng=0)
+        assert 0.0 < result.p_value <= 1.0
+        assert isinstance(result, BootstrapResult)
+
+
+class TestPerQueryHits:
+    def test_indicator_values(self):
+        ranked = [["a", "b"], ["c"], ["x", "y", "q"]]
+        hits = per_query_hits(ranked, ["b", "z", "q"], k=2)
+        assert hits == [1.0, 0.0, 0.0]
+        hits3 = per_query_hits(ranked, ["b", "z", "q"], k=3)
+        assert hits3 == [1.0, 0.0, 1.0]
+
+    def test_alignment_required(self):
+        with pytest.raises(ValueError):
+            per_query_hits([["a"]], ["a", "b"], k=1)
+
+
+class TestEndToEnd:
+    def test_newslink_vs_random_ranker(self, tiny_dataset):
+        """NewsLink's hits should significantly beat a random ranking."""
+        from repro.eval.queries import build_query_cases
+        from repro.search.engine import NewsLinkEngine
+
+        engine = NewsLinkEngine(tiny_dataset.world.graph)
+        engine.index_corpus(tiny_dataset.split.full)
+        cases = build_query_cases(
+            tiny_dataset.split.test, engine.pipeline, "density"
+        )
+        doc_ids = tiny_dataset.split.full.doc_ids()
+        rng = np.random.default_rng(0)
+        newslink_hits = []
+        random_hits = []
+        for case in cases:
+            ranked = [r.doc_id for r in engine.search(case.query_text, k=5)]
+            newslink_hits.append(1.0 if case.query_doc_id in ranked else 0.0)
+            random_ranked = [
+                doc_ids[i] for i in rng.permutation(len(doc_ids))[:5]
+            ]
+            random_hits.append(
+                1.0 if case.query_doc_id in random_ranked else 0.0
+            )
+        result = paired_bootstrap(newslink_hits, random_hits, samples=2000, rng=1)
+        assert result.delta > 0
+        assert result.significant(0.05)

@@ -1,0 +1,62 @@
+"""Tests for the Partial Query Similarity Search task."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.lucene import LuceneRetriever
+from repro.config import FastTextConfig
+from repro.data.document import Corpus, NewsDocument
+from repro.eval.fasttext import FastTextModel
+from repro.eval.queries import QueryCase
+from repro.eval.tasks import PartialQueryTask
+
+
+@pytest.fixture(scope="module")
+def task_setup():
+    corpus = Corpus(
+        [
+            NewsDocument("d1", "the election ballot drew many voters to the polls"),
+            NewsDocument("d2", "voters queued for the election as ballots arrived"),
+            NewsDocument("d3", "militants shelled the checkpoint as troops answered"),
+        ]
+    )
+    judge = FastTextModel(FastTextConfig(dim=16, epochs=8, min_count=1, bucket=2000))
+    judge.train([doc.text for doc in corpus])
+    task = PartialQueryTask(corpus, judge, sim_ks=(2,), hit_ks=(1, 2))
+    retriever = LuceneRetriever()
+    retriever.index_corpus(corpus)
+    return task, retriever
+
+
+class TestEvaluate:
+    def test_perfect_hit_for_verbatim_query(self, task_setup):
+        task, retriever = task_setup
+        cases = [
+            QueryCase("d3", "militants shelled the checkpoint as troops answered", "density", 1.0)
+        ]
+        scores = task.evaluate(retriever, cases, "density")
+        assert scores.metrics["HIT@1"] == 1.0
+        assert scores.num_queries == 1
+        assert scores.method == "Lucene"
+
+    def test_sim_scores_in_range(self, task_setup):
+        task, retriever = task_setup
+        cases = [QueryCase("d1", "election ballot voters", "density", 1.0)]
+        scores = task.evaluate(retriever, cases, "density")
+        assert -1.0 <= scores.metrics["SIM@2"] <= 1.0
+
+    def test_miss_scores_zero_hit(self, task_setup):
+        task, retriever = task_setup
+        cases = [QueryCase("d3", "election ballot voters", "density", 1.0)]
+        scores = task.evaluate(retriever, cases, "density")
+        assert scores.metrics["HIT@1"] == 0.0
+
+    def test_multiple_cases_averaged(self, task_setup):
+        task, retriever = task_setup
+        cases = [
+            QueryCase("d3", "militants shelled the checkpoint as troops answered", "density", 1.0),
+            QueryCase("d3", "election ballot voters", "density", 1.0),
+        ]
+        scores = task.evaluate(retriever, cases, "density")
+        assert scores.metrics["HIT@1"] == 0.5

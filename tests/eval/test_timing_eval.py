@@ -1,0 +1,58 @@
+"""Tests for the timing experiments (Fig 7 / Table VIII)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lcag import LcagEmbedder
+from repro.core.tree_emb import TreeEmbedder
+from repro.data.document import Corpus, NewsDocument
+from repro.eval.timing import measure_corpus_embedding, measure_query_breakdown
+from repro.nlp.pipeline import NlpPipeline
+from repro.search.engine import NewsLinkEngine
+
+
+@pytest.fixture(scope="module")
+def small_corpus() -> Corpus:
+    return Corpus(
+        [
+            NewsDocument("d1", "Taliban attacked Peshawar. Pakistan responded."),
+            NewsDocument("d2", "Upper Dir and Swat Valley saw Taliban clashes."),
+        ]
+    )
+
+
+class TestCorpusEmbeddingTiming:
+    def test_timings_positive(self, figure1_graph, figure1_index, small_corpus):
+        pipeline = NlpPipeline(figure1_index)
+        timings = measure_corpus_embedding(
+            small_corpus, pipeline, LcagEmbedder(figure1_graph)
+        )
+        assert timings.documents == 2
+        assert timings.nlp_avg > 0
+        assert timings.ne_avg > 0
+
+    def test_tree_embedder_timed_too(self, figure1_graph, figure1_index, small_corpus):
+        pipeline = NlpPipeline(figure1_index)
+        timings = measure_corpus_embedding(
+            small_corpus, pipeline, TreeEmbedder(figure1_graph)
+        )
+        assert timings.documents == 2
+
+
+class TestQueryBreakdown:
+    def test_components_reported(self, figure1_graph, small_corpus):
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(small_corpus)
+        breakdown = measure_query_breakdown(
+            engine, ["Taliban in Pakistan", "Upper Dir clashes"], k=2
+        )
+        assert set(breakdown) == {"nlp", "ne", "ns", "total"}
+        assert breakdown["total"] >= 0
+        assert breakdown["nlp"] > 0
+
+    def test_empty_query_list(self, figure1_graph, small_corpus):
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(small_corpus)
+        breakdown = measure_query_breakdown(engine, [])
+        assert breakdown["total"] == 0.0

@@ -1,0 +1,93 @@
+"""Tests for the simulated user study (Fig 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.user_study import RESPONSES, StudyPair, UserStudySimulator
+
+
+def paper_like_pairs(n: int = 10) -> list[StudyPair]:
+    """Pairs resembling the paper's: mostly novel, modest size."""
+    return [
+        StudyPair(
+            pair_id=f"pair{i}",
+            novelty=0.75,
+            num_path_nodes=10 + i,
+            topic_popularity=0.4,
+        )
+        for i in range(n)
+    ]
+
+
+class TestSimulator:
+    def test_vote_count(self):
+        simulator = UserStudySimulator(num_participants=20, rng=0)
+        outcome = simulator.run(paper_like_pairs())
+        assert outcome.total_votes == 200
+        assert set(outcome.counts) == set(RESPONSES)
+
+    def test_majority_helpful_on_paper_like_input(self):
+        """The paper's headline: more than half the judgements are helpful."""
+        simulator = UserStudySimulator(num_participants=20, rng=0)
+        outcome = simulator.run(paper_like_pairs())
+        assert outcome.majority_helpful
+        # but not unanimous — the three negative factors fire sometimes
+        assert outcome.fraction("helpful") < 0.95
+        assert outcome.counts["neutral"] + outcome.counts["not_helpful"] > 0
+
+    def test_low_novelty_reduces_helpfulness(self):
+        simulator_a = UserStudySimulator(rng=0)
+        simulator_b = UserStudySimulator(rng=0)
+        novel = simulator_a.run(
+            [StudyPair("p", novelty=0.9, num_path_nodes=10) for _ in range(10)]
+        )
+        redundant = simulator_b.run(
+            [StudyPair("p", novelty=0.05, num_path_nodes=10) for _ in range(10)]
+        )
+        assert novel.fraction("helpful") > redundant.fraction("helpful")
+
+    def test_overload_reduces_helpfulness(self):
+        light = UserStudySimulator(rng=0).run(
+            [StudyPair("p", novelty=0.9, num_path_nodes=8) for _ in range(10)]
+        )
+        overloaded = UserStudySimulator(rng=0).run(
+            [StudyPair("p", novelty=0.9, num_path_nodes=500) for _ in range(10)]
+        )
+        assert light.fraction("helpful") > overloaded.fraction("helpful")
+
+    def test_popularity_reduces_helpfulness(self):
+        obscure = UserStudySimulator(rng=0).run(
+            [StudyPair("p", 0.8, 10, topic_popularity=0.0) for _ in range(10)]
+        )
+        famous = UserStudySimulator(rng=0).run(
+            [StudyPair("p", 0.8, 10, topic_popularity=1.0) for _ in range(10)]
+        )
+        assert obscure.fraction("helpful") > famous.fraction("helpful")
+
+    def test_deterministic(self):
+        a = UserStudySimulator(rng=5).run(paper_like_pairs())
+        b = UserStudySimulator(rng=5).run(paper_like_pairs())
+        assert a.counts == b.counts
+
+    def test_per_pair_counts_sum(self):
+        simulator = UserStudySimulator(num_participants=20, rng=0)
+        outcome = simulator.run(paper_like_pairs(3))
+        for counts in outcome.per_pair.values():
+            assert sum(counts.values()) == 20
+
+    def test_fraction_empty(self):
+        from repro.eval.user_study import StudyOutcome
+
+        outcome = StudyOutcome(counts={}, per_pair={})
+        assert outcome.fraction("helpful") == 0.0
+        assert not outcome.majority_helpful
+
+    def test_num_participants_property(self):
+        assert UserStudySimulator(num_participants=7).num_participants == 7
+
+
+class TestStudyPair:
+    def test_defaults(self):
+        pair = StudyPair("p", 0.5, 10)
+        assert pair.topic_popularity == pytest.approx(0.5)

@@ -1,0 +1,162 @@
+"""Tests for repro.kg.graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DataError, NodeNotFoundError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.types import Edge, EntityType, Node
+
+
+def small_graph() -> KnowledgeGraph:
+    graph = KnowledgeGraph()
+    graph.add_nodes(
+        [
+            Node("a", "Alpha", EntityType.GPE),
+            Node("b", "Beta", EntityType.ORG),
+            Node("c", "Gamma", EntityType.PERSON),
+        ]
+    )
+    graph.add_edge(Edge("a", "b", "r1"))
+    graph.add_edge(Edge("b", "c", "r2"))
+    return graph
+
+
+class TestConstruction:
+    def test_counts(self):
+        graph = small_graph()
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+        assert len(graph) == 3
+
+    def test_edge_requires_nodes(self):
+        graph = KnowledgeGraph()
+        graph.add_node(Node("a", "A"))
+        with pytest.raises(NodeNotFoundError):
+            graph.add_edge(Edge("a", "missing", "r"))
+        with pytest.raises(NodeNotFoundError):
+            graph.add_edge(Edge("missing", "a", "r"))
+
+    def test_non_positive_weight_rejected(self):
+        graph = small_graph()
+        with pytest.raises(DataError):
+            graph.add_edge(Edge("a", "c", "r", weight=0.0))
+        with pytest.raises(DataError):
+            graph.add_edge(Edge("a", "c", "r", weight=-1.0))
+
+    def test_duplicate_edge_keeps_min_weight(self):
+        graph = small_graph()
+        graph.add_edge(Edge("a", "b", "r1", weight=5.0))  # heavier: ignored
+        assert graph.num_edges == 2
+        graph.add_edge(Edge("a", "b", "r1", weight=0.5))  # lighter: replaces
+        edges = [e for e in graph.edges() if e.key() == ("a", "b", "r1")]
+        assert edges[0].weight == 0.5
+        # adjacency lists reflect the replacement too
+        assert any(e.weight == 0.5 for e in graph.out_edges("a"))
+
+    def test_parallel_edges_different_relations(self):
+        graph = small_graph()
+        graph.add_edge(Edge("a", "b", "another"))
+        assert graph.num_edges == 3
+
+
+class TestLookup:
+    def test_node_found(self):
+        graph = small_graph()
+        assert graph.node("a").label == "Alpha"
+
+    def test_node_missing(self):
+        with pytest.raises(NodeNotFoundError):
+            small_graph().node("zzz")
+
+    def test_contains(self):
+        graph = small_graph()
+        assert "a" in graph
+        assert "zzz" not in graph
+
+    def test_has_edge(self):
+        graph = small_graph()
+        assert graph.has_edge("a", "b", "r1")
+        assert not graph.has_edge("b", "a", "r1")
+
+    def test_nodes_of_type(self):
+        graph = small_graph()
+        gpes = graph.nodes_of_type(EntityType.GPE)
+        assert [n.node_id for n in gpes] == ["a"]
+
+
+class TestAdjacency:
+    def test_out_in_edges(self):
+        graph = small_graph()
+        assert [e.target for e in graph.out_edges("a")] == ["b"]
+        assert [e.source for e in graph.in_edges("c")] == ["b"]
+
+    def test_bidirected_neighbors(self):
+        graph = small_graph()
+        neighbors = list(graph.bidirected_neighbors("b"))
+        ids = sorted(n for n, _, _ in neighbors)
+        assert ids == ["a", "c"]
+        directions = {n: fwd for n, _, fwd in neighbors}
+        assert directions["c"] is True  # original b->c
+        assert directions["a"] is False  # reverse of a->b
+
+    def test_degree(self):
+        graph = small_graph()
+        assert graph.degree("b") == 2
+        assert graph.degree("a") == 1
+
+    def test_degree_missing_node(self):
+        with pytest.raises(NodeNotFoundError):
+            small_graph().degree("zzz")
+
+
+class TestSubgraphs:
+    def test_induced_subgraph(self):
+        graph = small_graph()
+        sub = graph.induced_subgraph(["a", "b"])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+        assert sub.has_edge("a", "b", "r1")
+
+    def test_connected_components_single(self):
+        assert len(small_graph().connected_components()) == 1
+
+    def test_connected_components_multiple(self):
+        graph = small_graph()
+        graph.add_node(Node("island", "Island"))
+        components = graph.connected_components()
+        assert len(components) == 2
+        assert {"island"} in components
+
+
+class TestReweighted:
+    def test_multipliers_applied(self):
+        graph = small_graph()
+        reweighted = graph.reweighted({"r1": 3.0})
+        edge = next(e for e in reweighted.edges() if e.relation == "r1")
+        assert edge.weight == 3.0
+        untouched = next(e for e in reweighted.edges() if e.relation == "r2")
+        assert untouched.weight == 1.0
+
+    def test_original_untouched(self):
+        graph = small_graph()
+        graph.reweighted({"r1": 5.0})
+        edge = next(e for e in graph.edges() if e.relation == "r1")
+        assert edge.weight == 1.0
+
+    def test_changes_shortest_paths(self):
+        from repro.kg.traversal import pairwise_distance
+
+        graph = small_graph()
+        graph.add_edge(Edge("a", "c", "shortcut"))
+        assert pairwise_distance(graph, "a", "c") == 1.0
+        heavy = graph.reweighted({"shortcut": 10.0})
+        assert pairwise_distance(heavy, "a", "c") == 2.0
+
+    def test_non_positive_factor_rejected(self):
+        import pytest as _pytest
+
+        graph = small_graph()
+        with _pytest.raises(DataError):
+            graph.reweighted({"r1": 0.0})

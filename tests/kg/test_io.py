@@ -1,0 +1,91 @@
+"""Tests for repro.kg.io."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DataError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph_json,
+    load_graph_tsv,
+    save_graph_json,
+    save_graph_tsv,
+)
+from repro.kg.types import Edge, EntityType, Node
+
+
+def sample_graph() -> KnowledgeGraph:
+    graph = KnowledgeGraph()
+    graph.add_nodes(
+        [
+            Node("q1", "Taliban", EntityType.ORG, ("TTP",), "militant group"),
+            Node("q2", "Pakistan", EntityType.GPE),
+        ]
+    )
+    graph.add_edge(Edge("q1", "q2", "operates_in", 2.0))
+    return graph
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip(self):
+        original = sample_graph()
+        restored = graph_from_dict(graph_to_dict(original))
+        assert restored.num_nodes == original.num_nodes
+        assert restored.num_edges == original.num_edges
+        node = restored.node("q1")
+        assert node.aliases == ("TTP",)
+        assert node.description == "militant group"
+        assert node.entity_type is EntityType.ORG
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "kg.json"
+        save_graph_json(sample_graph(), path)
+        restored = load_graph_json(path)
+        assert restored.has_edge("q1", "q2", "operates_in")
+
+    def test_missing_sections_raise(self):
+        with pytest.raises(DataError):
+            graph_from_dict({"nodes": []})
+
+    def test_missing_node_field_raises(self):
+        with pytest.raises(DataError):
+            graph_from_dict({"nodes": [{"id": "x"}], "edges": []})
+
+    def test_missing_edge_field_raises(self):
+        payload = {
+            "nodes": [{"id": "a", "label": "A"}, {"id": "b", "label": "B"}],
+            "edges": [{"source": "a"}],
+        }
+        with pytest.raises(DataError):
+            graph_from_dict(payload)
+
+
+class TestTsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        save_graph_tsv(sample_graph(), path)
+        restored = load_graph_tsv(path)
+        assert restored.has_edge("q1", "q2", "operates_in")
+        edge = next(iter(restored.edges()))
+        assert edge.weight == 2.0
+
+    def test_implicit_nodes(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("a\tr\tb\n", encoding="utf-8")
+        graph = load_graph_tsv(path)
+        assert graph.num_nodes == 2
+        assert graph.node("a").label == "a"
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("a\tr\tb\n\n\nb\tr\tc\n", encoding="utf-8")
+        assert load_graph_tsv(path).num_edges == 2
+
+    def test_bad_column_count(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("a\tb\n", encoding="utf-8")
+        with pytest.raises(DataError):
+            load_graph_tsv(path)

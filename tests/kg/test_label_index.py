@@ -1,0 +1,84 @@
+"""Tests for repro.kg.label_index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LabelNotFoundError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.label_index import LabelIndex, normalize_label
+from repro.kg.types import Node
+
+
+def build_index() -> LabelIndex:
+    graph = KnowledgeGraph()
+    graph.add_nodes(
+        [
+            Node("q1", "Taliban", aliases=("TTP",)),
+            Node("q2", "Upper Dir"),
+            Node("q3", "Lahore"),
+            Node("q4", "Lahore"),  # homonym: two nodes, one surface form
+        ]
+    )
+    return LabelIndex(graph)
+
+
+class TestNormalizeLabel:
+    def test_casefold_and_whitespace(self):
+        assert normalize_label("  Upper   Dir ") == "upper dir"
+
+    def test_empty(self):
+        assert normalize_label("   ") == ""
+
+
+class TestLookup:
+    def test_exact_match(self):
+        index = build_index()
+        assert index.lookup("Taliban") == frozenset({"q1"})
+
+    def test_case_insensitive(self):
+        index = build_index()
+        assert index.lookup("taliban") == frozenset({"q1"})
+
+    def test_alias_match(self):
+        index = build_index()
+        assert index.lookup("TTP") == frozenset({"q1"})
+
+    def test_homonym_maps_to_all(self):
+        index = build_index()
+        assert index.lookup("Lahore") == frozenset({"q3", "q4"})
+
+    def test_missing_raises(self):
+        with pytest.raises(LabelNotFoundError):
+            build_index().lookup("Atlantis")
+
+    def test_try_lookup_missing_is_empty(self):
+        assert build_index().try_lookup("Atlantis") == frozenset()
+
+    def test_contains(self):
+        index = build_index()
+        assert "upper dir" in index
+        assert "Upper Dir" in index
+        assert "nowhere" not in index
+        assert 42 not in index
+
+    def test_graph_property(self):
+        index = build_index()
+        assert index.graph.node("q1").label == "Taliban"
+
+
+class TestMatchingRatio:
+    def test_all_matched(self):
+        index = build_index()
+        assert index.matching_ratio(["Taliban", "Lahore"]) == 1.0
+
+    def test_partial(self):
+        index = build_index()
+        assert index.matching_ratio(["Taliban", "Atlantis"]) == 0.5
+
+    def test_empty_is_one(self):
+        assert build_index().matching_ratio([]) == 1.0
+
+    def test_num_forms(self):
+        # taliban, ttp, upper dir, lahore -> 4 normalized forms
+        assert build_index().num_forms == 4

@@ -1,0 +1,37 @@
+"""Tests for repro.kg.statistics."""
+
+from __future__ import annotations
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.statistics import compute_statistics
+from repro.kg.types import Edge, Node
+
+
+class TestComputeStatistics:
+    def test_empty_graph(self):
+        stats = compute_statistics(KnowledgeGraph())
+        assert stats.num_nodes == 0
+        assert stats.num_components == 0
+        assert stats.mean_degree == 0.0
+        assert stats.max_degree == 0
+
+    def test_chain(self):
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node(f"n{i}", f"N{i}") for i in range(4)])
+        for i in range(3):
+            graph.add_edge(Edge(f"n{i}", f"n{i+1}", "r"))
+        stats = compute_statistics(graph)
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 3
+        assert stats.num_components == 1
+        assert stats.largest_component == 4
+        assert stats.max_degree == 2
+        assert stats.eccentricity_sample == 3.0
+
+    def test_two_components(self):
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node("a", "A"), Node("b", "B"), Node("c", "C")])
+        graph.add_edge(Edge("a", "b", "r"))
+        stats = compute_statistics(graph)
+        assert stats.num_components == 2
+        assert stats.largest_component == 2

@@ -1,0 +1,98 @@
+"""Tests for repro.kg.synthetic: the Wikidata-substitute generator."""
+
+from __future__ import annotations
+
+from repro.config import WorldConfig
+from repro.kg.label_index import LabelIndex
+from repro.kg.statistics import compute_statistics
+from repro.kg.synthetic import EVENT_KINDS, generate_world
+from repro.kg.types import EntityType
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = generate_world(WorldConfig(seed=3))
+        b = generate_world(WorldConfig(seed=3))
+        assert [n.label for n in a.graph.nodes()] == [n.label for n in b.graph.nodes()]
+        assert {e.key() for e in a.graph.edges()} == {e.key() for e in b.graph.edges()}
+
+    def test_different_seed_differs(self):
+        a = generate_world(WorldConfig(seed=1))
+        b = generate_world(WorldConfig(seed=2))
+        assert [n.label for n in a.graph.nodes()] != [n.label for n in b.graph.nodes()]
+
+
+class TestStructure:
+    def test_counts_match_config(self, tiny_world):
+        config = tiny_world.config
+        assert len(tiny_world.countries) == config.num_countries
+        assert len(tiny_world.provinces) == (
+            config.num_countries * config.provinces_per_country
+        )
+        assert len(tiny_world.cities) == (
+            len(tiny_world.provinces) * config.cities_per_province
+        )
+        assert len(tiny_world.persons) == config.num_persons
+        assert len(tiny_world.events) == config.num_events
+
+    def test_world_is_connected(self, tiny_world):
+        stats = compute_statistics(tiny_world.graph)
+        assert stats.num_components == 1
+
+    def test_geography_hierarchy(self, tiny_world):
+        graph = tiny_world.graph
+        for city in tiny_world.cities:
+            parents = [
+                e.target for e in graph.out_edges(city) if e.relation == "located_in"
+            ]
+            assert len(parents) == 1
+            assert parents[0] in tiny_world.provinces
+
+    def test_event_kinds_cycle(self, tiny_world):
+        kinds = [event.kind for event in tiny_world.events]
+        assert kinds == [EVENT_KINDS[i % len(EVENT_KINDS)] for i in range(len(kinds))]
+
+    def test_event_pool_nodes_exist(self, tiny_world):
+        for event in tiny_world.events:
+            assert tiny_world.graph.has_node(event.event_id)
+            for node_id in event.mention_pool:
+                assert tiny_world.graph.has_node(node_id)
+            assert set(event.core_ids) <= set(event.mention_pool)
+
+    def test_event_node_typed_event(self, tiny_world):
+        for event in tiny_world.events:
+            node = tiny_world.graph.node(event.event_id)
+            assert node.entity_type is EntityType.EVENT
+
+    def test_labels_unique(self, tiny_world):
+        labels = [n.label for n in tiny_world.graph.nodes()]
+        assert len(labels) == len(set(labels))
+
+    def test_labels_capitalized_for_ner(self, tiny_world):
+        for node in tiny_world.graph.nodes():
+            first_word = node.label.split()[0]
+            assert first_word[0].isupper() or first_word[0].isdigit()
+
+    def test_persons_have_citizenship(self, tiny_world):
+        graph = tiny_world.graph
+        for person in tiny_world.persons:
+            relations = {e.relation for e in graph.out_edges(person)}
+            assert "citizen_of" in relations
+
+
+class TestEventsAsAncestors:
+    def test_event_connects_core_entities(self, tiny_world):
+        """Core entities of an event reach the event node within 2 hops."""
+        from repro.kg.traversal import pairwise_distance
+
+        for event in tiny_world.events[:4]:
+            for core in event.core_ids:
+                assert pairwise_distance(tiny_world.graph, core, event.event_id) <= 2.0
+
+
+class TestAliases:
+    def test_alias_lookup_consistency(self, tiny_world):
+        index = LabelIndex(tiny_world.graph)
+        for node in tiny_world.graph.nodes():
+            for alias in node.aliases:
+                assert node.node_id in index.lookup(alias)

@@ -1,0 +1,246 @@
+"""Tests for repro.kg.traversal: multi-source Dijkstra + path DAGs."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.traversal import (
+    MultiSourceShortestPaths,
+    pairwise_distance,
+    shortest_path_dag,
+)
+from repro.kg.types import Edge, Node
+
+
+def chain_graph(n: int) -> KnowledgeGraph:
+    graph = KnowledgeGraph()
+    graph.add_nodes([Node(f"n{i}", f"N{i}") for i in range(n)])
+    for i in range(n - 1):
+        graph.add_edge(Edge(f"n{i}", f"n{i+1}", "next"))
+    return graph
+
+
+def diamond_graph() -> KnowledgeGraph:
+    """s -> {a, b} -> t: two equal shortest paths."""
+    graph = KnowledgeGraph()
+    graph.add_nodes([Node(x, x.upper()) for x in ("s", "a", "b", "t")])
+    graph.add_edges(
+        [
+            Edge("s", "a", "r"),
+            Edge("s", "b", "r"),
+            Edge("a", "t", "r"),
+            Edge("b", "t", "r"),
+        ]
+    )
+    return graph
+
+
+class TestDistances:
+    def test_chain_distances(self):
+        graph = chain_graph(5)
+        sssp = shortest_path_dag(graph, ["n0"])
+        for i in range(5):
+            assert sssp.distance(f"n{i}") == i
+
+    def test_bidirected_travel(self):
+        # Edges point forward only, but traversal is bidirected.
+        graph = chain_graph(4)
+        sssp = shortest_path_dag(graph, ["n3"])
+        assert sssp.distance("n0") == 3
+
+    def test_multi_source_takes_min(self):
+        graph = chain_graph(7)
+        sssp = shortest_path_dag(graph, ["n0", "n6"])
+        assert sssp.distance("n3") == 3
+        assert sssp.distance("n5") == 1
+
+    def test_unreachable_is_inf(self):
+        graph = chain_graph(3)
+        graph.add_node(Node("island", "Island"))
+        sssp = shortest_path_dag(graph, ["n0"])
+        assert math.isinf(sssp.distance("island"))
+
+    def test_weighted_edges(self):
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node(x, x) for x in ("a", "b", "c")])
+        graph.add_edge(Edge("a", "b", "r", weight=5.0))
+        graph.add_edge(Edge("a", "c", "r", weight=1.0))
+        graph.add_edge(Edge("c", "b", "r", weight=1.0))
+        sssp = shortest_path_dag(graph, ["a"])
+        assert sssp.distance("b") == 2.0
+
+    def test_max_depth_prunes(self):
+        graph = chain_graph(6)
+        sssp = shortest_path_dag(graph, ["n0"], max_depth=2)
+        assert sssp.distance("n2") == 2
+        assert math.isinf(sssp.distance("n3"))
+
+    def test_bad_source_raises(self):
+        with pytest.raises(Exception):
+            MultiSourceShortestPaths(chain_graph(2), ["missing"])
+
+
+class TestIncrementalInterface:
+    def test_pop_order_is_nondecreasing(self):
+        graph = diamond_graph()
+        sssp = MultiSourceShortestPaths(graph, ["s"])
+        distances = []
+        while (popped := sssp.pop()) is not None:
+            distances.append(popped[1])
+        assert distances == sorted(distances)
+
+    def test_peek_matches_pop(self):
+        sssp = MultiSourceShortestPaths(chain_graph(3), ["n0"])
+        peeked = sssp.peek_min()
+        popped = sssp.pop()
+        assert peeked == popped
+
+    def test_exhaustion_returns_none(self):
+        sssp = MultiSourceShortestPaths(chain_graph(2), ["n0"])
+        sssp.run_to_completion()
+        assert sssp.pop() is None
+        assert sssp.peek_min() is None
+
+
+class TestPathExtraction:
+    def test_diamond_keeps_both_paths(self):
+        graph = diamond_graph()
+        sssp = shortest_path_dag(graph, ["s"])
+        nodes, edges = sssp.extract_paths_to("t")
+        assert nodes == {"s", "a", "b", "t"}
+        assert len(edges) == 4
+
+    def test_single_path_deterministic(self):
+        graph = diamond_graph()
+        sssp = shortest_path_dag(graph, ["s"])
+        path_nodes, path_edges = sssp.extract_single_path_to("t")
+        assert path_nodes[0] == "s" and path_nodes[-1] == "t"
+        assert len(path_edges) == 2
+        # tie-break: smallest predecessor id -> via "a"
+        assert path_nodes[1] == "a"
+
+    def test_extract_source_itself(self):
+        graph = chain_graph(2)
+        sssp = shortest_path_dag(graph, ["n0"])
+        nodes, edges = sssp.extract_paths_to("n0")
+        assert nodes == {"n0"}
+        assert edges == set()
+
+    def test_unsettled_target_raises(self):
+        graph = chain_graph(3)
+        sssp = MultiSourceShortestPaths(graph, ["n0"])
+        with pytest.raises(KeyError):
+            sssp.extract_paths_to("n2")
+
+    def test_edges_oriented_towards_target(self):
+        graph = chain_graph(3)
+        sssp = shortest_path_dag(graph, ["n0"])
+        _, edges = sssp.extract_paths_to("n2")
+        targets = {e.target for e in edges}
+        assert "n2" in targets  # final hop lands on the target
+
+    def test_paths_have_shortest_length(self):
+        """Every extracted edge lies on some shortest path."""
+        graph = diamond_graph()
+        # add a longer detour s -> d -> e -> t that must NOT be extracted
+        graph.add_nodes([Node("d", "D"), Node("e", "E")])
+        graph.add_edges([Edge("s", "d", "r"), Edge("d", "e", "r"), Edge("e", "t", "r")])
+        sssp = shortest_path_dag(graph, ["s"])
+        nodes, _ = sssp.extract_paths_to("t")
+        assert "d" not in nodes and "e" not in nodes
+
+
+class TestPairwiseDistance:
+    def test_simple(self):
+        assert pairwise_distance(chain_graph(4), "n0", "n3") == 3
+
+    def test_symmetric(self):
+        graph = chain_graph(4)
+        assert pairwise_distance(graph, "n0", "n3") == pairwise_distance(
+            graph, "n3", "n0"
+        )
+
+    def test_unreachable(self):
+        graph = chain_graph(2)
+        graph.add_node(Node("x", "X"))
+        assert math.isinf(pairwise_distance(graph, "n0", "x"))
+
+
+@st.composite
+def random_graphs(draw):
+    """Small random connected graphs with unit weights."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    node_ids = [f"n{i}" for i in range(n)]
+    # spanning chain guarantees connectivity
+    edges = {(i, i + 1) for i in range(n - 1)}
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=12,
+        )
+    )
+    for a, b in extra:
+        if a != b:
+            edges.add((a, b))
+    graph = KnowledgeGraph()
+    graph.add_nodes([Node(i, i.upper()) for i in node_ids])
+    for a, b in sorted(edges):
+        graph.add_edge(Edge(f"n{a}", f"n{b}", "r"))
+    sources = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    return graph, [f"n{i}" for i in sources]
+
+
+def _bfs_reference(graph: KnowledgeGraph, sources: list[str]) -> dict[str, int]:
+    from collections import deque
+
+    dist = {s: 0 for s in sources}
+    queue = deque(sources)
+    while queue:
+        node = queue.popleft()
+        for neighbor, _, _ in graph.bidirected_neighbors(node):
+            if neighbor not in dist:
+                dist[neighbor] = dist[node] + 1
+                queue.append(neighbor)
+    return dist
+
+
+class TestAgainstBfsReference:
+    @settings(max_examples=60, deadline=None)
+    @given(random_graphs())
+    def test_unit_weight_distances_match_bfs(self, case):
+        graph, sources = case
+        sssp = shortest_path_dag(graph, sources)
+        reference = _bfs_reference(graph, sources)
+        for node_id in graph.node_ids():
+            expected = reference.get(node_id, math.inf)
+            assert sssp.distance(node_id) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_graphs())
+    def test_extracted_dag_paths_are_shortest(self, case):
+        graph, sources = case
+        sssp = shortest_path_dag(graph, sources)
+        reference = _bfs_reference(graph, sources)
+        for target in graph.node_ids():
+            if math.isinf(sssp.distance(target)):
+                continue
+            nodes, edges = sssp.extract_paths_to(target)
+            # every DAG edge advances distance by exactly its weight
+            for edge in edges:
+                assert reference[edge.target] == reference[edge.source] + 1
+            assert target in nodes

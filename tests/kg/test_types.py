@@ -1,0 +1,63 @@
+"""Tests for repro.kg.types."""
+
+from __future__ import annotations
+
+from repro.kg.types import Edge, EntityType, Node, OrientedEdge
+
+
+class TestEntityType:
+    def test_from_string_known(self):
+        assert EntityType.from_string("person") is EntityType.PERSON
+        assert EntityType.from_string("GPE") is EntityType.GPE
+
+    def test_from_string_unknown_defaults_other(self):
+        assert EntityType.from_string("DATE") is EntityType.OTHER
+        assert EntityType.from_string("") is EntityType.OTHER
+
+
+class TestNode:
+    def test_surface_forms_include_aliases(self):
+        node = Node("q1", "Taliban", EntityType.ORG, aliases=("TTP",))
+        assert node.surface_forms() == ("Taliban", "TTP")
+
+    def test_defaults(self):
+        node = Node("q2", "Pakistan")
+        assert node.entity_type is EntityType.OTHER
+        assert node.aliases == ()
+        assert node.description == ""
+
+    def test_frozen_and_hashable(self):
+        node = Node("q1", "X")
+        assert hash(node) == hash(Node("q1", "X"))
+
+
+class TestEdge:
+    def test_reversed(self):
+        edge = Edge("a", "b", "located_in", 2.0)
+        back = edge.reversed()
+        assert (back.source, back.target) == ("b", "a")
+        assert back.relation == "located_in"
+        assert back.weight == 2.0
+
+    def test_key_ignores_weight(self):
+        assert Edge("a", "b", "r", 1.0).key() == Edge("a", "b", "r", 9.0).key()
+
+    def test_default_weight(self):
+        assert Edge("a", "b", "r").weight == 1.0
+
+
+class TestOrientedEdge:
+    def test_as_kg_edge_forward(self):
+        oriented = OrientedEdge("a", "b", "r", forward=True)
+        kg_edge = oriented.as_kg_edge()
+        assert (kg_edge.source, kg_edge.target) == ("a", "b")
+
+    def test_as_kg_edge_reverse(self):
+        oriented = OrientedEdge("a", "b", "r", forward=False)
+        kg_edge = oriented.as_kg_edge()
+        assert (kg_edge.source, kg_edge.target) == ("b", "a")
+
+    def test_hashable_identity(self):
+        a = OrientedEdge("a", "b", "r", True, 1.0)
+        b = OrientedEdge("a", "b", "r", True, 1.0)
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,161 @@
+"""Tests for the Wikidata dump importer (synthetic dump lines)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.kg.types import EntityType
+from repro.kg.wikidata import WikidataImportConfig, load_wikidata_dump
+
+
+def entity(
+    entity_id: str,
+    label: str | None,
+    claims: dict[str, list[str]] | None = None,
+    aliases: list[str] = (),
+    description: str = "",
+    language: str = "en",
+) -> dict:
+    record: dict = {"id": entity_id, "type": "item", "claims": {}}
+    if label is not None:
+        record["labels"] = {language: {"language": language, "value": label}}
+    if aliases:
+        record["aliases"] = {
+            language: [{"language": language, "value": a} for a in aliases]
+        }
+    if description:
+        record["descriptions"] = {
+            language: {"language": language, "value": description}
+        }
+    for property_id, targets in (claims or {}).items():
+        record["claims"][property_id] = [
+            {
+                "mainsnak": {
+                    "snaktype": "value",
+                    "datavalue": {
+                        "type": "wikibase-entityid",
+                        "value": {"id": target},
+                    },
+                }
+            }
+            for target in targets
+        ]
+    return record
+
+
+def dump_lines(*entities: dict, wrap_array: bool = False) -> list[str]:
+    lines = [json.dumps(e) for e in entities]
+    if wrap_array:
+        return ["[", *(line + "," for line in lines[:-1]), lines[-1], "]"]
+    return lines
+
+
+SAMPLE = [
+    entity(
+        "Q1",
+        "Khyber",
+        claims={"P131": ["Q2"]},
+        description="province of Pakistan",
+    ),
+    entity("Q2", "Pakistan", aliases=["Islamic Republic of Pakistan"]),
+    entity(
+        "Q3",
+        "Taliban",
+        claims={"P31": ["Q43229"], "P17": ["Q2"], "P999": ["Q404"]},
+    ),
+    entity("Q4", None),  # unlabeled: dropped by default
+]
+
+
+class TestImport:
+    def test_nodes_and_labels(self):
+        graph = load_wikidata_dump(dump_lines(*SAMPLE))
+        assert graph.num_nodes == 3
+        assert graph.node("Q1").label == "Khyber"
+        assert graph.node("Q2").aliases == ("Islamic Republic of Pakistan",)
+        assert graph.node("Q1").description == "province of Pakistan"
+
+    def test_edges_only_between_retained(self):
+        graph = load_wikidata_dump(dump_lines(*SAMPLE))
+        assert graph.has_edge("Q1", "Q2", "P131")
+        assert graph.has_edge("Q3", "Q2", "P17")
+        # Q404 was never defined -> its edge is dropped.
+        assert all(e.target != "Q404" for e in graph.edges())
+
+    def test_property_rename(self):
+        config = WikidataImportConfig(property_labels={"P131": "located_in"})
+        graph = load_wikidata_dump(dump_lines(*SAMPLE), config)
+        assert graph.has_edge("Q1", "Q2", "located_in")
+
+    def test_keep_properties_filter(self):
+        config = WikidataImportConfig(keep_properties=frozenset({"P131"}))
+        graph = load_wikidata_dump(dump_lines(*SAMPLE), config)
+        assert graph.has_edge("Q1", "Q2", "P131")
+        assert not graph.has_edge("Q3", "Q2", "P17")
+
+    def test_instance_of_typing(self):
+        config = WikidataImportConfig(
+            class_types={"Q43229": EntityType.ORG}
+        )
+        graph = load_wikidata_dump(dump_lines(*SAMPLE), config)
+        assert graph.node("Q3").entity_type is EntityType.ORG
+        assert graph.node("Q1").entity_type is EntityType.OTHER
+
+    def test_array_wrapped_dump(self):
+        graph = load_wikidata_dump(dump_lines(*SAMPLE, wrap_array=True))
+        assert graph.num_nodes == 3
+
+    def test_max_entities(self):
+        config = WikidataImportConfig(max_entities=2)
+        graph = load_wikidata_dump(dump_lines(*SAMPLE), config)
+        assert graph.num_nodes == 2
+
+    def test_unlabeled_kept_when_not_required(self):
+        config = WikidataImportConfig(require_label=False)
+        graph = load_wikidata_dump(dump_lines(*SAMPLE), config)
+        assert graph.has_node("Q4")
+        assert graph.node("Q4").label == "Q4"
+
+    def test_language_selection(self):
+        record = entity("Q9", "Chaibar", language="es")
+        config = WikidataImportConfig(language="es")
+        graph = load_wikidata_dump(dump_lines(record), config)
+        assert graph.node("Q9").label == "Chaibar"
+
+    def test_file_source(self, tmp_path):
+        path = tmp_path / "dump.jsonl"
+        path.write_text("\n".join(dump_lines(*SAMPLE)), encoding="utf-8")
+        graph = load_wikidata_dump(path)
+        assert graph.num_nodes == 3
+
+    def test_non_item_lines_skipped(self):
+        lines = [json.dumps({"id": "P131", "type": "property"})] + dump_lines(
+            *SAMPLE
+        )
+        graph = load_wikidata_dump(lines)
+        assert graph.num_nodes == 3
+
+    def test_novalue_snaks_skipped(self):
+        record = entity("Q7", "Seven")
+        record["claims"]["P1"] = [{"mainsnak": {"snaktype": "novalue"}}]
+        graph = load_wikidata_dump(dump_lines(record))
+        assert graph.num_nodes == 1
+        assert graph.num_edges == 0
+
+    def test_end_to_end_with_engine(self):
+        """An imported dump drives the full engine."""
+        from repro.data.document import Corpus, NewsDocument
+        from repro.search.engine import NewsLinkEngine
+
+        config = WikidataImportConfig(
+            property_labels={"P131": "located_in", "P17": "country"}
+        )
+        graph = load_wikidata_dump(dump_lines(*SAMPLE), config)
+        engine = NewsLinkEngine(graph)
+        engine.index_corpus(
+            Corpus([NewsDocument("d1", "Taliban crossed into Khyber yesterday.")])
+        )
+        results = engine.search("unrest in Pakistan", k=1, beta=1.0)
+        assert results and results[0].doc_id == "d1"

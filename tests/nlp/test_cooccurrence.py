@@ -1,0 +1,109 @@
+"""Tests for Definition 1: maximal entity co-occurrence sets."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlp.cooccurrence import (
+    EntityGroup,
+    maximal_cooccurrence_sets,
+    maximal_groups,
+)
+
+
+def fs(*items: str) -> frozenset[str]:
+    return frozenset(items)
+
+
+class TestPaperExample:
+    def test_example_2(self):
+        """Example 2: L4 ⊂ L2 is ruled out, U_m = {L1, L2, L3}."""
+        l1 = fs("pakistan", "taliban", "afghan")
+        l2 = fs("upper dir", "afghanistan", "taliban")
+        l3 = fs("upper dir", "swat valley", "pakistan", "taliban")
+        l4 = fs("upper dir", "taliban")
+        result = maximal_cooccurrence_sets([l1, l2, l3, l4])
+        assert result == [l1, l2, l3]
+
+
+class TestEdgeCases:
+    def test_duplicates_kept_once(self):
+        a = fs("x", "y")
+        assert maximal_cooccurrence_sets([a, a, a]) == [a]
+
+    def test_empty_sets_dropped(self):
+        assert maximal_cooccurrence_sets([frozenset(), fs("a")]) == [fs("a")]
+
+    def test_empty_input(self):
+        assert maximal_cooccurrence_sets([]) == []
+
+    def test_chain_of_subsets(self):
+        sets = [fs("a"), fs("a", "b"), fs("a", "b", "c")]
+        assert maximal_cooccurrence_sets(sets) == [fs("a", "b", "c")]
+
+    def test_incomparable_sets_all_kept(self):
+        sets = [fs("a", "b"), fs("b", "c"), fs("c", "a")]
+        assert maximal_cooccurrence_sets(sets) == sets
+
+    def test_order_preserved(self):
+        sets = [fs("z"), fs("a", "b"), fs("m")]
+        assert maximal_cooccurrence_sets(sets) == sets
+
+
+sets_strategy = st.lists(
+    st.frozensets(st.sampled_from("abcdef"), max_size=4),
+    max_size=10,
+)
+
+
+class TestProperties:
+    @given(sets_strategy)
+    def test_result_is_antichain(self, sets):
+        result = maximal_cooccurrence_sets(sets)
+        for i, a in enumerate(result):
+            for j, b in enumerate(result):
+                if i != j:
+                    assert not a < b
+
+    @given(sets_strategy)
+    def test_every_input_covered(self, sets):
+        """Definition 1: every input set is a subset of some kept set."""
+        result = maximal_cooccurrence_sets(sets)
+        for candidate in sets:
+            if not candidate:
+                continue
+            assert any(candidate <= kept for kept in result)
+
+    @given(sets_strategy)
+    def test_results_come_from_input(self, sets):
+        result = maximal_cooccurrence_sets(sets)
+        for kept in result:
+            assert kept in sets
+
+    @given(sets_strategy)
+    def test_no_duplicates(self, sets):
+        result = maximal_cooccurrence_sets(sets)
+        assert len(result) == len(set(result))
+
+
+class TestMaximalGroups:
+    def test_earliest_segment_kept_on_ties(self):
+        groups = [
+            EntityGroup(fs("a", "b"), segment_index=3),
+            EntityGroup(fs("a", "b"), segment_index=1),
+        ]
+        result = maximal_groups(groups)
+        assert len(result) == 1
+        assert result[0].segment_index == 3  # first occurrence in input order
+
+    def test_subset_group_removed(self):
+        groups = [
+            EntityGroup(fs("a"), segment_index=0),
+            EntityGroup(fs("a", "b"), segment_index=1),
+        ]
+        result = maximal_groups(groups)
+        assert [g.labels for g in result] == [fs("a", "b")]
+
+    def test_len(self):
+        assert len(EntityGroup(fs("a", "b"), 0)) == 2

@@ -1,0 +1,104 @@
+"""Tests for coherence-based disambiguation."""
+
+from __future__ import annotations
+
+from repro.core.lcag import LcagEmbedder
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.types import Edge, Node
+from repro.nlp.disambiguation import DisambiguatingEmbedder, disambiguate_group
+
+
+def ambiguous_graph() -> KnowledgeGraph:
+    """Two "Springfield"s: one near Boston, one isolated far away."""
+    graph = KnowledgeGraph()
+    graph.add_nodes(
+        [
+            Node("sp1", "Springfield"),  # the coherent one
+            Node("sp2", "Springfield"),  # the distant homonym
+            Node("boston", "Boston"),
+            Node("mass", "Massachusetts"),
+            Node("far1", "Farland"),
+            Node("far2", "Faraway"),
+            Node("far3", "Farthest"),
+        ]
+    )
+    graph.add_edges(
+        [
+            Edge("sp1", "mass", "located_in"),
+            Edge("boston", "mass", "located_in"),
+            # sp2 hangs off a long chain, 4+ hops from Boston
+            Edge("sp2", "far1", "located_in"),
+            Edge("far1", "far2", "located_in"),
+            Edge("far2", "far3", "located_in"),
+            Edge("far3", "mass", "twinned_with"),
+        ]
+    )
+    return graph
+
+
+class TestDisambiguateGroup:
+    def test_distant_homonym_dropped(self):
+        graph = ambiguous_graph()
+        sources = {
+            "springfield": frozenset({"sp1", "sp2"}),
+            "boston": frozenset({"boston"}),
+        }
+        result = disambiguate_group(graph, sources, max_distance=2.0)
+        assert result["springfield"] == frozenset({"sp1"})
+        assert result["boston"] == frozenset({"boston"})
+
+    def test_generous_distance_keeps_both(self):
+        graph = ambiguous_graph()
+        sources = {
+            "springfield": frozenset({"sp1", "sp2"}),
+            "boston": frozenset({"boston"}),
+        }
+        result = disambiguate_group(graph, sources, max_distance=10.0)
+        assert result["springfield"] == frozenset({"sp1", "sp2"})
+
+    def test_single_label_untouched(self):
+        graph = ambiguous_graph()
+        sources = {"springfield": frozenset({"sp1", "sp2"})}
+        assert disambiguate_group(graph, sources) == sources
+
+    def test_empty_filter_keeps_original(self):
+        graph = ambiguous_graph()
+        graph.add_node(Node("island", "Island"))
+        sources = {
+            "springfield": frozenset({"sp1", "sp2"}),
+            "island": frozenset({"island"}),
+        }
+        result = disambiguate_group(graph, sources, max_distance=2.0)
+        # neither Springfield is near the isolated node: keep all
+        assert result["springfield"] == frozenset({"sp1", "sp2"})
+
+    def test_unambiguous_labels_pass_through(self):
+        graph = ambiguous_graph()
+        sources = {
+            "boston": frozenset({"boston"}),
+            "springfield": frozenset({"sp1"}),
+        }
+        assert disambiguate_group(graph, sources) == sources
+
+
+class TestDisambiguatingEmbedder:
+    def test_embeds_with_filtered_sources(self):
+        graph = ambiguous_graph()
+        embedder = DisambiguatingEmbedder(
+            graph, LcagEmbedder(graph), max_distance=2.0
+        )
+        result = embedder.embed(
+            {
+                "springfield": frozenset({"sp1", "sp2"}),
+                "boston": frozenset({"boston"}),
+            }
+        )
+        assert result is not None
+        # The wrong-sense node and its chain never enter the embedding.
+        assert "sp2" not in result.nodes
+        assert "far1" not in result.nodes
+
+    def test_empty_group(self):
+        graph = ambiguous_graph()
+        embedder = DisambiguatingEmbedder(graph, LcagEmbedder(graph))
+        assert embedder.embed({}) is None

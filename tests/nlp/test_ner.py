@@ -1,0 +1,106 @@
+"""Tests for the gazetteer NER."""
+
+from __future__ import annotations
+
+from repro.config import NerConfig
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.label_index import LabelIndex
+from repro.kg.types import EntityType, Node
+from repro.nlp.ner import GazetteerNer
+
+
+def build_ner(config: NerConfig | None = None) -> GazetteerNer:
+    graph = KnowledgeGraph()
+    graph.add_nodes(
+        [
+            Node("q1", "Taliban", EntityType.ORG, aliases=("TTP",)),
+            Node("q2", "Upper Dir", EntityType.GPE),
+            Node("q3", "Swat Valley", EntityType.LOC),
+            Node("q4", "Pakistan", EntityType.GPE),
+            Node("q5", "Bank of Pakistan", EntityType.ORG),
+        ]
+    )
+    return GazetteerNer(LabelIndex(graph), config)
+
+
+class TestRecognition:
+    def test_single_word_entity(self):
+        mentions = build_ner().recognize("Fighting involved Taliban units.")
+        assert [m.text for m in mentions] == ["Taliban"]
+        assert mentions[0].node_ids == frozenset({"q1"})
+        assert mentions[0].entity_type is EntityType.ORG
+
+    def test_multi_word_entity(self):
+        mentions = build_ner().recognize("Clashes hit Upper Dir yesterday.")
+        assert [m.text for m in mentions] == ["Upper Dir"]
+
+    def test_longest_match_wins(self):
+        mentions = build_ner().recognize("Officials at Bank of Pakistan resigned.")
+        assert [m.text for m in mentions] == ["Bank of Pakistan"]
+        assert mentions[0].node_ids == frozenset({"q5"})
+
+    def test_alias_recognized(self):
+        mentions = build_ner().recognize("Spokesman for TTP denied involvement.")
+        assert mentions and mentions[0].node_ids == frozenset({"q1"})
+
+    def test_offsets(self):
+        text = "Militants near Swat Valley regrouped."
+        mentions = build_ner().recognize(text)
+        mention = mentions[0]
+        assert text[mention.start : mention.end] == "Swat Valley"
+
+    def test_multiple_mentions(self):
+        text = "Pakistan blamed Taliban for attacks in Upper Dir."
+        names = [m.text for m in build_ner().recognize(text)]
+        assert names == ["Pakistan", "Taliban", "Upper Dir"]
+
+    def test_unmatched_capitalized_run_identified(self):
+        mentions = build_ner().recognize("Troops entered Kabul Province at dawn.")
+        unmatched = [m for m in mentions if not m.matched]
+        assert [m.text for m in unmatched] == ["Kabul Province"]
+
+    def test_sentence_initial_single_cap_word_ignored(self):
+        mentions = build_ner().recognize("Officials said nothing new.")
+        assert mentions == []
+
+    def test_sentence_initial_entity_still_found(self):
+        mentions = build_ner().recognize("Taliban claimed responsibility.")
+        assert [m.text for m in mentions] == ["Taliban"]
+
+    def test_lowercase_not_recognized_by_default(self):
+        mentions = build_ner().recognize("the taliban struck again")
+        assert mentions == []
+
+    def test_lowercase_matched_when_capitalization_off(self):
+        ner = build_ner(NerConfig(require_capitalized=False))
+        mentions = ner.recognize("the taliban struck again")
+        assert [m.text for m in mentions] == ["taliban"]
+
+    def test_stopword_cannot_end_span(self):
+        # "Bank of" must not be emitted as a mention.
+        mentions = build_ner().recognize("He visited the Bank of a friend.")
+        assert all(not m.text.endswith("of") for m in mentions)
+
+    def test_empty_text(self):
+        assert build_ner().recognize("") == []
+
+
+class TestTypeFilter:
+    def test_disallowed_type_dropped(self):
+        config = NerConfig(allowed_types=("GPE",))
+        mentions = build_ner(config).recognize("Pakistan fought Taliban.")
+        assert [m.text for m in mentions] == ["Pakistan"]
+
+    def test_unmatched_mentions_survive_filter(self):
+        config = NerConfig(allowed_types=("GPE",))
+        mentions = build_ner(config).recognize("He met Kabul Province elders.")
+        assert any(not m.matched for m in mentions)
+
+
+class TestMaxGram:
+    def test_max_gram_limits_span(self):
+        ner = build_ner(NerConfig(max_gram=1))
+        mentions = ner.recognize("Clashes hit Upper Dir today.")
+        # "Upper Dir" cannot match as a 2-gram; the two capitalized words
+        # become (unmatched) single-token heuristic work.
+        assert all(m.text != "Upper Dir" for m in mentions)

@@ -1,0 +1,133 @@
+"""Tests for the end-to-end NLP pipeline."""
+
+from __future__ import annotations
+
+from repro.nlp.pipeline import NlpPipeline
+
+
+class TestPipelineOnFigure1:
+    def test_segments_per_sentence(self, figure1_index):
+        pipeline = NlpPipeline(figure1_index)
+        text = "Taliban attacked Peshawar. Pakistan responded in Upper Dir."
+        processed = pipeline.process(text, "d1")
+        assert len(processed.segments) == 2
+
+    def test_matched_labels_per_segment(self, figure1_index):
+        pipeline = NlpPipeline(figure1_index)
+        text = "Taliban attacked Peshawar. Pakistan responded in Upper Dir."
+        processed = pipeline.process(text, "d1")
+        assert processed.segments[0].matched_labels == {"taliban", "peshawar"}
+        assert processed.segments[1].matched_labels == {"pakistan", "upper dir"}
+
+    def test_label_sources(self, figure1_index):
+        pipeline = NlpPipeline(figure1_index)
+        processed = pipeline.process("Taliban struck near Swat Valley.", "d1")
+        assert processed.label_sources["taliban"] == frozenset({"v2"})
+        assert processed.label_sources["swat valley"] == frozenset({"v8"})
+
+    def test_maximal_groups_reduce_subsets(self, figure1_index):
+        pipeline = NlpPipeline(figure1_index)
+        text = (
+            "Taliban attacked Pakistan in Upper Dir. "
+            "Taliban attacked Pakistan. "
+            "Peshawar was quiet."
+        )
+        processed = pipeline.process(text, "d1")
+        label_sets = [set(group.labels) for group in processed.groups]
+        assert {"taliban", "pakistan", "upper dir"} in label_sets
+        assert {"taliban", "pakistan"} not in label_sets
+        assert {"peshawar"} in label_sets
+
+    def test_group_sources(self, figure1_index):
+        pipeline = NlpPipeline(figure1_index)
+        processed = pipeline.process("Taliban and Pakistan clashed.", "d1")
+        group = processed.groups[0]
+        sources = processed.group_sources(group)
+        assert sources["taliban"] == frozenset({"v2"})
+        assert sources["pakistan"] == frozenset({"v6"})
+
+    def test_matching_ratio(self, figure1_index):
+        pipeline = NlpPipeline(figure1_index)
+        # "Kabul Province" is identified but not in the Figure 1 KG.
+        processed = pipeline.process("Taliban moved toward Kabul Province.", "d1")
+        assert processed.identified_count == 2
+        assert processed.matched_count == 1
+        assert processed.matching_ratio == 0.5
+
+    def test_matching_ratio_no_mentions(self, figure1_index):
+        pipeline = NlpPipeline(figure1_index)
+        processed = pipeline.process("nothing interesting happened here", "d1")
+        assert processed.matching_ratio == 1.0
+
+    def test_entity_density(self, figure1_index):
+        pipeline = NlpPipeline(figure1_index)
+        processed = pipeline.process(
+            "Taliban attacked Peshawar. Officials commented at length today.",
+            "d1",
+        )
+        dense, sparse = processed.segments
+        assert dense.entity_density > sparse.entity_density
+
+    def test_empty_document(self, figure1_index):
+        pipeline = NlpPipeline(figure1_index)
+        processed = pipeline.process("", "d1")
+        assert processed.segments == []
+        assert processed.groups == []
+
+
+class TestPipelineOnSyntheticWorld:
+    def test_high_matching_ratio_on_generated_news(self, tiny_dataset):
+        """Generated news should match the KG well (Table V setting)."""
+        from repro.kg.label_index import LabelIndex
+
+        index = LabelIndex(tiny_dataset.world.graph)
+        pipeline = NlpPipeline(index)
+        ratios = []
+        for document in list(tiny_dataset.corpus)[:20]:
+            processed = pipeline.process(document.text, document.doc_id)
+            if processed.identified_count:
+                ratios.append(processed.matching_ratio)
+        assert ratios
+        assert sum(ratios) / len(ratios) > 0.9
+
+
+class TestSegmentWindow:
+    def test_window_one_is_default_behaviour(self, figure1_index):
+        text = "Taliban attacked Peshawar. Pakistan responded in Upper Dir."
+        default = NlpPipeline(figure1_index).process(text, "d")
+        explicit = NlpPipeline(figure1_index, segment_window=1).process(text, "d")
+        assert [g.labels for g in default.groups] == [
+            g.labels for g in explicit.groups
+        ]
+
+    def test_window_two_merges_adjacent_sentences(self, figure1_index):
+        pipeline = NlpPipeline(figure1_index, segment_window=2)
+        text = "Taliban attacked Peshawar. Pakistan responded in Upper Dir."
+        processed = pipeline.process(text, "d")
+        merged = {"taliban", "peshawar", "pakistan", "upper dir"}
+        assert any(set(group.labels) == merged for group in processed.groups)
+
+    def test_window_larger_than_document(self, figure1_index):
+        pipeline = NlpPipeline(figure1_index, segment_window=10)
+        processed = pipeline.process("Taliban attacked Peshawar.", "d")
+        assert len(processed.groups) == 1
+
+    def test_invalid_window_rejected(self, figure1_index):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            NlpPipeline(figure1_index, segment_window=0)
+
+    def test_windowed_groups_still_maximal(self, figure1_index):
+        pipeline = NlpPipeline(figure1_index, segment_window=2)
+        text = (
+            "Taliban attacked Peshawar. "
+            "Taliban attacked Peshawar again. "
+            "Pakistan stayed quiet."
+        )
+        processed = pipeline.process(text, "d")
+        labels_list = [group.labels for group in processed.groups]
+        for i, a in enumerate(labels_list):
+            for j, b in enumerate(labels_list):
+                if i != j:
+                    assert not a < b

@@ -1,0 +1,61 @@
+"""Tests for repro.nlp.sentences."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlp.sentences import split_sentences
+
+
+class TestSplitSentences:
+    def test_simple_split(self):
+        sentences = split_sentences("First one. Second one. Third.")
+        assert [s.text for s in sentences] == ["First one.", "Second one.", "Third."]
+
+    def test_offsets_match_source(self):
+        text = "Alpha beta. Gamma delta! Epsilon?"
+        for sentence in split_sentences(text):
+            assert text[sentence.start : sentence.end] == sentence.text
+
+    def test_abbreviations_not_split(self):
+        text = "Mr. Smith met Dr. Jones. They talked."
+        sentences = split_sentences(text)
+        assert len(sentences) == 2
+        assert sentences[0].text == "Mr. Smith met Dr. Jones."
+
+    def test_us_abbreviation(self):
+        sentences = split_sentences("The U.S. army arrived. It left.")
+        assert len(sentences) == 2
+
+    def test_initials(self):
+        sentences = split_sentences("George W. Bush spoke. He finished.")
+        assert len(sentences) == 2
+
+    def test_exclamation_and_question(self):
+        sentences = split_sentences("Really! Are you sure? Yes.")
+        assert len(sentences) == 3
+
+    def test_paragraph_break_without_punctuation(self):
+        text = "Headline without period\n\nBody sentence here."
+        sentences = split_sentences(text)
+        assert len(sentences) == 2
+        assert sentences[0].text == "Headline without period"
+
+    def test_trailing_text_without_period(self):
+        sentences = split_sentences("Complete sentence. trailing bit")
+        assert [s.text for s in sentences] == ["Complete sentence.", "trailing bit"]
+
+    def test_empty_and_whitespace(self):
+        assert split_sentences("") == []
+        assert split_sentences("   \n\n  ") == []
+
+    @given(st.text(max_size=300))
+    def test_offsets_always_consistent(self, text: str):
+        for sentence in split_sentences(text):
+            assert text[sentence.start : sentence.end] == sentence.text
+
+    @given(st.lists(st.sampled_from(["Alpha beta.", "Gamma delta.", "Foo bar!"]), min_size=1, max_size=6))
+    def test_reconstruction_count(self, parts: list[str]):
+        text = " ".join(parts)
+        assert len(split_sentences(text)) == len(parts)

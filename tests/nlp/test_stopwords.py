@@ -1,0 +1,23 @@
+"""Tests for repro.nlp.stopwords."""
+
+from __future__ import annotations
+
+from repro.nlp.stopwords import STOPWORDS, is_stopword
+
+
+class TestStopwords:
+    def test_common_words(self):
+        for word in ("the", "and", "of", "was", "is"):
+            assert is_stopword(word)
+
+    def test_case_insensitive(self):
+        assert is_stopword("The")
+        assert is_stopword("AND")
+
+    def test_content_words_kept(self):
+        for word in ("taliban", "election", "airstrike", "pakistan"):
+            assert not is_stopword(word)
+
+    def test_frozen(self):
+        assert isinstance(STOPWORDS, frozenset)
+        assert len(STOPWORDS) > 100

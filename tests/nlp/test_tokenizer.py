@@ -1,0 +1,62 @@
+"""Tests for repro.nlp.tokenizer."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlp.tokenizer import Token, tokenize, tokenize_words
+
+
+class TestTokenize:
+    def test_words_and_punctuation(self):
+        tokens = tokenize("Hello, world!")
+        assert [t.text for t in tokens] == ["Hello", ",", "world", "!"]
+
+    def test_offsets_match_source(self):
+        text = "Taliban attacked Peshawar."
+        for token in tokenize(text):
+            assert text[token.start : token.end] == token.text
+
+    def test_apostrophes(self):
+        tokens = tokenize("don't stop")
+        assert [t.text for t in tokens] == ["don't", "stop"]
+
+    def test_numbers(self):
+        tokens = tokenize("about 1,000 people in 2016")
+        assert "1,000" in [t.text for t in tokens]
+        assert "2016" in [t.text for t in tokens]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_token_flags(self):
+        word, comma = tokenize("Word ,")
+        assert word.is_word and word.is_capitalized
+        assert not comma.is_word
+
+    def test_lowercase_word_flags(self):
+        (token,) = tokenize("word")
+        assert token.is_word and not token.is_capitalized
+
+    @given(st.text(max_size=200))
+    def test_offsets_always_consistent(self, text: str):
+        for token in tokenize(text):
+            assert text[token.start : token.end] == token.text
+
+    @given(st.text(max_size=200))
+    def test_tokens_never_overlap(self, text: str):
+        tokens = tokenize(text)
+        for left, right in zip(tokens, tokens[1:]):
+            assert left.end <= right.start
+
+
+class TestTokenizeWords:
+    def test_drops_punct_and_numbers(self):
+        assert tokenize_words("Hi, 5 worlds!") == ["hi", "worlds"]
+
+    def test_preserve_case(self):
+        assert tokenize_words("Hello World", lowercase=False) == ["Hello", "World"]
+
+    def test_token_dataclass_equality(self):
+        assert Token("a", 0, 1) == Token("a", 0, 1)

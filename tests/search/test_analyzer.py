@@ -1,0 +1,34 @@
+"""Tests for the analysis chain."""
+
+from __future__ import annotations
+
+from repro.search.analyzer import Analyzer
+
+
+class TestAnalyzer:
+    def test_lowercase_stop_stem(self):
+        analyzer = Analyzer()
+        terms = analyzer.analyze("The militants were bombing the cities")
+        assert "the" not in terms
+        assert "bomb" in terms
+        assert "militant" in terms or "milit" in terms
+
+    def test_no_stopword_removal(self):
+        analyzer = Analyzer(remove_stopwords=False)
+        assert "the" in analyzer.analyze("the end")
+
+    def test_no_stemming(self):
+        analyzer = Analyzer(stem=False)
+        assert "bombing" in analyzer.analyze("bombing")
+
+    def test_numbers_dropped(self):
+        assert Analyzer().analyze("2016 election") == ["elect"]
+
+    def test_empty(self):
+        assert Analyzer().analyze("") == []
+
+    def test_stem_cache_consistency(self):
+        analyzer = Analyzer()
+        first = analyzer.analyze("running running")
+        second = analyzer.analyze("running")
+        assert first == [second[0], second[0]]

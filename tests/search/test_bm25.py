@@ -1,0 +1,123 @@
+"""Tests for the BM25 scorer, including a brute-force reference check."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import Bm25Config
+from repro.search.bm25 import Bm25Scorer
+from repro.search.inverted_index import InvertedIndex
+
+
+def build(docs: dict[str, list[str]], config: Bm25Config | None = None) -> Bm25Scorer:
+    index = InvertedIndex()
+    for doc_id, terms in docs.items():
+        index.add_document(doc_id, terms)
+    return Bm25Scorer(index, config)
+
+
+def reference_bm25(
+    docs: dict[str, list[str]], query: list[str], k1: float, b: float
+) -> dict[str, float]:
+    """Straight-from-the-formula implementation."""
+    n = len(docs)
+    avgdl = sum(len(t) for t in docs.values()) / n if n else 0.0
+    scores: dict[str, float] = {}
+    for term in query:
+        df = sum(1 for terms in docs.values() if term in terms)
+        if df == 0:
+            continue
+        idf = math.log(1 + (n - df + 0.5) / (df + 0.5))
+        for doc_id, terms in docs.items():
+            tf = terms.count(term)
+            if tf == 0:
+                continue
+            dl = len(terms)
+            denominator = tf + k1 * (1 - b + b * dl / avgdl)
+            scores[doc_id] = scores.get(doc_id, 0.0) + idf * tf * (k1 + 1) / denominator
+    return scores
+
+
+class TestBm25Basics:
+    def test_matching_doc_scores_positive(self):
+        scorer = build({"d1": ["taliban", "attack"], "d2": ["election"]})
+        scores = scorer.score(["taliban"])
+        assert scores.keys() == {"d1"}
+        assert scores["d1"] > 0
+
+    def test_rare_term_scores_higher(self):
+        docs = {
+            "d1": ["common", "rare"],
+            "d2": ["common", "x"],
+            "d3": ["common", "y"],
+        }
+        scorer = build(docs)
+        assert scorer.score(["rare"])["d1"] > scorer.score(["common"])["d1"]
+
+    def test_tf_saturation(self):
+        docs = {"d1": ["t"] * 1, "d2": ["t"] * 50}
+        scorer = build(docs)
+        scores = scorer.score(["t"])
+        # More occurrences help, but sublinearly (both positive, bounded).
+        assert scores["d2"] > scores["d1"]
+        assert scores["d2"] < scores["d1"] * 5
+
+    def test_empty_query(self):
+        scorer = build({"d1": ["a"]})
+        assert scorer.score([]) == {}
+
+    def test_unknown_term_ignored(self):
+        scorer = build({"d1": ["a"]})
+        assert scorer.score(["zzz"]) == {}
+
+    def test_repeated_query_terms_double_weight(self):
+        scorer = build({"d1": ["a", "b"]})
+        single = scorer.score(["a"])["d1"]
+        double = scorer.score(["a", "a"])["d1"]
+        assert double == single * 2
+
+    def test_score_weighted_zero_weight_skipped(self):
+        scorer = build({"d1": ["a"]})
+        assert scorer.score_weighted({"a": 0.0}) == {}
+
+    def test_score_document(self):
+        scorer = build({"d1": ["a"], "d2": ["b"]})
+        assert scorer.score_document(["a"], "d1") > 0
+        assert scorer.score_document(["a"], "d2") == 0.0
+
+
+class TestAgainstReference:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.dictionaries(
+            st.sampled_from(["d1", "d2", "d3", "d4"]),
+            st.lists(st.sampled_from("abcdef"), min_size=1, max_size=10),
+            min_size=1,
+        ),
+        st.lists(st.sampled_from("abcdef"), min_size=1, max_size=4),
+    )
+    def test_matches_formula(self, docs, query):
+        scorer = build(docs)
+        expected = reference_bm25(docs, query, k1=1.2, b=0.75)
+        actual = scorer.score(query)
+        assert actual.keys() == expected.keys()
+        for doc_id in expected:
+            assert actual[doc_id] == pytest.approx(expected[doc_id])
+
+
+class TestConfig:
+    def test_b_zero_ignores_length(self):
+        docs = {"short": ["t"], "long": ["t"] + ["filler"] * 30}
+        scorer = build(docs, Bm25Config(b=0.0))
+        scores = scorer.score(["t"])
+        assert scores["short"] == pytest.approx(scores["long"])
+
+    def test_b_one_penalizes_length(self):
+        docs = {"short": ["t"], "long": ["t"] + ["filler"] * 30}
+        scorer = build(docs, Bm25Config(b=1.0))
+        scores = scorer.score(["t"])
+        assert scores["short"] > scores["long"]

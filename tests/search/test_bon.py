@@ -1,0 +1,38 @@
+"""Tests for the Bag-Of-Node representation."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.document_embedding import union_embedding
+from repro.core.lcag import find_lcag
+from repro.search.bon import bon_terms
+
+
+class TestBonTerms:
+    def test_counts_respected(self, figure1_graph, figure1_index):
+        g1 = find_lcag(
+            figure1_graph,
+            {
+                "taliban": figure1_index.lookup("Taliban"),
+                "pakistan": figure1_index.lookup("Pakistan"),
+            },
+        )
+        g2 = find_lcag(
+            figure1_graph,
+            {
+                "pakistan": figure1_index.lookup("Pakistan"),
+                "upper dir": figure1_index.lookup("Upper Dir"),
+            },
+        )
+        embedding = union_embedding("doc", [g1, g2])
+        terms = bon_terms(embedding)
+        assert Counter(terms) == Counter(embedding.node_counts)
+
+    def test_empty_embedding(self):
+        assert bon_terms(union_embedding("doc", [])) == []
+
+    def test_deterministic_order(self, figure1_graph, figure1_index):
+        g1 = find_lcag(figure1_graph, {"taliban": figure1_index.lookup("Taliban")})
+        embedding = union_embedding("doc", [g1])
+        assert bon_terms(embedding) == bon_terms(embedding)

@@ -1,0 +1,169 @@
+"""Tests for the end-to-end NewsLinkEngine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineConfig, FusionConfig
+from repro.data.document import Corpus, NewsDocument
+from repro.errors import DocumentNotIndexedError
+from repro.search.engine import NewsLinkEngine
+from repro.utils.timing import TimingBreakdown
+
+
+@pytest.fixture(scope="module")
+def figure1_corpus() -> Corpus:
+    return Corpus(
+        [
+            NewsDocument(
+                "t_q",
+                "Pakistan fought Taliban militants in Upper Dir. "
+                "The clashes spread toward Swat Valley.",
+            ),
+            NewsDocument(
+                "t_r",
+                "Taliban bombed a market in Lahore. "
+                "Peshawar also saw attacks, Pakistan said.",
+            ),
+            NewsDocument(
+                "off",
+                "A completely unrelated cooking festival delighted visitors.",
+            ),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def engine(figure1_graph, figure1_corpus) -> NewsLinkEngine:
+    engine = NewsLinkEngine(figure1_graph)
+    engine.index_corpus(figure1_corpus)
+    return engine
+
+
+class TestIndexing:
+    def test_embeddable_docs_indexed(self, engine):
+        assert engine.num_indexed == 2  # "off" has no KG entities
+
+    def test_skipped_reported(self, figure1_graph, figure1_corpus):
+        fresh = NewsLinkEngine(figure1_graph)
+        skipped = fresh.index_corpus(figure1_corpus)
+        assert skipped == ["off"]
+
+    def test_embedding_accessible(self, engine):
+        embedding = engine.embedding("t_q")
+        assert not embedding.is_empty
+
+    def test_missing_embedding_raises(self, engine):
+        with pytest.raises(DocumentNotIndexedError):
+            engine.embedding("nope")
+
+
+class TestSearch:
+    def test_retrieves_related_doc(self, engine):
+        results = engine.search("Taliban attacks in Pakistan", k=2)
+        assert {r.doc_id for r in results} == {"t_q", "t_r"}
+
+    def test_beta_zero_matches_text_ranking(self, engine):
+        query = "Clashes in Upper Dir"
+        text_only = engine.search(query, k=2, beta=0.0)
+        assert text_only[0].doc_id == "t_q"
+        assert text_only[0].bon_score == 0.0
+
+    def test_beta_one_uses_only_nodes(self, engine):
+        results = engine.search("Swat Valley and Upper Dir unrest", k=2, beta=1.0)
+        assert results
+        assert all(r.bow_score == 0.0 for r in results)
+
+    def test_vocabulary_mismatch_bridged_by_kg(self, engine):
+        """A query mentioning only T_q's places still finds T_r via the KG
+        (both embed to the Khyber region), while text-only cannot."""
+        query = "Unrest reported around Upper Dir and Swat Valley"
+        node_results = engine.search(query, k=2, beta=1.0)
+        assert {r.doc_id for r in node_results} == {"t_q", "t_r"}
+
+    def test_scores_descending(self, engine):
+        results = engine.search("Taliban Pakistan Lahore Peshawar", k=3)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_respected(self, engine):
+        assert len(engine.search("Taliban", k=1)) == 1
+
+    def test_unrelated_query_no_results(self, engine):
+        results = engine.search("cooking festival delighted", k=5, beta=1.0)
+        assert results == []
+
+    def test_timing_populated(self, engine):
+        timing = TimingBreakdown()
+        engine.search("Taliban in Pakistan", k=2, timing=timing)
+        assert set(timing.components()) == {"nlp", "ne", "ns"}
+
+
+class TestExplain:
+    def test_explanation_paths(self, engine):
+        query = "Pakistan fought Taliban in Upper Dir"
+        results = engine.search(query, k=1)
+        paths = engine.explain(query, results[0].doc_id)
+        assert paths
+
+    def test_verbalized(self, engine):
+        query = "Pakistan fought Taliban in Upper Dir"
+        rendered = engine.explain_verbalized(query, "t_r", max_paths=5)
+        assert rendered
+        assert any("Khyber" in line or "Pakistan" in line for line in rendered)
+
+
+class TestTreeEmbedderEngine:
+    def test_tree_engine_indexes(self, figure1_graph, figure1_corpus):
+        config = EngineConfig(use_tree_embedder=True)
+        engine = NewsLinkEngine(figure1_graph, config)
+        engine.index_corpus(figure1_corpus)
+        assert engine.num_indexed == 2
+        results = engine.search("Taliban Pakistan", k=2)
+        assert results
+
+
+class TestFusionConfigPlumbing:
+    def test_configured_beta_used(self, figure1_graph, figure1_corpus):
+        config = EngineConfig(fusion=FusionConfig(beta=1.0))
+        engine = NewsLinkEngine(figure1_graph, config)
+        engine.index_corpus(figure1_corpus)
+        results = engine.search("Taliban bombed Lahore", k=2)
+        assert all(r.bow_score == 0.0 for r in results)
+
+
+class TestDisambiguatingEngine:
+    def test_engine_with_disambiguation(self, figure1_graph, figure1_corpus):
+        config = EngineConfig(disambiguate=True, disambiguation_distance=3.0)
+        engine = NewsLinkEngine(figure1_graph, config)
+        engine.index_corpus(figure1_corpus)
+        results = engine.search("Taliban attacks in Pakistan", k=2)
+        assert {r.doc_id for r in results} == {"t_q", "t_r"}
+
+    def test_invalid_distance_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            EngineConfig(disambiguation_distance=0.0)
+
+
+class TestSnippetsAndTexts:
+    def test_document_text_stored(self, engine, figure1_corpus):
+        assert engine.document_text("t_q") == figure1_corpus.get("t_q").text
+
+    def test_document_text_missing(self, engine):
+        with pytest.raises(DocumentNotIndexedError):
+            engine.document_text("nope")
+
+    def test_snippet_highlights_query_terms(self, engine):
+        snippet = engine.snippet("Taliban bombed a market", "t_r")
+        assert "**Taliban**" in snippet.text
+        assert snippet.score > 0
+
+    def test_snippet_after_persistence(self, engine, figure1_graph, tmp_path):
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+        fresh = NewsLinkEngine(figure1_graph)
+        fresh.load_index(path)
+        snippet = fresh.snippet("Taliban bombed a market", "t_r")
+        assert "**Taliban**" in snippet.text

@@ -1,0 +1,61 @@
+"""Tests for Equation 3 score fusion."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import FusionConfig
+from repro.search.fusion import fuse_scores
+
+
+class TestFusion:
+    def test_beta_zero_is_text_only(self):
+        fused = fuse_scores({"a": 2.0, "b": 1.0}, {"c": 9.0}, FusionConfig(beta=0.0))
+        assert "c" not in fused
+        assert fused["a"] > fused["b"]
+
+    def test_beta_one_is_bon_only(self):
+        fused = fuse_scores({"a": 9.0}, {"b": 2.0, "c": 1.0}, FusionConfig(beta=1.0))
+        assert "a" not in fused
+        assert fused["b"] > fused["c"]
+
+    def test_beta_zero_preserves_text_ranking(self):
+        bow = {"a": 5.0, "b": 3.0, "c": 1.0}
+        fused = fuse_scores(bow, {"b": 100.0}, FusionConfig(beta=0.0))
+        order = sorted(fused, key=fused.get, reverse=True)
+        assert order == ["a", "b", "c"]
+
+    def test_normalization_puts_channels_on_same_scale(self):
+        bow = {"a": 1000.0, "b": 500.0}
+        bon = {"b": 0.001, "a": 0.0005}
+        fused = fuse_scores(bow, bon, FusionConfig(beta=0.5, normalize=True))
+        # both channels max-normalize to 1.0, so a and b tie exactly:
+        # a: .5*1 + .5*.5 = .75 ; b: .5*.5 + .5*1 = .75
+        assert fused["a"] == pytest.approx(fused["b"])
+
+    def test_without_normalization_raw_scores_combine(self):
+        fused = fuse_scores(
+            {"a": 10.0}, {"a": 2.0}, FusionConfig(beta=0.5, normalize=False)
+        )
+        assert fused["a"] == pytest.approx(6.0)
+
+    def test_empty_channels(self):
+        assert fuse_scores({}, {}, FusionConfig(beta=0.5)) == {}
+        fused = fuse_scores({"a": 1.0}, {}, FusionConfig(beta=0.5))
+        assert fused["a"] == pytest.approx(0.5)
+
+    def test_doc_in_both_channels_accumulates(self):
+        fused = fuse_scores({"a": 1.0}, {"a": 1.0}, FusionConfig(beta=0.3))
+        assert fused["a"] == pytest.approx(1.0)
+
+    @given(
+        st.dictionaries(st.sampled_from("abcd"), st.floats(min_value=0, max_value=100), max_size=4),
+        st.dictionaries(st.sampled_from("abcd"), st.floats(min_value=0, max_value=100), max_size=4),
+        st.floats(min_value=0, max_value=1),
+    )
+    def test_fused_scores_bounded_when_normalized(self, bow, bon, beta):
+        fused = fuse_scores(bow, bon, FusionConfig(beta=beta, normalize=True))
+        for value in fused.values():
+            assert -1e-9 <= value <= 1.0 + 1e-9

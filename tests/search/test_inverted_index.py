@@ -1,0 +1,73 @@
+"""Tests for the inverted index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DocumentNotIndexedError
+from repro.search.inverted_index import InvertedIndex
+
+
+def build_index() -> InvertedIndex:
+    index = InvertedIndex()
+    index.add_document("d1", ["a", "b", "a"])
+    index.add_document("d2", ["b", "c"])
+    return index
+
+
+class TestIndexing:
+    def test_postings(self):
+        index = build_index()
+        assert index.postings("a") == {"d1": 2}
+        assert index.postings("b") == {"d1": 1, "d2": 1}
+        assert index.postings("zzz") == {}
+
+    def test_doc_frequency(self):
+        index = build_index()
+        assert index.doc_frequency("b") == 2
+        assert index.doc_frequency("zzz") == 0
+
+    def test_doc_length(self):
+        index = build_index()
+        assert index.doc_length("d1") == 3
+        assert index.doc_length("d2") == 2
+
+    def test_doc_length_missing(self):
+        with pytest.raises(DocumentNotIndexedError):
+            build_index().doc_length("zzz")
+
+    def test_stats(self):
+        index = build_index()
+        assert index.num_docs == 2
+        assert index.num_terms == 3
+        assert index.avg_doc_length == 2.5
+        assert "d1" in index
+
+    def test_empty_index(self):
+        index = InvertedIndex()
+        assert index.num_docs == 0
+        assert index.avg_doc_length == 0.0
+
+    def test_readd_replaces(self):
+        index = build_index()
+        index.add_document("d1", ["x"])
+        assert index.postings("a") == {}
+        assert index.doc_length("d1") == 1
+        assert index.num_docs == 2
+
+    def test_remove(self):
+        index = build_index()
+        index.remove_document("d1")
+        assert index.num_docs == 1
+        assert index.postings("a") == {}
+        assert "a" not in list(index.vocabulary())
+        with pytest.raises(DocumentNotIndexedError):
+            index.remove_document("d1")
+
+    def test_doc_ids(self):
+        assert build_index().doc_ids() == ["d1", "d2"]
+
+    def test_empty_document_indexable(self):
+        index = build_index()
+        index.add_document("empty", [])
+        assert index.doc_length("empty") == 0

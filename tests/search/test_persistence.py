@@ -1,0 +1,91 @@
+"""Tests for engine index persistence and document removal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.document import Corpus, NewsDocument
+from repro.errors import DataError, DocumentNotIndexedError
+from repro.search.engine import NewsLinkEngine
+
+
+@pytest.fixture()
+def corpus() -> Corpus:
+    return Corpus(
+        [
+            NewsDocument("t_q", "Pakistan fought Taliban in Upper Dir and Swat Valley."),
+            NewsDocument("t_r", "Taliban bombed Lahore. Peshawar and Pakistan reacted."),
+        ]
+    )
+
+
+class TestPersistence:
+    def test_round_trip_search_identical(self, figure1_graph, corpus, tmp_path):
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(corpus)
+        query = "Taliban unrest near Upper Dir"
+        before = engine.search(query, k=2)
+
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+
+        fresh = NewsLinkEngine(figure1_graph)
+        count = fresh.load_index(path)
+        assert count == 2
+        after = fresh.search(query, k=2)
+        assert [(r.doc_id, pytest.approx(r.score)) for r in after] == [
+            (r.doc_id, pytest.approx(r.score)) for r in before
+        ]
+
+    def test_embeddings_survive(self, figure1_graph, corpus, tmp_path):
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(corpus)
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+        fresh = NewsLinkEngine(figure1_graph)
+        fresh.load_index(path)
+        assert fresh.embedding("t_q").nodes == engine.embedding("t_q").nodes
+        # explanations work from the restored embeddings
+        assert fresh.explain_verbalized("Taliban in Upper Dir", "t_r")
+
+    def test_load_replaces_existing(self, figure1_graph, corpus, tmp_path):
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(corpus)
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+        other = NewsLinkEngine(figure1_graph)
+        other.index_corpus(
+            Corpus([NewsDocument("zzz", "Taliban and Pakistan met in Kunar.")])
+        )
+        other.load_index(path)
+        assert other.num_indexed == 2
+        assert not other.has_embedding("zzz")
+
+    def test_bad_file_rejected(self, figure1_graph, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else"}', encoding="utf-8")
+        with pytest.raises(DataError):
+            NewsLinkEngine(figure1_graph).load_index(path)
+
+
+class TestRemoveDocument:
+    def test_removed_doc_not_retrieved(self, figure1_graph, corpus):
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(corpus)
+        engine.remove_document("t_r")
+        assert engine.num_indexed == 1
+        results = engine.search("Taliban bombed Lahore", k=5)
+        assert all(r.doc_id != "t_r" for r in results)
+        with pytest.raises(DocumentNotIndexedError):
+            engine.embedding("t_r")
+
+    def test_remove_unknown_raises(self, figure1_graph):
+        with pytest.raises(DocumentNotIndexedError):
+            NewsLinkEngine(figure1_graph).remove_document("nope")
+
+    def test_reindex_after_remove(self, figure1_graph, corpus):
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(corpus)
+        engine.remove_document("t_q")
+        assert engine.index_document(corpus.get("t_q"))
+        assert engine.num_indexed == 2

@@ -1,0 +1,73 @@
+"""Tests for query-biased snippet generation."""
+
+from __future__ import annotations
+
+from repro.search.analyzer import Analyzer
+from repro.search.bm25 import Bm25Scorer
+from repro.search.inverted_index import InvertedIndex
+from repro.search.snippets import SnippetGenerator
+
+DOCUMENT = (
+    "The festival opened with music downtown. "
+    "Taliban militants attacked a checkpoint near Peshawar overnight. "
+    "Officials said casualties were still being counted. "
+    "Weather stayed mild through the weekend."
+)
+
+
+class TestSnippetGenerator:
+    def test_picks_matching_sentences(self):
+        generator = SnippetGenerator(highlight=None)
+        snippet = generator.generate(DOCUMENT, "Taliban attack near Peshawar")
+        assert "Taliban" in snippet.text
+        assert "festival" not in snippet.text
+        assert snippet.score > 0
+
+    def test_offsets_point_into_source(self):
+        generator = SnippetGenerator(highlight=None)
+        snippet = generator.generate(DOCUMENT, "checkpoint casualties")
+        assert DOCUMENT[snippet.start : snippet.end] == snippet.text
+
+    def test_highlighting(self):
+        generator = SnippetGenerator()
+        snippet = generator.generate(DOCUMENT, "Taliban checkpoint")
+        assert "**Taliban**" in snippet.text
+        assert "**checkpoint**" in snippet.text
+
+    def test_stemmed_match_highlighted(self):
+        generator = SnippetGenerator()
+        snippet = generator.generate(DOCUMENT, "attacking militant")
+        # "attacked"/"militants" share stems with the query terms
+        assert "**attacked**" in snippet.text or "**militants**" in snippet.text
+
+    def test_no_match_falls_back_to_first_window(self):
+        generator = SnippetGenerator(highlight=None)
+        snippet = generator.generate(DOCUMENT, "zzz qqq")
+        assert snippet.text.startswith("The festival")
+        assert snippet.score == 0.0
+
+    def test_empty_document(self):
+        snippet = SnippetGenerator().generate("", "anything")
+        assert snippet.text == ""
+
+    def test_window_size_one(self):
+        generator = SnippetGenerator(max_sentences=1, highlight=None)
+        snippet = generator.generate(DOCUMENT, "casualties")
+        assert snippet.text == "Officials said casualties were still being counted."
+
+    def test_idf_weighting_prefers_rare_terms(self):
+        index = InvertedIndex()
+        analyzer = Analyzer()
+        # "common" appears everywhere, "peshawar" once.
+        for i in range(10):
+            index.add_document(f"d{i}", analyzer.analyze("common words here"))
+        index.add_document("dx", analyzer.analyze(DOCUMENT))
+        generator = SnippetGenerator(
+            analyzer, Bm25Scorer(index), max_sentences=1, highlight=None
+        )
+        text = (
+            "Some common words occurred. "
+            "Peshawar saw the real event happen."
+        )
+        snippet = generator.generate(text, "common Peshawar")
+        assert "Peshawar" in snippet.text

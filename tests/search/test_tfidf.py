@@ -1,0 +1,67 @@
+"""Tests for TF-IDF cosine scoring."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.search.inverted_index import InvertedIndex
+from repro.search.tfidf import TfIdfScorer
+
+
+def build(docs: dict[str, list[str]]) -> TfIdfScorer:
+    index = InvertedIndex()
+    for doc_id, terms in docs.items():
+        index.add_document(doc_id, terms)
+    return TfIdfScorer(index)
+
+
+class TestTfIdf:
+    def test_exact_match_scores_near_one(self):
+        scorer = build({"d1": ["alpha", "beta"], "d2": ["gamma", "delta"]})
+        scores = scorer.score(["alpha", "beta"])
+        assert scores["d1"] == pytest.approx(1.0)
+
+    def test_cosine_bounded(self):
+        docs = {
+            "d1": ["a", "b", "c"],
+            "d2": ["a", "a", "b"],
+            "d3": ["x", "y"],
+        }
+        scorer = build(docs)
+        for scores in (scorer.score(["a"]), scorer.score(["a", "b", "x"])):
+            for value in scores.values():
+                assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_non_matching_doc_absent(self):
+        scorer = build({"d1": ["a"], "d2": ["b"]})
+        assert "d2" not in scorer.score(["a"])
+
+    def test_empty_query(self):
+        scorer = build({"d1": ["a"]})
+        assert scorer.score([]) == {}
+
+    def test_idf_downweights_common_terms(self):
+        docs = {f"d{i}": ["common"] for i in range(5)}
+        docs["d0"] = ["common", "rare"]
+        scorer = build(docs)
+        rare_score = scorer.score(["rare"])["d0"]
+        common_score = scorer.score(["common"])["d0"]
+        assert rare_score > common_score
+
+    def test_invalidate_recomputes_norms(self):
+        index = InvertedIndex()
+        index.add_document("d1", ["a"])
+        scorer = TfIdfScorer(index)
+        before = scorer.score(["a"])["d1"]
+        index.add_document("d2", ["a", "b"])
+        scorer.invalidate()
+        after = scorer.score(["a"])
+        assert "d2" in after
+        assert not math.isnan(before)
+
+    def test_symmetry_of_identical_docs(self):
+        scorer = build({"d1": ["a", "b"], "d2": ["a", "b"]})
+        scores = scorer.score(["a", "b"])
+        assert scores["d1"] == pytest.approx(scores["d2"])

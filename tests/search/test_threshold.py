@@ -1,0 +1,94 @@
+"""Tests for the Threshold Algorithm: must equal exhaustive fusion."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.threshold import threshold_topk, threshold_topk_with_stats
+from repro.search.topk import top_k
+
+
+def exhaustive(channels, k):
+    fused: dict[str, float] = {}
+    for scores, weight in channels:
+        for doc_id, score in scores.items():
+            fused[doc_id] = fused.get(doc_id, 0.0) + weight * score
+    return top_k(fused, k)
+
+
+class TestBasics:
+    def test_single_channel(self):
+        channels = [({"a": 3.0, "b": 1.0}, 1.0)]
+        assert threshold_topk(channels, 1) == [("a", 3.0)]
+
+    def test_two_channels_weighted(self):
+        channels = [({"a": 1.0, "b": 2.0}, 0.8), ({"a": 5.0}, 0.2)]
+        expected = exhaustive(channels, 2)
+        assert threshold_topk(channels, 2) == expected
+
+    def test_doc_only_in_one_channel(self):
+        channels = [({"a": 1.0}, 0.5), ({"b": 1.0}, 0.5)]
+        result = threshold_topk(channels, 2)
+        assert sorted(doc for doc, _ in result) == ["a", "b"]
+
+    def test_k_zero(self):
+        assert threshold_topk([({"a": 1.0}, 1.0)], 0) == []
+
+    def test_empty_channels(self):
+        assert threshold_topk([], 3) == []
+        assert threshold_topk([({}, 1.0)], 3) == []
+
+    def test_zero_weight_channel_ignored(self):
+        channels = [({"a": 1.0}, 1.0), ({"zzz": 100.0}, 0.0)]
+        assert threshold_topk(channels, 1) == [("a", 1.0)]
+
+    def test_tie_break_by_doc_id(self):
+        channels = [({"z": 1.0, "a": 1.0, "m": 1.0}, 1.0)]
+        assert threshold_topk(channels, 2) == [("a", 1.0), ("m", 1.0)]
+
+    def test_early_termination_happens(self):
+        # One dominant doc in both channels; k=1 should not scan everything.
+        bow = {"a0": 10.0, **{f"d{i:03d}": 0.01 for i in range(200)}}
+        bon = {"a0": 10.0, **{f"e{i:03d}": 0.01 for i in range(200)}}
+        ranked, accesses = threshold_topk_with_stats(
+            [(bow, 0.8), (bon, 0.2)], 1
+        )
+        assert ranked[0][0] == "a0"
+        assert accesses < 100  # far below the 402 total entries
+
+
+channel_strategy = st.dictionaries(
+    st.sampled_from([f"d{i}" for i in range(10)]),
+    st.floats(min_value=0, max_value=10, allow_nan=False),
+    max_size=10,
+)
+
+
+class TestEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        channel_strategy,
+        channel_strategy,
+        st.floats(min_value=0, max_value=1),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_matches_exhaustive_fusion(self, bow, bon, beta, k):
+        channels = [(bow, 1.0 - beta), (bon, beta)]
+        expected = exhaustive(
+            [(s, w) for s, w in channels if w > 0 and s], k
+        )
+        actual = threshold_topk(channels, k)
+        assert [doc for doc, _ in actual] == [doc for doc, _ in expected]
+        for (_, a), (_, b) in zip(actual, expected):
+            assert a == pytest.approx(b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(channel_strategy, channel_strategy, channel_strategy, st.integers(min_value=1, max_value=5))
+    def test_three_channels(self, a, b, c, k):
+        channels = [(a, 0.5), (b, 0.3), (c, 0.2)]
+        expected = exhaustive([(s, w) for s, w in channels if s], k)
+        assert threshold_topk(channels, k) == [
+            (doc, pytest.approx(score)) for doc, score in expected
+        ]

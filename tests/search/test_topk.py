@@ -1,0 +1,36 @@
+"""Tests for top-k selection."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.search.topk import top_k
+
+
+class TestTopK:
+    def test_basic_order(self):
+        scores = {"a": 1.0, "b": 3.0, "c": 2.0}
+        assert top_k(scores, 2) == [("b", 3.0), ("c", 2.0)]
+
+    def test_tie_break_by_doc_id(self):
+        scores = {"z": 1.0, "a": 1.0, "m": 1.0}
+        assert top_k(scores, 3) == [("a", 1.0), ("m", 1.0), ("z", 1.0)]
+
+    def test_k_larger_than_scores(self):
+        assert len(top_k({"a": 1.0}, 10)) == 1
+
+    def test_k_zero_or_negative(self):
+        assert top_k({"a": 1.0}, 0) == []
+        assert top_k({"a": 1.0}, -3) == []
+
+    def test_empty_scores(self):
+        assert top_k({}, 5) == []
+
+    @given(
+        st.dictionaries(st.text(min_size=1, max_size=4), st.floats(allow_nan=False, allow_infinity=False), max_size=30),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_matches_full_sort(self, scores, k):
+        expected = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+        assert top_k(scores, k) == expected

@@ -1,0 +1,96 @@
+"""Tests for MaxScore top-k pruning: must equal exhaustive BM25."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import Bm25Config
+from repro.search.bm25 import Bm25Scorer
+from repro.search.inverted_index import InvertedIndex
+from repro.search.topk import top_k
+from repro.search.wand import MaxScoreRanker
+
+
+def build(docs: dict[str, list[str]]) -> tuple[InvertedIndex, MaxScoreRanker]:
+    index = InvertedIndex()
+    for doc_id, terms in docs.items():
+        index.add_document(doc_id, terms)
+    return index, MaxScoreRanker(index)
+
+
+def exhaustive(index: InvertedIndex, query: list[str], k: int):
+    return top_k(Bm25Scorer(index).score(query), k)
+
+
+class TestBasics:
+    def test_simple_query(self):
+        index, ranker = build({"d1": ["a", "b"], "d2": ["a"], "d3": ["c"]})
+        assert ranker.top_k(["a", "b"], 2) == exhaustive(index, ["a", "b"], 2)
+
+    def test_empty_query(self):
+        _, ranker = build({"d1": ["a"]})
+        assert ranker.top_k([], 5) == []
+
+    def test_k_zero(self):
+        _, ranker = build({"d1": ["a"]})
+        assert ranker.top_k(["a"], 0) == []
+
+    def test_unknown_terms(self):
+        _, ranker = build({"d1": ["a"]})
+        assert ranker.top_k(["zzz"], 5) == []
+
+    def test_repeated_query_terms(self):
+        index, ranker = build({"d1": ["a", "b"], "d2": ["b", "b"]})
+        assert ranker.top_k(["b", "b", "a"], 2) == exhaustive(
+            index, ["b", "b", "a"], 2
+        )
+
+    def test_pruning_happens_on_skewed_corpus(self):
+        # The both-terms document is scored first (smallest doc id) and its
+        # score exceeds the common term's upper bound, so every later
+        # common-only document is provably outside the top-1 and skipped.
+        docs = {"a000": ["common", "rare", "rare"]}
+        docs.update({f"d{i:03d}": ["common"] for i in range(50)})
+        index, ranker = build(docs)
+        result = ranker.top_k(["rare", "common"], 1)
+        assert result == exhaustive(index, ["rare", "common"], 1)
+        assert ranker.pruned_docs > 0
+
+    def test_tie_break_matches_exhaustive(self):
+        docs = {"a": ["t"], "b": ["t"], "c": ["t"]}
+        index, ranker = build(docs)
+        assert ranker.top_k(["t"], 2) == exhaustive(index, ["t"], 2)
+
+
+corpus_strategy = st.dictionaries(
+    st.sampled_from([f"d{i}" for i in range(12)]),
+    st.lists(st.sampled_from("abcdef"), min_size=1, max_size=12),
+    min_size=1,
+)
+query_strategy = st.lists(st.sampled_from("abcdef"), min_size=1, max_size=5)
+
+
+class TestEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(corpus_strategy, query_strategy, st.integers(min_value=1, max_value=6))
+    def test_matches_exhaustive(self, docs, query, k):
+        index, ranker = build(docs)
+        expected = exhaustive(index, query, k)
+        actual = ranker.top_k(query, k)
+        assert [doc for doc, _ in actual] == [doc for doc, _ in expected]
+        for (_, a), (_, b) in zip(actual, expected):
+            assert a == pytest.approx(b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(corpus_strategy, query_strategy)
+    def test_different_bm25_config(self, docs, query):
+        index = InvertedIndex()
+        for doc_id, terms in docs.items():
+            index.add_document(doc_id, terms)
+        config = Bm25Config(k1=0.9, b=0.4)
+        ranker = MaxScoreRanker(index, config)
+        expected = top_k(Bm25Scorer(index, config).score(query), 3)
+        actual = ranker.top_k(query, 3)
+        assert [doc for doc, _ in actual] == [doc for doc, _ in expected]

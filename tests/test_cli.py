@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def generated_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("dataset")
+    code = main(["generate", str(directory), "--dataset", "cnn", "--scale", "0.1"])
+    assert code == 0
+    return directory
+
+
+@pytest.fixture(scope="module")
+def indexed_dir(generated_dir):
+    assert main(["index", str(generated_dir)]) == 0
+    return generated_dir
+
+
+class TestGenerate:
+    def test_files_written(self, generated_dir):
+        assert (generated_dir / "kg.json").exists()
+        assert (generated_dir / "corpus.jsonl").exists()
+
+    def test_kaggle_variant(self, tmp_path):
+        code = main(
+            ["generate", str(tmp_path), "--dataset", "kaggle", "--scale", "0.1"]
+        )
+        assert code == 0
+
+
+class TestIndex:
+    def test_index_written(self, indexed_dir):
+        assert (indexed_dir / "index.json").exists()
+
+    def test_tree_variant(self, tmp_path):
+        main(["generate", str(tmp_path), "--scale", "0.1"])
+        assert main(["index", str(tmp_path), "--tree"]) == 0
+
+
+class TestSearch:
+    def test_search_finds_results(self, indexed_dir, capsys):
+        from repro.data.loaders import load_corpus_jsonl
+
+        corpus = load_corpus_jsonl(indexed_dir / "corpus.jsonl")
+        query = next(doc for doc in corpus if doc.topic_id).text.split(". ")[0]
+        code = main(["search", str(indexed_dir), query, "-k", "3"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "score=" in output
+
+    def test_search_with_explanation(self, indexed_dir, capsys):
+        from repro.data.loaders import load_corpus_jsonl
+
+        corpus = load_corpus_jsonl(indexed_dir / "corpus.jsonl")
+        query = next(doc for doc in corpus if doc.topic_id).text.split(". ")[0]
+        code = main(["search", str(indexed_dir), query, "--explain"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "why the top result is related" in output
+
+    def test_search_without_index_exits(self, tmp_path):
+        main(["generate", str(tmp_path), "--scale", "0.1"])
+        with pytest.raises(SystemExit):
+            main(["search", str(tmp_path), "anything"])
+
+    def test_no_results_returns_one(self, indexed_dir, capsys):
+        code = main(["search", str(indexed_dir), "zzz qqq xyzzy", "-k", "3"])
+        assert code == 1
+        assert "no results" in capsys.readouterr().out
+
+
+class TestEvaluate:
+    def test_evaluate_prints_hits(self, generated_dir, capsys):
+        code = main(["evaluate", str(generated_dir), "-k", "5"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "Lucene (beta=0)" in output
+        assert "NewsLink (beta=0.2)" in output
+        assert "corpus diagnostics" in output
+        assert "entity matching ratio" in output
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestServe:
+    def test_serve_without_index_exits(self, tmp_path):
+        main(["generate", str(tmp_path), "--scale", "0.1"])
+        with pytest.raises(SystemExit):
+            main(["serve", str(tmp_path)])
+
+    def test_serve_starts_and_answers(self, indexed_dir, monkeypatch):
+        """Swap the blocking serve() for a one-shot request round trip."""
+        import json as _json
+        import threading
+        import urllib.request
+
+        def fake_serve(engine, host="127.0.0.1", port=8080):
+            from repro.server import make_server
+
+            server = make_server(engine, host=host, port=0)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            bound_port = server.server_address[1]
+            with urllib.request.urlopen(
+                f"http://{host}:{bound_port}/health", timeout=5
+            ) as response:
+                payload = _json.loads(response.read())
+            server.shutdown()
+            assert payload["status"] == "ok"
+            assert payload["indexed"] > 0
+
+        monkeypatch.setattr("repro.server.serve", fake_serve)
+        assert main(["serve", str(indexed_dir)]) == 0

@@ -1,0 +1,89 @@
+"""Tests for configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    Bm25Config,
+    Doc2VecConfig,
+    EngineConfig,
+    EvalConfig,
+    FastTextConfig,
+    FusionConfig,
+    LcagConfig,
+    LdaConfig,
+    NerConfig,
+    NewsConfig,
+    QeprfConfig,
+    SbertConfig,
+    TreeEmbConfig,
+    WorldConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: LcagConfig(max_pops=0),
+            lambda: LcagConfig(max_depth=-1.0),
+            lambda: TreeEmbConfig(max_pops=-5),
+            lambda: NerConfig(max_gram=0),
+            lambda: NerConfig(allowed_types=()),
+            lambda: Bm25Config(k1=-1),
+            lambda: Bm25Config(b=2.0),
+            lambda: FusionConfig(beta=1.5),
+            lambda: FusionConfig(candidate_pool=0),
+            lambda: Doc2VecConfig(dim=0),
+            lambda: Doc2VecConfig(negative=0),
+            lambda: SbertConfig(dim=-1),
+            lambda: SbertConfig(sif_a=0),
+            lambda: LdaConfig(num_topics=1),
+            lambda: LdaConfig(alpha=0),
+            lambda: QeprfConfig(prf_docs=0),
+            lambda: FastTextConfig(max_ngram=2, min_ngram=3),
+            lambda: FastTextConfig(bucket=0),
+            lambda: WorldConfig(num_countries=0),
+            lambda: WorldConfig(alias_probability=2.0),
+            lambda: NewsConfig(num_documents=0),
+            lambda: NewsConfig(sentences_per_doc=(5, 2)),
+            lambda: NewsConfig(entity_dropout=1.0),
+            lambda: EvalConfig(top_ks_sim=()),
+            lambda: EvalConfig(test_fraction=0.0),
+        ],
+    )
+    def test_invalid_configs_rejected(self, factory):
+        with pytest.raises(ConfigError):
+            factory()
+
+    def test_defaults_valid(self):
+        # Every config's defaults must construct.
+        for cls in (
+            LcagConfig,
+            TreeEmbConfig,
+            NerConfig,
+            Bm25Config,
+            FusionConfig,
+            EngineConfig,
+            Doc2VecConfig,
+            SbertConfig,
+            LdaConfig,
+            QeprfConfig,
+            FastTextConfig,
+            WorldConfig,
+            NewsConfig,
+            EvalConfig,
+        ):
+            cls()
+
+    def test_frozen(self):
+        config = Bm25Config()
+        with pytest.raises(Exception):
+            config.k1 = 5.0  # type: ignore[misc]
+
+    def test_engine_config_composition(self):
+        config = EngineConfig(fusion=FusionConfig(beta=0.7))
+        assert config.fusion.beta == 0.7
+        assert config.lcag.max_pops > 0

@@ -1,0 +1,48 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.GraphError("x"),
+            errors.NodeNotFoundError("n1"),
+            errors.LabelNotFoundError("taliban"),
+            errors.EmbeddingError("x"),
+            errors.NoCommonAncestorError(("a", "b")),
+            errors.SearchTimeoutError("x", pops=3),
+            errors.DocumentNotIndexedError("d1"),
+            errors.ModelNotTrainedError("x"),
+            errors.ConfigError("x"),
+            errors.DataError("x"),
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert isinstance(exc, errors.ReproError)
+
+    def test_node_not_found_payload(self):
+        exc = errors.NodeNotFoundError("q42")
+        assert exc.node_id == "q42"
+        assert "q42" in str(exc)
+
+    def test_label_not_found_payload(self):
+        exc = errors.LabelNotFoundError("x")
+        assert exc.label == "x"
+
+    def test_timeout_payload(self):
+        exc = errors.SearchTimeoutError("budget", pops=17)
+        assert exc.pops == 17
+
+    def test_no_common_ancestor_payload(self):
+        exc = errors.NoCommonAncestorError(("a", "b"))
+        assert exc.labels == ("a", "b")
+
+    def test_catching_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DataError("bad input")

@@ -1,0 +1,81 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        cwd=EXAMPLES_DIR,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "indexed" in result.stdout
+        assert "score=" in result.stdout
+
+    def test_vocabulary_mismatch(self):
+        result = run_example("vocabulary_mismatch.py")
+        assert result.returncode == 0, result.stderr
+        assert "no results" in result.stdout  # text-only channel fails
+        assert "t_r" in result.stdout  # the KG channel succeeds
+        assert "Khyber" in result.stdout
+
+    def test_explainable_search(self):
+        result = run_example("explainable_search.py")
+        assert result.returncode == 0, result.stderr
+        assert "relationship paths" in result.stdout
+
+    def test_corpus_pipeline(self):
+        result = run_example("corpus_pipeline.py", "0.15")
+        assert result.returncode == 0, result.stderr
+        assert "NewsLink(0.2)" in result.stdout
+        assert "Lucene" in result.stdout
+
+    def test_wikidata_import(self):
+        result = run_example("wikidata_import.py")
+        assert result.returncode == 0, result.stderr
+        assert "imported 5 entities" in result.stdout
+
+    def test_visualize_overlap(self, tmp_path):
+        result = run_example("visualize_overlap.py", str(tmp_path))
+        assert result.returncode == 0, result.stderr
+        assert (tmp_path / "overlap.dot").exists()
+        dot = (tmp_path / "overlap.dot").read_text(encoding="utf-8")
+        assert dot.startswith("digraph")
+
+    def test_every_example_is_covered(self):
+        """A new example file must get a smoke test."""
+        covered = {
+            "quickstart.py",
+            "vocabulary_mismatch.py",
+            "explainable_search.py",
+            "corpus_pipeline.py",
+            "wikidata_import.py",
+            "visualize_overlap.py",
+        }
+        shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert shipped == covered
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart.py", "vocabulary_mismatch.py", "corpus_pipeline.py"],
+)
+def test_examples_have_module_docstring(name: str):
+    text = (EXAMPLES_DIR / name).read_text(encoding="utf-8")
+    assert text.lstrip().startswith('"""')

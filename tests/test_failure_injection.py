@@ -1,0 +1,148 @@
+"""Failure-injection tests: the stack must degrade gracefully, not crash."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import EngineConfig, LcagConfig
+from repro.data.document import Corpus, NewsDocument
+from repro.errors import DataError
+from repro.search.engine import NewsLinkEngine
+
+
+class TestEngineEdgeCases:
+    def test_search_on_empty_engine(self, figure1_graph):
+        engine = NewsLinkEngine(figure1_graph)
+        assert engine.search("Taliban in Pakistan", k=5) == []
+
+    def test_empty_query(self, figure1_graph):
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(Corpus([NewsDocument("d", "Taliban in Pakistan.")]))
+        assert engine.search("", k=5) == []
+
+    def test_whitespace_and_punctuation_query(self, figure1_graph):
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(Corpus([NewsDocument("d", "Taliban in Pakistan.")]))
+        assert engine.search("   ?!.,  ", k=5) == []
+
+    def test_very_long_query(self, figure1_graph):
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(Corpus([NewsDocument("d", "Taliban in Pakistan.")]))
+        query = ("Taliban and Pakistan clashed. " * 500).strip()
+        results = engine.search(query, k=3)
+        assert results and results[0].doc_id == "d"
+
+    def test_unicode_noise_query(self, figure1_graph):
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(Corpus([NewsDocument("d", "Taliban in Pakistan.")]))
+        results = engine.search("Тaliban 🇵🇰 Pąkistan ‮", k=3)
+        # Must not crash; results may legitimately be empty.
+        assert isinstance(results, list)
+
+    def test_tiny_pop_budget_still_indexes_something(self, figure1_graph):
+        config = EngineConfig(lcag=LcagConfig(max_pops=2))
+        engine = NewsLinkEngine(figure1_graph, config)
+        corpus = Corpus(
+            [
+                NewsDocument("one", "Taliban statement released."),
+                NewsDocument(
+                    "hard",
+                    "Taliban and Lahore and Kunar and Swat Valley were named.",
+                ),
+            ]
+        )
+        skipped = engine.index_corpus(corpus)
+        # single-entity doc embeds in <=2 pops; multi-entity one may not
+        assert "one" not in skipped
+
+    def test_zero_k(self, figure1_graph):
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(Corpus([NewsDocument("d", "Taliban in Pakistan.")]))
+        assert engine.search("Taliban", k=0) == []
+
+
+class TestCorruptedPersistence:
+    def test_truncated_index_file(self, figure1_graph, tmp_path):
+        path = tmp_path / "index.json"
+        path.write_text('{"format": "newslink-index", "ver', encoding="utf-8")
+        with pytest.raises(json.JSONDecodeError):
+            NewsLinkEngine(figure1_graph).load_index(path)
+
+    def test_wrong_format_marker(self, figure1_graph, tmp_path):
+        path = tmp_path / "index.json"
+        path.write_text(json.dumps({"format": "parquet"}), encoding="utf-8")
+        with pytest.raises(DataError):
+            NewsLinkEngine(figure1_graph).load_index(path)
+
+    def test_corrupt_embedding_record(self, figure1_graph, tmp_path):
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(Corpus([NewsDocument("d", "Taliban in Pakistan.")]))
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        del payload["embeddings"][0]["node_counts"]
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(DataError):
+            NewsLinkEngine(figure1_graph).load_index(path)
+
+
+class TestMismatchedGraph:
+    def test_index_loaded_against_different_graph(self, figure1_graph, tmp_path):
+        """Loading an index with a different KG: searches still run, and
+        explanations fail softly (no paths) rather than crashing."""
+        from tests.conftest import build_figure1_graph
+
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(
+            Corpus([NewsDocument("d", "Taliban bombed Lahore in Pakistan.")])
+        )
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+
+        other_graph = build_figure1_graph()  # same ids here, fresh object
+        fresh = NewsLinkEngine(other_graph)
+        fresh.load_index(path)
+        assert fresh.search("Taliban Lahore", k=1)
+
+    def test_engine_segment_window_plumbs_through(self, figure1_graph):
+        engine = NewsLinkEngine(figure1_graph, EngineConfig(segment_window=2))
+        assert engine.pipeline.segment_window == 2
+
+
+class TestCombinedEngineConfig:
+    def test_all_extensions_together(self, figure1_graph):
+        """Cache + disambiguation + window + tree settings must compose."""
+        config = EngineConfig(
+            disambiguate=True,
+            cache_embeddings=True,
+            segment_window=2,
+        )
+        engine = NewsLinkEngine(figure1_graph, config)
+        corpus = Corpus(
+            [
+                NewsDocument(
+                    "t_q",
+                    "Pakistan fought Taliban in Upper Dir. "
+                    "Clashes hit Swat Valley.",
+                ),
+                NewsDocument("t_r", "Taliban bombed Lahore. Peshawar reacted."),
+            ]
+        )
+        assert engine.index_corpus(corpus) == []
+        results = engine.search("Taliban unrest in Pakistan", k=2)
+        assert {r.doc_id for r in results} == {"t_q", "t_r"}
+        assert engine.explain_verbalized("Taliban unrest in Pakistan", results[0].doc_id)
+
+    def test_combined_config_persistence_round_trip(self, figure1_graph, tmp_path):
+        config = EngineConfig(cache_embeddings=True, segment_window=2)
+        engine = NewsLinkEngine(figure1_graph, config)
+        engine.index_corpus(
+            Corpus([NewsDocument("d", "Taliban bombed Lahore in Pakistan.")])
+        )
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+        fresh = NewsLinkEngine(figure1_graph, config)
+        assert fresh.load_index(path) == 1
+        assert fresh.search("Taliban Lahore", k=1)

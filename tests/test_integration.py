@@ -1,0 +1,120 @@
+"""End-to-end integration tests across the whole stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineConfig, FastTextConfig, FusionConfig
+from repro.eval.queries import build_query_cases
+from repro.search.engine import NewsLinkEngine
+
+
+@pytest.fixture(scope="module")
+def indexed_engine(tiny_dataset) -> NewsLinkEngine:
+    engine = NewsLinkEngine(tiny_dataset.world.graph)
+    engine.index_corpus(tiny_dataset.split.full)
+    return engine
+
+
+class TestFullStack:
+    def test_most_documents_embeddable(self, tiny_dataset, indexed_engine):
+        """The paper keeps >90% of documents; the generator should too."""
+        ratio = indexed_engine.num_indexed / len(tiny_dataset.split.full)
+        assert ratio > 0.85
+
+    def test_verbatim_sentence_recovers_document(
+        self, tiny_dataset, indexed_engine
+    ):
+        cases = build_query_cases(
+            tiny_dataset.split.test, indexed_engine.pipeline, "density"
+        )
+        hits = 0
+        evaluated = 0
+        for case in cases:
+            if not indexed_engine.has_embedding(case.query_doc_id):
+                continue
+            evaluated += 1
+            results = indexed_engine.search(case.query_text, k=5)
+            if any(r.doc_id == case.query_doc_id for r in results):
+                hits += 1
+        assert evaluated > 0
+        assert hits / evaluated >= 0.6
+
+    def test_same_topic_retrieval_dominates(self, tiny_dataset, indexed_engine):
+        """Top results should mostly share the query's planted topic."""
+        corpus = tiny_dataset.split.full
+        on_topic = 0
+        total = 0
+        for document in list(tiny_dataset.split.test):
+            if not document.topic_id:
+                continue
+            results = indexed_engine.search(document.text, k=3)
+            for result in results:
+                total += 1
+                if corpus.get(result.doc_id).topic_id == document.topic_id:
+                    on_topic += 1
+        assert total > 0
+        assert on_topic / total > 0.5
+
+    def test_explanations_for_top_results(self, tiny_dataset, indexed_engine):
+        """NewsLink's distinguishing feature: most on-topic results come
+        with at least one relationship path."""
+        explained = 0
+        evaluated = 0
+        for document in list(tiny_dataset.split.test)[:5]:
+            results = indexed_engine.search(document.text, k=1)
+            if not results:
+                continue
+            evaluated += 1
+            paths = indexed_engine.explain(document.text, results[0].doc_id)
+            if paths:
+                explained += 1
+        assert evaluated > 0
+        assert explained / evaluated >= 0.6
+
+    def test_beta_sweep_changes_rankings(self, tiny_dataset, indexed_engine):
+        query_doc = list(tiny_dataset.split.test)[0]
+        rankings = {}
+        for beta in (0.0, 0.5, 1.0):
+            results = indexed_engine.search(query_doc.text, k=10, beta=beta)
+            rankings[beta] = [r.doc_id for r in results]
+        assert rankings[0.0] != rankings[1.0]
+
+    def test_tree_engine_end_to_end(self, tiny_dataset):
+        engine = NewsLinkEngine(
+            tiny_dataset.world.graph, EngineConfig(use_tree_embedder=True)
+        )
+        engine.index_corpus(tiny_dataset.split.full)
+        document = list(tiny_dataset.split.test)[0]
+        assert engine.search(document.text, k=3)
+
+
+class TestHarnessEndToEnd:
+    def test_mini_table_iv(self, tiny_dataset):
+        """A miniature Table IV: every competitor runs end to end."""
+        from repro.config import Doc2VecConfig, EvalConfig, LdaConfig
+        from repro.eval.harness import EvaluationHarness
+
+        harness = EvaluationHarness(
+            tiny_dataset,
+            eval_config=EvalConfig(top_ks_sim=(5,), top_ks_hit=(1, 5)),
+            fasttext_config=FastTextConfig(dim=16, epochs=2, bucket=4000),
+        )
+        engine = NewsLinkEngine(
+            tiny_dataset.world.graph,
+            EngineConfig(fusion=FusionConfig(beta=0.2)),
+        )
+        competitors = harness.build_competitors(
+            engine,
+            doc2vec=Doc2VecConfig(dim=8, epochs=2, infer_epochs=3),
+            lda=LdaConfig(num_topics=4, iterations=5, infer_iterations=3),
+        )
+        rows = harness.run_table(competitors, engine.pipeline)
+        assert len(rows) == 6
+        for row in rows:
+            for scores in row.by_mode.values():
+                for metric, value in scores.metrics.items():
+                    if metric.startswith("HIT"):
+                        assert 0.0 <= value <= 1.0
+                    else:
+                        assert -1.0 <= value <= 1.0

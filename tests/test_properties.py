@@ -1,0 +1,171 @@
+"""Cross-module property and determinism tests.
+
+These tie the whole stack together: end-to-end determinism given seeds,
+ranking invariances of Equation 3, and consistency between the engine's
+channels and the standalone substrates.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import EngineConfig, FusionConfig
+from repro.data.document import Corpus, NewsDocument
+from repro.search.engine import NewsLinkEngine
+
+
+@pytest.fixture(scope="module")
+def engine(figure1_graph) -> NewsLinkEngine:
+    corpus = Corpus(
+        [
+            NewsDocument("t_q", "Pakistan fought Taliban in Upper Dir and Swat Valley."),
+            NewsDocument("t_r", "Taliban bombed Lahore. Peshawar and Pakistan reacted."),
+            NewsDocument("t_s", "Kunar saw Taliban movement near Waziristan."),
+        ]
+    )
+    engine = NewsLinkEngine(figure1_graph)
+    engine.index_corpus(corpus)
+    return engine
+
+
+QUERIES = [
+    "Taliban in Pakistan",
+    "Unrest around Upper Dir and Swat Valley",
+    "Peshawar attack aftermath",
+    "Kunar and Waziristan operations",
+]
+
+
+class TestEngineDeterminism:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_repeated_searches_identical(self, engine, query):
+        first = engine.search(query, k=3)
+        second = engine.search(query, k=3)
+        assert first == second
+
+    def test_fresh_engine_same_results(self, figure1_graph, engine):
+        corpus = Corpus(
+            [
+                NewsDocument("t_q", "Pakistan fought Taliban in Upper Dir and Swat Valley."),
+                NewsDocument("t_r", "Taliban bombed Lahore. Peshawar and Pakistan reacted."),
+                NewsDocument("t_s", "Kunar saw Taliban movement near Waziristan."),
+            ]
+        )
+        fresh = NewsLinkEngine(figure1_graph)
+        fresh.index_corpus(corpus)
+        for query in QUERIES:
+            assert fresh.search(query, k=3) == engine.search(query, k=3)
+
+
+class TestFusionInvariances:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_beta_zero_equals_lucene_order(self, engine, query):
+        """beta=0 must reproduce the text-only ranking exactly."""
+        fused = engine.search(query, k=3, beta=0.0)
+        assert all(r.bon_score == 0.0 for r in fused)
+        # scores are (1-0)*bow = bow
+        for result in fused:
+            assert result.score == pytest.approx(result.bow_score)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    def test_prefix_consistency(self, beta):
+        """top-1 of k=1 equals the head of k=3 for any beta."""
+        engine = self._engine()
+        for query in QUERIES:
+            head = engine.search(query, k=1, beta=beta)
+            full = engine.search(query, k=3, beta=beta)
+            if full:
+                assert head[0].doc_id == full[0].doc_id
+
+    _cached = None
+
+    @classmethod
+    def _engine(cls):
+        if cls._cached is None:
+            from tests.conftest import build_figure1_graph
+
+            corpus = Corpus(
+                [
+                    NewsDocument(
+                        "t_q", "Pakistan fought Taliban in Upper Dir and Swat Valley."
+                    ),
+                    NewsDocument(
+                        "t_r", "Taliban bombed Lahore. Peshawar and Pakistan reacted."
+                    ),
+                    NewsDocument("t_s", "Kunar saw Taliban movement near Waziristan."),
+                ]
+            )
+            cls._cached = NewsLinkEngine(build_figure1_graph())
+            cls._cached.index_corpus(corpus)
+        return cls._cached
+
+
+class TestChannelConsistency:
+    def test_bow_channel_matches_lucene_baseline(self, engine):
+        """Engine's text channel == the standalone Lucene retriever."""
+        from repro.baselines.lucene import LuceneRetriever
+
+        corpus = Corpus(
+            [
+                NewsDocument("t_q", "Pakistan fought Taliban in Upper Dir and Swat Valley."),
+                NewsDocument("t_r", "Taliban bombed Lahore. Peshawar and Pakistan reacted."),
+                NewsDocument("t_s", "Kunar saw Taliban movement near Waziristan."),
+            ]
+        )
+        lucene = LuceneRetriever()
+        lucene.index_corpus(corpus)
+        for query in QUERIES:
+            engine_rank = [
+                (r.doc_id, pytest.approx(r.bow_score))
+                for r in engine.search(query, k=3, beta=0.0)
+            ]
+            lucene_rank = lucene.search(query, k=3)
+            assert [d for d, _ in engine_rank] == [d for d, _ in lucene_rank]
+
+    def test_fused_equals_threshold_algorithm(self, engine):
+        """Engine raw fusion == Fagin TA over the same channels."""
+        from repro.search.bon import bon_terms
+        from repro.search.threshold import threshold_topk
+
+        beta = 0.3
+        for query in QUERIES:
+            _, query_embedding = engine.process_query(query)
+            bow = engine._text_scorer.score(  # noqa: SLF001
+                engine._analyzer.analyze(query)  # noqa: SLF001
+            )
+            bon = (
+                engine._node_scorer.score(bon_terms(query_embedding))  # noqa: SLF001
+                if not query_embedding.is_empty
+                else {}
+            )
+            expected = threshold_topk([(bow, 1 - beta), (bon, beta)], 3)
+            actual = [
+                (r.doc_id, pytest.approx(r.score))
+                for r in engine.search(query, k=3, beta=beta)
+            ]
+            assert [d for d, _ in actual] == [d for d, _ in expected]
+
+
+class TestEngineConfigIndependence:
+    def test_tree_and_lcag_engines_share_text_channel(self, figure1_graph):
+        corpus = Corpus(
+            [NewsDocument("d1", "Taliban bombed Lahore. Pakistan reacted.")]
+        )
+        lcag = NewsLinkEngine(figure1_graph, EngineConfig())
+        tree = NewsLinkEngine(figure1_graph, EngineConfig(use_tree_embedder=True))
+        lcag.index_corpus(corpus)
+        tree.index_corpus(corpus)
+        query = "Lahore bombing"
+        lcag_text = lcag.search(query, k=1, beta=0.0)
+        tree_text = tree.search(query, k=1, beta=0.0)
+        assert lcag_text[0].bow_score == pytest.approx(tree_text[0].bow_score)
+
+    def test_fusion_beta_endpoint_consistency(self, engine):
+        """beta=1 results use only bon; fused score equals beta*bon."""
+        for query in QUERIES:
+            for result in engine.search(query, k=3, beta=1.0):
+                assert result.bow_score == 0.0
+                assert result.score == pytest.approx(result.bon_score)

@@ -1,0 +1,114 @@
+"""Tests for the HTTP API server."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.data.document import Corpus, NewsDocument
+from repro.search.engine import NewsLinkEngine
+from repro.server import make_server
+
+
+@pytest.fixture(scope="module")
+def server_url(figure1_graph):
+    engine = NewsLinkEngine(figure1_graph)
+    engine.index_corpus(
+        Corpus(
+            [
+                NewsDocument(
+                    "t_q", "Pakistan fought Taliban in Upper Dir and Swat Valley."
+                ),
+                NewsDocument(
+                    "t_r", "Taliban bombed Lahore. Peshawar and Pakistan reacted."
+                ),
+            ]
+        )
+    )
+    server = make_server(engine, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+
+
+def get_json(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestHealth:
+    def test_health(self, server_url):
+        status, body = get_json(f"{server_url}/health")
+        assert status == 200
+        assert body == {"status": "ok", "indexed": 2}
+
+
+class TestSearch:
+    def test_basic_search(self, server_url):
+        status, body = get_json(f"{server_url}/search?q=Taliban+in+Pakistan&k=2")
+        assert status == 200
+        assert body["query"] == "Taliban in Pakistan"
+        assert len(body["results"]) == 2
+        top = body["results"][0]
+        assert set(top) == {"rank", "doc_id", "score", "bow_score", "bon_score", "snippet"}
+        assert "**Taliban**" in top["snippet"]
+
+    def test_beta_parameter(self, server_url):
+        status, body = get_json(
+            f"{server_url}/search?q=Upper+Dir+unrest&k=2&beta=1.0"
+        )
+        assert status == 200
+        assert all(r["bow_score"] == 0.0 for r in body["results"])
+
+    def test_missing_query(self, server_url):
+        status, body = get_json(f"{server_url}/search")
+        assert status == 400
+        assert "q" in body["error"]
+
+    def test_bad_k(self, server_url):
+        status, _ = get_json(f"{server_url}/search?q=x&k=notanumber")
+        assert status == 400
+
+
+class TestExplain:
+    def test_explanation(self, server_url):
+        status, body = get_json(
+            f"{server_url}/explain?q=Pakistan+fought+Taliban+in+Upper+Dir&doc=t_r"
+        )
+        assert status == 200
+        assert "Taliban" in body["shared_entities"]
+        assert 0.0 <= body["novelty"] <= 1.0
+
+    def test_unknown_doc(self, server_url):
+        status, _ = get_json(f"{server_url}/explain?q=Taliban&doc=zzz")
+        assert status == 404
+
+    def test_missing_params(self, server_url):
+        status, _ = get_json(f"{server_url}/explain?q=Taliban")
+        assert status == 400
+
+
+class TestDocument:
+    def test_fetch_text(self, server_url):
+        status, body = get_json(f"{server_url}/document?id=t_q")
+        assert status == 200
+        assert body["text"].startswith("Pakistan fought")
+
+    def test_unknown_id(self, server_url):
+        status, _ = get_json(f"{server_url}/document?id=zzz")
+        assert status == 404
+
+
+class TestRouting:
+    def test_unknown_path(self, server_url):
+        status, _ = get_json(f"{server_url}/nope")
+        assert status == 404

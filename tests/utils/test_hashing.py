@@ -1,0 +1,40 @@
+"""Tests for repro.utils.hashing."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.hashing import hash_to_unit_interval, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("taliban") == stable_hash("taliban")
+
+    def test_salt_changes_hash(self):
+        assert stable_hash("x", salt=0) != stable_hash("x", salt=1)
+
+    def test_known_range(self):
+        assert 0 <= stable_hash("anything") < 2**64
+
+    @given(st.text(max_size=50))
+    def test_always_in_64_bit_range(self, text: str):
+        assert 0 <= stable_hash(text) < 2**64
+
+    @given(st.text(max_size=30), st.text(max_size=30))
+    def test_distinct_inputs_rarely_collide(self, a: str, b: str):
+        # Not a strict guarantee, but blake2b collisions on short inputs
+        # would indicate an implementation bug.
+        if a != b:
+            assert stable_hash(a) != stable_hash(b)
+
+
+class TestHashToUnitInterval:
+    @given(st.text(max_size=50), st.integers(min_value=0, max_value=10))
+    def test_in_unit_interval(self, text: str, salt: int):
+        value = hash_to_unit_interval(text, salt)
+        assert 0.0 <= value < 1.0
+
+    def test_deterministic(self):
+        assert hash_to_unit_interval("a") == hash_to_unit_interval("a")

@@ -1,0 +1,43 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_defaults_to_seed_zero(self):
+        a = ensure_rng(None).integers(0, 1000, size=5)
+        b = ensure_rng(0).integers(0, 1000, size=5)
+        assert (a == b).all()
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(123).random(4)
+        b = ensure_rng(123).random(4)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(8)
+        b = ensure_rng(2).random(8)
+        assert not (a == b).all()
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(7)
+        assert ensure_rng(generator) is generator
+
+
+class TestSpawnRngs:
+    def test_spawn_count(self):
+        children = spawn_rngs(0, 4)
+        assert len(children) == 4
+
+    def test_children_are_independent_but_deterministic(self):
+        first = [g.random() for g in spawn_rngs(9, 3)]
+        second = [g.random() for g in spawn_rngs(9, 3)]
+        assert first == second
+        assert len(set(first)) == 3
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(0, 0) == []

@@ -1,0 +1,55 @@
+"""Tests for repro.utils.timing."""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.timing import Stopwatch, TimingBreakdown
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as stopwatch:
+            time.sleep(0.01)
+        assert stopwatch.elapsed >= 0.009
+
+    def test_elapsed_zero_before_use(self):
+        assert Stopwatch().elapsed == 0.0
+
+
+class TestTimingBreakdown:
+    def test_add_and_average(self):
+        breakdown = TimingBreakdown()
+        breakdown.add("nlp", 1.0)
+        breakdown.add("nlp", 3.0)
+        assert breakdown.average("nlp") == 2.0
+        assert breakdown.total("nlp") == 4.0
+
+    def test_unknown_component_is_zero(self):
+        breakdown = TimingBreakdown()
+        assert breakdown.average("missing") == 0.0
+        assert breakdown.total("missing") == 0.0
+
+    def test_measure_context(self):
+        breakdown = TimingBreakdown()
+        with breakdown.measure("ne"):
+            time.sleep(0.005)
+        assert breakdown.total("ne") >= 0.004
+        assert breakdown.counts["ne"] == 1
+
+    def test_components_order(self):
+        breakdown = TimingBreakdown()
+        breakdown.add("b", 1.0)
+        breakdown.add("a", 1.0)
+        assert breakdown.components() == ["b", "a"]
+
+    def test_merge(self):
+        left = TimingBreakdown()
+        left.add("nlp", 1.0)
+        right = TimingBreakdown()
+        right.add("nlp", 2.0)
+        right.add("ns", 5.0)
+        left.merge(right)
+        assert left.total("nlp") == 3.0
+        assert left.counts["nlp"] == 2
+        assert left.total("ns") == 5.0

@@ -1,0 +1,74 @@
+"""Tests for DOT export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.document_embedding import union_embedding
+from repro.core.lcag import find_lcag
+from repro.viz.dot import embedding_to_dot, graph_to_dot, overlap_to_dot
+
+
+def embed(figure1_graph, figure1_index, labels, doc_id):
+    sources = {label.lower(): figure1_index.lookup(label) for label in labels}
+    return union_embedding(doc_id, [find_lcag(figure1_graph, sources)])
+
+
+@pytest.fixture()
+def pair(figure1_graph, figure1_index):
+    t_q = embed(
+        figure1_graph,
+        figure1_index,
+        ["Upper Dir", "Swat Valley", "Pakistan", "Taliban"],
+        "t_q",
+    )
+    t_r = embed(
+        figure1_graph, figure1_index, ["Lahore", "Peshawar", "Pakistan", "Taliban"], "t_r"
+    )
+    return t_q, t_r
+
+
+class TestEmbeddingToDot:
+    def test_structure(self, figure1_graph, pair):
+        dot = embedding_to_dot(pair[0], figure1_graph, title="t_q")
+        assert dot.startswith('digraph "t_q" {')
+        assert dot.endswith("}")
+        assert '"Khyber"' in dot
+        assert "->" in dot
+
+    def test_root_is_box(self, figure1_graph, pair):
+        dot = embedding_to_dot(pair[0], figure1_graph)
+        root_line = [line for line in dot.splitlines() if '"v0"' in line and "label" in line][0]
+        assert "shape=box" in root_line
+
+    def test_quote_escaping(self, figure1_graph):
+        from repro.viz.dot import _quote
+
+        assert _quote('a"b') == '"a\\"b"'
+
+
+class TestOverlapToDot:
+    def test_three_colors(self, figure1_graph, pair):
+        dot = overlap_to_dot(pair[0], pair[1], figure1_graph)
+        assert "#dd8452" in dot  # overlap orange
+        assert "#4c72b0" in dot  # query blue
+        assert "#55a868" in dot  # result green
+
+    def test_overlap_node_is_orange(self, figure1_graph, pair):
+        dot = overlap_to_dot(pair[0], pair[1], figure1_graph)
+        khyber_lines = [
+            line for line in dot.splitlines() if '"v0"' in line and "label" in line
+        ]
+        assert any("#dd8452" in line for line in khyber_lines)
+
+    def test_no_duplicate_edges(self, figure1_graph, pair):
+        dot = overlap_to_dot(pair[0], pair[1], figure1_graph)
+        edge_lines = [line for line in dot.splitlines() if "->" in line]
+        assert len(edge_lines) == len(set(edge_lines))
+
+
+class TestGraphToDot:
+    def test_whole_graph(self, figure1_graph):
+        dot = graph_to_dot(figure1_graph)
+        assert dot.count("->") == figure1_graph.num_edges
+        assert '"Pakistan"' in dot

@@ -49,6 +49,7 @@ from repro.core import (
     verbalize_path,
 )
 from repro.search import NewsLinkEngine, SearchResult
+from repro.parallel import IndexPlan, IndexReport, index_corpus_parallel
 from repro.data import (
     NewsDocument,
     Corpus,
@@ -94,6 +95,9 @@ __all__ = [
     "verbalize_path",
     "NewsLinkEngine",
     "SearchResult",
+    "IndexPlan",
+    "IndexReport",
+    "index_corpus_parallel",
     "NewsDocument",
     "Corpus",
     "make_dataset",

@@ -54,6 +54,14 @@ def _build_parser() -> argparse.ArgumentParser:
     index.add_argument(
         "--tree", action="store_true", help="use the TreeEmb ablation embedder"
     )
+    index.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for indexing (0 = one per core, 1 = serial)",
+    )
+    index.add_argument(
+        "--gzip", action="store_true",
+        help="write a gzipped index (index.json.gz)",
+    )
 
     search = subparsers.add_parser("search", help="query an indexed dataset")
     search.add_argument("directory", type=Path)
@@ -70,6 +78,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument("directory", type=Path)
     evaluate.add_argument("-k", type=int, default=5)
+    evaluate.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for indexing (0 = one per core, 1 = serial)",
+    )
 
     serve = subparsers.add_parser(
         "serve", help="serve the indexed dataset over HTTP (JSON API)"
@@ -87,6 +99,8 @@ def _load_engine(directory: Path, beta: float | None = None) -> NewsLinkEngine:
         config = EngineConfig(fusion=FusionConfig(beta=beta))
     engine = NewsLinkEngine(graph, config)
     index_path = directory / _INDEX_FILE
+    if not index_path.exists() and (directory / (_INDEX_FILE + ".gz")).exists():
+        index_path = directory / (_INDEX_FILE + ".gz")
     if not index_path.exists():
         raise SystemExit(
             f"no index at {index_path}; run `repro index {directory}` first"
@@ -113,16 +127,26 @@ def _cmd_index(args: argparse.Namespace) -> int:
     graph = load_graph_json(args.directory / _KG_FILE)
     corpus = load_corpus_jsonl(args.directory / _CORPUS_FILE)
     config = EngineConfig(
-        fusion=FusionConfig(beta=args.beta), use_tree_embedder=args.tree
+        fusion=FusionConfig(beta=args.beta),
+        use_tree_embedder=args.tree,
+        workers=args.workers,
     )
     engine = NewsLinkEngine(graph, config)
     skipped = engine.index_corpus(corpus)
-    engine.save_index(args.directory / _INDEX_FILE)
+    index_file = _INDEX_FILE + ".gz" if args.gzip else _INDEX_FILE
+    engine.save_index(args.directory / index_file)
     print(
         f"indexed {engine.num_indexed} documents "
         f"({len(skipped)} had no subgraph embedding); "
-        f"index saved to {args.directory / _INDEX_FILE}"
+        f"index saved to {args.directory / index_file}"
     )
+    report = engine.last_index_report
+    if report is not None:
+        print(
+            f"parallel pipeline: {report.workers} workers, "
+            f"{report.unique_groups}/{report.total_groups} unique entity "
+            f"groups embedded ({report.dedup_rate:.0%} deduplicated)"
+        )
     return 0
 
 
@@ -152,7 +176,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
     graph = load_graph_json(args.directory / _KG_FILE)
     corpus = load_corpus_jsonl(args.directory / _CORPUS_FILE)
-    engine = NewsLinkEngine(graph)
+    engine = NewsLinkEngine(graph, EngineConfig(workers=args.workers))
     engine.index_corpus(corpus)
     # last 10% of the corpus acts as the query set
     documents = list(corpus)

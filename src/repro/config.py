@@ -137,6 +137,16 @@ class EngineConfig:
         disambiguate: filter ambiguous label candidates by group coherence
             before embedding (see :mod:`repro.nlp.disambiguation`).
         disambiguation_distance: coherence radius for that filter.
+        workers: processes used by ``index_corpus`` (0 = one per CPU core;
+            1 = the serial reference path).  The parallel path is
+            bit-identical to serial — see :mod:`repro.parallel`.
+        parallel_nlp: also fan the per-document NLP stage across workers
+            (only relevant when ``workers != 1``).
+        parallel_chunk_size: tasks dispatched per worker round-trip —
+            amortizes IPC/pickling overhead.
+        query_cache_size: entries of the query-embedding LRU shared by
+            ``search`` and the ``explain*`` methods (0 disables), so
+            explaining k results of a query costs one embedding, not k+1.
     """
 
     lcag: LcagConfig = field(default_factory=LcagConfig)
@@ -150,6 +160,10 @@ class EngineConfig:
     cache_embeddings: bool = False
     cache_size: int = 10_000
     segment_window: int = 1
+    workers: int = 1
+    parallel_nlp: bool = True
+    parallel_chunk_size: int = 32
+    query_cache_size: int = 64
 
     def __post_init__(self) -> None:
         _require(
@@ -158,6 +172,11 @@ class EngineConfig:
         )
         _require(self.cache_size > 0, "cache_size must be positive")
         _require(self.segment_window >= 1, "segment_window must be >= 1")
+        _require(self.workers >= 0, "workers must be >= 0 (0 = auto)")
+        _require(
+            self.parallel_chunk_size >= 1, "parallel_chunk_size must be >= 1"
+        )
+        _require(self.query_cache_size >= 0, "query_cache_size must be >= 0")
 
 
 @dataclass(frozen=True)

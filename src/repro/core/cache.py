@@ -19,7 +19,21 @@ from dataclasses import dataclass, field
 from repro.core.ancestor_graph import CommonAncestorGraph
 from repro.core.document_embedding import SegmentEmbedder
 
-_CacheKey = tuple[tuple[str, frozenset[str]], ...]
+#: Canonical identity of one entity group: its sorted label → S(l) items.
+#: Shared by the LRU cache and the corpus-wide dedup planner
+#: (:mod:`repro.parallel.planner`) so both agree on group equality.
+GroupKey = tuple[tuple[str, frozenset[str]], ...]
+
+_CacheKey = GroupKey
+
+
+def group_key(label_sources: Mapping[str, frozenset[str]]) -> GroupKey:
+    """The canonical, order-insensitive key of one entity group.
+
+    Labels are unique within a mapping, so sorting the items never has to
+    compare the (unorderable) source sets.
+    """
+    return tuple(sorted(label_sources.items()))
 
 
 @dataclass
@@ -41,6 +55,15 @@ class CacheStats:
             return 0.0
         return self.hits / self.requests
 
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another counter set into this one.
+
+        Used by the parallel merge stage to aggregate per-worker (and
+        planner-synthesized) counters into the engine's cache.
+        """
+        self.hits += other.hits
+        self.misses += other.misses
+
 
 @dataclass
 class CachingEmbedder:
@@ -61,12 +84,7 @@ class CachingEmbedder:
             OrderedDict()
         )
 
-    @staticmethod
-    def _key(label_sources: Mapping[str, frozenset[str]]) -> _CacheKey:
-        return tuple(sorted(
-            (label, frozenset(sources))
-            for label, sources in label_sources.items()
-        ))
+    _key = staticmethod(group_key)
 
     def embed(
         self, label_sources: Mapping[str, frozenset[str]]
@@ -85,6 +103,19 @@ class CachingEmbedder:
         if len(self._cache) > self.max_entries:
             self._cache.popitem(last=False)
         return result
+
+    def seed(
+        self, key: GroupKey, result: CommonAncestorGraph | None
+    ) -> None:
+        """Insert a precomputed result without touching the counters.
+
+        The parallel merge stage seeds the parent's cache with the group
+        results the workers computed, so post-indexing queries hit warm.
+        """
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        if len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every cached entry (counters are kept)."""

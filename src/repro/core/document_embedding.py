@@ -9,7 +9,7 @@ term frequency used by the NS component (§VI).
 from __future__ import annotations
 
 from collections import Counter
-from collections.abc import Mapping, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Protocol
 
@@ -98,13 +98,34 @@ def sources_for_label(graph: CommonAncestorGraph, label: str) -> frozenset[str]:
 def union_embedding(
     doc_id: str, graphs: Sequence[CommonAncestorGraph]
 ) -> DocumentEmbedding:
-    """Union segment embeddings into a :class:`DocumentEmbedding`."""
+    """Union segment embeddings into a :class:`DocumentEmbedding`.
+
+    ``node_counts`` is keyed in sorted node order: set iteration order is
+    not stable across process boundaries (or hash seeds), and a canonical
+    order is what lets parallel indexing produce byte-identical indexes.
+    """
     counts: Counter[str] = Counter()
     for graph in graphs:
         counts.update(graph.nodes)
     return DocumentEmbedding(
-        doc_id=doc_id, graphs=tuple(graphs), node_counts=dict(counts)
+        doc_id=doc_id,
+        graphs=tuple(graphs),
+        node_counts={node: counts[node] for node in sorted(counts)},
     )
+
+
+def iter_group_sources(
+    processed: ProcessedDocument,
+) -> Iterator[dict[str, frozenset[str]]]:
+    """Yield each maximal group's ``label -> S(l)`` mapping, in group order.
+
+    This is the exact unit of NE work: one yielded mapping = one ``G*``
+    search.  Both the serial :func:`embed_document` loop and the parallel
+    dedup planner (:mod:`repro.parallel.planner`) iterate groups through
+    this helper so they schedule identical searches.
+    """
+    for group in processed.groups:
+        yield processed.group_sources(group)
 
 
 def embed_document(
@@ -117,8 +138,7 @@ def embed_document(
     the evaluation corpus (§VII-A2).
     """
     graphs: list[CommonAncestorGraph] = []
-    for group in processed.groups:
-        sources = processed.group_sources(group)
+    for sources in iter_group_sources(processed):
         graph = embedder.embed(sources)
         if graph is not None:
             graphs.append(graph)

@@ -46,6 +46,17 @@ class SearchStats:
     candidates: int = 0
     terminated_early: bool = False
 
+    def merge(self, other: "SearchStats") -> None:
+        """Fold another search's counters into this aggregate.
+
+        ``terminated_early`` becomes "any merged search terminated early".
+        Used by the embedders' ``stats_sink`` accumulation and by the
+        parallel merge stage to fold per-worker counters together.
+        """
+        self.pops += other.pops
+        self.candidates += other.candidates
+        self.terminated_early = self.terminated_early or other.terminated_early
+
 
 def find_lcag(
     graph: KnowledgeGraph,
@@ -199,10 +210,16 @@ class LcagEmbedder:
 
     Satisfies the ``SegmentEmbedder`` protocol used by
     :func:`repro.core.document_embedding.embed_document`.
+
+    Attributes:
+        stats_sink: optional aggregate that accumulates every search's
+            :class:`SearchStats` (each search still runs against a fresh
+            counter so the pop budget is per-search).
     """
 
     graph: KnowledgeGraph
     config: LcagConfig = field(default_factory=LcagConfig)
+    stats_sink: SearchStats | None = None
 
     def embed(
         self, label_sources: Mapping[str, frozenset[str]]
@@ -210,7 +227,11 @@ class LcagEmbedder:
         """Embed one entity group; None when no embedding exists."""
         if not label_sources:
             return None
+        stats = SearchStats()
         try:
-            return find_lcag(self.graph, label_sources, self.config)
+            return find_lcag(self.graph, label_sources, self.config, stats=stats)
         except (NoCommonAncestorError, SearchTimeoutError):
             return None
+        finally:
+            if self.stats_sink is not None:
+                self.stats_sink.merge(stats)

@@ -111,10 +111,15 @@ def _build_tree(
 
 @dataclass
 class TreeEmbedder:
-    """Segment embedder backed by the GST approximation (TreeEmb)."""
+    """Segment embedder backed by the GST approximation (TreeEmb).
+
+    ``stats_sink`` mirrors :class:`repro.core.lcag.LcagEmbedder`: an
+    optional aggregate fed by each search's fresh :class:`SearchStats`.
+    """
 
     graph: KnowledgeGraph
     config: TreeEmbConfig = field(default_factory=TreeEmbConfig)
+    stats_sink: SearchStats | None = None
 
     def embed(
         self, label_sources: Mapping[str, frozenset[str]]
@@ -122,7 +127,11 @@ class TreeEmbedder:
         """Embed one entity group; None when no embedding exists."""
         if not label_sources:
             return None
+        stats = SearchStats()
         try:
-            return find_gst_tree(self.graph, label_sources, self.config)
+            return find_gst_tree(self.graph, label_sources, self.config, stats=stats)
         except (NoCommonAncestorError, SearchTimeoutError):
             return None
+        finally:
+            if self.stats_sink is not None:
+                self.stats_sink.merge(stats)

@@ -1,0 +1,56 @@
+"""Parallel, dedup-planned corpus indexing.
+
+The NE stage (the ``G*`` search) dominates indexing cost (paper Fig 7);
+this subsystem makes it scale with cores while staying bit-identical to
+the serial path:
+
+* :mod:`repro.parallel.planner` — scans every document's entity groups
+  corpus-wide and schedules each *unique* group exactly once;
+* :mod:`repro.parallel.executor` — a fork-based process pool that fans the
+  unique searches (and optionally per-document NLP) across workers;
+* :mod:`repro.parallel.merge` — reassembles per-document embeddings from
+  the shared results, feeds both inverted indexes in corpus order, and
+  merges per-worker counters into the engine's aggregates.
+
+See ``docs/performance.md`` for tuning guidance.
+"""
+
+from repro.parallel.executor import (
+    WorkerPool,
+    attach_search_sink,
+    parallel_supported,
+    sink_target,
+)
+from repro.parallel.indexer import index_corpus_parallel, resolve_workers
+from repro.parallel.merge import IndexReport, merge_into_engine
+from repro.parallel.planner import DocumentPlan, IndexPlan, build_plan
+from repro.parallel.tasks import (
+    EmbedChunkResult,
+    EmbedOutcome,
+    EmbedTask,
+    GroupSources,
+    NlpOutcome,
+    NlpTask,
+    chunked,
+)
+
+__all__ = [
+    "WorkerPool",
+    "attach_search_sink",
+    "parallel_supported",
+    "sink_target",
+    "index_corpus_parallel",
+    "resolve_workers",
+    "IndexReport",
+    "merge_into_engine",
+    "DocumentPlan",
+    "IndexPlan",
+    "build_plan",
+    "EmbedChunkResult",
+    "EmbedOutcome",
+    "EmbedTask",
+    "GroupSources",
+    "NlpOutcome",
+    "NlpTask",
+    "chunked",
+]

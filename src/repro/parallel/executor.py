@@ -1,0 +1,177 @@
+"""Process-pool execution of NLP and ``G*`` work.
+
+The pool requires the ``fork`` start method: workers inherit the knowledge
+graph, pipeline, and embedder by address-space copy (no pickling of the
+heavy state), and — because ``fork`` preserves the parent's string hash
+seed — compute byte-identical results to the parent's serial path.  On
+platforms without ``fork`` the engine falls back to serial indexing.
+
+Tasks are dispatched in chunks (``EngineConfig.parallel_chunk_size``) so a
+corpus of thousands of groups costs tens of pickle round-trips, not
+thousands.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+from repro.core.cache import CacheStats, CachingEmbedder
+from repro.core.document_embedding import SegmentEmbedder, iter_group_sources
+from repro.core.lcag import SearchStats
+from repro.nlp.pipeline import NlpPipeline
+from repro.parallel.tasks import (
+    EmbedChunkResult,
+    EmbedOutcome,
+    EmbedTask,
+    NlpOutcome,
+    NlpTask,
+    chunked,
+)
+
+
+def parallel_supported() -> bool:
+    """True when this platform can fork worker processes."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def sink_target(embedder: SegmentEmbedder) -> Any | None:
+    """The embedder in the decorator stack that exposes ``stats_sink``.
+
+    Walks ``inner`` links (caching, disambiguation) down to the base LCAG
+    or TreeEmb embedder; ``None`` when no embedder in the stack has one.
+    """
+    target: Any = embedder
+    seen: set[int] = set()
+    while target is not None and id(target) not in seen:
+        seen.add(id(target))
+        if hasattr(target, "stats_sink"):
+            return target
+        target = getattr(target, "inner", None)
+    return None
+
+
+def attach_search_sink(embedder: SegmentEmbedder) -> SearchStats | None:
+    """Attach (and return) a fresh :class:`SearchStats` aggregate."""
+    target = sink_target(embedder)
+    if target is None:
+        return None
+    sink = SearchStats()
+    target.stats_sink = sink
+    return sink
+
+
+# Worker-process state, populated once per worker by ``_init_worker`` (the
+# objects themselves arrive via fork inheritance, not pickling).
+_PIPELINE: NlpPipeline | None = None
+_EMBEDDER: SegmentEmbedder | None = None
+_SINK: SearchStats | None = None
+
+
+def _init_worker(pipeline: NlpPipeline, embedder: SegmentEmbedder) -> None:
+    global _PIPELINE, _EMBEDDER, _SINK
+    _PIPELINE = pipeline
+    _EMBEDDER = embedder
+    _SINK = attach_search_sink(embedder)
+
+
+def _run_nlp_chunk(tasks: list[NlpTask]) -> list[NlpOutcome]:
+    assert _PIPELINE is not None, "worker not initialized"
+    outcomes = []
+    for task in tasks:
+        processed = _PIPELINE.process(task.text, task.doc_id)
+        outcomes.append(
+            NlpOutcome(
+                doc_id=task.doc_id,
+                group_sources=tuple(iter_group_sources(processed)),
+            )
+        )
+    return outcomes
+
+
+def _run_embed_chunk(tasks: list[EmbedTask]) -> EmbedChunkResult:
+    assert _EMBEDDER is not None, "worker not initialized"
+    search_before = SearchStats()
+    if _SINK is not None:
+        search_before.merge(_SINK)
+    cache_before = CacheStats()
+    if isinstance(_EMBEDDER, CachingEmbedder):
+        cache_before.merge(_EMBEDDER.stats)
+    result = EmbedChunkResult()
+    for task in tasks:
+        result.outcomes.append(
+            EmbedOutcome(task.index, _EMBEDDER.embed(task.label_sources))
+        )
+    if _SINK is not None:
+        result.search = SearchStats(
+            pops=_SINK.pops - search_before.pops,
+            candidates=_SINK.candidates - search_before.candidates,
+            terminated_early=_SINK.terminated_early,
+        )
+    if isinstance(_EMBEDDER, CachingEmbedder):
+        result.cache = CacheStats(
+            hits=_EMBEDDER.stats.hits - cache_before.hits,
+            misses=_EMBEDDER.stats.misses - cache_before.misses,
+        )
+    return result
+
+
+class WorkerPool:
+    """A forked process pool bound to one engine's pipeline and embedder.
+
+    Use as a context manager; the pool is shut down on exit.
+    """
+
+    def __init__(
+        self,
+        pipeline: NlpPipeline,
+        embedder: SegmentEmbedder,
+        workers: int,
+        chunk_size: int = 32,
+    ) -> None:
+        if workers < 2:
+            raise ValueError("WorkerPool needs at least 2 workers")
+        if not parallel_supported():
+            raise RuntimeError("platform lacks the fork start method")
+        self._chunk_size = max(1, chunk_size)
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("fork"),
+            initializer=_init_worker,
+            initargs=(pipeline, embedder),
+        )
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Release the worker processes."""
+        self._pool.shutdown(wait=True)
+
+    def map_nlp(self, tasks: list[NlpTask]) -> list[NlpOutcome]:
+        """Run the NLP stage on every task, preserving task order."""
+        outcomes: list[NlpOutcome] = []
+        for chunk_result in self._pool.map(
+            _run_nlp_chunk, chunked(tasks, self._chunk_size)
+        ):
+            outcomes.extend(chunk_result)
+        return outcomes
+
+    def map_embed(
+        self, tasks: list[EmbedTask]
+    ) -> tuple[list[EmbedOutcome], SearchStats, CacheStats]:
+        """Run every ``G*`` search; returns outcomes + merged counters."""
+        outcomes: list[EmbedOutcome] = []
+        search = SearchStats()
+        cache = CacheStats()
+        for chunk_result in self._pool.map(
+            _run_embed_chunk, chunked(tasks, self._chunk_size)
+        ):
+            outcomes.extend(chunk_result.outcomes)
+            search.merge(chunk_result.search)
+            cache.merge(chunk_result.cache)
+        return outcomes, search, cache

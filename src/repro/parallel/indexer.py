@@ -1,0 +1,134 @@
+"""Parallel corpus indexing: plan → fan out → merge.
+
+Entry point used by :meth:`repro.search.engine.NewsLinkEngine.index_corpus`
+when ``workers != 1``.  The pipeline has three stages:
+
+1. **NLP** — per-document segmentation/NER/grouping, in the pool when
+   ``EngineConfig.parallel_nlp`` is set, else in the parent;
+2. **NE** — the dedup planner canonicalizes every group corpus-wide and the
+   pool runs one ``G*`` search per *unique* group;
+3. **NS** — the parent merges the shared results back into per-document
+   embeddings and both inverted indexes, in corpus order.
+
+The result is bit-identical to serial indexing (see
+``tests/parallel/test_determinism.py``) because every stage preserves the
+serial path's ordering and the ``G*`` search is a pure function of the
+group mapping.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from repro.core.cache import CachingEmbedder
+from repro.core.document_embedding import iter_group_sources
+from repro.core.lcag import SearchStats
+from repro.data.document import Corpus
+from repro.parallel.executor import WorkerPool, parallel_supported, sink_target
+from repro.parallel.merge import IndexReport, merge_into_engine
+from repro.parallel.planner import build_plan
+from repro.parallel.tasks import EmbedTask, NlpOutcome, NlpTask
+from repro.utils.timing import TimingBreakdown
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.search.engine import NewsLinkEngine
+
+
+def resolve_workers(workers: int) -> int:
+    """Effective worker count: 0 means one per CPU core."""
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def index_corpus_parallel(
+    engine: "NewsLinkEngine",
+    corpus: Corpus,
+    timing: TimingBreakdown | None = None,
+    workers: int | None = None,
+) -> IndexReport:
+    """Index ``corpus`` into ``engine`` with the parallel pipeline.
+
+    Falls back to a single-process run of the same plan/merge pipeline
+    when only one worker is requested, the platform lacks ``fork``, or the
+    corpus is empty — the dedup planner still applies either way.
+    """
+    config = engine.config
+    count = resolve_workers(config.workers if workers is None else workers)
+    timing = timing or TimingBreakdown()
+    documents = list(corpus)
+    texts = [(doc.doc_id, doc.text) for doc in documents]
+    nlp_tasks = [NlpTask(doc.doc_id, doc.text) for doc in documents]
+    use_pool = count > 1 and parallel_supported() and bool(documents)
+
+    if not use_pool:
+        with timing.measure("nlp"):
+            outcomes = _serial_nlp(engine, nlp_tasks)
+        plan = build_plan(texts, outcomes)
+        with timing.measure("ne"):
+            # Bypass the engine's LRU layer (the planner already dedups;
+            # the merge stage seeds the cache and accounts the hits) and
+            # divert the sink to a local aggregate so the merge stage can
+            # fold the run's counters into the engine exactly once, the
+            # same way it does for pool results.
+            embedder = engine.embedder
+            if isinstance(embedder, CachingEmbedder):
+                embedder = embedder.inner
+            target = sink_target(embedder)
+            local = SearchStats()
+            previous = target.stats_sink if target is not None else None
+            if target is not None:
+                target.stats_sink = local
+            try:
+                graphs = [
+                    embedder.embed(sources)
+                    for sources in plan.unique_sources
+                ]
+            finally:
+                if target is not None:
+                    target.stats_sink = previous
+        with timing.measure("ns"):
+            return merge_into_engine(
+                engine, plan, graphs,
+                search_stats=local, workers=1, nlp_parallel=False,
+            )
+
+    nlp_in_pool = config.parallel_nlp
+    with WorkerPool(
+        engine.pipeline, engine.embedder, count, config.parallel_chunk_size
+    ) as pool:
+        with timing.measure("nlp"):
+            if nlp_in_pool:
+                outcomes = pool.map_nlp(nlp_tasks)
+            else:
+                outcomes = _serial_nlp(engine, nlp_tasks)
+        plan = build_plan(texts, outcomes)
+        with timing.measure("ne"):
+            embed_tasks = [
+                EmbedTask(index, sources)
+                for index, sources in enumerate(plan.unique_sources)
+            ]
+            embed_outcomes, search, _worker_cache = pool.map_embed(embed_tasks)
+    graphs = [None] * plan.num_unique
+    for outcome in embed_outcomes:
+        graphs[outcome.index] = outcome.graph
+    with timing.measure("ns"):
+        return merge_into_engine(
+            engine, plan, graphs,
+            search_stats=search, workers=count, nlp_parallel=nlp_in_pool,
+        )
+
+
+def _serial_nlp(
+    engine: "NewsLinkEngine", tasks: list[NlpTask]
+) -> list[NlpOutcome]:
+    return [
+        NlpOutcome(
+            doc_id=task.doc_id,
+            group_sources=tuple(
+                iter_group_sources(engine.pipeline.process(task.text, task.doc_id))
+            ),
+        )
+        for task in tasks
+    ]

@@ -1,0 +1,106 @@
+"""The parent-side merge stage.
+
+Reassembles per-document embeddings from the shared unique-group results,
+feeds both inverted indexes in corpus order (so the rebuilt index is
+byte-identical to the serial path's), seeds the engine's segment cache,
+and folds the per-worker counters into the engine's aggregates so
+observability survives the fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.ancestor_graph import CommonAncestorGraph
+from repro.core.cache import CacheStats, CachingEmbedder
+from repro.core.document_embedding import union_embedding
+from repro.core.lcag import SearchStats
+from repro.errors import DataError
+from repro.parallel.planner import IndexPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.search.engine import NewsLinkEngine
+
+
+@dataclass
+class IndexReport:
+    """Observability record of one (parallel) ``index_corpus`` run.
+
+    Attributes:
+        indexed: documents added to the indexes.
+        skipped: doc ids with no subgraph embedding, in corpus order.
+        workers: worker processes used (1 = serial).
+        nlp_parallel: whether the NLP stage ran in the pool.
+        total_groups: group instances across the corpus.
+        unique_groups: ``G*`` searches actually executed.
+        dedup: planner-level dedup counters — ``hits`` are the duplicate
+            instances served without a search, ``misses`` the searches run
+            (the same accounting a perfectly-sized LRU would report).
+        search: per-worker ``G*`` search counters, merged.
+    """
+
+    indexed: int = 0
+    skipped: list[str] = field(default_factory=list)
+    workers: int = 1
+    nlp_parallel: bool = False
+    total_groups: int = 0
+    unique_groups: int = 0
+    dedup: CacheStats = field(default_factory=CacheStats)
+    search: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def dedup_rate(self) -> float:
+        """Fraction of group instances served by the dedup planner."""
+        return self.dedup.hit_rate
+
+
+def merge_into_engine(
+    engine: "NewsLinkEngine",
+    plan: IndexPlan,
+    graphs: list[CommonAncestorGraph | None],
+    search_stats: SearchStats,
+    workers: int,
+    nlp_parallel: bool,
+) -> IndexReport:
+    """Fold the fan-out's results back into ``engine``.
+
+    ``graphs`` is indexed by the plan's unique-group order.  Reassembly
+    preserves corpus order and per-document group order, which is what
+    makes the merged indexes bit-identical to serial indexing.
+    """
+    if len(graphs) != plan.num_unique:
+        raise DataError(
+            f"merge mismatch: plan has {plan.num_unique} unique groups "
+            f"but {len(graphs)} results arrived"
+        )
+    by_key = dict(zip(plan.unique_keys, graphs))
+    report = IndexReport(
+        workers=workers,
+        nlp_parallel=nlp_parallel,
+        total_groups=plan.total_instances,
+        unique_groups=plan.num_unique,
+        dedup=CacheStats(
+            hits=plan.duplicate_instances, misses=plan.num_unique
+        ),
+        search=search_stats,
+    )
+    for doc in plan.documents:
+        doc_graphs = [
+            graph
+            for graph in (by_key[key] for key in doc.group_keys)
+            if graph is not None
+        ]
+        embedding = union_embedding(doc.doc_id, doc_graphs)
+        if engine.add_embedded_document(doc.doc_id, doc.text, embedding):
+            report.indexed += 1
+        else:
+            report.skipped.append(doc.doc_id)
+    # Fold counters into the engine so serial and parallel runs read alike.
+    engine.search_stats.merge(search_stats)
+    embedder = engine.embedder
+    if isinstance(embedder, CachingEmbedder):
+        for key, graph in zip(plan.unique_keys, graphs):
+            embedder.seed(key, graph)
+        embedder.stats.merge(report.dedup)
+    return report

@@ -1,0 +1,119 @@
+"""The corpus-wide dedup planner.
+
+Different documents about the same story produce identical maximal entity
+co-occurrence groups, and the ``G*`` search is a pure function of the
+group's ``label -> S(l)`` mapping — so each *unique* group needs exactly
+one search per corpus.  The serial path only exploits this opportunistically
+(the optional LRU cache dedups groups that happen to arrive while the
+earlier result is still resident); the planner makes it exact: scan every
+document's groups, canonicalize each with the same key the cache uses
+(:func:`repro.core.cache.group_key`), and schedule each unique group once.
+
+The plan is fully deterministic: documents keep corpus order, group keys
+keep per-document group order, and unique groups are numbered in first-seen
+order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.cache import GroupKey, group_key
+from repro.errors import DataError
+from repro.parallel.tasks import GroupSources, NlpOutcome
+
+
+@dataclass(frozen=True)
+class DocumentPlan:
+    """One document's share of an :class:`IndexPlan`.
+
+    Attributes:
+        doc_id: the document's identifier.
+        text: the raw text (the merge stage feeds it to the text index).
+        group_keys: canonical keys of the document's maximal groups, in
+            group order — the order ``embed_document`` would union them.
+    """
+
+    doc_id: str
+    text: str
+    group_keys: tuple[GroupKey, ...]
+
+
+@dataclass
+class IndexPlan:
+    """A deduplicated, order-preserving schedule for indexing a corpus.
+
+    Attributes:
+        documents: per-document plans, in corpus order.
+        unique_keys: canonical keys of the unique groups, first-seen order.
+        unique_sources: the ``label -> S(l)`` mapping to embed for each
+            unique key (parallel lists with ``unique_keys``).
+        total_instances: group instances across the corpus, duplicates
+            included — what the serial path would embed.
+    """
+
+    documents: list[DocumentPlan]
+    unique_keys: list[GroupKey]
+    unique_sources: list[GroupSources]
+    total_instances: int
+
+    @property
+    def num_unique(self) -> int:
+        """Unique groups — the ``G*`` searches actually scheduled."""
+        return len(self.unique_keys)
+
+    @property
+    def duplicate_instances(self) -> int:
+        """Group instances the dedup planner avoids re-searching."""
+        return self.total_instances - self.num_unique
+
+    @property
+    def dedup_rate(self) -> float:
+        """Fraction of group instances served by an earlier instance."""
+        if self.total_instances == 0:
+            return 0.0
+        return self.duplicate_instances / self.total_instances
+
+
+def build_plan(
+    texts: Sequence[tuple[str, str]], outcomes: Sequence[NlpOutcome]
+) -> IndexPlan:
+    """Assemble the dedup plan from per-document NLP outcomes.
+
+    Args:
+        texts: ``(doc_id, text)`` per document, in corpus order.
+        outcomes: the NLP stage's output, aligned with ``texts``.
+    """
+    if len(texts) != len(outcomes):
+        raise DataError(
+            f"plan mismatch: {len(texts)} documents but {len(outcomes)} "
+            "NLP outcomes"
+        )
+    documents: list[DocumentPlan] = []
+    unique_keys: list[GroupKey] = []
+    unique_sources: list[GroupSources] = []
+    seen: dict[GroupKey, int] = {}
+    total = 0
+    for (doc_id, text), outcome in zip(texts, outcomes):
+        if outcome.doc_id != doc_id:
+            raise DataError(
+                f"plan mismatch: NLP outcome for {outcome.doc_id!r} "
+                f"arrived in {doc_id!r}'s slot"
+            )
+        keys: list[GroupKey] = []
+        for sources in outcome.group_sources:
+            key = group_key(sources)
+            keys.append(key)
+            total += 1
+            if key not in seen:
+                seen[key] = len(unique_keys)
+                unique_keys.append(key)
+                unique_sources.append(sources)
+        documents.append(DocumentPlan(doc_id, text, tuple(keys)))
+    return IndexPlan(
+        documents=documents,
+        unique_keys=unique_keys,
+        unique_sources=unique_sources,
+        total_instances=total,
+    )

@@ -1,0 +1,70 @@
+"""Picklable task/result records crossing the worker process boundary.
+
+Workers are forked, so the heavy read-only state (graph, pipeline,
+embedder) is inherited for free; only these small records travel through
+the pool's pickle queues.  They are kept deliberately lean: an NLP outcome
+carries just the ordered group mappings (not the full
+:class:`~repro.nlp.pipeline.ProcessedDocument`), and an embed outcome
+carries one :class:`~repro.core.ancestor_graph.CommonAncestorGraph` or
+``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ancestor_graph import CommonAncestorGraph
+from repro.core.cache import CacheStats
+from repro.core.lcag import SearchStats
+
+#: One entity group's ``label -> S(l)`` mapping, as produced by
+#: :func:`repro.core.document_embedding.iter_group_sources`.
+GroupSources = dict[str, frozenset[str]]
+
+
+@dataclass(frozen=True)
+class NlpTask:
+    """Run the NLP stage (segmentation + NER + grouping) on one document."""
+
+    doc_id: str
+    text: str
+
+
+@dataclass(frozen=True)
+class NlpOutcome:
+    """One document's maximal entity groups, in group order."""
+
+    doc_id: str
+    group_sources: tuple[GroupSources, ...]
+
+
+@dataclass(frozen=True)
+class EmbedTask:
+    """Run one ``G*`` search for the ``index``-th unique group of a plan."""
+
+    index: int
+    label_sources: GroupSources
+
+
+@dataclass(frozen=True)
+class EmbedOutcome:
+    """The ``G*`` of one unique group (``None`` when unembeddable)."""
+
+    index: int
+    graph: CommonAncestorGraph | None
+
+
+@dataclass
+class EmbedChunkResult:
+    """Everything one embed chunk sends back: results + counter deltas."""
+
+    outcomes: list[EmbedOutcome] = field(default_factory=list)
+    search: SearchStats = field(default_factory=SearchStats)
+    cache: CacheStats = field(default_factory=CacheStats)
+
+
+def chunked(items: list, size: int) -> list[list]:
+    """Split ``items`` into consecutive chunks of at most ``size``."""
+    if size < 1:
+        raise ValueError("chunk size must be >= 1")
+    return [items[start : start + size] for start in range(0, len(items), size)]

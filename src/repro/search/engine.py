@@ -13,7 +13,11 @@ Table VIII experiments.
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from pathlib import Path
 
@@ -28,9 +32,11 @@ from typing import TYPE_CHECKING
 from repro.core.explain import RelationshipPath, explain_pair, verbalize_path
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cache import CacheStats
     from repro.core.presentation import Explanation, ExplanationOptions
+    from repro.parallel.merge import IndexReport
     from repro.search.snippets import Snippet
-from repro.core.lcag import LcagEmbedder
+from repro.core.lcag import LcagEmbedder, SearchStats
 from repro.core.tree_emb import TreeEmbedder
 from repro.data.document import Corpus, NewsDocument
 from repro.errors import DataError, DocumentNotIndexedError
@@ -97,6 +103,14 @@ class NewsLinkEngine:
             self._embedder = CachingEmbedder(
                 self._embedder, self._config.cache_size
             )
+        # Aggregate G* instrumentation across every embed this engine runs
+        # (serial indexing, queries, and merged parallel-worker counters).
+        self._search_stats = SearchStats()
+        from repro.parallel.executor import sink_target
+
+        base = sink_target(self._embedder)
+        if base is not None:
+            base.stats_sink = self._search_stats
         self._analyzer = Analyzer()
         self._text_index = InvertedIndex()
         self._node_index = InvertedIndex()
@@ -104,6 +118,10 @@ class NewsLinkEngine:
         self._node_scorer = Bm25Scorer(self._node_index, self._config.bm25)
         self._embeddings: dict[str, DocumentEmbedding] = {}
         self._texts: dict[str, str] = {}
+        self._query_cache: OrderedDict[
+            str, tuple[ProcessedDocument, DocumentEmbedding]
+        ] = OrderedDict()
+        self._last_index_report: "IndexReport | None" = None
 
     # ------------------------------------------------------------------
     # accessors
@@ -127,6 +145,40 @@ class NewsLinkEngine:
     def pipeline(self) -> NlpPipeline:
         """The NLP component."""
         return self._pipeline
+
+    @property
+    def embedder(self) -> SegmentEmbedder:
+        """The NE component's segment embedder (full decorator stack)."""
+        return self._embedder
+
+    @property
+    def search_stats(self) -> SearchStats:
+        """Aggregate ``G*`` counters across every embed this engine ran.
+
+        Parallel indexing merges the per-worker counters in here, so the
+        numbers read the same whether indexing forked or not.
+        """
+        return self._search_stats
+
+    @property
+    def cache_stats(self) -> "CacheStats | None":
+        """Segment-cache counters, or None when caching is disabled.
+
+        After a parallel ``index_corpus`` the planner's exact dedup is
+        accounted here (duplicates as hits), matching what a perfectly
+        sized LRU would have reported on the serial path.
+        """
+        from repro.core.cache import CachingEmbedder
+
+        if isinstance(self._embedder, CachingEmbedder):
+            return self._embedder.stats
+        return None
+
+    @property
+    def last_index_report(self) -> "IndexReport | None":
+        """Observability record of the most recent parallel-path
+        ``index_corpus`` run (None before one happens)."""
+        return self._last_index_report
 
     @property
     def num_indexed(self) -> int:
@@ -166,20 +218,53 @@ class NewsLinkEngine:
         if embedding.is_empty:
             return False
         with timing.measure("ns"):
-            self._text_index.add_document(
-                document.doc_id, self._analyzer.analyze(document.text)
+            return self.add_embedded_document(
+                document.doc_id, document.text, embedding
             )
-            self._node_index.add_document(document.doc_id, bon_terms(embedding))
-            self._embeddings[document.doc_id] = embedding
-            self._texts[document.doc_id] = document.text
+
+    def add_embedded_document(
+        self, doc_id: str, text: str, embedding: DocumentEmbedding
+    ) -> bool:
+        """Index a document whose embedding was computed elsewhere.
+
+        This is the NS ingest step on its own: both inverted indexes are
+        fed and the embedding/text stored.  Returns False (indexing
+        nothing) when the embedding is empty.  Used by the parallel merge
+        stage and by deployments that precompute embeddings offline.
+        """
+        if embedding.is_empty:
+            return False
+        self._text_index.add_document(doc_id, self._analyzer.analyze(text))
+        self._node_index.add_document(doc_id, bon_terms(embedding))
+        self._embeddings[doc_id] = embedding
+        self._texts[doc_id] = text
         return True
 
     def index_corpus(
         self,
         corpus: Corpus,
         timing: TimingBreakdown | None = None,
+        workers: int | None = None,
     ) -> list[str]:
-        """Index every document of ``corpus``; returns skipped doc ids."""
+        """Index every document of ``corpus``; returns skipped doc ids.
+
+        ``workers`` (default: ``EngineConfig.workers``) selects the path:
+        1 runs the serial reference loop; 0 or >1 runs the dedup-planned
+        parallel pipeline (:mod:`repro.parallel`), which produces
+        bit-identical indexes while embedding each unique entity group
+        exactly once and fanning the ``G*`` searches across processes.
+        """
+        resolved = self._config.workers if workers is None else workers
+        if resolved == 0:
+            resolved = os.cpu_count() or 1
+        if resolved > 1:
+            from repro.parallel import index_corpus_parallel
+
+            report = index_corpus_parallel(
+                self, corpus, timing=timing, workers=resolved
+            )
+            self._last_index_report = report
+            return report.skipped
         skipped = []
         for document in corpus:
             if not self.index_document(document, timing=timing):
@@ -200,6 +285,33 @@ class NewsLinkEngine:
             embedding = embed_document(processed, self._embedder)
         return processed, embedding
 
+    def _query_state(
+        self, text: str, timing: TimingBreakdown | None = None
+    ) -> tuple[ProcessedDocument, DocumentEmbedding]:
+        """:meth:`process_query` behind a small LRU.
+
+        Queries depend only on the pipeline and graph — never on the index
+        contents — so entries need no invalidation.  ``search`` followed by
+        k ``explain*`` calls for the same query costs one embedding.  On a
+        hit, zero-duration nlp/ne entries keep timing breakdowns shaped
+        the same as on a miss.
+        """
+        limit = self._config.query_cache_size
+        if limit:
+            state = self._query_cache.get(text)
+            if state is not None:
+                self._query_cache.move_to_end(text)
+                if timing is not None:
+                    timing.add("nlp", 0.0)
+                    timing.add("ne", 0.0)
+                return state
+        state = self.process_query(text, timing=timing)
+        if limit:
+            self._query_cache[text] = state
+            if len(self._query_cache) > limit:
+                self._query_cache.popitem(last=False)
+        return state
+
     def search(
         self,
         text: str,
@@ -213,7 +325,7 @@ class NewsLinkEngine:
         which lets the Table VII sweep reuse one indexed engine.
         """
         timing = timing or TimingBreakdown()
-        _, query_embedding = self.process_query(text, timing=timing)
+        _, query_embedding = self._query_state(text, timing=timing)
         with timing.measure("ns"):
             results = self._rank(text, query_embedding, k, beta)
         return results
@@ -290,30 +402,54 @@ class NewsLinkEngine:
         deployment reload in seconds.  The knowledge graph itself is not
         stored — load with the same graph (persist it separately with
         :func:`repro.kg.io.save_graph_json`).
+
+        The payload streams to the file one embedding at a time (no giant
+        in-memory JSON string).  A path ending in ``.gz`` is gzipped
+        transparently, with a zeroed timestamp so identical indexes
+        produce identical archives.
         """
+        path = Path(path)
+        if path.suffix == ".gz":
+            with open(path, "wb") as raw, gzip.GzipFile(
+                filename="", mode="wb", fileobj=raw, mtime=0
+            ) as binary, io.TextIOWrapper(binary, encoding="utf-8") as fh:
+                self._write_index(fh)
+        else:
+            with open(path, "w", encoding="utf-8") as fh:
+                self._write_index(fh)
+
+    def _write_index(self, fh) -> None:
+        """Stream the index payload as JSON (byte-compatible with v1)."""
         from repro.core.serialization import embedding_to_dict
 
-        payload = {
-            "format": "newslink-index",
-            "version": 1,
-            "text_index": self._text_index.to_forward_map(),
-            "node_index": self._node_index.to_forward_map(),
-            "texts": dict(self._texts),
-            "embeddings": [
-                embedding_to_dict(embedding)
-                for embedding in self._embeddings.values()
-            ],
-        }
-        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+        fh.write('{"format": "newslink-index", "version": 1, "text_index": ')
+        json.dump(self._text_index.to_forward_map(), fh)
+        fh.write(', "node_index": ')
+        json.dump(self._node_index.to_forward_map(), fh)
+        fh.write(', "texts": ')
+        json.dump(self._texts, fh)
+        fh.write(', "embeddings": [')
+        for position, embedding in enumerate(self._embeddings.values()):
+            if position:
+                fh.write(", ")
+            json.dump(embedding_to_dict(embedding), fh)
+        fh.write("]}")
 
     def load_index(self, path: "str | Path") -> int:
         """Load an index written by :meth:`save_index`; returns doc count.
 
-        Existing index contents are replaced.
+        Existing index contents are replaced.  Gzipped files are detected
+        by magic bytes, so any path written by :meth:`save_index` loads
+        back regardless of suffix.
         """
         from repro.core.serialization import embedding_from_dict
 
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        path = Path(path)
+        with open(path, "rb") as probe:
+            is_gzip = probe.read(2) == b"\x1f\x8b"
+        opener = gzip.open if is_gzip else open
+        with opener(path, "rt", encoding="utf-8") as fh:
+            payload = json.load(fh)
         if payload.get("format") != "newslink-index":
             raise DataError(f"{path}: not a NewsLink index file")
         self._text_index = InvertedIndex()
@@ -341,9 +477,16 @@ class NewsLinkEngine:
         query_text: str,
         result_doc_id: str,
         max_paths: int = 10,
+        query_embedding: DocumentEmbedding | None = None,
     ) -> list[RelationshipPath]:
-        """Relationship paths linking the query to a retrieved document."""
-        _, query_embedding = self.process_query(query_text)
+        """Relationship paths linking the query to a retrieved document.
+
+        ``query_embedding`` short-circuits the query NLP+NE stages when
+        the caller already holds it; otherwise the query LRU shared with
+        :meth:`search` makes explaining a just-searched query free.
+        """
+        if query_embedding is None:
+            _, query_embedding = self._query_state(query_text)
         result_embedding = self.embedding(result_doc_id)
         return explain_pair(query_embedding, result_embedding, max_paths=max_paths)
 
@@ -352,6 +495,7 @@ class NewsLinkEngine:
         query_text: str,
         result_doc_id: str,
         options: "ExplanationOptions | None" = None,
+        query_embedding: DocumentEmbedding | None = None,
     ) -> "Explanation":
         """A presentable explanation (novelty-ranked, overload-budgeted).
 
@@ -360,7 +504,8 @@ class NewsLinkEngine:
         """
         from repro.core.presentation import ExplanationPresenter
 
-        _, query_embedding = self.process_query(query_text)
+        if query_embedding is None:
+            _, query_embedding = self._query_state(query_text)
         result_embedding = self.embedding(result_doc_id)
         presenter = ExplanationPresenter(self._graph)
         return presenter.build(query_embedding, result_embedding, options)
@@ -370,6 +515,7 @@ class NewsLinkEngine:
         query_text: str,
         result_doc_id: str,
         max_paths: int = 10,
+        query_embedding: DocumentEmbedding | None = None,
     ) -> list[str]:
         """Human-readable rendering of :meth:`explain`.
 
@@ -377,7 +523,8 @@ class NewsLinkEngine:
         keyword evidence, Table I's "matched entities") are listed first,
         followed by the relationship paths linking the *unmatched* ones.
         """
-        _, query_embedding = self.process_query(query_text)
+        if query_embedding is None:
+            _, query_embedding = self._query_state(query_text)
         result_embedding = self.embedding(result_doc_id)
         shared = sorted(
             query_embedding.entity_nodes() & result_embedding.entity_nodes()

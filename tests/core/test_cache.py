@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.cache import CachingEmbedder
+from repro.core.cache import CacheStats, CachingEmbedder, group_key
 from repro.core.lcag import LcagEmbedder
 
 
@@ -93,3 +93,49 @@ class TestCachingEmbedder:
     def test_bad_capacity(self, figure1_graph):
         with pytest.raises(ValueError):
             CachingEmbedder(LcagEmbedder(figure1_graph), max_entries=0)
+
+
+class TestGroupKey:
+    def test_is_the_cache_key(self, sources):
+        assert CachingEmbedder._key(sources) == group_key(sources)
+
+    def test_sorted_by_label(self, sources):
+        key = group_key(sources)
+        assert [label for label, _ in key] == sorted(sources)
+
+
+class TestCacheStatsMerge:
+    def test_counters_add(self):
+        stats = CacheStats(hits=2, misses=3)
+        stats.merge(CacheStats(hits=5, misses=7))
+        assert stats.hits == 7
+        assert stats.misses == 10
+        assert stats.requests == 17
+
+    def test_merge_empty_is_identity(self):
+        stats = CacheStats(hits=1, misses=1)
+        stats.merge(CacheStats())
+        assert stats == CacheStats(hits=1, misses=1)
+
+
+class TestSeed:
+    def test_seeded_result_served_without_a_search(
+        self, figure1_graph, sources
+    ):
+        counting = CountingEmbedder(LcagEmbedder(figure1_graph))
+        cached = CachingEmbedder(counting)
+        reference = LcagEmbedder(figure1_graph).embed(sources)
+        cached.seed(group_key(sources), reference)
+        assert cached.embed(sources) is reference
+        assert counting.calls == 0
+
+    def test_seed_does_not_touch_counters(self, figure1_graph, sources):
+        cached = CachingEmbedder(LcagEmbedder(figure1_graph))
+        cached.seed(group_key(sources), None)
+        assert cached.stats.requests == 0
+
+    def test_seed_respects_capacity(self, figure1_graph, figure1_index):
+        cached = CachingEmbedder(LcagEmbedder(figure1_graph), max_entries=1)
+        cached.seed(group_key({"taliban": figure1_index.lookup("Taliban")}), None)
+        cached.seed(group_key({"pakistan": figure1_index.lookup("Pakistan")}), None)
+        assert cached.size == 1

@@ -1,0 +1,1 @@
+"""Tests for the parallel indexing subsystem (:mod:`repro.parallel`)."""

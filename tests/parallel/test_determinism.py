@@ -1,0 +1,151 @@
+"""Parallel indexing must be bit-identical to the serial reference path.
+
+The contract (see :mod:`repro.parallel.indexer`): ``index_corpus`` with
+``workers=4`` yields identical ``save_index`` bytes, identical skipped-doc
+lists, and identical top-k rankings to the serial loop — on both synthetic
+datasets, with and without the segment cache, and for every embedder
+variant.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.data.datasets import cnn_like_config, kaggle_like_config, make_dataset
+from repro.search.engine import NewsLinkEngine
+
+SCALE = 0.15
+WORKERS = 4
+
+
+def _make_dataset(name: str):
+    factory = cnn_like_config if name == "cnn-like" else kaggle_like_config
+    world_config, news_config = factory(scale=SCALE)
+    return make_dataset(name, world_config, news_config)
+
+
+def _index_and_save(graph, corpus, path, config=None, workers=None):
+    engine = NewsLinkEngine(graph, config or EngineConfig())
+    skipped = engine.index_corpus(corpus, workers=workers)
+    engine.save_index(path)
+    return engine, skipped, path.read_bytes()
+
+
+def _queries(corpus, count=6):
+    return [doc.text[:90] for doc in list(corpus)[:count]]
+
+
+@pytest.fixture(scope="module", params=["cnn-like", "kaggle-like"])
+def case(request, tmp_path_factory):
+    """Serial reference vs workers=4 run, per synthetic dataset."""
+    dataset = _make_dataset(request.param)
+    graph = dataset.world.graph
+    out = tmp_path_factory.mktemp(f"determinism-{request.param}")
+    serial, serial_skipped, serial_bytes = _index_and_save(
+        graph, dataset.corpus, out / "serial.json"
+    )
+    parallel, parallel_skipped, parallel_bytes = _index_and_save(
+        graph, dataset.corpus, out / "parallel.json", workers=WORKERS
+    )
+    return SimpleNamespace(
+        dataset=dataset,
+        graph=graph,
+        out=out,
+        serial=serial,
+        serial_skipped=serial_skipped,
+        serial_bytes=serial_bytes,
+        parallel=parallel,
+        parallel_skipped=parallel_skipped,
+        parallel_bytes=parallel_bytes,
+    )
+
+
+class TestWorkers4MatchesSerial:
+    def test_save_index_bytes_identical(self, case):
+        assert case.parallel_bytes == case.serial_bytes
+
+    def test_skipped_docs_identical(self, case):
+        assert case.parallel_skipped == case.serial_skipped
+
+    def test_top_k_identical(self, case):
+        for query in _queries(case.dataset.corpus):
+            serial_hits = case.serial.search(query, k=10)
+            parallel_hits = case.parallel.search(query, k=10)
+            assert parallel_hits == serial_hits
+
+    def test_report_records_the_run(self, case):
+        report = case.parallel.last_index_report
+        assert report is not None
+        assert report.workers == WORKERS
+        assert report.indexed == case.parallel.num_indexed
+        assert report.skipped == case.parallel_skipped
+        assert 0 < report.unique_groups <= report.total_groups
+        assert report.dedup.misses == report.unique_groups
+        assert report.dedup.hits == report.total_groups - report.unique_groups
+        assert report.search.pops > 0
+
+
+class TestVariantsMatchSerial:
+    """Each embedder/config variant stays bit-identical under the pool."""
+
+    @pytest.mark.parametrize(
+        "variant_config",
+        [
+            EngineConfig(cache_embeddings=True),
+            EngineConfig(use_tree_embedder=True),
+            EngineConfig(disambiguate=True),
+            EngineConfig(parallel_nlp=False),
+        ],
+        ids=["cached", "tree", "disambiguate", "serial-nlp"],
+    )
+    def test_variant_bit_identical(self, case, tmp_path, variant_config):
+        _, serial_skipped, serial_bytes = _index_and_save(
+            case.graph, case.dataset.corpus, tmp_path / "serial.json",
+            config=variant_config,
+        )
+        _, parallel_skipped, parallel_bytes = _index_and_save(
+            case.graph, case.dataset.corpus, tmp_path / "parallel.json",
+            config=variant_config, workers=3,
+        )
+        assert parallel_bytes == serial_bytes
+        assert parallel_skipped == serial_skipped
+
+
+class TestCacheSeeding:
+    def test_parallel_run_warms_segment_cache(self, case, tmp_path):
+        engine = NewsLinkEngine(
+            case.graph, EngineConfig(cache_embeddings=True)
+        )
+        engine.index_corpus(case.dataset.corpus, workers=WORKERS)
+        report = engine.last_index_report
+        stats = engine.cache_stats
+        assert stats is not None
+        # The merge stage credits the planner's dedup to the cache...
+        assert stats.misses == report.unique_groups
+        assert stats.hits == report.total_groups - report.unique_groups
+        # ...and seeds every unique group, so re-indexing a document hits.
+        before = stats.hits
+        document = next(iter(case.dataset.corpus))
+        engine.index_document(document)
+        assert stats.hits > before
+        assert stats.misses == report.unique_groups
+
+
+class TestWorkerCountVariants:
+    def test_workers_zero_means_auto(self, case, tmp_path):
+        _, skipped, auto_bytes = _index_and_save(
+            case.graph, case.dataset.corpus, tmp_path / "auto.json", workers=0
+        )
+        assert auto_bytes == case.serial_bytes
+        assert skipped == case.serial_skipped
+
+    def test_config_workers_used_by_default(self, case, tmp_path):
+        config = EngineConfig(workers=2)
+        _, _, two_bytes = _index_and_save(
+            case.graph, case.dataset.corpus, tmp_path / "two.json",
+            config=config,
+        )
+        assert two_bytes == case.serial_bytes

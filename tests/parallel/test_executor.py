@@ -1,0 +1,179 @@
+"""Tests for the executor plumbing, serial fallback, and merge stage."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.cache import CachingEmbedder
+from repro.core.lcag import LcagEmbedder, SearchStats
+from repro.data.document import Corpus, NewsDocument
+from repro.errors import DataError
+from repro.parallel.executor import (
+    WorkerPool,
+    attach_search_sink,
+    parallel_supported,
+    sink_target,
+)
+from repro.parallel.indexer import index_corpus_parallel, resolve_workers
+from repro.parallel.merge import merge_into_engine
+from repro.parallel.planner import build_plan
+from repro.parallel.tasks import NlpOutcome, chunked
+from repro.search.engine import NewsLinkEngine
+
+
+@pytest.fixture()
+def small_corpus() -> Corpus:
+    return Corpus(
+        [
+            NewsDocument(
+                "t_q",
+                "Pakistan fought Taliban militants in Upper Dir. "
+                "The clashes spread toward Swat Valley.",
+            ),
+            NewsDocument(
+                "t_r",
+                "Taliban bombed a market in Lahore. "
+                "Peshawar also saw attacks, Pakistan said.",
+            ),
+            NewsDocument("off", "A completely unrelated cooking festival."),
+        ]
+    )
+
+
+class TestChunked:
+    def test_even_split(self):
+        assert chunked([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_ragged_tail(self):
+        assert chunked([1, 2, 3], 2) == [[1, 2], [3]]
+
+    def test_empty(self):
+        assert chunked([], 4) == []
+
+
+class TestSinkTarget:
+    def test_base_embedder_is_its_own_target(self, figure1_graph):
+        base = LcagEmbedder(figure1_graph)
+        assert sink_target(base) is base
+
+    def test_walks_decorator_stack(self, figure1_graph):
+        base = LcagEmbedder(figure1_graph)
+        cached = CachingEmbedder(base)
+        assert sink_target(cached) is base
+
+    def test_no_sink_anywhere(self):
+        class Plain:
+            def embed(self, label_sources):
+                return None
+
+        assert sink_target(Plain()) is None
+
+    def test_attach_installs_fresh_stats(self, figure1_graph):
+        base = LcagEmbedder(figure1_graph)
+        sink = attach_search_sink(CachingEmbedder(base))
+        assert isinstance(sink, SearchStats)
+        assert base.stats_sink is sink
+
+    def test_attach_without_target(self):
+        class Plain:
+            def embed(self, label_sources):
+                return None
+
+        assert attach_search_sink(Plain()) is None
+
+
+class TestResolveWorkers:
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(3) == 3
+
+    def test_zero_means_one_per_core(self):
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+
+class TestWorkerPoolValidation:
+    def test_rejects_single_worker(self, figure1_graph):
+        engine = NewsLinkEngine(figure1_graph)
+        with pytest.raises(ValueError):
+            WorkerPool(engine.pipeline, engine.embedder, workers=1)
+
+
+class TestSerialFallback:
+    """``index_corpus_parallel`` with one worker: planner, no pool."""
+
+    def test_matches_serial_reference(
+        self, figure1_graph, small_corpus, tmp_path
+    ):
+        serial = NewsLinkEngine(figure1_graph)
+        serial_skipped = serial.index_corpus(small_corpus)
+        serial.save_index(tmp_path / "serial.json")
+
+        fallback = NewsLinkEngine(figure1_graph)
+        report = index_corpus_parallel(fallback, small_corpus, workers=1)
+        fallback.save_index(tmp_path / "fallback.json")
+
+        assert report.workers == 1
+        assert not report.nlp_parallel
+        assert report.skipped == serial_skipped
+        assert (tmp_path / "fallback.json").read_bytes() == (
+            tmp_path / "serial.json"
+        ).read_bytes()
+
+    def test_search_stats_counted_exactly_once(
+        self, figure1_graph, small_corpus
+    ):
+        serial = NewsLinkEngine(figure1_graph)
+        serial.index_corpus(small_corpus)
+
+        fallback = NewsLinkEngine(figure1_graph)
+        report = index_corpus_parallel(fallback, small_corpus, workers=1)
+
+        assert report.search.pops > 0
+        assert fallback.search_stats.pops == report.search.pops
+        # The planner found no duplicate groups here, so the fallback runs
+        # the same searches the serial loop does.
+        assert report.dedup.hits == 0
+        assert fallback.search_stats.pops == serial.search_stats.pops
+
+    def test_cache_seeded_without_double_counting(
+        self, figure1_graph, small_corpus
+    ):
+        engine = NewsLinkEngine(
+            figure1_graph, EngineConfig(cache_embeddings=True)
+        )
+        report = index_corpus_parallel(engine, small_corpus, workers=1)
+        stats = engine.cache_stats
+        assert stats.misses == report.unique_groups
+        assert stats.hits == report.total_groups - report.unique_groups
+        # Seeded entries serve later lookups as hits.
+        engine.index_document(next(iter(small_corpus)))
+        assert stats.misses == report.unique_groups
+
+    def test_empty_corpus(self, figure1_graph):
+        engine = NewsLinkEngine(figure1_graph)
+        report = index_corpus_parallel(engine, Corpus([]), workers=4)
+        assert report.indexed == 0
+        assert report.skipped == []
+        assert report.total_groups == 0
+
+
+class TestMergeValidation:
+    def test_result_count_mismatch_rejected(self, figure1_graph):
+        engine = NewsLinkEngine(figure1_graph)
+        group = {"taliban": frozenset({"v2"})}
+        plan = build_plan(
+            [("d1", "text")],
+            [NlpOutcome(doc_id="d1", group_sources=(group,))],
+        )
+        with pytest.raises(DataError):
+            merge_into_engine(
+                engine, plan, graphs=[], search_stats=SearchStats(),
+                workers=1, nlp_parallel=False,
+            )
+
+
+class TestParallelSupported:
+    def test_reports_a_bool(self):
+        assert isinstance(parallel_supported(), bool)

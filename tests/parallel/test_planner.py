@@ -1,0 +1,90 @@
+"""Tests for the corpus-wide dedup planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import CachingEmbedder, group_key
+from repro.errors import DataError
+from repro.parallel.planner import build_plan
+from repro.parallel.tasks import NlpOutcome
+
+
+def _group(**label_sources):
+    return {label: frozenset(nodes) for label, nodes in label_sources.items()}
+
+
+GROUP_A = _group(taliban={"v2"}, pakistan={"v6"})
+GROUP_B = _group(khyber={"v0"})
+GROUP_C = _group(lahore={"v4"}, peshawar={"v5"})
+
+
+def _outcome(doc_id, *groups):
+    return NlpOutcome(doc_id=doc_id, group_sources=tuple(groups))
+
+
+class TestGroupKey:
+    def test_matches_the_cache_key(self):
+        assert group_key(GROUP_A) == CachingEmbedder._key(GROUP_A)
+
+    def test_order_insensitive(self):
+        reordered = dict(reversed(list(GROUP_A.items())))
+        assert group_key(reordered) == group_key(GROUP_A)
+
+    def test_distinguishes_different_sources(self):
+        other = _group(taliban={"v2"}, pakistan={"v6", "v9"})
+        assert group_key(other) != group_key(GROUP_A)
+
+
+class TestBuildPlan:
+    def test_dedups_across_documents(self):
+        texts = [("d1", "one"), ("d2", "two"), ("d3", "three")]
+        outcomes = [
+            _outcome("d1", GROUP_A, GROUP_B),
+            _outcome("d2", GROUP_A),          # duplicate of d1's first group
+            _outcome("d3", GROUP_B, GROUP_C),  # duplicate of d1's second
+        ]
+        plan = build_plan(texts, outcomes)
+        assert plan.total_instances == 5
+        assert plan.num_unique == 3
+        assert plan.duplicate_instances == 2
+        assert plan.dedup_rate == pytest.approx(2 / 5)
+
+    def test_unique_groups_numbered_first_seen(self):
+        texts = [("d1", ""), ("d2", "")]
+        outcomes = [_outcome("d1", GROUP_B, GROUP_A), _outcome("d2", GROUP_C)]
+        plan = build_plan(texts, outcomes)
+        assert plan.unique_keys == [
+            group_key(GROUP_B), group_key(GROUP_A), group_key(GROUP_C),
+        ]
+        assert plan.unique_sources == [GROUP_B, GROUP_A, GROUP_C]
+
+    def test_documents_keep_corpus_and_group_order(self):
+        texts = [("d1", "text one"), ("d2", "text two")]
+        outcomes = [_outcome("d1", GROUP_A, GROUP_B), _outcome("d2", GROUP_A)]
+        plan = build_plan(texts, outcomes)
+        assert [doc.doc_id for doc in plan.documents] == ["d1", "d2"]
+        assert plan.documents[0].text == "text one"
+        assert plan.documents[0].group_keys == (
+            group_key(GROUP_A), group_key(GROUP_B),
+        )
+        assert plan.documents[1].group_keys == (group_key(GROUP_A),)
+
+    def test_duplicate_within_one_document(self):
+        plan = build_plan([("d1", "")], [_outcome("d1", GROUP_A, GROUP_A)])
+        assert plan.total_instances == 2
+        assert plan.num_unique == 1
+
+    def test_empty_corpus(self):
+        plan = build_plan([], [])
+        assert plan.documents == []
+        assert plan.total_instances == 0
+        assert plan.dedup_rate == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            build_plan([("d1", "")], [])
+
+    def test_misaligned_outcome_rejected(self):
+        with pytest.raises(DataError):
+            build_plan([("d1", "")], [_outcome("other", GROUP_A)])

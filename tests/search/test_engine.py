@@ -147,6 +147,140 @@ class TestDisambiguatingEngine:
             EngineConfig(disambiguation_distance=0.0)
 
 
+class TestQueryEmbeddingCache:
+    QUERY = "Pakistan fought Taliban in Upper Dir"
+
+    def _counting_engine(self, figure1_graph, figure1_corpus, config=None):
+        engine = NewsLinkEngine(figure1_graph, config or EngineConfig())
+        engine.index_corpus(figure1_corpus)
+        original = engine.process_query
+        calls = []
+
+        def counted(text, timing=None):
+            calls.append(text)
+            return original(text, timing=timing)
+
+        engine.process_query = counted
+        return engine, calls
+
+    def test_search_then_explain_embeds_once(
+        self, figure1_graph, figure1_corpus
+    ):
+        engine, calls = self._counting_engine(figure1_graph, figure1_corpus)
+        results = engine.search(self.QUERY, k=2)
+        engine.explain(self.QUERY, results[0].doc_id)
+        engine.explanation(self.QUERY, results[0].doc_id)
+        engine.explain_verbalized(self.QUERY, results[0].doc_id)
+        assert len(calls) == 1
+
+    def test_repeated_search_hits_cache(self, figure1_graph, figure1_corpus):
+        engine, calls = self._counting_engine(figure1_graph, figure1_corpus)
+        first = engine.search(self.QUERY, k=2)
+        second = engine.search(self.QUERY, k=2)
+        assert first == second
+        assert len(calls) == 1
+
+    def test_zero_size_disables_the_cache(
+        self, figure1_graph, figure1_corpus
+    ):
+        engine, calls = self._counting_engine(
+            figure1_graph, figure1_corpus, EngineConfig(query_cache_size=0)
+        )
+        engine.search(self.QUERY, k=2)
+        engine.search(self.QUERY, k=2)
+        assert len(calls) == 2
+
+    def test_lru_evicts_oldest_query(self, figure1_graph, figure1_corpus):
+        engine, calls = self._counting_engine(
+            figure1_graph, figure1_corpus, EngineConfig(query_cache_size=1)
+        )
+        engine.search(self.QUERY, k=1)
+        engine.search("Taliban bombed Lahore", k=1)  # evicts QUERY
+        engine.search(self.QUERY, k=1)  # recomputed
+        assert len(calls) == 3
+
+    def test_precomputed_embedding_skips_query_stages(
+        self, figure1_graph, figure1_corpus
+    ):
+        engine, calls = self._counting_engine(
+            figure1_graph, figure1_corpus, EngineConfig(query_cache_size=0)
+        )
+        _, embedding = engine.process_query(self.QUERY)
+        calls.clear()
+        results = engine.search_with_embedding(self.QUERY, embedding, k=2)
+        engine.explain(self.QUERY, results[0].doc_id, query_embedding=embedding)
+        engine.explanation(
+            self.QUERY, results[0].doc_id, query_embedding=embedding
+        )
+        engine.explain_verbalized(
+            self.QUERY, results[0].doc_id, query_embedding=embedding
+        )
+        assert calls == []
+
+    def test_timing_shape_stable_on_cache_hit(self, engine):
+        engine.search("Taliban in Pakistan", k=2)
+        timing = TimingBreakdown()
+        engine.search("Taliban in Pakistan", k=2, timing=timing)
+        assert set(timing.components()) == {"nlp", "ne", "ns"}
+
+
+class TestGzipPersistence:
+    def test_roundtrip(self, engine, figure1_graph, tmp_path):
+        path = tmp_path / "index.json.gz"
+        engine.save_index(path)
+        fresh = NewsLinkEngine(figure1_graph)
+        assert fresh.load_index(path) == engine.num_indexed
+        query = "Taliban attacks in Pakistan"
+        assert fresh.search(query, k=2) == engine.search(query, k=2)
+
+    def test_gzip_payload_matches_plain(self, engine, tmp_path):
+        import gzip
+
+        plain = tmp_path / "index.json"
+        packed = tmp_path / "index.json.gz"
+        engine.save_index(plain)
+        engine.save_index(packed)
+        assert gzip.decompress(packed.read_bytes()) == plain.read_bytes()
+
+    def test_gzip_archives_are_deterministic(self, engine, tmp_path):
+        first = tmp_path / "first.json.gz"
+        second = tmp_path / "second.json.gz"
+        engine.save_index(first)
+        engine.save_index(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_load_detects_gzip_by_magic_bytes(
+        self, engine, figure1_graph, tmp_path
+    ):
+        # A gzipped payload under a non-.gz name still loads.
+        path = tmp_path / "index.json.gz"
+        engine.save_index(path)
+        disguised = tmp_path / "index.json"
+        disguised.write_bytes(path.read_bytes())
+        fresh = NewsLinkEngine(figure1_graph)
+        assert fresh.load_index(disguised) == engine.num_indexed
+
+
+class TestAddEmbeddedDocument:
+    def test_empty_embedding_rejected(self, figure1_graph):
+        from repro.core.document_embedding import union_embedding
+
+        engine = NewsLinkEngine(figure1_graph)
+        empty = union_embedding("empty", [])
+        assert not engine.add_embedded_document("empty", "no entities", empty)
+        assert engine.num_indexed == 0
+
+    def test_embedded_document_searchable(self, figure1_graph, figure1_corpus):
+        engine = NewsLinkEngine(figure1_graph)
+        reference = NewsLinkEngine(figure1_graph)
+        reference.index_corpus(figure1_corpus)
+        document = figure1_corpus.get("t_q")
+        assert engine.add_embedded_document(
+            document.doc_id, document.text, reference.embedding("t_q")
+        )
+        assert engine.search("Taliban in Upper Dir", k=1)[0].doc_id == "t_q"
+
+
 class TestSnippetsAndTexts:
     def test_document_text_stored(self, engine, figure1_corpus):
         assert engine.document_text("t_q") == figure1_corpus.get("t_q").text

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -9,15 +10,25 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
 
 
 def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    # The examples run from their own directory, so a relative PYTHONPATH
+    # (e.g. the tier-1 `PYTHONPATH=src`) would no longer resolve; point the
+    # subprocess at the absolute src/ tree explicitly.
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC_DIR) if not existing else str(SRC_DIR) + os.pathsep + existing
+    )
     return subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / name), *args],
         capture_output=True,
         text=True,
         timeout=240,
         cwd=EXAMPLES_DIR,
+        env=env,
     )
 
 

@@ -6,7 +6,8 @@ Subcommands::
         dataset: knowledge graph (kg.json) + corpus (corpus.jsonl)
     repro index DIR [--tree] [--beta B]                   — build and save
         the NewsLink index (index.json) for a generated dataset
-    repro search DIR QUERY [-k N] [--beta B] [--explain]  — query an
+    repro search DIR QUERY [-k N] [--beta B] [--ranking M] [--explain]
+                                                          — query an
         indexed dataset and optionally print relationship paths
     repro evaluate DIR [-k N]                             — quick Lucene
         vs NewsLink comparison on the dataset's test split
@@ -68,6 +69,10 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("query")
     search.add_argument("-k", type=int, default=5)
     search.add_argument("--beta", type=float, default=None)
+    search.add_argument(
+        "--ranking", choices=("pruned", "exhaustive"), default=None,
+        help="query-serving path (default: engine config, 'pruned')",
+    )
     search.add_argument(
         "--explain", action="store_true",
         help="print relationship paths for the top result",
@@ -152,7 +157,9 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 def _cmd_search(args: argparse.Namespace) -> int:
     engine = _load_engine(args.directory, args.beta)
-    results = engine.search(args.query, k=args.k, beta=args.beta)
+    results = engine.search(
+        args.query, k=args.k, beta=args.beta, ranking=args.ranking
+    )
     if not results:
         print("no results")
         return 1

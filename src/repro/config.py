@@ -147,6 +147,14 @@ class EngineConfig:
         query_cache_size: entries of the query-embedding LRU shared by
             ``search`` and the ``explain*`` methods (0 disables), so
             explaining k results of a query costs one embedding, not k+1.
+        ranking: query-serving strategy.  ``"pruned"`` (default) serves
+            ``search`` with fused two-channel MaxScore dynamic pruning
+            (:class:`repro.search.pruned.FusedRanker`) — identical
+            results, sublinear in matching documents; ``"exhaustive"``
+            scores every matching document on both channels (the
+            reference path).  Pruned ranking falls back to exhaustive
+            when ``fusion.normalize`` is on (per-query max-normalization
+            needs full score maps).
     """
 
     lcag: LcagConfig = field(default_factory=LcagConfig)
@@ -164,6 +172,7 @@ class EngineConfig:
     parallel_nlp: bool = True
     parallel_chunk_size: int = 32
     query_cache_size: int = 64
+    ranking: str = "pruned"
 
     def __post_init__(self) -> None:
         _require(
@@ -177,6 +186,10 @@ class EngineConfig:
             self.parallel_chunk_size >= 1, "parallel_chunk_size must be >= 1"
         )
         _require(self.query_cache_size >= 0, "query_cache_size must be >= 0")
+        _require(
+            self.ranking in ("pruned", "exhaustive"),
+            "ranking must be 'pruned' or 'exhaustive'",
+        )
 
 
 @dataclass(frozen=True)

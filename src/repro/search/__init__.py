@@ -11,9 +11,10 @@ from repro.search.inverted_index import InvertedIndex
 from repro.search.bm25 import Bm25Scorer
 from repro.search.tfidf import TfIdfScorer
 from repro.search.bon import bon_terms
-from repro.search.fusion import fuse_scores
+from repro.search.fusion import fuse_scores, supports_pruned_ranking
 from repro.search.topk import top_k
 from repro.search.wand import MaxScoreRanker
+from repro.search.pruned import FusedHit, FusedRanker, QueryStats
 from repro.search.threshold import threshold_topk, threshold_topk_with_stats
 from repro.search.snippets import Snippet, SnippetGenerator
 from repro.search.engine import NewsLinkEngine, SearchResult
@@ -27,8 +28,12 @@ __all__ = [
     "TfIdfScorer",
     "bon_terms",
     "fuse_scores",
+    "supports_pruned_ranking",
     "top_k",
     "MaxScoreRanker",
+    "FusedHit",
+    "FusedRanker",
+    "QueryStats",
     "threshold_topk",
     "threshold_topk_with_stats",
     "NewsLinkEngine",

@@ -2,6 +2,14 @@
 
 This is the term-weighting the paper uses for both channels: "The scoring
 is based on BM25 with default settings provided by Lucene" (§VII-A4).
+
+IDF values and per-document length norms are cached per index version
+(see :attr:`InvertedIndex.version`), so repeated queries against an
+unchanged index pay one dictionary lookup per term/document instead of a
+log/division each — and the dynamic-pruning rankers
+(:mod:`repro.search.wand`, :mod:`repro.search.pruned`) reuse exactly the
+same cached values, which keeps their scores bit-identical to this
+exhaustive reference.
 """
 
 from __future__ import annotations
@@ -20,17 +28,96 @@ class Bm25Scorer:
     def __init__(self, index: InvertedIndex, config: Bm25Config | None = None) -> None:
         self._index = index
         self._config = config or Bm25Config()
+        self._idf_cache: dict[str, float] = {}
+        self._norm_cache: dict[str, float] = {}
+        self._cache_version = -1
 
     @property
     def index(self) -> InvertedIndex:
         """The underlying index."""
         return self._index
 
+    @property
+    def config(self) -> Bm25Config:
+        """The BM25 parameters."""
+        return self._config
+
+    def _refresh_caches(self) -> None:
+        version = self._index.version
+        if version != self._cache_version:
+            self._idf_cache.clear()
+            self._norm_cache.clear()
+            self._cache_version = version
+
     def idf(self, term: str) -> float:
-        """Lucene's BM25 IDF: ``ln(1 + (N - df + 0.5) / (df + 0.5))``."""
-        df = self._index.doc_frequency(term)
-        n = self._index.num_docs
-        return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+        """Lucene's BM25 IDF: ``ln(1 + (N - df + 0.5) / (df + 0.5))``.
+
+        Cached per (term, index version): recomputed only after mutations.
+        """
+        self._refresh_caches()
+        idf = self._idf_cache.get(term)
+        if idf is None:
+            df = self._index.doc_frequency(term)
+            n = self._index.num_docs
+            idf = math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+            self._idf_cache[term] = idf
+        return idf
+
+    def norms(self) -> Mapping[str, float]:
+        """Per-document BM25 length norms ``1 - b + b * dl / avgdl``.
+
+        Precomputed once per index version and shared by every query (and
+        by the pruning rankers), instead of one division per posting.
+        """
+        self._refresh_caches()
+        if not self._norm_cache and self._index.num_docs:
+            b = self._config.b
+            avgdl = self._index.avg_doc_length
+            if avgdl == 0:
+                self._norm_cache = {
+                    doc_id: 1.0 for doc_id in self._index.doc_lengths()
+                }
+            else:
+                self._norm_cache = {
+                    doc_id: 1.0 - b + b * dl / avgdl
+                    for doc_id, dl in self._index.doc_lengths().items()
+                }
+        return self._norm_cache
+
+    def term_contribution(self, term: str, tf: int, doc_id: str) -> float:
+        """One term's BM25 contribution to one document's score.
+
+        Computed from the same cached IDF and norm values as
+        :meth:`score_weighted`, so sums over identical terms in identical
+        order are bit-identical.
+        """
+        k1 = self._config.k1
+        return self.idf(term) * (tf * (k1 + 1.0)) / (
+            tf + k1 * self.norms()[doc_id]
+        )
+
+    def term_upper_bound(self, term: str) -> float:
+        """Max possible BM25 contribution of ``term`` for any document.
+
+        The tf factor ``tf*(k1+1)/(tf + k1*norm)`` is increasing in tf and
+        bounded by ``k1+1`` as tf grows; the true max tf in the posting
+        list with the most favourable length norm (b-dependent) gives a
+        tight, safe bound.  Max-tf and min-doc-length come from the
+        index's incrementally-maintained metadata — no posting-list scan.
+        """
+        max_tf = self._index.max_term_frequency(term)
+        if max_tf == 0:
+            return 0.0
+        k1, b = self._config.k1, self._config.b
+        avgdl = self._index.avg_doc_length
+        if avgdl == 0:
+            min_norm = 1.0
+        else:
+            min_dl = self._index.min_doc_length(term)
+            min_norm = min(1.0, 1.0 - b + b * min_dl / avgdl)
+        return self.idf(term) * (max_tf * (k1 + 1.0)) / (
+            max_tf + k1 * min_norm
+        )
 
     def score(self, query_terms: Iterable[str]) -> dict[str, float]:
         """BM25 scores of all documents matching any query term.
@@ -44,8 +131,7 @@ class Bm25Scorer:
     def score_weighted(self, term_weights: Mapping[str, float]) -> dict[str, float]:
         """BM25 with per-term query weights (used by query expansion)."""
         k1 = self._config.k1
-        b = self._config.b
-        avgdl = self._index.avg_doc_length
+        norms = self.norms()
         scores: dict[str, float] = {}
         for term, weight in term_weights.items():
             if weight == 0:
@@ -55,9 +141,9 @@ class Bm25Scorer:
                 continue
             idf = self.idf(term)
             for doc_id, tf in postings.items():
-                dl = self._index.doc_length(doc_id)
-                norm = 1.0 if avgdl == 0 else (1.0 - b + b * dl / avgdl)
-                contribution = idf * (tf * (k1 + 1.0)) / (tf + k1 * norm)
+                contribution = idf * (tf * (k1 + 1.0)) / (
+                    tf + k1 * norms[doc_id]
+                )
                 scores[doc_id] = scores.get(doc_id, 0.0) + weight * contribution
         return scores
 

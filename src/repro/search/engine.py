@@ -46,8 +46,9 @@ from repro.nlp.pipeline import NlpPipeline, ProcessedDocument
 from repro.search.analyzer import Analyzer
 from repro.search.bm25 import Bm25Scorer
 from repro.search.bon import bon_terms
-from repro.search.fusion import fuse_scores
+from repro.search.fusion import fuse_scores, supports_pruned_ranking
 from repro.search.inverted_index import InvertedIndex
+from repro.search.pruned import FusedRanker, QueryStats
 from repro.search.topk import top_k
 from repro.utils.timing import TimingBreakdown
 
@@ -116,6 +117,9 @@ class NewsLinkEngine:
         self._node_index = InvertedIndex()
         self._text_scorer = Bm25Scorer(self._text_index, self._config.bm25)
         self._node_scorer = Bm25Scorer(self._node_index, self._config.bm25)
+        self._fused_ranker = FusedRanker(self._text_scorer, self._node_scorer)
+        self._query_stats = QueryStats()
+        self._snippet_generator = None
         self._embeddings: dict[str, DocumentEmbedding] = {}
         self._texts: dict[str, str] = {}
         self._query_cache: OrderedDict[
@@ -173,6 +177,19 @@ class NewsLinkEngine:
         if isinstance(self._embedder, CachingEmbedder):
             return self._embedder.stats
         return None
+
+    @property
+    def query_stats(self) -> QueryStats:
+        """Aggregate query-serving counters across every ranked query.
+
+        Tracks which path served each query (pruned vs exhaustive
+        fallback), how many candidate documents were scored vs pruned,
+        and how much posting-list work the cursors did — the query-side
+        counterpart of :attr:`search_stats`.  ``matching_docs`` is only
+        counted on the exhaustive path: not enumerating that set is
+        precisely what the pruned path saves.
+        """
+        return self._query_stats
 
     @property
     def last_index_report(self) -> "IndexReport | None":
@@ -318,16 +335,21 @@ class NewsLinkEngine:
         k: int = 10,
         timing: TimingBreakdown | None = None,
         beta: float | None = None,
+        ranking: str | None = None,
     ) -> list[SearchResult]:
         """Top-``k`` search with Equation 3 fusion.
 
         ``beta`` overrides the configured fusion weight for this query,
-        which lets the Table VII sweep reuse one indexed engine.
+        which lets the Table VII sweep reuse one indexed engine;
+        ``ranking`` likewise overrides :attr:`EngineConfig.ranking`
+        (``"pruned"`` / ``"exhaustive"``) per query, which is how the
+        differential tests and the latency benchmark compare both paths
+        on a single index.
         """
         timing = timing or TimingBreakdown()
         _, query_embedding = self._query_state(text, timing=timing)
         with timing.measure("ns"):
-            results = self._rank(text, query_embedding, k, beta)
+            results = self._rank(text, query_embedding, k, beta, ranking)
         return results
 
     def search_with_embedding(
@@ -336,9 +358,10 @@ class NewsLinkEngine:
         query_embedding: DocumentEmbedding,
         k: int = 10,
         beta: float | None = None,
+        ranking: str | None = None,
     ) -> list[SearchResult]:
         """Rank with a precomputed query embedding (used by benchmarks)."""
-        return self._rank(text, query_embedding, k, beta)
+        return self._rank(text, query_embedding, k, beta, ranking)
 
     def _rank(
         self,
@@ -346,10 +369,62 @@ class NewsLinkEngine:
         query_embedding: DocumentEmbedding,
         k: int,
         beta: float | None = None,
+        ranking: str | None = None,
     ) -> list[SearchResult]:
         fusion = self._config.fusion
         if beta is not None and beta != fusion.beta:
             fusion = replace(fusion, beta=beta)
+        beta = fusion.beta
+        if ranking is None:
+            ranking = self._config.ranking
+        elif ranking not in ("pruned", "exhaustive"):
+            raise DataError(
+                f"ranking must be 'pruned' or 'exhaustive', got {ranking!r}"
+            )
+        if ranking == "pruned" and supports_pruned_ranking(fusion):
+            return self._rank_pruned(text, query_embedding, k, fusion)
+        return self._rank_exhaustive(text, query_embedding, k, fusion)
+
+    def _rank_pruned(
+        self,
+        text: str,
+        query_embedding: DocumentEmbedding,
+        k: int,
+        fusion,
+    ) -> list[SearchResult]:
+        """The dynamic-pruning fast path (identical results, less work)."""
+        beta = fusion.beta
+        bow_query = self._analyzer.analyze(text) if beta < 1.0 else []
+        bon_query = (
+            bon_terms(query_embedding)
+            if beta > 0.0 and not query_embedding.is_empty
+            else []
+        )
+        hits, stats = self._fused_ranker.top_k(bow_query, bon_query, k, fusion)
+        self._query_stats.merge(stats)
+        return [
+            SearchResult(
+                doc_id=hit.doc_id,
+                score=hit.score,
+                bow_score=hit.bow_score,
+                bon_score=hit.bon_score,
+            )
+            for hit in hits
+        ]
+
+    def _rank_exhaustive(
+        self,
+        text: str,
+        query_embedding: DocumentEmbedding,
+        k: int,
+        fusion,
+    ) -> list[SearchResult]:
+        """The reference path: full score maps on both channels, then fuse.
+
+        Required whenever the complete fused map is needed — per-query
+        max-normalization (``fusion.normalize``) or callers that want
+        every matching document's score.
+        """
         beta = fusion.beta
         bow_scores: dict[str, float] = {}
         bon_scores: dict[str, float] = {}
@@ -359,6 +434,14 @@ class NewsLinkEngine:
             bon_scores = self._node_scorer.score(bon_terms(query_embedding))
         fused = fuse_scores(bow_scores, bon_scores, fusion)
         ranked = top_k(fused, k)
+        self._query_stats.merge(
+            QueryStats(
+                queries=1,
+                fallback_queries=1,
+                matching_docs=len(fused),
+                candidates_examined=len(fused),
+            )
+        )
         return [
             SearchResult(
                 doc_id=doc_id,
@@ -390,10 +473,15 @@ class NewsLinkEngine:
 
     def snippet(self, query_text: str, doc_id: str) -> "Snippet":
         """A query-biased, highlighted snippet of an indexed document."""
-        from repro.search.snippets import SnippetGenerator
+        if self._snippet_generator is None:
+            from repro.search.snippets import SnippetGenerator
 
-        generator = SnippetGenerator(self._analyzer, self._text_scorer)
-        return generator.generate(self.document_text(doc_id), query_text)
+            self._snippet_generator = SnippetGenerator(
+                self._analyzer, self._text_scorer
+            )
+        return self._snippet_generator.generate(
+            self.document_text(doc_id), query_text
+        )
 
     def save_index(self, path: "str | Path") -> None:
         """Persist both inverted indexes and all document embeddings.
@@ -456,6 +544,8 @@ class NewsLinkEngine:
         self._node_index = InvertedIndex()
         self._text_scorer = Bm25Scorer(self._text_index, self._config.bm25)
         self._node_scorer = Bm25Scorer(self._node_index, self._config.bm25)
+        self._fused_ranker = FusedRanker(self._text_scorer, self._node_scorer)
+        self._snippet_generator = None
         self._embeddings = {}
         self._texts = {
             doc_id: str(text) for doc_id, text in payload.get("texts", {}).items()

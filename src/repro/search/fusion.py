@@ -27,6 +27,21 @@ def _max_normalize(scores: Mapping[str, float]) -> dict[str, float]:
     return {doc_id: value / peak for doc_id, value in scores.items()}
 
 
+def supports_pruned_ranking(config: FusionConfig | None = None) -> bool:
+    """Whether Equation 3 fusion can be served by dynamic pruning.
+
+    Per-query max-normalization divides each channel by its *maximum*
+    score, which is only known after every matching document has been
+    scored — so ``normalize=True`` forces the exhaustive path (the fused
+    score is no longer a document-wise monotone aggregation of per-term
+    contributions).  Raw fusion (the paper's default) is a weighted sum
+    with fixed weights, exactly the setting MaxScore-style pruning
+    (:class:`repro.search.pruned.FusedRanker`) requires.
+    """
+    config = config or FusionConfig()
+    return not config.normalize
+
+
 def fuse_scores(
     bow_scores: Mapping[str, float],
     bon_scores: Mapping[str, float],

@@ -3,12 +3,23 @@
 The same structure indexes text terms (Bag-Of-Word channel) and subgraph
 embedding node ids (Bag-Of-Node channel, §VI) — the paper's "scoring
 compatibility" design point.
+
+Beyond the raw postings the index maintains the per-term metadata the
+dynamic-pruning rankers need — doc-id-sorted posting arrays, the maximum
+term frequency, and the minimum matching-document length — **incrementally**:
+each structure is built lazily on first access and invalidated only for
+the terms an ``add_document``/``remove_document`` actually touches, so
+queries between mutations never re-sort or re-scan posting lists, and a
+removal costs O(terms in the removed document), not O(vocabulary).
+A monotonically increasing :attr:`version` lets scorers key their own
+caches (IDF, length norms) on index mutations.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import Counter
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.errors import DocumentNotIndexedError
 
@@ -19,29 +30,62 @@ class InvertedIndex:
     def __init__(self) -> None:
         self._postings: dict[str, dict[str, int]] = {}
         self._doc_lengths: dict[str, int] = {}
+        self._doc_terms: dict[str, tuple[str, ...]] = {}
         self._total_length = 0
+        self._version = 0
+        # Per-term metadata, filled lazily and invalidated per touched term.
+        self._sorted_postings: dict[str, list[tuple[str, int]]] = {}
+        self._max_tf: dict[str, int] = {}
+        self._min_doc_length: dict[str, int] = {}
 
     def add_document(self, doc_id: str, terms: Iterable[str]) -> None:
         """Index ``doc_id``'s terms; re-adding a doc id replaces it."""
         if doc_id in self._doc_lengths:
             self.remove_document(doc_id)
         counts = Counter(terms)
-        length = sum(counts.values())
-        self._doc_lengths[doc_id] = length
-        self._total_length += length
-        for term, frequency in counts.items():
-            self._postings.setdefault(term, {})[doc_id] = frequency
+        self._ingest(doc_id, counts, sum(counts.values()))
 
     def add_document_counts(self, doc_id: str, counts: dict[str, int]) -> None:
         """Index ``doc_id`` from precomputed term counts (persistence path)."""
         if doc_id in self._doc_lengths:
             self.remove_document(doc_id)
-        length = sum(counts.values())
+        positive = {
+            term: int(frequency)
+            for term, frequency in counts.items()
+            if frequency > 0
+        }
+        self._ingest(doc_id, positive, sum(counts.values()))
+
+    def _ingest(
+        self, doc_id: str, counts: Mapping[str, int], length: int
+    ) -> None:
         self._doc_lengths[doc_id] = length
+        self._doc_terms[doc_id] = tuple(counts)
         self._total_length += length
         for term, frequency in counts.items():
-            if frequency > 0:
-                self._postings.setdefault(term, {})[doc_id] = int(frequency)
+            self._postings.setdefault(term, {})[doc_id] = frequency
+            self._note_posting_added(term, doc_id, frequency, length)
+        self._version += 1
+
+    def _note_posting_added(
+        self, term: str, doc_id: str, frequency: int, length: int
+    ) -> None:
+        """Keep cached per-term metadata consistent with one new posting."""
+        cached = self._sorted_postings.get(term)
+        if cached is not None:
+            insort(cached, (doc_id, frequency))
+        max_tf = self._max_tf.get(term)
+        if max_tf is not None and frequency > max_tf:
+            self._max_tf[term] = frequency
+        min_dl = self._min_doc_length.get(term)
+        if min_dl is not None and length < min_dl:
+            self._min_doc_length[term] = length
+
+    def _note_term_shrunk(self, term: str) -> None:
+        """Drop cached metadata that a removed posting may have defined."""
+        self._sorted_postings.pop(term, None)
+        self._max_tf.pop(term, None)
+        self._min_doc_length.pop(term, None)
 
     def to_forward_map(self) -> dict[str, dict[str, int]]:
         """doc_id -> {term: tf} (the invertible forward representation)."""
@@ -54,23 +98,65 @@ class InvertedIndex:
         return forward
 
     def remove_document(self, doc_id: str) -> None:
-        """Remove ``doc_id`` from the index."""
+        """Remove ``doc_id`` from the index.
+
+        Costs O(terms in the document): only the document's own posting
+        lists (tracked in the doc → terms forward map) are touched, never
+        the full vocabulary.
+        """
         length = self._doc_lengths.pop(doc_id, None)
         if length is None:
             raise DocumentNotIndexedError(doc_id)
         self._total_length -= length
-        empty_terms = []
-        for term, postings in self._postings.items():
-            postings.pop(doc_id, None)
+        for term in self._doc_terms.pop(doc_id, ()):
+            postings = self._postings[term]
+            del postings[doc_id]
             if not postings:
-                empty_terms.append(term)
-        for term in empty_terms:
-            del self._postings[term]
+                del self._postings[term]
+            self._note_term_shrunk(term)
+        self._version += 1
 
     # ------------------------------------------------------------------
     def postings(self, term: str) -> dict[str, int]:
         """The posting map of ``term`` (empty when unseen)."""
         return self._postings.get(term, {})
+
+    def sorted_postings(self, term: str) -> Sequence[tuple[str, int]]:
+        """``(doc_id, tf)`` pairs of ``term`` in ascending doc-id order.
+
+        Built once per term and reused across queries until a mutation
+        touches the term — callers must not modify the returned list.
+        """
+        cached = self._sorted_postings.get(term)
+        if cached is None:
+            postings = self._postings.get(term)
+            if not postings:
+                return []
+            cached = sorted(postings.items())
+            self._sorted_postings[term] = cached
+        return cached
+
+    def max_term_frequency(self, term: str) -> int:
+        """The largest tf in ``term``'s posting list (0 when unseen)."""
+        cached = self._max_tf.get(term)
+        if cached is None:
+            postings = self._postings.get(term)
+            if not postings:
+                return 0
+            cached = max(postings.values())
+            self._max_tf[term] = cached
+        return cached
+
+    def min_doc_length(self, term: str) -> int:
+        """The shortest document containing ``term`` (0 when unseen)."""
+        cached = self._min_doc_length.get(term)
+        if cached is None:
+            postings = self._postings.get(term)
+            if not postings:
+                return 0
+            cached = min(self._doc_lengths[doc_id] for doc_id in postings)
+            self._min_doc_length[term] = cached
+        return cached
 
     def doc_frequency(self, term: str) -> int:
         """Number of documents containing ``term``."""
@@ -83,8 +169,29 @@ class InvertedIndex:
             raise DocumentNotIndexedError(doc_id)
         return length
 
+    def doc_lengths(self) -> Mapping[str, int]:
+        """doc_id -> length for every indexed document (do not mutate)."""
+        return self._doc_lengths
+
+    def doc_terms(self, doc_id: str) -> tuple[str, ...]:
+        """The distinct terms indexed for ``doc_id`` (forward map entry)."""
+        terms = self._doc_terms.get(doc_id)
+        if terms is None:
+            raise DocumentNotIndexedError(doc_id)
+        return terms
+
     def __contains__(self, doc_id: object) -> bool:
         return doc_id in self._doc_lengths
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps on every add/remove.
+
+        Scorers key derived caches (IDF, per-document length norms) on
+        this, so cached values are reused across queries and recomputed
+        only after the index actually changed.
+        """
+        return self._version
 
     @property
     def num_docs(self) -> int:

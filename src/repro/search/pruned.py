@@ -1,0 +1,389 @@
+"""Fused two-channel dynamic pruning — the engine's query-serving fast path.
+
+``NewsLinkEngine._rank``'s exhaustive reference path scores **every**
+document matching any query term on both channels, materializes two full
+score maps, fuses them (Equation 3) and only then top-k's.  The paper's
+NS component instead "employ[s] existing top-k ranking algorithms [49],
+[38]" — the threshold-algorithm family.  :class:`FusedRanker` is that
+fast path: a MaxScore-style document-at-a-time ranker that walks the
+posting lists of *both* indexes at once under the Equation 3 weighted sum
+
+``F = (1 - beta) * F_BOW + beta * F_BON``
+
+with per-term upper bounds scaled by the channel weights, so a document
+is scored only when it could still enter the top k.
+
+Exactness
+---------
+The ranked output (ids, scores, per-channel scores, doc-id tie-breaks) is
+*identical* to the exhaustive path, property-tested in
+``tests/search/test_pruned.py``:
+
+* per-document scores are accumulated per channel in query-term order and
+  combined exactly like :func:`repro.search.fusion.fuse_scores`, from the
+  same cached IDF/norm values :meth:`Bm25Scorer.score_weighted` uses, so
+  float sums are bit-identical, not merely close;
+* upper bounds are inflated by a relative ``1e-9`` safety margin before
+  threshold comparisons.  Floating-point sums of true real-valued bounds
+  can round *below* the float sum of the true contributions when both
+  coincide; the margin (many orders of magnitude above the achievable
+  few-ulp error, and far below any score gap of interest) makes every
+  prune decision safe while giving up a negligible amount of pruning;
+* the prune test is strict (``bound < threshold``): a document whose
+  bound ties the k-th score could still win the ascending-doc-id
+  tie-break, so it is always scored.
+
+All per-term inputs (sorted posting arrays, max tf, min matching doc
+length, IDF, length norms) come from the incrementally-maintained
+index/scorer metadata — nothing is re-sorted or re-scanned per query.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from dataclasses import dataclass, fields
+from typing import NamedTuple, Sequence
+
+from repro.config import FusionConfig
+from repro.search.bm25 import Bm25Scorer
+from repro.search.wand import _ReverseStr
+
+#: Relative inflation applied to upper bounds before threshold
+#: comparisons; see the module docstring's exactness discussion.
+_SAFETY = 1.0 + 1e-9
+
+
+@dataclass
+class QueryStats:
+    """Observability counters for query serving, aggregated per engine.
+
+    Attributes:
+        queries: ranked queries served (both paths).
+        pruned_queries: queries served by the :class:`FusedRanker` path.
+        fallback_queries: queries served by the exhaustive reference path
+            (``ranking="exhaustive"`` or ``fusion.normalize=True``).
+        matching_docs: documents matching at least one query term.  Only
+            counted on the exhaustive path — not enumerating this set is
+            precisely the pruned path's win.
+        candidates_examined: documents fully scored.
+        docs_pruned: candidate documents discarded by an upper-bound
+            check without being scored.
+        postings_advanced: total posting-list positions moved.
+        cursor_skips: ``advance_to`` calls that jumped a cursor over at
+            least one posting via binary search (skipped postings are
+            still counted in ``postings_advanced``).
+    """
+
+    queries: int = 0
+    pruned_queries: int = 0
+    fallback_queries: int = 0
+    matching_docs: int = 0
+    candidates_examined: int = 0
+    docs_pruned: int = 0
+    postings_advanced: int = 0
+    cursor_skips: int = 0
+
+    def merge(self, other: "QueryStats") -> None:
+        """Fold another query's counters into this aggregate."""
+        for field in fields(self):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (benchmark/serialization helper)."""
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+
+class FusedHit(NamedTuple):
+    """One ranked document with its fused and per-channel scores."""
+
+    doc_id: str
+    score: float
+    bow_score: float
+    bon_score: float
+
+
+class _FusedCursor:
+    """A sorted posting-list cursor for one (channel, term) pair.
+
+    ``bound`` is the term's weighted BM25 upper bound *within* its
+    channel; ``eff_bound`` additionally carries the Equation 3 channel
+    weight and is what MaxScore orders and sums.  ``ordinal`` preserves
+    query-term order so exact scores can be folded canonically.
+    """
+
+    __slots__ = (
+        "term",
+        "weight",
+        "eff_bound",
+        "postings",
+        "position",
+        "size",
+        "current",
+        "channel",
+        "ordinal",
+    )
+
+    def __init__(
+        self,
+        term: str,
+        weight: float,
+        eff_bound: float,
+        postings: Sequence[tuple[str, int]],
+        channel: int,
+        ordinal: int,
+    ) -> None:
+        self.term = term
+        self.weight = weight
+        self.eff_bound = eff_bound
+        self.postings = postings
+        self.position = 0
+        self.size = len(postings)
+        # The current posting's doc id, None when exhausted — cached so
+        # the per-candidate scan is attribute reads, not indexing.
+        self.current: str | None = postings[0][0] if postings else None
+        self.channel = channel
+        self.ordinal = ordinal
+
+    @property
+    def exhausted(self) -> bool:
+        return self.current is None
+
+    @property
+    def current_tf(self) -> int:
+        return self.postings[self.position][1]
+
+    def step(self) -> None:
+        """Advance one posting."""
+        position = self.position + 1
+        self.position = position
+        self.current = (
+            self.postings[position][0] if position < self.size else None
+        )
+
+    def advance_to(self, doc_id: str) -> int:
+        """Move to the first posting with doc >= doc_id; returns the jump."""
+        postings = self.postings
+        start = self.position
+        lo, hi = start, self.size
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if postings[mid][0] < doc_id:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.position = lo
+        self.current = postings[lo][0] if lo < self.size else None
+        return lo - start
+
+
+class FusedRanker:
+    """Top-k of the Equation 3 fused score with MaxScore pruning.
+
+    Runs document-at-a-time over the text (BOW) and node (BON) channels
+    simultaneously.  Cursors are kept in ascending effective-upper-bound
+    order; once the k-th fused score exceeds the cumulative bound of the
+    cheapest cursors, those become *non-essential*: documents appearing
+    only in them can never enter the top k, so their postings are skipped
+    wholesale — non-essential cursors are advanced by binary search only
+    when an essential candidate needs probing.
+    """
+
+    def __init__(self, bow_scorer: Bm25Scorer, bon_scorer: Bm25Scorer) -> None:
+        self._scorers = (bow_scorer, bon_scorer)
+
+    # ------------------------------------------------------------------
+    def _build_cursors(
+        self,
+        bow_terms: Sequence[str],
+        bon_terms: Sequence[str],
+        channel_weights: tuple[float, float],
+    ) -> list[_FusedCursor]:
+        cursors: list[_FusedCursor] = []
+        ordinal = 0
+        for channel, terms in enumerate((bow_terms, bon_terms)):
+            channel_weight = channel_weights[channel]
+            if channel_weight <= 0.0 or not terms:
+                continue
+            scorer = self._scorers[channel]
+            index = scorer.index
+            for term, weight in Counter(terms).items():
+                postings = index.sorted_postings(term)
+                if not postings:
+                    continue
+                eff = channel_weight * (weight * scorer.term_upper_bound(term))
+                cursors.append(
+                    _FusedCursor(term, weight, eff, postings, channel, ordinal)
+                )
+                ordinal += 1
+        return cursors
+
+    @staticmethod
+    def _prefix_bounds(cursors: list[_FusedCursor]) -> list[float]:
+        """prefix[i] = sum of the i cheapest cursors' effective bounds."""
+        prefix = [0.0] * (len(cursors) + 1)
+        for i, cursor in enumerate(cursors):
+            prefix[i + 1] = prefix[i] + cursor.eff_bound
+        return prefix
+
+    @staticmethod
+    def _boundary(prefix: list[float], count: int, threshold: float) -> int:
+        """How many of the cheapest cursors are non-essential.
+
+        A document matching only cursors[0:f] has fused score at most
+        ``prefix[f]`` (inflated), so with a strict comparison it can
+        never enter — or tie into — the current top k.
+        """
+        f = 0
+        while f < count and prefix[f + 1] * _SAFETY < threshold:
+            f += 1
+        return f
+
+    # ------------------------------------------------------------------
+    def top_k(
+        self,
+        bow_terms: Sequence[str],
+        bon_terms: Sequence[str],
+        k: int,
+        fusion: FusionConfig | None = None,
+    ) -> tuple[list[FusedHit], QueryStats]:
+        """The top-``k`` documents under the fused Equation 3 score.
+
+        ``bow_terms`` are analyzed text terms; ``bon_terms`` are the
+        query embedding's BON node ids.  Returns the ranked hits and the
+        query's pruning counters.
+        """
+        fusion = fusion or FusionConfig()
+        beta = fusion.beta
+        channel_weights = (1.0 - beta, beta)
+        stats = QueryStats(queries=1, pruned_queries=1)
+        if k <= 0:
+            return [], stats
+        cursors = self._build_cursors(bow_terms, bon_terms, channel_weights)
+        if not cursors:
+            return [], stats
+        cursors.sort(key=lambda c: c.eff_bound)
+        prefix = self._prefix_bounds(cursors)
+        scorers = self._scorers
+
+        # Min-heap of (score, reversed-doc-id, bow_sum, bon_sum): the
+        # worst kept entry sits at the root; between equal scores the
+        # worst is the largest doc id (see wand._ReverseStr).
+        heap: list[tuple[float, _ReverseStr, float, float]] = []
+        threshold = float("-inf")
+        first_essential = 0
+
+        num_cursors = len(cursors)
+        while True:
+            # Next candidate: smallest current doc over *essential* cursors.
+            candidate: str | None = None
+            matches: list[_FusedCursor] = []
+            for i in range(first_essential, num_cursors):
+                cursor = cursors[i]
+                doc = cursor.current
+                if doc is None:
+                    continue
+                if candidate is None or doc < candidate:
+                    candidate = doc
+                    matches = [cursor]
+                elif doc == candidate:
+                    matches.append(cursor)
+            if candidate is None:
+                break
+
+            essential_bound = 0.0
+            for cursor in matches:
+                essential_bound += cursor.eff_bound
+            # Quick check: even with every non-essential term matching,
+            # the candidate cannot reach the k-th score — skip it without
+            # probing the non-essential cursors at all.
+            quick = (essential_bound + prefix[first_essential]) * _SAFETY
+            if len(heap) == k and quick < threshold:
+                stats.docs_pruned += 1
+                for cursor in matches:
+                    cursor.step()
+                    stats.postings_advanced += 1
+            else:
+                # Probe non-essential cursors (binary-search skip).
+                for i in range(first_essential):
+                    cursor = cursors[i]
+                    if cursor.current is None:
+                        continue
+                    moved = cursor.advance_to(candidate)
+                    stats.postings_advanced += moved
+                    if moved > 1:
+                        stats.cursor_skips += 1
+                    if cursor.current == candidate:
+                        matches.append(cursor)
+                bound = 0.0
+                for cursor in matches:
+                    bound += cursor.eff_bound
+                if len(heap) == k and bound * _SAFETY < threshold:
+                    stats.docs_pruned += 1
+                    for cursor in matches:
+                        cursor.step()
+                        stats.postings_advanced += 1
+                else:
+                    # Exact score: per-channel left folds in query-term
+                    # order, combined exactly like fuse_scores.
+                    matches.sort(key=lambda c: c.ordinal)
+                    sums = [0.0, 0.0]
+                    matched = [False, False]
+                    for cursor in matches:
+                        contribution = scorers[cursor.channel].term_contribution(
+                            cursor.term, cursor.current_tf, candidate
+                        )
+                        sums[cursor.channel] = (
+                            sums[cursor.channel] + cursor.weight * contribution
+                        )
+                        matched[cursor.channel] = True
+                        cursor.step()
+                        stats.postings_advanced += 1
+                    score = 0.0
+                    if matched[0]:
+                        score = channel_weights[0] * sums[0]
+                    if matched[1]:
+                        score = score + channel_weights[1] * sums[1]
+                    stats.candidates_examined += 1
+                    entry = (
+                        score,
+                        _ReverseStr(candidate),
+                        sums[0] if matched[0] else 0.0,
+                        sums[1] if matched[1] else 0.0,
+                    )
+                    if len(heap) < k:
+                        heapq.heappush(heap, entry)
+                    elif entry > heap[0]:
+                        heapq.heapreplace(heap, entry)
+                    if len(heap) == k and heap[0][0] != threshold:
+                        threshold = heap[0][0]
+                        first_essential = self._boundary(
+                            prefix, len(cursors), threshold
+                        )
+
+            # Compact exhausted cursors so their bounds stop inflating the
+            # non-essential budget (order is preserved; a cursor can only
+            # ever move from essential to non-essential, so candidates
+            # stay strictly increasing).
+            if any(cursor.current is None for cursor in cursors):
+                cursors = [c for c in cursors if c.current is not None]
+                num_cursors = len(cursors)
+                prefix = self._prefix_bounds(cursors)
+                first_essential = self._boundary(
+                    prefix, num_cursors, threshold
+                )
+
+        ranked = sorted(
+            heap, key=lambda entry: (-entry[0], entry[1].value)
+        )
+        return (
+            [
+                FusedHit(rev.value, score, bow, bon)
+                for score, rev, bow, bon in ranked
+            ],
+            stats,
+        )

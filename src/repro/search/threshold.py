@@ -16,6 +16,7 @@ dominate both channels.
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Mapping, Sequence
 
 from repro.search.topk import top_k
@@ -60,6 +61,12 @@ def threshold_topk_with_stats(
     ]
     positions = [0] * len(sorted_lists)
     seen: dict[str, float] = {}
+    # Min-heap of the k best fused scores seen so far.  A document's fused
+    # score is fixed the moment it is first seen (random access fills in
+    # the other channels), so the heap never needs updates — maintaining
+    # it is O(log k) per new document instead of re-sorting all of
+    # ``seen`` every round.
+    best_scores: list[float] = []
     accesses = 0
 
     def fused_score(doc_id: str) -> float:
@@ -79,7 +86,12 @@ def threshold_topk_with_stats(
             positions[index] = position + 1
             accesses += 1
             if doc_id not in seen:
-                seen[doc_id] = fused_score(doc_id)
+                score = fused_score(doc_id)
+                seen[doc_id] = score
+                if len(best_scores) < k:
+                    heapq.heappush(best_scores, score)
+                elif score > best_scores[0]:
+                    heapq.heapreplace(best_scores, score)
         if not progressed:
             break
         # Threshold: the best fused score any *unseen* document could have.
@@ -98,7 +110,7 @@ def threshold_topk_with_stats(
             for position, (ordered, _, _) in zip(positions, sorted_lists)
         )
         if len(seen) >= k:
-            kth = sorted(seen.values(), reverse=True)[k - 1]
+            kth = best_scores[0]
             # Strict (>) so an unseen document cannot even tie the k-th
             # score and steal the doc-id tie-break.
             if kth > threshold or exhausted:

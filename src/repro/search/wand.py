@@ -8,7 +8,16 @@ contribution, and once a document cannot beat the current k-th score even
 with every remaining term, its scoring is skipped.
 
 Results are *identical* to exhaustive scoring (property-tested); the win
-is skipped work on large posting lists.
+is skipped work on large posting lists.  All per-term inputs — sorted
+posting arrays, max tf, min matching doc length, IDF, length norms —
+come from the incrementally-maintained index/scorer caches, so queries
+never re-sort or re-scan posting lists (see
+:meth:`InvertedIndex.sorted_postings` and
+:meth:`Bm25Scorer.term_upper_bound`).
+
+For the engine's fused two-channel hot path see
+:class:`repro.search.pruned.FusedRanker`, which runs the same
+document-at-a-time loop over both indexes at once.
 """
 
 from __future__ import annotations
@@ -31,7 +40,7 @@ class _TermCursor:
         term: str,
         weight: float,
         upper_bound: float,
-        postings: list[tuple[str, int]],
+        postings: Sequence[tuple[str, int]],
     ) -> None:
         self.term = term
         self.weight = weight
@@ -85,37 +94,6 @@ class MaxScoreRanker:
     _last_pruned: int = 0
 
     # ------------------------------------------------------------------
-    def _term_contribution(self, term: str, tf: int, doc_id: str) -> float:
-        k1, b = self._config.k1, self._config.b
-        avgdl = self._index.avg_doc_length
-        dl = self._index.doc_length(doc_id)
-        norm = 1.0 if avgdl == 0 else (1.0 - b + b * dl / avgdl)
-        return self._scorer.idf(term) * (tf * (k1 + 1.0)) / (tf + k1 * norm)
-
-    def _upper_bound(self, term: str) -> float:
-        """Max possible BM25 contribution of ``term`` for any document.
-
-        The tf factor ``tf*(k1+1)/(tf + k1*norm)`` is increasing in tf and
-        bounded by ``k1+1`` as tf grows; using the true max tf in the
-        posting list with the most favourable length norm (b-dependent)
-        gives a tight, safe bound.
-        """
-        postings = self._index.postings(term)
-        if not postings:
-            return 0.0
-        k1, b = self._config.k1, self._config.b
-        max_tf = max(postings.values())
-        avgdl = self._index.avg_doc_length
-        if avgdl == 0:
-            min_norm = 1.0
-        else:
-            min_dl = min(self._index.doc_length(doc_id) for doc_id in postings)
-            min_norm = min(1.0, 1.0 - b + b * min_dl / avgdl)
-        return self._scorer.idf(term) * (max_tf * (k1 + 1.0)) / (
-            max_tf + k1 * min_norm
-        )
-
-    # ------------------------------------------------------------------
     def top_k(
         self, query_terms: Sequence[str], k: int
     ) -> list[tuple[str, float]]:
@@ -126,14 +104,18 @@ class MaxScoreRanker:
         weights: dict[str, float] = {}
         for term in query_terms:
             weights[term] = weights.get(term, 0.0) + 1.0
+        scorer = self._scorer
         cursors = []
         for term, weight in weights.items():
-            postings = sorted(self._index.postings(term).items())
+            postings = self._index.sorted_postings(term)
             if not postings:
                 continue
             cursors.append(
                 _TermCursor(
-                    term, weight, weight * self._upper_bound(term), postings
+                    term,
+                    weight,
+                    weight * scorer.term_upper_bound(term),
+                    postings,
                 )
             )
         if not cursors:
@@ -177,7 +159,7 @@ class MaxScoreRanker:
             score = 0.0
             for cursor in cursors:
                 if not cursor.exhausted and cursor.current_doc == candidate:
-                    score += cursor.weight * self._term_contribution(
+                    score += cursor.weight * scorer.term_contribution(
                         cursor.term, cursor.current_tf, candidate
                     )
                     cursor.position += 1

@@ -301,3 +301,84 @@ class TestSnippetsAndTexts:
         fresh.load_index(path)
         snippet = fresh.snippet("Taliban bombed a market", "t_r")
         assert "**Taliban**" in snippet.text
+
+
+class TestRankingModes:
+    def test_invalid_override_rejected(self, engine):
+        from repro.errors import DataError
+
+        with pytest.raises(DataError):
+            engine.search("Taliban", k=1, ranking="fastest")
+
+    def test_override_matches_default(self, engine):
+        query = "Taliban attacks in Pakistan"
+        pruned = engine.search(query, k=3, ranking="pruned")
+        exhaustive = engine.search(query, k=3, ranking="exhaustive")
+        assert [
+            (r.doc_id, r.score, r.bow_score, r.bon_score) for r in pruned
+        ] == [
+            (r.doc_id, r.score, r.bow_score, r.bon_score) for r in exhaustive
+        ]
+
+    def test_exhaustive_config_served_exhaustively(
+        self, figure1_graph, figure1_corpus
+    ):
+        exhaustive_engine = NewsLinkEngine(
+            figure1_graph, EngineConfig(ranking="exhaustive")
+        )
+        exhaustive_engine.index_corpus(figure1_corpus)
+        exhaustive_engine.search("Taliban", k=1)
+        stats = exhaustive_engine.query_stats
+        assert stats.queries == 1
+        assert stats.fallback_queries == 1
+        assert stats.pruned_queries == 0
+
+    def test_query_stats_accumulate(self, figure1_graph, figure1_corpus):
+        fresh = NewsLinkEngine(figure1_graph)
+        fresh.index_corpus(figure1_corpus)
+        fresh.search("Taliban", k=1)
+        fresh.search("Pakistan", k=1, ranking="exhaustive")
+        stats = fresh.query_stats
+        assert stats.queries == 2
+        assert stats.pruned_queries == 1
+        assert stats.fallback_queries == 1
+        assert stats.matching_docs > 0  # counted on the exhaustive query
+
+    def test_pruned_search_after_load_index(
+        self, engine, figure1_graph, tmp_path
+    ):
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+        fresh = NewsLinkEngine(figure1_graph)
+        fresh.load_index(path)
+        query = "Taliban attacks in Pakistan"
+        pruned = fresh.search(query, k=3, ranking="pruned")
+        exhaustive = fresh.search(query, k=3, ranking="exhaustive")
+        assert [
+            (r.doc_id, r.score, r.bow_score, r.bon_score) for r in pruned
+        ] == [
+            (r.doc_id, r.score, r.bow_score, r.bon_score) for r in exhaustive
+        ]
+        assert pruned
+
+
+class TestSnippetGeneratorCache:
+    def test_generator_reused_between_calls(self, engine):
+        engine.snippet("Taliban bombed a market", "t_r")
+        first = engine._snippet_generator
+        assert first is not None
+        engine.snippet("Pakistan said", "t_r")
+        assert engine._snippet_generator is first
+
+    def test_load_index_resets_generator(self, engine, figure1_graph, tmp_path):
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+        fresh = NewsLinkEngine(figure1_graph)
+        fresh.load_index(path)
+        fresh.snippet("Taliban bombed a market", "t_r")
+        generator = fresh._snippet_generator
+        fresh.load_index(path)
+        assert fresh._snippet_generator is None
+        # A new generator is built against the reloaded scorer.
+        fresh.snippet("Taliban bombed a market", "t_r")
+        assert fresh._snippet_generator is not generator

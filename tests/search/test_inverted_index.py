@@ -71,3 +71,111 @@ class TestIndexing:
         index = build_index()
         index.add_document("empty", [])
         assert index.doc_length("empty") == 0
+
+
+class TestPostingMetadata:
+    def test_sorted_postings_order_and_content(self):
+        index = InvertedIndex()
+        index.add_document("d2", ["b"])
+        index.add_document("d1", ["b", "b"])
+        index.add_document("d3", ["b", "b", "b"])
+        assert index.sorted_postings("b") == [("d1", 2), ("d2", 1), ("d3", 3)]
+        assert index.sorted_postings("zzz") == []
+
+    def test_sorted_postings_cached_between_queries(self):
+        index = build_index()
+        first = index.sorted_postings("b")
+        assert first is index.sorted_postings("b")
+
+    def test_sorted_postings_updated_incrementally_on_add(self):
+        index = build_index()
+        cached = index.sorted_postings("b")
+        index.add_document("d0", ["b"])
+        # The cached list is maintained in place (insort), not rebuilt.
+        assert index.sorted_postings("b") is cached
+        assert cached == [("d0", 1), ("d1", 1), ("d2", 1)]
+
+    def test_max_term_frequency(self):
+        index = build_index()
+        assert index.max_term_frequency("a") == 2
+        assert index.max_term_frequency("b") == 1
+        assert index.max_term_frequency("zzz") == 0
+        index.add_document("d3", ["b"] * 5)
+        assert index.max_term_frequency("b") == 5
+
+    def test_min_doc_length(self):
+        index = build_index()
+        assert index.min_doc_length("b") == 2  # d2 is shorter
+        assert index.min_doc_length("a") == 3
+        assert index.min_doc_length("zzz") == 0
+        index.add_document("d3", ["b"])
+        assert index.min_doc_length("b") == 1
+
+    def test_metadata_invalidated_on_remove(self):
+        index = build_index()
+        assert index.max_term_frequency("a") == 2
+        assert index.sorted_postings("b") == [("d1", 1), ("d2", 1)]
+        index.remove_document("d1")
+        assert index.max_term_frequency("a") == 0
+        assert index.sorted_postings("a") == []
+        assert index.sorted_postings("b") == [("d2", 1)]
+        assert index.min_doc_length("b") == 2
+
+    def test_version_bumps_on_mutation(self):
+        index = InvertedIndex()
+        v0 = index.version
+        index.add_document("d1", ["a"])
+        v1 = index.version
+        assert v1 > v0
+        index.remove_document("d1")
+        assert index.version > v1
+
+    def test_version_stable_across_queries(self):
+        index = build_index()
+        version = index.version
+        index.sorted_postings("a")
+        index.max_term_frequency("b")
+        index.min_doc_length("c")
+        assert index.version == version
+
+    def test_doc_terms_forward_map(self):
+        index = build_index()
+        assert sorted(index.doc_terms("d1")) == ["a", "b"]
+        assert sorted(index.doc_terms("d2")) == ["b", "c"]
+        with pytest.raises(DocumentNotIndexedError):
+            index.doc_terms("zzz")
+
+    def test_doc_lengths_mapping(self):
+        index = build_index()
+        assert dict(index.doc_lengths()) == {"d1": 3, "d2": 2}
+
+
+class _SpyPostings(dict):
+    """Records which term keys a mutation touches."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.accessed: set[str] = set()
+
+    def __getitem__(self, key):
+        self.accessed.add(key)
+        return super().__getitem__(key)
+
+    def __delitem__(self, key):
+        self.accessed.add(key)
+        super().__delitem__(key)
+
+
+class TestRemovalLocality:
+    def test_remove_touches_only_the_docs_own_terms(self):
+        """Regression: removal must be O(doc terms), not O(vocabulary)."""
+        index = InvertedIndex()
+        index.add_document("target", ["a", "b"])
+        for i in range(50):
+            index.add_document(f"other{i}", [f"unique{i}", "common"])
+        spy = _SpyPostings(index._postings)
+        index._postings = spy
+        index.remove_document("target")
+        assert spy.accessed == {"a", "b"}
+        assert index.num_docs == 50
+        assert index.postings("common") and index.postings("unique0")

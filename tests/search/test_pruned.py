@@ -1,0 +1,266 @@
+"""Tests for the fused two-channel pruning ranker.
+
+The :class:`FusedRanker` must be *exactly* equivalent to the exhaustive
+reference (score both channels fully, :func:`fuse_scores`, then
+:func:`top_k`): same ids, bit-identical fused and per-channel scores, and
+the same ascending-doc-id tie-breaks.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import FusionConfig
+from repro.search.bm25 import Bm25Scorer
+from repro.search.fusion import fuse_scores, supports_pruned_ranking
+from repro.search.inverted_index import InvertedIndex
+from repro.search.pruned import FusedHit, FusedRanker, QueryStats
+from repro.search.topk import top_k
+
+
+def build(
+    bow_docs: dict[str, list[str]], bon_docs: dict[str, list[str]]
+) -> tuple[Bm25Scorer, Bm25Scorer, FusedRanker]:
+    bow_index = InvertedIndex()
+    for doc_id, terms in bow_docs.items():
+        bow_index.add_document(doc_id, terms)
+    bon_index = InvertedIndex()
+    for doc_id, terms in bon_docs.items():
+        bon_index.add_document(doc_id, terms)
+    bow_scorer = Bm25Scorer(bow_index)
+    bon_scorer = Bm25Scorer(bon_index)
+    return bow_scorer, bon_scorer, FusedRanker(bow_scorer, bon_scorer)
+
+
+def exhaustive(
+    bow_scorer: Bm25Scorer,
+    bon_scorer: Bm25Scorer,
+    bow_query: list[str],
+    bon_query: list[str],
+    k: int,
+    fusion: FusionConfig,
+) -> list[FusedHit]:
+    """The engine's exhaustive reference path, as FusedHits."""
+    beta = fusion.beta
+    bow_scores = bow_scorer.score(bow_query) if beta < 1.0 else {}
+    bon_scores = bon_scorer.score(bon_query) if beta > 0.0 else {}
+    fused = fuse_scores(bow_scores, bon_scores, fusion)
+    return [
+        FusedHit(
+            doc_id,
+            score,
+            bow_scores.get(doc_id, 0.0),
+            bon_scores.get(doc_id, 0.0),
+        )
+        for doc_id, score in top_k(fused, k)
+    ]
+
+
+class TestBasics:
+    def test_empty_query(self):
+        _, _, ranker = build({"d1": ["a"]}, {"d1": ["n1"]})
+        hits, stats = ranker.top_k([], [], 5)
+        assert hits == []
+        assert stats.queries == 1 and stats.pruned_queries == 1
+
+    def test_k_zero(self):
+        _, _, ranker = build({"d1": ["a"]}, {"d1": ["n1"]})
+        hits, _ = ranker.top_k(["a"], ["n1"], 0)
+        assert hits == []
+
+    def test_unknown_terms(self):
+        _, _, ranker = build({"d1": ["a"]}, {"d1": ["n1"]})
+        hits, _ = ranker.top_k(["zzz"], ["n999"], 5)
+        assert hits == []
+
+    def test_two_channel_fusion(self):
+        bow, bon, ranker = build(
+            {"d1": ["a", "b"], "d2": ["a"], "d3": ["b", "b"]},
+            {"d1": ["n1"], "d2": ["n1", "n2"], "d4": ["n2"]},
+        )
+        fusion = FusionConfig(beta=0.4)
+        hits, _ = ranker.top_k(["a", "b"], ["n1", "n2"], 10, fusion)
+        assert hits == exhaustive(bow, bon, ["a", "b"], ["n1", "n2"], 10, fusion)
+
+    def test_beta_zero_is_text_only(self):
+        bow, bon, ranker = build(
+            {"d1": ["a"], "d2": ["a", "a"]}, {"d3": ["n1"]}
+        )
+        fusion = FusionConfig(beta=0.0)
+        hits, _ = ranker.top_k(["a"], ["n1"], 5, fusion)
+        assert hits == exhaustive(bow, bon, ["a"], ["n1"], 5, fusion)
+        assert all(hit.bon_score == 0.0 for hit in hits)
+
+    def test_beta_one_is_node_only(self):
+        bow, bon, ranker = build(
+            {"d1": ["a"]}, {"d2": ["n1"], "d3": ["n1", "n1"]}
+        )
+        fusion = FusionConfig(beta=1.0)
+        hits, _ = ranker.top_k(["a"], ["n1"], 5, fusion)
+        assert hits == exhaustive(bow, bon, ["a"], ["n1"], 5, fusion)
+        assert all(hit.bow_score == 0.0 for hit in hits)
+
+    def test_tie_break_ascending_doc_id(self):
+        # Identical docs score identically: smaller ids must win.
+        bow, bon, ranker = build(
+            {"c": ["t"], "a": ["t"], "b": ["t"]},
+            {"c": ["n"], "a": ["n"], "b": ["n"]},
+        )
+        fusion = FusionConfig(beta=0.5)
+        hits, _ = ranker.top_k(["t"], ["n"], 2, fusion)
+        assert [hit.doc_id for hit in hits] == ["a", "b"]
+        assert hits == exhaustive(bow, bon, ["t"], ["n"], 2, fusion)
+
+    def test_repeated_query_terms(self):
+        bow, bon, ranker = build(
+            {"d1": ["a", "b"], "d2": ["b", "b"]}, {"d1": ["n"]}
+        )
+        fusion = FusionConfig(beta=0.3)
+        query = ["b", "b", "a"]
+        hits, _ = ranker.top_k(query, ["n", "n"], 2, fusion)
+        assert hits == exhaustive(bow, bon, query, ["n", "n"], 2, fusion)
+
+    def test_mutation_then_query_stays_exact(self):
+        bow, bon, ranker = build(
+            {"d1": ["a", "b"], "d2": ["a"]}, {"d1": ["n"], "d2": ["n"]}
+        )
+        fusion = FusionConfig(beta=0.5)
+        bow.index.remove_document("d1")
+        bon.index.remove_document("d1")
+        bow.index.add_document("d9", ["a", "a", "b"])
+        bon.index.add_document("d9", ["n", "n"])
+        hits, _ = ranker.top_k(["a", "b"], ["n"], 5, fusion)
+        assert hits == exhaustive(bow, bon, ["a", "b"], ["n"], 5, fusion)
+
+
+class TestStats:
+    def test_wholesale_skip_on_skewed_corpus(self):
+        # One document matches the rare term; dozens match only the
+        # common term whose upper bound is below the top-1 score.  Once
+        # the rare cursor is exhausted the common cursor is non-essential,
+        # so the 50 common-only documents are never even enumerated —
+        # stronger than per-document pruning.
+        bow_docs = {"a000": ["common", "rare", "rare"]}
+        bow_docs.update({f"d{i:03d}": ["common"] for i in range(50)})
+        bow, bon, ranker = build(bow_docs, {})
+        fusion = FusionConfig(beta=0.0)
+        hits, stats = ranker.top_k(["rare", "common"], [], 1, fusion)
+        assert hits == exhaustive(bow, bon, ["rare", "common"], [], 1, fusion)
+        assert stats.candidates_examined == 1
+        assert stats.postings_advanced > 0
+
+    def test_per_document_prune_counter(self):
+        # b-documents match only x, whose bound (realized by the short
+        # document a0) is below a0's two-term score: each probed
+        # b-candidate fails the bound check without being scored.
+        bow_docs = {"a0": ["x", "y"]}
+        bow_docs.update({f"b{i:02d}": ["x", "f1", "f2", "f3"] for i in range(10)})
+        bow_docs.update({f"c{i}": ["y"] for i in range(3)})
+        bow, bon, ranker = build(bow_docs, {})
+        fusion = FusionConfig(beta=0.0)
+        hits, stats = ranker.top_k(["x", "y"], [], 1, fusion)
+        assert hits == exhaustive(bow, bon, ["x", "y"], [], 1, fusion)
+        assert stats.docs_pruned > 0
+        assert stats.cursor_skips > 0
+        assert stats.candidates_examined + stats.docs_pruned < 14
+
+    def test_examined_never_exceeds_matching(self):
+        bow, bon, ranker = build(
+            {f"d{i}": ["x"] for i in range(20)}, {"d0": ["n"]}
+        )
+        _, stats = ranker.top_k(["x"], ["n"], 3, FusionConfig(beta=0.5))
+        assert stats.candidates_examined <= 20
+
+    def test_merge_and_as_dict(self):
+        total = QueryStats()
+        total.merge(QueryStats(queries=1, pruned_queries=1, docs_pruned=4))
+        total.merge(QueryStats(queries=1, fallback_queries=1, matching_docs=7))
+        assert total.queries == 2
+        assert total.pruned_queries == 1
+        assert total.fallback_queries == 1
+        assert total.docs_pruned == 4
+        assert total.matching_docs == 7
+        payload = total.as_dict()
+        assert payload["queries"] == 2
+        assert set(payload) == {
+            "queries",
+            "pruned_queries",
+            "fallback_queries",
+            "matching_docs",
+            "candidates_examined",
+            "docs_pruned",
+            "postings_advanced",
+            "cursor_skips",
+        }
+
+
+class TestSupportsPrunedRanking:
+    def test_raw_fusion_supported(self):
+        assert supports_pruned_ranking(FusionConfig(beta=0.2))
+        assert supports_pruned_ranking(None)
+
+    def test_normalized_fusion_not_supported(self):
+        assert not supports_pruned_ranking(FusionConfig(normalize=True))
+
+
+corpus_strategy = st.dictionaries(
+    st.sampled_from([f"d{i}" for i in range(12)]),
+    st.lists(st.sampled_from("abcdef"), min_size=1, max_size=10),
+    min_size=0,
+)
+node_corpus_strategy = st.dictionaries(
+    st.sampled_from([f"d{i}" for i in range(12)]),
+    st.lists(st.sampled_from(["n1", "n2", "n3", "n4"]), min_size=1, max_size=8),
+    min_size=0,
+)
+bow_query_strategy = st.lists(st.sampled_from("abcdef"), max_size=4)
+bon_query_strategy = st.lists(
+    st.sampled_from(["n1", "n2", "n3", "n4"]), max_size=3
+)
+beta_strategy = st.sampled_from([0.0, 0.2, 0.5, 0.8, 1.0])
+
+
+class TestEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        corpus_strategy,
+        node_corpus_strategy,
+        bow_query_strategy,
+        bon_query_strategy,
+        beta_strategy,
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_matches_exhaustive_exactly(
+        self, bow_docs, bon_docs, bow_query, bon_query, beta, k
+    ):
+        bow, bon, ranker = build(bow_docs, bon_docs)
+        fusion = FusionConfig(beta=beta)
+        expected = exhaustive(bow, bon, bow_query, bon_query, k, fusion)
+        actual, stats = ranker.top_k(bow_query, bon_query, k, fusion)
+        # Bit-identical, not approximately equal: ids, fused scores,
+        # per-channel scores, and tie-break order all must match.
+        assert actual == expected
+        assert stats.queries == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        corpus_strategy,
+        node_corpus_strategy,
+        bow_query_strategy,
+        bon_query_strategy,
+        beta_strategy,
+    )
+    def test_exact_after_mutations(
+        self, bow_docs, bon_docs, bow_query, bon_query, beta
+    ):
+        bow, bon, ranker = build(bow_docs, bon_docs)
+        fusion = FusionConfig(beta=beta)
+        ranker.top_k(bow_query, bon_query, 3, fusion)  # warm the caches
+        for doc_id in list(bow_docs)[:2]:
+            bow.index.remove_document(doc_id)
+        bow.index.add_document("zz-new", ["a", "a", "b"])
+        bon.index.add_document("zz-new", ["n1"])
+        expected = exhaustive(bow, bon, bow_query, bon_query, 5, fusion)
+        actual, _ = ranker.top_k(bow_query, bon_query, 5, fusion)
+        assert actual == expected

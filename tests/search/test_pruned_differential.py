@@ -1,0 +1,107 @@
+"""Differential suite: pruned query serving must equal the exhaustive path.
+
+End-to-end over :class:`NewsLinkEngine` on both synthetic datasets:
+``search(ranking="pruned")`` must return exactly the results of
+``search(ranking="exhaustive")`` — same ids, same fused and per-channel
+scores, same ascending-doc-id tie-breaks — across the beta sweep, across
+k, and after index mutations (remove / re-add).  ``normalize=True``
+fusion must fall back to the exhaustive path transparently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from types import SimpleNamespace
+
+import pytest
+
+from repro.config import EngineConfig, FusionConfig
+from repro.data.datasets import cnn_like_config, kaggle_like_config, make_dataset
+from repro.search.engine import NewsLinkEngine
+
+SCALE = 0.15
+BETAS = [0.0, 0.3, 0.5, 1.0]
+KS = [1, 10, 1000]
+
+
+@pytest.fixture(scope="module", params=["cnn-like", "kaggle-like"])
+def case(request):
+    """One indexed engine per synthetic dataset."""
+    factory = cnn_like_config if request.param == "cnn-like" else kaggle_like_config
+    world_config, news_config = factory(scale=SCALE)
+    dataset = make_dataset(request.param, world_config, news_config)
+    engine = NewsLinkEngine(dataset.world.graph, EngineConfig())
+    engine.index_corpus(dataset.corpus)
+    queries = [doc.text[:90] for doc in list(dataset.corpus)[:8]]
+    return SimpleNamespace(dataset=dataset, engine=engine, queries=queries)
+
+
+def as_tuples(results):
+    return [
+        (r.doc_id, r.score, r.bow_score, r.bon_score) for r in results
+    ]
+
+
+class TestPrunedEqualsExhaustive:
+    @pytest.mark.parametrize("beta", BETAS)
+    @pytest.mark.parametrize("k", KS)
+    def test_search_identical(self, case, beta, k):
+        for query in case.queries:
+            pruned = case.engine.search(query, k=k, beta=beta, ranking="pruned")
+            exhaustive = case.engine.search(
+                query, k=k, beta=beta, ranking="exhaustive"
+            )
+            assert as_tuples(pruned) == as_tuples(exhaustive)
+
+    def test_search_after_mutations(self, case):
+        engine = case.engine
+        corpus = list(case.dataset.corpus)
+        removed = [doc for doc in corpus[:3] if engine.has_embedding(doc.doc_id)]
+        for doc in removed:
+            engine.remove_document(doc.doc_id)
+        try:
+            for query in case.queries:
+                for beta in (0.0, 0.5, 1.0):
+                    pruned = engine.search(
+                        query, k=10, beta=beta, ranking="pruned"
+                    )
+                    exhaustive = engine.search(
+                        query, k=10, beta=beta, ranking="exhaustive"
+                    )
+                    assert as_tuples(pruned) == as_tuples(exhaustive)
+        finally:
+            for doc in removed:
+                engine.index_document(doc)
+        # Re-added: the caches must have caught back up too.
+        for query in case.queries[:3]:
+            pruned = engine.search(query, k=10, ranking="pruned")
+            exhaustive = engine.search(query, k=10, ranking="exhaustive")
+            assert as_tuples(pruned) == as_tuples(exhaustive)
+
+    def test_default_config_is_pruned(self, case):
+        stats_before = replace(case.engine.query_stats)
+        case.engine.search(case.queries[0], k=5)
+        stats_after = case.engine.query_stats
+        assert stats_after.queries == stats_before.queries + 1
+        assert stats_after.pruned_queries == stats_before.pruned_queries + 1
+        assert stats_after.fallback_queries == stats_before.fallback_queries
+
+    def test_exhaustive_override_counts_as_fallback(self, case):
+        before = case.engine.query_stats.fallback_queries
+        case.engine.search(case.queries[0], k=5, ranking="exhaustive")
+        assert case.engine.query_stats.fallback_queries == before + 1
+
+
+class TestNormalizeFallback:
+    def test_normalized_fusion_falls_back_and_matches(self, case):
+        """normalize=True needs full score maps: served exhaustively."""
+        config = EngineConfig(
+            fusion=FusionConfig(beta=0.3, normalize=True)
+        )
+        engine = NewsLinkEngine(case.dataset.world.graph, config)
+        engine.index_corpus(case.dataset.corpus)
+        before = engine.query_stats.fallback_queries
+        pruned_request = engine.search(case.queries[0], k=10, ranking="pruned")
+        assert engine.query_stats.fallback_queries == before + 1
+        explicit = engine.search(case.queries[0], k=10, ranking="exhaustive")
+        assert as_tuples(pruned_request) == as_tuples(explicit)

@@ -73,6 +73,25 @@ class TestSearch:
         assert code == 1
         assert "no results" in capsys.readouterr().out
 
+    def test_ranking_flag_both_paths_agree(self, indexed_dir, capsys):
+        from repro.data.loaders import load_corpus_jsonl
+
+        corpus = load_corpus_jsonl(indexed_dir / "corpus.jsonl")
+        query = next(doc for doc in corpus if doc.topic_id).text.split(". ")[0]
+        outputs = {}
+        for mode in ("pruned", "exhaustive"):
+            code = main(
+                ["search", str(indexed_dir), query, "-k", "3", "--ranking", mode]
+            )
+            assert code == 0
+            outputs[mode] = capsys.readouterr().out
+        assert outputs["pruned"] == outputs["exhaustive"]
+        assert "score=" in outputs["pruned"]
+
+    def test_unknown_ranking_rejected(self, indexed_dir):
+        with pytest.raises(SystemExit):
+            main(["search", str(indexed_dir), "anything", "--ranking", "fastest"])
+
 
 class TestEvaluate:
     def test_evaluate_prints_hits(self, generated_dir, capsys):

@@ -52,6 +52,8 @@ class TestValidation:
             lambda: NewsConfig(entity_dropout=1.0),
             lambda: EvalConfig(top_ks_sim=()),
             lambda: EvalConfig(test_fraction=0.0),
+            lambda: EngineConfig(ranking="fastest"),
+            lambda: EngineConfig(ranking=""),
         ],
     )
     def test_invalid_configs_rejected(self, factory):
@@ -87,3 +89,7 @@ class TestValidation:
         config = EngineConfig(fusion=FusionConfig(beta=0.7))
         assert config.fusion.beta == 0.7
         assert config.lcag.max_pops > 0
+
+    def test_ranking_modes(self):
+        assert EngineConfig().ranking == "pruned"
+        assert EngineConfig(ranking="exhaustive").ranking == "exhaustive"

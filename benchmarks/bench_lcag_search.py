@@ -1,0 +1,200 @@
+"""G* search latency: compiled CSR fast path vs the reference backend.
+
+Runs identical batches of LCAG searches through both
+``LcagConfig.backend`` settings over several synthetic world sizes and
+label counts, and records per-search wall time, frontier pops,
+relaxations, and the compiled-vs-reference speedup.  Both backends are
+bit-identical in output (enforced by the tier-1 suite), so any wall-clock
+difference is pure engine overhead: attribute-dict chasing and per-pop
+m-way frontier scans on the reference side vs flat-array CSR rows and a
+single unified heap on the compiled side.
+
+Results go to the usual text report AND to a machine-readable
+``BENCH_lcag.json`` at the repo root (schema documented in
+``docs/performance.md``).
+
+Runnable standalone too::
+
+    PYTHONPATH=src python benchmarks/bench_lcag_search.py [scale]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.config import LcagConfig
+from repro.core.lcag import SearchStats, find_lcag
+from repro.data.datasets import cnn_like_config
+from repro.errors import ReproError
+from repro.kg.synthetic import generate_world
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_JSON = REPO_ROOT / "BENCH_lcag.json"
+
+WORLD_SCALES = (0.5, 1.0, 2.0)
+LABEL_COUNTS = (2, 3, 4)
+GROUPS_PER_CELL = 30
+REPEATS = 3
+
+
+def _sample_groups(graph, label_count: int, seed: int):
+    """Deterministic entity groups: ``label_count`` singleton labels each."""
+    rng = random.Random(seed)
+    node_ids = sorted(graph.node_ids())
+    groups = []
+    for _ in range(GROUPS_PER_CELL):
+        picked = rng.sample(node_ids, label_count)
+        groups.append(
+            {f"l{i}": frozenset({node_id}) for i, node_id in enumerate(picked)}
+        )
+    return groups
+
+
+def _run_batch(graph, groups, backend: str) -> dict:
+    """Time one backend over a batch; min-of-REPEATS wall clock."""
+    config = LcagConfig(backend=backend)
+    best = None
+    stats = SearchStats()
+    for _ in range(REPEATS):
+        run_stats = SearchStats()
+        searches = failures = 0
+        start = time.perf_counter()
+        for sources in groups:
+            try:
+                find_lcag(graph, sources, config, run_stats)
+                searches += 1
+            except ReproError:
+                failures += 1
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best, stats = elapsed, run_stats
+            completed, skipped = searches, failures
+    per_search_us = best / max(1, completed) * 1e6
+    per_pop_us = best / max(1, stats.pops) * 1e6
+    return {
+        "backend": backend,
+        "seconds": round(best, 4),
+        "searches": completed,
+        "skipped_no_ancestor": skipped,
+        "pops": stats.pops,
+        "relaxations": stats.relaxations,
+        "heap_pushes": stats.heap_pushes,
+        "per_search_us": round(per_search_us, 2),
+        "per_pop_us": round(per_pop_us, 3),
+    }
+
+
+def run_search_bench(scale: float) -> dict:
+    payload = {
+        "benchmark": "lcag_search",
+        "scale": scale,
+        "cpu_count": os.cpu_count() or 1,
+        "world_scales": list(WORLD_SCALES),
+        "label_counts": list(LABEL_COUNTS),
+        "groups_per_cell": GROUPS_PER_CELL,
+        "repeats": REPEATS,
+        "cells": [],
+        "notes": [
+            "single-core-safe: both backends run the same single-threaded "
+            "searches, so the speedup is engine overhead, not parallelism; "
+            "absolute times vary with the host but the ratio is stable.",
+        ],
+    }
+    for world_scale in WORLD_SCALES:
+        world_config, _ = cnn_like_config(scale=scale * world_scale)
+        graph = generate_world(world_config).graph
+        compile_start = time.perf_counter()
+        compiled = graph.compiled()
+        compile_ms = (time.perf_counter() - compile_start) * 1000
+        for label_count in LABEL_COUNTS:
+            groups = _sample_groups(graph, label_count, seed=int(world_scale * 100))
+            runs = {
+                backend: _run_batch(graph, groups, backend)
+                for backend in ("reference", "compiled")
+            }
+            reference, fast = runs["reference"], runs["compiled"]
+            # Identical work: the fast path must not change the search.
+            assert fast["pops"] == reference["pops"]
+            assert fast["relaxations"] == reference["relaxations"]
+            payload["cells"].append(
+                {
+                    "world_scale": world_scale,
+                    "nodes": compiled.num_nodes,
+                    "slots": compiled.num_slots,
+                    "compile_ms": round(compile_ms, 2),
+                    "labels": label_count,
+                    "reference": reference,
+                    "compiled": fast,
+                    "speedup": round(
+                        reference["per_search_us"] / fast["per_search_us"], 3
+                    ),
+                    "per_pop_speedup": round(
+                        reference["per_pop_us"] / fast["per_pop_us"], 3
+                    ),
+                }
+            )
+    speedups = [cell["speedup"] for cell in payload["cells"]]
+    payload["min_speedup"] = min(speedups)
+    payload["median_speedup"] = sorted(speedups)[len(speedups) // 2]
+    payload["max_speedup"] = max(speedups)
+    return payload
+
+
+def _render(payload: dict) -> str:
+    lines = [
+        "G* search — compiled CSR fast path vs reference backend",
+        f"cpu cores: {payload['cpu_count']}; "
+        f"{payload['groups_per_cell']} groups/cell, best of "
+        f"{payload['repeats']} repeats",
+        "",
+        f"{'nodes':>6} {'labels':>6} {'ref us/search':>13} "
+        f"{'fast us/search':>14} {'speedup':>8} {'pop spdup':>9}",
+    ]
+    for cell in payload["cells"]:
+        lines.append(
+            f"{cell['nodes']:>6} {cell['labels']:>6} "
+            f"{cell['reference']['per_search_us']:>13.1f} "
+            f"{cell['compiled']['per_search_us']:>14.1f} "
+            f"{cell['speedup']:>8.2f} {cell['per_pop_speedup']:>9.2f}"
+        )
+    lines.append(
+        f"\nspeedup min/median/max: {payload['min_speedup']}x / "
+        f"{payload['median_speedup']}x / {payload['max_speedup']}x"
+    )
+    for note in payload["notes"]:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def main(scale: float | None = None) -> dict:
+    from benchmarks.conftest import bench_scale, write_result
+
+    payload = run_search_bench(bench_scale() if scale is None else scale)
+    OUTPUT_JSON.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    write_result("lcag_search", _render(payload))
+    print(f"wrote {OUTPUT_JSON}")
+    return payload
+
+
+@pytest.mark.benchmark(group="lcag-search")
+def test_lcag_search_fast_path(benchmark):
+    payload = benchmark.pedantic(main, rounds=1, iterations=1)
+    # The fast path must strictly beat the reference on wall time AND
+    # per-pop overhead in every cell — same pops, cheaper pops.
+    for cell in payload["cells"]:
+        assert cell["speedup"] > 1.0, cell
+        assert cell["per_pop_speedup"] > 1.0, cell
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.path.insert(0, str(REPO_ROOT))
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else None)

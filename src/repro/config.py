@@ -33,28 +33,49 @@ class LcagConfig:
         single_paths: ablation switch — keep only ONE shortest path per
             label instead of the full shortest-path DAG, removing the
             "width"/coverage property while keeping the LCAG root choice.
+        backend: search execution strategy.  ``"compiled"`` (default)
+            runs the integer-id fast path over the CSR graph snapshot
+            (:mod:`repro.core.fast_search`) — bit-identical results,
+            one unified heap instead of m scanned frontiers;
+            ``"reference"`` runs the original object-graph path
+            (:class:`repro.core.frontier.FrontierPool`), kept as the
+            differential oracle.
     """
 
     max_pops: int = 200_000
     max_depth: float | None = None
     collect_all_min_depth: bool = True
     single_paths: bool = False
+    backend: str = "compiled"
 
     def __post_init__(self) -> None:
         _require(self.max_pops > 0, "max_pops must be positive")
         if self.max_depth is not None:
             _require(self.max_depth > 0, "max_depth must be positive when set")
+        _require(
+            self.backend in ("compiled", "reference"),
+            "backend must be 'compiled' or 'reference'",
+        )
 
 
 @dataclass(frozen=True)
 class TreeEmbConfig:
-    """Parameters for the TreeEmb (GST-approximation) baseline embedder."""
+    """Parameters for the TreeEmb (GST-approximation) baseline embedder.
+
+    ``backend`` mirrors :attr:`LcagConfig.backend`: the GST search shares
+    the frontier machinery, so it gets the same compiled fast path.
+    """
 
     max_pops: int = 200_000
     max_depth: float | None = None
+    backend: str = "compiled"
 
     def __post_init__(self) -> None:
         _require(self.max_pops > 0, "max_pops must be positive")
+        _require(
+            self.backend in ("compiled", "reference"),
+            "backend must be 'compiled' or 'reference'",
+        )
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,11 @@ from repro.core.compactness import (
 )
 from repro.core.ancestor_graph import CommonAncestorGraph
 from repro.core.lcag import LcagEmbedder, find_lcag, brute_force_lcag
+from repro.core.fast_search import (
+    CompiledFrontierPool,
+    find_gst_tree_compiled,
+    find_lcag_compiled,
+)
 from repro.core.tree_emb import TreeEmbedder, find_gst_tree
 from repro.core.document_embedding import DocumentEmbedding, embed_document
 from repro.core.overlap import embedding_overlap, induced_entities, OverlapSummary
@@ -44,6 +49,9 @@ __all__ = [
     "LcagEmbedder",
     "find_lcag",
     "brute_force_lcag",
+    "CompiledFrontierPool",
+    "find_lcag_compiled",
+    "find_gst_tree_compiled",
     "TreeEmbedder",
     "find_gst_tree",
     "DocumentEmbedding",

@@ -1,0 +1,400 @@
+"""Integer-id fast path for the G* and GST searches (compiled backend).
+
+The reference implementation (:mod:`repro.core.lcag` +
+:class:`repro.core.frontier.FrontierPool`) keeps one string-keyed Dijkstra
+per entity label and, on *every* pop, re-scans all m per-label heaps twice
+to find the Equation-2 global argmin.  This module runs the identical
+algorithm over the :class:`~repro.kg.csr.CompiledGraph` CSR snapshot with
+three structural changes:
+
+* one **unified global heap** keyed ``(distance, label, node)`` — the
+  Equation-2 argmin is simply the heap top, no m-way scan;
+* flat ``list[float]`` distance/tentative tables and per-node **label
+  bitmasks** (``settled_by_all`` is one int compare) instead of dict
+  lookups;
+* adjacency walks over contiguous CSR slots; predecessor DAGs store
+  ``(pred_int, slot)`` pairs and materialize
+  :class:`~repro.kg.types.OrientedEdge` objects only at extraction time.
+
+Because node int-ids are interned in sorted-string order and all float
+arithmetic happens in the same order as the reference, every observable
+output — root, depths, node/edge sets, tie-breaks, and the
+:class:`~repro.core.lcag.SearchStats` counters — is **bit-identical** to
+the reference backend.  ``tests/core/test_fast_search.py`` enforces this
+differentially on randomized worlds, including after graph mutations.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING
+
+from repro.core.ancestor_graph import CommonAncestorGraph
+from repro.core.compactness import distance_vector
+from repro.errors import NoCommonAncestorError, SearchTimeoutError
+from repro.kg.csr import CompiledGraph
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.types import OrientedEdge
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import LcagConfig, TreeEmbConfig
+    from repro.core.lcag import SearchStats
+
+# Must match the reference modules' epsilon exactly — the differential
+# contract includes tie behavior at the boundary.
+_TIE_EPS = 1e-9
+
+_INF = math.inf
+
+
+class CompiledFrontierPool:
+    """Unified-heap counterpart of :class:`repro.core.frontier.FrontierPool`.
+
+    All m per-label searches share one heap of ``(dist, label_index,
+    node_index)`` entries.  Sorted-string node interning makes this key
+    order identical to the reference's ``(dist, label, node)`` string
+    tie-break, and lazy deletion (an entry is stale unless it equals the
+    node's live tentative distance) replicates the per-frontier
+    ``_discard_stale`` sweep.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledGraph,
+        label_sources: Mapping[str, frozenset[str]],
+        max_depth: float | None = None,
+    ) -> None:
+        if not label_sources:
+            raise ValueError("label_sources must contain at least one label")
+        for label, sources in label_sources.items():
+            if not sources:
+                raise ValueError(f"label {label!r} has an empty source set S(l)")
+        self._compiled = compiled
+        self._labels = tuple(sorted(label_sources))
+        self._max_depth = _INF if max_depth is None else max_depth
+        num_nodes = compiled.num_nodes
+        num_labels = len(self._labels)
+        self._full_mask = (1 << num_labels) - 1
+        self._settled_mask = [0] * num_nodes
+        # Per label: settled distances, tentative distances (inf = none;
+        # reset to inf on settle, standing in for the reference's
+        # ``del self._tentative[node]``), and predecessor (pred, slot) DAGs.
+        self._dist: list[list[float]] = [
+            [_INF] * num_nodes for _ in range(num_labels)
+        ]
+        self._tent: list[list[float]] = [
+            [_INF] * num_nodes for _ in range(num_labels)
+        ]
+        self._preds: list[list[list[tuple[int, int]] | None]] = [
+            [None] * num_nodes for _ in range(num_labels)
+        ]
+        self._heap: list[tuple[float, int, int]] = []
+        #: Counter twins of MultiSourceShortestPaths.relaxations/heap_pushes.
+        self.relaxations = 0
+        self.heap_pushes = 0
+        for label_index, label in enumerate(self._labels):
+            tent = self._tent[label_index]
+            preds = self._preds[label_index]
+            for node in compiled.intern_sources(label_sources[label]):
+                tent[node] = 0.0
+                preds[node] = []
+                heappush(self._heap, (0.0, label_index, node))
+                self.heap_pushes += 1
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """The entity labels, in deterministic (sorted) order."""
+        return self._labels
+
+    # ------------------------------------------------------------------
+    # path enumeration
+    # ------------------------------------------------------------------
+    def _discard_stale(self) -> None:
+        heap = self._heap
+        while heap:
+            dist, label_index, node = heap[0]
+            current = self._tent[label_index][node]
+            if current != _INF and abs(current - dist) <= _TIE_EPS:
+                return
+            heappop(heap)
+
+    def peek_global_min(self) -> tuple[float, int, int] | None:
+        """The fresh ``(dist, label_index, node)`` to enumerate next."""
+        self._discard_stale()
+        if not self._heap:
+            return None
+        return self._heap[0]
+
+    def next_distance(self) -> float:
+        """``D'_min`` for the C2 termination test (+inf when exhausted)."""
+        peeked = self.peek_global_min()
+        if peeked is None:
+            return _INF
+        return peeked[0]
+
+    def pop_global_min(self) -> tuple[float, int, int] | None:
+        """Settle the global argmin node for its label and relax its CSR row."""
+        self._discard_stale()
+        if not self._heap:
+            return None
+        entry = heappop(self._heap)
+        dist, label_index, node = entry
+        tent = self._tent[label_index]
+        settled = self._dist[label_index]
+        tent[node] = _INF
+        settled[node] = dist
+        self._settled_mask[node] |= 1 << label_index
+        compiled = self._compiled
+        indptr = compiled.indptr
+        adj = compiled.adj
+        weights = compiled.weights
+        preds = self._preds[label_index]
+        heap = self._heap
+        max_depth = self._max_depth
+        start, end = indptr[node], indptr[node + 1]
+        self.relaxations += end - start
+        pushes = 0
+        for slot in range(start, end):
+            neighbor = adj[slot]
+            if settled[neighbor] != _INF:
+                continue
+            candidate = dist + weights[slot]
+            if candidate > max_depth + _TIE_EPS:
+                continue
+            current = tent[neighbor]
+            if candidate < current - _TIE_EPS:
+                tent[neighbor] = candidate
+                preds[neighbor] = [(node, slot)]
+                heappush(heap, (candidate, label_index, neighbor))
+                pushes += 1
+            elif candidate - current <= _TIE_EPS:
+                preds[neighbor].append((node, slot))  # type: ignore[union-attr]
+        self.heap_pushes += pushes
+        return entry
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def settled_by_all(self, node: int) -> bool:
+        """True when every label has settled ``node`` (one int compare)."""
+        return self._settled_mask[node] == self._full_mask
+
+    def distances_at(self, node: int) -> dict[str, float]:
+        """Per-label settled distance at ``node`` (+inf when unreached)."""
+        return {
+            label: self._dist[label_index][node]
+            for label_index, label in enumerate(self._labels)
+        }
+
+    def node_id(self, node: int) -> str:
+        """The string node id of int id ``node``."""
+        return self._compiled.node_ids[node]
+
+    # ------------------------------------------------------------------
+    # shortest-path DAG extraction
+    # ------------------------------------------------------------------
+    def extract_paths_to(
+        self, label_index: int, target: int
+    ) -> tuple[frozenset[str], frozenset[OrientedEdge]]:
+        """Union of all shortest paths of one label to ``target``."""
+        compiled = self._compiled
+        preds = self._preds[label_index]
+        nodes = {target}
+        slots: set[tuple[int, int]] = set()
+        stack = [target]
+        while stack:
+            current = stack.pop()
+            for pred, slot in preds[current] or ():
+                slots.add((pred, slot))
+                if pred not in nodes:
+                    nodes.add(pred)
+                    stack.append(pred)
+        return (
+            frozenset(compiled.node_ids[node] for node in nodes),
+            frozenset(
+                compiled.oriented_edge(pred, slot) for pred, slot in slots
+            ),
+        )
+
+    def extract_single_path_to(
+        self, label_index: int, target: int
+    ) -> tuple[frozenset[str], frozenset[OrientedEdge]]:
+        """One deterministic shortest path (smallest-pred tie-break)."""
+        compiled = self._compiled
+        preds = self._preds[label_index]
+        path_nodes = {compiled.node_ids[target]}
+        path_edges = set()
+        current = target
+        while preds[current]:
+            pred, slot = min(preds[current])  # type: ignore[arg-type]
+            path_edges.add(compiled.oriented_edge(pred, slot))
+            path_nodes.add(compiled.node_ids[pred])
+            current = pred
+        return frozenset(path_nodes), frozenset(path_edges)
+
+
+def _build_compiled_graph(
+    pool: CompiledFrontierPool,
+    root: int,
+    distances: dict[str, float],
+    single_paths: bool = False,
+) -> CommonAncestorGraph:
+    """Materialize ``G_root`` exactly like the reference ``_build_graph``."""
+    nodes: set[str] = {pool.node_id(root)}
+    edges: set[OrientedEdge] = set()
+    label_paths: dict[str, tuple[frozenset[str], frozenset[OrientedEdge]]] = {}
+    for label_index, label in enumerate(pool.labels):
+        if single_paths:
+            path_nodes, path_edges = pool.extract_single_path_to(
+                label_index, root
+            )
+        else:
+            path_nodes, path_edges = pool.extract_paths_to(label_index, root)
+        label_paths[label] = (path_nodes, path_edges)
+        nodes |= path_nodes
+        edges |= path_edges
+    return CommonAncestorGraph(
+        root=pool.node_id(root),
+        labels=pool.labels,
+        distances=distances,
+        nodes=frozenset(nodes),
+        edges=frozenset(edges),
+        label_paths=label_paths,
+    )
+
+
+def find_lcag_compiled(
+    graph: KnowledgeGraph,
+    label_sources: Mapping[str, frozenset[str]],
+    config: "LcagConfig",
+    stats: "SearchStats",
+) -> CommonAncestorGraph:
+    """Algorithm 1 over the CSR snapshot; bit-identical to ``find_lcag``.
+
+    Compiles (or reuses) the snapshot via :meth:`KnowledgeGraph.compiled`,
+    then runs PathEnumeration / CandidateCollection / compactness sorting
+    with the exact control flow, epsilon comparisons, and tie-breaks of
+    the reference path.
+    """
+    pool = CompiledFrontierPool(
+        graph.compiled(), label_sources, max_depth=config.max_depth
+    )
+    candidates: list[tuple[int, dict[str, float]]] = []
+    min_depth = _INF
+
+    try:
+        while stats.pops < config.max_pops:
+            popped = pool.pop_global_min()
+            if popped is None:
+                break
+            stats.pops += 1
+            node = popped[2]
+            if pool.settled_by_all(node):
+                distances = pool.distances_at(node)
+                depth = max(distances.values())
+                candidates.append((node, distances))
+                stats.candidates += 1
+                min_depth = min(min_depth, depth)
+            if candidates:
+                next_distance = pool.next_distance()
+                strict = min_depth < next_distance - _TIE_EPS
+                relaxed = min_depth <= next_distance + _TIE_EPS
+                if strict or (not config.collect_all_min_depth and relaxed):
+                    stats.terminated_early = True
+                    break
+        else:
+            if not candidates:
+                raise SearchTimeoutError(
+                    f"G* search exhausted its pop budget ({config.max_pops}) "
+                    f"before finding any common ancestor",
+                    pops=stats.pops,
+                )
+
+        if not candidates:
+            raise NoCommonAncestorError(pool.labels)
+    finally:
+        stats.relaxations += pool.relaxations
+        stats.heap_pushes += pool.heap_pushes
+
+    # Sorted interning: comparing int ids here is comparing node-id strings.
+    root, distances = min(
+        candidates, key=lambda item: (distance_vector(item[1]), item[0])
+    )
+    return _build_compiled_graph(
+        pool, root, distances, single_paths=config.single_paths
+    )
+
+
+def find_gst_tree_compiled(
+    graph: KnowledgeGraph,
+    label_sources: Mapping[str, frozenset[str]],
+    config: "TreeEmbConfig",
+    stats: "SearchStats",
+) -> CommonAncestorGraph:
+    """The TreeEmb GST approximation over the CSR snapshot.
+
+    Mirrors :func:`repro.core.tree_emb.find_gst_tree` (sum-of-distances
+    objective, weaker termination bound) with the fast-path machinery.
+    """
+    pool = CompiledFrontierPool(
+        graph.compiled(), label_sources, max_depth=config.max_depth
+    )
+    best_root: int | None = None
+    best_cost = _INF
+    best_distances: dict[str, float] | None = None
+
+    try:
+        while stats.pops < config.max_pops:
+            popped = pool.pop_global_min()
+            if popped is None:
+                break
+            stats.pops += 1
+            node = popped[2]
+            if pool.settled_by_all(node):
+                distances = pool.distances_at(node)
+                cost = sum(distances.values())
+                stats.candidates += 1
+                if cost < best_cost - _TIE_EPS or (
+                    abs(cost - best_cost) <= _TIE_EPS
+                    and best_root is not None
+                    and node < best_root
+                ):
+                    best_root = node
+                    best_cost = cost
+                    best_distances = distances
+            if best_root is not None and pool.next_distance() > best_cost + _TIE_EPS:
+                stats.terminated_early = True
+                break
+        else:
+            if best_root is None:
+                raise SearchTimeoutError(
+                    f"GST tree search exhausted its pop budget ({config.max_pops})",
+                    pops=stats.pops,
+                )
+
+        if best_root is None or best_distances is None:
+            raise NoCommonAncestorError(pool.labels)
+    finally:
+        stats.relaxations += pool.relaxations
+        stats.heap_pushes += pool.heap_pushes
+
+    nodes: set[str] = {pool.node_id(best_root)}
+    edges: set[OrientedEdge] = set()
+    label_paths: dict[str, tuple[frozenset[str], frozenset[OrientedEdge]]] = {}
+    for label_index, label in enumerate(pool.labels):
+        path_nodes, path_edges = pool.extract_single_path_to(
+            label_index, best_root
+        )
+        label_paths[label] = (path_nodes, path_edges)
+        nodes |= path_nodes
+        edges |= path_edges
+    return CommonAncestorGraph(
+        root=pool.node_id(best_root),
+        labels=pool.labels,
+        distances=best_distances,
+        nodes=frozenset(nodes),
+        edges=frozenset(edges),
+        label_paths=label_paths,
+    )

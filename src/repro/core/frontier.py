@@ -68,13 +68,23 @@ class FrontierPool:
         return label, node, dist
 
     def pop_global_min(self) -> tuple[str, str, float] | None:
-        """Algorithm 2: settle the Equation-2 argmin node for its label."""
+        """Algorithm 2: settle the Equation-2 argmin node for its label.
+
+        The m-way scan in :meth:`peek_global_min` already swept each
+        frontier's stale entries, so the winning frontier is popped with
+        :meth:`~repro.kg.traversal.MultiSourceShortestPaths.pop_peeked`
+        rather than a full ``pop()`` — one pass over the frontiers per
+        settle instead of two.
+        """
         peeked = self.peek_global_min()
         if peeked is None:
             return None
         label, expected_node, expected_dist = peeked
-        node, dist = self._frontiers[label].pop()
-        assert node == expected_node and abs(dist - expected_dist) < 1e-9
+        node, dist = self._frontiers[label].pop_peeked()
+        if __debug__:
+            # Determinism contract: the frontier settles exactly the node
+            # the Equation-2 scan selected.
+            assert node == expected_node and abs(dist - expected_dist) < 1e-9
         return label, node, dist
 
     def next_distance(self) -> float:
@@ -98,3 +108,13 @@ class FrontierPool:
             label: self._frontiers[label].distance(node)
             for label in self._labels
         }
+
+    @property
+    def relaxations(self) -> int:
+        """Total neighbor slots examined across every frontier."""
+        return sum(f.relaxations for f in self._frontiers.values())
+
+    @property
+    def heap_pushes(self) -> int:
+        """Total heap insertions across every frontier."""
+        return sum(f.heap_pushes for f in self._frontiers.values())

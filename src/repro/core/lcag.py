@@ -40,11 +40,19 @@ class SearchStats:
         pops: frontier pops performed (path enumerations).
         candidates: candidate common ancestors collected.
         terminated_early: True when C1 & C2 fired before frontier exhaustion.
+        relaxations: neighbor slots examined while settling popped nodes
+            (the per-pop work the CSR fast path compresses).
+        heap_pushes: priority-queue insertions, source seeds included.
+
+    Both backends (``reference`` and ``compiled``) populate all counters
+    identically — the differential tests compare them field by field.
     """
 
     pops: int = 0
     candidates: int = 0
     terminated_early: bool = False
+    relaxations: int = 0
+    heap_pushes: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         """Fold another search's counters into this aggregate.
@@ -56,6 +64,8 @@ class SearchStats:
         self.pops += other.pops
         self.candidates += other.candidates
         self.terminated_early = self.terminated_early or other.terminated_early
+        self.relaxations += other.relaxations
+        self.heap_pushes += other.heap_pushes
 
 
 def find_lcag(
@@ -78,43 +88,51 @@ def find_lcag(
     """
     config = config or LcagConfig()
     stats = stats if stats is not None else SearchStats()
+    if config.backend == "compiled":
+        from repro.core.fast_search import find_lcag_compiled
+
+        return find_lcag_compiled(graph, label_sources, config, stats)
     pool = FrontierPool(graph, label_sources, max_depth=config.max_depth)
     candidates: list[tuple[str, dict[str, float]]] = []
     min_depth = math.inf
 
-    while stats.pops < config.max_pops:
-        popped = pool.pop_global_min()  # PathEnumeration (Algorithm 2)
-        if popped is None:
-            break
-        stats.pops += 1
-        _, node, _ = popped
-        # CandidateCollection (Algorithm 3): does the frontier node now
-        # carry all labels?
-        if pool.settled_by_all(node):
-            distances = pool.distances_at(node)
-            depth = max(distances.values())
-            candidates.append((node, distances))
-            stats.candidates += 1
-            min_depth = min(min_depth, depth)
-        # Termination test: C1 (candidate exists) and C2 (the next path is
-        # strictly deeper than the best collected depth).
-        if candidates:
-            next_distance = pool.next_distance()
-            strict = min_depth < next_distance - _TIE_EPS
-            relaxed = min_depth <= next_distance + _TIE_EPS
-            if strict or (not config.collect_all_min_depth and relaxed):
-                stats.terminated_early = True
+    try:
+        while stats.pops < config.max_pops:
+            popped = pool.pop_global_min()  # PathEnumeration (Algorithm 2)
+            if popped is None:
                 break
-    else:
-        if not candidates:
-            raise SearchTimeoutError(
-                f"G* search exhausted its pop budget ({config.max_pops}) "
-                f"before finding any common ancestor",
-                pops=stats.pops,
-            )
+            stats.pops += 1
+            _, node, _ = popped
+            # CandidateCollection (Algorithm 3): does the frontier node now
+            # carry all labels?
+            if pool.settled_by_all(node):
+                distances = pool.distances_at(node)
+                depth = max(distances.values())
+                candidates.append((node, distances))
+                stats.candidates += 1
+                min_depth = min(min_depth, depth)
+            # Termination test: C1 (candidate exists) and C2 (the next path
+            # is strictly deeper than the best collected depth).
+            if candidates:
+                next_distance = pool.next_distance()
+                strict = min_depth < next_distance - _TIE_EPS
+                relaxed = min_depth <= next_distance + _TIE_EPS
+                if strict or (not config.collect_all_min_depth and relaxed):
+                    stats.terminated_early = True
+                    break
+        else:
+            if not candidates:
+                raise SearchTimeoutError(
+                    f"G* search exhausted its pop budget ({config.max_pops}) "
+                    f"before finding any common ancestor",
+                    pops=stats.pops,
+                )
 
-    if not candidates:
-        raise NoCommonAncestorError(pool.labels)
+        if not candidates:
+            raise NoCommonAncestorError(pool.labels)
+    finally:
+        stats.relaxations += pool.relaxations
+        stats.heap_pushes += pool.heap_pushes
 
     root, distances = min(
         candidates, key=lambda item: (distance_vector(item[1]), item[0])

@@ -46,44 +46,53 @@ def find_gst_tree(
     """
     config = config or TreeEmbConfig()
     stats = stats if stats is not None else SearchStats()
+    if config.backend == "compiled":
+        from repro.core.fast_search import find_gst_tree_compiled
+
+        return find_gst_tree_compiled(graph, label_sources, config, stats)
     pool = FrontierPool(graph, label_sources, max_depth=config.max_depth)
     best_root: str | None = None
     best_cost = math.inf
     best_distances: dict[str, float] | None = None
 
-    while stats.pops < config.max_pops:
-        popped = pool.pop_global_min()
-        if popped is None:
-            break
-        stats.pops += 1
-        _, node, _ = popped
-        if pool.settled_by_all(node):
-            distances = pool.distances_at(node)
-            cost = sum(distances.values())
-            stats.candidates += 1
-            if cost < best_cost - _TIE_EPS or (
-                abs(cost - best_cost) <= _TIE_EPS
-                and best_root is not None
-                and node < best_root
-            ):
-                best_root = node
-                best_cost = cost
-                best_distances = distances
-        # Any future candidate completes at a pop distance that lower-bounds
-        # its depth, and depth lower-bounds the sum; terminate only when the
-        # next distance alone already exceeds the best sum.
-        if best_root is not None and pool.next_distance() > best_cost + _TIE_EPS:
-            stats.terminated_early = True
-            break
-    else:
-        if best_root is None:
-            raise SearchTimeoutError(
-                f"GST tree search exhausted its pop budget ({config.max_pops})",
-                pops=stats.pops,
-            )
+    try:
+        while stats.pops < config.max_pops:
+            popped = pool.pop_global_min()
+            if popped is None:
+                break
+            stats.pops += 1
+            _, node, _ = popped
+            if pool.settled_by_all(node):
+                distances = pool.distances_at(node)
+                cost = sum(distances.values())
+                stats.candidates += 1
+                if cost < best_cost - _TIE_EPS or (
+                    abs(cost - best_cost) <= _TIE_EPS
+                    and best_root is not None
+                    and node < best_root
+                ):
+                    best_root = node
+                    best_cost = cost
+                    best_distances = distances
+            # Any future candidate completes at a pop distance that
+            # lower-bounds its depth, and depth lower-bounds the sum;
+            # terminate only when the next distance alone already exceeds
+            # the best sum.
+            if best_root is not None and pool.next_distance() > best_cost + _TIE_EPS:
+                stats.terminated_early = True
+                break
+        else:
+            if best_root is None:
+                raise SearchTimeoutError(
+                    f"GST tree search exhausted its pop budget ({config.max_pops})",
+                    pops=stats.pops,
+                )
 
-    if best_root is None or best_distances is None:
-        raise NoCommonAncestorError(pool.labels)
+        if best_root is None or best_distances is None:
+            raise NoCommonAncestorError(pool.labels)
+    finally:
+        stats.relaxations += pool.relaxations
+        stats.heap_pushes += pool.heap_pushes
     return _build_tree(pool, best_root, best_distances)
 
 

@@ -9,6 +9,7 @@ dump (see DESIGN.md §1).
 
 from repro.kg.types import Node, Edge, EntityType
 from repro.kg.graph import KnowledgeGraph
+from repro.kg.csr import CompiledGraph
 from repro.kg.label_index import LabelIndex
 from repro.kg.traversal import (
     MultiSourceShortestPaths,
@@ -26,6 +27,7 @@ __all__ = [
     "Edge",
     "EntityType",
     "KnowledgeGraph",
+    "CompiledGraph",
     "LabelIndex",
     "MultiSourceShortestPaths",
     "shortest_path_dag",

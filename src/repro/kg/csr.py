@@ -1,0 +1,165 @@
+"""Compiled CSR snapshot of the knowledge graph's bidirected view.
+
+The G* search (paper Algorithm 1) spends its whole life walking adjacency
+lists.  The mutable :class:`~repro.kg.graph.KnowledgeGraph` optimizes for
+incremental construction — string-keyed dicts of :class:`Edge` objects —
+which makes every neighbor visit chase pointers, hash strings, and box
+attributes.  :class:`CompiledGraph` freezes that structure, Lucene-style,
+into four flat arrays in *compressed sparse row* layout:
+
+* ``indptr``  — ``indptr[u] : indptr[u + 1]`` is node ``u``'s slot range;
+* ``adj``     — flat neighbor int-ids (out-edges first, then in-edges,
+  preserving :meth:`KnowledgeGraph.bidirected_neighbors` order);
+* ``weights`` — the traversal cost per slot;
+* ``refs``    — a packed ``(relation_id << 1) | forward`` int per slot,
+  enough to reconstruct the :class:`~repro.kg.types.OrientedEdge` lazily.
+
+Node ids are interned **in sorted order**, so comparing int ids is
+equivalent to comparing node-id strings — the property that lets the
+integer-id fast path (:mod:`repro.core.fast_search`) reproduce the
+reference tie-breaks bit for bit.
+
+Snapshots are immutable and cheap to share: the parallel indexer compiles
+once before forking so every worker reads the same arrays copy-on-write.
+Staleness is handled by :attr:`KnowledgeGraph.version` — the snapshot
+records the version it was built at and :meth:`KnowledgeGraph.compiled`
+rebuilds whenever the counter has moved.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+from repro.errors import NodeNotFoundError
+from repro.kg.types import OrientedEdge
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kg.graph import KnowledgeGraph
+
+
+class CompiledGraph:
+    """An immutable integer-id CSR view of one graph version.
+
+    Build via :meth:`from_graph` (or, preferably, the caching
+    :meth:`KnowledgeGraph.compiled`).  All arrays describe the *bidirected*
+    view: every KG edge contributes one forward slot at its source and one
+    reverse slot at its target, with equal weight (§V-A).
+    """
+
+    __slots__ = (
+        "version",
+        "node_ids",
+        "index_of",
+        "indptr",
+        "adj",
+        "weights",
+        "refs",
+        "relations",
+    )
+
+    def __init__(
+        self,
+        version: int,
+        node_ids: tuple[str, ...],
+        indptr: list[int],
+        adj: list[int],
+        weights: list[float],
+        refs: list[int],
+        relations: tuple[str, ...],
+    ) -> None:
+        self.version = version
+        self.node_ids = node_ids
+        self.index_of: dict[str, int] = {
+            node_id: index for index, node_id in enumerate(node_ids)
+        }
+        self.indptr = indptr
+        self.adj = adj
+        self.weights = weights
+        self.refs = refs
+        self.relations = relations
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: "KnowledgeGraph") -> "CompiledGraph":
+        """Freeze ``graph``'s bidirected view at its current version."""
+        node_ids = tuple(sorted(graph.node_ids()))
+        index_of = {node_id: index for index, node_id in enumerate(node_ids)}
+        relation_ids: dict[str, int] = {}
+        indptr = [0] * (len(node_ids) + 1)
+        adj: list[int] = []
+        weights: list[float] = []
+        refs: list[int] = []
+        for index, node_id in enumerate(node_ids):
+            for neighbor, edge, forward in graph.bidirected_neighbors(node_id):
+                relation_id = relation_ids.setdefault(
+                    edge.relation, len(relation_ids)
+                )
+                adj.append(index_of[neighbor])
+                weights.append(edge.weight)
+                refs.append((relation_id << 1) | (1 if forward else 0))
+            indptr[index + 1] = len(adj)
+        relations = tuple(
+            sorted(relation_ids, key=lambda name: relation_ids[name])
+        )
+        return cls(
+            version=graph.version,
+            node_ids=node_ids,
+            indptr=indptr,
+            adj=adj,
+            weights=weights,
+            refs=refs,
+            relations=relations,
+        )
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of interned nodes."""
+        return len(self.node_ids)
+
+    @property
+    def num_slots(self) -> int:
+        """Number of adjacency slots (2x the directed edge count)."""
+        return len(self.adj)
+
+    def node_index(self, node_id: str) -> int:
+        """Int id of ``node_id``; raises ``NodeNotFoundError`` if absent."""
+        try:
+            return self.index_of[node_id]
+        except KeyError:
+            raise NodeNotFoundError(node_id) from None
+
+    def intern_sources(self, node_ids: Iterable[str]) -> list[int]:
+        """Map a source set to sorted int ids (validates every member)."""
+        return sorted(self.node_index(node_id) for node_id in node_ids)
+
+    def degree(self, index: int) -> int:
+        """Bidirected degree of the node with int id ``index``."""
+        return self.indptr[index + 1] - self.indptr[index]
+
+    def oriented_edge(self, index: int, slot: int) -> OrientedEdge:
+        """The traversal-oriented edge of adjacency ``slot`` of ``index``.
+
+        Oriented the way the search crossed it: ``source`` is the node the
+        slot belongs to, ``target`` its neighbor — matching the
+        ``OrientedEdge`` the reference path builds during relaxation.
+        """
+        ref = self.refs[slot]
+        return OrientedEdge(
+            source=self.node_ids[index],
+            target=self.node_ids[self.adj[slot]],
+            relation=self.relations[ref >> 1],
+            forward=bool(ref & 1),
+            weight=self.weights[slot],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledGraph(version={self.version}, nodes={self.num_nodes}, "
+            f"slots={self.num_slots}, relations={len(self.relations)})"
+        )

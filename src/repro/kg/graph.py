@@ -9,9 +9,13 @@ in-edges (reverse) with equal weight.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
 
 from repro.errors import DataError, NodeNotFoundError
 from repro.kg.types import Edge, EntityType, Node
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kg.csr import CompiledGraph
 
 
 class KnowledgeGraph:
@@ -21,6 +25,12 @@ class KnowledgeGraph:
     lists.  Parallel edges with distinct relations are allowed; exact
     duplicates (same source, target and relation) are collapsed keeping the
     smaller weight.
+
+    A monotonically increasing :attr:`version` (mirroring
+    ``InvertedIndex.version``) lets derived structures — most importantly
+    the :class:`~repro.kg.csr.CompiledGraph` CSR snapshot returned by
+    :meth:`compiled` — key their caches on graph state instead of
+    re-deriving it per use or risking staleness after mutations.
     """
 
     def __init__(self) -> None:
@@ -28,6 +38,8 @@ class KnowledgeGraph:
         self._out: dict[str, list[Edge]] = {}
         self._in: dict[str, list[Edge]] = {}
         self._edge_keys: dict[tuple[str, str, str], Edge] = {}
+        self._version = 0
+        self._csr_cache: "CompiledGraph | None" = None
 
     # ------------------------------------------------------------------
     # construction
@@ -37,6 +49,7 @@ class KnowledgeGraph:
         self._nodes[node.node_id] = node
         self._out.setdefault(node.node_id, [])
         self._in.setdefault(node.node_id, [])
+        self._version += 1
 
     def add_nodes(self, nodes: Iterable[Node]) -> None:
         """Insert every node in ``nodes``."""
@@ -61,6 +74,7 @@ class KnowledgeGraph:
         self._edge_keys[edge.key()] = edge
         self._out[edge.source].append(edge)
         self._in[edge.target].append(edge)
+        self._version += 1
 
     def add_edges(self, edges: Iterable[Edge]) -> None:
         """Insert every edge in ``edges``."""
@@ -73,6 +87,7 @@ class KnowledgeGraph:
         out_list[out_list.index(old)] = new
         in_list = self._in[old.target]
         in_list[in_list.index(old)] = new
+        self._version += 1
 
     # ------------------------------------------------------------------
     # lookup
@@ -140,6 +155,33 @@ class KnowledgeGraph:
     def nodes_of_type(self, entity_type: EntityType) -> list[Node]:
         """All nodes whose entity type equals ``entity_type``."""
         return [n for n in self._nodes.values() if n.entity_type is entity_type]
+
+    # ------------------------------------------------------------------
+    # compiled snapshot
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every node/edge insert or replace.
+
+        Structures derived from graph state (the CSR snapshot, future
+        caches) compare this against the version they were built at.
+        """
+        return self._version
+
+    def compiled(self) -> "CompiledGraph":
+        """The CSR snapshot of the bidirected view, built lazily.
+
+        The snapshot is cached until the next mutation; a stale cache is
+        rebuilt transparently on access, so callers never observe a
+        snapshot that disagrees with the live graph.
+        """
+        from repro.kg.csr import CompiledGraph
+
+        cache = self._csr_cache
+        if cache is None or cache.version != self._version:
+            cache = CompiledGraph.from_graph(self)
+            self._csr_cache = cache
+        return cache
 
     # ------------------------------------------------------------------
     # size

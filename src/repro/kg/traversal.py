@@ -55,12 +55,17 @@ class MultiSourceShortestPaths:
         # node -> list of (pred_node, OrientedEdge towards node)
         self._preds: dict[str, list[tuple[str, OrientedEdge]]] = {}
         self._heap: list[tuple[float, str]] = []
+        #: Neighbor slots examined by relaxation (SearchStats.relaxations).
+        self.relaxations = 0
+        #: Heap insertions, sources included (SearchStats.heap_pushes).
+        self.heap_pushes = 0
         self._sources = frozenset(sources)
         for source in self._sources:
             graph.node(source)  # raises NodeNotFoundError on bad input
             self._tentative[source] = 0.0
             self._preds[source] = []
             heapq.heappush(self._heap, (0.0, source))
+            self.heap_pushes += 1
 
     @property
     def sources(self) -> frozenset[str]:
@@ -80,11 +85,25 @@ class MultiSourceShortestPaths:
 
     def pop(self) -> tuple[str, float] | None:
         """Settle and return the closest unsettled node, or None."""
-        peeked = self.peek_min()
-        if peeked is None:
+        if self.peek_min() is None:
             return None
-        node, dist = peeked
-        heapq.heappop(self._heap)
+        return self.pop_peeked()
+
+    def pop_peeked(self) -> tuple[str, float]:
+        """Settle the node an immediately preceding :meth:`peek_min` saw.
+
+        Skips the stale-entry sweep — the preceding peek already left a
+        fresh entry on top — so a caller that has to peek anyway (the
+        frontier pool's Equation-2 argmin, :func:`pairwise_distance`'s
+        early exit) pays for one pass, not two.  Must not be called
+        without a peek, or after a mutation invalidated it.
+        """
+        dist, node = heapq.heappop(self._heap)
+        if __debug__:
+            current = self._tentative.get(node)
+            assert current is not None and abs(current - dist) <= _TIE_EPS, (
+                f"pop_peeked without a fresh peek: {node!r} at {dist}"
+            )
         del self._tentative[node]
         self._settled[node] = dist
         self._relax_neighbors(node, dist)
@@ -100,6 +119,7 @@ class MultiSourceShortestPaths:
 
     def _relax_neighbors(self, node: str, dist: float) -> None:
         for neighbor, edge, forward in self._graph.bidirected_neighbors(node):
+            self.relaxations += 1
             if neighbor in self._settled:
                 continue
             candidate = dist + edge.weight
@@ -117,6 +137,7 @@ class MultiSourceShortestPaths:
                 self._tentative[neighbor] = candidate
                 self._preds[neighbor] = [(node, oriented)]
                 heapq.heappush(self._heap, (candidate, neighbor))
+                self.heap_pushes += 1
             elif abs(candidate - current) <= _TIE_EPS:
                 self._preds[neighbor].append((node, oriented))
 
@@ -202,13 +223,23 @@ def shortest_path_dag(
     return sssp
 
 
-def pairwise_distance(graph: KnowledgeGraph, source: str, target: str) -> float:
-    """Bidirected shortest-path distance between two nodes (+inf if none)."""
-    sssp = MultiSourceShortestPaths(graph, [source])
-    while True:
-        popped = sssp.pop()
-        if popped is None:
-            return math.inf
-        node, dist = popped
+def pairwise_distance(
+    graph: KnowledgeGraph,
+    source: str,
+    target: str,
+    max_depth: float | None = None,
+) -> float:
+    """Bidirected shortest-path distance between two nodes (+inf if none).
+
+    ``max_depth`` bounds the search radius (+inf result beyond it), and
+    the search exits as soon as ``target`` reaches the top of the heap —
+    its distance is final at that point (Dijkstra), so relaxing its
+    neighbors and growing the frontier any further is pure waste.
+    """
+    sssp = MultiSourceShortestPaths(graph, [source], max_depth=max_depth)
+    while (peeked := sssp.peek_min()) is not None:
+        node, dist = peeked
         if node == target:
             return dist
+        sssp.pop_peeked()
+    return math.inf

@@ -108,6 +108,8 @@ def _run_embed_chunk(tasks: list[EmbedTask]) -> EmbedChunkResult:
             pops=_SINK.pops - search_before.pops,
             candidates=_SINK.candidates - search_before.candidates,
             terminated_early=_SINK.terminated_early,
+            relaxations=_SINK.relaxations - search_before.relaxations,
+            heap_pushes=_SINK.heap_pushes - search_before.heap_pushes,
         )
     if isinstance(_EMBEDDER, CachingEmbedder):
         result.cache = CacheStats(

@@ -94,6 +94,17 @@ def index_corpus_parallel(
                 search_stats=local, workers=1, nlp_parallel=False,
             )
 
+    # Compile the CSR snapshot once before forking: workers inherit the
+    # frozen arrays copy-on-write instead of each paying the compile on
+    # its first G* search (and then holding a private duplicate).
+    backend = (
+        config.tree_emb.backend
+        if config.use_tree_embedder
+        else config.lcag.backend
+    )
+    if backend == "compiled":
+        engine.graph.compiled()
+
     nlp_in_pool = config.parallel_nlp
     with WorkerPool(
         engine.pipeline, engine.embedder, count, config.parallel_chunk_size

@@ -1,0 +1,341 @@
+"""Differential tests: compiled backend == reference backend, bit for bit.
+
+The compiled CSR fast path must be observationally indistinguishable from
+the object-graph reference — same roots, depths, node/edge sets, label
+DAGs, tie-breaks, error behavior, and instrumentation counters.  These
+tests enforce that on the paper's example, on adversarial hand-built
+graphs, on randomized synthetic worlds (hypothesis), and across graph
+mutations (compile → add_edge → recompile).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import EngineConfig, LcagConfig, TreeEmbConfig
+from repro.core.lcag import LcagEmbedder, SearchStats, find_lcag
+from repro.core.tree_emb import TreeEmbedder, find_gst_tree
+from repro.errors import NoCommonAncestorError, SearchTimeoutError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.types import Edge, Node
+
+REFERENCE = LcagConfig(backend="reference")
+COMPILED = LcagConfig(backend="compiled")
+
+
+def assert_identical(reference, compiled, ref_stats=None, fast_stats=None):
+    """Field-by-field equality of two CommonAncestorGraphs (+ stats)."""
+    assert compiled.root == reference.root
+    assert compiled.labels == reference.labels
+    assert compiled.distances == reference.distances
+    assert compiled.nodes == reference.nodes
+    assert compiled.edges == reference.edges
+    assert compiled.label_paths == reference.label_paths
+    if ref_stats is not None:
+        assert fast_stats == ref_stats
+
+
+def run_both(graph, label_sources, **config_kwargs):
+    ref_stats, fast_stats = SearchStats(), SearchStats()
+    reference = find_lcag(
+        graph,
+        label_sources,
+        LcagConfig(backend="reference", **config_kwargs),
+        ref_stats,
+    )
+    compiled = find_lcag(
+        graph,
+        label_sources,
+        LcagConfig(backend="compiled", **config_kwargs),
+        fast_stats,
+    )
+    assert_identical(reference, compiled, ref_stats, fast_stats)
+    return reference
+
+
+# ---------------------------------------------------------------------------
+# randomized worlds (weighted, with parallel edges and multi-source labels)
+# ---------------------------------------------------------------------------
+@st.composite
+def weighted_cases(draw):
+    n = draw(st.integers(min_value=3, max_value=16))
+    edges = {(i, i + 1) for i in range(n - 1)}  # connected chain
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=20,
+        )
+    )
+    for a, b in extra:
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    graph = KnowledgeGraph()
+    graph.add_nodes([Node(f"n{i:02d}", f"N{i}") for i in range(n)])
+    weights = (0.5, 1.0, 1.0, 1.5)  # repeated 1.0 encourages path ties
+    relations = ("r", "s")
+    for a, b in sorted(edges):
+        relation = draw(st.sampled_from(relations))
+        weight = draw(st.sampled_from(weights))
+        graph.add_edge(Edge(f"n{a:02d}", f"n{b:02d}", relation, weight))
+    num_labels = draw(st.integers(min_value=1, max_value=4))
+    label_sources = {}
+    for index in range(num_labels):
+        size = draw(st.integers(min_value=1, max_value=2))
+        members = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        label_sources[f"l{index}"] = frozenset(f"n{m:02d}" for m in members)
+    return graph, label_sources
+
+
+class TestDifferentialRandomized:
+    @settings(max_examples=120, deadline=None)
+    @given(weighted_cases())
+    def test_lcag_backends_identical(self, case):
+        graph, label_sources = case
+        run_both(graph, label_sources)
+
+    @settings(max_examples=60, deadline=None)
+    @given(weighted_cases())
+    def test_lcag_backends_identical_single_paths(self, case):
+        graph, label_sources = case
+        run_both(graph, label_sources, single_paths=True)
+
+    @settings(max_examples=60, deadline=None)
+    @given(weighted_cases())
+    def test_lcag_backends_identical_relaxed_collection(self, case):
+        graph, label_sources = case
+        run_both(graph, label_sources, collect_all_min_depth=False)
+
+    @settings(max_examples=60, deadline=None)
+    @given(weighted_cases(), st.sampled_from([1.0, 2.0, 2.5]))
+    def test_lcag_backends_identical_max_depth(self, case, max_depth):
+        graph, label_sources = case
+        try:
+            reference = find_lcag(
+                graph,
+                label_sources,
+                LcagConfig(backend="reference", max_depth=max_depth),
+            )
+        except NoCommonAncestorError:
+            with pytest.raises(NoCommonAncestorError):
+                find_lcag(
+                    graph,
+                    label_sources,
+                    LcagConfig(backend="compiled", max_depth=max_depth),
+                )
+            return
+        compiled = find_lcag(
+            graph,
+            label_sources,
+            LcagConfig(backend="compiled", max_depth=max_depth),
+        )
+        assert_identical(reference, compiled)
+
+    @settings(max_examples=60, deadline=None)
+    @given(weighted_cases())
+    def test_gst_backends_identical(self, case):
+        graph, label_sources = case
+        ref_stats, fast_stats = SearchStats(), SearchStats()
+        reference = find_gst_tree(
+            graph, label_sources, TreeEmbConfig(backend="reference"), ref_stats
+        )
+        compiled = find_gst_tree(
+            graph, label_sources, TreeEmbConfig(backend="compiled"), fast_stats
+        )
+        assert_identical(reference, compiled, ref_stats, fast_stats)
+
+
+# ---------------------------------------------------------------------------
+# mutations: compile → mutate → recompile must track the live graph
+# ---------------------------------------------------------------------------
+class TestMutations:
+    def chain(self, n: int = 6) -> KnowledgeGraph:
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node(f"n{i}", f"N{i}") for i in range(n)])
+        for i in range(n - 1):
+            graph.add_edge(Edge(f"n{i}", f"n{i+1}", "r"))
+        return graph
+
+    def test_add_edge_between_searches(self):
+        graph = self.chain()
+        sources = {"l1": frozenset({"n0"}), "l2": frozenset({"n5"})}
+        before = run_both(graph, sources)
+        assert before.depth == 3.0  # midpoint of the 5-hop chain
+        # A shortcut changes the optimum; both backends must see it.
+        graph.add_edge(Edge("n0", "n5", "shortcut"))
+        after = run_both(graph, sources)
+        assert after.depth == 1.0
+        assert after.root != before.root or after.vector != before.vector
+
+    def test_add_node_and_edge_after_compile(self):
+        graph = self.chain(4)
+        sources = {"l1": frozenset({"n0"}), "l2": frozenset({"n3"})}
+        run_both(graph, sources)
+        graph.add_node(Node("hub", "Hub"))
+        graph.add_edge(Edge("n0", "hub", "r"))
+        graph.add_edge(Edge("n3", "hub", "r"))
+        after = run_both(graph, sources)
+        assert "hub" in after.nodes
+
+    def test_weight_replacement_recompiles(self):
+        graph = self.chain(3)
+        graph.add_edge(Edge("n0", "n2", "direct", weight=5.0))
+        sources = {"l1": frozenset({"n0"}), "l2": frozenset({"n2"})}
+        before = run_both(graph, sources)
+        assert before.depth == 1.0  # via n1, the 5.0 edge loses
+        # Collapse the duplicate to a cheaper weight: direct edge now wins.
+        graph.add_edge(Edge("n0", "n2", "direct", weight=0.25))
+        after = run_both(graph, sources)
+        assert after.depth == 0.25
+
+    def test_snapshot_version_tracks_each_search(self):
+        graph = self.chain(4)
+        sources = {"l": frozenset({"n1"})}
+        run_both(graph, sources)
+        compiled_before = graph.compiled()
+        graph.add_edge(Edge("n0", "n3", "r2"))
+        run_both(graph, sources)
+        assert graph.compiled() is not compiled_before
+        assert graph.compiled().version == graph.version
+
+
+# ---------------------------------------------------------------------------
+# error behavior and budgets
+# ---------------------------------------------------------------------------
+class TestErrors:
+    def test_no_common_ancestor_both_backends(self):
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node("a", "A"), Node("b", "B")])
+        sources = {"l1": frozenset({"a"}), "l2": frozenset({"b"})}
+        for config in (REFERENCE, COMPILED):
+            with pytest.raises(NoCommonAncestorError):
+                find_lcag(graph, sources, config)
+
+    def test_timeout_both_backends_same_pops(self):
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node(f"n{i}", f"N{i}") for i in range(20)])
+        for i in range(19):
+            graph.add_edge(Edge(f"n{i}", f"n{i+1}", "r"))
+        sources = {"l1": frozenset({"n0"}), "l2": frozenset({"n19"})}
+        pops = {}
+        for backend in ("reference", "compiled"):
+            with pytest.raises(SearchTimeoutError) as exc_info:
+                find_lcag(
+                    graph, sources, LcagConfig(max_pops=3, backend=backend)
+                )
+            pops[backend] = exc_info.value.pops
+        assert pops["reference"] == pops["compiled"] == 3
+
+    def test_budget_cut_candidate_identical(self):
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node(c, c.upper()) for c in "abc"])
+        graph.add_edges([Edge("a", "b", "r"), Edge("b", "c", "r")])
+        sources = {"l1": frozenset({"a"}), "l2": frozenset({"c"})}
+        run_both(graph, sources, max_pops=6)
+
+    def test_empty_label_sources_rejected(self):
+        graph = KnowledgeGraph()
+        graph.add_node(Node("a", "A"))
+        for config in (REFERENCE, COMPILED):
+            with pytest.raises(ValueError):
+                find_lcag(graph, {}, config)
+            with pytest.raises(ValueError):
+                find_lcag(graph, {"l": frozenset()}, config)
+
+    def test_unknown_source_rejected(self):
+        from repro.errors import NodeNotFoundError
+
+        graph = KnowledgeGraph()
+        graph.add_node(Node("a", "A"))
+        for config in (REFERENCE, COMPILED):
+            with pytest.raises(NodeNotFoundError):
+                find_lcag(graph, {"l": frozenset({"missing"})}, config)
+
+
+# ---------------------------------------------------------------------------
+# embedders and the engine default
+# ---------------------------------------------------------------------------
+class TestWiring:
+    def test_default_backend_is_compiled(self):
+        assert LcagConfig().backend == "compiled"
+        assert TreeEmbConfig().backend == "compiled"
+        assert EngineConfig().lcag.backend == "compiled"
+
+    def test_lcag_embedder_backends_agree(self, figure1_graph, figure1_index):
+        sources = {
+            "pakistan": figure1_index.lookup("Pakistan"),
+            "taliban": figure1_index.lookup("Taliban"),
+        }
+        reference = LcagEmbedder(figure1_graph, REFERENCE).embed(sources)
+        compiled = LcagEmbedder(figure1_graph, COMPILED).embed(sources)
+        assert reference is not None and compiled is not None
+        assert_identical(reference, compiled)
+
+    def test_tree_embedder_backends_agree(self, figure1_graph, figure1_index):
+        sources = {
+            "pakistan": figure1_index.lookup("Pakistan"),
+            "taliban": figure1_index.lookup("Taliban"),
+        }
+        reference = TreeEmbedder(
+            figure1_graph, TreeEmbConfig(backend="reference")
+        ).embed(sources)
+        compiled = TreeEmbedder(
+            figure1_graph, TreeEmbConfig(backend="compiled")
+        ).embed(sources)
+        assert reference is not None and compiled is not None
+        assert_identical(reference, compiled)
+
+    def test_embedder_stats_sink_counts_new_counters(
+        self, figure1_graph, figure1_index
+    ):
+        sink = SearchStats()
+        embedder = LcagEmbedder(figure1_graph, COMPILED, stats_sink=sink)
+        embedder.embed({"taliban": figure1_index.lookup("Taliban")})
+        assert sink.pops > 0
+        assert sink.relaxations > 0
+        assert sink.heap_pushes > 0
+
+    def test_engine_search_identical_across_backends(self, tiny_dataset):
+        from repro.data.document import Corpus
+        from repro.search.engine import NewsLinkEngine
+
+        documents = list(tiny_dataset.corpus)[:15]
+        corpus = Corpus(documents)
+        results = {}
+        for backend in ("reference", "compiled"):
+            engine = NewsLinkEngine(
+                tiny_dataset.world.graph,
+                EngineConfig(lcag=LcagConfig(backend=backend)),
+            )
+            engine.index_corpus(corpus)
+            query = documents[0].text[:80]
+            results[backend] = [
+                (r.doc_id, r.score) for r in engine.search(query, k=10)
+            ]
+        assert results["reference"] == results["compiled"]
+
+    def test_parallel_indexing_compiles_pre_fork(self, tiny_dataset):
+        from repro.data.document import Corpus
+        from repro.parallel.executor import parallel_supported
+        from repro.search.engine import NewsLinkEngine
+
+        if not parallel_supported():
+            pytest.skip("platform lacks fork")
+        graph = tiny_dataset.world.graph
+        corpus = Corpus(list(tiny_dataset.corpus)[:10])
+        engine = NewsLinkEngine(graph, EngineConfig(workers=2))
+        engine.index_corpus(corpus)
+        # The parent compiled before forking; the cache is warm and current.
+        assert graph._csr_cache is not None
+        assert graph._csr_cache.version == graph.version

@@ -1,0 +1,179 @@
+"""`_TIE_EPS` boundary behavior, asserted identical across backends.
+
+The search treats two path weights within ``1e-9`` of each other as tied
+(both predecessors kept — the "width" property) and anything farther
+apart as strictly ordered.  These tests pin the boundary down on three
+fronts: exact equal-weight ties, near-ties straddling the epsilon, and
+``max_depth`` landing exactly on a node's distance.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config import LcagConfig
+from repro.core.lcag import SearchStats, find_lcag
+from repro.errors import NoCommonAncestorError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.traversal import pairwise_distance
+from repro.kg.types import Edge, Node
+
+BACKENDS = ("reference", "compiled")
+
+
+def run_both(graph, label_sources, **config_kwargs):
+    """Run both backends, assert full equality, return the result."""
+    results, stats = {}, {}
+    for backend in BACKENDS:
+        stats[backend] = SearchStats()
+        results[backend] = find_lcag(
+            graph,
+            label_sources,
+            LcagConfig(backend=backend, **config_kwargs),
+            stats[backend],
+        )
+    reference, compiled = results["reference"], results["compiled"]
+    assert compiled.root == reference.root
+    assert compiled.distances == reference.distances
+    assert compiled.nodes == reference.nodes
+    assert compiled.edges == reference.edges
+    assert compiled.label_paths == reference.label_paths
+    assert stats["compiled"] == stats["reference"]
+    return reference
+
+
+def two_arm_graph(upper_total: float, lower_total: float) -> KnowledgeGraph:
+    """Figure-1-shaped: t reaches root r via arms u (upper) and d (lower).
+
+    Two pin labels a, b sit at distance 1 from r so r is the unique LCAG
+    root; t's shortest-path DAG then keeps one or both 2-hop arms
+    depending on whether the arm totals tie within ``_TIE_EPS``.
+    """
+    graph = KnowledgeGraph()
+    graph.add_nodes(
+        [Node(c, c.upper()) for c in ("t", "u", "d", "r", "a", "b")]
+    )
+    graph.add_edges(
+        [
+            Edge("t", "u", "arm", weight=upper_total / 2),
+            Edge("u", "r", "arm", weight=upper_total / 2),
+            Edge("t", "d", "arm", weight=lower_total / 2),
+            Edge("d", "r", "arm", weight=lower_total / 2),
+            Edge("a", "r", "pin"),
+            Edge("b", "r", "pin"),
+        ]
+    )
+    return graph
+
+
+TWO_ARM_SOURCES = {
+    "lt": frozenset({"t"}),
+    "la": frozenset({"a"}),
+    "lb": frozenset({"b"}),
+}
+
+
+class TestEqualWeightTies:
+    def test_both_arms_kept_in_dag(self):
+        graph = two_arm_graph(2.0, 2.0)
+        result = run_both(graph, TWO_ARM_SOURCES)
+        assert result.root == "r"
+        # Equal-weight arms: the shortest-path DAG keeps u AND d.
+        assert {"u", "d"} <= set(result.nodes)
+        _, edges = result.paths_for_label("lt")
+        assert len(edges) == 4
+
+    def test_root_tie_broken_by_node_id(self):
+        """Two equally-compact roots: the smaller node id must win."""
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node(c, c.upper()) for c in ("a", "m", "p", "z")])
+        # Both m and p sit exactly between a and z.
+        graph.add_edges(
+            [
+                Edge("a", "m", "r"),
+                Edge("m", "z", "r"),
+                Edge("a", "p", "r"),
+                Edge("p", "z", "r"),
+            ]
+        )
+        sources = {"la": frozenset({"a"}), "lz": frozenset({"z"})}
+        result = run_both(graph, sources)
+        assert result.root == "m"
+
+
+class TestNearTieStraddlingEpsilon:
+    def test_sub_epsilon_difference_is_a_tie(self):
+        """Arms 1e-12 apart (< _TIE_EPS): treated as equal, both kept."""
+        graph = two_arm_graph(2.0, 2.0 + 1e-12)
+        result = run_both(graph, TWO_ARM_SOURCES)
+        assert {"u", "d"} <= set(result.nodes)
+
+    def test_super_epsilon_difference_is_strict(self):
+        """Arms 1e-6 apart (> _TIE_EPS): only the cheaper arm survives."""
+        graph = two_arm_graph(2.0, 2.0 + 1e-6)
+        result = run_both(graph, TWO_ARM_SOURCES)
+        assert "u" in result.nodes
+        assert "d" not in result.nodes
+
+    def test_candidate_depth_near_tie(self):
+        """Roots whose depths straddle the epsilon sort strictly."""
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node(c, c.upper()) for c in ("a", "m", "p", "z")])
+        graph.add_edges(
+            [
+                Edge("a", "m", "r", weight=1.0),
+                Edge("m", "z", "r", weight=1.0),
+                Edge("a", "p", "r", weight=1.0 - 1e-6),
+                Edge("p", "z", "r", weight=1.0),
+            ]
+        )
+        sources = {"la": frozenset({"a"}), "lz": frozenset({"z"})}
+        result = run_both(graph, sources)
+        # p's vector (1.0, 1.0 - 1e-6) beats m's (1.0, 1.0).
+        assert result.root == "p"
+
+
+class TestMaxDepthBoundary:
+    def chain(self) -> KnowledgeGraph:
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node(f"n{i}", f"N{i}") for i in range(5)])
+        for i in range(4):
+            graph.add_edge(Edge(f"n{i}", f"n{i+1}", "r"))
+        return graph
+
+    def test_max_depth_exactly_at_meeting_distance(self):
+        """max_depth == the root's distance: the root stays reachable."""
+        graph = self.chain()
+        sources = {"l1": frozenset({"n0"}), "l2": frozenset({"n4"})}
+        result = run_both(graph, sources, max_depth=2.0)
+        assert result.root == "n2"
+        assert result.depth == 2.0
+
+    def test_max_depth_just_below_cuts_search(self):
+        graph = self.chain()
+        sources = {"l1": frozenset({"n0"}), "l2": frozenset({"n4"})}
+        for backend in BACKENDS:
+            with pytest.raises(NoCommonAncestorError):
+                find_lcag(
+                    graph,
+                    sources,
+                    LcagConfig(backend=backend, max_depth=2.0 - 1e-6),
+                )
+
+    def test_max_depth_within_epsilon_still_reaches(self):
+        """max_depth within _TIE_EPS below the distance still admits it."""
+        graph = self.chain()
+        sources = {"l1": frozenset({"n0"}), "l2": frozenset({"n4"})}
+        result = run_both(graph, sources, max_depth=2.0 - 1e-12)
+        assert result.root == "n2"
+
+    def test_pairwise_distance_max_depth_boundary(self):
+        graph = self.chain()
+        assert pairwise_distance(graph, "n0", "n3", max_depth=3.0) == 3.0
+        assert math.isinf(
+            pairwise_distance(graph, "n0", "n3", max_depth=3.0 - 1e-6)
+        )
+        # Within epsilon of the true distance: still admitted.
+        assert pairwise_distance(graph, "n0", "n3", max_depth=3.0 - 1e-12) == 3.0

@@ -1,0 +1,158 @@
+"""Tests for the compiled CSR graph snapshot (`repro.kg.csr`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.kg.csr import CompiledGraph
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.types import Edge, Node
+
+
+def small_graph() -> KnowledgeGraph:
+    graph = KnowledgeGraph()
+    # Insertion order is deliberately NOT sorted to exercise interning.
+    graph.add_nodes([Node("c", "C"), Node("a", "A"), Node("b", "B")])
+    graph.add_edges(
+        [
+            Edge("a", "b", "r1"),
+            Edge("b", "c", "r2", weight=2.0),
+            Edge("a", "c", "r1", weight=0.5),
+        ]
+    )
+    return graph
+
+
+class TestInterning:
+    def test_node_ids_sorted(self):
+        compiled = small_graph().compiled()
+        assert compiled.node_ids == ("a", "b", "c")
+        assert compiled.index_of == {"a": 0, "b": 1, "c": 2}
+
+    def test_int_order_equals_string_order(self):
+        """The property the fast path's tie-breaks rely on."""
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node(f"n{i:03d}", f"N{i}") for i in (7, 2, 9, 0)])
+        compiled = graph.compiled()
+        assert list(compiled.node_ids) == sorted(compiled.node_ids)
+
+    def test_unknown_node_raises(self):
+        compiled = small_graph().compiled()
+        with pytest.raises(NodeNotFoundError):
+            compiled.node_index("zz")
+
+    def test_intern_sources_sorted_and_validated(self):
+        compiled = small_graph().compiled()
+        assert compiled.intern_sources({"c", "a"}) == [0, 2]
+        with pytest.raises(NodeNotFoundError):
+            compiled.intern_sources({"a", "zz"})
+
+
+class TestCsrStructure:
+    def test_adjacency_matches_bidirected_view(self):
+        graph = small_graph()
+        compiled = graph.compiled()
+        for node_id in graph.node_ids():
+            index = compiled.node_index(node_id)
+            start, end = compiled.indptr[index], compiled.indptr[index + 1]
+            expected = [
+                (compiled.node_index(neighbor), edge.weight, edge.relation, fwd)
+                for neighbor, edge, fwd in graph.bidirected_neighbors(node_id)
+            ]
+            actual = []
+            for slot in range(start, end):
+                oriented = compiled.oriented_edge(index, slot)
+                assert oriented.source == node_id
+                actual.append(
+                    (
+                        compiled.adj[slot],
+                        compiled.weights[slot],
+                        oriented.relation,
+                        oriented.forward,
+                    )
+                )
+            assert actual == expected
+
+    def test_degree_matches_graph(self):
+        graph = small_graph()
+        compiled = graph.compiled()
+        for node_id in graph.node_ids():
+            assert compiled.degree(compiled.node_index(node_id)) == graph.degree(
+                node_id
+            )
+
+    def test_slot_count_is_twice_edges(self):
+        graph = small_graph()
+        compiled = graph.compiled()
+        assert compiled.num_slots == 2 * graph.num_edges
+        assert compiled.num_nodes == graph.num_nodes
+
+    def test_oriented_edge_roundtrips_kg_edge(self):
+        graph = small_graph()
+        compiled = graph.compiled()
+        seen = set()
+        for index in range(compiled.num_nodes):
+            for slot in range(compiled.indptr[index], compiled.indptr[index + 1]):
+                kg_edge = compiled.oriented_edge(index, slot).as_kg_edge()
+                assert graph.has_edge(
+                    kg_edge.source, kg_edge.target, kg_edge.relation
+                )
+                seen.add(kg_edge.key())
+        assert seen == {edge.key() for edge in graph.edges()}
+
+    def test_isolated_node_has_empty_row(self):
+        graph = KnowledgeGraph()
+        graph.add_nodes([Node("a", "A"), Node("b", "B")])
+        graph.add_edge(Edge("a", "b", "r"))
+        graph.add_node(Node("z", "Z"))
+        compiled = graph.compiled()
+        z = compiled.node_index("z")
+        assert compiled.degree(z) == 0
+
+
+class TestVersioning:
+    def test_version_starts_at_zero(self):
+        assert KnowledgeGraph().version == 0
+
+    def test_mutations_bump_version(self):
+        graph = KnowledgeGraph()
+        v0 = graph.version
+        graph.add_node(Node("a", "A"))
+        assert graph.version > v0
+        v1 = graph.version
+        graph.add_node(Node("b", "B"))
+        graph.add_edge(Edge("a", "b", "r"))
+        assert graph.version > v1
+        v2 = graph.version
+        # Duplicate edge with a *larger* weight is a no-op: no bump.
+        graph.add_edge(Edge("a", "b", "r", weight=5.0))
+        assert graph.version == v2
+        # Duplicate with a smaller weight replaces in place: bump.
+        graph.add_edge(Edge("a", "b", "r", weight=0.25))
+        assert graph.version > v2
+
+    def test_compiled_is_cached_until_mutation(self):
+        graph = small_graph()
+        first = graph.compiled()
+        assert graph.compiled() is first
+        assert first.version == graph.version
+        graph.add_node(Node("d", "D"))
+        second = graph.compiled()
+        assert second is not first
+        assert second.version == graph.version
+        assert "d" in second.index_of and "d" not in first.index_of
+
+    def test_recompile_after_add_edge_sees_new_slots(self):
+        graph = small_graph()
+        before = graph.compiled()
+        graph.add_node(Node("d", "D"))
+        graph.add_edge(Edge("c", "d", "r3"))
+        after = graph.compiled()
+        assert after.num_slots == before.num_slots + 2
+        assert "r3" in after.relations and "r3" not in before.relations
+
+    def test_from_graph_records_build_version(self):
+        graph = small_graph()
+        compiled = CompiledGraph.from_graph(graph)
+        assert compiled.version == graph.version

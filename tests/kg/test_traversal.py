@@ -170,6 +170,60 @@ class TestPairwiseDistance:
         graph.add_node(Node("x", "X"))
         assert math.isinf(pairwise_distance(graph, "n0", "x"))
 
+    def test_source_equals_target(self):
+        assert pairwise_distance(chain_graph(3), "n1", "n1") == 0.0
+
+    def test_max_depth_admits_exact_distance(self):
+        assert pairwise_distance(chain_graph(5), "n0", "n3", max_depth=3.0) == 3.0
+
+    def test_max_depth_cuts_beyond(self):
+        graph = chain_graph(5)
+        assert math.isinf(pairwise_distance(graph, "n0", "n4", max_depth=2.0))
+        # The same query unbounded still resolves.
+        assert pairwise_distance(graph, "n0", "n4") == 4.0
+
+    def test_early_exit_skips_target_relaxation(self):
+        """Once the target tops the heap, its neighbors are never relaxed.
+
+        Star graph: hub h with many leaves.  Asking for h -> leaf must
+        examine the hub's row once and stop — settling the leaf would
+        otherwise re-scan nothing new, but the old implementation kept
+        popping every remaining leaf too.
+        """
+        graph = KnowledgeGraph()
+        graph.add_node(Node("h", "H"))
+        leaves = [f"leaf{i}" for i in range(10)]
+        graph.add_nodes([Node(leaf, leaf.upper()) for leaf in leaves])
+        for leaf in leaves:
+            graph.add_edge(Edge("h", leaf, "r"))
+        sssp = MultiSourceShortestPaths(graph, ["h"])
+        peeked = sssp.peek_min()
+        assert peeked == ("h", 0.0)
+        sssp.pop_peeked()  # settles h, relaxes its 10 leaves
+        assert sssp.relaxations == 10
+        # Target now on top: pairwise_distance's pattern stops here —
+        # peeking does not relax, so the counter is unchanged.
+        node, dist = sssp.peek_min()
+        assert node == "leaf0" and dist == 1.0
+        assert sssp.relaxations == 10
+
+
+class TestCounters:
+    def test_counts_on_chain(self):
+        graph = chain_graph(4)
+        sssp = shortest_path_dag(graph, ["n0"])
+        # Each settled node examines its full bidirected row: 1+2+2+1.
+        assert sssp.relaxations == 6
+        # Source seed + one push per first-time reach of n1..n3.
+        assert sssp.heap_pushes == 4
+
+    def test_tie_preds_do_not_push(self):
+        sssp = shortest_path_dag(diamond_graph(), ["s"])
+        # t is pushed once (via a); b's equal-weight offer only adds a pred.
+        assert sssp.heap_pushes == 4
+        nodes, edges = sssp.extract_paths_to("t")
+        assert len(edges) == 4
+
 
 @st.composite
 def random_graphs(draw):

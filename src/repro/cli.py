@@ -7,7 +7,7 @@ Subcommands::
     repro index DIR [--tree] [--beta B]                   — build and save
         the NewsLink index (index.json) for a generated dataset
     repro search DIR QUERY [-k N] [--beta B] [--ranking M] [--explain]
-                                                          — query an
+                 [--deadline-ms MS]                       — query an
         indexed dataset and optionally print relationship paths
     repro evaluate DIR [-k N]                             — quick Lucene
         vs NewsLink comparison on the dataset's test split
@@ -77,6 +77,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--explain", action="store_true",
         help="print relationship paths for the top result",
     )
+    search.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-query time budget in milliseconds; when it expires the "
+        "query degrades to text-only ranking instead of failing",
+    )
 
     evaluate = subparsers.add_parser(
         "evaluate", help="quick Lucene vs NewsLink HIT@k on the test split"
@@ -94,14 +99,22 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("directory", type=Path)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="default per-query time budget in milliseconds for every "
+        "served query; expired queries degrade to text-only ranking",
+    )
     return parser
 
 
-def _load_engine(directory: Path, beta: float | None = None) -> NewsLinkEngine:
+def _load_engine(
+    directory: Path,
+    beta: float | None = None,
+    deadline_ms: float | None = None,
+) -> NewsLinkEngine:
     graph = load_graph_json(directory / _KG_FILE)
-    config = EngineConfig()
-    if beta is not None:
-        config = EngineConfig(fusion=FusionConfig(beta=beta))
+    fusion = FusionConfig(beta=beta) if beta is not None else FusionConfig()
+    config = EngineConfig(fusion=fusion, deadline_ms=deadline_ms)
     engine = NewsLinkEngine(graph, config)
     index_path = directory / _INDEX_FILE
     if not index_path.exists() and (directory / (_INDEX_FILE + ".gz")).exists():
@@ -158,11 +171,17 @@ def _cmd_index(args: argparse.Namespace) -> int:
 def _cmd_search(args: argparse.Namespace) -> int:
     engine = _load_engine(args.directory, args.beta)
     results = engine.search(
-        args.query, k=args.k, beta=args.beta, ranking=args.ranking
+        args.query,
+        k=args.k,
+        beta=args.beta,
+        ranking=args.ranking,
+        deadline_ms=args.deadline_ms,
     )
     if not results:
         print("no results")
         return 1
+    if results[0].degraded:
+        print(f"[degraded: {results[0].degraded_reason}]")
     corpus = load_corpus_jsonl(args.directory / _CORPUS_FILE)
     for rank, result in enumerate(results, start=1):
         title = corpus.get(result.doc_id).title if result.doc_id in corpus else ""
@@ -211,7 +230,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import serve
 
-    engine = _load_engine(args.directory)
+    engine = _load_engine(args.directory, deadline_ms=args.deadline_ms)
     serve(engine, host=args.host, port=args.port)
     return 0
 

@@ -176,6 +176,12 @@ class EngineConfig:
             reference path).  Pruned ranking falls back to exhaustive
             when ``fusion.normalize`` is on (per-query max-normalization
             needs full score maps).
+        deadline_ms: per-query wall-clock budget for ``search`` (None =
+            unbounded, the default).  When the budget expires during
+            query embedding, the embedding is abandoned and the query is
+            served from the text (BOW) channel only, flagged
+            ``degraded`` — search never raises for a deadline.  See
+            ``docs/robustness.md``.
     """
 
     lcag: LcagConfig = field(default_factory=LcagConfig)
@@ -194,6 +200,7 @@ class EngineConfig:
     parallel_chunk_size: int = 32
     query_cache_size: int = 64
     ranking: str = "pruned"
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         _require(
@@ -211,6 +218,8 @@ class EngineConfig:
             self.ranking in ("pruned", "exhaustive"),
             "ranking must be 'pruned' or 'exhaustive'",
         )
+        if self.deadline_ms is not None:
+            _require(self.deadline_ms > 0, "deadline_ms must be positive when set")
 
 
 @dataclass(frozen=True)

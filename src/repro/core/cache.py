@@ -15,9 +15,13 @@ from __future__ import annotations
 from collections import OrderedDict
 from collections.abc import Mapping
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.ancestor_graph import CommonAncestorGraph
 from repro.core.document_embedding import SegmentEmbedder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.utils.deadline import Deadline
 
 #: Canonical identity of one entity group: its sorted label → S(l) items.
 #: Shared by the LRU cache and the corpus-wide dedup planner
@@ -87,9 +91,16 @@ class CachingEmbedder:
     _key = staticmethod(group_key)
 
     def embed(
-        self, label_sources: Mapping[str, frozenset[str]]
+        self,
+        label_sources: Mapping[str, frozenset[str]],
+        deadline: "Deadline | None" = None,
     ) -> CommonAncestorGraph | None:
-        """Embed one group, via the cache."""
+        """Embed one group, via the cache.
+
+        A hit costs no search, so the ``deadline`` only reaches the inner
+        embedder on a miss; an expired deadline propagates and the miss is
+        not cached (partial results must never poison the cache).
+        """
         if not label_sources:
             return None
         key = self._key(label_sources)
@@ -98,7 +109,10 @@ class CachingEmbedder:
             self._cache.move_to_end(key)
             return self._cache[key]
         self.stats.misses += 1
-        result = self.inner.embed(label_sources)
+        if deadline is None:
+            result = self.inner.embed(label_sources)
+        else:
+            result = self.inner.embed(label_sources, deadline=deadline)
         self._cache[key] = result
         if len(self._cache) > self.max_entries:
             self._cache.popitem(last=False)

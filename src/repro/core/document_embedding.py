@@ -11,15 +11,24 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 from repro.core.ancestor_graph import CommonAncestorGraph
 from repro.kg.types import OrientedEdge
 from repro.nlp.pipeline import ProcessedDocument
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.utils.deadline import Deadline
+
 
 class SegmentEmbedder(Protocol):
-    """Anything that can embed one entity group into a subgraph."""
+    """Anything that can embed one entity group into a subgraph.
+
+    Embedders may additionally accept a ``deadline`` keyword (see
+    :class:`repro.utils.deadline.Deadline`); callers only pass it to
+    embedders that advertise support, so implementing this two-argument
+    protocol alone stays sufficient.
+    """
 
     def embed(
         self, label_sources: Mapping[str, frozenset[str]]
@@ -129,17 +138,37 @@ def iter_group_sources(
 
 
 def embed_document(
-    processed: ProcessedDocument, embedder: SegmentEmbedder
+    processed: ProcessedDocument,
+    embedder: SegmentEmbedder,
+    deadline: "Deadline | None" = None,
 ) -> DocumentEmbedding:
     """Embed a processed document: one ``G*`` per maximal entity group.
 
     Groups that cannot be embedded (no common ancestor within budget) are
     skipped — the paper likewise drops documents with no embedding from
     the evaluation corpus (§VII-A2).
+
+    When a ``deadline`` is given it is forwarded into each group's search
+    (the embedder must accept the ``deadline`` keyword — all built-in
+    embedders do) and checked between groups; expiry raises
+    :class:`~repro.errors.DeadlineExpiredError`, abandoning the embedding.
     """
     graphs: list[CommonAncestorGraph] = []
-    for sources in iter_group_sources(processed):
-        graph = embedder.embed(sources)
-        if graph is not None:
-            graphs.append(graph)
+    if deadline is None:
+        for sources in iter_group_sources(processed):
+            graph = embedder.embed(sources)
+            if graph is not None:
+                graphs.append(graph)
+    else:
+        from repro.errors import DeadlineExpiredError
+
+        for sources in iter_group_sources(processed):
+            if deadline.expired():
+                raise DeadlineExpiredError(
+                    "document embedding abandoned between entity groups: "
+                    "query deadline expired"
+                )
+            graph = embedder.embed(sources, deadline=deadline)
+            if graph is not None:
+                graphs.append(graph)
     return union_embedding(processed.doc_id, graphs)

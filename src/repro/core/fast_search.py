@@ -33,14 +33,21 @@ from typing import TYPE_CHECKING
 
 from repro.core.ancestor_graph import CommonAncestorGraph
 from repro.core.compactness import distance_vector
-from repro.errors import NoCommonAncestorError, SearchTimeoutError
+from repro.errors import (
+    DeadlineExpiredError,
+    NoCommonAncestorError,
+    SearchTimeoutError,
+)
 from repro.kg.csr import CompiledGraph
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.types import OrientedEdge
+from repro.reliability import faults
+from repro.utils import deadline as deadline_mod
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.config import LcagConfig, TreeEmbConfig
     from repro.core.lcag import SearchStats
+    from repro.utils.deadline import Deadline
 
 # Must match the reference modules' epsilon exactly — the differential
 # contract includes tie behavior at the boundary.
@@ -270,22 +277,38 @@ def find_lcag_compiled(
     label_sources: Mapping[str, frozenset[str]],
     config: "LcagConfig",
     stats: "SearchStats",
+    deadline: "Deadline | None" = None,
 ) -> CommonAncestorGraph:
     """Algorithm 1 over the CSR snapshot; bit-identical to ``find_lcag``.
 
     Compiles (or reuses) the snapshot via :meth:`KnowledgeGraph.compiled`,
     then runs PathEnumeration / CandidateCollection / compactness sorting
     with the exact control flow, epsilon comparisons, and tie-breaks of
-    the reference path.
+    the reference path.  ``deadline`` is checked at the same pop cadence
+    as the reference loop and raises the same
+    :class:`~repro.errors.DeadlineExpiredError`.
     """
     pool = CompiledFrontierPool(
         graph.compiled(), label_sources, max_depth=config.max_depth
     )
     candidates: list[tuple[int, dict[str, float]]] = []
     min_depth = _INF
+    check_interval = deadline_mod.CHECK_INTERVAL
 
     try:
         while stats.pops < config.max_pops:
+            if faults.ACTIVE:
+                faults.fire("search.pop")
+            if (
+                deadline is not None
+                and stats.pops % check_interval == 0
+                and deadline.expired()
+            ):
+                raise DeadlineExpiredError(
+                    f"G* search abandoned after {stats.pops} pops: "
+                    f"query deadline expired",
+                    pops=stats.pops,
+                )
             popped = pool.pop_global_min()
             if popped is None:
                 break
@@ -332,6 +355,7 @@ def find_gst_tree_compiled(
     label_sources: Mapping[str, frozenset[str]],
     config: "TreeEmbConfig",
     stats: "SearchStats",
+    deadline: "Deadline | None" = None,
 ) -> CommonAncestorGraph:
     """The TreeEmb GST approximation over the CSR snapshot.
 
@@ -344,9 +368,22 @@ def find_gst_tree_compiled(
     best_root: int | None = None
     best_cost = _INF
     best_distances: dict[str, float] | None = None
+    check_interval = deadline_mod.CHECK_INTERVAL
 
     try:
         while stats.pops < config.max_pops:
+            if faults.ACTIVE:
+                faults.fire("search.pop")
+            if (
+                deadline is not None
+                and stats.pops % check_interval == 0
+                and deadline.expired()
+            ):
+                raise DeadlineExpiredError(
+                    f"GST tree search abandoned after {stats.pops} pops: "
+                    f"query deadline expired",
+                    pops=stats.pops,
+                )
             popped = pool.pop_global_min()
             if popped is None:
                 break

@@ -24,10 +24,17 @@ from repro.config import LcagConfig
 from repro.core.ancestor_graph import CommonAncestorGraph
 from repro.core.compactness import distance_vector
 from repro.core.frontier import FrontierPool
-from repro.errors import NoCommonAncestorError, SearchTimeoutError
+from repro.errors import (
+    DeadlineExpiredError,
+    NoCommonAncestorError,
+    SearchTimeoutError,
+)
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.traversal import MultiSourceShortestPaths, shortest_path_dag
 from repro.kg.types import OrientedEdge
+from repro.reliability import faults
+from repro.utils import deadline as deadline_mod
+from repro.utils.deadline import Deadline
 
 _TIE_EPS = 1e-9
 
@@ -73,6 +80,7 @@ def find_lcag(
     label_sources: Mapping[str, frozenset[str]],
     config: LcagConfig | None = None,
     stats: SearchStats | None = None,
+    deadline: Deadline | None = None,
 ) -> CommonAncestorGraph:
     """Find the Lowest Common Ancestor Graph ``G*`` (Definition 5).
 
@@ -81,23 +89,41 @@ def find_lcag(
         label_sources: label -> ``S(l)``, each non-empty.
         config: search budget parameters.
         stats: optional instrumentation sink.
+        deadline: optional wall-clock budget, checked every
+            :data:`repro.utils.deadline.CHECK_INTERVAL` pops.
 
     Raises:
         NoCommonAncestorError: the labels cannot all reach any single node.
         SearchTimeoutError: the pop budget ran out before any candidate.
+        DeadlineExpiredError: ``deadline`` expired mid-search.
     """
     config = config or LcagConfig()
     stats = stats if stats is not None else SearchStats()
     if config.backend == "compiled":
         from repro.core.fast_search import find_lcag_compiled
 
-        return find_lcag_compiled(graph, label_sources, config, stats)
+        return find_lcag_compiled(
+            graph, label_sources, config, stats, deadline=deadline
+        )
     pool = FrontierPool(graph, label_sources, max_depth=config.max_depth)
     candidates: list[tuple[str, dict[str, float]]] = []
     min_depth = math.inf
+    check_interval = deadline_mod.CHECK_INTERVAL
 
     try:
         while stats.pops < config.max_pops:
+            if faults.ACTIVE:
+                faults.fire("search.pop")
+            if (
+                deadline is not None
+                and stats.pops % check_interval == 0
+                and deadline.expired()
+            ):
+                raise DeadlineExpiredError(
+                    f"G* search abandoned after {stats.pops} pops: "
+                    f"query deadline expired",
+                    pops=stats.pops,
+                )
             popped = pool.pop_global_min()  # PathEnumeration (Algorithm 2)
             if popped is None:
                 break
@@ -240,14 +266,26 @@ class LcagEmbedder:
     stats_sink: SearchStats | None = None
 
     def embed(
-        self, label_sources: Mapping[str, frozenset[str]]
+        self,
+        label_sources: Mapping[str, frozenset[str]],
+        deadline: Deadline | None = None,
     ) -> CommonAncestorGraph | None:
-        """Embed one entity group; None when no embedding exists."""
+        """Embed one entity group; None when no embedding exists.
+
+        A :class:`DeadlineExpiredError` (expired ``deadline``) propagates —
+        unlike an unembeddable group, it is the caller's signal to degrade.
+        """
         if not label_sources:
             return None
         stats = SearchStats()
         try:
-            return find_lcag(self.graph, label_sources, self.config, stats=stats)
+            return find_lcag(
+                self.graph,
+                label_sources,
+                self.config,
+                stats=stats,
+                deadline=deadline,
+            )
         except (NoCommonAncestorError, SearchTimeoutError):
             return None
         finally:

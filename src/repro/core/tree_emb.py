@@ -19,9 +19,16 @@ from repro.config import TreeEmbConfig
 from repro.core.ancestor_graph import CommonAncestorGraph
 from repro.core.frontier import FrontierPool
 from repro.core.lcag import SearchStats
-from repro.errors import NoCommonAncestorError, SearchTimeoutError
+from repro.errors import (
+    DeadlineExpiredError,
+    NoCommonAncestorError,
+    SearchTimeoutError,
+)
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.types import OrientedEdge
+from repro.reliability import faults
+from repro.utils import deadline as deadline_mod
+from repro.utils.deadline import Deadline
 
 _TIE_EPS = 1e-9
 
@@ -31,6 +38,7 @@ def find_gst_tree(
     label_sources: Mapping[str, frozenset[str]],
     config: TreeEmbConfig | None = None,
     stats: SearchStats | None = None,
+    deadline: Deadline | None = None,
 ) -> CommonAncestorGraph:
     """Find the approximate Group Steiner Tree for ``label_sources``.
 
@@ -49,14 +57,29 @@ def find_gst_tree(
     if config.backend == "compiled":
         from repro.core.fast_search import find_gst_tree_compiled
 
-        return find_gst_tree_compiled(graph, label_sources, config, stats)
+        return find_gst_tree_compiled(
+            graph, label_sources, config, stats, deadline=deadline
+        )
     pool = FrontierPool(graph, label_sources, max_depth=config.max_depth)
     best_root: str | None = None
     best_cost = math.inf
     best_distances: dict[str, float] | None = None
+    check_interval = deadline_mod.CHECK_INTERVAL
 
     try:
         while stats.pops < config.max_pops:
+            if faults.ACTIVE:
+                faults.fire("search.pop")
+            if (
+                deadline is not None
+                and stats.pops % check_interval == 0
+                and deadline.expired()
+            ):
+                raise DeadlineExpiredError(
+                    f"GST tree search abandoned after {stats.pops} pops: "
+                    f"query deadline expired",
+                    pops=stats.pops,
+                )
             popped = pool.pop_global_min()
             if popped is None:
                 break
@@ -131,14 +154,26 @@ class TreeEmbedder:
     stats_sink: SearchStats | None = None
 
     def embed(
-        self, label_sources: Mapping[str, frozenset[str]]
+        self,
+        label_sources: Mapping[str, frozenset[str]],
+        deadline: Deadline | None = None,
     ) -> CommonAncestorGraph | None:
-        """Embed one entity group; None when no embedding exists."""
+        """Embed one entity group; None when no embedding exists.
+
+        An expired ``deadline`` propagates as
+        :class:`~repro.errors.DeadlineExpiredError` (the degrade signal).
+        """
         if not label_sources:
             return None
         stats = SearchStats()
         try:
-            return find_gst_tree(self.graph, label_sources, self.config, stats=stats)
+            return find_gst_tree(
+                self.graph,
+                label_sources,
+                self.config,
+                stats=stats,
+                deadline=deadline,
+            )
         except (NoCommonAncestorError, SearchTimeoutError):
             return None
         finally:

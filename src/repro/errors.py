@@ -56,6 +56,20 @@ class SearchTimeoutError(EmbeddingError):
         self.pops = pops
 
 
+class DeadlineExpiredError(EmbeddingError):
+    """Raised inside embedding when a per-query wall-clock deadline expires.
+
+    The engine's ``search`` never lets this escape: it abandons the query
+    embedding and degrades to text-only (BOW) ranking instead.  Direct
+    embedding calls (``find_lcag``, ``embed_document``) do raise it so
+    callers that own the deadline can react.
+    """
+
+    def __init__(self, message: str, pops: int = 0) -> None:
+        super().__init__(message)
+        self.pops = pops
+
+
 class IndexError_(ReproError):
     """Raised for retrieval-index misuse (name avoids builtin shadowing)."""
 
@@ -78,3 +92,29 @@ class ConfigError(ReproError):
 
 class DataError(ReproError):
     """Raised for malformed corpus or KG input data."""
+
+
+class IndexCorruptError(DataError):
+    """Raised when a persisted index file fails validation on load.
+
+    Covers truncation, invalid JSON, checksum mismatches, unsupported
+    versions, and schema-mismatched records.  ``load_index`` guarantees the
+    live engine state is untouched when this is raised.
+    """
+
+    def __init__(self, path: object, detail: str) -> None:
+        super().__init__(f"{path}: corrupt index file: {detail}")
+        self.path = str(path)
+        self.detail = detail
+
+
+class FaultInjectedError(ReproError):
+    """Default exception raised by an armed fault point (tests only).
+
+    Never raised in production: :mod:`repro.reliability.faults` is a no-op
+    unless a test explicitly arms a failure point.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected fault at {point!r}")
+        self.point = point

@@ -16,11 +16,15 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.document_embedding import SegmentEmbedder
 from repro.core.ancestor_graph import CommonAncestorGraph
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.traversal import MultiSourceShortestPaths
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.utils.deadline import Deadline
 
 
 def disambiguate_group(
@@ -72,7 +76,9 @@ class DisambiguatingEmbedder:
     max_distance: float = 3.0
 
     def embed(
-        self, label_sources: Mapping[str, frozenset[str]]
+        self,
+        label_sources: Mapping[str, frozenset[str]],
+        deadline: "Deadline | None" = None,
     ) -> CommonAncestorGraph | None:
         """Embed with coherence-filtered candidate sets."""
         if not label_sources:
@@ -80,4 +86,6 @@ class DisambiguatingEmbedder:
         filtered = disambiguate_group(
             self.graph, label_sources, self.max_distance
         )
-        return self.inner.embed(filtered)
+        if deadline is None:
+            return self.inner.embed(filtered)
+        return self.inner.embed(filtered, deadline=deadline)

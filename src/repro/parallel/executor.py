@@ -14,13 +14,14 @@ thousands.
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any
 
 from repro.core.cache import CacheStats, CachingEmbedder
 from repro.core.document_embedding import SegmentEmbedder, iter_group_sources
 from repro.core.lcag import SearchStats
 from repro.nlp.pipeline import NlpPipeline
+from repro.reliability import faults
 from repro.parallel.tasks import (
     EmbedChunkResult,
     EmbedOutcome,
@@ -78,6 +79,8 @@ def _init_worker(pipeline: NlpPipeline, embedder: SegmentEmbedder) -> None:
 
 def _run_nlp_chunk(tasks: list[NlpTask]) -> list[NlpOutcome]:
     assert _PIPELINE is not None, "worker not initialized"
+    if faults.ACTIVE:
+        faults.fire("worker.nlp_chunk")
     outcomes = []
     for task in tasks:
         processed = _PIPELINE.process(task.text, task.doc_id)
@@ -92,6 +95,8 @@ def _run_nlp_chunk(tasks: list[NlpTask]) -> list[NlpOutcome]:
 
 def _run_embed_chunk(tasks: list[EmbedTask]) -> EmbedChunkResult:
     assert _EMBEDDER is not None, "worker not initialized"
+    if faults.ACTIVE:
+        faults.fire("worker.embed_chunk")
     search_before = SearchStats()
     if _SINK is not None:
         search_before.merge(_SINK)
@@ -136,12 +141,18 @@ class WorkerPool:
             raise ValueError("WorkerPool needs at least 2 workers")
         if not parallel_supported():
             raise RuntimeError("platform lacks the fork start method")
+        self._pipeline = pipeline
+        self._embedder = embedder
+        self._workers = workers
         self._chunk_size = max(1, chunk_size)
-        self._pool = ProcessPoolExecutor(
-            max_workers=workers,
+        self._pool = self._make_pool()
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self._workers,
             mp_context=multiprocessing.get_context("fork"),
             initializer=_init_worker,
-            initargs=(pipeline, embedder),
+            initargs=(self._pipeline, self._embedder),
         )
 
     def __enter__(self) -> "WorkerPool":
@@ -153,6 +164,31 @@ class WorkerPool:
     def shutdown(self) -> None:
         """Release the worker processes."""
         self._pool.shutdown(wait=True)
+
+    def rebuild(self) -> None:
+        """Replace a dead executor with a fresh, identically configured one.
+
+        Used by the resilient indexing loop after a
+        ``BrokenProcessPool``: the old executor's processes are gone, so
+        this is the only way to keep fanning out.
+        """
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = self._make_pool()
+
+    @property
+    def chunk_size(self) -> int:
+        """Tasks per dispatched chunk."""
+        return self._chunk_size
+
+    def submit_nlp_chunk(self, chunk: list[NlpTask]) -> "Future[list[NlpOutcome]]":
+        """Dispatch one NLP chunk; the caller collects the future."""
+        return self._pool.submit(_run_nlp_chunk, chunk)
+
+    def submit_embed_chunk(
+        self, chunk: list[EmbedTask]
+    ) -> "Future[EmbedChunkResult]":
+        """Dispatch one ``G*`` chunk; the caller collects the future."""
+        return self._pool.submit(_run_embed_chunk, chunk)
 
     def map_nlp(self, tasks: list[NlpTask]) -> list[NlpOutcome]:
         """Run the NLP stage on every task, preserving task order."""

@@ -19,7 +19,9 @@ group mapping.
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, TypeVar
 
 from repro.core.cache import CachingEmbedder
 from repro.core.document_embedding import iter_group_sources
@@ -28,7 +30,15 @@ from repro.data.document import Corpus
 from repro.parallel.executor import WorkerPool, parallel_supported, sink_target
 from repro.parallel.merge import IndexReport, merge_into_engine
 from repro.parallel.planner import build_plan
-from repro.parallel.tasks import EmbedTask, NlpOutcome, NlpTask
+from repro.parallel.tasks import (
+    EmbedChunkResult,
+    EmbedOutcome,
+    EmbedTask,
+    NlpOutcome,
+    NlpTask,
+    chunked,
+)
+from repro.utils.retry import retry_with_backoff
 from repro.utils.timing import TimingBreakdown
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -40,6 +50,127 @@ def resolve_workers(workers: int) -> int:
     if workers == 0:
         return os.cpu_count() or 1
     return workers
+
+
+_ChunkResult = TypeVar("_ChunkResult")
+
+#: Pool attempts per chunk before the parent runs it serially (the first
+#: dispatch plus the retries :func:`repro.utils.retry.retry_with_backoff`
+#: adds on a transient worker failure).
+_CHUNK_ATTEMPTS = 3
+
+
+@dataclass
+class _PoolResilience:
+    """Recovery counters for one run, folded into :class:`IndexReport`."""
+
+    worker_retries: int = 0
+    pool_rebuilds: int = 0
+    serial_fallback_chunks: int = 0
+
+
+def _map_resilient(
+    pool: WorkerPool,
+    submit: "Callable[[list], object]",
+    recover: "Callable[[list], _ChunkResult]",
+    chunks: list[list],
+    resilience: _PoolResilience,
+) -> list[_ChunkResult]:
+    """Run every chunk through the pool, recovering the ones that fail.
+
+    All chunks are dispatched up front (keeping the pool saturated) and
+    collected in order.  A chunk whose worker raised is retried with
+    backoff; a dead pool is rebuilt once per run; a chunk that still
+    cannot complete runs serially in the parent via ``recover`` — so the
+    stage always returns one result per chunk and never loses documents.
+    """
+    futures = [submit(chunk) for chunk in chunks]
+    results: list[_ChunkResult] = []
+    for chunk, future in zip(chunks, futures):
+        try:
+            results.append(future.result())  # type: ignore[attr-defined]
+        except Exception as exc:
+            results.append(
+                _recover_chunk(pool, submit, recover, chunk, exc, resilience)
+            )
+    return results
+
+
+def _recover_chunk(
+    pool: WorkerPool,
+    submit: "Callable[[list], object]",
+    recover: "Callable[[list], _ChunkResult]",
+    chunk: list,
+    error: BaseException,
+    resilience: _PoolResilience,
+) -> _ChunkResult:
+    """Recover one chunk whose pool execution raised ``error``."""
+    if not isinstance(error, BrokenProcessPool):
+        # The worker raised but the pool survived: the failure may be
+        # transient, so retry the chunk in the pool with backoff.
+        def resubmit() -> _ChunkResult:
+            resilience.worker_retries += 1
+            return submit(chunk).result()  # type: ignore[attr-defined]
+
+        try:
+            return retry_with_backoff(
+                resubmit, attempts=_CHUNK_ATTEMPTS - 1, base_delay=0.01
+            )
+        except BrokenProcessPool as exc:
+            error = exc
+        except Exception:
+            resilience.serial_fallback_chunks += 1
+            return recover(chunk)
+    # The pool's processes died.  Rebuild it once per run, then give the
+    # current (possibly fresh) pool one more shot before going serial.
+    if resilience.pool_rebuilds == 0:
+        resilience.pool_rebuilds += 1
+        pool.rebuild()
+    try:
+        resilience.worker_retries += 1
+        return submit(chunk).result()  # type: ignore[attr-defined]
+    except Exception:
+        resilience.serial_fallback_chunks += 1
+        return recover(chunk)
+
+
+def _nlp_chunk_in_parent(
+    engine: "NewsLinkEngine", chunk: list[NlpTask]
+) -> list[NlpOutcome]:
+    """Serial-fallback NLP: run one chunk in the parent process."""
+    return _serial_nlp(engine, chunk)
+
+
+def _embed_chunk_in_parent(
+    engine: "NewsLinkEngine", chunk: list[EmbedTask]
+) -> EmbedChunkResult:
+    """Serial-fallback NE: run one chunk's ``G*`` searches in the parent.
+
+    Mirrors the pool-less path: the engine's LRU layer is bypassed (the
+    merge stage seeds the cache and accounts dedup hits) and the stats
+    sink is diverted to a local aggregate so the chunk reports a counter
+    delta exactly like a worker would — no double counting when the
+    merge stage folds it into the engine.
+    """
+    embedder = engine.embedder
+    if isinstance(embedder, CachingEmbedder):
+        embedder = embedder.inner
+    target = sink_target(embedder)
+    local = SearchStats()
+    previous = target.stats_sink if target is not None else None
+    if target is not None:
+        target.stats_sink = local
+    result = EmbedChunkResult()
+    try:
+        for task in chunk:
+            result.outcomes.append(
+                EmbedOutcome(task.index, embedder.embed(task.label_sources))
+            )
+    finally:
+        if target is not None:
+            target.stats_sink = previous
+    result.search = local
+    return result
 
 
 def index_corpus_parallel(
@@ -106,12 +237,22 @@ def index_corpus_parallel(
         engine.graph.compiled()
 
     nlp_in_pool = config.parallel_nlp
+    resilience = _PoolResilience()
     with WorkerPool(
         engine.pipeline, engine.embedder, count, config.parallel_chunk_size
     ) as pool:
         with timing.measure("nlp"):
             if nlp_in_pool:
-                outcomes = pool.map_nlp(nlp_tasks)
+                nlp_results = _map_resilient(
+                    pool,
+                    pool.submit_nlp_chunk,
+                    lambda chunk: _nlp_chunk_in_parent(engine, chunk),
+                    chunked(nlp_tasks, pool.chunk_size),
+                    resilience,
+                )
+                outcomes = [
+                    outcome for chunk in nlp_results for outcome in chunk
+                ]
             else:
                 outcomes = _serial_nlp(engine, nlp_tasks)
         plan = build_plan(texts, outcomes)
@@ -120,15 +261,30 @@ def index_corpus_parallel(
                 EmbedTask(index, sources)
                 for index, sources in enumerate(plan.unique_sources)
             ]
-            embed_outcomes, search, _worker_cache = pool.map_embed(embed_tasks)
+            embed_results = _map_resilient(
+                pool,
+                pool.submit_embed_chunk,
+                lambda chunk: _embed_chunk_in_parent(engine, chunk),
+                chunked(embed_tasks, pool.chunk_size),
+                resilience,
+            )
+            embed_outcomes = []
+            search = SearchStats()
+            for chunk_result in embed_results:
+                embed_outcomes.extend(chunk_result.outcomes)
+                search.merge(chunk_result.search)
     graphs = [None] * plan.num_unique
     for outcome in embed_outcomes:
         graphs[outcome.index] = outcome.graph
     with timing.measure("ns"):
-        return merge_into_engine(
+        report = merge_into_engine(
             engine, plan, graphs,
             search_stats=search, workers=count, nlp_parallel=nlp_in_pool,
         )
+    report.worker_retries = resilience.worker_retries
+    report.pool_rebuilds = resilience.pool_rebuilds
+    report.serial_fallback_chunks = resilience.serial_fallback_chunks
+    return report
 
 
 def _serial_nlp(

@@ -38,6 +38,12 @@ class IndexReport:
             instances served without a search, ``misses`` the searches run
             (the same accounting a perfectly-sized LRU would report).
         search: per-worker ``G*`` search counters, merged.
+        worker_retries: chunk executions re-submitted to the pool after a
+            worker raised.
+        pool_rebuilds: dead process pools replaced (at most 1 per run).
+        serial_fallback_chunks: chunks the parent ran serially after the
+            pool could not complete them — the last line of defense that
+            keeps every document indexed.
     """
 
     indexed: int = 0
@@ -48,6 +54,9 @@ class IndexReport:
     unique_groups: int = 0
     dedup: CacheStats = field(default_factory=CacheStats)
     search: SearchStats = field(default_factory=SearchStats)
+    worker_retries: int = 0
+    pool_rebuilds: int = 0
+    serial_fallback_chunks: int = 0
 
     @property
     def dedup_rate(self) -> float:

@@ -1,0 +1,14 @@
+"""Reliability layer: deterministic fault injection and deadline serving.
+
+* :mod:`repro.reliability.faults` — a registry of named failure points
+  that tests arm with deterministic triggers; a no-op when disarmed.
+* :class:`repro.utils.deadline.Deadline` (re-exported here) — the
+  wall-clock budget plumbed through query serving.
+
+See ``docs/robustness.md`` for the failure-mode catalog and guarantees.
+"""
+
+from repro.reliability import faults
+from repro.utils.deadline import CHECK_INTERVAL, Deadline
+
+__all__ = ["faults", "Deadline", "CHECK_INTERVAL"]

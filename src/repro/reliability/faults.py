@@ -1,0 +1,203 @@
+"""Deterministic fault injection: named failure points, armed by tests.
+
+Production code marks its failure-prone seams with a *fault point*::
+
+    from repro.reliability import faults
+    ...
+    faults.fire("persist.write")          # cold path: call directly
+    ...
+    if faults.ACTIVE:                     # hot loop: guard first
+        faults.fire("search.pop")
+
+With nothing armed, :func:`fire` returns after a single module-flag check
+(and hot loops skip even the call via :data:`ACTIVE`), so the serving path
+pays nothing.  Tests arm a point with a deterministic trigger — fail on
+the Nth hit, raise a given exception, run a callback, or inject a sleep —
+and every failure mode in the stack becomes exercisable without
+monkeypatching internals::
+
+    with faults.injected("worker.embed_chunk", exception=RuntimeError("boom")):
+        engine.index_corpus(corpus, workers=2)   # workers now fail
+
+Armed state is plain module state, so forked worker processes inherit it
+(hit counters then advance per process).  The registry is intentionally
+process-global: arm/disarm from one test at a time (`injected` and
+``reset`` keep that hygienic).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import FaultInjectedError
+
+#: Catalog of failure points wired into the stack.  ``arm`` validates
+#: against it so tests cannot silently arm a typo'd (never-fired) point.
+CATALOG: frozenset[str] = frozenset(
+    {
+        "engine.embed_query",  # engine NE stage of query processing
+        "engine.embed_document",  # engine NE stage of document indexing
+        "search.pop",  # every G* frontier pop, both backends
+        "worker.nlp_chunk",  # worker-side NLP chunk execution
+        "worker.embed_chunk",  # worker-side G* chunk execution
+        "persist.write",  # save_index, before the payload is written
+        "persist.load",  # load_index, before the file is read
+    }
+)
+
+#: Fast-path flag: True iff at least one point is armed.  Hot loops read
+#: this before calling :func:`fire` so the disarmed cost is one global load.
+ACTIVE = False
+
+
+@dataclass
+class FaultState:
+    """One armed failure point and its deterministic trigger.
+
+    The fault triggers on hits ``nth, nth+1, ...`` and — when ``times`` is
+    set — stops after firing ``times`` times.  A trigger first sleeps
+    ``delay`` seconds, then runs ``callback``, then raises ``exception``
+    (a class or instance); a delay-only fault injects latency without
+    raising, and a fault with neither raises :class:`FaultInjectedError`.
+    """
+
+    point: str
+    exception: type[BaseException] | BaseException | None = None
+    delay: float = 0.0
+    callback: Callable[[], None] | None = None
+    nth: int = 1
+    times: int | None = None
+    hits: int = 0
+    fired: int = 0
+
+    def _should_fire(self) -> bool:
+        if self.hits < self.nth:
+            return False
+        if self.times is not None and self.fired >= self.times:
+            return False
+        return True
+
+    def trigger(self) -> None:
+        """Record a hit and execute the trigger when it applies."""
+        self.hits += 1
+        if not self._should_fire():
+            return
+        self.fired += 1
+        if self.delay > 0.0:
+            time.sleep(self.delay)
+        if self.callback is not None:
+            self.callback()
+        if self.exception is not None:
+            if isinstance(self.exception, BaseException):
+                raise self.exception
+            raise self.exception(f"injected fault at {self.point!r}")
+        if self.delay <= 0.0 and self.callback is None:
+            raise FaultInjectedError(self.point)
+
+
+_registry: dict[str, FaultState] = {}
+
+
+def _refresh_active() -> None:
+    global ACTIVE
+    ACTIVE = bool(_registry)
+
+
+def arm(
+    point: str,
+    *,
+    exception: type[BaseException] | BaseException | None = None,
+    delay: float = 0.0,
+    callback: Callable[[], None] | None = None,
+    nth: int = 1,
+    times: int | None = None,
+) -> FaultState:
+    """Arm ``point`` with a deterministic trigger; returns its state.
+
+    ``nth`` is the 1-based hit on which the fault starts firing; ``times``
+    caps how many hits fire (None = every hit from ``nth`` on).
+    """
+    if point not in CATALOG:
+        raise ValueError(
+            f"unknown fault point {point!r}; catalog: {sorted(CATALOG)}"
+        )
+    if nth < 1:
+        raise ValueError("nth must be >= 1")
+    if times is not None and times < 1:
+        raise ValueError("times must be >= 1 when set")
+    state = FaultState(
+        point=point,
+        exception=exception,
+        delay=delay,
+        callback=callback,
+        nth=nth,
+        times=times,
+    )
+    _registry[point] = state
+    _refresh_active()
+    return state
+
+
+def disarm(point: str) -> None:
+    """Remove ``point``'s trigger (idempotent)."""
+    _registry.pop(point, None)
+    _refresh_active()
+
+
+def reset() -> None:
+    """Disarm every point (test teardown)."""
+    _registry.clear()
+    _refresh_active()
+
+
+def armed(point: str) -> bool:
+    """True when ``point`` currently has a trigger."""
+    return point in _registry
+
+
+def hits(point: str) -> int:
+    """How often ``point`` was hit since arming (0 when disarmed)."""
+    state = _registry.get(point)
+    return 0 if state is None else state.hits
+
+
+def fire(point: str) -> None:
+    """Hit ``point``: a no-op unless a test armed a trigger for it.
+
+    Hot loops should guard with ``if faults.ACTIVE`` to skip even this
+    call; cold paths call it directly.
+    """
+    if not ACTIVE:
+        return
+    state = _registry.get(point)
+    if state is None:
+        return
+    state.trigger()
+
+
+@contextmanager
+def injected(
+    point: str,
+    *,
+    exception: type[BaseException] | BaseException | None = None,
+    delay: float = 0.0,
+    callback: Callable[[], None] | None = None,
+    nth: int = 1,
+    times: int | None = None,
+) -> Iterator[FaultState]:
+    """Arm ``point`` for the duration of a ``with`` block, then disarm."""
+    state = arm(
+        point,
+        exception=exception,
+        delay=delay,
+        callback=callback,
+        nth=nth,
+        times=times,
+    )
+    try:
+        yield state
+    finally:
+        disarm(point)

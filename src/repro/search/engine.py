@@ -17,6 +17,7 @@ import gzip
 import io
 import json
 import os
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -39,10 +40,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from repro.core.lcag import LcagEmbedder, SearchStats
 from repro.core.tree_emb import TreeEmbedder
 from repro.data.document import Corpus, NewsDocument
-from repro.errors import DataError, DocumentNotIndexedError
+from repro.errors import (
+    DataError,
+    DeadlineExpiredError,
+    DocumentNotIndexedError,
+    IndexCorruptError,
+)
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.label_index import LabelIndex
 from repro.nlp.pipeline import NlpPipeline, ProcessedDocument
+from repro.reliability import faults
+from repro.utils.deadline import Deadline
 from repro.search.analyzer import Analyzer
 from repro.search.bm25 import Bm25Scorer
 from repro.search.bon import bon_terms
@@ -62,12 +70,36 @@ class SearchResult:
         score: the fused Equation 3 score.
         bow_score: the text channel's (normalized) contribution basis.
         bon_score: the node channel's (normalized) contribution basis.
+        degraded: True when the query's deadline expired and this result
+            came from the text-only fallback ranking.
+        degraded_reason: human-readable reason for the degradation
+            (None on the normal path).
     """
 
     doc_id: str
     score: float
     bow_score: float
     bon_score: float
+    degraded: bool = False
+    degraded_reason: str | None = None
+
+
+class _Crc32Writer:
+    """Text-writer proxy that CRC32s everything written through it.
+
+    Lets the streaming index writer checksum the payload without ever
+    materializing it in memory.
+    """
+
+    __slots__ = ("_fh", "crc")
+
+    def __init__(self, fh) -> None:
+        self._fh = fh
+        self.crc = 0
+
+    def write(self, data: str) -> None:
+        self.crc = zlib.crc32(data.encode("utf-8"), self.crc)
+        self._fh.write(data)
 
 
 class NewsLinkEngine:
@@ -231,6 +263,8 @@ class NewsLinkEngine:
         with timing.measure("nlp"):
             processed = self._pipeline.process(document.text, document.doc_id)
         with timing.measure("ne"):
+            if faults.ACTIVE:
+                faults.fire("engine.embed_document")
             embedding = embed_document(processed, self._embedder)
         if embedding.is_empty:
             return False
@@ -292,18 +326,39 @@ class NewsLinkEngine:
     # query processing (§VI)
     # ------------------------------------------------------------------
     def process_query(
-        self, text: str, timing: TimingBreakdown | None = None
+        self,
+        text: str,
+        timing: TimingBreakdown | None = None,
+        deadline: Deadline | None = None,
     ) -> tuple[ProcessedDocument, DocumentEmbedding]:
-        """Run the NLP and NE stages on a query text."""
+        """Run the NLP and NE stages on a query text.
+
+        ``deadline`` bounds the NE stage: expiry — checked before the
+        embedding starts, between entity groups, and inside the ``G*``
+        search loops — raises
+        :class:`~repro.errors.DeadlineExpiredError`.
+        """
         timing = timing or TimingBreakdown()
         with timing.measure("nlp"):
             processed = self._pipeline.process(text, "__query__")
         with timing.measure("ne"):
-            embedding = embed_document(processed, self._embedder)
+            if faults.ACTIVE:
+                faults.fire("engine.embed_query")
+            if deadline is not None and deadline.expired():
+                raise DeadlineExpiredError(
+                    "query embedding abandoned: deadline expired before "
+                    "the NE stage"
+                )
+            embedding = embed_document(
+                processed, self._embedder, deadline=deadline
+            )
         return processed, embedding
 
     def _query_state(
-        self, text: str, timing: TimingBreakdown | None = None
+        self,
+        text: str,
+        timing: TimingBreakdown | None = None,
+        deadline: Deadline | None = None,
     ) -> tuple[ProcessedDocument, DocumentEmbedding]:
         """:meth:`process_query` behind a small LRU.
 
@@ -322,7 +377,10 @@ class NewsLinkEngine:
                     timing.add("nlp", 0.0)
                     timing.add("ne", 0.0)
                 return state
-        state = self.process_query(text, timing=timing)
+        if deadline is None:
+            state = self.process_query(text, timing=timing)
+        else:
+            state = self.process_query(text, timing=timing, deadline=deadline)
         if limit:
             self._query_cache[text] = state
             if len(self._query_cache) > limit:
@@ -336,6 +394,7 @@ class NewsLinkEngine:
         timing: TimingBreakdown | None = None,
         beta: float | None = None,
         ranking: str | None = None,
+        deadline_ms: float | None = None,
     ) -> list[SearchResult]:
         """Top-``k`` search with Equation 3 fusion.
 
@@ -345,12 +404,54 @@ class NewsLinkEngine:
         (``"pruned"`` / ``"exhaustive"``) per query, which is how the
         differential tests and the latency benchmark compare both paths
         on a single index.
+
+        ``deadline_ms`` bounds the whole query (overriding
+        :attr:`EngineConfig.deadline_ms` for this call).  When the
+        budget expires during query embedding the engine degrades
+        instead of failing: the embedding is abandoned, ranking falls
+        back to the text (BOW) channel alone, and every returned result
+        carries ``degraded=True`` plus the reason.  An expired deadline
+        never raises out of this method.
         """
         timing = timing or TimingBreakdown()
-        _, query_embedding = self._query_state(text, timing=timing)
+        budget = self._config.deadline_ms if deadline_ms is None else deadline_ms
+        if budget is None:
+            _, query_embedding = self._query_state(text, timing=timing)
+            with timing.measure("ns"):
+                return self._rank(text, query_embedding, k, beta, ranking)
+        deadline = Deadline(budget)
+        try:
+            _, query_embedding = self._query_state(
+                text, timing=timing, deadline=deadline
+            )
+        except DeadlineExpiredError as exc:
+            return self._search_degraded(text, k, timing, ranking, str(exc))
         with timing.measure("ns"):
-            results = self._rank(text, query_embedding, k, beta, ranking)
-        return results
+            return self._rank(text, query_embedding, k, beta, ranking)
+
+    def _search_degraded(
+        self,
+        text: str,
+        k: int,
+        timing: TimingBreakdown,
+        ranking: str | None,
+        reason: str,
+    ) -> list[SearchResult]:
+        """Deadline fallback: rank on the text channel only, flag results.
+
+        The node channel needs the query embedding that just timed out,
+        so fusion runs with ``beta=0.0`` (pure BOW) regardless of the
+        configured weight — degraded results always come from the cheap
+        channel.  Degradations are counted in :attr:`query_stats`.
+        """
+        empty = DocumentEmbedding(doc_id="__query__", graphs=(), node_counts={})
+        with timing.measure("ns"):
+            results = self._rank(text, empty, k, 0.0, ranking)
+        self._query_stats.merge(QueryStats(degraded_queries=1))
+        return [
+            replace(result, degraded=True, degraded_reason=reason)
+            for result in results
+        ]
 
     def search_with_embedding(
         self,
@@ -495,33 +596,82 @@ class NewsLinkEngine:
         in-memory JSON string).  A path ending in ``.gz`` is gzipped
         transparently, with a zeroed timestamp so identical indexes
         produce identical archives.
+
+        The write is crash-safe: the payload goes to a temporary file in
+        the same directory, is fsynced, gets a CRC32 checksum trailer,
+        and is atomically renamed over ``path`` — a crash at any point
+        leaves the previous index byte-identical and loadable, never a
+        half-written file under the final name.
         """
         path = Path(path)
-        if path.suffix == ".gz":
-            with open(path, "wb") as raw, gzip.GzipFile(
-                filename="", mode="wb", fileobj=raw, mtime=0
-            ) as binary, io.TextIOWrapper(binary, encoding="utf-8") as fh:
-                self._write_index(fh)
-        else:
-            with open(path, "w", encoding="utf-8") as fh:
-                self._write_index(fh)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as raw:
+                if faults.ACTIVE:
+                    faults.fire("persist.write")
+                if path.suffix == ".gz":
+                    with gzip.GzipFile(
+                        filename="", mode="wb", fileobj=raw, mtime=0
+                    ) as binary, io.TextIOWrapper(
+                        binary, encoding="utf-8"
+                    ) as fh:
+                        self._write_index(fh)
+                else:
+                    fh = io.TextIOWrapper(raw, encoding="utf-8")
+                    self._write_index(fh)
+                    fh.flush()
+                    fh.detach()
+                raw.flush()
+                os.fsync(raw.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        self._fsync_directory(path.parent)
+
+    @staticmethod
+    def _fsync_directory(directory: Path) -> None:
+        """Make the rename durable (best-effort on platforms without
+        directory fds)."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+        finally:
+            os.close(fd)
 
     def _write_index(self, fh) -> None:
-        """Stream the index payload as JSON (byte-compatible with v1)."""
+        """Stream the index payload as JSON, then a checksum trailer.
+
+        The payload is a single JSON document with no raw newlines; the
+        trailer is one final newline-prefixed line recording the CRC32
+        of the payload's UTF-8 bytes, so :meth:`load_index` can split
+        payload from trailer with a single ``rpartition``.
+        """
         from repro.core.serialization import embedding_to_dict
 
-        fh.write('{"format": "newslink-index", "version": 1, "text_index": ')
-        json.dump(self._text_index.to_forward_map(), fh)
-        fh.write(', "node_index": ')
-        json.dump(self._node_index.to_forward_map(), fh)
-        fh.write(', "texts": ')
-        json.dump(self._texts, fh)
-        fh.write(', "embeddings": [')
+        writer = _Crc32Writer(fh)
+        writer.write('{"format": "newslink-index", "version": 2, "text_index": ')
+        json.dump(self._text_index.to_forward_map(), writer)
+        writer.write(', "node_index": ')
+        json.dump(self._node_index.to_forward_map(), writer)
+        writer.write(', "texts": ')
+        json.dump(self._texts, writer)
+        writer.write(', "embeddings": [')
         for position, embedding in enumerate(self._embeddings.values()):
             if position:
-                fh.write(", ")
-            json.dump(embedding_to_dict(embedding), fh)
-        fh.write("]}")
+                writer.write(", ")
+            json.dump(embedding_to_dict(embedding), writer)
+        writer.write("]}")
+        fh.write(
+            "\n" + json.dumps(
+                {"trailer": "newslink-crc32", "crc32": writer.crc}
+            )
+        )
 
     def load_index(self, path: "str | Path") -> int:
         """Load an index written by :meth:`save_index`; returns doc count.
@@ -529,34 +679,98 @@ class NewsLinkEngine:
         Existing index contents are replaced.  Gzipped files are detected
         by magic bytes, so any path written by :meth:`save_index` loads
         back regardless of suffix.
+
+        The load is transactional: the file's checksum trailer and schema
+        are verified and fresh structures built *before* any engine state
+        is touched, so a corrupt file (raising
+        :class:`~repro.errors.IndexCorruptError`) leaves the live index
+        fully intact.  Version-1 files (no trailer) still load, without
+        checksum verification.
         """
         from repro.core.serialization import embedding_from_dict
 
         path = Path(path)
-        with open(path, "rb") as probe:
-            is_gzip = probe.read(2) == b"\x1f\x8b"
-        opener = gzip.open if is_gzip else open
-        with opener(path, "rt", encoding="utf-8") as fh:
-            payload = json.load(fh)
-        if payload.get("format") != "newslink-index":
-            raise DataError(f"{path}: not a NewsLink index file")
-        self._text_index = InvertedIndex()
-        self._node_index = InvertedIndex()
+        if faults.ACTIVE:
+            faults.fire("persist.load")
+        try:
+            with open(path, "rb") as probe:
+                is_gzip = probe.read(2) == b"\x1f\x8b"
+            opener = gzip.open if is_gzip else open
+            with opener(path, "rt", encoding="utf-8") as fh:
+                text = fh.read()
+        except FileNotFoundError:
+            raise
+        except (OSError, EOFError, ValueError, zlib.error) as exc:
+            # Truncated/corrupt gzip streams and undecodable bytes all
+            # surface here.
+            raise IndexCorruptError(path, f"unreadable: {exc}") from exc
+        payload_text, newline, trailer_text = text.rpartition("\n")
+        if newline:
+            # Version >= 2: the final line is the checksum trailer.
+            try:
+                trailer = json.loads(trailer_text)
+                expected = trailer["crc32"]
+            except (json.JSONDecodeError, TypeError, KeyError) as exc:
+                raise IndexCorruptError(
+                    path,
+                    f"malformed checksum trailer: {trailer_text[:80]!r}",
+                ) from exc
+            actual = zlib.crc32(payload_text.encode("utf-8"))
+            if actual != expected:
+                raise IndexCorruptError(
+                    path,
+                    f"checksum mismatch: stored {expected!r}, "
+                    f"computed {actual}",
+                )
+        else:
+            # Version 1 wrote no trailer (and no newlines at all).
+            payload_text = text
+        try:
+            payload = json.loads(payload_text)
+        except json.JSONDecodeError as exc:
+            raise IndexCorruptError(path, f"invalid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("format") != (
+            "newslink-index"
+        ):
+            raise IndexCorruptError(path, "not a NewsLink index file")
+        version = payload.get("version")
+        if version not in (1, 2):
+            raise IndexCorruptError(
+                path, f"unsupported index version {version!r}"
+            )
+        # Build into fresh structures first; the live engine is swapped
+        # only after the whole file parsed and validated.
+        text_index = InvertedIndex()
+        node_index = InvertedIndex()
+        embeddings: dict[str, DocumentEmbedding] = {}
+        section = "texts"
+        try:
+            texts = {
+                doc_id: str(doc_text)
+                for doc_id, doc_text in payload.get("texts", {}).items()
+            }
+            section = "text_index"
+            for doc_id, counts in payload["text_index"].items():
+                text_index.add_document_counts(doc_id, counts)
+            section = "node_index"
+            for doc_id, counts in payload["node_index"].items():
+                node_index.add_document_counts(doc_id, counts)
+            section = "embeddings"
+            for raw in payload["embeddings"]:
+                embedding = embedding_from_dict(raw)
+                embeddings[embedding.doc_id] = embedding
+        except (DataError, KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise IndexCorruptError(
+                path, f"invalid {section!r} section: {exc!r}"
+            ) from exc
+        self._text_index = text_index
+        self._node_index = node_index
         self._text_scorer = Bm25Scorer(self._text_index, self._config.bm25)
         self._node_scorer = Bm25Scorer(self._node_index, self._config.bm25)
         self._fused_ranker = FusedRanker(self._text_scorer, self._node_scorer)
         self._snippet_generator = None
-        self._embeddings = {}
-        self._texts = {
-            doc_id: str(text) for doc_id, text in payload.get("texts", {}).items()
-        }
-        for doc_id, counts in payload["text_index"].items():
-            self._text_index.add_document_counts(doc_id, counts)
-        for doc_id, counts in payload["node_index"].items():
-            self._node_index.add_document_counts(doc_id, counts)
-        for raw in payload["embeddings"]:
-            embedding = embedding_from_dict(raw)
-            self._embeddings[embedding.doc_id] = embedding
+        self._embeddings = embeddings
+        self._texts = texts
         return self.num_indexed
 
     # ------------------------------------------------------------------

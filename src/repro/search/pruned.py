@@ -63,6 +63,9 @@ class QueryStats:
         pruned_queries: queries served by the :class:`FusedRanker` path.
         fallback_queries: queries served by the exhaustive reference path
             (``ranking="exhaustive"`` or ``fusion.normalize=True``).
+        degraded_queries: queries served text-only because the per-query
+            deadline expired during query embedding (see
+            ``docs/robustness.md``); always also counted in ``queries``.
         matching_docs: documents matching at least one query term.  Only
             counted on the exhaustive path — not enumerating this set is
             precisely the pruned path's win.
@@ -78,6 +81,7 @@ class QueryStats:
     queries: int = 0
     pruned_queries: int = 0
     fallback_queries: int = 0
+    degraded_queries: int = 0
     matching_docs: int = 0
     candidates_examined: int = 0
     docs_pruned: int = 0

@@ -4,10 +4,17 @@ The paper positions NewsLink as easy to integrate "with most existing
 search systems, such as ElasticSearch and Lucene"; this module gives the
 engine the corresponding service surface using only the standard library:
 
-* ``GET /health``                         — liveness + index size
+* ``GET /health``                         — liveness, index size, degradation counters
 * ``GET /search?q=...&k=5&beta=0.2``      — ranked results with snippets
+  (``deadline_ms=50`` bounds the query; expired queries come back
+  ``degraded`` instead of failing)
 * ``GET /explain?q=...&doc=<doc_id>``     — shared entities + paths
 * ``GET /document?id=<doc_id>``           — the stored raw text
+
+Error mapping: client mistakes (bad parameters, malformed values,
+configuration/data errors) are 400, unknown documents are 404, and any
+unexpected server-side failure is a 500 with a JSON body — the handler
+never lets an exception escape as a bare connection reset.
 
 Responses are JSON.  Start with::
 
@@ -24,7 +31,12 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import DocumentNotIndexedError, ReproError
+from repro.errors import (
+    ConfigError,
+    DataError,
+    DocumentNotIndexedError,
+    ReproError,
+)
 from repro.search.engine import NewsLinkEngine
 
 
@@ -35,7 +47,12 @@ def _search_payload(engine: NewsLinkEngine, params: dict) -> dict:
     k = int(params.get("k", ["10"])[0])
     beta_values = params.get("beta")
     beta = float(beta_values[0]) if beta_values else None
-    results = engine.search(query, k=k, beta=beta)
+    deadline_values = params.get("deadline_ms")
+    deadline_ms = float(deadline_values[0]) if deadline_values else None
+    if deadline_ms is not None and deadline_ms <= 0:
+        raise _BadRequest("deadline_ms must be positive")
+    results = engine.search(query, k=k, beta=beta, deadline_ms=deadline_ms)
+    degraded = bool(results) and results[0].degraded
     payload = []
     for rank, result in enumerate(results, start=1):
         snippet = engine.snippet(query, result.doc_id)
@@ -46,10 +63,14 @@ def _search_payload(engine: NewsLinkEngine, params: dict) -> dict:
                 "score": result.score,
                 "bow_score": result.bow_score,
                 "bon_score": result.bon_score,
+                "degraded": result.degraded,
                 "snippet": snippet.text,
             }
         )
-    return {"query": query, "k": k, "results": payload}
+    body = {"query": query, "k": k, "degraded": degraded, "results": payload}
+    if degraded:
+        body["degraded_reason"] = results[0].degraded_reason
+    return body
 
 
 def _explain_payload(engine: NewsLinkEngine, params: dict) -> dict:
@@ -91,7 +112,14 @@ def make_handler(engine: NewsLinkEngine) -> type[BaseHTTPRequestHandler]:
             params = parse_qs(parsed.query)
             try:
                 if parsed.path == "/health":
-                    body = {"status": "ok", "indexed": engine.num_indexed}
+                    stats = engine.query_stats
+                    body = {
+                        "status": "ok",
+                        "indexed": engine.num_indexed,
+                        "queries": stats.queries,
+                        "degraded_queries": stats.degraded_queries,
+                        "fallback_queries": stats.fallback_queries,
+                    }
                 elif parsed.path == "/search":
                     body = _search_payload(engine, params)
                 elif parsed.path == "/explain":
@@ -107,8 +135,26 @@ def make_handler(engine: NewsLinkEngine) -> type[BaseHTTPRequestHandler]:
             except DocumentNotIndexedError as exc:
                 self._reply(404, {"error": str(exc)})
                 return
-            except (ValueError, ReproError) as exc:
+            except (ValueError, ConfigError, DataError) as exc:
+                # The client sent something the engine rejects: malformed
+                # numbers, bad ranking names, invalid parameter values.
                 self._reply(400, {"error": str(exc)})
+                return
+            except ReproError as exc:
+                # The request was well-formed but serving it failed —
+                # that is the server's fault, not the client's.
+                self._reply(
+                    500, {"error": str(exc), "type": type(exc).__name__}
+                )
+                return
+            except Exception as exc:  # noqa: BLE001 - hardening boundary
+                self._reply(
+                    500,
+                    {
+                        "error": f"internal server error: {exc}",
+                        "type": type(exc).__name__,
+                    },
+                )
                 return
             self._reply(200, body)
 

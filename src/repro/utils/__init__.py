@@ -1,8 +1,10 @@
-"""Shared utilities: seeded randomness, timing, and text hashing."""
+"""Shared utilities: randomness, timing, hashing, deadlines, retries."""
 
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.timing import Stopwatch, TimingBreakdown
 from repro.utils.hashing import stable_hash, hash_to_unit_interval
+from repro.utils.deadline import Deadline
+from repro.utils.retry import retry_with_backoff
 
 __all__ = [
     "ensure_rng",
@@ -11,4 +13,6 @@ __all__ = [
     "TimingBreakdown",
     "stable_hash",
     "hash_to_unit_interval",
+    "Deadline",
+    "retry_with_backoff",
 ]

@@ -1,0 +1,58 @@
+"""Wall-clock deadlines for budgeted query serving.
+
+``LcagConfig.max_pops`` bounds *work* but not *time*: a pathological query
+on a hot machine can blow a latency SLO long before the pop budget runs
+out.  A :class:`Deadline` carries an absolute monotonic expiry through the
+serving path (``NewsLinkEngine.search`` → ``process_query`` → the G*
+search loops) so the engine can abandon query embedding and degrade to
+text-only ranking instead of missing its response window.
+
+The G* loops check the clock every :data:`CHECK_INTERVAL` pops rather
+than every pop — one ``time.monotonic()`` call costs more than a heap
+pop, and the search advances fast enough that the quantization error is
+microseconds.  Tests monkeypatch the constant (and inject a fake clock)
+to make expiry deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: Frontier pops between wall-clock checks inside the G* search loops.
+#: Read at search entry, so monkeypatching it affects subsequent searches.
+CHECK_INTERVAL = 64
+
+
+class Deadline:
+    """An absolute expiry instant derived from a millisecond budget.
+
+    The clock is injectable (default :func:`time.monotonic`) so tests can
+    drive expiry deterministically; everything downstream only ever calls
+    :meth:`expired` / :meth:`remaining_ms`.
+    """
+
+    __slots__ = ("budget_ms", "_clock", "_expires_at")
+
+    def __init__(
+        self, budget_ms: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        if budget_ms <= 0:
+            raise ValueError("deadline budget_ms must be positive")
+        self.budget_ms = budget_ms
+        self._clock = clock
+        self._expires_at = clock() + budget_ms / 1000.0
+
+    def expired(self) -> bool:
+        """True once the wall clock has passed the expiry instant."""
+        return self._clock() >= self._expires_at
+
+    def remaining_ms(self) -> float:
+        """Milliseconds until expiry (negative once expired)."""
+        return (self._expires_at - self._clock()) * 1000.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Deadline(budget_ms={self.budget_ms}, "
+            f"remaining_ms={self.remaining_ms():.3f})"
+        )

@@ -1,0 +1,58 @@
+"""Retry with exponential backoff.
+
+One tiny, dependency-free helper shared by the fault-tolerant worker pool
+(:mod:`repro.parallel`) and available to any caller that talks to flaky
+resources.  Deterministic by design: no jitter, injectable ``sleep``, so
+tests can assert the exact delay sequence.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    *,
+    attempts: int = 3,
+    base_delay: float = 0.05,
+    factor: float = 2.0,
+    max_delay: float = 2.0,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Call ``fn`` until it succeeds, retrying on ``retry_on`` exceptions.
+
+    Args:
+        fn: zero-argument callable to run.
+        attempts: total tries (>= 1); the last failure propagates.
+        base_delay: sleep before the first retry, in seconds.
+        factor: multiplier applied to the delay after each retry.
+        max_delay: upper bound on any single sleep.
+        retry_on: exception types that trigger a retry; anything else
+            propagates immediately.
+        sleep: injectable sleep (tests pass a recorder).
+        on_retry: optional callback ``(attempt_number, exception)`` invoked
+            before each backoff sleep — used for retry counters.
+
+    Returns:
+        ``fn()``'s result from the first successful attempt.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    delay = base_delay
+    for attempt in range(1, attempts + 1):
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt == attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(min(delay, max_delay))
+            delay *= factor
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,129 @@
+"""Tests for the deterministic fault-injection registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultInjectedError
+from repro.reliability import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestDisarmed:
+    def test_fire_is_noop(self):
+        faults.fire("persist.write")  # must not raise
+
+    def test_active_flag_tracks_registry(self):
+        assert faults.ACTIVE is False
+        faults.arm("persist.write")
+        assert faults.ACTIVE is True
+        faults.disarm("persist.write")
+        assert faults.ACTIVE is False
+
+    def test_hits_zero_when_disarmed(self):
+        assert faults.hits("persist.write") == 0
+
+
+class TestArming:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            faults.arm("no.such.point")
+
+    def test_bad_nth_rejected(self):
+        with pytest.raises(ValueError):
+            faults.arm("persist.write", nth=0)
+
+    def test_bad_times_rejected(self):
+        with pytest.raises(ValueError):
+            faults.arm("persist.write", times=0)
+
+    def test_armed_predicate(self):
+        faults.arm("persist.load")
+        assert faults.armed("persist.load")
+        assert not faults.armed("persist.write")
+
+
+class TestTriggers:
+    def test_default_raises_fault_injected_error(self):
+        faults.arm("persist.write")
+        with pytest.raises(FaultInjectedError) as excinfo:
+            faults.fire("persist.write")
+        assert excinfo.value.point == "persist.write"
+
+    def test_exception_class(self):
+        faults.arm("persist.write", exception=RuntimeError)
+        with pytest.raises(RuntimeError, match="persist.write"):
+            faults.fire("persist.write")
+
+    def test_exception_instance(self):
+        marker = OSError("disk on fire")
+        faults.arm("persist.write", exception=marker)
+        with pytest.raises(OSError) as excinfo:
+            faults.fire("persist.write")
+        assert excinfo.value is marker
+
+    def test_nth_hit(self):
+        faults.arm("search.pop", nth=3)
+        faults.fire("search.pop")
+        faults.fire("search.pop")
+        with pytest.raises(FaultInjectedError):
+            faults.fire("search.pop")
+        assert faults.hits("search.pop") == 3
+
+    def test_times_caps_firing(self):
+        faults.arm("search.pop", times=1)
+        with pytest.raises(FaultInjectedError):
+            faults.fire("search.pop")
+        faults.fire("search.pop")  # second hit: trigger exhausted
+
+    def test_delay_only_does_not_raise(self):
+        state = faults.arm("engine.embed_query", delay=0.001)
+        faults.fire("engine.embed_query")
+        assert state.fired == 1
+
+    def test_callback_runs_before_exception(self):
+        calls = []
+        faults.arm(
+            "persist.write",
+            callback=lambda: calls.append("cb"),
+            exception=RuntimeError,
+        )
+        with pytest.raises(RuntimeError):
+            faults.fire("persist.write")
+        assert calls == ["cb"]
+
+    def test_callback_only_does_not_raise(self):
+        calls = []
+        faults.arm("persist.write", callback=lambda: calls.append("cb"))
+        faults.fire("persist.write")
+        assert calls == ["cb"]
+
+
+class TestLifecycle:
+    def test_reset_disarms_everything(self):
+        faults.arm("persist.write")
+        faults.arm("persist.load")
+        faults.reset()
+        assert not faults.armed("persist.write")
+        assert not faults.armed("persist.load")
+        assert faults.ACTIVE is False
+
+    def test_injected_context_manager(self):
+        with faults.injected("persist.write") as state:
+            assert faults.armed("persist.write")
+            with pytest.raises(FaultInjectedError):
+                faults.fire("persist.write")
+            assert state.fired == 1
+        assert not faults.armed("persist.write")
+
+    def test_injected_disarms_on_error(self):
+        with pytest.raises(RuntimeError):
+            with faults.injected("persist.write"):
+                raise RuntimeError("test body blew up")
+        assert not faults.armed("persist.write")

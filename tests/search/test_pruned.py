@@ -192,6 +192,7 @@ class TestStats:
             "docs_pruned",
             "postings_advanced",
             "cursor_skips",
+            "degraded_queries",
         }
 
 

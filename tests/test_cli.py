@@ -92,6 +92,43 @@ class TestSearch:
         with pytest.raises(SystemExit):
             main(["search", str(indexed_dir), "anything", "--ranking", "fastest"])
 
+    def test_deadline_flag_accepted(self, indexed_dir, capsys):
+        from repro.data.loaders import load_corpus_jsonl
+
+        corpus = load_corpus_jsonl(indexed_dir / "corpus.jsonl")
+        query = next(doc for doc in corpus if doc.topic_id).text.split(". ")[0]
+        # A generous budget: same results as an unbounded query, and the
+        # degraded marker must not appear.
+        code = main(
+            ["search", str(indexed_dir), query, "-k", "3",
+             "--deadline-ms", "60000"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "score=" in output
+        assert "[degraded" not in output
+
+    def test_expired_deadline_degrades_not_crashes(self, indexed_dir, capsys):
+        from repro.data.loaders import load_corpus_jsonl
+        from repro.reliability import faults
+
+        corpus = load_corpus_jsonl(indexed_dir / "corpus.jsonl")
+        query = next(doc for doc in corpus if doc.topic_id).text.split(". ")[0]
+        # Burn the entire 1ms budget inside the query's NE stage so the
+        # deadline is deterministically expired.
+        faults.arm("engine.embed_query", delay=0.02)
+        try:
+            code = main(
+                ["search", str(indexed_dir), query, "-k", "3",
+                 "--deadline-ms", "1"]
+            )
+        finally:
+            faults.reset()
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "[degraded" in output
+        assert "score=" in output
+
 
 class TestEvaluate:
     def test_evaluate_prints_hits(self, generated_dir, capsys):

@@ -56,5 +56,6 @@ class TestTutorial:
         api = (DOCS / "api.md").read_text(encoding="utf-8")
         for subpackage in ("repro.kg", "repro.nlp", "repro.core", "repro.search",
                            "repro.baselines", "repro.data", "repro.eval",
-                           "repro.viz", "repro.cli", "repro.server"):
+                           "repro.viz", "repro.cli", "repro.server",
+                           "repro.parallel", "repro.reliability"):
             assert subpackage in api, subpackage

@@ -3,13 +3,24 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
 from repro.config import EngineConfig, LcagConfig
 from repro.data.document import Corpus, NewsDocument
-from repro.errors import DataError
+from repro.errors import DataError, FaultInjectedError, IndexCorruptError
+from repro.parallel.executor import parallel_supported
+from repro.reliability import faults
 from repro.search.engine import NewsLinkEngine
+from repro.utils import deadline as deadline_mod
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.reset()
+    yield
+    faults.reset()
 
 
 class TestEngineEdgeCases:
@@ -67,7 +78,7 @@ class TestCorruptedPersistence:
     def test_truncated_index_file(self, figure1_graph, tmp_path):
         path = tmp_path / "index.json"
         path.write_text('{"format": "newslink-index", "ver', encoding="utf-8")
-        with pytest.raises(json.JSONDecodeError):
+        with pytest.raises(IndexCorruptError, match="invalid JSON"):
             NewsLinkEngine(figure1_graph).load_index(path)
 
     def test_wrong_format_marker(self, figure1_graph, tmp_path):
@@ -81,11 +92,134 @@ class TestCorruptedPersistence:
         engine.index_corpus(Corpus([NewsDocument("d", "Taliban in Pakistan.")]))
         path = tmp_path / "index.json"
         engine.save_index(path)
-        payload = json.loads(path.read_text(encoding="utf-8"))
+        # The payload is the first line; the trailer the second.
+        payload_line = path.read_text(encoding="utf-8").splitlines()[0]
+        payload = json.loads(payload_line)
         del payload["embeddings"][0]["node_counts"]
         path.write_text(json.dumps(payload), encoding="utf-8")
-        with pytest.raises(DataError):
+        with pytest.raises(IndexCorruptError) as excinfo:
             NewsLinkEngine(figure1_graph).load_index(path)
+        assert "embeddings" in str(excinfo.value)
+        assert str(path) in str(excinfo.value)
+
+    def test_checksum_mismatch_detected(self, figure1_graph, tmp_path):
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(Corpus([NewsDocument("d", "Taliban in Pakistan.")]))
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+        # Flip payload bytes without breaking JSON: the checksum must
+        # catch silent single-field corruption a parser would accept.
+        corrupted = path.read_text(encoding="utf-8").replace(
+            '"version": 2', '"version": 3', 1
+        )
+        path.write_text(corrupted, encoding="utf-8")
+        with pytest.raises(IndexCorruptError, match="checksum mismatch"):
+            NewsLinkEngine(figure1_graph).load_index(path)
+
+    def test_corrupt_load_leaves_live_engine_untouched(
+        self, figure1_graph, tmp_path
+    ):
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(
+            Corpus(
+                [
+                    NewsDocument("a", "Taliban in Pakistan."),
+                    NewsDocument("b", "Taliban bombed Lahore."),
+                ]
+            )
+        )
+        before = engine.search("Taliban Pakistan", k=2)
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+        corrupted = path.read_text(encoding="utf-8").replace(
+            '"version": 2', '"version": 3', 1
+        )
+        path.write_text(corrupted, encoding="utf-8")
+        with pytest.raises(IndexCorruptError):
+            engine.load_index(path)
+        # The failed load must not have swapped any state.
+        assert engine.num_indexed == 2
+        assert engine.search("Taliban Pakistan", k=2) == before
+
+    def test_version1_file_without_trailer_loads(self, figure1_graph, tmp_path):
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(Corpus([NewsDocument("d", "Taliban in Pakistan.")]))
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+        payload_line = path.read_text(encoding="utf-8").splitlines()[0]
+        legacy = payload_line.replace('"version": 2', '"version": 1', 1)
+        path.write_text(legacy, encoding="utf-8")
+        fresh = NewsLinkEngine(figure1_graph)
+        assert fresh.load_index(path) == 1
+        assert fresh.search("Taliban", k=1)
+
+
+class TestCrashSafePersistence:
+    def _indexed_engine(self, graph, texts):
+        engine = NewsLinkEngine(graph)
+        engine.index_corpus(
+            Corpus(
+                [NewsDocument(f"d{i}", text) for i, text in enumerate(texts)]
+            )
+        )
+        return engine
+
+    def test_crash_during_save_preserves_previous_index(
+        self, figure1_graph, tmp_path
+    ):
+        engine = self._indexed_engine(figure1_graph, ["Taliban in Pakistan."])
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+        before = path.read_bytes()
+
+        bigger = self._indexed_engine(
+            figure1_graph,
+            ["Taliban in Pakistan.", "Taliban bombed Lahore."],
+        )
+        faults.arm("persist.write", exception=OSError("disk gone"))
+        with pytest.raises(OSError):
+            bigger.save_index(path)
+        faults.reset()
+        # Previous file byte-identical, loadable, and no temp litter.
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["index.json"]
+        fresh = NewsLinkEngine(figure1_graph)
+        assert fresh.load_index(path) == 1
+
+    def test_crash_during_gzip_save_preserves_previous_index(
+        self, figure1_graph, tmp_path
+    ):
+        engine = self._indexed_engine(figure1_graph, ["Taliban in Pakistan."])
+        path = tmp_path / "index.json.gz"
+        engine.save_index(path)
+        before = path.read_bytes()
+        faults.arm("persist.write")
+        with pytest.raises(FaultInjectedError):
+            engine.save_index(path)
+        faults.reset()
+        assert path.read_bytes() == before
+        fresh = NewsLinkEngine(figure1_graph)
+        assert fresh.load_index(path) == 1
+
+    def test_save_is_deterministic(self, figure1_graph, tmp_path):
+        engine = self._indexed_engine(figure1_graph, ["Taliban in Pakistan."])
+        first = tmp_path / "one.json"
+        second = tmp_path / "two.json"
+        engine.save_index(first)
+        engine.save_index(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_fault_at_load_leaves_engine_untouched(
+        self, figure1_graph, tmp_path
+    ):
+        engine = self._indexed_engine(figure1_graph, ["Taliban in Pakistan."])
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+        faults.arm("persist.load")
+        with pytest.raises(FaultInjectedError):
+            engine.load_index(path)
+        faults.reset()
+        assert engine.num_indexed == 1
 
 
 class TestMismatchedGraph:
@@ -146,3 +280,152 @@ class TestCombinedEngineConfig:
         fresh = NewsLinkEngine(figure1_graph, config)
         assert fresh.load_index(path) == 1
         assert fresh.search("Taliban Lahore", k=1)
+
+
+CORPUS_TEXTS = [
+    "Taliban in Pakistan released a statement.",
+    "Taliban bombed Lahore. Peshawar reacted.",
+    "Pakistan fought Taliban in Upper Dir.",
+    "Clashes hit Swat Valley and Kunar.",
+]
+
+
+def _small_corpus() -> Corpus:
+    return Corpus(
+        [NewsDocument(f"d{i}", text) for i, text in enumerate(CORPUS_TEXTS)]
+    )
+
+
+class TestDeadlineDegradation:
+    """Expired deadlines must degrade search, never raise."""
+
+    @pytest.mark.parametrize("backend", ["reference", "compiled"])
+    def test_expiry_mid_gstar_search_degrades(
+        self, figure1_graph, backend, monkeypatch
+    ):
+        engine = NewsLinkEngine(
+            figure1_graph, EngineConfig(lcag=LcagConfig(backend=backend))
+        )
+        engine.index_corpus(_small_corpus())
+        # Check the clock on every pop, and burn >2ms per pop, so a 1ms
+        # budget deterministically expires inside the G* search loop.
+        monkeypatch.setattr(deadline_mod, "CHECK_INTERVAL", 1)
+        faults.arm("search.pop", delay=0.003)
+        results = engine.search("Taliban bombed Lahore", k=3, deadline_ms=1)
+        assert results, "degraded search must still return text results"
+        assert all(r.degraded for r in results)
+        assert all("deadline" in r.degraded_reason for r in results)
+        # Text-only fallback: the node channel never contributes.
+        assert all(r.bon_score == 0.0 for r in results)
+        assert engine.query_stats.degraded_queries == 1
+
+    @pytest.mark.parametrize("backend", ["reference", "compiled"])
+    def test_expiry_before_embedding_degrades(self, figure1_graph, backend):
+        engine = NewsLinkEngine(
+            figure1_graph, EngineConfig(lcag=LcagConfig(backend=backend))
+        )
+        engine.index_corpus(_small_corpus())
+        faults.arm("engine.embed_query", delay=0.02)
+        results = engine.search("Taliban in Pakistan", k=3, deadline_ms=1)
+        assert results
+        assert all(r.degraded for r in results)
+
+    def test_degraded_query_is_not_cached(self, figure1_graph):
+        engine = NewsLinkEngine(figure1_graph)
+        engine.index_corpus(_small_corpus())
+        faults.arm("engine.embed_query", delay=0.02, times=1)
+        degraded = engine.search("Taliban in Pakistan", k=3, deadline_ms=1)
+        assert degraded and degraded[0].degraded
+        # Same query, no budget pressure: a poisoned cache would replay
+        # the degraded state; a clean one re-embeds and ranks fully.
+        healthy = engine.search("Taliban in Pakistan", k=3)
+        assert healthy and not healthy[0].degraded
+        assert any(r.bon_score > 0.0 for r in healthy)
+
+    def test_config_deadline_applies_to_every_search(self, figure1_graph):
+        engine = NewsLinkEngine(figure1_graph, EngineConfig(deadline_ms=1.0))
+        engine.index_corpus(_small_corpus())
+        faults.arm("engine.embed_query", delay=0.02)
+        results = engine.search("Taliban in Pakistan", k=3)
+        assert results and all(r.degraded for r in results)
+
+    def test_no_deadline_behaves_exactly_as_before(self, figure1_graph):
+        bounded = NewsLinkEngine(figure1_graph)
+        unbounded = NewsLinkEngine(figure1_graph)
+        bounded.index_corpus(_small_corpus())
+        unbounded.index_corpus(_small_corpus())
+        generous = bounded.search(
+            "Taliban bombed Lahore", k=3, deadline_ms=60_000
+        )
+        plain = unbounded.search("Taliban bombed Lahore", k=3)
+        assert [
+            (r.doc_id, r.score, r.bow_score, r.bon_score) for r in generous
+        ] == [(r.doc_id, r.score, r.bow_score, r.bon_score) for r in plain]
+        assert not any(r.degraded for r in generous)
+
+
+@pytest.mark.skipif(
+    not parallel_supported(), reason="platform lacks the fork start method"
+)
+class TestWorkerFaultTolerance:
+    """index_corpus must never lose documents to worker failures."""
+
+    def _expected_doc_ids(self, figure1_graph):
+        serial = NewsLinkEngine(figure1_graph)
+        serial.index_corpus(_small_corpus())
+        return {doc_id for doc_id in serial._texts}
+
+    def test_worker_exception_falls_back_to_serial(self, figure1_graph):
+        expected = self._expected_doc_ids(figure1_graph)
+        engine = NewsLinkEngine(figure1_graph)
+        # Persistent failure: every embed chunk raises in every worker,
+        # so retries exhaust and the parent serves each chunk serially.
+        faults.arm("worker.embed_chunk", exception=RuntimeError("worker down"))
+        engine.index_corpus(_small_corpus(), workers=2)
+        faults.reset()
+        assert set(engine._texts) == expected
+        report = engine.last_index_report
+        assert report.serial_fallback_chunks > 0
+        assert report.worker_retries > 0
+        assert engine.search("Taliban bombed Lahore", k=2)
+
+    def test_worker_crash_rebuilds_pool_once(self, figure1_graph):
+        expected = self._expected_doc_ids(figure1_graph)
+        engine = NewsLinkEngine(figure1_graph)
+        # A hard crash (no exception back, the process just dies) breaks
+        # the pool: the indexer must rebuild it once, then go serial.
+        faults.arm("worker.embed_chunk", callback=lambda: os._exit(1))
+        engine.index_corpus(_small_corpus(), workers=2)
+        faults.reset()
+        assert set(engine._texts) == expected
+        report = engine.last_index_report
+        assert report.pool_rebuilds == 1
+        assert report.serial_fallback_chunks > 0
+
+    def test_transient_worker_failure_heals_without_fallback(
+        self, figure1_graph
+    ):
+        expected = self._expected_doc_ids(figure1_graph)
+        engine = NewsLinkEngine(figure1_graph)
+        # One chunk per unique group makes retries land on fresh hit
+        # counters only in the SAME worker process; times=1 means each
+        # forked worker fails at most its first chunk, so retries succeed.
+        faults.arm("worker.nlp_chunk", exception=OSError("hiccup"), times=1)
+        engine.index_corpus(_small_corpus(), workers=2)
+        faults.reset()
+        assert set(engine._texts) == expected
+
+    def test_disarmed_parallel_run_matches_serial(self, figure1_graph):
+        serial = NewsLinkEngine(figure1_graph)
+        serial.index_corpus(_small_corpus())
+        parallel = NewsLinkEngine(figure1_graph)
+        parallel.index_corpus(_small_corpus(), workers=2)
+        report = parallel.last_index_report
+        assert report.worker_retries == 0
+        assert report.pool_rebuilds == 0
+        assert report.serial_fallback_chunks == 0
+        assert set(parallel._texts) == set(serial._texts)
+        query = "Taliban bombed Lahore"
+        assert [
+            (r.doc_id, r.score) for r in parallel.search(query, k=4)
+        ] == [(r.doc_id, r.score) for r in serial.search(query, k=4)]

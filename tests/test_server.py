@@ -10,6 +10,7 @@ import urllib.request
 import pytest
 
 from repro.data.document import Corpus, NewsDocument
+from repro.reliability import faults
 from repro.search.engine import NewsLinkEngine
 from repro.server import make_server
 
@@ -49,7 +50,11 @@ class TestHealth:
     def test_health(self, server_url):
         status, body = get_json(f"{server_url}/health")
         assert status == 200
-        assert body == {"status": "ok", "indexed": 2}
+        assert body["status"] == "ok"
+        assert body["indexed"] == 2
+        assert body["degraded_queries"] >= 0
+        assert body["fallback_queries"] >= 0
+        assert body["queries"] >= 0
 
 
 class TestSearch:
@@ -57,9 +62,14 @@ class TestSearch:
         status, body = get_json(f"{server_url}/search?q=Taliban+in+Pakistan&k=2")
         assert status == 200
         assert body["query"] == "Taliban in Pakistan"
+        assert body["degraded"] is False
         assert len(body["results"]) == 2
         top = body["results"][0]
-        assert set(top) == {"rank", "doc_id", "score", "bow_score", "bon_score", "snippet"}
+        assert set(top) == {
+            "rank", "doc_id", "score", "bow_score", "bon_score",
+            "degraded", "snippet",
+        }
+        assert top["degraded"] is False
         assert "**Taliban**" in top["snippet"]
 
     def test_beta_parameter(self, server_url):
@@ -112,3 +122,55 @@ class TestRouting:
     def test_unknown_path(self, server_url):
         status, _ = get_json(f"{server_url}/nope")
         assert status == 404
+
+
+@pytest.fixture()
+def faulty_server(figure1_graph):
+    """A per-test server whose engine faults can be armed freely."""
+    engine = NewsLinkEngine(figure1_graph)
+    engine.index_corpus(
+        Corpus([NewsDocument("d", "Taliban bombed Lahore in Pakistan.")])
+    )
+    server = make_server(engine, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", engine
+    faults.reset()
+    server.shutdown()
+
+
+class TestHardening:
+    def test_degraded_search_over_http(self, faulty_server):
+        url, engine = faulty_server
+        # Burn the whole budget inside the query's NE stage.
+        faults.arm("engine.embed_query", delay=0.02)
+        status, body = get_json(f"{url}/search?q=Taliban+Lahore&deadline_ms=1")
+        assert status == 200
+        assert body["degraded"] is True
+        assert "deadline" in body["degraded_reason"]
+        assert body["results"]
+        assert all(r["degraded"] for r in body["results"])
+        status, health = get_json(f"{url}/health")
+        assert health["degraded_queries"] == 1
+
+    def test_unexpected_exception_becomes_500(self, faulty_server):
+        url, _ = faulty_server
+        faults.arm("engine.embed_query", exception=RuntimeError("boom"))
+        status, body = get_json(f"{url}/search?q=Taliban+Lahore")
+        assert status == 500
+        assert "boom" in body["error"]
+        assert body["type"] == "RuntimeError"
+
+    def test_repro_error_becomes_500(self, faulty_server):
+        url, _ = faulty_server
+        faults.arm("engine.embed_query")  # default FaultInjectedError
+        status, body = get_json(f"{url}/search?q=Taliban+Lahore")
+        assert status == 500
+        assert body["type"] == "FaultInjectedError"
+
+    def test_nonpositive_deadline_is_client_error(self, faulty_server):
+        url, _ = faulty_server
+        status, body = get_json(f"{url}/search?q=Taliban&deadline_ms=0")
+        assert status == 400
+        assert "deadline_ms" in body["error"]

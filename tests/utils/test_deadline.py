@@ -1,0 +1,64 @@
+"""Tests for the wall-clock deadline primitive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils import deadline as deadline_mod
+from repro.utils.deadline import CHECK_INTERVAL, Deadline
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestDeadline:
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+        with pytest.raises(ValueError):
+            Deadline(-5)
+
+    def test_not_expired_before_budget(self):
+        clock = FakeClock()
+        deadline = Deadline(50, clock=clock)
+        assert not deadline.expired()
+        clock.now += 0.049
+        assert not deadline.expired()
+
+    def test_expired_after_budget(self):
+        clock = FakeClock()
+        deadline = Deadline(50, clock=clock)
+        clock.now += 0.050
+        assert deadline.expired()
+
+    def test_remaining_ms_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline(100, clock=clock)
+        assert deadline.remaining_ms() == pytest.approx(100.0)
+        clock.now += 0.075
+        assert deadline.remaining_ms() == pytest.approx(25.0)
+        clock.now += 0.050
+        assert deadline.remaining_ms() == pytest.approx(-25.0)
+        assert deadline.expired()
+
+    def test_real_clock_default(self):
+        deadline = Deadline(60_000)
+        assert not deadline.expired()
+        assert deadline.remaining_ms() > 0
+
+
+class TestCheckInterval:
+    def test_positive_int(self):
+        assert isinstance(CHECK_INTERVAL, int)
+        assert CHECK_INTERVAL >= 1
+
+    def test_monkeypatchable(self, monkeypatch):
+        monkeypatch.setattr(deadline_mod, "CHECK_INTERVAL", 1)
+        assert deadline_mod.CHECK_INTERVAL == 1

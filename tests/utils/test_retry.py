@@ -1,0 +1,89 @@
+"""Tests for the deterministic retry-with-backoff helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.retry import retry_with_backoff
+
+
+class Flaky:
+    """Fails ``failures`` times, then returns ``value``."""
+
+    def __init__(self, failures: int, value: str = "ok") -> None:
+        self.failures = failures
+        self.value = value
+        self.calls = 0
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise OSError(f"transient failure #{self.calls}")
+        return self.value
+
+
+class TestRetry:
+    def test_first_try_success_never_sleeps(self):
+        sleeps: list[float] = []
+        result = retry_with_backoff(Flaky(0), sleep=sleeps.append)
+        assert result == "ok"
+        assert sleeps == []
+
+    def test_retries_until_success(self):
+        fn = Flaky(2)
+        sleeps: list[float] = []
+        result = retry_with_backoff(
+            fn, attempts=3, base_delay=0.05, factor=2.0, sleep=sleeps.append
+        )
+        assert result == "ok"
+        assert fn.calls == 3
+        assert sleeps == [0.05, 0.1]
+
+    def test_last_failure_propagates(self):
+        fn = Flaky(5)
+        sleeps: list[float] = []
+        with pytest.raises(OSError, match="transient failure #3"):
+            retry_with_backoff(fn, attempts=3, sleep=sleeps.append)
+        assert fn.calls == 3
+        assert len(sleeps) == 2
+
+    def test_max_delay_caps_backoff(self):
+        sleeps: list[float] = []
+        with pytest.raises(OSError):
+            retry_with_backoff(
+                Flaky(10),
+                attempts=5,
+                base_delay=1.0,
+                factor=10.0,
+                max_delay=2.0,
+                sleep=sleeps.append,
+            )
+        assert sleeps == [1.0, 2.0, 2.0, 2.0]
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def fail() -> None:
+            calls.append(1)
+            raise KeyError("not retryable here")
+
+        with pytest.raises(KeyError):
+            retry_with_backoff(
+                fail, attempts=5, retry_on=(OSError,), sleep=lambda _s: None
+            )
+        assert len(calls) == 1
+
+    def test_on_retry_callback_sees_each_failure(self):
+        seen: list[tuple[int, str]] = []
+        retry_with_backoff(
+            Flaky(2),
+            attempts=3,
+            sleep=lambda _s: None,
+            on_retry=lambda attempt, exc: seen.append((attempt, str(exc))),
+        )
+        assert [attempt for attempt, _ in seen] == [1, 2]
+        assert "transient failure #1" in seen[0][1]
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            retry_with_backoff(lambda: None, attempts=0)

@@ -1,0 +1,140 @@
+"""CI smoke: boot a real server, scrape /metrics and /stats, validate.
+
+A thin end-to-end drill for the observability layer — everything deeper
+lives in ``tests/test_server.py`` and ``tests/obs/``.  This script is
+what CI runs after the suites: it builds a tiny engine, binds a real
+``ThreadingHTTPServer`` on an ephemeral port, drives a little mixed
+traffic (miss / hit / degraded), then asserts the scrape parses as
+Prometheus text exposition with the expected metric families and that
+``/stats`` agrees with it.
+
+Exit status 0 on success; any assertion failure is a CI failure.
+
+Usage::
+
+    PYTHONPATH=src python scripts/ci_metrics_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.data.document import Corpus, NewsDocument
+from repro.kg.graph import Edge, EntityType, KnowledgeGraph, Node
+from repro.obs import PROMETHEUS_CONTENT_TYPE, validate_prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.search.engine import NewsLinkEngine
+from repro.server import make_server
+
+EXPECTED_FAMILIES = (
+    "newslink_queries_total",
+    "newslink_query_latency_seconds",
+    "newslink_query_cache_lookups_total",
+    "newslink_cache_invalidations_total",
+    "newslink_embed_seconds",
+    "newslink_gstar_total",
+    "newslink_query_pruning_total",
+    "newslink_indexed_documents",
+    "newslink_kg_version",
+)
+
+
+def _build_engine() -> NewsLinkEngine:
+    graph = KnowledgeGraph()
+    graph.add_nodes(
+        [
+            Node("v0", "Khyber", EntityType.GPE),
+            Node("v1", "Peshawar", EntityType.GPE),
+            Node("v2", "Taliban", EntityType.ORG),
+            Node("v3", "Pakistan", EntityType.GPE),
+        ]
+    )
+    graph.add_edges(
+        [
+            Edge("v1", "v0", "located_in"),
+            Edge("v2", "v0", "operates_in"),
+            Edge("v0", "v3", "located_in"),
+        ]
+    )
+    engine = NewsLinkEngine(graph, registry=MetricsRegistry())
+    engine.index_corpus(
+        Corpus(
+            [
+                NewsDocument("d1", "Taliban attacked Peshawar in Pakistan."),
+                NewsDocument("d2", "Pakistan reinforced the Khyber region."),
+            ]
+        )
+    )
+    return engine
+
+
+def _get(url: str) -> tuple[int, str, dict]:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type", ""),
+            response.read().decode("utf-8"),
+        )
+
+
+def main() -> int:
+    engine = _build_engine()
+    server = make_server(engine, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    try:
+        # miss, hit, then a deterministically expired budget (degraded).
+        _get(f"{base}/search?q=Taliban+Peshawar&k=2")
+        _get(f"{base}/search?q=Taliban+Peshawar&k=2")
+        _get(f"{base}/search?q=Khyber+region+news&deadline_ms=0.0001")
+
+        status, content_type, text = _get(f"{base}/metrics")
+        assert status == 200, status
+        assert content_type == PROMETHEUS_CONTENT_TYPE, content_type
+        metrics = validate_prometheus_text(text)
+        missing = [f for f in EXPECTED_FAMILIES if f not in metrics]
+        assert not missing, f"missing metric families: {missing}"
+
+        def counter(base_name: str, **labels: str) -> float:
+            for name, got, value in metrics[base_name]["samples"]:
+                if name == base_name and got == labels:
+                    return value
+            raise AssertionError(f"no sample {base_name}{labels}")
+
+        assert counter("newslink_queries_total", path="degraded") == 1
+        assert counter("newslink_query_cache_lookups_total", result="hit") == 1
+        assert counter("newslink_indexed_documents") == 2
+
+        status, content_type, body = _get(f"{base}/stats")
+        assert status == 200, status
+        stats = json.loads(body)
+        assert stats["indexed"] == 2, stats["indexed"]
+        assert stats["query_stats"]["degraded_queries"] == 1
+        assert len(stats["traces"]) == 3, len(stats["traces"])
+        assert stats["traces"][-1]["attributes"]["path"] == "degraded"
+        assert (
+            stats["metrics"]["counters"][
+                'newslink_query_cache_lookups_total{result="hit"}'
+            ]
+            == 1
+        )
+    finally:
+        server.shutdown()
+    lines = sum(1 for line in text.splitlines() if not line.startswith("#"))
+    print(
+        f"metrics smoke OK: {len(metrics)} families, {lines} samples, "
+        f"{len(stats['traces'])} traces"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,8 +7,9 @@ Subcommands::
     repro index DIR [--tree] [--beta B]                   — build and save
         the NewsLink index (index.json) for a generated dataset
     repro search DIR QUERY [-k N] [--beta B] [--ranking M] [--explain]
-                 [--deadline-ms MS]                       — query an
-        indexed dataset and optionally print relationship paths
+                 [--deadline-ms MS] [--stats]             — query an
+        indexed dataset and optionally print relationship paths and the
+        query's metrics/trace summary
     repro evaluate DIR [-k N]                             — quick Lucene
         vs NewsLink comparison on the dataset's test split
 
@@ -82,6 +83,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-query time budget in milliseconds; when it expires the "
         "query degrades to text-only ranking instead of failing",
     )
+    search.add_argument(
+        "--stats", action="store_true",
+        help="after the results, print the query's stage timings, serving "
+        "path, and the engine's metric counters",
+    )
 
     evaluate = subparsers.add_parser(
         "evaluate", help="quick Lucene vs NewsLink HIT@k on the test split"
@@ -104,6 +110,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="default per-query time budget in milliseconds for every "
         "served query; expired queries degrade to text-only ranking",
     )
+    serve.add_argument(
+        "--no-metrics", action="store_true",
+        help="disable the metrics registry and query tracing (the "
+        "/metrics and /stats endpoints then serve empty views)",
+    )
     return parser
 
 
@@ -111,10 +122,15 @@ def _load_engine(
     directory: Path,
     beta: float | None = None,
     deadline_ms: float | None = None,
+    metrics_enabled: bool = True,
 ) -> NewsLinkEngine:
     graph = load_graph_json(directory / _KG_FILE)
     fusion = FusionConfig(beta=beta) if beta is not None else FusionConfig()
-    config = EngineConfig(fusion=fusion, deadline_ms=deadline_ms)
+    config = EngineConfig(
+        fusion=fusion,
+        deadline_ms=deadline_ms,
+        metrics_enabled=metrics_enabled,
+    )
     engine = NewsLinkEngine(graph, config)
     index_path = directory / _INDEX_FILE
     if not index_path.exists() and (directory / (_INDEX_FILE + ".gz")).exists():
@@ -194,7 +210,34 @@ def _cmd_search(args: argparse.Namespace) -> int:
         explanation = engine.explanation(args.query, results[0].doc_id)
         for line in explanation.lines():
             print("   ", line)
+    if args.stats:
+        _print_search_stats(engine)
     return 0
+
+
+def _print_search_stats(engine: NewsLinkEngine) -> None:
+    """The ``search --stats`` footer: trace + counters for this query."""
+    records = engine.observability.tracer.records()
+    if records:
+        trace = records[-1]
+        print("\nquery trace:")
+        print(f"   total      {trace['duration_ms']:.2f} ms")
+        for stage, ms in trace.get("stages_ms", {}).items():
+            print(f"   {stage:<10} {ms:.2f} ms")
+        attributes = trace.get("attributes", {})
+        for key in ("path", "query_cache", "degraded_reason"):
+            if key in attributes:
+                print(f"   {key:<10} {attributes[key]}")
+    print("engine counters:")
+    for name, value in sorted(engine.query_stats.as_dict().items()):
+        print(f"   query.{name:<22} {value}")
+    for name, value in sorted(engine.search_stats.as_dict().items()):
+        print(f"   gstar.{name:<22} {value}")
+    cache = engine.cache_stats
+    if cache is not None:
+        for name, value in sorted(cache.as_dict().items()):
+            formatted = f"{value:.3f}" if name == "hit_rate" else value
+            print(f"   segment_cache.{name:<14} {formatted}")
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -230,7 +273,11 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import serve
 
-    engine = _load_engine(args.directory, deadline_ms=args.deadline_ms)
+    engine = _load_engine(
+        args.directory,
+        deadline_ms=args.deadline_ms,
+        metrics_enabled=not args.no_metrics,
+    )
     serve(engine, host=args.host, port=args.port)
     return 0
 

@@ -180,8 +180,19 @@ class EngineConfig:
             unbounded, the default).  When the budget expires during
             query embedding, the embedding is abandoned and the query is
             served from the text (BOW) channel only, flagged
-            ``degraded`` — search never raises for a deadline.  See
-            ``docs/robustness.md``.
+            ``degraded`` — search never raises for a deadline.  A hit in
+            the query-embedding LRU intentionally bypasses the deadline
+            check: the cached path is cheap, so an already-expired
+            budget still yields full-quality (non-degraded) results.
+            See ``docs/robustness.md``.
+        metrics_enabled: publish metrics and per-query traces into the
+            observability layer (:mod:`repro.obs`).  On by default;
+            when off the engine binds to a permanently disabled
+            registry and every instrumentation point short-circuits to
+            a single branch (see ``benchmarks/bench_obs_overhead.py``).
+        trace_capacity: completed query traces retained by the engine's
+            tracer ring buffer (0 disables trace retention while
+            keeping metrics).
     """
 
     lcag: LcagConfig = field(default_factory=LcagConfig)
@@ -201,6 +212,8 @@ class EngineConfig:
     query_cache_size: int = 64
     ranking: str = "pruned"
     deadline_ms: float | None = None
+    metrics_enabled: bool = True
+    trace_capacity: int = 64
 
     def __post_init__(self) -> None:
         _require(
@@ -220,6 +233,7 @@ class EngineConfig:
         )
         if self.deadline_ms is not None:
             _require(self.deadline_ms > 0, "deadline_ms must be positive when set")
+        _require(self.trace_capacity >= 0, "trace_capacity must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -68,6 +68,15 @@ class CacheStats:
         self.hits += other.hits
         self.misses += other.misses
 
+    def as_dict(self) -> dict[str, float]:
+        """The counters as a plain dict (stats-endpoint helper)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "requests": self.requests,
+            "hit_rate": self.hit_rate,
+        }
+
 
 @dataclass
 class CachingEmbedder:

@@ -74,6 +74,17 @@ class SearchStats:
         self.relaxations += other.relaxations
         self.heap_pushes += other.heap_pushes
 
+    def as_dict(self) -> dict[str, int | bool]:
+        """The counters as a plain dict (stats-endpoint/serialization
+        helper, mirroring ``QueryStats.as_dict``)."""
+        return {
+            "pops": self.pops,
+            "candidates": self.candidates,
+            "terminated_early": self.terminated_early,
+            "relaxations": self.relaxations,
+            "heap_pushes": self.heap_pushes,
+        }
+
 
 def find_lcag(
     graph: KnowledgeGraph,

@@ -1,0 +1,62 @@
+"""``repro.obs`` — the unified, dependency-free observability layer.
+
+One subsystem replaces four disconnected stats silos as the way to
+*read* the serving system (the silos keep their APIs and stay the
+source of truth; they publish into the registry):
+
+* :class:`MetricsRegistry` — process-wide counters, gauges and
+  fixed-bucket histograms; cheap no-op when disabled; snapshots merge
+  associatively/commutatively across worker processes.
+* :class:`Tracer` / :class:`Span` — per-query trace records covering
+  the full query path (nlp → ne → ns, cache hit/miss, pruned vs
+  exhaustive vs degraded serving).
+* exporters — Prometheus text (``/metrics``), JSON (``/stats``), and a
+  text-format validator used by CI.
+
+See ``docs/observability.md`` for the metric catalogue and scrape
+examples.
+"""
+
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_json,
+    render_prometheus,
+    validate_prometheus_text,
+)
+from repro.obs.instruments import EngineInstruments
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Snapshot,
+    diff_snapshots,
+    disabled_registry,
+    get_registry,
+    merge_snapshots,
+    set_registry,
+)
+from repro.obs.tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Counter",
+    "EngineInstruments",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Snapshot",
+    "Span",
+    "Tracer",
+    "diff_snapshots",
+    "disabled_registry",
+    "get_registry",
+    "merge_snapshots",
+    "render_json",
+    "render_prometheus",
+    "set_registry",
+    "validate_prometheus_text",
+]

@@ -1,0 +1,259 @@
+"""Exporters: Prometheus text format, JSON stats view, and a validator.
+
+``render_prometheus`` turns a registry snapshot into the Prometheus
+text exposition format (version 0.0.4) served by the HTTP server's
+``/metrics`` endpoint; ``render_json`` produces the ``/stats`` view.
+``validate_prometheus_text`` is a small grammar checker used by the CI
+scrape step and the server tests — it parses every line and
+cross-checks histogram invariants, so a formatting regression fails
+fast without needing ``promtool`` in the image.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any
+
+from repro.obs.metrics import Snapshot
+
+#: Content type the /metrics endpoint must declare.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labelnames: list[str], values: list[str]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(labelnames, values)
+    )
+    return "{" + pairs + "}"
+
+
+def render_prometheus(snapshot: Snapshot) -> str:
+    """The snapshot in Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, entry in snapshot.get("counters", {}).items():
+        lines.append(f"# HELP {name} {_escape_help(entry.get('help', ''))}")
+        lines.append(f"# TYPE {name} counter")
+        for values, value in entry["samples"]:
+            labels = _labels_text(entry["labelnames"], values)
+            lines.append(f"{name}{labels} {_format_value(value)}")
+    for name, entry in snapshot.get("gauges", {}).items():
+        lines.append(f"# HELP {name} {_escape_help(entry.get('help', ''))}")
+        lines.append(f"# TYPE {name} gauge")
+        for values, value in entry["samples"]:
+            labels = _labels_text(entry["labelnames"], values)
+            lines.append(f"{name}{labels} {_format_value(value)}")
+    for name, entry in snapshot.get("histograms", {}).items():
+        lines.append(f"# HELP {name} {_escape_help(entry.get('help', ''))}")
+        lines.append(f"# TYPE {name} histogram")
+        bucket_bounds = [*entry["buckets"], math.inf]
+        for values, sample in entry["samples"]:
+            cumulative = 0
+            for bound, count in zip(bucket_bounds, sample["counts"]):
+                cumulative += count
+                labels = _labels_text(
+                    [*entry["labelnames"], "le"],
+                    [*values, _format_value(bound)],
+                )
+                lines.append(f"{name}_bucket{labels} {cumulative}")
+            labels = _labels_text(entry["labelnames"], values)
+            lines.append(f"{name}_sum{labels} {_format_value(sample['sum'])}")
+            lines.append(f"{name}_count{labels} {sample['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_json(snapshot: Snapshot) -> dict[str, Any]:
+    """A flat, human-scannable JSON view of the snapshot.
+
+    Counters and gauges become ``name{label=value}: number`` entries;
+    histograms expose count / sum / mean plus the raw bucket counts.
+    """
+    view: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for kind in ("counters", "gauges"):
+        for name, entry in snapshot.get(kind, {}).items():
+            for values, value in entry["samples"]:
+                labels = _labels_text(entry["labelnames"], values)
+                view[kind][f"{name}{labels}"] = value
+    for name, entry in snapshot.get("histograms", {}).items():
+        for values, sample in entry["samples"]:
+            labels = _labels_text(entry["labelnames"], values)
+            count = sample["count"]
+            view["histograms"][f"{name}{labels}"] = {
+                "count": count,
+                "sum": sample["sum"],
+                "mean": sample["sum"] / count if count else 0.0,
+                "buckets": list(sample["counts"]),
+                "bucket_bounds": list(entry["buckets"]),
+            }
+    return view
+
+
+def validate_prometheus_text(text: str) -> dict[str, dict[str, Any]]:
+    """Parse Prometheus text format, raising ``ValueError`` on any flaw.
+
+    Checks the line grammar, TYPE declarations, label syntax, numeric
+    values, and histogram invariants (``le`` present, cumulative bucket
+    counts non-decreasing, ``+Inf`` bucket equal to ``_count``).
+    Returns ``{metric_name: {"type": ..., "samples": [(labels, value)]}}``
+    for callers that want to assert on scraped values.
+    """
+    metrics: dict[str, dict[str, Any]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+                "summary",
+                "untyped",
+            ):
+                raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            if not _NAME_RE.match(parts[2]):
+                raise ValueError(
+                    f"line {lineno}: invalid metric name {parts[2]!r}"
+                )
+            if parts[2] in metrics:
+                raise ValueError(
+                    f"line {lineno}: duplicate TYPE for {parts[2]!r}"
+                )
+            metrics[parts[2]] = {"type": parts[3], "samples": []}
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {lineno}: unknown comment: {line!r}")
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        name = match.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in metrics:
+                base = name[: -len(suffix)]
+                break
+        if base not in metrics:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} precedes its TYPE line"
+            )
+        labels: dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for pair in _split_labels(raw_labels, lineno):
+                pair_match = _LABEL_RE.match(pair)
+                if not pair_match:
+                    raise ValueError(
+                        f"line {lineno}: malformed label {pair!r}"
+                    )
+                labels[pair_match.group(1)] = pair_match.group(2)
+        raw_value = match.group("value")
+        if raw_value == "+Inf":
+            value = math.inf
+        else:
+            try:
+                value = float(raw_value)
+            except ValueError as exc:
+                raise ValueError(
+                    f"line {lineno}: non-numeric value {raw_value!r}"
+                ) from exc
+        if metrics[base]["type"] == "histogram" and name.endswith("_bucket"):
+            if "le" not in labels:
+                raise ValueError(
+                    f"line {lineno}: histogram bucket without le label"
+                )
+        metrics[base]["samples"].append((name, labels, value))
+    _check_histograms(metrics)
+    return metrics
+
+
+def _split_labels(raw: str, lineno: int) -> list[str]:
+    """Split ``a="x",b="y"`` on commas outside quoted values."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    escaped = False
+    for char in raw:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if in_quotes:
+        raise ValueError(f"line {lineno}: unterminated label value")
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _check_histograms(metrics: dict[str, dict[str, Any]]) -> None:
+    for base, entry in metrics.items():
+        if entry["type"] != "histogram":
+            continue
+        series: dict[tuple, list[tuple[float, float]]] = {}
+        counts: dict[tuple, float] = {}
+        for name, labels, value in entry["samples"]:
+            key = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            if name.endswith("_bucket"):
+                le = labels["le"]
+                bound = math.inf if le == "+Inf" else float(le)
+                series.setdefault(key, []).append((bound, value))
+            elif name.endswith("_count"):
+                counts[key] = value
+        for key, buckets in series.items():
+            ordered = sorted(buckets)
+            values = [count for _, count in ordered]
+            if values != sorted(values):
+                raise ValueError(
+                    f"{base}: bucket counts not cumulative for {key}"
+                )
+            if not ordered or ordered[-1][0] != math.inf:
+                raise ValueError(f"{base}: missing +Inf bucket for {key}")
+            if key in counts and ordered[-1][1] != counts[key]:
+                raise ValueError(
+                    f"{base}: +Inf bucket != _count for {key}"
+                )

@@ -1,0 +1,198 @@
+"""The engine's metric catalogue and silo collectors.
+
+:class:`EngineInstruments` is the one object the engine touches on the
+query path: it pre-registers every metric (so hot-path calls are plain
+attribute access, no name lookups) and owns the :class:`Tracer`.
+
+Two publication styles, matching the cost profile of each source:
+
+* **Event-driven** — latencies and cache lookups are observed inline as
+  they happen (histograms need the individual samples).  Every such call
+  is a no-op while the registry is disabled.
+* **Collector-driven** — the long-standing stats silos (``QueryStats``,
+  ``SearchStats``, ``CacheStats``, ``IndexReport``) stay the source of
+  truth; a scrape-time collector copies their current totals into
+  registry counters/gauges.  The hot path pays nothing beyond the
+  counter increments those silos always did.
+
+The collector holds the engine by weak reference so instrumentation
+never extends an engine's lifetime; once the engine is gone the
+collector unregisters itself on the next scrape.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.tracing import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.search.engine import NewsLinkEngine
+
+#: Buckets for single-segment ``G*`` embedding time (generally slower
+#: than whole-query serving, so the range shifts up).
+EMBED_BUCKETS: tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def embed_histogram(registry: MetricsRegistry):
+    """The canonical ``newslink_embed_seconds`` histogram on ``registry``.
+
+    Shared by :class:`EngineInstruments` and the forked indexing workers
+    so worker-recorded samples merge into the very same metric.
+    """
+    return registry.histogram(
+        "newslink_embed_seconds",
+        "Wall-clock seconds per document NE stage (G* searches)",
+        buckets=EMBED_BUCKETS,
+    )
+
+
+class EngineInstruments:
+    """Metric handles + tracer for one engine (see module docstring)."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        trace_capacity: int = 64,
+    ) -> None:
+        self.registry = registry
+        self.tracer = Tracer(
+            capacity=trace_capacity, enabled=lambda: registry.enabled
+        )
+        self.query_latency = registry.histogram(
+            "newslink_query_latency_seconds",
+            "Per-query wall-clock latency by stage "
+            "(total, and the nlp/ne/ns components)",
+            labelnames=("stage",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.queries = registry.counter(
+            "newslink_queries_total",
+            "Ranked queries served, by serving path "
+            "(pruned, exhaustive, degraded)",
+            labelnames=("path",),
+        )
+        self.query_cache_lookups = registry.counter(
+            "newslink_query_cache_lookups_total",
+            "Query-embedding LRU lookups by result (hit, miss)",
+            labelnames=("result",),
+        )
+        self.cache_invalidations = registry.counter(
+            "newslink_cache_invalidations_total",
+            "Cache flushes forced by a knowledge-graph version change",
+            labelnames=("cache",),
+        )
+        self.embed_seconds = embed_histogram(registry)
+        # Collector-driven (silo-backed); handles kept for the collector.
+        self._pruning = registry.counter(
+            "newslink_query_pruning_total",
+            "Query-serving work counters from QueryStats "
+            "(matching_docs, candidates_examined, docs_pruned, "
+            "postings_advanced, cursor_skips)",
+            labelnames=("counter",),
+        )
+        self._gstar = registry.counter(
+            "newslink_gstar_total",
+            "Aggregate G* search counters from SearchStats "
+            "(pops, candidates, relaxations, heap_pushes)",
+            labelnames=("counter",),
+        )
+        self._segment_cache = registry.counter(
+            "newslink_segment_cache_lookups_total",
+            "Segment-embedding cache lookups by result (hit, miss)",
+            labelnames=("result",),
+        )
+        self._indexed_docs = registry.gauge(
+            "newslink_indexed_documents",
+            "Documents currently indexed",
+        )
+        self._kg_version = registry.gauge(
+            "newslink_kg_version",
+            "Knowledge-graph mutation counter the engine last observed",
+        )
+        self._index_report = registry.counter(
+            "newslink_index_pipeline_total",
+            "Parallel indexing counters from the last IndexReport "
+            "(dedup_hits, worker_retries, pool_rebuilds, "
+            "serial_fallback_chunks)",
+            labelnames=("counter",),
+        )
+        self._index_workers = registry.gauge(
+            "newslink_index_workers",
+            "Worker processes used by the most recent index_corpus run",
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """The hot-path switch (delegates to the registry)."""
+        return self.registry.enabled
+
+    def bind(self, engine: "NewsLinkEngine") -> None:
+        """Register the scrape-time collector for ``engine``'s silos."""
+        engine_ref = weakref.ref(engine)
+
+        def collect() -> bool | None:
+            target = engine_ref()
+            if target is None:
+                return False  # engine gone: unregister this collector
+            query_stats = target.query_stats
+            self.queries.set(query_stats.pruned_queries, path="pruned")
+            self.queries.set(query_stats.fallback_queries, path="exhaustive")
+            self.queries.set(query_stats.degraded_queries, path="degraded")
+            for counter in (
+                "matching_docs",
+                "candidates_examined",
+                "docs_pruned",
+                "postings_advanced",
+                "cursor_skips",
+            ):
+                self._pruning.set(
+                    getattr(query_stats, counter), counter=counter
+                )
+            search_stats = target.search_stats
+            for counter in ("pops", "candidates", "relaxations", "heap_pushes"):
+                self._gstar.set(
+                    getattr(search_stats, counter), counter=counter
+                )
+            cache_stats = target.cache_stats
+            if cache_stats is not None:
+                self._segment_cache.set(cache_stats.hits, result="hit")
+                self._segment_cache.set(cache_stats.misses, result="miss")
+            self._indexed_docs.set(target.num_indexed)
+            self._kg_version.set(target.graph.version)
+            report = target.last_index_report
+            if report is not None:
+                self._index_workers.set(report.workers)
+                self._index_report.set(
+                    report.dedup.hits, counter="dedup_hits"
+                )
+                self._index_report.set(
+                    report.worker_retries, counter="worker_retries"
+                )
+                self._index_report.set(
+                    report.pool_rebuilds, counter="pool_rebuilds"
+                )
+                self._index_report.set(
+                    report.serial_fallback_chunks,
+                    counter="serial_fallback_chunks",
+                )
+            return None
+
+        self.registry.add_collector(collect)

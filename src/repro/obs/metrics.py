@@ -1,0 +1,495 @@
+"""A dependency-free, process-wide metrics registry.
+
+The serving system accumulated four disconnected stats silos
+(``QueryStats``, ``SearchStats``, ``CacheStats``, ``IndexReport``) with
+no way to scrape, aggregate, or correlate them.  This module is the
+unification point: a :class:`MetricsRegistry` holding three Prometheus
+metric kinds —
+
+* **counters** — monotonically increasing totals;
+* **gauges** — point-in-time values (index size, KG version);
+* **histograms** — fixed-bucket latency/size distributions.
+
+Design constraints, in priority order:
+
+1. **Cheap when disabled.**  Every mutation starts with one attribute
+   read and one branch (``if not registry.enabled: return``) — a
+   disabled registry adds no locks, no allocation and no dict work to
+   the query hot path (``benchmarks/bench_obs_overhead.py`` proves the
+   whole instrumented engine stays within 5% of the bare path).
+2. **Mergeable.**  A registry snapshot is a plain JSON-able dict, and
+   :func:`merge_snapshots` folds two of them together the way
+   ``CacheStats.merge`` folds counters: counters and histogram buckets
+   add, gauges take the max.  Merging is associative and commutative
+   (property-tested), which is what lets the parallel indexer fold
+   per-worker registries back into the parent in any completion order.
+3. **Scrape-time collectors.**  The existing silos keep their APIs; a
+   *collector* callback registered by the engine copies their current
+   values into registry metrics when a snapshot is taken, so the hot
+   path pays nothing for metrics whose source of truth already exists.
+
+Thread safety: sample mutation and snapshotting are guarded by one lock
+per registry; the ``enabled`` fast-path check is lock-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Iterable, Mapping
+
+#: Default latency buckets in seconds (sub-millisecond to multi-second),
+#: chosen to straddle the engine's observed query-latency range.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+#: Snapshot type: a plain JSON-able dict (see :meth:`MetricsRegistry.snapshot`).
+Snapshot = dict[str, Any]
+
+_KINDS = ("counters", "gauges", "histograms")
+
+
+class _Metric:
+    """Shared machinery: label handling and the enabled fast path."""
+
+    __slots__ = ("name", "help", "labelnames", "_registry", "_samples")
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,  # noqa: A002 - mirrors the Prometheus field name
+        labelnames: tuple[str, ...],
+    ) -> None:
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self._samples: dict[tuple[str, ...], Any] = {}
+
+    def _key(self, labels: Mapping[str, object]) -> tuple[str, ...]:
+        if len(labels) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(labels)}"
+            )
+        try:
+            return tuple(str(labels[name]) for name in self.labelnames)
+        except KeyError as exc:
+            raise ValueError(
+                f"{self.name}: missing label {exc.args[0]!r}"
+            ) from exc
+
+    def value(self, **labels: object) -> Any:
+        """The current sample for ``labels`` (0/None when never touched)."""
+        return self._samples.get(self._key(labels))
+
+
+class Counter(_Metric):
+    """A monotonically increasing total."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (no-op while the registry is disabled)."""
+        registry = self._registry
+        if not registry._enabled:
+            return
+        key = self._key(labels)
+        with registry._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def set(self, value: float, **labels: object) -> None:
+        """Overwrite the total — for scrape-time collectors whose source
+        of truth is an existing stats silo, not for hot-path use."""
+        registry = self._registry
+        if not registry._enabled:
+            return
+        with registry._lock:
+            self._samples[self._key(labels)] = float(value)
+
+    def value(self, **labels: object) -> float:
+        return float(self._samples.get(self._key(labels), 0.0))
+
+
+class Gauge(_Metric):
+    """A point-in-time value (merges by max, see :func:`merge_snapshots`)."""
+
+    __slots__ = ()
+
+    def set(self, value: float, **labels: object) -> None:
+        registry = self._registry
+        if not registry._enabled:
+            return
+        with registry._lock:
+            self._samples[self._key(labels)] = float(value)
+
+    def value(self, **labels: object) -> float:
+        return float(self._samples.get(self._key(labels), 0.0))
+
+
+class Histogram(_Metric):
+    """A fixed-bucket distribution with a sum and a count.
+
+    Buckets are *cumulative at export time* (Prometheus ``le`` format)
+    but stored per-bucket so merging is a plain element-wise add.  The
+    implicit ``+Inf`` bucket is the final slot.
+    """
+
+    __slots__ = ("buckets",)
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,  # noqa: A002
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...],
+    ) -> None:
+        super().__init__(registry, name, help, labelnames)
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ValueError(
+                f"{name}: buckets must be non-empty, sorted and unique"
+            )
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def observe(self, value: float, **labels: object) -> None:
+        registry = self._registry
+        if not registry._enabled:
+            return
+        key = self._key(labels)
+        slot = bisect_left(self.buckets, value)
+        with registry._lock:
+            sample = self._samples.get(key)
+            if sample is None:
+                sample = {
+                    "counts": [0] * (len(self.buckets) + 1),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+                self._samples[key] = sample
+            sample["counts"][slot] += 1
+            sample["sum"] += value
+            sample["count"] += 1
+
+    def sample(self, **labels: object) -> dict | None:
+        """The raw ``{"counts", "sum", "count"}`` record for ``labels``."""
+        return self._samples.get(self._key(labels))
+
+
+#: A collector runs at snapshot time and refreshes metrics whose source
+#: of truth lives elsewhere.  Returning ``False`` unregisters it (used by
+#: weakref-bound engine collectors once the engine is gone).
+Collector = Callable[[], Any]
+
+
+class MetricsRegistry:
+    """A named family of counters, gauges and histograms.
+
+    One process-wide default registry exists (:func:`get_registry`);
+    engines default to it but accept a private registry for isolation
+    (tests, multi-tenant processes).  Metric constructors are idempotent:
+    asking for an existing name returns the existing metric, provided the
+    kind and label names match.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+        self._collectors: list[Collector] = []
+
+    # -- switches ------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether mutations record (the hot-path fast check)."""
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    # -- metric constructors (get-or-create) ---------------------------
+    def _get(
+        self, name: str, kind: type, factory: Callable[[], _Metric]
+    ) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}"
+                    )
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> Counter:
+        """Get or create a counter."""
+        names = tuple(labelnames)
+        return self._get(  # type: ignore[return-value]
+            name, Counter, lambda: Counter(self, name, help, names)
+        )
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> Gauge:
+        """Get or create a gauge."""
+        names = tuple(labelnames)
+        return self._get(  # type: ignore[return-value]
+            name, Gauge, lambda: Gauge(self, name, help, names)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Get or create a fixed-bucket histogram."""
+        names = tuple(labelnames)
+        bucket_tuple = tuple(buckets)
+        return self._get(  # type: ignore[return-value]
+            name,
+            Histogram,
+            lambda: Histogram(self, name, help, names, bucket_tuple),
+        )
+
+    # -- collectors ----------------------------------------------------
+    def add_collector(self, collector: Collector) -> Collector:
+        """Register a scrape-time callback (see module docstring)."""
+        with self._lock:
+            self._collectors.append(collector)
+        return collector
+
+    def _run_collectors(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        dead = [c for c in collectors if c() is False]
+        if dead:
+            with self._lock:
+                self._collectors = [
+                    c for c in self._collectors if c not in dead
+                ]
+
+    # -- snapshot & merge ----------------------------------------------
+    def snapshot(self, run_collectors: bool = True) -> Snapshot:
+        """A JSON-able, deterministic copy of every sample.
+
+        Collectors run first (unless ``run_collectors=False``) so
+        silo-backed metrics are current; they run even on a disabled
+        registry *only if* it was ever enabled — on a disabled registry
+        their ``set`` calls are no-ops anyway, so skipping them keeps
+        disabled scrapes cheap and empty.
+        """
+        if run_collectors and self._enabled:
+            self._run_collectors()
+        snap: Snapshot = {kind: {} for kind in _KINDS}
+        with self._lock:
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                samples = sorted(
+                    (list(key), _copy_sample(value))
+                    for key, value in metric._samples.items()
+                )
+                entry: dict[str, Any] = {
+                    "help": metric.help,
+                    "labelnames": list(metric.labelnames),
+                    "samples": [list(pair) for pair in samples],
+                }
+                if isinstance(metric, Histogram):
+                    entry["buckets"] = list(metric.buckets)
+                    snap["histograms"][name] = entry
+                elif isinstance(metric, Gauge):
+                    snap["gauges"][name] = entry
+                else:
+                    snap["counters"][name] = entry
+        return snap
+
+    def merge(self, other: "Snapshot | MetricsRegistry") -> None:
+        """Fold a snapshot (or another registry) into this registry.
+
+        Counters and histogram buckets add; gauges take the max.  Metrics
+        absent locally are created on the fly, so a parent can merge a
+        worker registry without pre-declaring the worker's metrics.
+        Merging bypasses the ``enabled`` switch: fold-in of already-paid
+        work must not be lost because scraping is off right now.
+        """
+        snap = other.snapshot() if isinstance(other, MetricsRegistry) else other
+        for name, entry in snap.get("counters", {}).items():
+            metric = self.counter(name, entry.get("help", ""), entry["labelnames"])
+            with self._lock:
+                for labels, value in entry["samples"]:
+                    key = tuple(labels)
+                    metric._samples[key] = metric._samples.get(key, 0.0) + value
+        for name, entry in snap.get("gauges", {}).items():
+            metric = self.gauge(name, entry.get("help", ""), entry["labelnames"])
+            with self._lock:
+                for labels, value in entry["samples"]:
+                    key = tuple(labels)
+                    current = metric._samples.get(key)
+                    if current is None or value > current:
+                        metric._samples[key] = value
+        for name, entry in snap.get("histograms", {}).items():
+            metric = self.histogram(
+                name,
+                entry.get("help", ""),
+                entry["labelnames"],
+                entry["buckets"],
+            )
+            if list(metric.buckets) != [float(b) for b in entry["buckets"]]:
+                raise ValueError(
+                    f"histogram {name!r}: bucket layout mismatch on merge"
+                )
+            with self._lock:
+                for labels, sample in entry["samples"]:
+                    key = tuple(labels)
+                    local = metric._samples.get(key)
+                    if local is None:
+                        metric._samples[key] = _copy_sample(sample)
+                        continue
+                    for i, count in enumerate(sample["counts"]):
+                        local["counts"][i] += count
+                    local["sum"] += sample["sum"]
+                    local["count"] += sample["count"]
+
+    def reset(self) -> None:
+        """Zero every sample (metric definitions and collectors survive)."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric._samples.clear()
+
+
+def _copy_sample(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {
+            "counts": list(value["counts"]),
+            "sum": value["sum"],
+            "count": value["count"],
+        }
+    return value
+
+
+def merge_snapshots(left: Snapshot, right: Snapshot) -> Snapshot:
+    """Merge two snapshots into a new one (associative and commutative).
+
+    Counters and histogram counts/sums add exactly; gauges take the max.
+    Like ``CacheStats.merge``, integer-valued counters merge exactly in
+    any grouping or order — the hypothesis tests in
+    ``tests/obs/test_metrics.py`` assert both laws.
+    """
+    registry = MetricsRegistry()
+    registry.merge(left)
+    registry.merge(right)
+    return registry.snapshot(run_collectors=False)
+
+
+def diff_snapshots(before: Snapshot, after: Snapshot) -> Snapshot:
+    """The work recorded between two snapshots of the same registry.
+
+    Counters and histogram samples subtract (clamped at zero); gauges
+    take the ``after`` value.  Used by forked workers: each worker
+    inherits the parent registry's accumulated samples at fork time, so
+    the chunk result ships the *delta*, exactly like the worker-side
+    ``SearchStats`` accounting.
+    """
+    delta: Snapshot = {kind: {} for kind in _KINDS}
+    for name, entry in after.get("counters", {}).items():
+        base = {
+            tuple(labels): value
+            for labels, value in before.get("counters", {})
+            .get(name, {})
+            .get("samples", [])
+        }
+        samples = []
+        for labels, value in entry["samples"]:
+            changed = value - base.get(tuple(labels), 0.0)
+            if changed > 0:
+                samples.append([labels, changed])
+        if samples:
+            delta["counters"][name] = {**entry, "samples": samples}
+    for name, entry in after.get("gauges", {}).items():
+        if entry["samples"]:
+            delta["gauges"][name] = entry
+    for name, entry in after.get("histograms", {}).items():
+        base = {
+            tuple(labels): sample
+            for labels, sample in before.get("histograms", {})
+            .get(name, {})
+            .get("samples", [])
+        }
+        samples = []
+        for labels, sample in entry["samples"]:
+            prior = base.get(tuple(labels))
+            if prior is None:
+                samples.append([labels, _copy_sample(sample)])
+                continue
+            counts = [
+                max(0, count - prior["counts"][i])
+                for i, count in enumerate(sample["counts"])
+            ]
+            count = max(0, sample["count"] - prior["count"])
+            if count:
+                samples.append(
+                    [
+                        labels,
+                        {
+                            "counts": counts,
+                            "sum": max(0.0, sample["sum"] - prior["sum"]),
+                            "count": count,
+                        },
+                    ]
+                )
+        if samples:
+            delta["histograms"][name] = {**entry, "samples": samples}
+    return delta
+
+
+# ----------------------------------------------------------------------
+# process-wide default + the shared always-off registry
+# ----------------------------------------------------------------------
+_global_registry = MetricsRegistry()
+_disabled_registry = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _global_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide default (returns the new one).
+
+    Forked workers install a fresh registry at init so chunk deltas
+    do not re-ship the parent's pre-fork samples.
+    """
+    global _global_registry
+    _global_registry = registry
+    return registry
+
+
+def disabled_registry() -> MetricsRegistry:
+    """A shared registry that is permanently off (the no-op sink)."""
+    return _disabled_registry

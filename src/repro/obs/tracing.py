@@ -1,0 +1,181 @@
+"""Lightweight per-query tracing.
+
+A :class:`Tracer` produces :class:`Span` records for the full query path
+(nlp → ne → ns, cache hit/miss, pruned vs exhaustive vs degraded) and
+retains the most recent completed root spans in a ring buffer, exposed by
+the server's ``/stats`` endpoint and the CLI's ``search --stats``.
+
+Spans nest through a thread-local stack (the HTTP server is threaded):
+``tracer.span(...)`` inside an active span attaches a child.  Stage
+timings flow in from :class:`repro.utils.timing.TimingBreakdown` — a
+breakdown linked to a span forwards every ``add`` as a stage record, so
+the long-standing NLP/NE/NS component timings *are* the span's stages
+(same clock, same numbers, one instrumentation point).
+
+When the tracer is disabled, :meth:`Tracer.span` returns a shared no-op
+span whose methods do nothing, so instrumented code needs no branches.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable
+
+
+class Span:
+    """One timed operation: attributes, stage timings, child spans."""
+
+    __slots__ = (
+        "name",
+        "start",
+        "duration",
+        "attributes",
+        "stages",
+        "children",
+        "_tracer",
+    )
+
+    def __init__(
+        self, tracer: "Tracer | None", name: str, attributes: dict[str, Any]
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.start = 0.0
+        self.duration = 0.0
+        self.attributes = attributes
+        self.stages: dict[str, float] = {}
+        self.children: list[Span] = []
+
+    def __bool__(self) -> bool:
+        return True
+
+    def annotate(self, key: str, value: Any) -> None:
+        """Attach one attribute (overwrites an existing key)."""
+        self.attributes[key] = value
+
+    def record_stage(self, component: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of work into a named stage."""
+        self.stages[component] = self.stages.get(component, 0.0) + seconds
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        if tracer is not None:
+            self.start = tracer._clock()
+            tracer._push(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        tracer = self._tracer
+        if tracer is not None:
+            self.duration = tracer._clock() - self.start
+            tracer._pop(self)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able trace record (durations in milliseconds)."""
+        record: dict[str, Any] = {
+            "name": self.name,
+            "duration_ms": self.duration * 1000.0,
+        }
+        if self.attributes:
+            record["attributes"] = dict(self.attributes)
+        if self.stages:
+            record["stages_ms"] = {
+                stage: seconds * 1000.0
+                for stage, seconds in self.stages.items()
+            }
+        if self.children:
+            record["children"] = [child.to_dict() for child in self.children]
+        return record
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def annotate(self, key: str, value: Any) -> None:
+        pass
+
+    def record_stage(self, component: str, seconds: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Creates spans and retains the last ``capacity`` completed roots."""
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        enabled: "Callable[[], bool] | bool" = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._capacity = capacity
+        self._enabled = enabled
+        self._clock = clock
+        self._records: deque[dict[str, Any]] = deque(maxlen=max(1, capacity))
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether spans record (may be delegated to a registry switch)."""
+        flag = self._enabled
+        return flag() if callable(flag) else bool(flag)
+
+    def span(self, name: str, **attributes: Any) -> "Span | _NullSpan":
+        """A context manager timing one operation (no-op when disabled)."""
+        if not self.enabled or self._capacity <= 0:
+            return NULL_SPAN
+        return Span(self, name, attributes)
+
+    @property
+    def current(self) -> "Span | None":
+        """The innermost active span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return
+        # Unwind to this span (defensive against mismatched exits).
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        if not stack:
+            with self._lock:
+                self._records.append(span.to_dict())
+
+    def records(self) -> list[dict[str, Any]]:
+        """The retained trace records, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        """Drop every retained record."""
+        with self._lock:
+            self._records.clear()

@@ -17,10 +17,19 @@ import multiprocessing
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any
 
+import time
+
 from repro.core.cache import CacheStats, CachingEmbedder
 from repro.core.document_embedding import SegmentEmbedder, iter_group_sources
 from repro.core.lcag import SearchStats
 from repro.nlp.pipeline import NlpPipeline
+from repro.obs.instruments import embed_histogram
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    set_registry,
+)
 from repro.reliability import faults
 from repro.parallel.tasks import (
     EmbedChunkResult,
@@ -68,13 +77,25 @@ def attach_search_sink(embedder: SegmentEmbedder) -> SearchStats | None:
 _PIPELINE: NlpPipeline | None = None
 _EMBEDDER: SegmentEmbedder | None = None
 _SINK: SearchStats | None = None
+_REGISTRY: MetricsRegistry | None = None
+_EMBED_HIST: Histogram | None = None
 
 
-def _init_worker(pipeline: NlpPipeline, embedder: SegmentEmbedder) -> None:
-    global _PIPELINE, _EMBEDDER, _SINK
+def _init_worker(
+    pipeline: NlpPipeline,
+    embedder: SegmentEmbedder,
+    metrics_enabled: bool = True,
+) -> None:
+    global _PIPELINE, _EMBEDDER, _SINK, _REGISTRY, _EMBED_HIST
     _PIPELINE = pipeline
     _EMBEDDER = embedder
     _SINK = attach_search_sink(embedder)
+    # A fresh worker-local registry: the fork inherited the parent's
+    # default registry *with its accumulated samples*, and shipping those
+    # back would double-count.  Installing a fresh one also isolates the
+    # worker from any engine-bound collectors that crossed the fork.
+    _REGISTRY = set_registry(MetricsRegistry(enabled=metrics_enabled))
+    _EMBED_HIST = embed_histogram(_REGISTRY) if metrics_enabled else None
 
 
 def _run_nlp_chunk(tasks: list[NlpTask]) -> list[NlpOutcome]:
@@ -103,10 +124,26 @@ def _run_embed_chunk(tasks: list[EmbedTask]) -> EmbedChunkResult:
     cache_before = CacheStats()
     if isinstance(_EMBEDDER, CachingEmbedder):
         cache_before.merge(_EMBEDDER.stats)
+    metrics_before = (
+        _REGISTRY.snapshot(run_collectors=False)
+        if _REGISTRY is not None and _REGISTRY.enabled
+        else None
+    )
     result = EmbedChunkResult()
     for task in tasks:
-        result.outcomes.append(
-            EmbedOutcome(task.index, _EMBEDDER.embed(task.label_sources))
+        if _EMBED_HIST is not None:
+            embed_start = time.perf_counter()
+            result.outcomes.append(
+                EmbedOutcome(task.index, _EMBEDDER.embed(task.label_sources))
+            )
+            _EMBED_HIST.observe(time.perf_counter() - embed_start)
+        else:
+            result.outcomes.append(
+                EmbedOutcome(task.index, _EMBEDDER.embed(task.label_sources))
+            )
+    if metrics_before is not None:
+        result.metrics = diff_snapshots(
+            metrics_before, _REGISTRY.snapshot(run_collectors=False)
         )
     if _SINK is not None:
         result.search = SearchStats(
@@ -136,6 +173,7 @@ class WorkerPool:
         embedder: SegmentEmbedder,
         workers: int,
         chunk_size: int = 32,
+        metrics_enabled: bool = True,
     ) -> None:
         if workers < 2:
             raise ValueError("WorkerPool needs at least 2 workers")
@@ -145,6 +183,7 @@ class WorkerPool:
         self._embedder = embedder
         self._workers = workers
         self._chunk_size = max(1, chunk_size)
+        self._metrics_enabled = metrics_enabled
         self._pool = self._make_pool()
 
     def _make_pool(self) -> ProcessPoolExecutor:
@@ -152,7 +191,7 @@ class WorkerPool:
             max_workers=self._workers,
             mp_context=multiprocessing.get_context("fork"),
             initializer=_init_worker,
-            initargs=(self._pipeline, self._embedder),
+            initargs=(self._pipeline, self._embedder, self._metrics_enabled),
         )
 
     def __enter__(self) -> "WorkerPool":
@@ -202,7 +241,12 @@ class WorkerPool:
     def map_embed(
         self, tasks: list[EmbedTask]
     ) -> tuple[list[EmbedOutcome], SearchStats, CacheStats]:
-        """Run every ``G*`` search; returns outcomes + merged counters."""
+        """Run every ``G*`` search; returns outcomes + merged counters.
+
+        Worker metrics deltas (``EmbedChunkResult.metrics``) are not
+        surfaced here; callers that need them should collect the chunk
+        results themselves (the resilient indexing loop does).
+        """
         outcomes: list[EmbedOutcome] = []
         search = SearchStats()
         cache = CacheStats()

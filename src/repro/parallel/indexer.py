@@ -19,6 +19,7 @@ group mapping.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, TypeVar
@@ -161,11 +162,17 @@ def _embed_chunk_in_parent(
     if target is not None:
         target.stats_sink = local
     result = EmbedChunkResult()
+    obs = engine.observability
     try:
         for task in chunk:
-            result.outcomes.append(
-                EmbedOutcome(task.index, embedder.embed(task.label_sources))
-            )
+            # Observe directly into the engine's registry (this runs in
+            # the parent); result.metrics stays None so the merge stage
+            # cannot double-count the samples.
+            embed_start = time.perf_counter() if obs.enabled else 0.0
+            graph = embedder.embed(task.label_sources)
+            if obs.enabled:
+                obs.embed_seconds.observe(time.perf_counter() - embed_start)
+            result.outcomes.append(EmbedOutcome(task.index, graph))
     finally:
         if target is not None:
             target.stats_sink = previous
@@ -211,11 +218,18 @@ def index_corpus_parallel(
             previous = target.stats_sink if target is not None else None
             if target is not None:
                 target.stats_sink = local
+            obs = engine.observability
             try:
-                graphs = [
-                    embedder.embed(sources)
-                    for sources in plan.unique_sources
-                ]
+                graphs = []
+                for sources in plan.unique_sources:
+                    embed_start = (
+                        time.perf_counter() if obs.enabled else 0.0
+                    )
+                    graphs.append(embedder.embed(sources))
+                    if obs.enabled:
+                        obs.embed_seconds.observe(
+                            time.perf_counter() - embed_start
+                        )
             finally:
                 if target is not None:
                     target.stats_sink = previous
@@ -239,7 +253,11 @@ def index_corpus_parallel(
     nlp_in_pool = config.parallel_nlp
     resilience = _PoolResilience()
     with WorkerPool(
-        engine.pipeline, engine.embedder, count, config.parallel_chunk_size
+        engine.pipeline,
+        engine.embedder,
+        count,
+        config.parallel_chunk_size,
+        metrics_enabled=engine.observability.enabled,
     ) as pool:
         with timing.measure("nlp"):
             if nlp_in_pool:
@@ -270,9 +288,15 @@ def index_corpus_parallel(
             )
             embed_outcomes = []
             search = SearchStats()
+            registry = engine.metrics_registry
             for chunk_result in embed_results:
                 embed_outcomes.extend(chunk_result.outcomes)
                 search.merge(chunk_result.search)
+                # Fold the worker's registry delta (embed-latency samples)
+                # into the engine's registry; chunks run serially in the
+                # parent leave this None because they observed directly.
+                if chunk_result.metrics is not None:
+                    registry.merge(chunk_result.metrics)
     graphs = [None] * plan.num_unique
     for outcome in embed_outcomes:
         graphs[outcome.index] = outcome.graph

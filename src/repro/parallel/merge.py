@@ -63,6 +63,22 @@ class IndexReport:
         """Fraction of group instances served by the dedup planner."""
         return self.dedup.hit_rate
 
+    def as_dict(self) -> dict[str, object]:
+        """A JSON-able view (stats endpoint / CLI reporting helper)."""
+        return {
+            "indexed": self.indexed,
+            "skipped": len(self.skipped),
+            "workers": self.workers,
+            "nlp_parallel": self.nlp_parallel,
+            "total_groups": self.total_groups,
+            "unique_groups": self.unique_groups,
+            "dedup": self.dedup.as_dict(),
+            "search": self.search.as_dict(),
+            "worker_retries": self.worker_retries,
+            "pool_rebuilds": self.pool_rebuilds,
+            "serial_fallback_chunks": self.serial_fallback_chunks,
+        }
+
 
 def merge_into_engine(
     engine: "NewsLinkEngine",

@@ -61,6 +61,11 @@ class EmbedChunkResult:
     outcomes: list[EmbedOutcome] = field(default_factory=list)
     search: SearchStats = field(default_factory=SearchStats)
     cache: CacheStats = field(default_factory=CacheStats)
+    #: Metrics-registry delta recorded while running this chunk (the
+    #: worker's ``diff_snapshots`` between chunk entry and exit), or
+    #: ``None`` when worker metrics are disabled.  The parent folds it
+    #: into the engine's registry via ``MetricsRegistry.merge``.
+    metrics: dict | None = None
 
 
 def chunked(items: list, size: int) -> list[list]:

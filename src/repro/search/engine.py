@@ -17,6 +17,7 @@ import gzip
 import io
 import json
 import os
+import time
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, replace
@@ -49,6 +50,8 @@ from repro.errors import (
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.label_index import LabelIndex
 from repro.nlp.pipeline import NlpPipeline, ProcessedDocument
+from repro.obs import EngineInstruments, disabled_registry, get_registry
+from repro.obs.metrics import MetricsRegistry
 from repro.reliability import faults
 from repro.utils.deadline import Deadline
 from repro.search.analyzer import Analyzer
@@ -110,9 +113,22 @@ class NewsLinkEngine:
         graph: KnowledgeGraph,
         config: EngineConfig | None = None,
         label_index: LabelIndex | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self._graph = graph
         self._config = config or EngineConfig()
+        # Observability: metrics + tracing bind to an explicit registry,
+        # the process-wide default, or (metrics_enabled=False) the shared
+        # permanently-off registry, in that order of preference.
+        if registry is None:
+            registry = (
+                get_registry()
+                if self._config.metrics_enabled
+                else disabled_registry()
+            )
+        self._obs = EngineInstruments(
+            registry, trace_capacity=self._config.trace_capacity
+        )
         self._label_index = label_index or LabelIndex(graph)
         self._pipeline = NlpPipeline(
             self._label_index,
@@ -158,6 +174,11 @@ class NewsLinkEngine:
             str, tuple[ProcessedDocument, DocumentEmbedding]
         ] = OrderedDict()
         self._last_index_report: "IndexReport | None" = None
+        # The KG version the engine's derived caches (query-embedding
+        # LRU, segment cache) were populated under; a mismatch flushes
+        # them (see _sync_graph_version).
+        self._graph_version_seen = graph.version
+        self._obs.bind(self)
 
     # ------------------------------------------------------------------
     # accessors
@@ -230,6 +251,16 @@ class NewsLinkEngine:
         return self._last_index_report
 
     @property
+    def observability(self) -> EngineInstruments:
+        """The engine's metric handles + tracer (see :mod:`repro.obs`)."""
+        return self._obs
+
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """The registry this engine publishes into."""
+        return self._obs.registry
+
+    @property
     def num_indexed(self) -> int:
         """Number of indexed documents."""
         return self._text_index.num_docs
@@ -245,6 +276,38 @@ class NewsLinkEngine:
         """True when ``doc_id`` was indexed with a non-empty embedding."""
         return doc_id in self._embeddings
 
+    def _sync_graph_version(self) -> None:
+        """Flush KG-derived caches when the graph has been mutated.
+
+        The query-embedding LRU and the segment-embedding cache both
+        hold ``G*`` results computed against a specific graph state; the
+        graph's monotonic ``version`` counter detects mutation, and a
+        mismatch flushes them so no stale embedding is ever served.
+        (Stored *document* embeddings are intentionally untouched:
+        re-embedding an indexed corpus is an explicit re-index, not a
+        cache concern — see ``docs/observability.md``.)
+        """
+        version = self._graph.version
+        if version == self._graph_version_seen:
+            return
+        self._graph_version_seen = version
+        obs = self._obs
+        if self._query_cache:
+            self._query_cache.clear()
+            if obs.enabled:
+                obs.cache_invalidations.inc(cache="query")
+        from repro.core.cache import CachingEmbedder
+
+        target = self._embedder
+        seen: set[int] = set()
+        while target is not None and id(target) not in seen:
+            seen.add(id(target))
+            if isinstance(target, CachingEmbedder) and target.size:
+                target.clear()
+                if obs.enabled:
+                    obs.cache_invalidations.inc(cache="segment")
+            target = getattr(target, "inner", None)
+
     # ------------------------------------------------------------------
     # index building (§VI)
     # ------------------------------------------------------------------
@@ -259,13 +322,18 @@ class NewsLinkEngine:
         be found — the paper filters such documents from the corpus
         (§VII-A2).
         """
+        self._sync_graph_version()
         timing = timing or TimingBreakdown()
+        obs = self._obs
         with timing.measure("nlp"):
             processed = self._pipeline.process(document.text, document.doc_id)
         with timing.measure("ne"):
             if faults.ACTIVE:
                 faults.fire("engine.embed_document")
+            embed_start = time.perf_counter() if obs.enabled else 0.0
             embedding = embed_document(processed, self._embedder)
+            if obs.enabled:
+                obs.embed_seconds.observe(time.perf_counter() - embed_start)
         if embedding.is_empty:
             return False
         with timing.measure("ns"):
@@ -338,6 +406,7 @@ class NewsLinkEngine:
         search loops — raises
         :class:`~repro.errors.DeadlineExpiredError`.
         """
+        self._sync_graph_version()
         timing = timing or TimingBreakdown()
         with timing.measure("nlp"):
             processed = self._pipeline.process(text, "__query__")
@@ -362,12 +431,23 @@ class NewsLinkEngine:
     ) -> tuple[ProcessedDocument, DocumentEmbedding]:
         """:meth:`process_query` behind a small LRU.
 
-        Queries depend only on the pipeline and graph — never on the index
-        contents — so entries need no invalidation.  ``search`` followed by
-        k ``explain*`` calls for the same query costs one embedding.  On a
+        Queries depend only on the pipeline and graph — never on the
+        index contents — so entries are invalidated exactly when the
+        graph mutates (:meth:`_sync_graph_version` flushes the LRU on a
+        ``KnowledgeGraph.version`` change).  ``search`` followed by k
+        ``explain*`` calls for the same query costs one embedding.  On a
         hit, zero-duration nlp/ne entries keep timing breakdowns shaped
         the same as on a miss.
+
+        **Deadline contract:** a cache hit deliberately never consults
+        ``deadline``.  The budget exists to bound the *expensive* NE
+        stage; the cached path costs one dict lookup, so serving full
+        (non-degraded) results is strictly better than degrading — even
+        when the deadline is already expired on entry.  Tested in
+        ``tests/search/test_deadline_cache_contract.py``.
         """
+        self._sync_graph_version()
+        obs = self._obs
         limit = self._config.query_cache_size
         if limit:
             state = self._query_cache.get(text)
@@ -376,7 +456,17 @@ class NewsLinkEngine:
                 if timing is not None:
                     timing.add("nlp", 0.0)
                     timing.add("ne", 0.0)
+                if obs.enabled:
+                    obs.query_cache_lookups.inc(result="hit")
+                    span = obs.tracer.current
+                    if span is not None:
+                        span.annotate("query_cache", "hit")
                 return state
+        if obs.enabled and limit:
+            obs.query_cache_lookups.inc(result="miss")
+            span = obs.tracer.current
+            if span is not None:
+                span.annotate("query_cache", "miss")
         if deadline is None:
             state = self.process_query(text, timing=timing)
         else:
@@ -411,9 +501,55 @@ class NewsLinkEngine:
         instead of failing: the embedding is abandoned, ranking falls
         back to the text (BOW) channel alone, and every returned result
         carries ``degraded=True`` plus the reason.  An expired deadline
-        never raises out of this method.
+        never raises out of this method.  A query-embedding cache hit
+        intentionally bypasses the deadline check entirely — the cached
+        path is cheap, so an already-expired budget still returns full
+        non-degraded results (see :meth:`_query_state`).
+
+        When metrics are enabled the whole call runs under a ``query``
+        span (stages nlp/ne/ns, cache and serving-path attributes) and
+        publishes per-stage latency histograms; when disabled the cost
+        is a single branch.
         """
         timing = timing or TimingBreakdown()
+        obs = self._obs
+        if not obs.enabled:
+            return self._search_impl(text, k, timing, beta, ranking, deadline_ms)
+        stage_totals_before = dict(timing.totals)
+        start = time.perf_counter()
+        with obs.tracer.span("query", query=text, k=k) as span:
+            previous_span = timing.span
+            if span:
+                timing.span = span
+            try:
+                results = self._search_impl(
+                    text, k, timing, beta, ranking, deadline_ms
+                )
+            finally:
+                timing.span = previous_span
+            if span:
+                span.annotate("results", len(results))
+                if results and results[0].degraded:
+                    span.annotate("degraded_reason", results[0].degraded_reason)
+        duration = time.perf_counter() - start
+        obs.query_latency.observe(duration, stage="total")
+        for component in ("nlp", "ne", "ns"):
+            delta = timing.totals.get(component, 0.0) - stage_totals_before.get(
+                component, 0.0
+            )
+            obs.query_latency.observe(delta, stage=component)
+        return results
+
+    def _search_impl(
+        self,
+        text: str,
+        k: int,
+        timing: TimingBreakdown,
+        beta: float | None,
+        ranking: str | None,
+        deadline_ms: float | None,
+    ) -> list[SearchResult]:
+        """The uninstrumented serving path (see :meth:`search`)."""
         budget = self._config.deadline_ms if deadline_ms is None else deadline_ms
         if budget is None:
             _, query_embedding = self._query_state(text, timing=timing)
@@ -448,10 +584,19 @@ class NewsLinkEngine:
         with timing.measure("ns"):
             results = self._rank(text, empty, k, 0.0, ranking)
         self._query_stats.merge(QueryStats(degraded_queries=1))
+        self._annotate_path("degraded")
         return [
             replace(result, degraded=True, degraded_reason=reason)
             for result in results
         ]
+
+    def _annotate_path(self, path: str) -> None:
+        """Tag the active query span with the serving path taken."""
+        obs = self._obs
+        if obs.enabled:
+            span = obs.tracer.current
+            if span is not None:
+                span.annotate("path", path)
 
     def search_with_embedding(
         self,
@@ -503,6 +648,7 @@ class NewsLinkEngine:
         )
         hits, stats = self._fused_ranker.top_k(bow_query, bon_query, k, fusion)
         self._query_stats.merge(stats)
+        self._annotate_path("pruned")
         return [
             SearchResult(
                 doc_id=hit.doc_id,
@@ -543,6 +689,7 @@ class NewsLinkEngine:
                 candidates_examined=len(fused),
             )
         )
+        self._annotate_path("exhaustive")
         return [
             SearchResult(
                 doc_id=doc_id,

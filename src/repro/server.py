@@ -10,6 +10,11 @@ engine the corresponding service surface using only the standard library:
   ``degraded`` instead of failing)
 * ``GET /explain?q=...&doc=<doc_id>``     — shared entities + paths
 * ``GET /document?id=<doc_id>``           — the stored raw text
+* ``GET /metrics``                        — Prometheus text exposition
+  (the unified registry: latency histograms, cache hit/miss, degraded
+  and G* counters; see ``docs/observability.md``)
+* ``GET /stats``                          — the same registry as JSON,
+  plus the raw stats silos and the most recent query traces
 
 Error mapping: client mistakes (bad parameters, malformed values,
 configuration/data errors) are 400, unknown documents are 404, and any
@@ -36,6 +41,11 @@ from repro.errors import (
     DataError,
     DocumentNotIndexedError,
     ReproError,
+)
+from repro.obs import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_json,
+    render_prometheus,
 )
 from repro.search.engine import NewsLinkEngine
 
@@ -96,6 +106,25 @@ def _document_payload(engine: NewsLinkEngine, params: dict) -> dict:
     return {"doc_id": doc_id, "text": engine.document_text(doc_id)}
 
 
+def _stats_payload(engine: NewsLinkEngine) -> dict:
+    """The registry plus the raw stats silos as one JSON document."""
+    snapshot = engine.metrics_registry.snapshot()
+    body: dict = {
+        "indexed": engine.num_indexed,
+        "query_stats": engine.query_stats.as_dict(),
+        "search_stats": engine.search_stats.as_dict(),
+        "metrics": render_json(snapshot),
+        "traces": engine.observability.tracer.records(),
+    }
+    cache = engine.cache_stats
+    if cache is not None:
+        body["segment_cache"] = cache.as_dict()
+    report = engine.last_index_report
+    if report is not None:
+        body["index_report"] = report.as_dict()
+    return body
+
+
 class _BadRequest(Exception):
     pass
 
@@ -126,6 +155,16 @@ def make_handler(engine: NewsLinkEngine) -> type[BaseHTTPRequestHandler]:
                     body = _explain_payload(engine, params)
                 elif parsed.path == "/document":
                     body = _document_payload(engine, params)
+                elif parsed.path == "/metrics":
+                    snapshot = engine.metrics_registry.snapshot()
+                    self._reply_text(
+                        200,
+                        render_prometheus(snapshot),
+                        PROMETHEUS_CONTENT_TYPE,
+                    )
+                    return
+                elif parsed.path == "/stats":
+                    body = _stats_payload(engine)
                 else:
                     self._reply(404, {"error": f"unknown path {parsed.path}"})
                     return
@@ -160,8 +199,18 @@ def make_handler(engine: NewsLinkEngine) -> type[BaseHTTPRequestHandler]:
 
         def _reply(self, status: int, body: dict) -> None:
             data = json.dumps(body).encode("utf-8")
+            self._reply_bytes(status, data, "application/json")
+
+        def _reply_text(
+            self, status: int, text: str, content_type: str
+        ) -> None:
+            self._reply_bytes(status, text.encode("utf-8"), content_type)
+
+        def _reply_bytes(
+            self, status: int, data: bytes, content_type: str
+        ) -> None:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
             self.end_headers()
             self.wfile.write(data)

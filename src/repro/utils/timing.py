@@ -4,6 +4,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracing import Span
 
 
 class Stopwatch:
@@ -33,15 +37,24 @@ class TimingBreakdown:
 
     Used by :mod:`repro.eval.timing` to produce the paper's component
     breakdowns (NLP / NE / NS).
+
+    A breakdown can be *span-backed*: linking a
+    :class:`repro.obs.tracing.Span` via :attr:`span` forwards every
+    ``add`` as a stage record on that span, so the trace's nlp/ne/ns
+    stage timings are the exact numbers the breakdown accumulates — one
+    clock, one instrumentation point, two views.
     """
 
     totals: dict[str, float] = field(default_factory=dict)
     counts: dict[str, int] = field(default_factory=dict)
+    span: "Span | None" = None
 
     def add(self, component: str, seconds: float) -> None:
         """Record ``seconds`` of work attributed to ``component``."""
         self.totals[component] = self.totals.get(component, 0.0) + seconds
         self.counts[component] = self.counts.get(component, 0) + 1
+        if self.span is not None:
+            self.span.record_stage(component, seconds)
 
     def measure(self, component: str) -> "_MeasureContext":
         """Return a context manager that times its body into ``component``."""

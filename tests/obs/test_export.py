@@ -1,0 +1,158 @@
+"""Prometheus/JSON exporters and the text-format validator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_json,
+    render_prometheus,
+    validate_prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    queries = registry.counter(
+        "newslink_queries_total", "Queries by path", labelnames=("path",)
+    )
+    queries.inc(3, path="pruned")
+    queries.inc(1, path="degraded")
+    registry.gauge("newslink_indexed_documents", "Indexed docs").set(42)
+    hist = registry.histogram(
+        "newslink_query_latency_seconds",
+        "Latency",
+        labelnames=("stage",),
+        buckets=(0.01, 0.1, 1.0),
+    )
+    for value in (0.005, 0.05, 0.5, 5.0):
+        hist.observe(value, stage="total")
+    return registry
+
+
+class TestRenderPrometheus:
+    def test_round_trips_through_the_validator(self) -> None:
+        text = render_prometheus(_sample_registry().snapshot())
+        metrics = validate_prometheus_text(text)
+        assert metrics["newslink_queries_total"]["type"] == "counter"
+        assert metrics["newslink_indexed_documents"]["type"] == "gauge"
+        assert (
+            metrics["newslink_query_latency_seconds"]["type"] == "histogram"
+        )
+
+    def test_counter_lines(self) -> None:
+        text = render_prometheus(_sample_registry().snapshot())
+        assert '# TYPE newslink_queries_total counter' in text
+        assert 'newslink_queries_total{path="pruned"} 3' in text
+        assert 'newslink_queries_total{path="degraded"} 1' in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self) -> None:
+        text = render_prometheus(_sample_registry().snapshot())
+        assert (
+            'newslink_query_latency_seconds_bucket'
+            '{stage="total",le="0.01"} 1' in text
+        )
+        assert (
+            'newslink_query_latency_seconds_bucket'
+            '{stage="total",le="1"} 3' in text
+        )
+        assert (
+            'newslink_query_latency_seconds_bucket'
+            '{stage="total",le="+Inf"} 4' in text
+        )
+        assert 'newslink_query_latency_seconds_count{stage="total"} 4' in text
+
+    def test_label_values_escaped(self) -> None:
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", labelnames=("q",))
+        counter.inc(q='say "hi"\nthere\\')
+        text = render_prometheus(registry.snapshot())
+        metrics = validate_prometheus_text(text)
+        ((_, labels, value),) = metrics["c_total"]["samples"]
+        assert value == 1.0
+        assert "q" in labels
+
+    def test_empty_snapshot_renders_empty(self) -> None:
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+        assert validate_prometheus_text("") == {}
+
+    def test_content_type_constant(self) -> None:
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+
+class TestRenderJson:
+    def test_flat_counter_and_gauge_view(self) -> None:
+        view = render_json(_sample_registry().snapshot())
+        assert view["counters"]['newslink_queries_total{path="pruned"}'] == 3
+        assert view["gauges"]["newslink_indexed_documents"] == 42
+
+    def test_histogram_summary(self) -> None:
+        view = render_json(_sample_registry().snapshot())
+        hist = view["histograms"][
+            'newslink_query_latency_seconds{stage="total"}'
+        ]
+        assert hist["count"] == 4
+        assert hist["sum"] == pytest.approx(5.555)
+        assert hist["mean"] == pytest.approx(5.555 / 4)
+        assert hist["buckets"] == [1, 1, 1, 1]
+        assert hist["bucket_bounds"] == [0.01, 0.1, 1.0]
+
+
+class TestValidator:
+    def test_rejects_sample_before_type(self) -> None:
+        with pytest.raises(ValueError, match="precedes its TYPE"):
+            validate_prometheus_text("foo_total 1\n")
+
+    def test_rejects_malformed_type_line(self) -> None:
+        with pytest.raises(ValueError, match="malformed TYPE"):
+            validate_prometheus_text("# TYPE foo banana\n")
+
+    def test_rejects_duplicate_type(self) -> None:
+        text = "# TYPE a counter\n# TYPE a counter\n"
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            validate_prometheus_text(text)
+
+    def test_rejects_non_numeric_value(self) -> None:
+        text = "# TYPE a counter\na NaNana\n"
+        with pytest.raises(ValueError, match="non-numeric"):
+            validate_prometheus_text(text)
+
+    def test_rejects_malformed_labels(self) -> None:
+        text = '# TYPE a counter\na{path=pruned} 1\n'
+        with pytest.raises(ValueError, match="malformed label"):
+            validate_prometheus_text(text)
+
+    def test_rejects_non_cumulative_histogram(self) -> None:
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_count 3\n"
+        )
+        with pytest.raises(ValueError, match="not cumulative"):
+            validate_prometheus_text(text)
+
+    def test_rejects_missing_inf_bucket(self) -> None:
+        text = "# TYPE h histogram\n" 'h_bucket{le="1"} 1\n' "h_count 1\n"
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            validate_prometheus_text(text)
+
+    def test_rejects_inf_bucket_count_mismatch(self) -> None:
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 2\n'
+            "h_count 3\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            validate_prometheus_text(text)
+
+    def test_accepts_inf_values(self) -> None:
+        text = "# TYPE g gauge\ng +Inf\n"
+        metrics = validate_prometheus_text(text)
+        ((_, _, value),) = metrics["g"]["samples"]
+        assert value == math.inf

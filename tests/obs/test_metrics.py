@@ -1,0 +1,283 @@
+"""Unit + property tests for the metrics registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    diff_snapshots,
+    disabled_registry,
+    get_registry,
+    merge_snapshots,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self) -> None:
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.0)
+        assert counter.value() == 3.0
+
+    def test_labels_partition_samples(self) -> None:
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", labelnames=("path",))
+        counter.inc(path="pruned")
+        counter.inc(path="pruned")
+        counter.inc(path="degraded")
+        assert counter.value(path="pruned") == 2.0
+        assert counter.value(path="degraded") == 1.0
+        assert counter.value(path="exhaustive") == 0.0
+
+    def test_wrong_labels_rejected(self) -> None:
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", labelnames=("path",))
+        with pytest.raises(ValueError):
+            counter.inc()
+        with pytest.raises(ValueError):
+            counter.inc(stage="x")
+
+    def test_disabled_registry_records_nothing(self) -> None:
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c_total")
+        counter.inc()
+        counter.set(9.0)
+        assert counter.value() == 0.0
+        snap = registry.snapshot()
+        assert snap["counters"]["c_total"]["samples"] == []
+
+    def test_enable_disable_toggle(self) -> None:
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        registry.disable()
+        counter.inc()
+        registry.enable()
+        counter.inc()
+        assert counter.value() == 1.0
+
+
+class TestHistogram:
+    def test_observe_buckets(self) -> None:
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        sample = hist.sample()
+        assert sample == {
+            "counts": [1, 1, 1, 1],
+            "sum": 105.0,
+            "count": 4,
+        }
+
+    def test_boundary_lands_in_le_bucket(self) -> None:
+        # Prometheus buckets are "less than or equal": an observation
+        # exactly on a bound belongs to that bound's bucket.
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        assert hist.sample()["counts"] == [1, 0, 0]
+
+    def test_bad_buckets_rejected(self) -> None:
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("h2", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h3", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self) -> None:
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help")
+        second = registry.counter("c_total", "different help ignored")
+        assert first is second
+
+    def test_kind_clash_raises(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError):
+            registry.gauge("m")
+
+    def test_snapshot_is_json_able_and_deterministic(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("b_total").inc()
+        registry.counter("a_total", labelnames=("x",)).inc(x="2")
+        registry.gauge("g").set(5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a_total", "b_total"]
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_collector_runs_at_snapshot_and_can_unregister(self) -> None:
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        calls = []
+
+        def collect():
+            calls.append(1)
+            gauge.set(len(calls))
+            return False if len(calls) >= 2 else None
+
+        registry.add_collector(collect)
+        registry.snapshot()
+        registry.snapshot()
+        registry.snapshot()  # collector unregistered after 2nd run
+        assert len(calls) == 2
+        assert gauge.value() == 2.0
+
+    def test_collectors_skipped_while_disabled(self) -> None:
+        registry = MetricsRegistry(enabled=False)
+        calls = []
+        registry.add_collector(lambda: calls.append(1))
+        registry.snapshot()
+        assert calls == []
+
+    def test_reset_clears_samples_keeps_metrics(self) -> None:
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        counter.inc()
+        registry.reset()
+        assert counter.value() == 0.0
+        assert registry.counter("c_total") is counter
+
+    def test_merge_registry_counters_add_gauges_max(self) -> None:
+        left = MetricsRegistry()
+        left.counter("c_total").inc(3)
+        left.gauge("g").set(10)
+        right = MetricsRegistry()
+        right.counter("c_total").inc(4)
+        right.gauge("g").set(7)
+        left.merge(right)
+        assert left.counter("c_total").value() == 7.0
+        assert left.gauge("g").value() == 10.0
+
+    def test_merge_creates_missing_metrics(self) -> None:
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        right.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        left.merge(right)
+        assert left.histogram("h", buckets=(1.0, 2.0)).sample()["count"] == 1
+
+    def test_merge_bucket_mismatch_raises(self) -> None:
+        left = MetricsRegistry()
+        left.histogram("h", buckets=(1.0,)).observe(0.5)
+        right = MetricsRegistry()
+        right.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_diff_snapshots_ships_only_new_work(self) -> None:
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        hist = registry.histogram("h", buckets=(1.0,))
+        counter.inc(5)
+        hist.observe(0.5)
+        before = registry.snapshot()
+        counter.inc(2)
+        hist.observe(2.0)
+        delta = diff_snapshots(before, registry.snapshot())
+        assert delta["counters"]["c_total"]["samples"] == [[[], 2.0]]
+        (labels, sample), = delta["histograms"]["h"]["samples"]
+        assert sample["counts"] == [0, 1]
+        assert sample["count"] == 1
+
+    def test_diff_snapshots_empty_when_idle(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc()
+        snap = registry.snapshot()
+        delta = diff_snapshots(snap, registry.snapshot())
+        assert delta["counters"] == {}
+        assert delta["histograms"] == {}
+
+
+class TestGlobals:
+    def test_default_registry_is_process_wide(self) -> None:
+        assert get_registry() is get_registry()
+
+    def test_set_registry_swaps_default(self) -> None:
+        original = get_registry()
+        try:
+            fresh = MetricsRegistry()
+            assert set_registry(fresh) is fresh
+            assert get_registry() is fresh
+        finally:
+            set_registry(original)
+
+    def test_disabled_registry_is_shared_and_off(self) -> None:
+        assert disabled_registry() is disabled_registry()
+        assert not disabled_registry().enabled
+
+
+# ----------------------------------------------------------------------
+# Property tests: snapshot merging is associative and commutative.
+# Samples are integer-valued, so float addition is exact and the laws
+# hold with equality (the same reason SearchStats/CacheStats merges are
+# order-independent in the parallel indexer).
+# ----------------------------------------------------------------------
+
+_LABELS = st.sampled_from(["pruned", "exhaustive", "degraded"])
+_BUCKETS = (1.0, 2.0, 4.0)
+
+
+@st.composite
+def registries(draw) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", labelnames=("path",))
+    for _ in range(draw(st.integers(0, 4))):
+        counter.inc(draw(st.integers(0, 100)), path=draw(_LABELS))
+    gauge = registry.gauge("g")
+    if draw(st.booleans()):
+        gauge.set(draw(st.integers(0, 100)))
+    hist = registry.histogram("h", buckets=_BUCKETS)
+    for _ in range(draw(st.integers(0, 4))):
+        hist.observe(draw(st.integers(0, 5)))
+    return registry
+
+
+@st.composite
+def snapshots(draw) -> dict:
+    return draw(registries()).snapshot()
+
+
+@given(a=snapshots(), b=snapshots(), c=snapshots())
+@settings(max_examples=60, deadline=None)
+def test_merge_is_associative(a: dict, b: dict, c: dict) -> None:
+    left = merge_snapshots(merge_snapshots(a, b), c)
+    right = merge_snapshots(a, merge_snapshots(b, c))
+    assert left == right
+
+
+@given(a=snapshots(), b=snapshots())
+@settings(max_examples=60, deadline=None)
+def test_merge_is_commutative(a: dict, b: dict) -> None:
+    assert merge_snapshots(a, b) == merge_snapshots(b, a)
+
+
+@given(a=snapshots())
+@settings(max_examples=30, deadline=None)
+def test_empty_snapshot_is_identity(a: dict) -> None:
+    empty = MetricsRegistry().snapshot()
+    merged = merge_snapshots(a, empty)
+    # Identity up to sample presence: merging never invents samples.
+    assert merged["counters"] == a["counters"]
+    assert merged["gauges"] == a["gauges"]
+    assert merged["histograms"] == a["histograms"]
+
+
+@given(a=registries(), b=registries())
+@settings(max_examples=40, deadline=None)
+def test_registry_merge_matches_snapshot_merge(
+    a: MetricsRegistry, b: MetricsRegistry
+) -> None:
+    expected = merge_snapshots(a.snapshot(), b.snapshot())
+    a.merge(b)
+    assert a.snapshot() == expected

@@ -1,0 +1,145 @@
+"""Span/Tracer behavior: nesting, ring buffer, disabled no-ops."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.tracing import NULL_SPAN, Tracer
+from repro.utils.timing import TimingBreakdown
+
+
+def _fake_clock(times: list[float]):
+    values = iter(times)
+    return lambda: next(values)
+
+
+class TestSpan:
+    def test_records_duration_and_attributes(self) -> None:
+        tracer = Tracer(clock=_fake_clock([1.0, 3.5]))
+        with tracer.span("query", k=5) as span:
+            span.annotate("path", "pruned")
+        (record,) = tracer.records()
+        assert record["name"] == "query"
+        assert record["duration_ms"] == 2500.0
+        assert record["attributes"] == {"k": 5, "path": "pruned"}
+
+    def test_stages_accumulate(self) -> None:
+        tracer = Tracer()
+        with tracer.span("query") as span:
+            span.record_stage("ne", 0.25)
+            span.record_stage("ne", 0.25)
+        (record,) = tracer.records()
+        assert record["stages_ms"] == {"ne": 500.0}
+
+    def test_children_nest_and_only_roots_are_retained(self) -> None:
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        (record,) = tracer.records()
+        assert record["name"] == "outer"
+        assert [child["name"] for child in record["children"]] == ["inner"]
+
+    def test_current_tracks_the_stack(self) -> None:
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_exception_still_completes_the_record(self) -> None:
+        tracer = Tracer()
+        try:
+            with tracer.span("query"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert len(tracer.records()) == 1
+        assert tracer.current is None
+
+
+class TestDisabled:
+    def test_disabled_tracer_hands_out_null_span(self) -> None:
+        tracer = Tracer(enabled=False)
+        span = tracer.span("query")
+        assert span is NULL_SPAN
+        assert not span
+        with span as entered:
+            entered.annotate("k", 1)
+            entered.record_stage("ne", 1.0)
+        assert tracer.records() == []
+
+    def test_callable_enabled_flag_is_live(self) -> None:
+        state = {"on": False}
+        tracer = Tracer(enabled=lambda: state["on"])
+        assert tracer.span("a") is NULL_SPAN
+        state["on"] = True
+        with tracer.span("b"):
+            pass
+        assert [r["name"] for r in tracer.records()] == ["b"]
+
+    def test_zero_capacity_disables_span_creation(self) -> None:
+        tracer = Tracer(capacity=0)
+        assert tracer.span("query") is NULL_SPAN
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_retained_records(self) -> None:
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            with tracer.span(f"q{i}"):
+                pass
+        assert [r["name"] for r in tracer.records()] == ["q2", "q3", "q4"]
+
+    def test_clear(self) -> None:
+        tracer = Tracer()
+        with tracer.span("q"):
+            pass
+        tracer.clear()
+        assert tracer.records() == []
+
+    def test_threads_have_independent_stacks(self) -> None:
+        tracer = Tracer()
+        seen: list[str] = []
+        barrier = threading.Barrier(2)
+
+        def work(name: str) -> None:
+            with tracer.span(name) as span:
+                barrier.wait()
+                assert tracer.current is span
+                barrier.wait()
+            seen.append(name)
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Both spans are roots on their own threads: two records retained.
+        assert len(tracer.records()) == 2
+        assert sorted(seen) == ["t0", "t1"]
+
+
+class TestTimingIntegration:
+    def test_breakdown_forwards_to_linked_span(self) -> None:
+        tracer = Tracer()
+        timing = TimingBreakdown()
+        with tracer.span("query") as span:
+            timing.span = span
+            timing.add("nlp", 0.1)
+            timing.add("ne", 0.2)
+        (record,) = tracer.records()
+        assert record["stages_ms"]["nlp"] == 100.0
+        assert record["stages_ms"]["ne"] == 200.0
+        # The breakdown keeps its own totals too — same numbers.
+        assert timing.totals["nlp"] == 0.1
+
+    def test_unlinked_breakdown_records_no_stages(self) -> None:
+        timing = TimingBreakdown()
+        timing.add("nlp", 0.1)
+        assert timing.span is None

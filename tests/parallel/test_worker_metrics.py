@@ -1,0 +1,85 @@
+"""Worker-side metrics: per-chunk registry deltas fold into the parent.
+
+Forked workers inherit the parent's process-default registry with its
+accumulated samples; ``_init_worker`` installs a fresh one and each
+chunk ships a ``diff_snapshots`` delta, so the parent's merge counts
+every embed exactly once regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.data.document import Corpus, NewsDocument
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.executor import parallel_supported
+from repro.search.engine import NewsLinkEngine
+from tests.conftest import build_figure1_graph
+
+_DOCS = Corpus(
+    [
+        NewsDocument("d1", "Taliban attack in Pakistan near Peshawar."),
+        NewsDocument("d2", "Lahore and Pakistan react to the Taliban."),
+        NewsDocument("d3", "Upper Dir and Swat Valley in Pakistan."),
+        NewsDocument("d4", "Taliban attack in Pakistan near Peshawar."),
+    ]
+)
+
+
+def _embed_count(engine: NewsLinkEngine) -> int:
+    sample = engine.observability.embed_seconds.sample()
+    return sample["count"] if sample else 0
+
+
+def _indexed_engine(workers: int) -> NewsLinkEngine:
+    engine = NewsLinkEngine(
+        build_figure1_graph(),
+        EngineConfig(workers=workers),
+        registry=MetricsRegistry(),
+    )
+    engine.index_corpus(_DOCS)
+    return engine
+
+
+@pytest.mark.skipif(not parallel_supported(), reason="needs fork")
+class TestWorkerMetrics:
+    def test_parallel_embed_count_matches_serial(self) -> None:
+        serial = _indexed_engine(workers=1)
+        parallel = _indexed_engine(workers=2)
+        assert serial.num_indexed == parallel.num_indexed
+        # The serial path embeds per document; the parallel path embeds
+        # per *unique group* (the planner dedups corpus-wide), so the
+        # parallel count equals the plan's unique groups.
+        report = parallel.last_index_report
+        assert report is not None
+        assert _embed_count(parallel) == report.unique_groups
+        assert _embed_count(parallel) > 0
+
+    def test_embed_sum_is_positive(self) -> None:
+        engine = _indexed_engine(workers=2)
+        sample = engine.observability.embed_seconds.sample()
+        assert sample["sum"] > 0.0
+
+    def test_disabled_metrics_ship_no_deltas(self) -> None:
+        engine = NewsLinkEngine(
+            build_figure1_graph(),
+            EngineConfig(workers=2, metrics_enabled=False),
+        )
+        engine.index_corpus(_DOCS)
+        assert engine.num_indexed > 0
+        assert _embed_count(engine) == 0
+
+
+class TestSerialPathMetrics:
+    def test_pool_less_parallel_path_observes_in_parent(self) -> None:
+        # workers=1 runs the plan/merge pipeline without a pool when
+        # invoked through index_corpus_parallel.
+        from repro.parallel.indexer import index_corpus_parallel
+
+        engine = NewsLinkEngine(
+            build_figure1_graph(), registry=MetricsRegistry()
+        )
+        report = index_corpus_parallel(engine, _DOCS, workers=1)
+        assert report.indexed > 0
+        assert _embed_count(engine) == report.unique_groups

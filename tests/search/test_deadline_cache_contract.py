@@ -1,0 +1,102 @@
+"""The deadline/cache-hit contract (documented in ``_query_state``).
+
+A query-embedding cache hit deliberately bypasses the deadline check:
+the budget exists to bound the expensive NE stage, and the cached path
+costs one dict lookup — serving full results beats degrading, even when
+the budget is already expired on entry.  These tests pin that contract
+so a refactor cannot silently flip it either way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.data.document import NewsDocument
+from repro.obs.metrics import MetricsRegistry
+from repro.search.engine import NewsLinkEngine
+from tests.conftest import build_figure1_graph
+
+_TINY_BUDGET_MS = 1e-4
+
+
+@pytest.fixture()
+def engine() -> NewsLinkEngine:
+    engine = NewsLinkEngine(build_figure1_graph(), registry=MetricsRegistry())
+    engine.index_document(
+        NewsDocument("d1", "Taliban attack in Pakistan near the border.")
+    )
+    engine.index_document(
+        NewsDocument("d2", "Lahore hosts a summit about Pakistan trade.")
+    )
+    return engine
+
+
+class TestDeadlineCacheContract:
+    def test_cache_hit_serves_full_results_despite_expired_budget(
+        self, engine: NewsLinkEngine
+    ) -> None:
+        warm = engine.search("Taliban Pakistan", k=5)  # warms the LRU
+        assert not any(r.degraded for r in warm)
+        hit = engine.search(
+            "Taliban Pakistan", k=5, deadline_ms=_TINY_BUDGET_MS
+        )
+        assert not any(r.degraded for r in hit)
+        assert [(r.doc_id, r.score) for r in hit] == [
+            (r.doc_id, r.score) for r in warm
+        ]
+
+    def test_cold_query_with_expired_budget_degrades(
+        self, engine: NewsLinkEngine
+    ) -> None:
+        results = engine.search(
+            "Taliban Pakistan", k=5, deadline_ms=_TINY_BUDGET_MS
+        )
+        assert results
+        assert all(r.degraded for r in results)
+
+    def test_degraded_miss_does_not_poison_the_cache(
+        self, engine: NewsLinkEngine
+    ) -> None:
+        # A degraded query never caches its (abandoned) embedding, so the
+        # next budgeted attempt degrades again rather than serving a
+        # half-built state...
+        first = engine.search(
+            "Taliban Pakistan", k=5, deadline_ms=_TINY_BUDGET_MS
+        )
+        assert all(r.degraded for r in first)
+        second = engine.search(
+            "Taliban Pakistan", k=5, deadline_ms=_TINY_BUDGET_MS
+        )
+        assert all(r.degraded for r in second)
+        # ...and an unbudgeted search then fills the cache properly.
+        full = engine.search("Taliban Pakistan", k=5)
+        assert not any(r.degraded for r in full)
+        after = engine.search(
+            "Taliban Pakistan", k=5, deadline_ms=_TINY_BUDGET_MS
+        )
+        assert not any(r.degraded for r in after)
+
+    def test_contract_disabled_cache_always_respects_deadline(self) -> None:
+        engine = NewsLinkEngine(
+            build_figure1_graph(),
+            EngineConfig(query_cache_size=0),
+            registry=MetricsRegistry(),
+        )
+        engine.index_document(
+            NewsDocument("d1", "Taliban attack in Pakistan near the border.")
+        )
+        engine.search("Taliban Pakistan", k=5)  # nothing is cached
+        results = engine.search(
+            "Taliban Pakistan", k=5, deadline_ms=_TINY_BUDGET_MS
+        )
+        assert all(r.degraded for r in results)
+
+    def test_cache_hit_annotated_in_trace(
+        self, engine: NewsLinkEngine
+    ) -> None:
+        engine.search("Taliban Pakistan", k=5)
+        engine.search("Taliban Pakistan", k=5, deadline_ms=_TINY_BUDGET_MS)
+        records = engine.observability.tracer.records()
+        assert records[-1]["attributes"]["query_cache"] == "hit"
+        assert records[-1]["attributes"]["path"] == "pruned"

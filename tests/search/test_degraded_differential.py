@@ -1,0 +1,92 @@
+"""Differential audit of the degraded (deadline-expired) serving path.
+
+``_search_degraded`` ranks with ``beta=0.0`` and an empty query
+embedding.  The issue under audit: does the pruned ranker produce the
+same results as the exhaustive reference in that corner (zero-weight
+node channel, no BON terms)?  These tests pin the answer — the two
+paths must be score- and order-identical, and both must equal an
+ordinary ``beta=0.0`` search modulo the degraded flags.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.document import NewsDocument
+from repro.obs.metrics import MetricsRegistry
+from repro.search.engine import NewsLinkEngine
+from tests.conftest import build_figure1_graph
+
+#: Small enough that the deadline is always expired by the time the
+#: pre-NE check runs, so every search below degrades deterministically.
+_TINY_BUDGET_MS = 1e-4
+
+_DOCS = [
+    NewsDocument("d1", "Taliban attack in Pakistan near the border."),
+    NewsDocument("d2", "Pakistan and Taliban talks continue in Peshawar."),
+    NewsDocument("d3", "Lahore hosts a summit about Pakistan trade."),
+    NewsDocument("d4", "Peshawar bazaar reopens after the Taliban threat."),
+]
+
+
+@pytest.fixture()
+def engine() -> NewsLinkEngine:
+    engine = NewsLinkEngine(build_figure1_graph(), registry=MetricsRegistry())
+    for doc in _DOCS:
+        engine.index_document(doc)
+    return engine
+
+
+def _degraded(engine: NewsLinkEngine, ranking: str, k: int = 10):
+    results = engine.search(
+        "Taliban Pakistan", k=k, ranking=ranking, deadline_ms=_TINY_BUDGET_MS
+    )
+    assert results, "expected matches"
+    assert all(r.degraded for r in results)
+    return results
+
+
+class TestDegradedDifferential:
+    def test_pruned_equals_exhaustive(self, engine: NewsLinkEngine) -> None:
+        pruned = _degraded(engine, "pruned")
+        exhaustive = _degraded(engine, "exhaustive")
+        assert [r.doc_id for r in pruned] == [r.doc_id for r in exhaustive]
+        for a, b in zip(pruned, exhaustive):
+            assert a.score == pytest.approx(b.score)
+            assert a.bow_score == pytest.approx(b.bow_score)
+            assert a.bon_score == 0.0
+            assert b.bon_score == 0.0
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 10])
+    def test_all_cutoffs_agree(self, engine: NewsLinkEngine, k: int) -> None:
+        pruned = _degraded(engine, "pruned", k=k)
+        exhaustive = _degraded(engine, "exhaustive", k=k)
+        assert [(r.doc_id, pytest.approx(r.score)) for r in pruned] == [
+            (r.doc_id, r.score) for r in exhaustive
+        ]
+
+    def test_degraded_equals_plain_text_only_search(
+        self, engine: NewsLinkEngine
+    ) -> None:
+        degraded = _degraded(engine, "pruned")
+        plain = engine.search("Taliban Pakistan", k=10, beta=0.0)
+        assert not any(r.degraded for r in plain)
+        assert [r.doc_id for r in degraded] == [r.doc_id for r in plain]
+        for a, b in zip(degraded, plain):
+            assert a.score == pytest.approx(b.score)
+
+    def test_degraded_results_are_flagged_with_reason(
+        self, engine: NewsLinkEngine
+    ) -> None:
+        results = _degraded(engine, "pruned")
+        assert all(r.degraded_reason for r in results)
+        stats = engine.query_stats
+        assert stats.degraded_queries >= 1
+
+    def test_degraded_queries_counted_per_path(
+        self, engine: NewsLinkEngine
+    ) -> None:
+        _degraded(engine, "pruned")
+        snapshot = engine.metrics_registry.snapshot()
+        queries = snapshot["counters"]["newslink_queries_total"]["samples"]
+        assert [["degraded"], 1.0] in queries

@@ -1,0 +1,141 @@
+"""Regression tests: KG mutation must invalidate query-derived caches.
+
+The engine caches query embeddings (the ``_query_state`` LRU) and —
+with ``cache_embeddings=True`` — segment embeddings, both of which are
+``G*`` results computed against a specific graph state.  Before the
+``KnowledgeGraph.version`` check these caches survived graph mutation
+and served embeddings from the old graph; these tests fail on that
+behavior and pin the fix.
+
+The mutation used throughout: the Figure 1 graph has
+``D(Taliban, Khyber) = 2`` via Waziristan and Kunar; adding a direct
+``Taliban -> Khyber`` edge shortens it to 1, which *shrinks* the query
+embedding for "Taliban Khyber" (the old path nodes drop out).  A stale
+cache keeps serving the old, larger embedding.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.cache import CachingEmbedder
+from repro.data.document import NewsDocument
+from repro.kg.types import Edge
+from repro.obs.metrics import MetricsRegistry
+from repro.search.engine import NewsLinkEngine
+from tests.conftest import build_figure1_graph
+
+QUERY = "Taliban attack in Khyber"
+
+
+def _embedding_nodes(engine: NewsLinkEngine, text: str) -> set[str]:
+    _, embedding = engine._query_state(text)
+    return set(embedding.node_counts)
+
+
+@pytest.fixture()
+def engine() -> NewsLinkEngine:
+    graph = build_figure1_graph()
+    return NewsLinkEngine(graph, registry=MetricsRegistry())
+
+
+class TestQueryCacheInvalidation:
+    def test_mutation_refreshes_cached_query_embedding(
+        self, engine: NewsLinkEngine
+    ) -> None:
+        before = _embedding_nodes(engine, QUERY)
+        assert "v1" in before  # the G* root is Waziristan (depth 1)
+        engine.graph.add_edge(Edge("v2", "v0", "operates_in"))
+        after = _embedding_nodes(engine, QUERY)
+        # The cached state must match a from-scratch embedding.
+        _, fresh = engine.process_query(QUERY)
+        assert after == set(fresh.node_counts)
+        assert "v1" not in after  # the old root is gone
+
+    def test_unchanged_graph_keeps_the_cache_warm(
+        self, engine: NewsLinkEngine
+    ) -> None:
+        engine._query_state(QUERY)
+        engine._query_state(QUERY)
+        hits = engine.metrics_registry.counter(
+            "newslink_query_cache_lookups_total", labelnames=("result",)
+        )
+        assert hits.value(result="hit") == 1.0
+
+    def test_stale_results_not_served_by_search(
+        self, engine: NewsLinkEngine
+    ) -> None:
+        # A Waziristan-only document matches the query's BON channel only
+        # through the old (length-2) Taliban->Khyber paths.
+        assert engine.index_document(
+            NewsDocument("d_waz", "Fighting reported in Waziristan.")
+        )
+        results = engine.search(QUERY, beta=1.0)
+        assert [r.doc_id for r in results] == ["d_waz"]
+        engine.graph.add_edge(Edge("v2", "v0", "operates_in"))
+        # The fresh embedding no longer contains v1, so the doc no longer
+        # matches; a stale cache would keep returning it.
+        assert engine.search(QUERY, beta=1.0) == []
+
+    def test_invalidation_is_counted(self, engine: NewsLinkEngine) -> None:
+        engine._query_state(QUERY)
+        engine.graph.add_edge(Edge("v2", "v0", "operates_in"))
+        engine._query_state(QUERY)
+        invalidations = engine.metrics_registry.counter(
+            "newslink_cache_invalidations_total", labelnames=("cache",)
+        )
+        assert invalidations.value(cache="query") == 1.0
+
+    def test_version_tracked_across_multiple_mutations(
+        self, engine: NewsLinkEngine
+    ) -> None:
+        engine._query_state(QUERY)
+        engine.graph.add_edge(Edge("v2", "v0", "operates_in"))
+        engine._query_state(QUERY)
+        engine.graph.add_edge(Edge("v4", "v0", "located_near"))
+        engine._query_state(QUERY)
+        invalidations = engine.metrics_registry.counter(
+            "newslink_cache_invalidations_total", labelnames=("cache",)
+        )
+        assert invalidations.value(cache="query") == 2.0
+
+
+class TestSegmentCacheInvalidation:
+    def test_mutation_flushes_the_segment_cache(self) -> None:
+        graph = build_figure1_graph()
+        engine = NewsLinkEngine(
+            graph,
+            EngineConfig(cache_embeddings=True),
+            registry=MetricsRegistry(),
+        )
+        assert isinstance(engine.embedder, CachingEmbedder)
+        engine._query_state(QUERY)
+        assert engine.embedder.size > 0
+        graph.add_edge(Edge("v2", "v0", "operates_in"))
+        after = _embedding_nodes(engine, QUERY)
+        _, fresh = engine.process_query(QUERY)
+        assert after == set(fresh.node_counts)
+        assert "v1" not in after
+        invalidations = engine.metrics_registry.counter(
+            "newslink_cache_invalidations_total", labelnames=("cache",)
+        )
+        assert invalidations.value(cache="segment") == 1.0
+
+    def test_indexing_after_mutation_uses_the_new_graph(self) -> None:
+        graph = build_figure1_graph()
+        engine = NewsLinkEngine(
+            graph,
+            EngineConfig(cache_embeddings=True),
+            registry=MetricsRegistry(),
+        )
+        assert engine.index_document(
+            NewsDocument("d1", "Taliban attack in Khyber.")
+        )
+        graph.add_edge(Edge("v2", "v0", "operates_in"))
+        assert engine.index_document(
+            NewsDocument("d2", "Taliban attack in Khyber again.")
+        )
+        # d1 keeps its as-indexed embedding; d2 embeds on the new graph.
+        assert "v1" in set(engine.embedding("d1").node_counts)
+        assert "v1" not in set(engine.embedding("d2").node_counts)

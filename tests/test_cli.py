@@ -130,6 +130,35 @@ class TestSearch:
         assert "score=" in output
 
 
+class TestSearchStats:
+    def test_stats_flag_prints_trace_and_counters(self, indexed_dir, capsys):
+        from repro.data.loaders import load_corpus_jsonl
+
+        corpus = load_corpus_jsonl(indexed_dir / "corpus.jsonl")
+        query = next(doc for doc in corpus if doc.topic_id).text.split(". ")[0]
+        code = main(
+            ["search", str(indexed_dir), query, "-k", "3", "--stats"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "query trace:" in output
+        assert "total" in output
+        assert "path" in output
+        assert "engine counters:" in output
+        assert "query.queries" in output
+        assert "gstar.pops" in output
+
+    def test_without_stats_flag_no_footer(self, indexed_dir, capsys):
+        from repro.data.loaders import load_corpus_jsonl
+
+        corpus = load_corpus_jsonl(indexed_dir / "corpus.jsonl")
+        query = next(doc for doc in corpus if doc.topic_id).text.split(". ")[0]
+        code = main(["search", str(indexed_dir), query, "-k", "3"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "engine counters:" not in output
+
+
 class TestEvaluate:
     def test_evaluate_prints_hits(self, generated_dir, capsys):
         code = main(["evaluate", str(generated_dir), "-k", "5"])
@@ -180,3 +209,17 @@ class TestServe:
 
         monkeypatch.setattr("repro.server.serve", fake_serve)
         assert main(["serve", str(indexed_dir)]) == 0
+
+    def test_no_metrics_flag_disables_the_registry(
+        self, indexed_dir, monkeypatch
+    ):
+        captured = {}
+
+        def fake_serve(engine, host="127.0.0.1", port=8080):
+            captured["enabled"] = engine.metrics_registry.enabled
+
+        monkeypatch.setattr("repro.server.serve", fake_serve)
+        assert main(["serve", str(indexed_dir), "--no-metrics"]) == 0
+        assert captured["enabled"] is False
+        assert main(["serve", str(indexed_dir)]) == 0
+        assert captured["enabled"] is True

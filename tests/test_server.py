@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import math
 import threading
 import urllib.error
 import urllib.request
@@ -10,6 +11,8 @@ import urllib.request
 import pytest
 
 from repro.data.document import Corpus, NewsDocument
+from repro.obs import PROMETHEUS_CONTENT_TYPE, validate_prometheus_text
+from repro.obs.metrics import MetricsRegistry
 from repro.reliability import faults
 from repro.search.engine import NewsLinkEngine
 from repro.server import make_server
@@ -122,6 +125,176 @@ class TestRouting:
     def test_unknown_path(self, server_url):
         status, _ = get_json(f"{server_url}/nope")
         assert status == 404
+
+
+@pytest.fixture()
+def metrics_server(figure1_graph):
+    """A per-test server with a private registry (exact-value asserts)."""
+    engine = NewsLinkEngine(figure1_graph, registry=MetricsRegistry())
+    engine.index_corpus(
+        Corpus(
+            [
+                NewsDocument(
+                    "t_q", "Pakistan fought Taliban in Upper Dir and Swat Valley."
+                ),
+                NewsDocument(
+                    "t_r", "Taliban bombed Lahore. Peshawar and Pakistan reacted."
+                ),
+            ]
+        )
+    )
+    server = make_server(engine, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", engine
+    server.shutdown()
+
+
+def _drive_mixed_traffic(url: str) -> None:
+    """One cache-missing query, one cache hit, one degraded query."""
+    get_json(f"{url}/search?q=Taliban+in+Pakistan&k=2")
+    get_json(f"{url}/search?q=Taliban+in+Pakistan&k=2")
+    get_json(f"{url}/search?q=Peshawar+unrest+latest&deadline_ms=0.0001")
+
+
+class TestMetricsEndpoint:
+    def test_scrape_is_valid_prometheus_text(self, metrics_server):
+        url, _ = metrics_server
+        _drive_mixed_traffic(url)
+        with urllib.request.urlopen(f"{url}/metrics", timeout=5) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+            text = response.read().decode("utf-8")
+        metrics = validate_prometheus_text(text)
+        for name in (
+            "newslink_queries_total",
+            "newslink_query_latency_seconds",
+            "newslink_query_cache_lookups_total",
+            "newslink_gstar_total",
+            "newslink_query_pruning_total",
+            "newslink_indexed_documents",
+            "newslink_kg_version",
+            "newslink_embed_seconds",
+        ):
+            assert name in metrics, f"missing {name}"
+
+    def test_counters_reflect_the_traffic(self, metrics_server):
+        url, _ = metrics_server
+        _drive_mixed_traffic(url)
+        with urllib.request.urlopen(f"{url}/metrics", timeout=5) as response:
+            metrics = validate_prometheus_text(response.read().decode("utf-8"))
+
+        def sample(base: str, **labels: str) -> float:
+            for name, got, value in metrics[base]["samples"]:
+                if name == base and got == labels:
+                    return value
+            raise AssertionError(f"no sample {base}{labels}")
+
+        assert sample("newslink_queries_total", path="degraded") == 1
+        assert sample("newslink_queries_total", path="pruned") >= 2
+        assert (
+            sample("newslink_query_cache_lookups_total", result="hit") == 1
+        )
+        assert (
+            sample("newslink_query_cache_lookups_total", result="miss") == 2
+        )
+        assert sample("newslink_indexed_documents") == 2
+
+    def test_latency_histogram_counts_every_query(self, metrics_server):
+        url, _ = metrics_server
+        _drive_mixed_traffic(url)
+        with urllib.request.urlopen(f"{url}/metrics", timeout=5) as response:
+            metrics = validate_prometheus_text(response.read().decode("utf-8"))
+        samples = metrics["newslink_query_latency_seconds"]["samples"]
+        totals = [
+            value
+            for name, labels, value in samples
+            if name.endswith("_count") and labels == {"stage": "total"}
+        ]
+        assert totals == [3]
+        inf_bucket = [
+            value
+            for name, labels, value in samples
+            if name.endswith("_bucket")
+            and labels.get("stage") == "total"
+            and labels.get("le") == "+Inf"
+        ]
+        assert inf_bucket == [3]
+
+    def test_gstar_counters_nonzero_after_indexing(self, metrics_server):
+        url, _ = metrics_server
+        with urllib.request.urlopen(f"{url}/metrics", timeout=5) as response:
+            metrics = validate_prometheus_text(response.read().decode("utf-8"))
+        pops = [
+            value
+            for _, labels, value in metrics["newslink_gstar_total"]["samples"]
+            if labels == {"counter": "pops"}
+        ]
+        assert pops and pops[0] > 0
+
+
+class TestStatsEndpoint:
+    def test_stats_view(self, metrics_server):
+        url, _ = metrics_server
+        _drive_mixed_traffic(url)
+        status, body = get_json(f"{url}/stats")
+        assert status == 200
+        assert body["indexed"] == 2
+        assert body["query_stats"]["degraded_queries"] == 1
+        assert body["search_stats"]["pops"] > 0
+        assert (
+            body["metrics"]["counters"][
+                'newslink_query_cache_lookups_total{result="hit"}'
+            ]
+            == 1
+        )
+        hist = body["metrics"]["histograms"][
+            'newslink_query_latency_seconds{stage="total"}'
+        ]
+        assert hist["count"] == 3
+        assert math.isfinite(hist["mean"])
+
+    def test_stats_exposes_recent_traces(self, metrics_server):
+        url, _ = metrics_server
+        _drive_mixed_traffic(url)
+        status, body = get_json(f"{url}/stats")
+        assert status == 200
+        traces = body["traces"]
+        assert len(traces) == 3
+        assert traces[0]["name"] == "query"
+        assert traces[0]["attributes"]["query_cache"] == "miss"
+        assert traces[1]["attributes"]["query_cache"] == "hit"
+        assert traces[2]["attributes"]["path"] == "degraded"
+        assert set(traces[0]["stages_ms"]) == {"nlp", "ne", "ns"}
+
+    def test_disabled_metrics_serve_empty_views(self, figure1_graph):
+        from repro.config import EngineConfig
+
+        engine = NewsLinkEngine(
+            figure1_graph, EngineConfig(metrics_enabled=False)
+        )
+        engine.index_corpus(
+            Corpus([NewsDocument("d", "Taliban bombed Lahore in Pakistan.")])
+        )
+        server = make_server(engine, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        try:
+            get_json(f"{url}/search?q=Taliban+Lahore")
+            with urllib.request.urlopen(
+                f"{url}/metrics", timeout=5
+            ) as response:
+                text = response.read().decode("utf-8")
+            for line in text.splitlines():
+                assert line.startswith("#"), f"unexpected sample: {line}"
+            status, body = get_json(f"{url}/stats")
+            assert status == 200
+            assert body["traces"] == []
+        finally:
+            server.shutdown()
 
 
 @pytest.fixture()

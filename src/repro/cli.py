@@ -71,8 +71,8 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("-k", type=int, default=5)
     search.add_argument("--beta", type=float, default=None)
     search.add_argument(
-        "--ranking", choices=("pruned", "exhaustive"), default=None,
-        help="query-serving path (default: engine config, 'pruned')",
+        "--ranking", choices=("auto", "pruned", "exhaustive"), default=None,
+        help="query-serving path (default: engine config, 'auto' = cost-based planner)",
     )
     search.add_argument(
         "--explain", action="store_true",

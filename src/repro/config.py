@@ -168,14 +168,24 @@ class EngineConfig:
         query_cache_size: entries of the query-embedding LRU shared by
             ``search`` and the ``explain*`` methods (0 disables), so
             explaining k results of a query costs one embedding, not k+1.
-        ranking: query-serving strategy.  ``"pruned"`` (default) serves
-            ``search`` with fused two-channel MaxScore dynamic pruning
-            (:class:`repro.search.pruned.FusedRanker`) — identical
-            results, sublinear in matching documents; ``"exhaustive"``
-            scores every matching document on both channels (the
-            reference path).  Pruned ranking falls back to exhaustive
-            when ``fusion.normalize`` is on (per-query max-normalization
+        ranking: query-serving strategy.  ``"auto"`` (default) asks the
+            cost-based planner (:class:`repro.search.planner.QueryPlanner`)
+            to pick per query between the other two strategies from
+            posting statistics — all three return identical results.
+            ``"pruned"`` always serves ``search`` with fused two-channel
+            MaxScore dynamic pruning
+            (:class:`repro.search.pruned.FusedRanker`) — sublinear in
+            matching documents; ``"exhaustive"`` scores every matching
+            document on both channels (the reference path).  Pruned and
+            auto ranking fall back to exhaustive when
+            ``fusion.normalize`` is on (per-query max-normalization
             needs full score maps).
+        pruned_backend: posting layout the pruned path runs on.
+            ``"compiled"`` (default) walks packed int/float arrays with
+            block-max skipping
+            (:mod:`repro.search.compiled_index`); ``"reference"`` walks
+            the dict-backed postings (the differential oracle).  Both
+            produce bit-identical ranked output.
         deadline_ms: per-query wall-clock budget for ``search`` (None =
             unbounded, the default).  When the budget expires during
             query embedding, the embedding is abandoned and the query is
@@ -210,7 +220,8 @@ class EngineConfig:
     parallel_nlp: bool = True
     parallel_chunk_size: int = 32
     query_cache_size: int = 64
-    ranking: str = "pruned"
+    ranking: str = "auto"
+    pruned_backend: str = "compiled"
     deadline_ms: float | None = None
     metrics_enabled: bool = True
     trace_capacity: int = 64
@@ -228,8 +239,12 @@ class EngineConfig:
         )
         _require(self.query_cache_size >= 0, "query_cache_size must be >= 0")
         _require(
-            self.ranking in ("pruned", "exhaustive"),
-            "ranking must be 'pruned' or 'exhaustive'",
+            self.ranking in ("auto", "pruned", "exhaustive"),
+            "ranking must be 'auto', 'pruned' or 'exhaustive'",
+        )
+        _require(
+            self.pruned_backend in ("compiled", "reference"),
+            "pruned_backend must be 'compiled' or 'reference'",
         )
         if self.deadline_ms is not None:
             _require(self.deadline_ms > 0, "deadline_ms must be positive when set")

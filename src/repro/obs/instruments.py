@@ -105,8 +105,14 @@ class EngineInstruments:
             "newslink_query_pruning_total",
             "Query-serving work counters from QueryStats "
             "(matching_docs, candidates_examined, docs_pruned, "
-            "postings_advanced, cursor_skips)",
+            "postings_advanced, cursor_skips, blocks_skipped)",
             labelnames=("counter",),
+        )
+        self._planner_decisions = registry.counter(
+            "newslink_planner_decisions_total",
+            "Cost-based query planner path decisions "
+            "(ranking='auto' queries only)",
+            labelnames=("path",),
         )
         self._gstar = registry.counter(
             "newslink_gstar_total",
@@ -162,10 +168,17 @@ class EngineInstruments:
                 "docs_pruned",
                 "postings_advanced",
                 "cursor_skips",
+                "blocks_skipped",
             ):
                 self._pruning.set(
                     getattr(query_stats, counter), counter=counter
                 )
+            self._planner_decisions.set(
+                query_stats.planner_pruned, path="pruned"
+            )
+            self._planner_decisions.set(
+                query_stats.planner_exhaustive, path="exhaustive"
+            )
             search_stats = target.search_stats
             for counter in ("pops", "candidates", "relaxations", "heap_pushes"):
                 self._gstar.set(

@@ -15,6 +15,8 @@ from repro.search.fusion import fuse_scores, supports_pruned_ranking
 from repro.search.topk import top_k
 from repro.search.wand import MaxScoreRanker
 from repro.search.pruned import FusedHit, FusedRanker, QueryStats
+from repro.search.compiled_index import CompiledPostings, CompiledTermPostings
+from repro.search.planner import PlanDecision, PlannerConfig, QueryPlanner
 from repro.search.threshold import threshold_topk, threshold_topk_with_stats
 from repro.search.snippets import Snippet, SnippetGenerator
 from repro.search.engine import NewsLinkEngine, SearchResult
@@ -34,6 +36,11 @@ __all__ = [
     "FusedHit",
     "FusedRanker",
     "QueryStats",
+    "CompiledPostings",
+    "CompiledTermPostings",
+    "PlanDecision",
+    "PlannerConfig",
+    "QueryPlanner",
     "threshold_topk",
     "threshold_topk_with_stats",
     "NewsLinkEngine",

@@ -15,6 +15,7 @@ exhaustive reference.
 from __future__ import annotations
 
 import math
+from array import array
 from collections import Counter
 from collections.abc import Iterable, Mapping
 
@@ -31,6 +32,12 @@ class Bm25Scorer:
         self._idf_cache: dict[str, float] = {}
         self._norm_cache: dict[str, float] = {}
         self._cache_version = -1
+        # Compiled-layout caches, keyed by snapshot identity: the dense
+        # norm array and per-term contribution tables used by the
+        # compiled ranker backend (repro.search.compiled_index).
+        self._compiled_snapshot: object | None = None
+        self._compiled_norms: array | None = None
+        self._compiled_terms: dict[str, object] = {}
 
     @property
     def index(self) -> InvertedIndex:
@@ -83,6 +90,50 @@ class Bm25Scorer:
                     for doc_id, dl in self._index.doc_lengths().items()
                 }
         return self._norm_cache
+
+    def compiled_term(self, term: str, snapshot=None):
+        """The term's packed contribution table against a compiled snapshot.
+
+        Returns a :class:`repro.search.compiled_index.CompiledTermScores`
+        (or None when the term has no postings): the exact per-posting
+        BM25 contributions of :meth:`term_contribution` as an
+        ``array('d')`` plus per-block maxima, so the compiled ranker's
+        inner loop does no dict lookups at all.  Tables are cached per
+        snapshot (snapshots are version-keyed, so a mutation invalidates
+        them); ``snapshot`` defaults to ``self.index.compiled()``.
+        """
+        if snapshot is None:
+            snapshot = self._index.compiled()
+        if self._compiled_snapshot is not snapshot:
+            self._compiled_snapshot = snapshot
+            self._compiled_norms = None
+            self._compiled_terms = {}
+        try:
+            return self._compiled_terms[term]
+        except KeyError:
+            pass
+        from repro.search.compiled_index import build_term_scores
+
+        postings = snapshot.term(term)
+        if postings is None or not len(postings):
+            table = None
+        else:
+            norms = self._compiled_norms
+            if norms is None:
+                # Dense norms indexed by the snapshot's doc ints; docs in
+                # the shared universe but not in this index (possible
+                # when fusing two indexes with differing doc sets) get a
+                # placeholder — no posting of this index references them.
+                mapping = self.norms()
+                norms = array(
+                    "d", (mapping.get(doc_id, 1.0) for doc_id in snapshot.doc_ids)
+                )
+                self._compiled_norms = norms
+            table = build_term_scores(
+                postings, self.idf(term), self._config.k1, norms
+            )
+        self._compiled_terms[term] = table
+        return table
 
     def term_contribution(self, term: str, tf: int, doc_id: str) -> float:
         """One term's BM25 contribution to one document's score.

@@ -1,0 +1,577 @@
+"""Compiled packed posting lists with block-max metadata — the query
+fast path's memory layout.
+
+``FusedRanker``'s reference path (``repro.search.pruned``) is exact and
+prunes well by *candidate counts*, but every posting it touches is a
+``(str, int)`` tuple inside a Python list and every score fold is a dict
+lookup — the per-candidate constant swamps the pruning win on small
+corpora (BENCH_query.json).  This module is the same document-at-a-time
+loop over a compiled layout, mirroring :meth:`KnowledgeGraph.compiled`
+(``repro.kg.csr``):
+
+* doc ids are interned to dense ints **in sorted order**, so int
+  comparisons order exactly like the reference's string comparisons and
+  the ascending-doc-id tie-break is ``-doc_int`` in a min-heap — no
+  wrapper objects (see :mod:`repro.search.order`);
+* each term's postings become two parallel packed arrays —
+  ``array('I')`` doc ints ascending and ``array('I')`` term frequencies.
+  Doc ints are stored *absolute*, not delta-encoded: without varint
+  compression a delta costs the same four bytes but forfeits
+  ``bisect``-based cursor advance, which the skip logic depends on;
+* per block of :data:`BLOCK_SIZE` postings the layout keeps the last doc
+  int and the maximum tf, and :meth:`Bm25Scorer.compiled_term` derives a
+  per-term ``array('d')`` of exact BM25 contributions plus per-block
+  contribution maxima, so the inner loop is pure int/float array walking
+  with zero dict lookups;
+* block maxima let the ranker skip *whole blocks*: when every matched
+  cursor's current block cannot reach the heap threshold even with all
+  non-essential terms, the cursors jump past the block boundary instead
+  of stepping one document at a time (BMW-style).
+
+Exactness
+---------
+Ranked output is bit-identical to the reference ranker, property-tested
+in ``tests/search/test_compiled_index.py``:
+
+* contribution tables are computed with the exact float expression of
+  :meth:`Bm25Scorer.term_contribution` (same IDF and norm values, same
+  association), so exact scores are the same floats;
+* per-channel sums fold in query-term ordinal order and combine exactly
+  like the reference (and :func:`repro.search.fusion.fuse_scores`);
+* block maxima and the per-term exact maximum are true upper bounds on
+  the stored contributions; every prune comparison inflates by the same
+  relative ``_SAFETY`` margin and stays strict, so pruning can only skip
+  documents the reference would also never keep.
+
+The block-skip horizon is the conservative BMW rule: from candidate
+``c`` with matched essential cursors ``M``, it is safe to jump every
+cursor in ``M`` past ``d = min(min block-end over M, min current doc of
+the other essential cursors - 1)`` — any document in ``(c, d]`` is
+matched only by a subset of ``M`` (within their current blocks, so the
+block maxima apply) plus non-essential terms already covered by the
+prefix bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from bisect import bisect_left, bisect_right
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
+
+from repro.config import FusionConfig
+from repro.search.pruned import _SAFETY, FusedHit, QueryStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.search.bm25 import Bm25Scorer
+    from repro.search.inverted_index import InvertedIndex
+
+try:  # numpy accelerates table construction; results are identical.
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+#: Postings per block-max block.  64 keeps block metadata ~1.6% of the
+#: posting arrays while letting a single skip clear dozens of documents.
+BLOCK_SHIFT = 6
+BLOCK_SIZE = 1 << BLOCK_SHIFT
+
+#: Sentinel doc int for an exhausted cursor; larger than any dense id.
+_EXHAUSTED = 1 << 40
+
+
+class CompiledTermPostings:
+    """One term's postings as packed parallel arrays plus block metadata.
+
+    ``docs`` holds dense doc ints ascending, ``tfs`` the matching term
+    frequencies.  ``block_last[b]`` is the last doc int of block ``b``
+    and ``block_max_tf[b]`` its largest tf — enough for a scorer to
+    derive contribution bounds without touching the postings.
+    """
+
+    __slots__ = ("docs", "tfs", "block_last", "block_max_tf", "max_tf")
+
+    def __init__(self, docs: array, tfs: array) -> None:
+        self.docs = docs
+        self.tfs = tfs
+        size = len(docs)
+        num_blocks = (size + BLOCK_SIZE - 1) >> BLOCK_SHIFT
+        block_last = array("I")
+        block_max_tf = array("I")
+        for block in range(num_blocks):
+            start = block << BLOCK_SHIFT
+            end = min(size, start + BLOCK_SIZE)
+            block_last.append(docs[end - 1])
+            block_max_tf.append(max(tfs[start:end]))
+        self.block_last = block_last
+        self.block_max_tf = block_max_tf
+        self.max_tf = max(block_max_tf) if block_max_tf else 0
+
+    def __len__(self) -> int:
+        return len(self.docs)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.block_last)
+
+    def memory_bytes(self) -> int:
+        """Approximate heap bytes of the packed arrays."""
+        return sum(
+            arr.itemsize * len(arr)
+            for arr in (self.docs, self.tfs, self.block_last, self.block_max_tf)
+        )
+
+
+class CompiledPostings:
+    """A version-keyed packed snapshot of one :class:`InvertedIndex`.
+
+    Mirrors :meth:`KnowledgeGraph.compiled`: built once per index
+    version (see :meth:`InvertedIndex.compiled`), immutable, and safe to
+    share across scorers and queries.  ``doc_ids`` interns doc ids to
+    dense ints **in sorted order** so int order equals string order.
+    """
+
+    __slots__ = (
+        "version",
+        "doc_ids",
+        "index_of",
+        "doc_lengths",
+        "avg_doc_length",
+        "_terms",
+    )
+
+    def __init__(
+        self,
+        version: int,
+        doc_ids: tuple[str, ...],
+        doc_lengths: array,
+        avg_doc_length: float,
+        terms: dict[str, CompiledTermPostings],
+    ) -> None:
+        self.version = version
+        self.doc_ids = doc_ids
+        self.index_of = {doc_id: i for i, doc_id in enumerate(doc_ids)}
+        self.doc_lengths = doc_lengths
+        self.avg_doc_length = avg_doc_length
+        self._terms = terms
+
+    @classmethod
+    def from_index(
+        cls,
+        index: "InvertedIndex",
+        universe: tuple[str, ...] | None = None,
+    ) -> "CompiledPostings":
+        """Compile ``index`` against ``universe`` (default: its own docs).
+
+        ``universe`` must be a sorted superset of the index's doc ids; a
+        caller fusing two indexes passes the shared universe so both
+        snapshots intern into the same int space.
+        """
+        if universe is None:
+            universe = tuple(sorted(index.doc_ids()))
+        index_of = {doc_id: i for i, doc_id in enumerate(universe)}
+        lengths = index.doc_lengths()
+        doc_lengths = array("I", (lengths.get(doc_id, 0) for doc_id in universe))
+        terms: dict[str, CompiledTermPostings] = {}
+        for term in index.vocabulary():
+            docs = array("I")
+            tfs = array("I")
+            # sorted_postings is ascending by doc id; interning is
+            # monotone in string order, so the int array is ascending.
+            for doc_id, tf in index.sorted_postings(term):
+                docs.append(index_of[doc_id])
+                tfs.append(tf)
+            terms[term] = CompiledTermPostings(docs, tfs)
+        return cls(
+            index.version, universe, doc_lengths, index.avg_doc_length, terms
+        )
+
+    def term(self, term: str) -> CompiledTermPostings | None:
+        """The packed postings of ``term`` (None when unseen)."""
+        return self._terms.get(term)
+
+    @property
+    def num_docs(self) -> int:
+        return len(self.doc_ids)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._terms)
+
+    def vocabulary(self) -> Iterable[str]:
+        return self._terms.keys()
+
+    def memory_bytes(self) -> int:
+        """Approximate heap bytes of all packed arrays (layout metric)."""
+        total = self.doc_lengths.itemsize * len(self.doc_lengths)
+        for postings in self._terms.values():
+            total += postings.memory_bytes()
+        return total
+
+
+class CompiledTermScores:
+    """One (scorer, term) pair's precomputed contribution table.
+
+    ``contrib[i]`` is the exact BM25 contribution of posting ``i`` (the
+    same float :meth:`Bm25Scorer.term_contribution` returns),
+    ``block_max[b]`` the exact maximum over block ``b``, and ``upper``
+    the exact maximum over the whole list — a bound at least as tight as
+    :meth:`Bm25Scorer.term_upper_bound`.
+    """
+
+    __slots__ = ("docs", "contrib", "block_max", "block_last", "upper", "_sorted_block_max")
+
+    def __init__(
+        self,
+        docs: array,
+        contrib: array,
+        block_max: array,
+        block_last: array,
+    ) -> None:
+        self.docs = docs
+        self.contrib = contrib
+        self.block_max = block_max
+        self.block_last = block_last
+        self.upper = max(block_max) if block_max else 0.0
+        self._sorted_block_max: array | None = None
+
+    @property
+    def df(self) -> int:
+        return len(self.docs)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.block_max)
+
+    def sorted_block_maxima(self) -> array:
+        """Block maxima ascending (planner skip-fraction estimates)."""
+        cached = self._sorted_block_max
+        if cached is None:
+            cached = array("d", sorted(self.block_max))
+            self._sorted_block_max = cached
+        return cached
+
+
+def build_term_scores(
+    postings: CompiledTermPostings,
+    idf: float,
+    k1: float,
+    norms: array,
+) -> CompiledTermScores:
+    """Precompute one term's contribution table against dense norms.
+
+    ``norms`` is ``array('d')`` indexed by dense doc int.  The float
+    expression matches :meth:`Bm25Scorer.term_contribution` exactly
+    (same values, same association), on the numpy path too — elementwise
+    IEEE-754 double ops round identically to the scalar ones.
+    """
+    docs = postings.docs
+    tfs = postings.tfs
+    if _np is not None and docs.itemsize == 4 and norms.itemsize == 8:
+        tf = _np.frombuffer(tfs, dtype=_np.uint32).astype(_np.float64)
+        doc_norms = _np.frombuffer(norms, dtype=_np.float64)[
+            _np.frombuffer(docs, dtype=_np.uint32)
+        ]
+        values = idf * (tf * (k1 + 1.0)) / (tf + k1 * doc_norms)
+        contrib = array("d")
+        contrib.frombytes(values.tobytes())
+    else:
+        contrib = array(
+            "d",
+            (
+                idf * (tf * (k1 + 1.0)) / (tf + k1 * norms[doc])
+                for doc, tf in zip(docs, tfs)
+            ),
+        )
+    size = len(contrib)
+    block_max = array("d")
+    for start in range(0, size, BLOCK_SIZE):
+        block_max.append(max(contrib[start : start + BLOCK_SIZE]))
+    return CompiledTermScores(docs, contrib, block_max, postings.block_last)
+
+
+class _BlockCursor:
+    """A packed-array posting cursor with block-max metadata.
+
+    ``scale`` is ``channel_weight * weight`` — multiplied into block
+    maxima for prune bounds; ``eff_bound`` is the whole-list effective
+    bound MaxScore orders and sums (same formula as the reference).
+    """
+
+    __slots__ = (
+        "term",
+        "docs",
+        "contrib",
+        "block_max",
+        "block_last",
+        "size",
+        "position",
+        "current",
+        "weight",
+        "scale",
+        "eff_bound",
+        "channel",
+        "ordinal",
+    )
+
+    def __init__(
+        self,
+        term: str,
+        table: CompiledTermScores,
+        weight: float,
+        scale: float,
+        eff_bound: float,
+        channel: int,
+        ordinal: int,
+    ) -> None:
+        self.term = term
+        self.docs = table.docs
+        self.contrib = table.contrib
+        self.block_max = table.block_max
+        self.block_last = table.block_last
+        self.size = len(table.docs)
+        self.position = 0
+        self.current = table.docs[0] if table.docs else _EXHAUSTED
+        self.weight = weight
+        self.scale = scale
+        self.eff_bound = eff_bound
+        self.channel = channel
+        self.ordinal = ordinal
+
+    def step(self) -> None:
+        position = self.position + 1
+        self.position = position
+        self.current = self.docs[position] if position < self.size else _EXHAUSTED
+
+    def advance_to(self, doc: int) -> int:
+        """Move to the first posting with doc int >= ``doc``; returns the jump."""
+        start = self.position
+        position = bisect_left(self.docs, doc, start)
+        self.position = position
+        self.current = self.docs[position] if position < self.size else _EXHAUSTED
+        return position - start
+
+    def advance_past(self, doc: int) -> int:
+        """Move to the first posting with doc int > ``doc``; returns the jump."""
+        start = self.position
+        position = bisect_right(self.docs, doc, start)
+        self.position = position
+        self.current = self.docs[position] if position < self.size else _EXHAUSTED
+        return position - start
+
+
+def _build_cursors(
+    scorers: tuple["Bm25Scorer", "Bm25Scorer"],
+    snapshots: tuple[CompiledPostings, CompiledPostings],
+    bow_terms: Sequence[str],
+    bon_terms: Sequence[str],
+    channel_weights: tuple[float, float],
+) -> list[_BlockCursor]:
+    cursors: list[_BlockCursor] = []
+    ordinal = 0
+    for channel, terms in enumerate((bow_terms, bon_terms)):
+        channel_weight = channel_weights[channel]
+        if channel_weight <= 0.0 or not terms:
+            continue
+        scorer = scorers[channel]
+        snapshot = snapshots[channel]
+        for term, weight in Counter(terms).items():
+            table = scorer.compiled_term(term, snapshot)
+            if table is None:
+                continue
+            eff = channel_weight * (weight * table.upper)
+            cursors.append(
+                _BlockCursor(
+                    term,
+                    table,
+                    weight,
+                    channel_weight * weight,
+                    eff,
+                    channel,
+                    ordinal,
+                )
+            )
+            ordinal += 1
+    return cursors
+
+
+def _prefix_bounds(cursors: list[_BlockCursor]) -> list[float]:
+    """prefix[i] = sum of the i cheapest cursors' effective bounds."""
+    prefix = [0.0] * (len(cursors) + 1)
+    for i, cursor in enumerate(cursors):
+        prefix[i + 1] = prefix[i] + cursor.eff_bound
+    return prefix
+
+
+def _boundary(prefix: list[float], count: int, threshold: float) -> int:
+    """How many of the cheapest cursors are non-essential (see pruned.py)."""
+    f = 0
+    while f < count and prefix[f + 1] * _SAFETY < threshold:
+        f += 1
+    return f
+
+
+def fused_top_k(
+    scorers: tuple["Bm25Scorer", "Bm25Scorer"],
+    snapshots: tuple[CompiledPostings, CompiledPostings],
+    universe: tuple[str, ...],
+    bow_terms: Sequence[str],
+    bon_terms: Sequence[str],
+    k: int,
+    fusion: FusionConfig | None = None,
+) -> tuple[list[FusedHit], QueryStats]:
+    """Compiled block-max variant of :meth:`FusedRanker.top_k`.
+
+    Both snapshots must intern into ``universe`` (the same dense int
+    space) — :meth:`FusedRanker` guarantees this by reusing each index's
+    own snapshot when the doc sets coincide and compiling against the
+    sorted union otherwise.  Output is bit-identical to the reference.
+    """
+    fusion = fusion or FusionConfig()
+    beta = fusion.beta
+    channel_weights = (1.0 - beta, beta)
+    stats = QueryStats(queries=1, pruned_queries=1)
+    if k <= 0:
+        return [], stats
+    cursors = _build_cursors(
+        scorers, snapshots, bow_terms, bon_terms, channel_weights
+    )
+    if not cursors:
+        return [], stats
+    cursors.sort(key=lambda c: c.eff_bound)
+    prefix = _prefix_bounds(cursors)
+
+    # Min-heap of (score, -doc_int, bow_sum, bon_sum): ints are interned
+    # in sorted order, so -doc_int reverses doc order exactly like the
+    # reference's _ReverseStr wrapper (repro.search.order).
+    heap: list[tuple[float, int, float, float]] = []
+    threshold = float("-inf")
+    first_essential = 0
+
+    num_cursors = len(cursors)
+    while True:
+        # Next candidate: smallest current doc over *essential* cursors.
+        candidate = _EXHAUSTED
+        matches: list[_BlockCursor] = []
+        for i in range(first_essential, num_cursors):
+            cursor = cursors[i]
+            doc = cursor.current
+            if doc < candidate:
+                candidate = doc
+                matches = [cursor]
+            elif doc == candidate and doc != _EXHAUSTED:
+                matches.append(cursor)
+        if candidate == _EXHAUSTED:
+            break
+
+        # Block-refined quick check: bound the matched cursors by their
+        # *current block* maxima (tighter than whole-list bounds), plus
+        # every non-essential term's whole-list bound.
+        block_bound = 0.0
+        for cursor in matches:
+            block_bound += (
+                cursor.scale * cursor.block_max[cursor.position >> BLOCK_SHIFT]
+            )
+        if (
+            len(heap) == k
+            and (block_bound + prefix[first_essential]) * _SAFETY < threshold
+        ):
+            # The whole remainder of every matched block is prunable, not
+            # just this candidate: any doc in (candidate, horizon] is
+            # matched only by a subset of `matches` (still within their
+            # current blocks) plus non-essential terms — all covered by
+            # the failed bound above.  Jump past the horizon in one go.
+            horizon = _EXHAUSTED
+            for cursor in matches:
+                last = cursor.block_last[cursor.position >> BLOCK_SHIFT]
+                if last < horizon:
+                    horizon = last
+            for i in range(first_essential, num_cursors):
+                doc = cursors[i].current
+                if candidate < doc <= horizon:
+                    horizon = doc - 1
+            if horizon > candidate:
+                stats.blocks_skipped += 1
+            stats.docs_pruned += 1
+            for cursor in matches:
+                moved = cursor.advance_past(horizon)
+                stats.postings_advanced += moved
+                if moved > 1:
+                    stats.cursor_skips += 1
+        else:
+            # Probe non-essential cursors (binary-search skip).
+            for i in range(first_essential):
+                cursor = cursors[i]
+                if cursor.current == _EXHAUSTED:
+                    continue
+                moved = cursor.advance_to(candidate)
+                stats.postings_advanced += moved
+                if moved > 1:
+                    stats.cursor_skips += 1
+                if cursor.current == candidate:
+                    matches.append(cursor)
+            bound = 0.0
+            for cursor in matches:
+                bound += (
+                    cursor.scale
+                    * cursor.block_max[cursor.position >> BLOCK_SHIFT]
+                )
+            if len(heap) == k and bound * _SAFETY < threshold:
+                stats.docs_pruned += 1
+                for cursor in matches:
+                    cursor.step()
+                    stats.postings_advanced += 1
+            else:
+                # Exact score: per-channel left folds in query-term
+                # order, combined exactly like the reference ranker.
+                matches.sort(key=lambda c: c.ordinal)
+                sums = [0.0, 0.0]
+                matched = [False, False]
+                for cursor in matches:
+                    contribution = cursor.contrib[cursor.position]
+                    sums[cursor.channel] = (
+                        sums[cursor.channel] + cursor.weight * contribution
+                    )
+                    matched[cursor.channel] = True
+                    cursor.step()
+                    stats.postings_advanced += 1
+                score = 0.0
+                if matched[0]:
+                    score = channel_weights[0] * sums[0]
+                if matched[1]:
+                    score = score + channel_weights[1] * sums[1]
+                stats.candidates_examined += 1
+                entry = (
+                    score,
+                    -candidate,
+                    sums[0] if matched[0] else 0.0,
+                    sums[1] if matched[1] else 0.0,
+                )
+                if len(heap) < k:
+                    heapq.heappush(heap, entry)
+                elif entry > heap[0]:
+                    heapq.heapreplace(heap, entry)
+                if len(heap) == k and heap[0][0] != threshold:
+                    threshold = heap[0][0]
+                    first_essential = _boundary(
+                        prefix, len(cursors), threshold
+                    )
+
+        # Compact exhausted cursors so their bounds stop inflating the
+        # non-essential budget (mirrors the reference ranker).
+        if any(cursor.current == _EXHAUSTED for cursor in cursors):
+            cursors = [c for c in cursors if c.current != _EXHAUSTED]
+            num_cursors = len(cursors)
+            prefix = _prefix_bounds(cursors)
+            first_essential = _boundary(prefix, num_cursors, threshold)
+
+    ranked = sorted(heap, key=lambda entry: (-entry[0], -entry[1]))
+    return (
+        [
+            FusedHit(universe[-neg_doc], score, bow, bon)
+            for score, neg_doc, bow, bon in ranked
+        ],
+        stats,
+    )

@@ -59,6 +59,7 @@ from repro.search.bm25 import Bm25Scorer
 from repro.search.bon import bon_terms
 from repro.search.fusion import fuse_scores, supports_pruned_ranking
 from repro.search.inverted_index import InvertedIndex
+from repro.search.planner import QueryPlanner
 from repro.search.pruned import FusedRanker, QueryStats
 from repro.search.topk import top_k
 from repro.utils.timing import TimingBreakdown
@@ -165,7 +166,12 @@ class NewsLinkEngine:
         self._node_index = InvertedIndex()
         self._text_scorer = Bm25Scorer(self._text_index, self._config.bm25)
         self._node_scorer = Bm25Scorer(self._node_index, self._config.bm25)
-        self._fused_ranker = FusedRanker(self._text_scorer, self._node_scorer)
+        self._fused_ranker = FusedRanker(
+            self._text_scorer,
+            self._node_scorer,
+            backend=self._config.pruned_backend,
+        )
+        self._planner = QueryPlanner(self._fused_ranker)
         self._query_stats = QueryStats()
         self._snippet_generator = None
         self._embeddings: dict[str, DocumentEmbedding] = {}
@@ -623,29 +629,50 @@ class NewsLinkEngine:
         beta = fusion.beta
         if ranking is None:
             ranking = self._config.ranking
-        elif ranking not in ("pruned", "exhaustive"):
+        elif ranking not in ("auto", "pruned", "exhaustive"):
             raise DataError(
-                f"ranking must be 'pruned' or 'exhaustive', got {ranking!r}"
+                f"ranking must be 'auto', 'pruned' or 'exhaustive', got {ranking!r}"
             )
-        if ranking == "pruned" and supports_pruned_ranking(fusion):
-            return self._rank_pruned(text, query_embedding, k, fusion)
+        if ranking != "exhaustive" and supports_pruned_ranking(fusion):
+            beta = fusion.beta
+            bow_query = self._analyzer.analyze(text) if beta < 1.0 else []
+            bon_query = (
+                bon_terms(query_embedding)
+                if beta > 0.0 and not query_embedding.is_empty
+                else []
+            )
+            if ranking == "auto":
+                decision = self._planner.plan(bow_query, bon_query, k, fusion)
+                self._query_stats.merge(
+                    QueryStats(
+                        planner_pruned=int(decision.path == "pruned"),
+                        planner_exhaustive=int(decision.path == "exhaustive"),
+                    )
+                )
+                self._annotate_planner(decision)
+                if decision.path == "exhaustive":
+                    return self._rank_exhaustive(
+                        text, query_embedding, k, fusion, bow_query=bow_query
+                    )
+            return self._rank_pruned(bow_query, bon_query, k, fusion)
         return self._rank_exhaustive(text, query_embedding, k, fusion)
+
+    def _annotate_planner(self, decision) -> None:
+        """Tag the active query span with the planner's cost estimate."""
+        obs = self._obs
+        if obs.enabled:
+            span = obs.tracer.current
+            if span is not None:
+                span.annotate("planner", decision.as_dict())
 
     def _rank_pruned(
         self,
-        text: str,
-        query_embedding: DocumentEmbedding,
+        bow_query: list[str],
+        bon_query: list[str],
         k: int,
         fusion,
     ) -> list[SearchResult]:
         """The dynamic-pruning fast path (identical results, less work)."""
-        beta = fusion.beta
-        bow_query = self._analyzer.analyze(text) if beta < 1.0 else []
-        bon_query = (
-            bon_terms(query_embedding)
-            if beta > 0.0 and not query_embedding.is_empty
-            else []
-        )
         hits, stats = self._fused_ranker.top_k(bow_query, bon_query, k, fusion)
         self._query_stats.merge(stats)
         self._annotate_path("pruned")
@@ -665,18 +692,23 @@ class NewsLinkEngine:
         query_embedding: DocumentEmbedding,
         k: int,
         fusion,
+        bow_query: list[str] | None = None,
     ) -> list[SearchResult]:
         """The reference path: full score maps on both channels, then fuse.
 
         Required whenever the complete fused map is needed — per-query
         max-normalization (``fusion.normalize``) or callers that want
-        every matching document's score.
+        every matching document's score.  ``bow_query`` carries already
+        analyzed text terms when the planner routed here (avoids a
+        second analysis pass).
         """
         beta = fusion.beta
         bow_scores: dict[str, float] = {}
         bon_scores: dict[str, float] = {}
         if beta < 1.0:
-            bow_scores = self._text_scorer.score(self._analyzer.analyze(text))
+            if bow_query is None:
+                bow_query = self._analyzer.analyze(text)
+            bow_scores = self._text_scorer.score(bow_query)
         if beta > 0.0 and not query_embedding.is_empty:
             bon_scores = self._node_scorer.score(bon_terms(query_embedding))
         fused = fuse_scores(bow_scores, bon_scores, fusion)
@@ -802,10 +834,17 @@ class NewsLinkEngine:
         from repro.core.serialization import embedding_to_dict
 
         writer = _Crc32Writer(fh)
-        writer.write('{"format": "newslink-index", "version": 2, "text_index": ')
-        json.dump(self._text_index.to_forward_map(), writer)
+        # "sorted_docs" marks both forward maps as written in ascending
+        # doc-id order, so load_index can seed the per-term sorted
+        # posting lists (and from them the compiled snapshot) without
+        # ever re-sorting — see InvertedIndex.load_documents_sorted.
+        writer.write(
+            '{"format": "newslink-index", "version": 2, '
+            '"sorted_docs": true, "text_index": '
+        )
+        json.dump(self._sorted_forward_map(self._text_index), writer)
         writer.write(', "node_index": ')
-        json.dump(self._node_index.to_forward_map(), writer)
+        json.dump(self._sorted_forward_map(self._node_index), writer)
         writer.write(', "texts": ')
         json.dump(self._texts, writer)
         writer.write(', "embeddings": [')
@@ -819,6 +858,12 @@ class NewsLinkEngine:
                 {"trailer": "newslink-crc32", "crc32": writer.crc}
             )
         )
+
+    @staticmethod
+    def _sorted_forward_map(index: InvertedIndex) -> dict[str, dict[str, int]]:
+        """The index's forward map with doc ids in ascending order."""
+        forward = index.to_forward_map()
+        return {doc_id: forward[doc_id] for doc_id in sorted(forward)}
 
     def load_index(self, path: "str | Path") -> int:
         """Load an index written by :meth:`save_index`; returns doc count.
@@ -896,12 +941,26 @@ class NewsLinkEngine:
                 doc_id: str(doc_text)
                 for doc_id, doc_text in payload.get("texts", {}).items()
             }
+            sorted_docs = bool(payload.get("sorted_docs"))
             section = "text_index"
-            for doc_id, counts in payload["text_index"].items():
-                text_index.add_document_counts(doc_id, counts)
+            if sorted_docs:
+                # Fast path: documents were written in ascending doc-id
+                # order, so posting lists ingest pre-sorted and the
+                # compiled snapshot builds without any re-sorting.
+                text_index.load_documents_sorted(
+                    payload["text_index"].items()
+                )
+            else:
+                for doc_id, counts in payload["text_index"].items():
+                    text_index.add_document_counts(doc_id, counts)
             section = "node_index"
-            for doc_id, counts in payload["node_index"].items():
-                node_index.add_document_counts(doc_id, counts)
+            if sorted_docs:
+                node_index.load_documents_sorted(
+                    payload["node_index"].items()
+                )
+            else:
+                for doc_id, counts in payload["node_index"].items():
+                    node_index.add_document_counts(doc_id, counts)
             section = "embeddings"
             for raw in payload["embeddings"]:
                 embedding = embedding_from_dict(raw)
@@ -914,10 +973,21 @@ class NewsLinkEngine:
         self._node_index = node_index
         self._text_scorer = Bm25Scorer(self._text_index, self._config.bm25)
         self._node_scorer = Bm25Scorer(self._node_index, self._config.bm25)
-        self._fused_ranker = FusedRanker(self._text_scorer, self._node_scorer)
+        self._fused_ranker = FusedRanker(
+            self._text_scorer,
+            self._node_scorer,
+            backend=self._config.pruned_backend,
+        )
+        self._planner = QueryPlanner(self._fused_ranker)
         self._snippet_generator = None
         self._embeddings = embeddings
         self._texts = texts
+        if sorted_docs and self._config.pruned_backend == "compiled":
+            # Eagerly rebuild the packed snapshots from the pre-sorted
+            # posting lists so the first query after a load doesn't pay
+            # the compile.
+            self._text_index.compiled()
+            self._node_index.compiled()
         return self.num_indexed
 
     # ------------------------------------------------------------------

@@ -37,6 +37,8 @@ class InvertedIndex:
         self._sorted_postings: dict[str, list[tuple[str, int]]] = {}
         self._max_tf: dict[str, int] = {}
         self._min_doc_length: dict[str, int] = {}
+        # Version-keyed packed snapshot (repro.search.compiled_index).
+        self._compiled_cache = None
 
     def add_document(self, doc_id: str, terms: Iterable[str]) -> None:
         """Index ``doc_id``'s terms; re-adding a doc id replaces it."""
@@ -96,6 +98,82 @@ class InvertedIndex:
             for doc_id, tf in postings.items():
                 forward[doc_id][term] = tf
         return forward
+
+    def load_documents_sorted(
+        self, items: Iterable[tuple[str, Mapping[str, int]]]
+    ) -> None:
+        """Bulk-ingest ``(doc_id, counts)`` pairs pre-sorted by doc id.
+
+        The persistence fast path: because the documents arrive in
+        ascending doc-id order (the v2 format writes them sorted), every
+        per-term sorted-posting list is seeded directly by appending —
+        loading never re-sorts a posting list.  Only valid on documents
+        not already indexed; raises ``ValueError`` when the input order
+        is not strictly ascending.
+        """
+        last: str | None = None
+        sorted_postings = self._sorted_postings
+        postings = self._postings
+        for doc_id, counts in items:
+            if last is not None and doc_id <= last:
+                raise ValueError(
+                    "load_documents_sorted requires strictly ascending "
+                    f"doc ids; got {doc_id!r} after {last!r}"
+                )
+            last = doc_id
+            if doc_id in self._doc_lengths:
+                self.remove_document(doc_id)
+            positive = {
+                term: int(frequency)
+                for term, frequency in counts.items()
+                if frequency > 0
+            }
+            length = sum(counts.values())
+            self._doc_lengths[doc_id] = length
+            self._doc_terms[doc_id] = tuple(positive)
+            self._total_length += length
+            for term, frequency in positive.items():
+                term_postings = postings.get(term)
+                if term_postings is None:
+                    postings[term] = {doc_id: frequency}
+                    # First posting of the term: the singleton list IS
+                    # the complete sorted posting list.
+                    sorted_postings[term] = [(doc_id, frequency)]
+                else:
+                    term_postings[doc_id] = frequency
+                    cached = sorted_postings.get(term)
+                    if cached is not None:
+                        if cached[-1][0] < doc_id:
+                            cached.append((doc_id, frequency))
+                        else:
+                            # Pre-existing postings beyond doc_id
+                            # (non-fresh index): ordered insert.
+                            insort(cached, (doc_id, frequency))
+                    # An uncached term stays uncached — sorted_postings()
+                    # rebuilds it lazily from the full posting dict.
+                max_tf = self._max_tf.get(term)
+                if max_tf is not None and frequency > max_tf:
+                    self._max_tf[term] = frequency
+                min_dl = self._min_doc_length.get(term)
+                if min_dl is not None and length < min_dl:
+                    self._min_doc_length[term] = length
+            self._version += 1
+
+    def compiled(self):
+        """The packed posting snapshot for this index version.
+
+        Mirrors :meth:`KnowledgeGraph.compiled`: compiled lazily on
+        first use after a mutation, then shared by every query until the
+        next add/remove (see
+        :class:`repro.search.compiled_index.CompiledPostings`).
+        """
+        cache = self._compiled_cache
+        if cache is None or cache.version != self._version:
+            from repro.search.compiled_index import CompiledPostings
+
+            cache = CompiledPostings.from_index(self)
+            self._compiled_cache = cache
+        return cache
 
     def remove_document(self, doc_id: str) -> None:
         """Remove ``doc_id`` from the index.

@@ -1,0 +1,39 @@
+"""Shared ranked-output ordering helpers for the top-k rankers.
+
+Every ranker in this package keeps a size-k *min*-heap whose root is the
+worst kept entry.  Ranked output breaks score ties by **ascending** doc
+id, so inside the heap the worst entry between equal scores is the
+*largest* doc id — heap comparisons must see doc ids in reverse order.
+
+:class:`_ReverseStr` wraps a string doc id with inverted comparisons for
+the dict-backed rankers (:mod:`repro.search.wand`,
+:mod:`repro.search.pruned`).  The compiled ranker
+(:mod:`repro.search.compiled_index`) interns doc ids to dense ints in
+sorted order, so it gets the same reversal by negating the int — no
+wrapper object needed on that path.
+"""
+
+from __future__ import annotations
+
+
+class _ReverseStr:
+    """A string wrapper with inverted ordering (for min-heap tie-breaks).
+
+    In the heap, the *worst* entry must sit at the root.  Between equal
+    scores the worst entry is the LARGEST doc id (we keep smaller ids), so
+    comparisons are reversed.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_ReverseStr") -> bool:
+        return self.value > other.value
+
+    def __gt__(self, other: "_ReverseStr") -> bool:
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ReverseStr) and self.value == other.value

@@ -1,0 +1,227 @@
+"""Cost-based query planning: exhaustive vs pruned, decided per query.
+
+BENCH_query.json's tier sweep shows neither ranking path dominates: on
+small corpus slices the exhaustive scorer's tight dict loop beats any
+pruning (the per-candidate constants never amortize), while past the
+crossover tier the compiled block-max ranker wins by an increasing
+margin.  A static ``EngineConfig.ranking`` therefore leaves latency on
+the table somewhere; ``ranking="auto"`` (the default) instead asks
+:class:`QueryPlanner` to estimate both paths' costs *per query* from the
+compiled snapshot's statistics and pick the cheaper one.
+
+The model is deliberately coarse — calibrated unit costs, not a
+simulator — because the decision only has to be right when the paths
+diverge meaningfully, and near the crossover both estimates (and both
+real latencies) are close:
+
+* **exhaustive** ≈ setup + total matching postings × per-posting cost
+  (one score fold per posting; `Bm25Scorer.score_weighted`);
+* **pruned** ≈ setup + non-essential postings × probe cost + essential
+  blocks × block-check cost + unskippable essential postings ×
+  per-posting cost.  The essential split and the skippable-block
+  fraction come from the same statistics the ranker itself uses: term
+  upper bounds, and each term's sorted block-maxima distribution versus
+  an estimated top-k threshold (the ``max(1, k // 8)``-th largest
+  scaled block maximum, shrunk by a confidence factor — crediting a hot
+  block with ~8 of its 64 postings reaching near its maximum; crediting
+  all 64 made the planner follow pruning at k=100 where exhaustive
+  measurably wins, and crediting 1 starves pruning at k=10 on skewed
+  lists where it measurably wins).
+
+Queries whose total matching postings are below
+``PlannerConfig.min_total_postings`` short-circuit to exhaustive without
+touching the compiled snapshot at all, so tiny corpora never pay
+compilation on the planning path.
+
+Decisions are recorded on :class:`repro.search.pruned.QueryStats`
+(``planner_pruned`` / ``planner_exhaustive``) and exported as the
+``newslink_planner_decisions_total{path=...}`` counter by ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.config import FusionConfig
+from repro.search.compiled_index import BLOCK_SIZE
+from repro.search.pruned import FusedRanker
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Unit costs for the planner's two path estimates.
+
+    The absolute scale is arbitrary (only the comparison matters); the
+    ratios are calibrated against BENCH_query.json's tier sweep on this
+    host: the pruned path pays roughly 4× the exhaustive path per
+    *surviving* posting (a survivor is probed by every cursor and folded
+    per channel vs a bare dict fold), a binary-search probe over a
+    non-essential list costs a small fraction of scoring it, and each
+    block-max check is a fraction of a posting score.
+    """
+
+    #: Below this many total matching postings, exhaustive always wins —
+    #: the pruned path's constants cannot amortize.  Decided from raw
+    #: document frequencies, before any snapshot work.
+    min_total_postings: int = 2048
+    exhaustive_setup_cost: float = 50.0
+    exhaustive_cost_per_posting: float = 1.0
+    pruned_setup_cost: float = 600.0
+    pruned_cost_per_posting: float = 4.0
+    skip_cost_per_posting: float = 0.15
+    block_check_cost: float = 0.7
+    #: Shrink factor on the estimated k-th score: overestimating the
+    #: threshold overestimates skipping, which would flip borderline
+    #: decisions toward the pruned path; err conservative instead.
+    threshold_confidence: float = 0.85
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """One query's planning outcome (also attached to trace spans)."""
+
+    path: str  # "pruned" | "exhaustive"
+    est_exhaustive: float
+    est_pruned: float
+    total_postings: int
+    reason: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "est_exhaustive": round(self.est_exhaustive, 1),
+            "est_pruned": round(self.est_pruned, 1),
+            "total_postings": self.total_postings,
+            "reason": self.reason,
+        }
+
+
+class QueryPlanner:
+    """Chooses the ranking path per query from snapshot statistics.
+
+    Shares the :class:`FusedRanker`'s compiled snapshots and the
+    scorers' per-term contribution tables, so planning a query that then
+    runs on the pruned path does no duplicate precomputation.
+    """
+
+    def __init__(
+        self, ranker: FusedRanker, config: PlannerConfig | None = None
+    ) -> None:
+        self._ranker = ranker
+        self._config = config or PlannerConfig()
+
+    @property
+    def config(self) -> PlannerConfig:
+        return self._config
+
+    def plan(
+        self,
+        bow_terms: Sequence[str],
+        bon_terms: Sequence[str],
+        k: int,
+        fusion: FusionConfig | None = None,
+    ) -> PlanDecision:
+        """Estimate both paths' costs and pick the cheaper one."""
+        fusion = fusion or FusionConfig()
+        beta = fusion.beta
+        channel_weights = (1.0 - beta, beta)
+        cfg = self._config
+        scorers = self._ranker.scorers
+
+        # Cheap features first: document frequency per distinct
+        # (channel, term), straight from the index — no snapshot needed.
+        entries: list[tuple[int, str, float, float, int]] = []
+        total = 0
+        for channel, terms in enumerate((bow_terms, bon_terms)):
+            channel_weight = channel_weights[channel]
+            if channel_weight <= 0.0 or not terms:
+                continue
+            index = scorers[channel].index
+            for term, weight in Counter(terms).items():
+                df = index.doc_frequency(term)
+                if df == 0:
+                    continue
+                entries.append((channel, term, weight, channel_weight, df))
+                total += df
+        est_exhaustive = (
+            cfg.exhaustive_setup_cost + total * cfg.exhaustive_cost_per_posting
+        )
+        if not entries:
+            return PlanDecision(
+                "exhaustive", est_exhaustive, est_exhaustive, 0, "no_postings"
+            )
+        # Pessimistic pruned estimate for the short-circuit: assume no
+        # skipping at all.
+        nominal_pruned = (
+            cfg.pruned_setup_cost + total * cfg.pruned_cost_per_posting
+        )
+        if total < cfg.min_total_postings or k <= 0:
+            return PlanDecision(
+                "exhaustive",
+                est_exhaustive,
+                nominal_pruned,
+                total,
+                "below_min_postings",
+            )
+
+        snapshots, _ = self._ranker.compiled_state()
+        cursors: list[tuple[int, float, float, object]] = []
+        for channel, term, weight, channel_weight, df in entries:
+            table = scorers[channel].compiled_term(term, snapshots[channel])
+            if table is None:
+                continue
+            eff = channel_weight * (weight * table.upper)
+            cursors.append((df, eff, channel_weight * weight, table))
+        if not cursors:
+            return PlanDecision(
+                "exhaustive", est_exhaustive, est_exhaustive, 0, "no_postings"
+            )
+
+        # Estimated k-th fused score: the kb-th largest scaled block
+        # maximum, crediting each hot block with ~4 of its BLOCK_SIZE
+        # postings scoring near its maximum (the empirical middle ground
+        # between one-per-block, which starves pruning at small k on
+        # skewed lists, and all-per-block, which over-prunes at k=100).
+        kb = max(1, k // (BLOCK_SIZE // 16))
+        top_maxima: list[float] = []
+        for df, eff, scale, table in cursors:
+            for block_max in table.block_max:
+                top_maxima.append(scale * block_max)
+        top_maxima.sort(reverse=True)
+        est_threshold = (
+            top_maxima[min(kb, len(top_maxima)) - 1] * cfg.threshold_confidence
+        )
+
+        # Walk cursors cheapest-first, mirroring the ranker's essential
+        # split: terms whose cumulative bound stays under the threshold
+        # are only ever probed; essential terms pay block checks plus
+        # the postings in blocks the threshold cannot rule out.
+        cursors.sort(key=lambda c: c[1])
+        prefix = 0.0
+        est_pruned = cfg.pruned_setup_cost
+        for df, eff, scale, table in cursors:
+            prefix += eff
+            if prefix < est_threshold:
+                est_pruned += df * cfg.skip_cost_per_posting
+                continue
+            maxima = table.sorted_block_maxima()
+            num_blocks = len(maxima)
+            if scale > 0.0:
+                skippable = bisect_left(maxima, est_threshold / scale)
+            else:
+                skippable = num_blocks
+            survivors = 1.0 - skippable / num_blocks
+            est_pruned += (
+                num_blocks * cfg.block_check_cost
+                + df * survivors * cfg.pruned_cost_per_posting
+            )
+        if est_pruned < est_exhaustive:
+            return PlanDecision(
+                "pruned", est_exhaustive, est_pruned, total, "pruned_cheaper"
+            )
+        return PlanDecision(
+            "exhaustive", est_exhaustive, est_pruned, total, "exhaustive_cheaper"
+        )

@@ -47,7 +47,7 @@ from typing import NamedTuple, Sequence
 
 from repro.config import FusionConfig
 from repro.search.bm25 import Bm25Scorer
-from repro.search.wand import _ReverseStr
+from repro.search.order import _ReverseStr
 
 #: Relative inflation applied to upper bounds before threshold
 #: comparisons; see the module docstring's exactness discussion.
@@ -76,6 +76,13 @@ class QueryStats:
         cursor_skips: ``advance_to`` calls that jumped a cursor over at
             least one posting via binary search (skipped postings are
             still counted in ``postings_advanced``).
+        blocks_skipped: block-max prune decisions (compiled backend
+            only) that jumped cursors past more than one document in a
+            single bound check; see ``repro.search.compiled_index``.
+        planner_pruned: queries the cost-based planner routed to the
+            pruned path (``ranking="auto"`` only).
+        planner_exhaustive: queries the planner routed to the
+            exhaustive path (``ranking="auto"`` only).
     """
 
     queries: int = 0
@@ -87,6 +94,9 @@ class QueryStats:
     docs_pruned: int = 0
     postings_advanced: int = 0
     cursor_skips: int = 0
+    blocks_skipped: int = 0
+    planner_pruned: int = 0
+    planner_exhaustive: int = 0
 
     def merge(self, other: "QueryStats") -> None:
         """Fold another query's counters into this aggregate."""
@@ -195,10 +205,77 @@ class FusedRanker:
     only in them can never enter the top k, so their postings are skipped
     wholesale — non-essential cursors are advanced by binary search only
     when an essential candidate needs probing.
+
+    Two backends produce bit-identical ranked output:
+
+    * ``"reference"`` (this module): dict/tuple postings, the
+      differential oracle;
+    * ``"compiled"``: packed-array postings with block-max skipping
+      (:mod:`repro.search.compiled_index`), the production fast path.
     """
 
-    def __init__(self, bow_scorer: Bm25Scorer, bon_scorer: Bm25Scorer) -> None:
+    #: Valid values for the ``backend`` constructor/``top_k`` argument.
+    BACKENDS = ("compiled", "reference")
+
+    def __init__(
+        self,
+        bow_scorer: Bm25Scorer,
+        bon_scorer: Bm25Scorer,
+        backend: str = "reference",
+    ) -> None:
+        if backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown FusedRanker backend {backend!r}; "
+                f"expected one of {self.BACKENDS}"
+            )
         self._scorers = (bow_scorer, bon_scorer)
+        self._backend = backend
+        # (text version, node version) -> (snapshots, universe); the
+        # compiled backend's per-mutation-epoch snapshot pair.
+        self._snapshot_key: tuple[int, int] | None = None
+        self._snapshot_state: tuple[tuple, tuple[str, ...]] | None = None
+
+    @property
+    def backend(self) -> str:
+        """The default backend ``top_k`` dispatches to."""
+        return self._backend
+
+    @property
+    def scorers(self) -> tuple[Bm25Scorer, Bm25Scorer]:
+        """The (BOW, BON) channel scorers (shared with the planner)."""
+        return self._scorers
+
+    def compiled_state(self) -> tuple[tuple, tuple[str, ...]]:
+        """The per-channel compiled snapshots and their shared universe.
+
+        Both snapshots intern doc ids into the *same* dense int space:
+        when the two indexes hold identical doc sets (the engine always
+        does — documents are added/removed from both channels in
+        lockstep) each index's own cached snapshot is reused; otherwise
+        both are compiled against the sorted union.  Cached per
+        (text version, node version) pair; the planner shares it.
+        """
+        text_index = self._scorers[0].index
+        node_index = self._scorers[1].index
+        key = (text_index.version, node_index.version)
+        if self._snapshot_key == key and self._snapshot_state is not None:
+            return self._snapshot_state
+        from repro.search.compiled_index import CompiledPostings
+
+        text_snap = text_index.compiled()
+        node_snap = node_index.compiled()
+        if text_snap.doc_ids == node_snap.doc_ids:
+            universe = text_snap.doc_ids
+        else:
+            universe = tuple(
+                sorted(set(text_index.doc_ids()) | set(node_index.doc_ids()))
+            )
+            text_snap = CompiledPostings.from_index(text_index, universe)
+            node_snap = CompiledPostings.from_index(node_index, universe)
+        state = ((text_snap, node_snap), universe)
+        self._snapshot_key = key
+        self._snapshot_state = state
+        return state
 
     # ------------------------------------------------------------------
     def _build_cursors(
@@ -254,13 +331,30 @@ class FusedRanker:
         bon_terms: Sequence[str],
         k: int,
         fusion: FusionConfig | None = None,
+        backend: str | None = None,
     ) -> tuple[list[FusedHit], QueryStats]:
         """The top-``k`` documents under the fused Equation 3 score.
 
         ``bow_terms`` are analyzed text terms; ``bon_terms`` are the
         query embedding's BON node ids.  Returns the ranked hits and the
-        query's pruning counters.
+        query's pruning counters.  ``backend`` overrides the ranker's
+        default (``"compiled"`` or ``"reference"``); both return
+        bit-identical output.
         """
+        if backend is None:
+            backend = self._backend
+        elif backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown FusedRanker backend {backend!r}; "
+                f"expected one of {self.BACKENDS}"
+            )
+        if backend == "compiled":
+            from repro.search.compiled_index import fused_top_k
+
+            snapshots, universe = self.compiled_state()
+            return fused_top_k(
+                self._scorers, snapshots, universe, bow_terms, bon_terms, k, fusion
+            )
         fusion = fusion or FusionConfig()
         beta = fusion.beta
         channel_weights = (1.0 - beta, beta)

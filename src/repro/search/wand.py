@@ -28,6 +28,7 @@ from collections.abc import Sequence
 from repro.config import Bm25Config
 from repro.search.bm25 import Bm25Scorer
 from repro.search.inverted_index import InvertedIndex
+from repro.search.order import _ReverseStr
 
 
 class _TermCursor:
@@ -175,26 +176,3 @@ class MaxScoreRanker:
             key=lambda kv: (-kv[1], kv[0]),
         )
         return ranked
-
-
-class _ReverseStr:
-    """A string wrapper with inverted ordering (for min-heap tie-breaks).
-
-    In the heap, the *worst* entry must sit at the root.  Between equal
-    scores the worst entry is the LARGEST doc id (we keep smaller ids), so
-    comparisons are reversed.
-    """
-
-    __slots__ = ("value",)
-
-    def __init__(self, value: str) -> None:
-        self.value = value
-
-    def __lt__(self, other: "_ReverseStr") -> bool:
-        return self.value > other.value
-
-    def __gt__(self, other: "_ReverseStr") -> bool:
-        return self.value < other.value
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _ReverseStr) and self.value == other.value

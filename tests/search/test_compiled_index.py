@@ -1,0 +1,315 @@
+"""Differential suite for the compiled posting layout.
+
+The compiled backend (``repro.search.compiled_index``) must be an
+*invisible* optimization: byte-identical ranked output to the dict-backed
+reference ranker on random corpora, across beta and k, after mutations,
+through persistence round-trips, and on the engine's degraded
+(expired-deadline) path.  Plus direct checks of the packed layout's
+invariants: sorted interning, ascending doc-int arrays, block metadata,
+and version-keyed snapshot caching.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import EngineConfig, FusionConfig
+from repro.data.datasets import cnn_like_config, make_dataset
+from repro.search.bm25 import Bm25Scorer
+from repro.search.compiled_index import (
+    BLOCK_SIZE,
+    CompiledPostings,
+    build_term_scores,
+)
+from repro.search.engine import NewsLinkEngine
+from repro.search.inverted_index import InvertedIndex
+from repro.search.pruned import FusedRanker
+
+
+def build(bow_docs, bon_docs):
+    bow_index = InvertedIndex()
+    for doc_id, terms in bow_docs.items():
+        bow_index.add_document(doc_id, terms)
+    bon_index = InvertedIndex()
+    for doc_id, terms in bon_docs.items():
+        bon_index.add_document(doc_id, terms)
+    bow = Bm25Scorer(bow_index)
+    bon = Bm25Scorer(bon_index)
+    return bow, bon, FusedRanker(bow, bon)
+
+
+class TestLayout:
+    def test_interning_is_sorted(self):
+        index = InvertedIndex()
+        for doc_id in ("zz", "aa", "mm"):
+            index.add_document(doc_id, ["x"])
+        snapshot = index.compiled()
+        assert snapshot.doc_ids == ("aa", "mm", "zz")
+        assert snapshot.index_of == {"aa": 0, "mm": 1, "zz": 2}
+        postings = snapshot.term("x")
+        assert list(postings.docs) == [0, 1, 2]
+
+    def test_postings_are_ascending_packed_arrays(self):
+        index = InvertedIndex()
+        for i in range(200):
+            index.add_document(f"d{i:03d}", ["t"] * (1 + i % 5) + ["u"])
+        snapshot = index.compiled()
+        postings = snapshot.term("t")
+        assert postings.docs.typecode == "I"
+        assert postings.tfs.typecode == "I"
+        assert list(postings.docs) == sorted(postings.docs)
+        assert len(postings) == 200
+        # Block metadata: ceil(200/64) blocks, each recording its last
+        # doc int and max tf.
+        assert postings.num_blocks == (200 + BLOCK_SIZE - 1) // BLOCK_SIZE
+        assert postings.block_last[-1] == postings.docs[-1]
+        for block in range(postings.num_blocks):
+            start = block * BLOCK_SIZE
+            end = min(len(postings), start + BLOCK_SIZE)
+            assert postings.block_last[block] == postings.docs[end - 1]
+            assert postings.block_max_tf[block] == max(postings.tfs[start:end])
+        assert postings.max_tf == max(postings.tfs)
+        assert snapshot.memory_bytes() > 0
+
+    def test_snapshot_cached_per_version(self):
+        index = InvertedIndex()
+        index.add_document("a", ["x"])
+        first = index.compiled()
+        assert index.compiled() is first  # no mutation: same snapshot
+        index.add_document("b", ["x", "y"])
+        second = index.compiled()
+        assert second is not first
+        assert second.version == index.version
+        assert list(second.term("x").docs) == [0, 1]
+
+    def test_contribution_table_matches_scalar_scorer(self):
+        index = InvertedIndex()
+        for i in range(150):
+            index.add_document(f"d{i:03d}", ["t"] * (1 + i % 7) + ["pad"] * (i % 3))
+        scorer = Bm25Scorer(index)
+        snapshot = index.compiled()
+        table = scorer.compiled_term("t", snapshot)
+        postings = snapshot.term("t")
+        for position, doc_int in enumerate(postings.docs):
+            doc_id = snapshot.doc_ids[doc_int]
+            expected = scorer.term_contribution(
+                "t", postings.tfs[position], doc_id
+            )
+            assert table.contrib[position] == expected  # bit-identical
+        # Block maxima are exact maxima of the stored contributions.
+        for block in range(table.num_blocks):
+            start = block * BLOCK_SIZE
+            end = min(table.df, start + BLOCK_SIZE)
+            assert table.block_max[block] == max(table.contrib[start:end])
+        assert table.upper == max(table.contrib)
+        assert table.upper <= scorer.term_upper_bound("t") * (1 + 1e-12)
+
+    def test_build_term_scores_python_and_numpy_agree(self):
+        numpy = __import__("repro.search.compiled_index", fromlist=["_np"])._np
+        if numpy is None:
+            return  # numpy absent: the fallback is the only path
+        index = InvertedIndex()
+        for i in range(100):
+            index.add_document(f"d{i:03d}", ["t"] * (1 + i % 9) + ["u"] * (i % 4))
+        snapshot = index.compiled()
+        scorer = Bm25Scorer(index)
+        postings = snapshot.term("t")
+        fast = scorer.compiled_term("t", snapshot)
+        from array import array
+
+        mapping = scorer.norms()
+        norms = array("d", (mapping[doc_id] for doc_id in snapshot.doc_ids))
+        # Force the scalar fallback by hiding numpy.
+        import repro.search.compiled_index as compiled_index
+
+        saved = compiled_index._np
+        compiled_index._np = None
+        try:
+            slow = build_term_scores(
+                postings, scorer.idf("t"), scorer.config.k1, norms
+            )
+        finally:
+            compiled_index._np = saved
+        assert list(fast.contrib) == list(slow.contrib)
+        assert list(fast.block_max) == list(slow.block_max)
+
+
+corpus_strategy = st.dictionaries(
+    st.sampled_from([f"d{i}" for i in range(16)]),
+    st.lists(st.sampled_from("abcdefgh"), min_size=1, max_size=12),
+    min_size=0,
+)
+node_corpus_strategy = st.dictionaries(
+    st.sampled_from([f"d{i}" for i in range(16)]),
+    st.lists(st.sampled_from(["n1", "n2", "n3", "n4"]), min_size=1, max_size=8),
+    min_size=0,
+)
+bow_query_strategy = st.lists(st.sampled_from("abcdefgh"), max_size=5)
+bon_query_strategy = st.lists(
+    st.sampled_from(["n1", "n2", "n3", "n4"]), max_size=3
+)
+beta_strategy = st.sampled_from([0.0, 0.2, 0.5, 0.8, 1.0])
+
+
+class TestDifferential:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        corpus_strategy,
+        node_corpus_strategy,
+        bow_query_strategy,
+        bon_query_strategy,
+        beta_strategy,
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_backends_bit_identical(
+        self, bow_docs, bon_docs, bow_query, bon_query, beta, k
+    ):
+        bow, bon, ranker = build(bow_docs, bon_docs)
+        fusion = FusionConfig(beta=beta)
+        reference, _ = ranker.top_k(
+            bow_query, bon_query, k, fusion, backend="reference"
+        )
+        compiled, stats = ranker.top_k(
+            bow_query, bon_query, k, fusion, backend="compiled"
+        )
+        # Bit-identical: ids, fused scores, per-channel scores, and
+        # ascending-doc-id tie-break order all must match exactly.
+        assert compiled == reference
+        assert stats.pruned_queries == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        corpus_strategy,
+        node_corpus_strategy,
+        bow_query_strategy,
+        bon_query_strategy,
+        beta_strategy,
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_backends_identical_after_mutations(
+        self, bow_docs, bon_docs, bow_query, bon_query, beta, k
+    ):
+        bow, bon, ranker = build(bow_docs, bon_docs)
+        fusion = FusionConfig(beta=beta)
+        # Warm snapshots and tables, then mutate: remove two docs, add
+        # one — the version-keyed caches must all catch up.
+        ranker.top_k(bow_query, bon_query, k, fusion, backend="compiled")
+        for doc_id in list(bow_docs)[:2]:
+            bow.index.remove_document(doc_id)
+            if doc_id in bon.index:
+                bon.index.remove_document(doc_id)
+        bow.index.add_document("zz-new", ["a", "a", "b"])
+        bon.index.add_document("zz-new", ["n1"])
+        reference, _ = ranker.top_k(
+            bow_query, bon_query, k, fusion, backend="reference"
+        )
+        compiled, _ = ranker.top_k(
+            bow_query, bon_query, k, fusion, backend="compiled"
+        )
+        assert compiled == reference
+
+    def test_disjoint_doc_sets_share_a_universe(self):
+        # Indexes with differing doc sets force the fused universe path.
+        bow, bon, ranker = build(
+            {"a1": ["x", "y"], "b2": ["x"]},
+            {"b2": ["n1"], "c3": ["n1", "n2"]},
+        )
+        fusion = FusionConfig(beta=0.5)
+        for k in (1, 2, 10):
+            reference, _ = ranker.top_k(
+                ["x", "y"], ["n1", "n2"], k, fusion, backend="reference"
+            )
+            compiled, _ = ranker.top_k(
+                ["x", "y"], ["n1", "n2"], k, fusion, backend="compiled"
+            )
+            assert compiled == reference
+
+
+SCALE = 0.12
+BETAS = [0.0, 0.2, 0.5, 1.0]
+
+
+def as_tuples(results):
+    return [(r.doc_id, r.score, r.bow_score, r.bon_score) for r in results]
+
+
+class TestEngineBackends:
+    """End-to-end: engines differing only in pruned_backend must agree."""
+
+    @classmethod
+    def setup_class(cls):
+        world_config, news_config = cnn_like_config(scale=SCALE)
+        cls.dataset = make_dataset("cnn-like", world_config, news_config)
+        cls.compiled = NewsLinkEngine(
+            cls.dataset.world.graph,
+            EngineConfig(ranking="pruned", pruned_backend="compiled"),
+        )
+        cls.compiled.index_corpus(cls.dataset.corpus)
+        cls.reference = NewsLinkEngine(
+            cls.dataset.world.graph,
+            EngineConfig(ranking="pruned", pruned_backend="reference"),
+        )
+        cls.reference.index_corpus(cls.dataset.corpus)
+        cls.queries = [doc.text[:90] for doc in list(cls.dataset.corpus)[:5]]
+
+    def test_search_identical_across_beta_and_k(self):
+        for query in self.queries:
+            for beta in BETAS:
+                for k in (1, 10, 1000):
+                    assert as_tuples(
+                        self.compiled.search(query, k=k, beta=beta)
+                    ) == as_tuples(
+                        self.reference.search(query, k=k, beta=beta)
+                    )
+
+    def test_search_identical_after_remove_document(self):
+        corpus = list(self.dataset.corpus)
+        removed = [
+            doc.doc_id
+            for doc in corpus[:2]
+            if self.compiled.has_embedding(doc.doc_id)
+        ]
+        for doc_id in removed:
+            self.compiled.remove_document(doc_id)
+            self.reference.remove_document(doc_id)
+        try:
+            for query in self.queries:
+                assert as_tuples(
+                    self.compiled.search(query, k=10, beta=0.5)
+                ) == as_tuples(self.reference.search(query, k=10, beta=0.5))
+        finally:
+            for doc in corpus[:2]:
+                if doc.doc_id in removed:
+                    self.compiled.index_document(doc)
+                    self.reference.index_document(doc)
+
+    def test_degraded_path_identical_under_expired_deadline(self):
+        # An expired per-query deadline degrades to text-only ranking;
+        # the degraded fast path must agree between backends too.
+        query = "never cached unique degraded probe query"
+        compiled = self.compiled.search(query, k=10, deadline_ms=0.0001)
+        reference = self.reference.search(query, k=10, deadline_ms=0.0001)
+        assert all(r.degraded for r in compiled)
+        assert as_tuples(compiled) == as_tuples(reference)
+
+    def test_persistence_roundtrip_seeds_sorted_postings(self, tmp_path):
+        path = tmp_path / "index.json"
+        self.compiled.save_index(path)
+        fresh = NewsLinkEngine(
+            self.dataset.world.graph,
+            EngineConfig(ranking="pruned", pruned_backend="compiled"),
+        )
+        fresh.load_index(path)
+        # The sorted-docs fast path seeds every per-term sorted posting
+        # list at load time and compiles the snapshot eagerly.
+        index = fresh._text_index
+        assert set(index._sorted_postings) == set(index.vocabulary())
+        for term, cached in index._sorted_postings.items():
+            assert cached == sorted(index.postings(term).items())
+        assert index._compiled_cache is not None
+        assert index._compiled_cache.version == index.version
+        for query in self.queries:
+            assert as_tuples(fresh.search(query, k=10, beta=0.0)) == as_tuples(
+                self.compiled.search(query, k=10, beta=0.0)
+            )

@@ -99,4 +99,6 @@ class TestDeadlineCacheContract:
         engine.search("Taliban Pakistan", k=5, deadline_ms=_TINY_BUDGET_MS)
         records = engine.observability.tracer.records()
         assert records[-1]["attributes"]["query_cache"] == "hit"
-        assert records[-1]["attributes"]["path"] == "pruned"
+        # The cached path serves at full quality — whichever ranking
+        # path the planner picked, it must not be the degraded one.
+        assert records[-1]["attributes"]["path"] in ("pruned", "exhaustive")

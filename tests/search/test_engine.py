@@ -336,7 +336,7 @@ class TestRankingModes:
     def test_query_stats_accumulate(self, figure1_graph, figure1_corpus):
         fresh = NewsLinkEngine(figure1_graph)
         fresh.index_corpus(figure1_corpus)
-        fresh.search("Taliban", k=1)
+        fresh.search("Taliban", k=1, ranking="pruned")
         fresh.search("Pakistan", k=1, ranking="exhaustive")
         stats = fresh.query_stats
         assert stats.queries == 2

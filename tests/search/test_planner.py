@@ -1,0 +1,161 @@
+"""Cost-based planner tests: pinned decisions on constructed skew.
+
+The planner's constants are calibrated, so these tests pin only the
+*extreme* cases whose right answer survives any reasonable calibration:
+a tiny corpus slice must go exhaustive, a huge skewed posting list with
+a small k must go pruned, and a huge uniform list (no skippable blocks)
+must go exhaustive.  Plus the recording contract: `QueryStats` planner
+counters, the `newslink_planner_decisions_total` metric, and the trace
+annotation.
+"""
+
+from __future__ import annotations
+
+from repro.config import EngineConfig, FusionConfig
+from repro.data.document import Corpus, NewsDocument
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.search.bm25 import Bm25Scorer
+from repro.search.engine import NewsLinkEngine
+from repro.search.inverted_index import InvertedIndex
+from repro.search.planner import PlannerConfig, QueryPlanner
+from repro.search.pruned import FusedRanker
+
+
+def make_planner(build_text_index):
+    text = InvertedIndex()
+    build_text_index(text)
+    node = InvertedIndex()
+    ranker = FusedRanker(Bm25Scorer(text), Bm25Scorer(node))
+    return QueryPlanner(ranker)
+
+
+class TestDecisions:
+    def test_all_short_lists_go_exhaustive(self):
+        def build(index):
+            for i in range(12):
+                index.add_document(f"d{i}", ["common", "rare" if i == 0 else "x"])
+
+        planner = make_planner(build)
+        decision = planner.plan(["common", "rare"], [], 10, FusionConfig(beta=0.0))
+        assert decision.path == "exhaustive"
+        assert decision.reason == "below_min_postings"
+        assert decision.total_postings == 13
+
+    def test_no_matching_terms_goes_exhaustive(self):
+        planner = make_planner(lambda index: index.add_document("d0", ["x"]))
+        decision = planner.plan(["unseen"], [], 10, FusionConfig(beta=0.0))
+        assert decision.path == "exhaustive"
+        assert decision.reason == "no_postings"
+
+    def test_huge_skewed_list_with_tiny_k_goes_pruned(self):
+        def build(index):
+            # 4096 long documents matching "common" weakly (tf=1) ...
+            for i in range(4096):
+                index.add_document(f"d{i:05d}", ["common"] + ["filler"] * 30)
+            # ... and a handful of short docs it dominates, clustered at
+            # the tail of doc-id order: one hot block, the rest skippable.
+            for i in range(8):
+                index.add_document(f"zz{i}", ["common"] * 20)
+
+        planner = make_planner(build)
+        decision = planner.plan(["common"], [], 5, FusionConfig(beta=0.0))
+        assert decision.path == "pruned"
+        assert decision.reason == "pruned_cheaper"
+        assert decision.est_pruned < decision.est_exhaustive
+        assert decision.total_postings == 4104
+
+    def test_huge_uniform_list_goes_exhaustive(self):
+        def build(index):
+            # Every posting has identical tf and doc length: no block
+            # can be ruled out, so pruning pays its overhead for nothing.
+            for i in range(4096):
+                index.add_document(f"d{i:05d}", ["common", "pad", "pad"])
+
+        planner = make_planner(build)
+        decision = planner.plan(["common"], [], 10, FusionConfig(beta=0.0))
+        assert decision.path == "exhaustive"
+        assert decision.reason == "exhaustive_cheaper"
+        assert decision.est_pruned > decision.est_exhaustive
+
+    def test_decision_serializes(self):
+        planner = make_planner(lambda index: index.add_document("d0", ["x"]))
+        payload = planner.plan(["x"], [], 3, FusionConfig(beta=0.0)).as_dict()
+        assert payload["path"] == "exhaustive"
+        assert set(payload) == {
+            "path",
+            "est_exhaustive",
+            "est_pruned",
+            "total_postings",
+            "reason",
+        }
+
+    def test_config_overrides(self):
+        def build(index):
+            for i in range(64):
+                index.add_document(f"d{i}", ["common"])
+
+        text = InvertedIndex()
+        build(text)
+        ranker = FusedRanker(Bm25Scorer(text), Bm25Scorer(InvertedIndex()))
+        eager = QueryPlanner(ranker, PlannerConfig(min_total_postings=1))
+        assert eager.config.min_total_postings == 1
+        decision = eager.plan(["common"], [], 1, FusionConfig(beta=0.0))
+        # Above the (lowered) floor the block model runs; either outcome
+        # is legal, but the estimates must be real numbers now.
+        assert decision.reason in ("pruned_cheaper", "exhaustive_cheaper")
+
+
+class TestRecording:
+    def _engine(self):
+        from tests.conftest import build_figure1_graph
+
+        registry = MetricsRegistry()
+        engine = NewsLinkEngine(
+            build_figure1_graph(), EngineConfig(), registry=registry
+        )
+        engine.index_corpus(
+            Corpus(
+                [
+                    NewsDocument(
+                        "t_q",
+                        "Pakistan fought Taliban in Upper Dir and Swat Valley.",
+                    ),
+                    NewsDocument(
+                        "t_r",
+                        "Taliban bombed Lahore. Peshawar and Pakistan reacted.",
+                    ),
+                ]
+            )
+        )
+        return engine, registry
+
+    def test_stats_and_metric_record_the_decision(self):
+        engine, registry = self._engine()
+        engine.search("Taliban in Pakistan", k=2)  # default ranking="auto"
+        stats = engine.query_stats
+        assert stats.planner_pruned + stats.planner_exhaustive == 1
+        # This corpus is far below the planner's posting floor.
+        assert stats.planner_exhaustive == 1
+        text = render_prometheus(registry.snapshot())
+        assert (
+            'newslink_planner_decisions_total{path="exhaustive"} 1' in text
+        )
+        assert 'newslink_planner_decisions_total{path="pruned"} 0' in text
+
+    def test_static_ranking_records_no_decision(self):
+        engine, _ = self._engine()
+        engine.search("Taliban in Pakistan", k=2, ranking="pruned")
+        engine.search("Taliban in Pakistan", k=2, ranking="exhaustive")
+        stats = engine.query_stats
+        assert stats.planner_pruned == 0
+        assert stats.planner_exhaustive == 0
+
+    def test_trace_annotated_with_estimates(self):
+        engine, _ = self._engine()
+        engine.search("Taliban in Pakistan", k=2)
+        record = engine.observability.tracer.records()[-1]
+        planner = record["attributes"]["planner"]
+        assert planner["path"] == "exhaustive"
+        assert planner["est_exhaustive"] > 0
+        assert planner["reason"] == "below_min_postings"

@@ -193,6 +193,9 @@ class TestStats:
             "postings_advanced",
             "cursor_skips",
             "degraded_queries",
+            "blocks_skipped",
+            "planner_pruned",
+            "planner_exhaustive",
         }
 
 

@@ -78,11 +78,32 @@ class TestPrunedEqualsExhaustive:
             exhaustive = engine.search(query, k=10, ranking="exhaustive")
             assert as_tuples(pruned) == as_tuples(exhaustive)
 
-    def test_default_config_is_pruned(self, case):
+    def test_default_config_plans_per_query(self, case):
+        # Default ranking is "auto": the planner must route the query to
+        # exactly one path and record its decision.
         stats_before = replace(case.engine.query_stats)
         case.engine.search(case.queries[0], k=5)
         stats_after = case.engine.query_stats
         assert stats_after.queries == stats_before.queries + 1
+        decisions = (
+            stats_after.planner_pruned
+            + stats_after.planner_exhaustive
+            - stats_before.planner_pruned
+            - stats_before.planner_exhaustive
+        )
+        assert decisions == 1
+        served = (
+            stats_after.pruned_queries
+            + stats_after.fallback_queries
+            - stats_before.pruned_queries
+            - stats_before.fallback_queries
+        )
+        assert served == 1
+
+    def test_pruned_override_counts_as_pruned(self, case):
+        stats_before = replace(case.engine.query_stats)
+        case.engine.search(case.queries[0], k=5, ranking="pruned")
+        stats_after = case.engine.query_stats
         assert stats_after.pruned_queries == stats_before.pruned_queries + 1
         assert stats_after.fallback_queries == stats_before.fallback_queries
 

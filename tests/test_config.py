@@ -91,5 +91,10 @@ class TestValidation:
         assert config.lcag.max_pops > 0
 
     def test_ranking_modes(self):
-        assert EngineConfig().ranking == "pruned"
+        assert EngineConfig().ranking == "auto"
+        assert EngineConfig(ranking="pruned").ranking == "pruned"
         assert EngineConfig(ranking="exhaustive").ranking == "exhaustive"
+        assert EngineConfig().pruned_backend == "compiled"
+        assert EngineConfig(pruned_backend="reference").pruned_backend == (
+            "reference"
+        )

@@ -130,7 +130,16 @@ class TestRouting:
 @pytest.fixture()
 def metrics_server(figure1_graph):
     """A per-test server with a private registry (exact-value asserts)."""
-    engine = NewsLinkEngine(figure1_graph, registry=MetricsRegistry())
+    from repro.config import EngineConfig
+
+    # Pin the ranking path: the exact-value asserts below count pruned
+    # vs exhaustive queries, which ranking="auto" would leave to the
+    # planner (this corpus is tiny, so it would pick exhaustive).
+    engine = NewsLinkEngine(
+        figure1_graph,
+        EngineConfig(ranking="pruned"),
+        registry=MetricsRegistry(),
+    )
     engine.index_corpus(
         Corpus(
             [

@@ -115,6 +115,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the metrics registry and query tracing (the "
         "/metrics and /stats endpoints then serve empty views)",
     )
+    serve.add_argument(
+        "--shards", type=int, default=0,
+        help="serve through N document-partitioned shards behind a "
+        "scatter-gather coordinator (0 = single-engine serving); "
+        "merged results are bit-identical to the single engine",
+    )
+    serve.add_argument(
+        "--shard-workers", type=int, default=1,
+        help="forked worker processes per shard (sharded mode only)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=0,
+        help="concurrent queries in the serving stage "
+        "(0 = one per shard worker; sharded mode only)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=16,
+        help="queries allowed to wait for a serving slot before "
+        "arrivals are shed with 429 (sharded mode only)",
+    )
+    serve.add_argument(
+        "--no-shedding", action="store_true",
+        help="disable admission control entirely (unbounded queueing; "
+        "sharded mode only — for load experiments, not production)",
+    )
+    serve.add_argument(
+        "--inline-shards", action="store_true",
+        help="run shards in-process instead of forked workers "
+        "(for platforms without fork; sharded mode only)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="seconds an accepted connection may idle before its "
+        "request line arrives; beyond it the server answers 408",
+    )
     return parser
 
 
@@ -278,7 +313,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         deadline_ms=args.deadline_ms,
         metrics_enabled=not args.no_metrics,
     )
-    serve(engine, host=args.host, port=args.port)
+    target = engine
+    if args.shards > 0:
+        from repro.config import ServingConfig
+        from repro.serving import Coordinator
+
+        serving_config = ServingConfig(
+            num_shards=args.shards,
+            workers_per_shard=args.shard_workers,
+            max_inflight=args.max_inflight,
+            max_queue=None if args.no_shedding else args.max_queue,
+            transport="inline" if args.inline_shards else "process",
+        )
+        target = Coordinator.build(engine, serving_config)
+        print(
+            f"sharded serving: {args.shards} shards x "
+            f"{args.shard_workers} workers "
+            f"({serving_config.transport} transport), "
+            f"max_inflight={serving_config.effective_max_inflight}, "
+            f"max_queue={serving_config.max_queue}",
+            flush=True,
+        )
+    serve(
+        target,
+        host=args.host,
+        port=args.port,
+        request_timeout=args.request_timeout,
+    )
     return 0
 
 

@@ -252,6 +252,71 @@ class EngineConfig:
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """Sharded serving: document-partitioned shards behind a coordinator.
+
+    Attributes:
+        num_shards: document partitions, each a full engine (inverted
+            indexes + embeddings + segment store) over its slice of the
+            corpus, scored with corpus-wide BM25 statistics so the
+            scatter-gather merge is bit-identical to one whole-corpus
+            engine.
+        workers_per_shard: forked worker processes serving each shard.
+            Workers of one shard share the shard engine's pages
+            copy-on-write (the planner precompiles every snapshot
+            before the fork).
+        max_inflight: queries allowed in the serving stage at once
+            (0 = ``workers_per_shard``, the natural capacity: each
+            in-flight query leases one worker per shard).
+        max_queue: queries allowed to *wait* for a slot beyond
+            ``max_inflight``; arrivals past that are shed immediately
+            with a 429 instead of queueing unboundedly.  ``None``
+            disables shedding entirely (unbounded queueing — the
+            overload benchmark's control arm).
+        shed_on_deadline: also shed queued queries whose deadline is
+            (or would be) expired before a slot frees — they could only
+            be served late, so rejecting early preserves capacity for
+            queries that can still meet their budget.
+        gather_timeout_ms: per-query budget for the scatter-gather
+            round-trip.  A shard that misses it is marked failed for
+            the query (results come back ``partial``) and its leased
+            worker is replaced — a hung or killed worker never hangs
+            the coordinator.
+        transport: ``"process"`` (forked workers over pipes, the real
+            deployment shape) or ``"inline"`` (direct in-process calls;
+            the differential-test harness and a zero-IPC single-process
+            mode).
+    """
+
+    num_shards: int = 2
+    workers_per_shard: int = 1
+    max_inflight: int = 0
+    max_queue: int | None = 16
+    shed_on_deadline: bool = True
+    gather_timeout_ms: float = 10_000.0
+    transport: str = "process"
+
+    def __post_init__(self) -> None:
+        _require(self.num_shards >= 1, "num_shards must be >= 1")
+        _require(self.workers_per_shard >= 1, "workers_per_shard must be >= 1")
+        _require(self.max_inflight >= 0, "max_inflight must be >= 0 (0 = auto)")
+        if self.max_queue is not None:
+            _require(self.max_queue >= 0, "max_queue must be >= 0 when set")
+        _require(
+            self.gather_timeout_ms > 0, "gather_timeout_ms must be positive"
+        )
+        _require(
+            self.transport in ("process", "inline"),
+            "transport must be 'process' or 'inline'",
+        )
+
+    @property
+    def effective_max_inflight(self) -> int:
+        """The resolved in-flight cap (0 means one per shard worker)."""
+        return self.max_inflight or self.workers_per_shard
+
+
+@dataclass(frozen=True)
 class Doc2VecConfig:
     """Doc2vec training hyperparameters (Gensim substitute).
 

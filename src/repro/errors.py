@@ -108,6 +108,42 @@ class IndexCorruptError(DataError):
         self.detail = detail
 
 
+class ServingError(ReproError):
+    """Raised for failures in the sharded serving layer."""
+
+
+class OverloadShedError(ServingError):
+    """Raised when admission control rejects a query instead of queueing.
+
+    ``reason`` is ``"queue_full"`` (the bounded wait queue is at
+    capacity) or ``"deadline"`` (the query's deadline would expire — or
+    already has — before a serving slot could free up).  The HTTP layer
+    maps this to 429; shedding is the overload policy working, not a
+    server fault (see ``docs/serving.md``).
+    """
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        message = f"query shed by admission control ({reason})"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.reason = reason
+
+
+class ShardFailedError(ServingError):
+    """Raised when a shard cannot serve a request and no fallback applies.
+
+    Scatter-gather *search* never raises this — a failed shard yields a
+    ``partial`` result instead.  Single-shard requests (snippet,
+    document, explain) do raise it when the owning shard's workers are
+    unavailable.
+    """
+
+    def __init__(self, shard_id: int, detail: str) -> None:
+        super().__init__(f"shard {shard_id} failed: {detail}")
+        self.shard_id = shard_id
+
+
 class FaultInjectedError(ReproError):
     """Default exception raised by an armed fault point (tests only).
 

@@ -30,6 +30,7 @@ from repro.obs.tracing import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.search.engine import NewsLinkEngine
+    from repro.serving.coordinator import Coordinator
 
 #: Buckets for single-segment ``G*`` embedding time (generally slower
 #: than whole-query serving, so the range shifts up).
@@ -206,6 +207,81 @@ class EngineInstruments:
                     report.serial_fallback_chunks,
                     counter="serial_fallback_chunks",
                 )
+            return None
+
+        self.registry.add_collector(collect)
+
+
+class ServingInstruments:
+    """Metric handles for the scatter-gather coordinator.
+
+    Event-driven: per-request latency by stage (embed → scatter →
+    total) and an outcome counter (served / degraded / partial).
+    Collector-driven: admission-control depth gauges and shed/worker
+    failure totals, whose sources of truth are the
+    :class:`~repro.serving.admission.AdmissionController` snapshot and
+    the shard group — scraped, never written on the hot path.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.request_latency = registry.histogram(
+            "newslink_serving_latency_seconds",
+            "Coordinator wall-clock per logical query by stage "
+            "(embed, scatter, total)",
+            labelnames=("stage",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.requests = registry.counter(
+            "newslink_serving_requests_total",
+            "Logical queries by outcome "
+            "(served, degraded, partial, shed)",
+            labelnames=("outcome",),
+        )
+        # Collector-driven (silo-backed); handles kept for the collector.
+        self._inflight = registry.gauge(
+            "newslink_serving_inflight",
+            "Queries currently executing in the coordinator",
+        )
+        self._queued = registry.gauge(
+            "newslink_serving_queued",
+            "Queries currently waiting for an admission slot",
+        )
+        self._shed = registry.counter(
+            "newslink_serving_shed_total",
+            "Queries rejected by admission control, by reason "
+            "(queue_full, deadline)",
+            labelnames=("reason",),
+        )
+        self._worker_failures = registry.counter(
+            "newslink_serving_worker_failures_total",
+            "Shard workers declared dead (crashes + gather timeouts)",
+        )
+        self._live_workers = registry.gauge(
+            "newslink_serving_live_workers",
+            "Shard worker processes currently believed alive",
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def bind(self, coordinator: "Coordinator") -> None:
+        """Register the scrape-time collector for the coordinator's silos."""
+        ref = weakref.ref(coordinator)
+
+        def collect() -> bool | None:
+            target = ref()
+            if target is None:
+                return False
+            admission = target.admission.snapshot()
+            self._inflight.set(admission["inflight"])
+            self._queued.set(admission["queued"])
+            for reason, total in admission["shed"].items():
+                self._shed.set(total, reason=reason)
+            group = target.shard_group
+            self._worker_failures.set(group.worker_failures)
+            self._live_workers.set(group.live_workers())
             return None
 
         self.registry.add_collector(collect)

@@ -45,6 +45,7 @@ CATALOG: frozenset[str] = frozenset(
         "worker.embed_chunk",  # worker-side G* chunk execution
         "persist.write",  # save_index, before the payload is written
         "persist.load",  # load_index, before the file is read
+        "serving.worker_request",  # shard worker, before serving a request
     }
 )
 

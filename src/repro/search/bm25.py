@@ -18,17 +18,72 @@ import math
 from array import array
 from collections import Counter
 from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
 
 from repro.config import Bm25Config
 from repro.search.inverted_index import InvertedIndex
 
 
-class Bm25Scorer:
-    """Scores queries against an :class:`InvertedIndex` with BM25."""
+@dataclass(frozen=True)
+class CorpusStats:
+    """Corpus-wide BM25 statistics, decoupled from any one index.
 
-    def __init__(self, index: InvertedIndex, config: Bm25Config | None = None) -> None:
+    A document-partitioned shard holds only its slice of the corpus, but
+    BM25's IDF and length norms depend on *corpus-wide* document count,
+    document frequencies and average document length.  Scoring a shard's
+    postings with its local statistics would produce scores that differ
+    from a whole-corpus engine — and the scatter-gather merge would no
+    longer be bit-identical to the single-engine oracle.
+
+    :meth:`of_index` captures the statistics of a fully indexed corpus;
+    handing the frozen record to each shard's :class:`Bm25Scorer` (via
+    ``stats=``) makes every per-posting contribution the exact float the
+    oracle computes, because the formula inputs are the same values.
+
+    ``avg_doc_length`` is stored as the already-divided float (the value
+    :attr:`InvertedIndex.avg_doc_length` returns) rather than as
+    totals, so shards reuse the oracle's division result bit-for-bit.
+    """
+
+    num_docs: int
+    avg_doc_length: float
+    df: Mapping[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def of_index(cls, index: InvertedIndex) -> "CorpusStats":
+        """Snapshot ``index``'s scoring statistics (df over its whole
+        vocabulary)."""
+        return cls(
+            num_docs=index.num_docs,
+            avg_doc_length=index.avg_doc_length if index.num_docs else 0.0,
+            df={term: index.doc_frequency(term) for term in index.vocabulary()},
+        )
+
+    def doc_frequency(self, term: str) -> int:
+        """Corpus-wide document frequency (0 for unknown terms)."""
+        return self.df.get(term, 0)
+
+
+class Bm25Scorer:
+    """Scores queries against an :class:`InvertedIndex` with BM25.
+
+    ``stats`` optionally overrides the corpus-wide statistics (document
+    count, per-term document frequency, average document length) read
+    from the index — the seam document-partitioned shards use to score
+    their partial posting lists with whole-corpus statistics (see
+    :class:`CorpusStats`).  Per-document inputs (tf, doc length) always
+    come from the local index.
+    """
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        config: Bm25Config | None = None,
+        stats: CorpusStats | None = None,
+    ) -> None:
         self._index = index
         self._config = config or Bm25Config()
+        self._stats = stats
         self._idf_cache: dict[str, float] = {}
         self._norm_cache: dict[str, float] = {}
         self._cache_version = -1
@@ -49,6 +104,27 @@ class Bm25Scorer:
         """The BM25 parameters."""
         return self._config
 
+    @property
+    def stats(self) -> CorpusStats | None:
+        """The corpus-wide statistics override (None = use the index)."""
+        return self._stats
+
+    def _num_docs(self) -> int:
+        stats = self._stats
+        return stats.num_docs if stats is not None else self._index.num_docs
+
+    def _doc_frequency(self, term: str) -> int:
+        stats = self._stats
+        if stats is not None:
+            return stats.doc_frequency(term)
+        return self._index.doc_frequency(term)
+
+    def _avg_doc_length(self) -> float:
+        stats = self._stats
+        if stats is not None:
+            return stats.avg_doc_length
+        return self._index.avg_doc_length
+
     def _refresh_caches(self) -> None:
         version = self._index.version
         if version != self._cache_version:
@@ -64,8 +140,8 @@ class Bm25Scorer:
         self._refresh_caches()
         idf = self._idf_cache.get(term)
         if idf is None:
-            df = self._index.doc_frequency(term)
-            n = self._index.num_docs
+            df = self._doc_frequency(term)
+            n = self._num_docs()
             idf = math.log(1.0 + (n - df + 0.5) / (df + 0.5))
             self._idf_cache[term] = idf
         return idf
@@ -79,7 +155,7 @@ class Bm25Scorer:
         self._refresh_caches()
         if not self._norm_cache and self._index.num_docs:
             b = self._config.b
-            avgdl = self._index.avg_doc_length
+            avgdl = self._avg_doc_length()
             if avgdl == 0:
                 self._norm_cache = {
                     doc_id: 1.0 for doc_id in self._index.doc_lengths()
@@ -160,7 +236,7 @@ class Bm25Scorer:
         if max_tf == 0:
             return 0.0
         k1, b = self._config.k1, self._config.b
-        avgdl = self._index.avg_doc_length
+        avgdl = self._avg_doc_length()
         if avgdl == 0:
             min_norm = 1.0
         else:

@@ -29,7 +29,7 @@ from repro.core.document_embedding import (
     SegmentEmbedder,
     embed_document,
 )
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.explain import RelationshipPath, explain_pair, verbalize_path
 
@@ -164,14 +164,11 @@ class NewsLinkEngine:
         self._analyzer = Analyzer()
         self._text_index = InvertedIndex()
         self._node_index = InvertedIndex()
-        self._text_scorer = Bm25Scorer(self._text_index, self._config.bm25)
-        self._node_scorer = Bm25Scorer(self._node_index, self._config.bm25)
-        self._fused_ranker = FusedRanker(
-            self._text_scorer,
-            self._node_scorer,
-            backend=self._config.pruned_backend,
-        )
-        self._planner = QueryPlanner(self._fused_ranker)
+        # Optional corpus-wide BM25 statistics (document-partitioned
+        # shard engines score their partial indexes with the whole
+        # corpus's statistics so scatter-gather merges bit-identically).
+        self._corpus_stats: "tuple | None" = None
+        self._rebuild_scorers()
         self._query_stats = QueryStats()
         self._snippet_generator = None
         self._embeddings: dict[str, DocumentEmbedding] = {}
@@ -185,6 +182,71 @@ class NewsLinkEngine:
         # them (see _sync_graph_version).
         self._graph_version_seen = graph.version
         self._obs.bind(self)
+
+    def _rebuild_scorers(self) -> None:
+        """(Re)create the scoring stack over the current indexes.
+
+        Shared by construction, :meth:`load_index` and
+        :meth:`set_corpus_stats` — anything that swaps the indexes or
+        their statistics must rebuild the scorers, the fused ranker, the
+        planner and the snippet generator together so they never mix
+        state from two index generations.
+        """
+        text_stats, node_stats = self._corpus_stats or (None, None)
+        self._text_scorer = Bm25Scorer(
+            self._text_index, self._config.bm25, stats=text_stats
+        )
+        self._node_scorer = Bm25Scorer(
+            self._node_index, self._config.bm25, stats=node_stats
+        )
+        self._fused_ranker = FusedRanker(
+            self._text_scorer,
+            self._node_scorer,
+            backend=self._config.pruned_backend,
+        )
+        self._planner = QueryPlanner(self._fused_ranker)
+        self._snippet_generator = None
+
+    def set_corpus_stats(self, text_stats, node_stats) -> None:
+        """Score this engine's indexes with corpus-wide BM25 statistics.
+
+        ``text_stats`` / ``node_stats`` are
+        :class:`repro.search.bm25.CorpusStats` records (or None to drop
+        back to index-local statistics).  This is the seam the shard
+        planner (:mod:`repro.serving.planner`) uses: a shard engine
+        holds one partition of the corpus but must score it with the
+        *whole* corpus's document count, document frequencies and
+        average length so its per-document scores — and therefore the
+        coordinator's merged top-k — are bit-identical to a single
+        whole-corpus engine.  Survives :meth:`load_index`.
+        """
+        self._corpus_stats = (
+            None if text_stats is None and node_stats is None
+            else (text_stats, node_stats)
+        )
+        self._rebuild_scorers()
+
+    def precompile(self) -> None:
+        """Eagerly build every lazily-compiled, shareable structure.
+
+        Called once in the parent before forking shard workers (the same
+        trick the parallel indexer uses for the CSR graph snapshot): the
+        compiled graph, both packed posting snapshots, the BM25 norm
+        caches and the per-term IDF caches are materialized now, so
+        forked children share the frozen pages copy-on-write instead of
+        each paying the compile — and then holding a private duplicate.
+        """
+        self._graph.compiled()
+        if self._config.pruned_backend == "compiled":
+            self._text_index.compiled()
+            self._node_index.compiled()
+        for scorer, index in (
+            (self._text_scorer, self._text_index),
+            (self._node_scorer, self._node_index),
+        ):
+            scorer.norms()
+            for term in index.vocabulary():
+                scorer.idf(term)
 
     # ------------------------------------------------------------------
     # accessors
@@ -213,6 +275,25 @@ class NewsLinkEngine:
     def embedder(self) -> SegmentEmbedder:
         """The NE component's segment embedder (full decorator stack)."""
         return self._embedder
+
+    @property
+    def analyzer(self) -> Analyzer:
+        """The text analyzer both channels' query terms come from."""
+        return self._analyzer
+
+    @property
+    def text_index(self) -> InvertedIndex:
+        """The text-term (BOW channel) inverted index."""
+        return self._text_index
+
+    @property
+    def node_index(self) -> InvertedIndex:
+        """The embedding-node (BON channel) inverted index."""
+        return self._node_index
+
+    def indexed_doc_ids(self) -> list[str]:
+        """Ids of every indexed document, in insertion order."""
+        return list(self._embeddings)
 
     @property
     def search_stats(self) -> SearchStats:
@@ -429,6 +510,18 @@ class NewsLinkEngine:
             )
         return processed, embedding
 
+    def query_state(
+        self,
+        text: str,
+        timing: TimingBreakdown | None = None,
+        deadline: Deadline | None = None,
+    ) -> tuple[ProcessedDocument, DocumentEmbedding]:
+        """Public alias of :meth:`_query_state` (same LRU, same deadline
+        contract).  The scatter-gather coordinator runs the NLP and NE
+        stages exactly once per logical query through here and ships only
+        the resulting term lists to the shards."""
+        return self._query_state(text, timing=timing, deadline=deadline)
+
     def _query_state(
         self,
         text: str,
@@ -627,20 +720,45 @@ class NewsLinkEngine:
         if beta is not None and beta != fusion.beta:
             fusion = replace(fusion, beta=beta)
         beta = fusion.beta
+        bow_query = self._analyzer.analyze(text) if beta < 1.0 else []
+        bon_query = (
+            bon_terms(query_embedding)
+            if beta > 0.0 and not query_embedding.is_empty
+            else []
+        )
+        return self.rank_terms(bow_query, bon_query, k, beta=beta, ranking=ranking)
+
+    def rank_terms(
+        self,
+        bow_query: Sequence[str],
+        bon_query: Sequence[str],
+        k: int,
+        beta: float | None = None,
+        ranking: str | None = None,
+    ) -> list[SearchResult]:
+        """Rank from already-analyzed query terms (the NS stage alone).
+
+        ``bow_query`` are analyzed text terms, ``bon_query`` the node
+        terms of the query's subgraph embedding (``bon_terms``).  This is
+        the entry point shard workers serve: the coordinator runs the
+        NLP and NE stages once and scatters the term lists, so every
+        shard ranks without re-embedding the query.  Produces exactly
+        what :meth:`search` produces for the same terms — the planner,
+        pruned and exhaustive paths all flow through here.
+        """
+        fusion = self._config.fusion
+        if beta is not None and beta != fusion.beta:
+            fusion = replace(fusion, beta=beta)
+        beta = fusion.beta
         if ranking is None:
             ranking = self._config.ranking
         elif ranking not in ("auto", "pruned", "exhaustive"):
             raise DataError(
                 f"ranking must be 'auto', 'pruned' or 'exhaustive', got {ranking!r}"
             )
+        bow_query = list(bow_query) if beta < 1.0 else []
+        bon_query = list(bon_query) if beta > 0.0 else []
         if ranking != "exhaustive" and supports_pruned_ranking(fusion):
-            beta = fusion.beta
-            bow_query = self._analyzer.analyze(text) if beta < 1.0 else []
-            bon_query = (
-                bon_terms(query_embedding)
-                if beta > 0.0 and not query_embedding.is_empty
-                else []
-            )
             if ranking == "auto":
                 decision = self._planner.plan(bow_query, bon_query, k, fusion)
                 self._query_stats.merge(
@@ -651,11 +769,9 @@ class NewsLinkEngine:
                 )
                 self._annotate_planner(decision)
                 if decision.path == "exhaustive":
-                    return self._rank_exhaustive(
-                        text, query_embedding, k, fusion, bow_query=bow_query
-                    )
+                    return self._rank_exhaustive(bow_query, bon_query, k, fusion)
             return self._rank_pruned(bow_query, bon_query, k, fusion)
-        return self._rank_exhaustive(text, query_embedding, k, fusion)
+        return self._rank_exhaustive(bow_query, bon_query, k, fusion)
 
     def _annotate_planner(self, decision) -> None:
         """Tag the active query span with the planner's cost estimate."""
@@ -688,29 +804,25 @@ class NewsLinkEngine:
 
     def _rank_exhaustive(
         self,
-        text: str,
-        query_embedding: DocumentEmbedding,
+        bow_query: list[str],
+        bon_query: list[str],
         k: int,
         fusion,
-        bow_query: list[str] | None = None,
     ) -> list[SearchResult]:
         """The reference path: full score maps on both channels, then fuse.
 
         Required whenever the complete fused map is needed — per-query
         max-normalization (``fusion.normalize``) or callers that want
-        every matching document's score.  ``bow_query`` carries already
-        analyzed text terms when the planner routed here (avoids a
-        second analysis pass).
+        every matching document's score.  The term lists arrive already
+        gated by beta (:meth:`rank_terms` empties the unused channel).
         """
         beta = fusion.beta
         bow_scores: dict[str, float] = {}
         bon_scores: dict[str, float] = {}
         if beta < 1.0:
-            if bow_query is None:
-                bow_query = self._analyzer.analyze(text)
             bow_scores = self._text_scorer.score(bow_query)
-        if beta > 0.0 and not query_embedding.is_empty:
-            bon_scores = self._node_scorer.score(bon_terms(query_embedding))
+        if beta > 0.0 and bon_query:
+            bon_scores = self._node_scorer.score(bon_query)
         fused = fuse_scores(bow_scores, bon_scores, fusion)
         ranked = top_k(fused, k)
         self._query_stats.merge(
@@ -971,15 +1083,7 @@ class NewsLinkEngine:
             ) from exc
         self._text_index = text_index
         self._node_index = node_index
-        self._text_scorer = Bm25Scorer(self._text_index, self._config.bm25)
-        self._node_scorer = Bm25Scorer(self._node_index, self._config.bm25)
-        self._fused_ranker = FusedRanker(
-            self._text_scorer,
-            self._node_scorer,
-            backend=self._config.pruned_backend,
-        )
-        self._planner = QueryPlanner(self._fused_ranker)
-        self._snippet_generator = None
+        self._rebuild_scorers()
         self._embeddings = embeddings
         self._texts = texts
         if sorted_docs and self._config.pruned_backend == "compiled":

@@ -121,6 +121,11 @@ class MaxScoreRanker:
             )
         if not cursors:
             return []
+        # Full scoring must add contributions in the same order the
+        # exhaustive scorer does (query first-appearance order): float
+        # addition is not associative, and a different order can move a
+        # near-tie by an ulp and flip the ranking.
+        scoring_order = list(cursors)
         # Ascending by upper bound: a suffix sum tells us how much the
         # cheapest terms can still add.
         cursors.sort(key=lambda c: c.upper_bound)
@@ -158,7 +163,7 @@ class MaxScoreRanker:
                         cursor.position += 1
                 continue
             score = 0.0
-            for cursor in cursors:
+            for cursor in scoring_order:
                 if not cursor.exhausted and cursor.current_doc == candidate:
                     score += cursor.weight * scorer.term_contribution(
                         cursor.term, cursor.current_tf, candidate

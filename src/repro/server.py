@@ -1,4 +1,4 @@
-"""A dependency-free HTTP API over an indexed engine.
+"""A dependency-free HTTP API over an indexed engine or a coordinator.
 
 The paper positions NewsLink as easy to integrate "with most existing
 search systems, such as ElasticSearch and Lucene"; this module gives the
@@ -16,23 +16,36 @@ engine the corresponding service surface using only the standard library:
 * ``GET /stats``                          — the same registry as JSON,
   plus the raw stats silos and the most recent query traces
 
+The ``target`` may be a single :class:`NewsLinkEngine` or a sharded
+:class:`~repro.serving.coordinator.Coordinator` — the endpoints are the
+same; a coordinator additionally reports ``partial`` results and
+answers 429 when admission control sheds a query (see
+``docs/serving.md``).
+
 Error mapping: client mistakes (bad parameters, malformed values,
-configuration/data errors) are 400, unknown documents are 404, and any
-unexpected server-side failure is a 500 with a JSON body — the handler
-never lets an exception escape as a bare connection reset.
+configuration/data errors) are 400, unknown documents are 404, shed
+queries are 429, a shard outage on a routed request is 503, an idle
+connection that never sends its request line is 408, and any unexpected
+server-side failure is a 500 with a JSON body — the handler never lets
+an exception escape as a bare connection reset.
 
 Responses are JSON.  Start with::
 
     from repro.server import serve
-    serve(engine, port=8080)            # blocks
+    serve(engine, port=8080)            # blocks; SIGTERM/SIGINT drain
 
-or create a :class:`ThreadingHTTPServer` via :func:`make_server` to manage
-the lifecycle yourself (the tests do this).
+or create a server via :func:`make_server` to manage the lifecycle
+yourself (the tests do this).  :func:`make_server` returns a
+:class:`NewsLinkHTTPServer` whose ``server_close`` *drains*: handler
+threads are non-daemon and joined, so no request is cut off mid-reply.
 """
 
 from __future__ import annotations
 
 import json
+import select
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
@@ -40,7 +53,9 @@ from repro.errors import (
     ConfigError,
     DataError,
     DocumentNotIndexedError,
+    OverloadShedError,
     ReproError,
+    ShardFailedError,
 )
 from repro.obs import (
     PROMETHEUS_CONTENT_TYPE,
@@ -49,8 +64,19 @@ from repro.obs import (
 )
 from repro.search.engine import NewsLinkEngine
 
+#: Default seconds an accepted connection may idle before its request
+#: line arrives; beyond it the server answers 408 and closes.  Also the
+#: socket timeout covering mid-request stalls (closed without a reply —
+#: once bytes went missing mid-stream there is no safe write to make).
+REQUEST_TIMEOUT_S = 30.0
 
-def _search_payload(engine: NewsLinkEngine, params: dict) -> dict:
+
+def _is_coordinator(target: object) -> bool:
+    """Duck-typed: a sharded coordinator (vs a single engine)."""
+    return hasattr(target, "search_detailed")
+
+
+def _search_payload(target, params: dict) -> dict:
     query = params.get("q", [""])[0]
     if not query:
         raise _BadRequest("missing required parameter: q")
@@ -61,11 +87,21 @@ def _search_payload(engine: NewsLinkEngine, params: dict) -> dict:
     deadline_ms = float(deadline_values[0]) if deadline_values else None
     if deadline_ms is not None and deadline_ms <= 0:
         raise _BadRequest("deadline_ms must be positive")
-    results = engine.search(query, k=k, beta=beta, deadline_ms=deadline_ms)
+    partial = False
+    failed_shards: tuple[int, ...] = ()
+    if _is_coordinator(target):
+        outcome = target.search_detailed(
+            query, k, beta=beta, deadline_ms=deadline_ms
+        )
+        results = outcome.results
+        partial = outcome.partial
+        failed_shards = outcome.failed_shards
+    else:
+        results = target.search(query, k=k, beta=beta, deadline_ms=deadline_ms)
     degraded = bool(results) and results[0].degraded
     payload = []
     for rank, result in enumerate(results, start=1):
-        snippet = engine.snippet(query, result.doc_id)
+        snippet = target.snippet(query, result.doc_id)
         payload.append(
             {
                 "rank": rank,
@@ -80,15 +116,19 @@ def _search_payload(engine: NewsLinkEngine, params: dict) -> dict:
     body = {"query": query, "k": k, "degraded": degraded, "results": payload}
     if degraded:
         body["degraded_reason"] = results[0].degraded_reason
+    if _is_coordinator(target):
+        body["partial"] = partial
+        if partial:
+            body["failed_shards"] = list(failed_shards)
     return body
 
 
-def _explain_payload(engine: NewsLinkEngine, params: dict) -> dict:
+def _explain_payload(target, params: dict) -> dict:
     query = params.get("q", [""])[0]
     doc_id = params.get("doc", [""])[0]
     if not query or not doc_id:
         raise _BadRequest("missing required parameters: q and doc")
-    explanation = engine.explanation(query, doc_id)
+    explanation = target.explanation(query, doc_id)
     return {
         "query": query,
         "doc_id": doc_id,
@@ -99,72 +139,147 @@ def _explain_payload(engine: NewsLinkEngine, params: dict) -> dict:
     }
 
 
-def _document_payload(engine: NewsLinkEngine, params: dict) -> dict:
+def _document_payload(target, params: dict) -> dict:
     doc_id = params.get("id", [""])[0]
     if not doc_id:
         raise _BadRequest("missing required parameter: id")
-    return {"doc_id": doc_id, "text": engine.document_text(doc_id)}
+    return {"doc_id": doc_id, "text": target.document_text(doc_id)}
 
 
-def _stats_payload(engine: NewsLinkEngine) -> dict:
-    """The registry plus the raw stats silos as one JSON document."""
-    snapshot = engine.metrics_registry.snapshot()
-    body: dict = {
-        "indexed": engine.num_indexed,
-        "query_stats": engine.query_stats.as_dict(),
-        "search_stats": engine.search_stats.as_dict(),
-        "metrics": render_json(snapshot),
-        "traces": engine.observability.tracer.records(),
+def _health_payload(target) -> dict:
+    if _is_coordinator(target):
+        serving = target.serving_stats
+        return {
+            "status": "ok",
+            "indexed": target.num_indexed,
+            "queries": serving.queries,
+            "degraded_queries": serving.degraded_queries,
+            "partial_queries": serving.partial_queries,
+            "shed_queries": serving.shed_queries,
+            "live_workers": target.shard_group.live_workers(),
+        }
+    stats = target.query_stats
+    return {
+        "status": "ok",
+        "indexed": target.num_indexed,
+        "queries": stats.queries,
+        "degraded_queries": stats.degraded_queries,
+        "fallback_queries": stats.fallback_queries,
     }
-    cache = engine.cache_stats
+
+
+def _stats_payload(target) -> dict:
+    """The registry plus the raw stats silos as one JSON document."""
+    if _is_coordinator(target):
+        return target.stats_payload()
+    snapshot = target.metrics_registry.snapshot()
+    body: dict = {
+        "indexed": target.num_indexed,
+        "query_stats": target.query_stats.as_dict(),
+        "search_stats": target.search_stats.as_dict(),
+        "metrics": render_json(snapshot),
+        "traces": target.observability.tracer.records(),
+    }
+    cache = target.cache_stats
     if cache is not None:
         body["segment_cache"] = cache.as_dict()
-    report = engine.last_index_report
+    report = target.last_index_report
     if report is not None:
         body["index_report"] = report.as_dict()
     return body
+
+
+def _metrics_snapshot(target) -> dict:
+    if _is_coordinator(target):
+        return target.metrics_snapshot()
+    return target.metrics_registry.snapshot()
 
 
 class _BadRequest(Exception):
     pass
 
 
-def make_handler(engine: NewsLinkEngine) -> type[BaseHTTPRequestHandler]:
-    """A request-handler class bound to ``engine``."""
+class NewsLinkHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server whose ``server_close`` **drains**.
+
+    ``ThreadingHTTPServer`` defaults to daemon handler threads, so a
+    process exiting right after ``server_close()`` kills requests
+    mid-reply.  Handler threads here are non-daemon and joined on close
+    (``block_on_close``): stop accepting first (``shutdown()``), then
+    ``server_close()`` returns only once every in-flight request has
+    been answered.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+
+
+def make_handler(
+    target, request_timeout: float = REQUEST_TIMEOUT_S
+) -> type[BaseHTTPRequestHandler]:
+    """A request-handler class bound to ``target`` (engine or coordinator)."""
 
     class NewsLinkHandler(BaseHTTPRequestHandler):
+        # Socket timeout for mid-request stalls: a client that goes
+        # silent *after* starting its request gets the connection closed
+        # (no reply is safe once a read timed out mid-stream).
+        timeout = request_timeout
+
         def log_message(self, format: str, *args: object) -> None:  # noqa: A002
             pass  # keep tests/CLIs quiet; override for access logs
+
+        def handle_one_request(self) -> None:
+            """408 for connections that idle before sending a request.
+
+            The base class swallows its socket-timeout internally and
+            closes without a word; polling *before* the first read lets
+            the server tell an idle client explicitly that it was too
+            slow — distinguishable (and testable) client error, not a
+            silent reset.  No bytes have been read yet, so writing a
+            response here is always safe.
+            """
+            ready, _, _ = select.select(
+                [self.connection], [], [], request_timeout
+            )
+            if not ready:
+                body = json.dumps(
+                    {"error": f"request timeout after {request_timeout}s"}
+                ).encode("utf-8")
+                try:
+                    self.wfile.write(
+                        b"HTTP/1.1 408 Request Timeout\r\n"
+                        b"Content-Type: application/json\r\n"
+                        b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                        b"Connection: close\r\n\r\n" + body
+                    )
+                    self.wfile.flush()
+                except (BrokenPipeError, OSError):
+                    pass  # client gave up first; nothing to tell it
+                self.close_connection = True
+                return
+            super().handle_one_request()
 
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
             parsed = urlparse(self.path)
             params = parse_qs(parsed.query)
             try:
                 if parsed.path == "/health":
-                    stats = engine.query_stats
-                    body = {
-                        "status": "ok",
-                        "indexed": engine.num_indexed,
-                        "queries": stats.queries,
-                        "degraded_queries": stats.degraded_queries,
-                        "fallback_queries": stats.fallback_queries,
-                    }
+                    body = _health_payload(target)
                 elif parsed.path == "/search":
-                    body = _search_payload(engine, params)
+                    body = _search_payload(target, params)
                 elif parsed.path == "/explain":
-                    body = _explain_payload(engine, params)
+                    body = _explain_payload(target, params)
                 elif parsed.path == "/document":
-                    body = _document_payload(engine, params)
+                    body = _document_payload(target, params)
                 elif parsed.path == "/metrics":
-                    snapshot = engine.metrics_registry.snapshot()
                     self._reply_text(
                         200,
-                        render_prometheus(snapshot),
+                        render_prometheus(_metrics_snapshot(target)),
                         PROMETHEUS_CONTENT_TYPE,
                     )
                     return
                 elif parsed.path == "/stats":
-                    body = _stats_payload(engine)
+                    body = _stats_payload(target)
                 else:
                     self._reply(404, {"error": f"unknown path {parsed.path}"})
                     return
@@ -173,6 +288,22 @@ def make_handler(engine: NewsLinkEngine) -> type[BaseHTTPRequestHandler]:
                 return
             except DocumentNotIndexedError as exc:
                 self._reply(404, {"error": str(exc)})
+                return
+            except OverloadShedError as exc:
+                # Shedding is the overload policy working as designed:
+                # tell the client to back off and retry.
+                self._reply(
+                    429,
+                    {"error": str(exc), "reason": exc.reason},
+                    extra_headers=(("Retry-After", "1"),),
+                )
+                return
+            except ShardFailedError as exc:
+                # A routed single-shard request (snippet/document/
+                # explain) lost its shard: temporarily unavailable.
+                self._reply(
+                    503, {"error": str(exc), "shard": exc.shard_id}
+                )
                 return
             except (ValueError, ConfigError, DataError) as exc:
                 # The client sent something the engine rejects: malformed
@@ -197,9 +328,16 @@ def make_handler(engine: NewsLinkEngine) -> type[BaseHTTPRequestHandler]:
                 return
             self._reply(200, body)
 
-        def _reply(self, status: int, body: dict) -> None:
+        def _reply(
+            self,
+            status: int,
+            body: dict,
+            extra_headers: tuple[tuple[str, str], ...] = (),
+        ) -> None:
             data = json.dumps(body).encode("utf-8")
-            self._reply_bytes(status, data, "application/json")
+            self._reply_bytes(
+                status, data, "application/json", extra_headers
+            )
 
         def _reply_text(
             self, status: int, text: str, content_type: str
@@ -207,11 +345,17 @@ def make_handler(engine: NewsLinkEngine) -> type[BaseHTTPRequestHandler]:
             self._reply_bytes(status, text.encode("utf-8"), content_type)
 
         def _reply_bytes(
-            self, status: int, data: bytes, content_type: str
+            self,
+            status: int,
+            data: bytes,
+            content_type: str,
+            extra_headers: tuple[tuple[str, str], ...] = (),
         ) -> None:
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
+            for name, value in extra_headers:
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(data)
 
@@ -219,17 +363,77 @@ def make_handler(engine: NewsLinkEngine) -> type[BaseHTTPRequestHandler]:
 
 
 def make_server(
-    engine: NewsLinkEngine, host: str = "127.0.0.1", port: int = 0
-) -> ThreadingHTTPServer:
+    target,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    request_timeout: float = REQUEST_TIMEOUT_S,
+) -> NewsLinkHTTPServer:
     """A ready-to-run server (``port=0`` picks a free port)."""
-    return ThreadingHTTPServer((host, port), make_handler(engine))
+    return NewsLinkHTTPServer(
+        (host, port), make_handler(target, request_timeout)
+    )
 
 
-def serve(engine: NewsLinkEngine, host: str = "127.0.0.1", port: int = 8080) -> None:
-    """Serve forever (blocking)."""
-    server = make_server(engine, host, port)
-    print(f"NewsLink API listening on http://{host}:{server.server_address[1]}")
+def shutdown_gracefully(server: NewsLinkHTTPServer, target) -> None:
+    """Stop accepting, drain in-flight requests, release the target.
+
+    The shutdown order matters: ``shutdown()`` stops the accept loop,
+    ``server_close()`` joins the (non-daemon) handler threads so every
+    accepted request finishes its reply, and only then is the target
+    closed — a coordinator terminates its shard workers here, so no
+    forked process outlives the server.
+    """
+    server.shutdown()
+    server.server_close()
+    close = getattr(target, "close", None)
+    if close is not None:
+        close()
+
+
+def serve(
+    target,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    request_timeout: float = REQUEST_TIMEOUT_S,
+    install_signals: bool | None = None,
+    stop_event: threading.Event | None = None,
+) -> None:
+    """Serve until SIGTERM/SIGINT (or ``stop_event``), then drain.
+
+    ``install_signals`` defaults to True on the main thread (Python
+    forbids installing handlers elsewhere); tests running ``serve`` on a
+    helper thread pass their own ``stop_event`` instead.  On shutdown
+    the server stops accepting, finishes every in-flight request, and
+    closes the target (terminating shard workers when the target is a
+    coordinator) before returning.
+    """
+    server = make_server(target, host, port, request_timeout)
+    stop = stop_event or threading.Event()
+    if install_signals is None:
+        install_signals = (
+            threading.current_thread() is threading.main_thread()
+        )
+    previous: dict[int, object] = {}
+    if install_signals:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(
+                signum, lambda *_args: stop.set()
+            )
+    loop = threading.Thread(
+        target=server.serve_forever, name="newslink-accept-loop"
+    )
+    loop.start()
+    print(
+        f"NewsLink API listening on http://{host}:{server.server_address[1]}",
+        flush=True,
+    )
     try:
-        server.serve_forever()
+        stop.wait()
     except KeyboardInterrupt:  # pragma: no cover - interactive only
-        server.shutdown()
+        pass
+    finally:
+        shutdown_gracefully(server, target)
+        loop.join()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)  # type: ignore[arg-type]
+    print("NewsLink API drained and stopped", flush=True)

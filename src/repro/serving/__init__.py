@@ -1,0 +1,53 @@
+"""Sharded serving: document-partitioned shards + scatter-gather.
+
+The single-engine deployment tops out at one process: the whole corpus
+lives in one pair of inverted indexes behind a threaded stdlib server.
+This package is the scale-out layer:
+
+* :class:`~repro.serving.planner.ShardPlanner` — splits an indexed
+  engine into N document-partitioned shard engines, each scored with
+  corpus-wide BM25 statistics so per-shard scores are bit-identical to
+  the whole-corpus oracle;
+* :mod:`~repro.serving.shard` — a pool of forked worker processes per
+  shard, serving ranked queries over a pipe protocol (workers inherit
+  the precompiled shard engine copy-on-write);
+* :class:`~repro.serving.coordinator.Coordinator` — embeds the query
+  once, scatters the term lists to every shard, gathers per-shard top-k
+  with a timeout (a killed worker yields a *partial* result, never a
+  hang), and merges with the same score/doc-id ordering the single
+  engine uses;
+* :class:`~repro.serving.admission.AdmissionController` — bounded
+  in-flight + wait queue with deadline-aware shedding, so overload
+  degrades to fast 429s instead of unbounded queueing;
+* :mod:`~repro.serving.traffic` — a seeded, replayable traffic
+  generator (query mixes, heavy-tailed arrivals, stress tier) driving
+  ``benchmarks/bench_serving.py``.
+
+See ``docs/serving.md`` for the architecture and the exactness
+contract.
+"""
+
+from repro.serving.admission import AdmissionController
+from repro.serving.coordinator import Coordinator, GatherOutcome, ServingStats
+from repro.serving.planner import ShardPlan, ShardPlanner
+from repro.serving.traffic import (
+    ReplayReport,
+    TrafficConfig,
+    TrafficEvent,
+    generate_trace,
+    replay,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Coordinator",
+    "GatherOutcome",
+    "ReplayReport",
+    "ServingStats",
+    "ShardPlan",
+    "ShardPlanner",
+    "TrafficConfig",
+    "TrafficEvent",
+    "generate_trace",
+    "replay",
+]

@@ -1,0 +1,153 @@
+"""Admission control: bounded in-flight work + deadline-aware shedding.
+
+Without admission control an overloaded coordinator queues without
+bound: every request eventually gets served, but only after waiting so
+long that its deadline (and the client) are long gone — p99 latency
+grows with the backlog, which grows without limit.  The controller
+turns that failure mode into explicit, *fast* rejection:
+
+* at most ``max_inflight`` queries execute concurrently (default: the
+  per-shard worker count — more would just queue inside the shard
+  pools);
+* at most ``max_queue`` queries wait for a slot; an arrival beyond that
+  is shed immediately with reason ``"queue_full"`` (HTTP 429);
+* a queued query whose :class:`~repro.utils.deadline.Deadline` expires
+  before a slot frees is shed with reason ``"deadline"`` — serving it
+  would burn a slot producing an answer nobody is waiting for.
+
+``max_queue=None`` disables shedding entirely (unbounded queueing) —
+that is the *control arm* of ``benchmarks/bench_serving.py``'s overload
+experiment, kept deliberately so the benchmark can show shedding
+holding p99 bounded while the unbounded policy does not.
+
+The controller is engine-agnostic and registry-free; the coordinator
+reads :meth:`snapshot` at scrape time (collector-driven, like every
+other stats silo).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from threading import Condition
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import ConfigError, OverloadShedError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.utils.deadline import Deadline
+
+
+class AdmissionController:
+    """A counting slot gate with a bounded, deadline-aware wait queue."""
+
+    def __init__(
+        self,
+        max_inflight: int,
+        max_queue: int | None = 16,
+        shed_on_deadline: bool = True,
+    ) -> None:
+        if max_inflight < 1:
+            raise ConfigError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if max_queue is not None and max_queue < 0:
+            raise ConfigError(
+                f"max_queue must be >= 0 or None, got {max_queue}"
+            )
+        self._max_inflight = max_inflight
+        self._max_queue = max_queue
+        self._shed_on_deadline = shed_on_deadline
+        self._cond = Condition()
+        self._inflight = 0
+        self._queued = 0
+        self._admitted = 0
+        self._peak_queued = 0
+        self._shed = {"queue_full": 0, "deadline": 0}
+
+    # -- configuration -------------------------------------------------
+    @property
+    def max_inflight(self) -> int:
+        return self._max_inflight
+
+    @property
+    def max_queue(self) -> int | None:
+        return self._max_queue
+
+    # -- the gate ------------------------------------------------------
+    def acquire(self, deadline: "Deadline | None" = None) -> None:
+        """Take a serving slot, queueing within policy; sheds by raising.
+
+        Raises :class:`OverloadShedError` with ``reason="queue_full"``
+        when the wait queue is at capacity, or ``reason="deadline"``
+        when ``deadline`` expires at admission or while queued.
+        """
+        with self._cond:
+            # Fast path: a free slot and nobody ahead of us in line.
+            if self._inflight < self._max_inflight and self._queued == 0:
+                self._inflight += 1
+                self._admitted += 1
+                return
+            if (
+                self._max_queue is not None
+                and self._queued >= self._max_queue
+            ):
+                self._shed["queue_full"] += 1
+                raise OverloadShedError(
+                    "queue_full", f"{self._queued} queries already waiting"
+                )
+            if (
+                self._shed_on_deadline
+                and deadline is not None
+                and deadline.expired()
+            ):
+                self._shed["deadline"] += 1
+                raise OverloadShedError(
+                    "deadline", "expired before admission"
+                )
+            self._queued += 1
+            self._peak_queued = max(self._peak_queued, self._queued)
+            try:
+                while self._inflight >= self._max_inflight:
+                    if self._shed_on_deadline and deadline is not None:
+                        remaining_s = deadline.remaining_ms() / 1000.0
+                        if remaining_s <= 0.0:
+                            self._shed["deadline"] += 1
+                            raise OverloadShedError(
+                                "deadline", "expired while queued"
+                            )
+                        self._cond.wait(timeout=remaining_s)
+                    else:
+                        self._cond.wait()
+                self._inflight += 1
+                self._admitted += 1
+            finally:
+                self._queued -= 1
+
+    def release(self) -> None:
+        """Return a slot (wakes one queued waiter)."""
+        with self._cond:
+            self._inflight -= 1
+            self._cond.notify()
+
+    @contextmanager
+    def slot(self, deadline: "Deadline | None" = None) -> Iterator[None]:
+        """``with admission.slot(deadline):`` — acquire/release paired."""
+        self.acquire(deadline)
+        try:
+            yield
+        finally:
+            self.release()
+
+    # -- observability -------------------------------------------------
+    def snapshot(self) -> dict:
+        """Point-in-time counters (scraped into ``/stats``)."""
+        with self._cond:
+            return {
+                "max_inflight": self._max_inflight,
+                "max_queue": self._max_queue,
+                "inflight": self._inflight,
+                "queued": self._queued,
+                "peak_queued": self._peak_queued,
+                "admitted": self._admitted,
+                "shed": dict(self._shed),
+            }

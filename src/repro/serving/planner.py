@@ -1,0 +1,130 @@
+"""Partition an indexed engine into document-sharded engines.
+
+The planner is the offline half of sharded serving: given one fully
+indexed :class:`~repro.search.engine.NewsLinkEngine` (which doubles as
+the differential oracle in tests), it deals the corpus round-robin into
+``num_shards`` shard engines and freezes everything the workers will
+share copy-on-write.
+
+Exactness contract
+------------------
+BM25 scores depend on corpus-wide statistics — document count, per-term
+document frequency, average document length.  A shard scoring its
+partition with *local* statistics would produce different floats than
+the whole-corpus engine, and the coordinator's merge could then reorder
+or even swap members of the global top-k.  The planner therefore
+captures :class:`~repro.search.bm25.CorpusStats` from the **source**
+engine's indexes and installs them on every shard
+(:meth:`NewsLinkEngine.set_corpus_stats`): per-document inputs (term
+frequency, document length) stay shard-local, corpus-wide inputs come
+from the frozen global statistics, so each shard's per-document scores
+are bit-identical to the oracle's.  Shards partition the document set,
+so merging per-shard top-k lists under the oracle's own ordering
+(descending score, ascending doc id) reproduces the oracle's top-k
+exactly — property-tested in ``tests/serving/test_differential.py``.
+
+Per-query max-normalization (``fusion.normalize=True``) needs the
+global score maxima *per query*, which no shard can know locally; the
+planner rejects that configuration up front rather than serving subtly
+wrong merges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.search.bm25 import CorpusStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.search.engine import NewsLinkEngine
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The frozen outcome of partitioning a corpus across shards.
+
+    Attributes:
+        num_shards: how many shards the corpus was dealt into.
+        assignments: ``doc_id -> shard_id`` for every indexed document.
+        doc_counts: documents per shard, indexed by shard id.
+    """
+
+    num_shards: int
+    assignments: Mapping[str, int]
+    doc_counts: tuple[int, ...]
+
+    def shard_of(self, doc_id: str) -> int | None:
+        """The shard owning ``doc_id`` (None when never indexed)."""
+        return self.assignments.get(doc_id)
+
+
+class ShardPlanner:
+    """Builds shard engines from an indexed source engine.
+
+    The source engine must already hold the corpus (embeddings computed
+    once, offline or via the parallel indexer); the planner only re-deals
+    the stored documents, so planning costs index inserts — never an NLP
+    or ``G*`` pass.
+    """
+
+    def __init__(self, source: "NewsLinkEngine", num_shards: int) -> None:
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        if source.config.fusion.normalize:
+            raise ConfigError(
+                "sharded serving requires fusion.normalize=False: per-query "
+                "max-normalization needs global score maxima no shard can "
+                "compute locally"
+            )
+        self._source = source
+        self._num_shards = num_shards
+
+    def build(self) -> "tuple[ShardPlan, list[NewsLinkEngine]]":
+        """Deal the corpus into shard engines; returns (plan, engines).
+
+        Documents are assigned round-robin in insertion order —
+        deterministic, balanced to within one document, and independent
+        of doc-id spelling.  Each shard engine gets a **private**
+        :class:`MetricsRegistry` (worker processes fold these back at
+        scrape time; sharing the parent's registry would double-count
+        after fork) and is :meth:`~NewsLinkEngine.precompile`-d so the
+        compiled graph, packed posting snapshots and BM25 caches are
+        materialized pre-fork and shared copy-on-write.
+        """
+        from repro.search.engine import NewsLinkEngine
+
+        source = self._source
+        shards = [
+            NewsLinkEngine(
+                source.graph,
+                source.config,
+                label_index=source.label_index,
+                registry=MetricsRegistry(),
+            )
+            for _ in range(self._num_shards)
+        ]
+        assignments: dict[str, int] = {}
+        doc_counts = [0] * self._num_shards
+        for position, doc_id in enumerate(source.indexed_doc_ids()):
+            shard_id = position % self._num_shards
+            shards[shard_id].add_embedded_document(
+                doc_id,
+                source.document_text(doc_id),
+                source.embedding(doc_id),
+            )
+            assignments[doc_id] = shard_id
+            doc_counts[shard_id] += 1
+        text_stats = CorpusStats.of_index(source.text_index)
+        node_stats = CorpusStats.of_index(source.node_index)
+        for shard in shards:
+            shard.set_corpus_stats(text_stats, node_stats)
+            shard.precompile()
+        plan = ShardPlan(
+            num_shards=self._num_shards,
+            assignments=assignments,
+            doc_counts=tuple(doc_counts),
+        )
+        return plan, shards

@@ -1,0 +1,263 @@
+"""Seeded, replayable traffic for the serving benchmark.
+
+``benchmarks/bench_serving.py`` needs load that is (a) *reproducible* —
+the same seed must produce the same queries at the same offsets, so a
+regression run replays the exact traffic of the baseline run — and (b)
+*realistic enough to overload* — arrivals bunch (heavy-tailed
+inter-arrival gaps, Pareto-distributed), which is what actually drives
+queues deep and sheds requests.
+
+:func:`generate_trace` is a pure function of its config: no wall clock,
+no global RNG — a ``random.Random(seed)`` drives query choice and
+arrival gaps.  :func:`replay` then executes a trace against anything
+that serves queries (a :class:`~repro.serving.coordinator.Coordinator`
+or a bare engine) in one of two modes:
+
+* **open-loop** — every query fires at its scheduled offset regardless
+  of whether earlier ones finished (constant-rate-ish arrival process;
+  the mode that exposes queueing collapse under overload);
+* **closed-loop** — ``concurrency`` workers issue queries back to back
+  (the mode that measures achievable throughput).
+
+The report carries throughput, latency percentiles and shed/degraded/
+partial counts — everything the benchmark publishes.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field, fields
+from typing import Any, Sequence
+
+from repro.errors import ConfigError, OverloadShedError
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Knobs for one generated trace (all consumed deterministically).
+
+    Attributes:
+        seed: RNG seed; same seed + same pool = same trace, always.
+        num_queries: events in the trace.
+        mode: ``"open"`` (scheduled offsets) or ``"closed"``
+            (back-to-back from ``concurrency`` workers).
+        rate_qps: mean arrival rate for open-loop traces.
+        pareto_alpha: inter-arrival tail index; smaller = burstier
+            (must be > 1 so the mean exists).
+        k: top-k requested per query.
+        deadline_ms: per-query deadline (None = no deadline).
+        concurrency: closed-loop worker threads.
+    """
+
+    seed: int = 0
+    num_queries: int = 100
+    mode: str = "open"
+    rate_qps: float = 50.0
+    pareto_alpha: float = 1.5
+    k: int = 10
+    deadline_ms: float | None = None
+    concurrency: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 1:
+            raise ConfigError("num_queries must be >= 1")
+        if self.mode not in ("open", "closed"):
+            raise ConfigError("mode must be 'open' or 'closed'")
+        if self.rate_qps <= 0:
+            raise ConfigError("rate_qps must be positive")
+        if self.pareto_alpha <= 1.0:
+            raise ConfigError(
+                "pareto_alpha must be > 1 (finite-mean inter-arrivals)"
+            )
+        if self.concurrency < 1:
+            raise ConfigError("concurrency must be >= 1")
+
+
+@dataclass(frozen=True)
+class TrafficEvent:
+    """One scheduled query."""
+
+    index: int
+    at_s: float
+    query: str
+    k: int
+
+
+def generate_trace(
+    config: TrafficConfig,
+    queries: Sequence[str],
+    weights: Sequence[float] | None = None,
+) -> list[TrafficEvent]:
+    """A deterministic trace over the ``queries`` pool.
+
+    ``weights`` skews the query mix (defaults to uniform).  Open-loop
+    offsets accumulate Pareto(``pareto_alpha``) gaps scaled so the mean
+    rate is ``rate_qps``; individual gaps are capped at 50x the mean gap
+    so one extreme tail draw cannot stretch the trace unboundedly.
+    Closed-loop traces schedule everything at offset 0 (workers pace
+    themselves).
+    """
+    if not queries:
+        raise ConfigError("query pool must not be empty")
+    if weights is not None and len(weights) != len(queries):
+        raise ConfigError("weights must match the query pool length")
+    rng = random.Random(config.seed)
+    pool = list(queries)
+    # Mean of paretovariate(a) is a/(a-1); rescale to the target rate.
+    mean_gap = 1.0 / config.rate_qps
+    scale = mean_gap * (config.pareto_alpha - 1.0) / config.pareto_alpha
+    cap = 50.0 * mean_gap
+    events = []
+    offset = 0.0
+    for index in range(config.num_queries):
+        if config.mode == "open" and index > 0:
+            offset += min(cap, scale * rng.paretovariate(config.pareto_alpha))
+        query = (
+            rng.choices(pool, weights=list(weights), k=1)[0]
+            if weights is not None
+            else pool[rng.randrange(len(pool))]
+        )
+        events.append(
+            TrafficEvent(
+                index=index,
+                at_s=offset if config.mode == "open" else 0.0,
+                query=query,
+                k=config.k,
+            )
+        )
+    return events
+
+
+@dataclass
+class ReplayReport:
+    """Everything one replay measured."""
+
+    issued: int = 0
+    completed: int = 0
+    shed: int = 0
+    degraded: int = 0
+    partial: int = 0
+    errors: int = 0
+    duration_s: float = 0.0
+    throughput_qps: float = 0.0
+    latencies_ms: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.issued if self.issued else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        body = {f.name: getattr(self, f.name) for f in fields(self)}
+        body["shed_rate"] = self.shed_rate
+        return body
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) by linear interpolation; 0.0 if empty."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+
+
+def _issue(target: Any, event: TrafficEvent, deadline_ms: float | None):
+    """One query against ``target`` (coordinator or bare engine)."""
+    if hasattr(target, "search_detailed"):
+        outcome = target.search_detailed(
+            event.query, event.k, deadline_ms=deadline_ms
+        )
+        results = outcome.results
+        partial = outcome.partial
+    else:
+        results = target.search(event.query, event.k, deadline_ms=deadline_ms)
+        partial = False
+    degraded = bool(results) and results[0].degraded
+    return results, degraded, partial
+
+
+def replay(
+    target: Any, trace: Sequence[TrafficEvent], config: TrafficConfig
+) -> ReplayReport:
+    """Execute a trace against ``target`` and measure the outcome.
+
+    Shed queries (:class:`OverloadShedError`) are expected under
+    overload and counted, not raised.  Any other exception is counted
+    as an error (and the replay carries on — one bad query must not
+    invalidate the measurement).
+    """
+    report = ReplayReport(issued=len(trace))
+    latencies: list[float] = []
+    lock = threading.Lock()
+
+    def run_one(event: TrafficEvent) -> None:
+        began = time.perf_counter()
+        try:
+            _, degraded, partial = _issue(target, event, config.deadline_ms)
+        except OverloadShedError:
+            with lock:
+                report.shed += 1
+            return
+        except Exception:  # noqa: BLE001 - measured, not propagated
+            with lock:
+                report.errors += 1
+            return
+        elapsed_ms = (time.perf_counter() - began) * 1000.0
+        with lock:
+            report.completed += 1
+            latencies.append(elapsed_ms)
+            if degraded:
+                report.degraded += 1
+            if partial:
+                report.partial += 1
+
+    start = time.monotonic()
+    if config.mode == "open":
+        threads = []
+        for event in trace:
+            delay = start + event.at_s - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            thread = threading.Thread(
+                target=run_one, args=(event,), daemon=True
+            )
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join()
+    else:
+        iterator = iter(trace)
+
+        def drain() -> None:
+            while True:
+                with lock:
+                    event = next(iterator, None)
+                if event is None:
+                    return
+                run_one(event)
+
+        workers = [
+            threading.Thread(target=drain, daemon=True)
+            for _ in range(config.concurrency)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+    report.duration_s = time.monotonic() - start
+    if report.duration_s > 0:
+        report.throughput_qps = report.completed / report.duration_s
+    latencies.sort()
+    report.latencies_ms = {
+        "p50": percentile(latencies, 0.50),
+        "p90": percentile(latencies, 0.90),
+        "p99": percentile(latencies, 0.99),
+        "max": latencies[-1] if latencies else 0.0,
+    }
+    return report

@@ -1,0 +1,32 @@
+"""Shared fixtures: one indexed oracle engine + query pools."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.search.engine import NewsLinkEngine
+
+
+@pytest.fixture(scope="session")
+def oracle(tiny_dataset) -> SimpleNamespace:
+    """The whole-corpus single engine every sharded setup must equal."""
+    engine = NewsLinkEngine(tiny_dataset.world.graph)
+    engine.index_corpus(tiny_dataset.split.full)
+    corpus = list(tiny_dataset.split.full)
+    queries = [doc.text.split(".")[0] for doc in corpus[:10]]
+    vocabulary = sorted(
+        {
+            word
+            for doc in corpus[:20]
+            for word in doc.text.replace(".", " ").split()
+        }
+    )
+    return SimpleNamespace(
+        engine=engine,
+        corpus=corpus,
+        queries=queries,
+        vocabulary=vocabulary,
+        graph=tiny_dataset.world.graph,
+    )

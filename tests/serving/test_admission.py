@@ -1,0 +1,175 @@
+"""AdmissionController: slots, bounded queueing, deadline shedding."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError, OverloadShedError
+from repro.serving import AdmissionController
+from repro.utils.deadline import Deadline
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSlots:
+    def test_fast_path_admits_up_to_capacity(self):
+        admission = AdmissionController(max_inflight=2, max_queue=0)
+        admission.acquire()
+        admission.acquire()
+        snap = admission.snapshot()
+        assert snap["inflight"] == 2
+        assert snap["admitted"] == 2
+        admission.release()
+        admission.release()
+        assert admission.snapshot()["inflight"] == 0
+
+    def test_release_wakes_a_waiter(self):
+        admission = AdmissionController(max_inflight=1, max_queue=4)
+        admission.acquire()
+        admitted = threading.Event()
+
+        def waiter() -> None:
+            admission.acquire()
+            admitted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        assert not admitted.wait(timeout=0.1)
+        admission.release()
+        assert admitted.wait(timeout=2.0)
+        admission.release()
+        thread.join(timeout=2.0)
+
+    def test_slot_context_manager_pairs(self):
+        admission = AdmissionController(max_inflight=1, max_queue=0)
+        with admission.slot():
+            assert admission.snapshot()["inflight"] == 1
+        assert admission.snapshot()["inflight"] == 0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ConfigError):
+            AdmissionController(max_inflight=1, max_queue=-1)
+
+
+class TestQueueFullShedding:
+    def test_arrival_beyond_queue_capacity_sheds_immediately(self):
+        admission = AdmissionController(max_inflight=1, max_queue=0)
+        admission.acquire()
+        with pytest.raises(OverloadShedError) as excinfo:
+            admission.acquire()
+        assert excinfo.value.reason == "queue_full"
+        snap = admission.snapshot()
+        assert snap["shed"]["queue_full"] == 1
+        assert snap["queued"] == 0
+        admission.release()
+
+    def test_unbounded_mode_never_sheds_queue_full(self):
+        admission = AdmissionController(max_inflight=1, max_queue=None)
+        admission.acquire()
+        admitted = []
+
+        def waiter() -> None:
+            admission.acquire()
+            admitted.append(True)
+            admission.release()
+
+        threads = [
+            threading.Thread(target=waiter, daemon=True) for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        admission.release()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert len(admitted) == 8
+        assert admission.snapshot()["shed"]["queue_full"] == 0
+
+
+class TestDeadlineShedding:
+    def test_expired_deadline_sheds_at_admission(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        clock.now = 1.0  # way past the 10ms budget
+        admission = AdmissionController(max_inflight=1, max_queue=4)
+        admission.acquire()  # fill the slot so arrivals must queue
+        with pytest.raises(OverloadShedError) as excinfo:
+            admission.acquire(deadline)
+        assert excinfo.value.reason == "deadline"
+        assert admission.snapshot()["shed"]["deadline"] == 1
+        admission.release()
+
+    def test_deadline_expiring_while_queued_sheds(self):
+        admission = AdmissionController(max_inflight=1, max_queue=4)
+        admission.acquire()
+        with pytest.raises(OverloadShedError) as excinfo:
+            # A real (tiny) deadline: the slot never frees, so the
+            # waiter must shed once the budget elapses instead of
+            # waiting forever.
+            admission.acquire(Deadline(20.0))
+        assert excinfo.value.reason == "deadline"
+        admission.release()
+
+    def test_shed_on_deadline_disabled_waits_instead(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        clock.now = 1.0
+        admission = AdmissionController(
+            max_inflight=1, max_queue=4, shed_on_deadline=False
+        )
+        # With a free slot the expired deadline is irrelevant either way.
+        admission.acquire(deadline)
+        admission.release()
+        assert admission.snapshot()["shed"]["deadline"] == 0
+
+    def test_expired_deadline_with_free_slot_is_served(self):
+        # Admission only sheds queries that would have to *wait*; a free
+        # slot means serving is strictly better than rejecting (mirrors
+        # the engine's query-cache deadline contract).
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        clock.now = 1.0
+        admission = AdmissionController(max_inflight=1, max_queue=0)
+        admission.acquire(deadline)
+        admission.release()
+        assert admission.snapshot()["admitted"] == 1
+
+
+class TestSnapshot:
+    def test_peak_queue_depth_is_recorded(self):
+        admission = AdmissionController(max_inflight=1, max_queue=8)
+        admission.acquire()
+        entered = threading.Barrier(4)
+        done = []
+
+        def waiter() -> None:
+            entered.wait(timeout=5.0)
+            admission.acquire()
+            done.append(True)
+            admission.release()
+
+        threads = [
+            threading.Thread(target=waiter, daemon=True) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        entered.wait(timeout=5.0)
+        deadline = Deadline(5_000.0)
+        while (
+            admission.snapshot()["queued"] < 3 and not deadline.expired()
+        ):
+            pass
+        admission.release()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert len(done) == 3
+        assert admission.snapshot()["peak_queued"] == 3

@@ -1,0 +1,136 @@
+"""Differential suite: sharded top-k must be bit-identical to the oracle.
+
+The coordinator's exactness contract (docs/serving.md) is checked here
+property-style: for shard counts 1, 2 and 4, any query/k/beta combination
+must come back *bit-identical* — same doc ids, same order, same float
+scores — to the whole-corpus single engine.  Ties (duplicate documents
+landing in different shards) and the degraded deadline path get dedicated
+corpora because random draws rarely hit them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ServingConfig
+from repro.search.engine import NewsLinkEngine
+from repro.serving import Coordinator
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def as_tuples(results):
+    return [
+        (r.doc_id, r.score, r.bow_score, r.bon_score) for r in results
+    ]
+
+
+@pytest.fixture(scope="module")
+def coordinators(oracle):
+    built = {
+        n: Coordinator.build(
+            oracle.engine, ServingConfig(num_shards=n, transport="inline")
+        )
+        for n in SHARD_COUNTS
+    }
+    yield built
+    for coordinator in built.values():
+        coordinator.close()
+
+
+class TestTopKDifferential:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_bit_identical_for_1_2_4_shards(
+        self, oracle, coordinators, data
+    ):
+        words = data.draw(
+            st.lists(
+                st.sampled_from(oracle.vocabulary), min_size=1, max_size=5
+            )
+        )
+        query = " ".join(words)
+        k = data.draw(st.sampled_from([1, 3, 10, 64]))
+        beta = data.draw(st.sampled_from([None, 0.0, 0.4, 1.0]))
+        kwargs = {} if beta is None else {"beta": beta}
+        want = as_tuples(oracle.engine.search(query, k=k, **kwargs))
+        for num_shards, coordinator in coordinators.items():
+            got = as_tuples(coordinator.search(query, k=k, **kwargs))
+            assert got == want, f"num_shards={num_shards} query={query!r}"
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_k_exceeding_every_shards_hits(
+        self, oracle, coordinators, num_shards
+    ):
+        # k larger than any single shard holds: the merge must surface
+        # every shard's full result list, still in oracle order.
+        query = oracle.queries[0]
+        want = oracle.engine.search(query, k=1000)
+        got = coordinators[num_shards].search(query, k=1000)
+        assert as_tuples(got) == as_tuples(want)
+
+
+class TestTieBreaking:
+    @pytest.fixture(scope="class")
+    def tied(self, oracle):
+        """A corpus of duplicate-text pairs; round-robin placement puts
+        the two copies of each pair in *different* shards."""
+        engine = NewsLinkEngine(oracle.graph)
+        for i, doc in enumerate(oracle.corpus[:6]):
+            for suffix in ("a", "b"):
+                engine.index_document(
+                    replace(doc, doc_id=f"tie-{i:02d}-{suffix}")
+                )
+        return engine
+
+    @pytest.mark.parametrize("num_shards", [2, 3])
+    def test_cross_shard_ties_break_like_the_oracle(
+        self, oracle, tied, num_shards
+    ):
+        coordinator = Coordinator.build(
+            tied, ServingConfig(num_shards=num_shards, transport="inline")
+        )
+        try:
+            for query in oracle.queries[:4]:
+                want = tied.search(query, k=12)
+                got = coordinator.search(query, k=12)
+                assert as_tuples(got) == as_tuples(want)
+        finally:
+            coordinator.close()
+
+    def test_the_corpus_actually_produces_ties(self, oracle, tied):
+        results = tied.search(oracle.queries[0], k=12)
+        scores = [r.score for r in results]
+        assert len(scores) != len(set(scores)), (
+            "tie corpus produced no equal scores; the tie-breaking test "
+            "is vacuous"
+        )
+        # Equal-score pairs are ordered by doc_id (a before b).
+        by_score: dict[float, list[str]] = {}
+        for r in results:
+            by_score.setdefault(r.score, []).append(r.doc_id)
+        for doc_ids in by_score.values():
+            assert doc_ids == sorted(doc_ids)
+
+
+class TestDegradedDifferential:
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_expired_deadline_degrades_identically(
+        self, oracle, coordinators, num_shards
+    ):
+        # Fresh query text per shard count so neither side's query-cache
+        # LRU can answer before the deadline check fires.
+        query = f"{oracle.queries[3]} degraded probe {num_shards}"
+        want = oracle.engine.search(query, k=8, deadline_ms=0.001)
+        got = coordinators[num_shards].search(query, k=8, deadline_ms=0.001)
+        assert want, "oracle degraded query found nothing; test is vacuous"
+        assert all(r.degraded for r in want)
+        assert all(r.degraded for r in got)
+        assert as_tuples(got) == as_tuples(want)
+        assert [r.degraded_reason for r in got] == [
+            r.degraded_reason for r in want
+        ]

@@ -1,0 +1,82 @@
+"""ShardPlanner: partitioning, global statistics, configuration gates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineConfig, FusionConfig
+from repro.errors import ConfigError
+from repro.search.bm25 import CorpusStats
+from repro.search.engine import NewsLinkEngine
+from repro.serving import ShardPlanner
+
+
+class TestPartitioning:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 4])
+    def test_round_robin_is_disjoint_and_complete(self, oracle, num_shards):
+        plan, shards = ShardPlanner(oracle.engine, num_shards).build()
+        assert plan.num_shards == num_shards
+        assert len(shards) == num_shards
+        # Every indexed document is owned by exactly one shard.
+        assert set(plan.assignments) == set(oracle.engine.indexed_doc_ids())
+        assert sum(plan.doc_counts) == oracle.engine.num_indexed
+        for shard_id, shard in enumerate(shards):
+            assert shard.num_indexed == plan.doc_counts[shard_id]
+            for doc_id in shard.indexed_doc_ids():
+                assert plan.assignments[doc_id] == shard_id
+        # Round-robin balance: counts differ by at most one.
+        assert max(plan.doc_counts) - min(plan.doc_counts) <= 1
+
+    def test_shard_of_unknown_document_is_none(self, oracle):
+        plan, _ = ShardPlanner(oracle.engine, 2).build()
+        assert plan.shard_of("no-such-doc") is None
+
+    def test_more_shards_than_documents_leaves_empty_shards(self, oracle):
+        total = oracle.engine.num_indexed
+        plan, shards = ShardPlanner(oracle.engine, total + 3).build()
+        assert plan.doc_counts.count(0) == 3
+        assert sum(plan.doc_counts) == total
+        # Empty shards still answer (with nothing) instead of failing.
+        assert shards[-1].rank_terms(["anything"], [], 5) == []
+
+    def test_source_engine_is_untouched(self, oracle):
+        before = oracle.engine.num_indexed
+        ShardPlanner(oracle.engine, 3).build()
+        assert oracle.engine.num_indexed == before
+        # The oracle still scores with its own (local) statistics.
+        assert oracle.engine._corpus_stats is None
+
+
+class TestGlobalStatistics:
+    def test_shards_score_with_corpus_wide_statistics(self, oracle):
+        _, shards = ShardPlanner(oracle.engine, 3).build()
+        text_stats = CorpusStats.of_index(oracle.engine.text_index)
+        for shard in shards:
+            scorer_stats = shard._text_scorer.stats
+            assert scorer_stats is not None
+            assert scorer_stats.num_docs == oracle.engine.num_indexed
+            assert (
+                scorer_stats.avg_doc_length == text_stats.avg_doc_length
+            )
+
+    def test_shard_idf_matches_oracle_bitwise(self, oracle):
+        _, shards = ShardPlanner(oracle.engine, 3).build()
+        vocabulary = list(oracle.engine.text_index.vocabulary())[:50]
+        for term in vocabulary:
+            want = oracle.engine._text_scorer.idf(term)
+            for shard in shards:
+                assert shard._text_scorer.idf(term) == want
+
+
+class TestGates:
+    def test_zero_shards_rejected(self, oracle):
+        with pytest.raises(ConfigError):
+            ShardPlanner(oracle.engine, 0)
+
+    def test_normalized_fusion_rejected(self, oracle):
+        engine = NewsLinkEngine(
+            oracle.graph,
+            EngineConfig(fusion=FusionConfig(normalize=True)),
+        )
+        with pytest.raises(ConfigError, match="normalize"):
+            ShardPlanner(engine, 2)

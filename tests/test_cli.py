@@ -192,7 +192,7 @@ class TestServe:
         import threading
         import urllib.request
 
-        def fake_serve(engine, host="127.0.0.1", port=8080):
+        def fake_serve(engine, host="127.0.0.1", port=8080, **kwargs):
             from repro.server import make_server
 
             server = make_server(engine, host=host, port=0)
@@ -215,7 +215,7 @@ class TestServe:
     ):
         captured = {}
 
-        def fake_serve(engine, host="127.0.0.1", port=8080):
+        def fake_serve(engine, host="127.0.0.1", port=8080, **kwargs):
             captured["enabled"] = engine.metrics_registry.enabled
 
         monkeypatch.setattr("repro.server.serve", fake_serve)

@@ -4,18 +4,27 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import signal
+import socket
+import subprocess
+import sys
 import threading
+import time
 import urllib.error
 import urllib.request
+from pathlib import Path
 
 import pytest
 
+from repro.config import ServingConfig
 from repro.data.document import Corpus, NewsDocument
 from repro.obs import PROMETHEUS_CONTENT_TYPE, validate_prometheus_text
 from repro.obs.metrics import MetricsRegistry
 from repro.reliability import faults
 from repro.search.engine import NewsLinkEngine
-from repro.server import make_server
+from repro.server import make_server, shutdown_gracefully
+from repro.serving import Coordinator
 
 
 @pytest.fixture(scope="module")
@@ -356,3 +365,264 @@ class TestHardening:
         status, body = get_json(f"{url}/search?q=Taliban&deadline_ms=0")
         assert status == 400
         assert "deadline_ms" in body["error"]
+
+
+def _tiny_engine(figure1_graph) -> NewsLinkEngine:
+    engine = NewsLinkEngine(figure1_graph)
+    engine.index_corpus(
+        Corpus(
+            [
+                NewsDocument(
+                    "t_q", "Pakistan fought Taliban in Upper Dir and Swat Valley."
+                ),
+                NewsDocument(
+                    "t_r", "Taliban bombed Lahore. Peshawar and Pakistan reacted."
+                ),
+            ]
+        )
+    )
+    return engine
+
+
+class TestRequestTimeout:
+    @pytest.fixture()
+    def slow_client_server(self, figure1_graph):
+        engine = _tiny_engine(figure1_graph)
+        server = make_server(engine, port=0, request_timeout=0.3)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server.server_address[:2]
+        server.shutdown()
+        server.server_close()
+
+    def test_idle_client_gets_408(self, slow_client_server):
+        # A client that connects and never sends its request line must
+        # not pin a handler thread: after request_timeout the server
+        # answers 408 and closes.
+        with socket.create_connection(slow_client_server, timeout=5) as sock:
+            sock.settimeout(5)
+            reply = sock.recv(4096)
+            assert reply.startswith(b"HTTP/1.1 408")
+            assert b"Connection: close" in reply
+            assert b"request timeout" in reply
+            assert sock.recv(4096) == b""  # connection was closed
+
+    def test_mid_request_stall_closes_without_reply(self, slow_client_server):
+        # A client that stalls *mid* request line cannot be answered
+        # safely (the 408 would corrupt a byte stream the client thinks
+        # it owns); the connection is just closed.
+        with socket.create_connection(slow_client_server, timeout=5) as sock:
+            sock.settimeout(5)
+            sock.sendall(b"GET /heal")
+            assert sock.recv(4096) == b""
+
+    def test_prompt_requests_are_unaffected(self, slow_client_server):
+        host, port = slow_client_server
+        status, body = get_json(f"http://{host}:{port}/health")
+        assert status == 200
+        assert body["status"] == "ok"
+
+
+@pytest.fixture(scope="module")
+def coordinator_server(figure1_graph):
+    engine = _tiny_engine(figure1_graph)
+    coordinator = Coordinator.build(
+        engine, ServingConfig(num_shards=2, transport="inline")
+    )
+    server = make_server(coordinator, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", coordinator, engine
+    server.shutdown()
+    server.server_close()
+    coordinator.close()
+
+
+class TestCoordinatorEndpoints:
+    def test_health_exposes_serving_counters(self, coordinator_server):
+        url, _, _ = coordinator_server
+        status, body = get_json(f"{url}/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["indexed"] == 2
+        assert body["live_workers"] == 2
+        for key in ("queries", "degraded_queries", "partial_queries",
+                    "shed_queries"):
+            assert body[key] >= 0
+
+    def test_search_matches_single_engine(self, coordinator_server):
+        url, _, engine = coordinator_server
+        status, body = get_json(f"{url}/search?q=Taliban+in+Pakistan&k=2")
+        assert status == 200
+        assert body["partial"] is False
+        assert "failed_shards" not in body
+        want = engine.search("Taliban in Pakistan", k=2)
+        got = [(r["doc_id"], r["score"]) for r in body["results"]]
+        assert got == [(r.doc_id, r.score) for r in want]
+
+    def test_document_and_explain_route_to_the_owning_shard(
+        self, coordinator_server
+    ):
+        url, _, _ = coordinator_server
+        status, body = get_json(f"{url}/document?id=t_q")
+        assert status == 200
+        assert body["text"].startswith("Pakistan fought")
+        status, body = get_json(f"{url}/explain?q=Taliban+attack&doc=t_r")
+        assert status == 200
+        assert "Taliban" in body["shared_entities"]
+        status, _ = get_json(f"{url}/document?id=zzz")
+        assert status == 404
+
+    def test_stats_carries_a_serving_section(self, coordinator_server):
+        url, coordinator, _ = coordinator_server
+        get_json(f"{url}/search?q=Taliban+Lahore&k=2")
+        status, body = get_json(f"{url}/stats")
+        assert status == 200
+        serving = body["serving"]
+        assert serving["num_shards"] == 2
+        assert serving["transport"] == "inline"
+        assert sum(serving["doc_counts"]) == 2
+        assert serving["queries"] >= 1
+        assert "admission" in serving
+        # Folded shard counters: each logical query ranks on every shard.
+        assert body["query_stats"]["queries"] >= 2
+
+    def test_metrics_scrape_is_valid_and_folded(self, coordinator_server):
+        url, _, _ = coordinator_server
+        get_json(f"{url}/search?q=Taliban+Peshawar&k=2")
+        with urllib.request.urlopen(f"{url}/metrics", timeout=5) as response:
+            assert response.status == 200
+            metrics = validate_prometheus_text(response.read().decode("utf-8"))
+        assert "newslink_queries_total" in metrics
+        assert "newslink_serving_requests_total" in metrics
+        assert "newslink_serving_latency_seconds" in metrics
+
+    def test_shed_query_returns_429_with_retry_after(self, figure1_graph):
+        engine = _tiny_engine(figure1_graph)
+        coordinator = Coordinator.build(
+            engine,
+            ServingConfig(
+                num_shards=2, transport="inline", max_inflight=1, max_queue=0
+            ),
+        )
+        server = make_server(coordinator, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        try:
+            coordinator.admission.acquire()  # hold the only slot
+            try:
+                with urllib.request.urlopen(
+                    f"{url}/search?q=Taliban", timeout=5
+                ):
+                    raise AssertionError("expected HTTP 429")
+            except urllib.error.HTTPError as error:
+                assert error.code == 429
+                assert error.headers["Retry-After"] == "1"
+                body = json.loads(error.read())
+                assert body["reason"] == "queue_full"
+            coordinator.admission.release()
+            status, _ = get_json(f"{url}/search?q=Taliban")
+            assert status == 200
+        finally:
+            server.shutdown()
+            server.server_close()
+            coordinator.close()
+
+
+class TestGracefulShutdown:
+    def test_inflight_request_drains_before_close(self, figure1_graph):
+        # A request already past accept() must get its 200 before
+        # shutdown_gracefully returns — handler threads are non-daemon
+        # and joined by server_close().
+        engine = _tiny_engine(figure1_graph)
+        server = make_server(engine, port=0)
+        accept_loop = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        accept_loop.start()
+        host, port = server.server_address[:2]
+        faults.arm("engine.embed_query", delay=0.5)
+        outcome: list[tuple[int, dict]] = []
+
+        def slow_request() -> None:
+            outcome.append(
+                get_json(f"http://{host}:{port}/search?q=Peshawar+riots+slow")
+            )
+
+        try:
+            client = threading.Thread(target=slow_request)
+            client.start()
+            time.sleep(0.15)  # let the request reach the engine
+            shutdown_gracefully(server, engine)
+            client.join(timeout=5)
+            assert outcome, "request was dropped during shutdown"
+            status, body = outcome[0]
+            assert status == 200
+            assert body["results"]
+        finally:
+            faults.reset()
+            accept_loop.join(timeout=5)
+
+    def test_sigterm_drains_and_terminates_workers(self, tmp_path):
+        # End-to-end: CLI serve with forked shard workers, SIGTERM, exit
+        # 0, and no orphaned worker processes left behind.
+        from repro.cli import main
+
+        directory = tmp_path / "dataset"
+        assert main(
+            ["generate", str(directory), "--scale", "0.1"]
+        ) == 0
+        assert main(["index", str(directory)]) == 0
+
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", str(directory),
+                "--port", "0", "--shards", "2", "--shard-workers", "1",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            port = None
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if not line:
+                    break
+                if "listening on" in line:
+                    port = int(line.rsplit(":", 1)[1])
+                    break
+            assert port is not None, "server never reported its port"
+            status, body = get_json(f"http://127.0.0.1:{port}/health")
+            assert status == 200
+            assert body["live_workers"] == 2
+
+            proc.send_signal(signal.SIGTERM)
+            remaining, _ = proc.communicate(timeout=60)
+            assert proc.returncode == 0
+            assert "drained and stopped" in remaining
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup only
+                proc.kill()
+                proc.communicate(timeout=10)
+        # Forked workers share the parent's argv: any survivor would
+        # still mention the dataset directory in /proc/*/cmdline.
+        for entry in os.listdir("/proc"):
+            if not entry.isdigit() or int(entry) == os.getpid():
+                continue
+            try:
+                with open(f"/proc/{entry}/cmdline", "rb") as handle:
+                    cmdline = handle.read()
+            except OSError:
+                continue
+            assert str(directory).encode() not in cmdline, (
+                f"orphaned serving process {entry}"
+            )

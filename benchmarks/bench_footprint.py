@@ -1,0 +1,427 @@
+"""Index footprint: v3 packed layout vs heap object graphs, COW sharing.
+
+Three measurements per corpus tier, on the cnn-like dataset:
+
+- **bytes/doc** — the v3 container size against the legacy v2 JSON and
+  against a pickled object-graph baseline (the forward maps, embedding
+  objects and text dict a heap engine would hold).  The packed layout
+  must come in at least 2x under the pickle baseline at the 10k-doc
+  tier (scale 32).
+- **load time** — best-of-N wall clock for ``load_index`` of the same
+  v3 file in heap mode (full hydration) vs mmap mode (CRC pass + O(num
+  terms) offset scan, no per-posting objects).  mmap must be strictly
+  faster on the same file.
+- **COW sharing** — fork worker processes over a precompiled engine and
+  read each child's ``Private_Dirty`` after it serves queries.  Workers
+  forked over the mmap engine keep the posting/embedding payload in
+  file-backed shared pages; workers over the heap engine dirty their
+  object graph via refcounting on first touch.
+
+Results go to the usual text report AND to machine-readable
+``BENCH_footprint.json`` at the repo root (full runs only).
+
+Runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_footprint.py              # full tier sweep
+    PYTHONPATH=src python benchmarks/bench_footprint.py --scale 2    # one tier
+    PYTHONPATH=src python benchmarks/bench_footprint.py --smoke      # CI mode
+
+``--smoke`` is the CI mode: one small tier, sanity asserts (mmap loads
+faster than heap, packed beats pickle), and ``BENCH_footprint.json`` is
+never written so CI can't clobber published numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import pickle
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.data.datasets import cnn_like_config, make_dataset
+from repro.search.engine import NewsLinkEngine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_JSON = REPO_ROOT / "BENCH_footprint.json"
+TIER_MULTIPLIERS = (1.0, 8.0, 32.0)
+LOAD_REPS = 3
+COW_WORKERS = 4
+COW_QUERIES = 8
+
+
+def _pickle_baseline_bytes(engine: NewsLinkEngine) -> int:
+    """Size of the engine's persistence state as pickled heap objects."""
+    state = (
+        engine._text_index.to_forward_map(),
+        engine._node_index.to_forward_map(),
+        dict(engine._embeddings),
+        dict(engine._texts),
+    )
+    return len(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _best_load_seconds(graph, path: Path, mmap: bool, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        engine = NewsLinkEngine(graph, EngineConfig())
+        start = time.perf_counter()
+        engine.load_index(path, mmap=mmap)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _private_dirty_kb() -> int:
+    """This process's Private_Dirty (kB); falls back to VmRSS."""
+    try:
+        for line in Path("/proc/self/smaps_rollup").read_text().splitlines():
+            if line.startswith("Private_Dirty:"):
+                return int(line.split()[1])
+    except OSError:
+        pass
+    try:  # pragma: no cover - smaps_rollup exists on modern Linux
+        for line in Path("/proc/self/status").read_text().splitlines():
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    except OSError:
+        pass
+    return 0
+
+
+def _fork_dirty_kb(engine, queries, workers: int) -> list[int]:
+    """Fork ``workers`` children over ``engine``; their Private_Dirty (kB).
+
+    Each child serves the query list, runs a full GC pass (steady-state
+    serving: collector cycles touch every tracked heap object, which is
+    exactly what copies a forked object graph), measures itself, writes
+    one integer to a pipe and exits without running Python teardown.
+    With ``engine=None`` the child measures the process baseline.
+    """
+    results = []
+    for _ in range(workers):
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # child
+            status = 1
+            try:
+                os.close(read_fd)
+                if engine is not None:
+                    for query in queries:
+                        engine.search(query, k=10)
+                gc.collect()
+                payload = str(_private_dirty_kb()).encode("ascii")
+                os.write(write_fd, payload)
+                os.close(write_fd)
+                status = 0
+            finally:
+                os._exit(status)
+        os.close(write_fd)
+        chunks = []
+        while True:
+            chunk = os.read(read_fd, 4096)
+            if not chunk:
+                break
+            chunks.append(chunk)
+        os.close(read_fd)
+        os.waitpid(pid, 0)
+        results.append(int(b"".join(chunks) or b"0"))
+    return results
+
+
+def _cow_probe_main(
+    path: str, mode: str, scale: float, workers: int
+) -> None:
+    """Subprocess body for one COW measurement (see ``_cow_measure``).
+
+    Loads nothing but the dataset (and, unless ``mode == "none"``, one
+    engine over ``path``) so the forked workers' Private_Dirty reflects
+    exactly one index representation — the modes would contaminate each
+    other's GC passes if they shared a parent process.
+    """
+    world_config, news_config = cnn_like_config(scale=scale)
+    dataset = make_dataset("CNN", world_config, news_config)
+    queries = [doc.text[:90] for doc in list(dataset.corpus)[:COW_QUERIES]]
+    engine = None
+    if mode != "none":
+        engine = NewsLinkEngine(dataset.world.graph, EngineConfig())
+        engine.load_index(Path(path), mmap=(mode == "mmap"))
+        # What ShardPlanner.precompile does before worker forks: build
+        # every shareable structure in the parent so workers inherit it.
+        engine.precompile()
+        for query in queries:
+            engine.search(query, k=10)
+    gc.collect()
+    dirty = _fork_dirty_kb(engine, queries, workers)
+    print(
+        json.dumps(
+            {
+                "mode": mode,
+                "parent_private_dirty_kb": _private_dirty_kb(),
+                "worker_private_dirty_kb": dirty,
+            }
+        )
+    )
+
+
+def _cow_measure(path: Path, scale: float, workers: int) -> dict:
+    """Fork-and-measure each load mode in its own clean subprocess."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part
+        for part in (
+            str(REPO_ROOT / "src"),
+            str(REPO_ROOT),
+            env.get("PYTHONPATH", ""),
+        )
+        if part
+    )
+    probes = {}
+    for mode in ("none", "mmap", "heap"):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(Path(__file__).resolve()),
+                "--cow-probe",
+                str(path),
+                "--cow-mode",
+                mode,
+                "--cow-scale",
+                str(scale),
+                "--cow-workers",
+                str(workers),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        probes[mode] = json.loads(proc.stdout.splitlines()[-1])
+    baseline = probes["none"]["worker_private_dirty_kb"]
+    baseline_avg = sum(baseline) / len(baseline)
+
+    def _index_kb(mode: str) -> float:
+        dirty = probes[mode]["worker_private_dirty_kb"]
+        return round(sum(dirty) / len(dirty) - baseline_avg, 1)
+
+    return {
+        "workers": workers,
+        "index_bytes": path.stat().st_size,
+        "baseline_worker_private_dirty_kb": baseline,
+        "mmap_worker_private_dirty_kb": probes["mmap"][
+            "worker_private_dirty_kb"
+        ],
+        "heap_worker_private_dirty_kb": probes["heap"][
+            "worker_private_dirty_kb"
+        ],
+        # Per-worker private cost attributable to the index itself:
+        # everything else (interpreter, dataset, imports) is identical
+        # across the three probe processes and subtracts out.
+        "mmap_worker_index_kb": _index_kb("mmap"),
+        "heap_worker_index_kb": _index_kb("heap"),
+        "mmap_parent_private_dirty_kb": probes["mmap"][
+            "parent_private_dirty_kb"
+        ],
+        "heap_parent_private_dirty_kb": probes["heap"][
+            "parent_private_dirty_kb"
+        ],
+    }
+
+
+def _bench_tier(scale: float, smoke: bool) -> dict:
+    world_config, news_config = cnn_like_config(scale=scale)
+    dataset = make_dataset("CNN", world_config, news_config)
+    graph = dataset.world.graph
+    builder = NewsLinkEngine(graph, EngineConfig())
+    builder.index_corpus(dataset.corpus)
+    documents = builder.num_indexed
+
+    with tempfile.TemporaryDirectory() as tmp:
+        v3_path = Path(tmp) / "index.nlx"
+        v2_path = Path(tmp) / "index.json"
+        builder.save_index(v3_path, format="v3")
+        builder.save_index(v2_path, format="v2")
+        v3_bytes = v3_path.stat().st_size
+        v2_bytes = v2_path.stat().st_size
+        pickle_bytes = _pickle_baseline_bytes(builder)
+
+        heap_seconds = _best_load_seconds(graph, v3_path, False, LOAD_REPS)
+        mmap_seconds = _best_load_seconds(graph, v3_path, True, LOAD_REPS)
+
+        cow = {}
+        if hasattr(os, "fork"):
+            workers = 1 if smoke else COW_WORKERS
+            cow = _cow_measure(v3_path, scale, workers)
+
+    return {
+        "scale": scale,
+        "documents": documents,
+        "sizes": {
+            "v3_bytes": v3_bytes,
+            "v2_bytes": v2_bytes,
+            "pickle_baseline_bytes": pickle_bytes,
+            "v3_bytes_per_doc": round(v3_bytes / documents, 1),
+            "v2_bytes_per_doc": round(v2_bytes / documents, 1),
+            "pickle_bytes_per_doc": round(pickle_bytes / documents, 1),
+            "pickle_over_v3": round(pickle_bytes / v3_bytes, 2),
+        },
+        "load": {
+            "reps": LOAD_REPS,
+            "heap_seconds": round(heap_seconds, 6),
+            "mmap_seconds": round(mmap_seconds, 6),
+            "mmap_speedup": round(heap_seconds / mmap_seconds, 2),
+        },
+        "cow": cow,
+    }
+
+
+def run_footprint(scales, smoke: bool = False) -> dict:
+    tiers = []
+    for scale in scales:
+        tiers.append(_bench_tier(scale, smoke))
+    return {
+        "benchmark": "index_footprint",
+        "scales": list(scales),
+        "cpu_count": os.cpu_count(),
+        "tiers": tiers,
+        "notes": [
+            "pickle baseline = forward maps + DocumentEmbedding objects "
+            "+ text dict, HIGHEST_PROTOCOL",
+            "load seconds are best-of-reps on a fresh engine per rep",
+            "worker Private_Dirty read from /proc/self/smaps_rollup "
+            "after serving queries in a forked child",
+        ],
+    }
+
+
+def _render(payload: dict) -> str:
+    lines = [
+        "Index footprint — v3 packed layout vs heap object graphs",
+        f"cpu cores: {payload['cpu_count']}; tiers: {payload['scales']}",
+        f"\n{'scale':>6} {'docs':>6}  {'v3 B/doc':>9} {'v2 B/doc':>9} "
+        f"{'pkl B/doc':>9} {'pkl/v3':>6}  {'heap ld':>8} {'mmap ld':>8} "
+        f"{'speedup':>7}",
+    ]
+    for tier in payload["tiers"]:
+        sizes, load = tier["sizes"], tier["load"]
+        lines.append(
+            f"{tier['scale']:>6} {tier['documents']:>6}  "
+            f"{sizes['v3_bytes_per_doc']:>9.0f} "
+            f"{sizes['v2_bytes_per_doc']:>9.0f} "
+            f"{sizes['pickle_bytes_per_doc']:>9.0f} "
+            f"{sizes['pickle_over_v3']:>6.2f}  "
+            f"{load['heap_seconds']:>8.4f} {load['mmap_seconds']:>8.4f} "
+            f"{load['mmap_speedup']:>6.1f}x"
+        )
+    for tier in payload["tiers"]:
+        cow = tier["cow"]
+        if cow:
+            lines.append(
+                f"cow @ scale {tier['scale']}: {cow['workers']} workers, "
+                f"per-worker index Private_Dirty mmap "
+                f"{cow['mmap_worker_index_kb']:.0f} kB vs heap "
+                f"{cow['heap_worker_index_kb']:.0f} kB "
+                f"({cow['index_bytes'] // 1024} kB mapped payload stays "
+                f"file-backed and shared; baseline probe subtracted)"
+            )
+    for note in payload["notes"]:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def _check(payload: dict, full: bool) -> None:
+    """Sanity bar shared by the pytest wrapper and the CI smoke run."""
+    for tier in payload["tiers"]:
+        where = f"scale {tier['scale']}"
+        sizes, load = tier["sizes"], tier["load"]
+        assert sizes["v3_bytes_per_doc"] > 0, where
+        # The packed layout always beats pickled object graphs...
+        assert sizes["pickle_over_v3"] > 1.0, where
+        # ...and the mmap load path is strictly faster than hydrating
+        # the same file onto the heap.
+        assert load["mmap_seconds"] < load["heap_seconds"], where
+    if full:
+        # At the 10k-doc tier the paper-level claims must hold: at
+        # least 2x smaller than the pickled object-graph baseline, and
+        # forked workers over the mapped index dirty less private
+        # memory than workers over the hydrated heap engine.
+        largest = max(payload["tiers"], key=lambda tier: tier["documents"])
+        assert largest["sizes"]["pickle_over_v3"] >= 2.0, largest["sizes"]
+        cow = largest["cow"]
+        if cow:
+            assert (
+                cow["mmap_worker_index_kb"] < cow["heap_worker_index_kb"]
+            ), cow
+
+
+def main(scale: float | None = None, smoke: bool = False) -> dict:
+    from benchmarks.conftest import bench_scale, write_result
+
+    if scale is not None:
+        scales = [scale]
+    elif smoke:
+        scales = [bench_scale()]
+    else:
+        scales = [bench_scale() * multiplier for multiplier in TIER_MULTIPLIERS]
+    payload = run_footprint(scales, smoke=smoke)
+    if smoke:
+        _check(payload, full=False)
+        write_result("footprint_smoke", _render(payload))
+        print("smoke ok (BENCH_footprint.json untouched)")
+        return payload
+    _check(payload, full=scale is None)
+    OUTPUT_JSON.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    write_result("footprint", _render(payload))
+    print(f"wrote {OUTPUT_JSON}")
+    return payload
+
+
+@pytest.mark.benchmark(group="footprint")
+def test_footprint(benchmark):
+    payload = benchmark.pedantic(main, rounds=1, iterations=1)
+    _check(payload, full=False)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.path.insert(0, str(REPO_ROOT))
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="run a single tier at this dataset scale instead of the "
+        "full 1/8/32 sweep",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: one small tier, sanity asserts, no "
+        "BENCH_footprint.json write",
+    )
+    parser.add_argument("--cow-probe", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--cow-mode", default="none", help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--cow-scale", type=float, default=1.0, help=argparse.SUPPRESS
+    )
+    parser.add_argument(
+        "--cow-workers", type=int, default=1, help=argparse.SUPPRESS
+    )
+    arguments = parser.parse_args()
+    if arguments.cow_probe is not None:
+        _cow_probe_main(
+            arguments.cow_probe,
+            arguments.cow_mode,
+            arguments.cow_scale,
+            arguments.cow_workers,
+        )
+    else:
+        main(scale=arguments.scale, smoke=arguments.smoke)

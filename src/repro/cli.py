@@ -30,7 +30,16 @@ from repro.search.engine import NewsLinkEngine
 
 _KG_FILE = "kg.json"
 _CORPUS_FILE = "corpus.jsonl"
-_INDEX_FILE = "index.json"
+_INDEX_FILE_V3 = "index.nlx"
+_INDEX_FILE_V2 = "index.json"
+#: Load-time probe order: v3 binary first (the default the index
+#: command writes), then legacy JSON, then the gzipped variants.
+_INDEX_CANDIDATES = (
+    _INDEX_FILE_V3,
+    _INDEX_FILE_V2,
+    _INDEX_FILE_V3 + ".gz",
+    _INDEX_FILE_V2 + ".gz",
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -62,7 +71,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     index.add_argument(
         "--gzip", action="store_true",
-        help="write a gzipped index (index.json.gz)",
+        help="write a gzipped index (smaller, but cannot be mmap-loaded)",
+    )
+    index.add_argument(
+        "--format", choices=("v2", "v3"), default="v3",
+        help="on-disk index layout: 'v3' (default) is the zero-copy "
+        "binary container (index.nlx) that loads via mmap; 'v2' is the "
+        "legacy JSON format (index.json)",
     )
 
     search = subparsers.add_parser("search", help="query an indexed dataset")
@@ -87,6 +102,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="after the results, print the query's stage timings, serving "
         "path, and the engine's metric counters",
+    )
+    search.add_argument(
+        "--mmap", action=argparse.BooleanOptionalAction, default=True,
+        help="memory-map a v3 index instead of hydrating it onto the "
+        "heap (default: --mmap; non-v3 files always heap-load)",
     )
 
     evaluate = subparsers.add_parser(
@@ -150,6 +170,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seconds an accepted connection may idle before its "
         "request line arrives; beyond it the server answers 408",
     )
+    serve.add_argument(
+        "--mmap", action=argparse.BooleanOptionalAction, default=True,
+        help="memory-map a v3 index instead of hydrating it onto the "
+        "heap; forked shard workers then share the mapped pages "
+        "copy-on-write (default: --mmap)",
+    )
     return parser
 
 
@@ -158,6 +184,7 @@ def _load_engine(
     beta: float | None = None,
     deadline_ms: float | None = None,
     metrics_enabled: bool = True,
+    mmap: bool = True,
 ) -> NewsLinkEngine:
     graph = load_graph_json(directory / _KG_FILE)
     fusion = FusionConfig(beta=beta) if beta is not None else FusionConfig()
@@ -165,14 +192,17 @@ def _load_engine(
         fusion=fusion,
         deadline_ms=deadline_ms,
         metrics_enabled=metrics_enabled,
+        mmap=mmap,
     )
     engine = NewsLinkEngine(graph, config)
-    index_path = directory / _INDEX_FILE
-    if not index_path.exists() and (directory / (_INDEX_FILE + ".gz")).exists():
-        index_path = directory / (_INDEX_FILE + ".gz")
-    if not index_path.exists():
+    for name in _INDEX_CANDIDATES:
+        index_path = directory / name
+        if index_path.exists():
+            break
+    else:
         raise SystemExit(
-            f"no index at {index_path}; run `repro index {directory}` first"
+            f"no index under {directory}; "
+            f"run `repro index {directory}` first"
         )
     engine.load_index(index_path)
     return engine
@@ -202,8 +232,10 @@ def _cmd_index(args: argparse.Namespace) -> int:
     )
     engine = NewsLinkEngine(graph, config)
     skipped = engine.index_corpus(corpus)
-    index_file = _INDEX_FILE + ".gz" if args.gzip else _INDEX_FILE
-    engine.save_index(args.directory / index_file)
+    index_file = _INDEX_FILE_V3 if args.format == "v3" else _INDEX_FILE_V2
+    if args.gzip:
+        index_file += ".gz"
+    engine.save_index(args.directory / index_file, format=args.format)
     print(
         f"indexed {engine.num_indexed} documents "
         f"({len(skipped)} had no subgraph embedding); "
@@ -220,7 +252,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    engine = _load_engine(args.directory, args.beta)
+    engine = _load_engine(args.directory, args.beta, mmap=args.mmap)
     results = engine.search(
         args.query,
         k=args.k,
@@ -312,6 +344,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.directory,
         deadline_ms=args.deadline_ms,
         metrics_enabled=not args.no_metrics,
+        mmap=args.mmap,
     )
     target = engine
     if args.shards > 0:

@@ -195,6 +195,20 @@ class EngineConfig:
             check: the cached path is cheap, so an already-expired
             budget still yields full-quality (non-degraded) results.
             See ``docs/robustness.md``.
+        index_format: on-disk format ``save_index`` writes.  ``"v3"``
+            (default) is the zero-copy binary container — delta-encoded
+            packed postings plus embedding/text arenas in CRC-checked
+            sections ``load_index`` can mmap directly
+            (:mod:`repro.search.storage`); ``"v2"`` is the streaming
+            JSON format kept for interoperability.  Both load back
+            transparently (detected by magic bytes).
+        mmap: default load mode for ``load_index`` on v3 files.  True
+            (default) maps the file with ``mmap.mmap`` and serves
+            queries from zero-copy views — near-instant loads, and
+            forked shard workers share the pages copy-on-write.  False
+            hydrates heap structures (the v2-style object graph).
+            Gzipped or legacy (v1/v2) files always heap-load, counted
+            by ``newslink_index_load_fallback_total``.
         metrics_enabled: publish metrics and per-query traces into the
             observability layer (:mod:`repro.obs`).  On by default;
             when off the engine binds to a permanently disabled
@@ -222,6 +236,8 @@ class EngineConfig:
     query_cache_size: int = 64
     ranking: str = "auto"
     pruned_backend: str = "compiled"
+    index_format: str = "v3"
+    mmap: bool = True
     deadline_ms: float | None = None
     metrics_enabled: bool = True
     trace_capacity: int = 64
@@ -245,6 +261,10 @@ class EngineConfig:
         _require(
             self.pruned_backend in ("compiled", "reference"),
             "pruned_backend must be 'compiled' or 'reference'",
+        )
+        _require(
+            self.index_format in ("v2", "v3"),
+            "index_format must be 'v2' or 'v3'",
         )
         if self.deadline_ms is not None:
             _require(self.deadline_ms > 0, "deadline_ms must be positive when set")

@@ -1,0 +1,425 @@
+"""Packed document-embedding and text arenas — the v3 zero-copy stores.
+
+A heap engine keeps ``doc_id -> DocumentEmbedding`` and ``doc_id ->
+text`` dicts: per-document Python object graphs that dominate resident
+memory and load time at corpus scale.  The v3 format packs both into
+flat arenas with an id-interned directory:
+
+* **string table** — every string a graph can mention (node ids,
+  labels, relation names) interned once into a single sorted table;
+  everything below refers to strings by ``uint32`` slot.
+* **node-count arena** — per document the directory stores a count and
+  a range into two parallel ``uint32`` columns (node slot, BON term
+  frequency).
+* **graph arena** — each distinct ``G*`` graph encoded once as a
+  compact binary record (slot-interned strings, packed edge structs,
+  label paths as indices into the graph's own edge table) and
+  deduplicated by encoded bytes; per document the directory stores
+  ``uint32`` references into the unique-graph table.  Graphs are only
+  touched by ``explain``/re-save, never by ranking, so they stay
+  packed until a document is actually asked for.
+* **text arena** — UTF-8 document texts, zlib-compressed in blocks of
+  :data:`TEXT_BLOCK` documents.  Texts are a cold docstore (snippets
+  and ``document_text`` only), so block compression trades a small
+  on-demand decode for a multiple of on-disk/resident footprint.
+
+:class:`PackedEmbeddingStore` / :class:`PackedTextStore` expose the
+read-only ``Mapping`` face the engine consumes, decode lazily on first
+access, cache decoded objects, and iterate in the engine's original
+insertion order (preserved via the container's permutation column) so a
+re-save writes records in the same order a heap engine would.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from array import array
+from collections.abc import Iterator, Mapping, Sequence
+
+from repro.core.ancestor_graph import CommonAncestorGraph
+from repro.core.document_embedding import DocumentEmbedding
+from repro.kg.types import OrientedEdge
+
+try:  # numpy only vectorises the offset pass; optional.
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+TEXT_BLOCK = 16
+_U32 = struct.Struct("<I")
+_DIST = struct.Struct("<Id")
+_EDGE = struct.Struct("<IIIBd")
+
+
+def _offsets(lengths) -> Sequence[int]:
+    """lengths column -> cumulative start offsets (len + 1 entries)."""
+    if _np is not None:
+        out = _np.zeros(len(lengths) + 1, dtype=_np.int64)
+        _np.cumsum(_np.frombuffer(lengths, dtype=_np.uint32), out=out[1:])
+        return out
+    offsets = [0] * (len(lengths) + 1)
+    for i, length in enumerate(lengths):
+        offsets[i + 1] = offsets[i] + length
+    return offsets
+
+
+def _edge_key(edge: OrientedEdge):
+    return (edge.source, edge.target, edge.relation, edge.forward, edge.weight)
+
+
+# ----------------------------------------------------------------------
+# Writer side.
+
+
+def _graph_strings(embeddings: Mapping[str, DocumentEmbedding]) -> list[str]:
+    """The sorted intern table covering every string any record needs."""
+    strings: set[str] = set()
+    for embedding in embeddings.values():
+        strings.update(embedding.node_counts)
+        for graph in embedding.graphs:
+            strings.add(graph.root)
+            strings.update(graph.labels)
+            strings.update(graph.distances)
+            strings.update(graph.nodes)
+            for edge in graph.edges:
+                strings.update((edge.source, edge.target, edge.relation))
+            for label, (nodes, edges) in graph.label_paths.items():
+                strings.add(label)
+                strings.update(nodes)
+                for edge in edges:
+                    strings.update((edge.source, edge.target, edge.relation))
+    return sorted(strings)
+
+
+def _encode_graph(graph: CommonAncestorGraph, slot: dict[str, int]) -> bytes:
+    """One ``G*`` as a self-contained binary record over the table.
+
+    Field order inside the record follows the graph's own iteration
+    order (labels tuple, distances/label_paths dict order) so decoding
+    reproduces the exact dicts a heap engine would re-serialize —
+    deduplication keys on these bytes, which makes it safe: identical
+    bytes decode to indistinguishable graphs.
+    """
+    out = bytearray()
+    out += _U32.pack(slot[graph.root])
+    out += _U32.pack(len(graph.labels))
+    for label in graph.labels:
+        out += _U32.pack(slot[label])
+    out += _U32.pack(len(graph.distances))
+    for label, distance in graph.distances.items():
+        out += _DIST.pack(slot[label], distance)
+    nodes = sorted(graph.nodes)
+    out += _U32.pack(len(nodes))
+    for node in nodes:
+        out += _U32.pack(slot[node])
+    # One edge table per graph; the union edge set and every label
+    # path reference it by index instead of repeating 21-byte records.
+    table = sorted(
+        set(graph.edges).union(
+            *(edges for _, edges in graph.label_paths.values())
+        ),
+        key=_edge_key,
+    )
+    edge_index = {edge: i for i, edge in enumerate(table)}
+    out += _U32.pack(len(table))
+    for edge in table:
+        out += _EDGE.pack(
+            slot[edge.source],
+            slot[edge.target],
+            slot[edge.relation],
+            1 if edge.forward else 0,
+            edge.weight,
+        )
+    out += _U32.pack(len(graph.edges))
+    for i in sorted(edge_index[edge] for edge in graph.edges):
+        out += _U32.pack(i)
+    out += _U32.pack(len(graph.label_paths))
+    for label, (nodes, edges) in graph.label_paths.items():
+        out += _U32.pack(slot[label])
+        out += _U32.pack(len(nodes))
+        for node in sorted(nodes):
+            out += _U32.pack(slot[node])
+        out += _U32.pack(len(edges))
+        for i in sorted(edge_index[edge] for edge in edges):
+            out += _U32.pack(i)
+    return bytes(out)
+
+
+def pack_embeddings(
+    embeddings: Mapping[str, DocumentEmbedding],
+    universe: tuple[str, ...],
+) -> dict[str, bytes]:
+    """Pack embeddings (sorted-universe order) into arena columns."""
+    string_table = _graph_strings(embeddings)
+    slot = {value: i for i, value in enumerate(string_table)}
+    node_lengths = array("I")
+    nodes = array("I")
+    counts = array("I")
+    graph_counts = array("I")
+    graph_refs = array("I")
+    unique_lengths = array("I")
+    unique_blob = bytearray()
+    unique_ref: dict[bytes, int] = {}
+    for doc_id in universe:
+        embedding = embeddings[doc_id]
+        node_lengths.append(len(embedding.node_counts))
+        for node, count in embedding.node_counts.items():
+            nodes.append(slot[node])
+            counts.append(count)
+        graph_counts.append(len(embedding.graphs))
+        for graph in embedding.graphs:
+            record = _encode_graph(graph, slot)
+            ref = unique_ref.get(record)
+            if ref is None:
+                ref = len(unique_ref)
+                unique_ref[record] = ref
+                unique_lengths.append(len(record))
+                unique_blob += record
+            graph_refs.append(ref)
+    return {
+        "nodestr": json.dumps(string_table, ensure_ascii=False).encode(
+            "utf-8"
+        ),
+        "elen": node_lengths.tobytes(),
+        "enodes": nodes.tobytes(),
+        "ecounts": counts.tobytes(),
+        "gcnt": graph_counts.tobytes(),
+        "gref": graph_refs.tobytes(),
+        "gtlen": unique_lengths.tobytes(),
+        "graphs": bytes(unique_blob),
+    }
+
+
+def pack_texts(
+    texts: Mapping[str, str], universe: tuple[str, ...]
+) -> dict[str, bytes]:
+    """Pack document texts into a block-compressed UTF-8 arena."""
+    payloads = [texts.get(doc_id, "").encode("utf-8") for doc_id in universe]
+    lengths = array("I", (len(payload) for payload in payloads))
+    block_lengths = array("I")
+    blocks = bytearray()
+    for start in range(0, len(payloads), TEXT_BLOCK):
+        compressed = zlib.compress(
+            b"".join(payloads[start : start + TEXT_BLOCK]), 6
+        )
+        block_lengths.append(len(compressed))
+        blocks += compressed
+    return {
+        "tlen": lengths.tobytes(),
+        "blen": block_lengths.tobytes(),
+        "blocks": bytes(blocks),
+    }
+
+
+# ----------------------------------------------------------------------
+# Reader side.
+
+
+class PackedEmbeddingStore(Mapping):
+    """Read-only ``doc_id -> DocumentEmbedding`` over packed arenas.
+
+    Decodes lazily (node counts from the interned columns, graphs from
+    the binary records) and caches per document — plus per *unique*
+    graph, so documents sharing a deduplicated ``G*`` share the decoded
+    object too.  Iteration follows the engine's original insertion
+    order so ``values()`` round-trips the v2 writer byte-for-byte.
+    """
+
+    def __init__(
+        self,
+        columns: Mapping[str, "memoryview | bytes"],
+        universe: tuple[str, ...],
+        index_of: dict[str, int],
+        insertion_order: Sequence[str],
+    ) -> None:
+        self._universe = universe
+        self._index_of = index_of
+        self._insertion = insertion_order
+        self._string_table: list[str] = json.loads(bytes(columns["nodestr"]))
+        node_lengths = memoryview(columns["elen"]).cast("I")
+        self._node_offsets = _offsets(node_lengths)
+        self._nodes = memoryview(columns["enodes"]).cast("I")
+        self._counts = memoryview(columns["ecounts"]).cast("I")
+        graph_counts = memoryview(columns["gcnt"]).cast("I")
+        self._ref_offsets = _offsets(graph_counts)
+        self._refs = memoryview(columns["gref"]).cast("I")
+        unique_lengths = memoryview(columns["gtlen"]).cast("I")
+        self._unique_offsets = _offsets(unique_lengths)
+        self._records = memoryview(columns["graphs"])
+        self._cache: dict[str, DocumentEmbedding] = {}
+        self._graph_cache: dict[int, CommonAncestorGraph] = {}
+
+    def _read_refs(self, buffer, offset: int, count: int):
+        table = self._string_table
+        values = struct.unpack_from(f"<{count}I", buffer, offset)
+        return [table[i] for i in values], offset + 4 * count
+
+    def _decode_graph(self, ref: int) -> CommonAncestorGraph:
+        graph = self._graph_cache.get(ref)
+        if graph is not None:
+            return graph
+        buffer = self._records[
+            int(self._unique_offsets[ref]) : int(self._unique_offsets[ref + 1])
+        ]
+        table = self._string_table
+        (root_slot,) = _U32.unpack_from(buffer, 0)
+        offset = 4
+        (n_labels,) = _U32.unpack_from(buffer, offset)
+        labels, offset = self._read_refs(buffer, offset + 4, n_labels)
+        (n_dist,) = _U32.unpack_from(buffer, offset)
+        offset += 4
+        distances = {}
+        for _ in range(n_dist):
+            label_slot, distance = _DIST.unpack_from(buffer, offset)
+            distances[table[label_slot]] = distance
+            offset += _DIST.size
+        (n_nodes,) = _U32.unpack_from(buffer, offset)
+        nodes, offset = self._read_refs(buffer, offset + 4, n_nodes)
+        (n_table,) = _U32.unpack_from(buffer, offset)
+        offset += 4
+        edge_table = []
+        for _ in range(n_table):
+            source, target, relation, forward, weight = _EDGE.unpack_from(
+                buffer, offset
+            )
+            edge_table.append(
+                OrientedEdge(
+                    source=table[source],
+                    target=table[target],
+                    relation=table[relation],
+                    forward=bool(forward),
+                    weight=weight,
+                )
+            )
+            offset += _EDGE.size
+        (n_union,) = _U32.unpack_from(buffer, offset)
+        offset += 4
+        union = struct.unpack_from(f"<{n_union}I", buffer, offset)
+        offset += 4 * n_union
+        (n_paths,) = _U32.unpack_from(buffer, offset)
+        offset += 4
+        label_paths = {}
+        for _ in range(n_paths):
+            (label_slot,) = _U32.unpack_from(buffer, offset)
+            (n_path_nodes,) = _U32.unpack_from(buffer, offset + 4)
+            path_nodes, offset = self._read_refs(
+                buffer, offset + 8, n_path_nodes
+            )
+            (n_path_edges,) = _U32.unpack_from(buffer, offset)
+            offset += 4
+            path_edges = struct.unpack_from(f"<{n_path_edges}I", buffer, offset)
+            offset += 4 * n_path_edges
+            label_paths[table[label_slot]] = (
+                frozenset(path_nodes),
+                frozenset(edge_table[i] for i in path_edges),
+            )
+        graph = CommonAncestorGraph(
+            root=table[root_slot],
+            labels=tuple(labels),
+            distances=distances,
+            nodes=frozenset(nodes),
+            edges=frozenset(edge_table[i] for i in union),
+            label_paths=label_paths,
+        )
+        self._graph_cache[ref] = graph
+        return graph
+
+    def _decode(self, doc_id: str, slot: int) -> DocumentEmbedding:
+        start = int(self._node_offsets[slot])
+        end = int(self._node_offsets[slot + 1])
+        string_table = self._string_table
+        nodes = self._nodes
+        counts = self._counts
+        node_counts = {
+            string_table[nodes[j]]: counts[j] for j in range(start, end)
+        }
+        start = int(self._ref_offsets[slot])
+        end = int(self._ref_offsets[slot + 1])
+        graphs = tuple(
+            self._decode_graph(self._refs[j]) for j in range(start, end)
+        )
+        return DocumentEmbedding(
+            doc_id=doc_id, graphs=graphs, node_counts=node_counts
+        )
+
+    def __getitem__(self, doc_id: str) -> DocumentEmbedding:
+        embedding = self._cache.get(doc_id)
+        if embedding is not None:
+            return embedding
+        slot = self._index_of.get(doc_id)
+        if slot is None:
+            raise KeyError(doc_id)
+        embedding = self._decode(doc_id, slot)
+        self._cache[doc_id] = embedding
+        return embedding
+
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._index_of
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._insertion)
+
+    def __len__(self) -> int:
+        return len(self._universe)
+
+    def cached_count(self) -> int:
+        """How many embeddings have been decoded so far (laziness probe)."""
+        return len(self._cache)
+
+
+class PackedTextStore(Mapping):
+    """Read-only ``doc_id -> text`` over the block-compressed arena."""
+
+    def __init__(
+        self,
+        columns: Mapping[str, "memoryview | bytes"],
+        universe: tuple[str, ...],
+        index_of: dict[str, int],
+        insertion_order: Sequence[str],
+    ) -> None:
+        self._universe = universe
+        self._index_of = index_of
+        self._insertion = insertion_order
+        lengths = memoryview(columns["tlen"]).cast("I")
+        self._offsets = _offsets(lengths)
+        block_lengths = memoryview(columns["blen"]).cast("I")
+        self._block_offsets = _offsets(block_lengths)
+        self._blocks = memoryview(columns["blocks"])
+        self._block_cache: dict[int, bytes] = {}
+        self._cache: dict[str, str] = {}
+
+    def _block(self, index: int) -> bytes:
+        data = self._block_cache.get(index)
+        if data is None:
+            start = int(self._block_offsets[index])
+            end = int(self._block_offsets[index + 1])
+            data = zlib.decompress(self._blocks[start:end])
+            self._block_cache[index] = data
+        return data
+
+    def __getitem__(self, doc_id: str) -> str:
+        text = self._cache.get(doc_id)
+        if text is not None:
+            return text
+        slot = self._index_of.get(doc_id)
+        if slot is None:
+            raise KeyError(doc_id)
+        block = slot // TEXT_BLOCK
+        base = int(self._offsets[block * TEXT_BLOCK])
+        data = self._block(block)
+        start = int(self._offsets[slot]) - base
+        end = int(self._offsets[slot + 1]) - base
+        text = data[start:end].decode("utf-8")
+        self._cache[doc_id] = text
+        return text
+
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._index_of
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._insertion)
+
+    def __len__(self) -> int:
+        return len(self._universe)

@@ -101,6 +101,22 @@ class EngineInstruments:
             labelnames=("cache",),
         )
         self.embed_seconds = embed_histogram(registry)
+        self.index_load_seconds = registry.gauge(
+            "newslink_index_load_seconds",
+            "Wall-clock seconds of the most recent load_index, "
+            "by load mode (mmap, heap)",
+            labelnames=("mode",),
+        )
+        self.index_bytes = registry.gauge(
+            "newslink_index_bytes",
+            "On-disk size in bytes of the most recently loaded index file",
+        )
+        self.index_load_fallbacks = registry.counter(
+            "newslink_index_load_fallback_total",
+            "Loads where mmap was requested but the heap loader ran, "
+            "by reason (gzip, legacy_format)",
+            labelnames=("reason",),
+        )
         # Collector-driven (silo-backed); handles kept for the collector.
         self._pruning = registry.counter(
             "newslink_query_pruning_total",

@@ -109,6 +109,31 @@ class CompiledTermPostings:
         self.block_max_tf = block_max_tf
         self.max_tf = max(block_max_tf) if block_max_tf else 0
 
+    @classmethod
+    def from_parts(
+        cls,
+        docs: array,
+        tfs,
+        block_last,
+        block_max_tf,
+        max_tf: int,
+    ) -> "CompiledTermPostings":
+        """Rehydrate from already-computed parts (the packed v3 loader).
+
+        Skips the block-metadata recompute of ``__init__``: the on-disk
+        layout stores ``block_last``/``block_max_tf`` verbatim, so the
+        loader hands them back without touching every posting.  ``tfs``
+        and the block arrays may be zero-copy ``memoryview`` casts over
+        a mapped file — every consumer reads them positionally.
+        """
+        self = object.__new__(cls)
+        self.docs = docs
+        self.tfs = tfs
+        self.block_last = block_last
+        self.block_max_tf = block_max_tf
+        self.max_tf = max_tf
+        return self
+
     def __len__(self) -> int:
         return len(self.docs)
 

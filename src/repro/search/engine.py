@@ -16,6 +16,8 @@ from __future__ import annotations
 import gzip
 import io
 import json
+import logging
+import mmap as mmap_module
 import os
 import time
 import zlib
@@ -63,6 +65,8 @@ from repro.search.planner import QueryPlanner
 from repro.search.pruned import FusedRanker, QueryStats
 from repro.search.topk import top_k
 from repro.utils.timing import TimingBreakdown
+
+_logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -177,6 +181,10 @@ class NewsLinkEngine:
             str, tuple[ProcessedDocument, DocumentEmbedding]
         ] = OrderedDict()
         self._last_index_report: "IndexReport | None" = None
+        # The mmap-backed bundle the frozen stores view into (None when
+        # the engine holds heap structures); see load_index/_thaw_if_frozen.
+        self._frozen_bundle = None
+        self._last_load_info: dict | None = None
         # The KG version the engine's derived caches (query-embedding
         # LRU, segment cache) were populated under; a mismatch flushes
         # them (see _sync_graph_version).
@@ -294,6 +302,21 @@ class NewsLinkEngine:
     def indexed_doc_ids(self) -> list[str]:
         """Ids of every indexed document, in insertion order."""
         return list(self._embeddings)
+
+    @property
+    def is_frozen(self) -> bool:
+        """True while the engine serves from mmap-backed frozen stores."""
+        return self._frozen_bundle is not None
+
+    @property
+    def last_load_info(self) -> dict | None:
+        """Details of the most recent :meth:`load_index` (None before one).
+
+        Keys: ``path``, ``version``, ``mode`` (``"mmap"``/``"heap"``),
+        ``bytes``, ``load_seconds``, ``mmap_requested``, ``fallback``
+        (None, or the reason mmap was refused).  Surfaced on ``/stats``.
+        """
+        return self._last_load_info
 
     @property
     def search_stats(self) -> SearchStats:
@@ -440,6 +463,7 @@ class NewsLinkEngine:
         """
         if embedding.is_empty:
             return False
+        self._thaw_if_frozen()
         self._text_index.add_document(doc_id, self._analyzer.analyze(text))
         self._node_index.add_document(doc_id, bon_terms(embedding))
         self._embeddings[doc_id] = embedding
@@ -851,6 +875,7 @@ class NewsLinkEngine:
         """Remove an indexed document from both indexes."""
         if doc_id not in self._embeddings:
             raise DocumentNotIndexedError(doc_id)
+        self._thaw_if_frozen()
         self._text_index.remove_document(doc_id)
         self._node_index.remove_document(doc_id)
         del self._embeddings[doc_id]
@@ -875,7 +900,7 @@ class NewsLinkEngine:
             self.document_text(doc_id), query_text
         )
 
-    def save_index(self, path: "str | Path") -> None:
+    def save_index(self, path: "str | Path", format: str | None = None) -> None:
         """Persist both inverted indexes and all document embeddings.
 
         Embedding a corpus dominates indexing cost (Fig 7); saving lets a
@@ -883,24 +908,43 @@ class NewsLinkEngine:
         stored — load with the same graph (persist it separately with
         :func:`repro.kg.io.save_graph_json`).
 
-        The payload streams to the file one embedding at a time (no giant
-        in-memory JSON string).  A path ending in ``.gz`` is gzipped
-        transparently, with a zeroed timestamp so identical indexes
-        produce identical archives.
+        ``format`` selects the on-disk layout (default:
+        :attr:`EngineConfig.index_format`).  ``"v3"`` writes the
+        zero-copy binary container — delta-encoded packed postings,
+        embedding/text arenas, per-section CRC32s — that
+        :meth:`load_index` can mmap directly
+        (:mod:`repro.search.storage`); ``"v2"`` streams the JSON format
+        one embedding at a time.  Both are deterministic: saving the
+        same state twice produces byte-identical files.  A path ending
+        in ``.gz`` is gzipped transparently with a zeroed timestamp.
 
-        The write is crash-safe: the payload goes to a temporary file in
-        the same directory, is fsynced, gets a CRC32 checksum trailer,
-        and is atomically renamed over ``path`` — a crash at any point
-        leaves the previous index byte-identical and loadable, never a
+        The write is crash-safe regardless of format: the payload goes
+        to a temporary file in the same directory, is fsynced, and is
+        atomically renamed over ``path`` — a crash at any point leaves
+        the previous index byte-identical and loadable, never a
         half-written file under the final name.
         """
         path = Path(path)
+        resolved = format or self._config.index_format
+        if resolved not in ("v2", "v3"):
+            raise DataError(
+                f"index format must be 'v2' or 'v3', got {resolved!r}"
+            )
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
         try:
             with open(tmp, "wb") as raw:
                 if faults.ACTIVE:
                     faults.fire("persist.write")
-                if path.suffix == ".gz":
+                if resolved == "v3":
+                    payload = self._container_bytes()
+                    if path.suffix == ".gz":
+                        with gzip.GzipFile(
+                            filename="", mode="wb", fileobj=raw, mtime=0
+                        ) as binary:
+                            binary.write(payload)
+                    else:
+                        raw.write(payload)
+                elif path.suffix == ".gz":
                     with gzip.GzipFile(
                         filename="", mode="wb", fileobj=raw, mtime=0
                     ) as binary, io.TextIOWrapper(
@@ -919,6 +963,18 @@ class NewsLinkEngine:
             tmp.unlink(missing_ok=True)
             raise
         self._fsync_directory(path.parent)
+
+    def _container_bytes(self) -> bytes:
+        """The engine's persistence state as v3 container bytes."""
+        from repro.search.storage import build_index_container
+
+        return build_index_container(
+            self._text_index,
+            self._node_index,
+            self._embeddings,
+            self._texts,
+            list(self._embeddings),
+        )
 
     @staticmethod
     def _fsync_directory(directory: Path) -> None:
@@ -958,7 +1014,14 @@ class NewsLinkEngine:
         writer.write(', "node_index": ')
         json.dump(self._sorted_forward_map(self._node_index), writer)
         writer.write(', "texts": ')
-        json.dump(self._texts, writer)
+        # A frozen (mmap-backed) engine stores texts in a packed arena;
+        # materialize a plain dict (insertion order preserved) for JSON.
+        texts = (
+            self._texts
+            if isinstance(self._texts, dict)
+            else dict(self._texts)
+        )
+        json.dump(texts, writer)
         writer.write(', "embeddings": [')
         for position, embedding in enumerate(self._embeddings.values()):
             if position:
@@ -973,41 +1036,200 @@ class NewsLinkEngine:
 
     @staticmethod
     def _sorted_forward_map(index: InvertedIndex) -> dict[str, dict[str, int]]:
-        """The index's forward map with doc ids in ascending order."""
-        forward = index.to_forward_map()
-        return {doc_id: forward[doc_id] for doc_id in sorted(forward)}
+        """The index's forward map, doc ids and per-doc terms ascending.
 
-    def load_index(self, path: "str | Path") -> int:
+        Sorting both levels makes the v2 payload canonical: the bytes
+        depend only on the logical index contents, so a heap engine and
+        a frozen (v3-loaded) engine holding the same documents save
+        byte-identical v2 files.
+        """
+        forward = index.to_forward_map()
+        return {
+            doc_id: dict(sorted(forward[doc_id].items()))
+            for doc_id in sorted(forward)
+        }
+
+    def load_index(self, path: "str | Path", mmap: bool | None = None) -> int:
         """Load an index written by :meth:`save_index`; returns doc count.
 
-        Existing index contents are replaced.  Gzipped files are detected
-        by magic bytes, so any path written by :meth:`save_index` loads
-        back regardless of suffix.
+        Existing index contents are replaced.  The format is detected by
+        magic bytes — v3 binary containers, gzip archives (of either
+        format) and legacy v1/v2 JSON all load back regardless of
+        suffix.
 
-        The load is transactional: the file's checksum trailer and schema
-        are verified and fresh structures built *before* any engine state
-        is touched, so a corrupt file (raising
-        :class:`~repro.errors.IndexCorruptError`) leaves the live index
-        fully intact.  Version-1 files (no trailer) still load, without
-        checksum verification.
+        ``mmap`` (default: :attr:`EngineConfig.mmap`) selects the v3
+        load mode.  True maps the file with ``mmap.mmap`` and installs
+        zero-copy frozen stores — no per-posting Python objects are
+        built; terms decode lazily on first query touch, and forked
+        shard workers share the mapped pages copy-on-write.  False (or
+        any non-v3 file) hydrates heap structures.  A gzip archive
+        cannot be mapped: with ``mmap=True`` it falls back to the heap
+        loader with a logged warning, counted by
+        ``newslink_index_load_fallback_total{reason="gzip"}`` (legacy
+        JSON files are likewise counted under ``reason="legacy_format"``).
+
+        The load is transactional either way: every CRC (the v2 trailer,
+        or all v3 section checksums) is verified and fresh structures
+        built *before* any engine state is touched, so a corrupt file
+        (raising :class:`~repro.errors.IndexCorruptError` naming the
+        failing section) leaves the live index fully intact.  Version-1
+        files (no trailer) still load, without checksum verification.
         """
-        from repro.core.serialization import embedding_from_dict
+        from repro.search import storage
 
         path = Path(path)
         if faults.ACTIVE:
             faults.fire("persist.load")
+        use_mmap = self._config.mmap if mmap is None else mmap
+        started = time.perf_counter()
+        fallback: str | None = None
+        mode = "heap"
         try:
+            size = os.path.getsize(path)
             with open(path, "rb") as probe:
-                is_gzip = probe.read(2) == b"\x1f\x8b"
-            opener = gzip.open if is_gzip else open
-            with opener(path, "rt", encoding="utf-8") as fh:
-                text = fh.read()
+                head = probe.read(len(storage.MAGIC))
         except FileNotFoundError:
             raise
-        except (OSError, EOFError, ValueError, zlib.error) as exc:
-            # Truncated/corrupt gzip streams and undecodable bytes all
-            # surface here.
+        except OSError as exc:
             raise IndexCorruptError(path, f"unreadable: {exc}") from exc
+        if head == storage.MAGIC:
+            version = 3
+            if use_mmap:
+                with open(path, "rb") as fh:
+                    mapped = mmap_module.mmap(
+                        fh.fileno(), 0, access=mmap_module.ACCESS_READ
+                    )
+                try:
+                    bundle = storage.FrozenIndexBundle(path, mapped, mapped)
+                except BaseException:
+                    try:
+                        mapped.close()
+                    except BufferError:
+                        # Traceback frames still export memoryviews over
+                        # the map; it closes when the exception is
+                        # collected.
+                        pass
+                    raise
+                self._install_frozen_bundle(bundle)
+                mode = "mmap"
+            else:
+                bundle = storage.FrozenIndexBundle(path, path.read_bytes())
+                self._install_heap_from_bundle(path, bundle)
+        elif head[:2] == b"\x1f\x8b":
+            try:
+                with gzip.open(path, "rb") as fh:
+                    data = fh.read()
+            except (OSError, EOFError, ValueError, zlib.error) as exc:
+                raise IndexCorruptError(
+                    path, f"unreadable: {exc}"
+                ) from exc
+            if use_mmap:
+                fallback = "gzip"
+                _logger.warning(
+                    "index %s is gzip-compressed and cannot be memory-"
+                    "mapped; falling back to the heap loader "
+                    "(save uncompressed v3 to enable mmap)",
+                    path,
+                )
+            if data[: len(storage.MAGIC)] == storage.MAGIC:
+                version = 3
+                bundle = storage.FrozenIndexBundle(path, data)
+                self._install_heap_from_bundle(path, bundle)
+            else:
+                try:
+                    text = data.decode("utf-8")
+                except ValueError as exc:
+                    raise IndexCorruptError(
+                        path, f"unreadable: {exc}"
+                    ) from exc
+                version = self._load_legacy(path, text)
+        else:
+            try:
+                text = path.read_text(encoding="utf-8")
+            except (OSError, ValueError) as exc:
+                raise IndexCorruptError(path, f"unreadable: {exc}") from exc
+            version = self._load_legacy(path, text)
+            if use_mmap:
+                fallback = "legacy_format"
+        duration = time.perf_counter() - started
+        self._last_load_info = {
+            "path": str(path),
+            "version": version,
+            "mode": mode,
+            "bytes": size,
+            "load_seconds": duration,
+            "mmap_requested": bool(use_mmap),
+            "fallback": fallback,
+        }
+        obs = self._obs
+        if obs.enabled:
+            obs.index_load_seconds.set(duration, mode=mode)
+            obs.index_bytes.set(float(size))
+            if fallback is not None:
+                obs.index_load_fallbacks.inc(reason=fallback)
+        return self.num_indexed
+
+    def _install_frozen_bundle(self, bundle) -> None:
+        """Swap the engine onto a validated frozen (mmap-backed) bundle."""
+        self._text_index = bundle.text_index
+        self._node_index = bundle.node_index
+        self._embeddings = bundle.embeddings
+        self._texts = bundle.texts
+        self._frozen_bundle = bundle
+        self._rebuild_scorers()
+
+    def _heap_state_from_bundle(self, path, bundle):
+        """Hydrate heap structures from a v3 bundle (transactionally)."""
+        try:
+            text_index = InvertedIndex()
+            text_index.load_documents_sorted(
+                bundle.text_index.to_forward_map().items()
+            )
+            node_index = InvertedIndex()
+            node_index.load_documents_sorted(
+                bundle.node_index.to_forward_map().items()
+            )
+            embeddings = dict(bundle.embeddings)
+            texts = dict(bundle.texts)
+        except (DataError, KeyError, TypeError, ValueError) as exc:
+            raise IndexCorruptError(
+                path, f"malformed v3 payload: {exc!r}"
+            ) from exc
+        return text_index, node_index, embeddings, texts
+
+    def _install_heap_from_bundle(self, path, bundle) -> None:
+        text_index, node_index, embeddings, texts = (
+            self._heap_state_from_bundle(path, bundle)
+        )
+        self._text_index = text_index
+        self._node_index = node_index
+        self._embeddings = embeddings
+        self._texts = texts
+        self._frozen_bundle = None
+        self._rebuild_scorers()
+        if self._config.pruned_backend == "compiled":
+            self._text_index.compiled()
+            self._node_index.compiled()
+
+    def _thaw_if_frozen(self) -> None:
+        """Convert frozen (mmap-backed) stores to mutable heap state.
+
+        Mutation entry points call this first: the packed layout is
+        immutable by design, so an add/remove on a frozen engine pays a
+        one-time full hydration (decode every posting, embedding and
+        text) and proceeds on ordinary heap structures — the mmap
+        buffer is then released.  Searches before and after a thaw are
+        bit-identical (tests/search/test_v3_format.py).
+        """
+        bundle = self._frozen_bundle
+        if bundle is None:
+            return
+        self._install_heap_from_bundle("<frozen>", bundle)
+
+    def _load_legacy(self, path: Path, text: str) -> int:
+        """Parse + install a v1/v2 JSON index; returns the version."""
+        from repro.core.serialization import embedding_from_dict
+
         payload_text, newline, trailer_text = text.rpartition("\n")
         if newline:
             # Version >= 2: the final line is the checksum trailer.
@@ -1086,13 +1308,14 @@ class NewsLinkEngine:
         self._rebuild_scorers()
         self._embeddings = embeddings
         self._texts = texts
+        self._frozen_bundle = None
         if sorted_docs and self._config.pruned_backend == "compiled":
             # Eagerly rebuild the packed snapshots from the pre-sorted
             # posting lists so the first query after a load doesn't pay
             # the compile.
             self._text_index.compiled()
             self._node_index.compiled()
-        return self.num_indexed
+        return version
 
     # ------------------------------------------------------------------
     # explanations (Tables II & VI)

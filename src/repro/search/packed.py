@@ -1,0 +1,579 @@
+"""Delta-encoded packed posting layout — the v3 zero-copy memory map.
+
+``CompiledPostings`` (PR 6) made the query loop walk packed arrays, but
+the arrays still live on the Python heap and are rebuilt from JSON at
+every load.  This module is the on-disk twin: each term's ascending doc
+ints are stored as **gaps** (``gaps[0] = docs[0]``, ``gaps[i] = docs[i]
+- docs[i-1]``) in the smallest of {1, 2, 4} little-endian bytes that
+fits the term's largest gap, term frequencies likewise width-minimised,
+and the per-64-posting block metadata (``block_last``/``block_max_tf``)
+is stored verbatim so nothing per-posting happens at load time.
+
+Three layers sit on top of the raw sections (see
+``repro.search.storage`` for the container format):
+
+* :class:`PackedPostingsReader` — zero-copy views (``memoryview.cast``)
+  over one index's sections plus an O(num_terms) offset pass; no
+  per-posting work.
+* :class:`MmapCompiledPostings` — a :class:`CompiledPostings` whose
+  term map materialises :class:`CompiledTermPostings` lazily on first
+  touch (numpy ``cumsum`` un-deltas a term in one vector op), so the
+  downstream block-max ranker runs the *same code* over the same array
+  types and stays bit-identical to the heap-backed reference.
+* :class:`FrozenInvertedIndex` — the read-only ``InvertedIndex`` facade
+  scorers and persistence consume; mutation raises, and the engine
+  thaws it back to a heap index before any add/remove.
+
+Doc-int decode is exact: gaps of an ascending ``uint32`` sequence sum
+back to the original values without overflow, so ``cumsum`` in
+``uint32`` reproduces the array bit-for-bit.  The scalar fallback path
+(numpy absent) computes the identical values.
+"""
+
+from __future__ import annotations
+
+import json
+from array import array
+from bisect import bisect_left
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.errors import DocumentNotIndexedError
+from repro.search.compiled_index import (
+    BLOCK_SHIFT,
+    BLOCK_SIZE,
+    CompiledPostings,
+    CompiledTermPostings,
+)
+
+try:  # numpy accelerates encode/decode; values are identical without it.
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+#: Byte widths a packed gap/tf column may use, and their typecodes.
+_WIDTH_TYPECODES = {1: "B", 2: "H", 4: "I"}
+_WIDTH_DTYPES = {1: "<u1", 2: "<u2", 4: "<u4"}
+
+
+def width_for(max_value: int) -> int:
+    """The smallest supported byte width that holds ``max_value``."""
+    if max_value <= 0xFF:
+        return 1
+    if max_value <= 0xFFFF:
+        return 2
+    if max_value <= 0xFFFFFFFF:
+        return 4
+    raise ValueError(f"value {max_value} exceeds uint32 range")
+
+
+def encode_deltas(docs: Sequence[int]) -> tuple[int, bytes]:
+    """Delta-encode an ascending uint32 sequence → ``(width, payload)``.
+
+    ``gaps[0] = docs[0]`` and ``gaps[i] = docs[i] - docs[i-1]``; the
+    width is per-term minimal, which is where the compression comes
+    from (dense posting lists have single-byte gaps).  Adjacent doc
+    ints produce gap 1; a leading doc int 0 produces gap 0 — both
+    round-trip, property-tested in tests/search/test_packed_postings.py.
+    """
+    count = len(docs)
+    if count == 0:
+        return 1, b""
+    if _np is not None:
+        arr = _np.frombuffer(docs, dtype=_np.uint32) if isinstance(
+            docs, array
+        ) else _np.asarray(docs, dtype=_np.uint32)
+        gaps = _np.diff(arr, prepend=_np.uint32(0))
+        width = width_for(int(gaps.max()))
+        return width, gaps.astype(_WIDTH_DTYPES[width], copy=False).tobytes()
+    gaps = array("I")
+    previous = 0
+    largest = 0
+    for doc in docs:
+        gap = doc - previous
+        gaps.append(gap)
+        if gap > largest:
+            largest = gap
+        previous = doc
+    width = width_for(largest)
+    if width == 4:
+        return width, gaps.tobytes()
+    return width, array(_WIDTH_TYPECODES[width], gaps).tobytes()
+
+
+def decode_deltas(payload, count: int, width: int) -> array:
+    """Inverse of :func:`encode_deltas` → ascending ``array('I')``."""
+    out = array("I")
+    if count == 0:
+        return out
+    if _np is not None:
+        gaps = _np.frombuffer(payload, dtype=_WIDTH_DTYPES[width], count=count)
+        docs = _np.cumsum(gaps, dtype=_np.uint32)
+        out.frombytes(docs.tobytes())
+        return out
+    gaps = array(_WIDTH_TYPECODES[width])
+    gaps.frombytes(bytes(payload[: count * width]))
+    total = 0
+    for gap in gaps:
+        total += gap
+        out.append(total)
+    return out
+
+
+def encode_values(values: Sequence[int]) -> tuple[int, bytes]:
+    """Width-minimise a uint32 sequence (term frequencies) → bytes."""
+    count = len(values)
+    if count == 0:
+        return 1, b""
+    if _np is not None:
+        arr = (
+            _np.frombuffer(values, dtype=_np.uint32)
+            if isinstance(values, array)
+            else _np.asarray(values, dtype=_np.uint32)
+        )
+        width = width_for(int(arr.max()))
+        return width, arr.astype(_WIDTH_DTYPES[width], copy=False).tobytes()
+    width = width_for(max(values))
+    return width, array(_WIDTH_TYPECODES[width], values).tobytes()
+
+
+def decode_values(payload, count: int, width: int):
+    """Inverse of :func:`encode_values` widened back to uint32.
+
+    Width-4 columns are returned as a zero-copy ``memoryview`` cast —
+    every consumer (``build_term_scores``'s ``np.frombuffer``, the
+    scalar ``zip`` fallback) reads them positionally.
+    """
+    if width == 4:
+        view = memoryview(payload)[: count * 4]
+        return view.cast("I")
+    if count == 0:
+        return array("I")
+    if _np is not None:
+        values = _np.frombuffer(
+            payload, dtype=_WIDTH_DTYPES[width], count=count
+        ).astype(_np.uint32)
+        out = array("I")
+        out.frombytes(values.tobytes())
+        return out
+    narrow = array(_WIDTH_TYPECODES[width])
+    narrow.frombytes(bytes(payload[: count * width]))
+    return array("I", narrow)
+
+
+def _num_blocks(df: int) -> int:
+    return (df + BLOCK_SIZE - 1) >> BLOCK_SHIFT
+
+
+# ----------------------------------------------------------------------
+# Writer side: one index -> named binary columns.
+
+
+def pack_postings(index, universe: tuple[str, ...]) -> tuple[dict, dict[str, bytes]]:
+    """Pack one index's postings against the shared sorted ``universe``.
+
+    Returns ``(meta, columns)`` where ``columns`` maps short column
+    names (``vocab``, ``df``, ...) to their binary payloads.  Works for
+    heap and frozen indexes alike — both expose ``compiled()`` whose
+    snapshot interns into the same sorted universe.
+    """
+    snapshot = index.compiled()
+    if snapshot.doc_ids != universe:  # pragma: no cover - save-time guard
+        raise ValueError("index doc set does not match the shared universe")
+    # Sorted vocabulary canonicalises the layout: the bytes depend only
+    # on the logical index contents, never on term first-seen order, so
+    # save -> load -> re-save round-trips byte-identically.
+    vocab = sorted(index.vocabulary())
+    df = array("I")
+    gap_widths = array("B")
+    tf_widths = array("B")
+    max_tfs = array("I")
+    min_dls = array("I")
+    gaps = bytearray()
+    tfs = bytearray()
+    block_last = array("I")
+    block_max_tf = array("I")
+    for term in vocab:
+        postings = snapshot.term(term)
+        df.append(len(postings.docs))
+        gap_width, gap_payload = encode_deltas(postings.docs)
+        tf_width, tf_payload = encode_values(postings.tfs)
+        gap_widths.append(gap_width)
+        tf_widths.append(tf_width)
+        gaps += gap_payload
+        tfs += tf_payload
+        max_tfs.append(postings.max_tf)
+        min_dls.append(index.min_doc_length(term))
+        block_last.extend(postings.block_last)
+        block_max_tf.extend(postings.block_max_tf)
+    doc_lengths = snapshot.doc_lengths
+    meta = {
+        "num_terms": len(vocab),
+        "total_length": int(sum(index.doc_lengths().values())),
+    }
+    columns = {
+        "vocab": json.dumps(vocab, ensure_ascii=False).encode("utf-8"),
+        "df": df.tobytes(),
+        "gapw": gap_widths.tobytes(),
+        "tfw": tf_widths.tobytes(),
+        "maxtf": max_tfs.tobytes(),
+        "mindl": min_dls.tobytes(),
+        "gaps": bytes(gaps),
+        "tfs": bytes(tfs),
+        "blast": block_last.tobytes(),
+        "bmaxtf": block_max_tf.tobytes(),
+        "doclen": bytes(doc_lengths)
+        if isinstance(doc_lengths, memoryview)
+        else doc_lengths.tobytes(),
+    }
+    return meta, columns
+
+
+# ----------------------------------------------------------------------
+# Reader side: zero-copy views + lazy per-term materialisation.
+
+
+class PackedPostingsReader:
+    """Zero-copy view over one index's packed columns.
+
+    Construction is O(num_terms): one vectorised cumulative pass turns
+    the per-term ``df``/width columns into byte offsets.  Nothing
+    per-posting runs until a term is first touched by a query.
+    """
+
+    def __init__(
+        self,
+        columns: Mapping[str, "memoryview | bytes"],
+        universe: tuple[str, ...],
+        index_of: dict[str, int],
+        meta: Mapping,
+    ) -> None:
+        self.universe = universe
+        self.index_of = index_of
+        self.vocab: list[str] = json.loads(bytes(columns["vocab"]))
+        self.slot_of = {term: i for i, term in enumerate(self.vocab)}
+        self.df = memoryview(columns["df"]).cast("I")
+        self.gap_widths = memoryview(columns["gapw"]).cast("B")
+        self.tf_widths = memoryview(columns["tfw"]).cast("B")
+        self.max_tfs = memoryview(columns["maxtf"]).cast("I")
+        self.min_dls = memoryview(columns["mindl"]).cast("I")
+        self.gaps = memoryview(columns["gaps"])
+        self.tfs = memoryview(columns["tfs"])
+        self.block_last = memoryview(columns["blast"]).cast("I")
+        self.block_max_tf = memoryview(columns["bmaxtf"]).cast("I")
+        self.doc_lengths_view = memoryview(columns["doclen"]).cast("I")
+        self.total_length = int(meta["total_length"])
+        self._compute_offsets()
+
+    def _compute_offsets(self) -> None:
+        num_terms = len(self.vocab)
+        if _np is not None:
+            df = _np.frombuffer(self.df, dtype=_np.uint32).astype(_np.int64)
+            gap_widths = _np.frombuffer(self.gap_widths, dtype=_np.uint8)
+            tf_widths = _np.frombuffer(self.tf_widths, dtype=_np.uint8)
+            gap_offsets = _np.zeros(num_terms + 1, dtype=_np.int64)
+            tf_offsets = _np.zeros(num_terms + 1, dtype=_np.int64)
+            block_offsets = _np.zeros(num_terms + 1, dtype=_np.int64)
+            _np.cumsum(df * gap_widths, out=gap_offsets[1:])
+            _np.cumsum(df * tf_widths, out=tf_offsets[1:])
+            _np.cumsum((df + BLOCK_SIZE - 1) >> BLOCK_SHIFT, out=block_offsets[1:])
+            self._gap_offsets = gap_offsets
+            self._tf_offsets = tf_offsets
+            self._block_offsets = block_offsets
+            return
+        gap_offsets = [0] * (num_terms + 1)
+        tf_offsets = [0] * (num_terms + 1)
+        block_offsets = [0] * (num_terms + 1)
+        for i in range(num_terms):
+            df = self.df[i]
+            gap_offsets[i + 1] = gap_offsets[i] + df * self.gap_widths[i]
+            tf_offsets[i + 1] = tf_offsets[i] + df * self.tf_widths[i]
+            block_offsets[i + 1] = block_offsets[i] + _num_blocks(df)
+        self._gap_offsets = gap_offsets
+        self._tf_offsets = tf_offsets
+        self._block_offsets = block_offsets
+
+    @property
+    def num_docs(self) -> int:
+        return len(self.universe)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.vocab)
+
+    @property
+    def avg_doc_length(self) -> float:
+        # Same int/int division as InvertedIndex.avg_doc_length: the
+        # stored exact total reproduces the identical float.
+        if not self.universe:
+            return 0.0
+        return self.total_length / len(self.universe)
+
+    def materialize(self, slot: int) -> CompiledTermPostings:
+        """Decode one term into a :class:`CompiledTermPostings`.
+
+        Doc ints become a real ``array('I')`` (cursor ``bisect`` needs
+        random access anyway); tfs and block metadata stay zero-copy
+        views when their stored width allows.
+        """
+        df = self.df[slot]
+        gap_width = self.gap_widths[slot]
+        start = int(self._gap_offsets[slot])
+        docs = decode_deltas(
+            self.gaps[start : start + df * gap_width], df, gap_width
+        )
+        tf_width = self.tf_widths[slot]
+        start = int(self._tf_offsets[slot])
+        tfs = decode_values(
+            self.tfs[start : start + df * tf_width], df, tf_width
+        )
+        block_start = int(self._block_offsets[slot])
+        block_end = block_start + _num_blocks(df)
+        return CompiledTermPostings.from_parts(
+            docs,
+            tfs,
+            self.block_last[block_start:block_end],
+            self.block_max_tf[block_start:block_end],
+            int(self.max_tfs[slot]),
+        )
+
+
+class _LazyTermMap:
+    """Dict-like term map that materialises packed terms on first touch."""
+
+    __slots__ = ("_reader", "_cache")
+
+    def __init__(self, reader: PackedPostingsReader) -> None:
+        self._reader = reader
+        self._cache: dict[str, CompiledTermPostings] = {}
+
+    def get(self, term: str, default=None):
+        postings = self._cache.get(term)
+        if postings is not None:
+            return postings
+        slot = self._reader.slot_of.get(term)
+        if slot is None:
+            return default
+        postings = self._reader.materialize(slot)
+        self._cache[term] = postings
+        return postings
+
+    def __getitem__(self, term: str) -> CompiledTermPostings:
+        postings = self.get(term)
+        if postings is None:
+            raise KeyError(term)
+        return postings
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._reader.slot_of
+
+    def __len__(self) -> int:
+        return len(self._reader.slot_of)
+
+    def __iter__(self):
+        return iter(self._reader.slot_of)
+
+    def keys(self):
+        return self._reader.slot_of.keys()
+
+    def values(self):
+        return (self.get(term) for term in self._reader.slot_of)
+
+    def items(self):
+        return ((term, self.get(term)) for term in self._reader.slot_of)
+
+
+class MmapCompiledPostings(CompiledPostings):
+    """A :class:`CompiledPostings` backed by mapped sections.
+
+    Same attributes, same downstream code path (``fused_top_k``,
+    ``Bm25Scorer.compiled_term``); the only difference is that
+    ``term()`` decodes lazily and ``doc_lengths`` is a zero-copy view.
+    ``version`` is 0: a frozen snapshot never mutates (the engine thaws
+    to a heap index first), so every version-keyed cache stays valid.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, reader: PackedPostingsReader) -> None:
+        self.version = 0
+        self.doc_ids = reader.universe
+        self.index_of = reader.index_of
+        self.doc_lengths = reader.doc_lengths_view
+        self.avg_doc_length = reader.avg_doc_length
+        self._terms = _LazyTermMap(reader)
+
+    def memory_bytes(self) -> int:
+        """Mapped bytes of the packed columns (shared, not heap-private)."""
+        reader = self._terms._reader
+        total = 0
+        for view in (
+            reader.df,
+            reader.gap_widths,
+            reader.tf_widths,
+            reader.max_tfs,
+            reader.min_dls,
+            reader.gaps,
+            reader.tfs,
+            reader.block_last,
+            reader.block_max_tf,
+            reader.doc_lengths_view,
+        ):
+            total += view.nbytes
+        return total
+
+
+class FrozenInvertedIndex:
+    """Read-only ``InvertedIndex`` facade over packed mapped columns.
+
+    Exposes the full read API scorers and persistence rely on; the
+    dict-shaped views (``postings``, ``sorted_postings``,
+    ``doc_lengths``) are built lazily per term and cached, so the
+    exhaustive/reference paths still work — they just pay the decode on
+    first touch.  Mutation raises ``TypeError``: the engine converts a
+    frozen index back to a heap :class:`InvertedIndex` (*thaw*) before
+    any add/remove, see ``NewsLinkEngine._thaw_if_frozen``.
+
+    ``version`` is 0 and never changes — valid precisely because the
+    structure is immutable, so version-keyed scorer caches never go
+    stale.
+    """
+
+    def __init__(self, reader: PackedPostingsReader) -> None:
+        self._reader = reader
+        self._compiled = MmapCompiledPostings(reader)
+        self._postings_cache: dict[str, dict[str, int]] = {}
+        self._sorted_cache: dict[str, list[tuple[str, int]]] = {}
+        self._doc_lengths_map: dict[str, int] | None = None
+
+    # -- mutation: explicitly refused -----------------------------------
+    def _frozen_error(self) -> TypeError:
+        return TypeError(
+            "frozen (mmap-backed) index is immutable; the engine must "
+            "thaw it to a heap InvertedIndex before mutating"
+        )
+
+    def add_document(self, doc_id, terms):
+        raise self._frozen_error()
+
+    def add_document_counts(self, doc_id, counts):
+        raise self._frozen_error()
+
+    def load_documents_sorted(self, items):
+        raise self._frozen_error()
+
+    def remove_document(self, doc_id):
+        raise self._frozen_error()
+
+    # -- read API --------------------------------------------------------
+    def compiled(self) -> MmapCompiledPostings:
+        return self._compiled
+
+    def postings(self, term: str) -> dict[str, int]:
+        cached = self._postings_cache.get(term)
+        if cached is None:
+            postings = self._compiled.term(term)
+            if postings is None:
+                return {}
+            universe = self._reader.universe
+            cached = {
+                universe[doc]: tf
+                for doc, tf in zip(postings.docs, postings.tfs)
+            }
+            self._postings_cache[term] = cached
+        return cached
+
+    def sorted_postings(self, term: str) -> Sequence[tuple[str, int]]:
+        cached = self._sorted_cache.get(term)
+        if cached is None:
+            postings = self._compiled.term(term)
+            if postings is None:
+                return []
+            universe = self._reader.universe
+            cached = [
+                (universe[doc], tf)
+                for doc, tf in zip(postings.docs, postings.tfs)
+            ]
+            self._sorted_cache[term] = cached
+        return cached
+
+    def max_term_frequency(self, term: str) -> int:
+        slot = self._reader.slot_of.get(term)
+        return 0 if slot is None else int(self._reader.max_tfs[slot])
+
+    def min_doc_length(self, term: str) -> int:
+        slot = self._reader.slot_of.get(term)
+        return 0 if slot is None else int(self._reader.min_dls[slot])
+
+    def doc_frequency(self, term: str) -> int:
+        slot = self._reader.slot_of.get(term)
+        return 0 if slot is None else int(self._reader.df[slot])
+
+    def doc_length(self, doc_id: str) -> int:
+        position = self._reader.index_of.get(doc_id)
+        if position is None:
+            raise DocumentNotIndexedError(doc_id)
+        return int(self._reader.doc_lengths_view[position])
+
+    def doc_lengths(self) -> Mapping[str, int]:
+        mapping = self._doc_lengths_map
+        if mapping is None:
+            view = self._reader.doc_lengths_view
+            mapping = {
+                doc_id: view[i]
+                for i, doc_id in enumerate(self._reader.universe)
+            }
+            self._doc_lengths_map = mapping
+        return mapping
+
+    def doc_terms(self, doc_id: str) -> tuple[str, ...]:
+        if doc_id not in self._reader.index_of:
+            raise DocumentNotIndexedError(doc_id)
+        position = self._reader.index_of[doc_id]
+        terms = []
+        for term in self._reader.vocab:
+            postings = self._compiled.term(term)
+            i = bisect_left(postings.docs, position)
+            if i < len(postings.docs) and postings.docs[i] == position:
+                terms.append(term)
+        return tuple(terms)
+
+    def to_forward_map(self) -> dict[str, dict[str, int]]:
+        """doc_id -> {term: tf} — the thaw/re-save representation."""
+        universe = self._reader.universe
+        forward: dict[str, dict[str, int]] = {
+            doc_id: {} for doc_id in universe
+        }
+        for term in self._reader.vocab:
+            postings = self._compiled.term(term)
+            for doc, tf in zip(postings.docs, postings.tfs):
+                forward[universe[doc]][term] = tf
+        return forward
+
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._reader.index_of
+
+    @property
+    def version(self) -> int:
+        return 0
+
+    @property
+    def num_docs(self) -> int:
+        return len(self._reader.universe)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._reader.vocab)
+
+    @property
+    def total_length(self) -> int:
+        return self._reader.total_length
+
+    @property
+    def avg_doc_length(self) -> float:
+        return self._reader.avg_doc_length
+
+    def doc_ids(self) -> list[str]:
+        return list(self._reader.universe)
+
+    def vocabulary(self) -> Iterable[str]:
+        return self._reader.vocab

@@ -1,0 +1,272 @@
+"""v3 on-disk container: CRC-checked named binary sections, mmap-ready.
+
+Layout (all integers little-endian)::
+
+    offset  size          content
+    0       8             magic  b"NLIDX3\\x00\\n"
+    8       4             uint32 header length in bytes
+    12      4             uint32 CRC-32 of the header bytes
+    16      header_len    header JSON (utf-8)
+    ...     pad           zero padding to a 16-byte boundary
+    base    ...           section payloads, each zero-padded to 16 bytes
+
+The header JSON is ``{"format": "newslink-index", "version": 3,
+"meta": {...}, "sections": [{"name", "offset", "length", "crc32"},
+...]}`` where ``offset`` is relative to ``base`` (the first 16-byte
+boundary after the header) — relative offsets keep the header length
+independent of its own size.  16-byte alignment guarantees every
+``uint32`` column can be ``memoryview.cast`` directly over the map.
+
+Reading verifies the magic, the header CRC, and **every section's**
+length bound and CRC-32 eagerly in both load modes; any mismatch
+raises :class:`~repro.errors.IndexCorruptError` naming the section.
+(For mmap loads the CRC pass doubles as a page prefault, so forked
+shard workers share already-resident pages copy-on-write.)
+
+Writing is deterministic — no timestamps, pids, or hash-seed-dependent
+ordering — so repeated saves of the same engine state are byte-equal
+(``test_save_is_deterministic``).
+
+On top of the raw container this module assembles and re-opens the
+NewsLink index bundle: postings columns for the text/node indexes
+(``repro.search.packed``), the embedding/text arenas
+(``repro.core.embedding_store``), the shared sorted doc-id universe
+and the insertion-order permutation.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from array import array
+from collections.abc import Mapping
+
+from repro.core.embedding_store import (
+    PackedEmbeddingStore,
+    PackedTextStore,
+    pack_embeddings,
+    pack_texts,
+)
+from repro.errors import IndexCorruptError
+from repro.search.packed import (
+    FrozenInvertedIndex,
+    PackedPostingsReader,
+    pack_postings,
+)
+
+MAGIC = b"NLIDX3\x00\n"
+_ALIGN = 16
+_HEADER_STRUCT = struct.Struct("<8sII")
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+# ----------------------------------------------------------------------
+# Raw container.
+
+
+def container_bytes(meta: dict, sections: list[tuple[str, bytes]]) -> bytes:
+    """Serialize named sections into one deterministic container blob."""
+    entries = []
+    offset = 0
+    for name, payload in sections:
+        entries.append(
+            {
+                "name": name,
+                "offset": offset,
+                "length": len(payload),
+                "crc32": zlib.crc32(payload),
+            }
+        )
+        offset = _aligned(offset + len(payload))
+    header = json.dumps(
+        {
+            "format": "newslink-index",
+            "version": 3,
+            "meta": meta,
+            "sections": entries,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    out = bytearray()
+    out += _HEADER_STRUCT.pack(MAGIC, len(header), zlib.crc32(header))
+    out += header
+    out += b"\x00" * (_aligned(len(out)) - len(out))
+    for entry, (_, payload) in zip(entries, sections):
+        out += payload
+        out += b"\x00" * (_aligned(len(out)) - len(out))
+    return bytes(out)
+
+
+def read_container(
+    buffer, path
+) -> tuple[dict, dict[str, memoryview]]:
+    """Open a container over ``buffer`` (bytes or mmap), verifying CRCs.
+
+    Every section is bounds- and CRC-checked eagerly; corruption raises
+    :class:`IndexCorruptError` naming the failing section.
+    """
+    view = memoryview(buffer)
+    if len(view) < _HEADER_STRUCT.size:
+        raise IndexCorruptError(path, "file too short for a v3 header")
+    magic, header_len, header_crc = _HEADER_STRUCT.unpack_from(view, 0)
+    if magic != MAGIC:
+        raise IndexCorruptError(path, "bad v3 magic")
+    header_end = _HEADER_STRUCT.size + header_len
+    if header_end > len(view):
+        raise IndexCorruptError(path, "header truncated")
+    header_bytes = view[_HEADER_STRUCT.size : header_end]
+    if zlib.crc32(header_bytes) != header_crc:
+        raise IndexCorruptError(path, "header checksum mismatch")
+    try:
+        header = json.loads(bytes(header_bytes))
+    except ValueError as exc:
+        raise IndexCorruptError(path, "header is not valid JSON") from exc
+    if (
+        not isinstance(header, dict)
+        or header.get("format") != "newslink-index"
+        or header.get("version") != 3
+    ):
+        raise IndexCorruptError(path, "not a v3 newslink index header")
+    base = _aligned(header_end)
+    sections: dict[str, memoryview] = {}
+    for entry in header.get("sections", ()):
+        name = entry["name"]
+        start = base + entry["offset"]
+        end = start + entry["length"]
+        if end > len(view):
+            raise IndexCorruptError(path, f"section '{name}' truncated")
+        payload = view[start:end]
+        if zlib.crc32(payload) != entry["crc32"]:
+            raise IndexCorruptError(
+                path, f"section '{name}' checksum mismatch"
+            )
+        sections[name] = payload
+    return header.get("meta", {}), sections
+
+
+# ----------------------------------------------------------------------
+# NewsLink bundle assembly.
+
+
+def build_index_container(
+    text_index,
+    node_index,
+    embeddings: Mapping,
+    texts: Mapping[str, str],
+    insertion_order,
+) -> bytes:
+    """Pack full engine persistence state into v3 container bytes.
+
+    ``insertion_order`` is the engine's original document insertion
+    order (``list(engine._embeddings)``); the sorted universe plus the
+    stored permutation reproduce it exactly at load.
+    """
+    universe = text_index.compiled().doc_ids
+    index_of = {doc_id: i for i, doc_id in enumerate(universe)}
+    order = array("I", (index_of[doc_id] for doc_id in insertion_order))
+    if len(order) != len(universe):
+        raise ValueError(
+            "insertion order does not cover the indexed document set"
+        )
+    text_meta, text_columns = pack_postings(text_index, universe)
+    node_meta, node_columns = pack_postings(node_index, universe)
+    sections: list[tuple[str, bytes]] = [
+        (
+            "docids",
+            json.dumps(list(universe), ensure_ascii=False).encode("utf-8"),
+        ),
+        ("order", order.tobytes()),
+    ]
+    sections += [(f"text.{n}", p) for n, p in text_columns.items()]
+    sections += [(f"node.{n}", p) for n, p in node_columns.items()]
+    sections += [
+        (f"emb.{n}", p) for n, p in pack_embeddings(embeddings, universe).items()
+    ]
+    sections += [
+        (f"txt.{n}", p) for n, p in pack_texts(texts, universe).items()
+    ]
+    meta = {
+        "num_docs": len(universe),
+        "text": text_meta,
+        "node": node_meta,
+    }
+    return container_bytes(meta, sections)
+
+
+def _column_group(
+    sections: Mapping[str, memoryview], prefix: str, path
+) -> dict[str, memoryview]:
+    group = {
+        name[len(prefix) :]: payload
+        for name, payload in sections.items()
+        if name.startswith(prefix)
+    }
+    if not group:
+        raise IndexCorruptError(path, f"missing '{prefix}*' sections")
+    return group
+
+
+class FrozenIndexBundle:
+    """All engine persistence state, opened zero-copy over one buffer.
+
+    Holds the mapped buffer alive for as long as any lazy view may
+    reference it.  Both frozen indexes share the *same* universe tuple
+    object, so the fused ranker's shared-universe fast path
+    (``FusedRanker.compiled_state``) applies without re-interning.
+    """
+
+    def __init__(self, path, buffer, mapped=None) -> None:
+        meta, sections = read_container(buffer, path)
+        try:
+            universe = tuple(json.loads(bytes(sections["docids"])))
+            index_of = {doc_id: i for i, doc_id in enumerate(universe)}
+            order = memoryview(sections["order"]).cast("I")
+            insertion = [universe[slot] for slot in order]
+            self.text_index = FrozenInvertedIndex(
+                PackedPostingsReader(
+                    _column_group(sections, "text.", path),
+                    universe,
+                    index_of,
+                    meta["text"],
+                )
+            )
+            self.node_index = FrozenInvertedIndex(
+                PackedPostingsReader(
+                    _column_group(sections, "node.", path),
+                    universe,
+                    index_of,
+                    meta["node"],
+                )
+            )
+            self.embeddings = PackedEmbeddingStore(
+                _column_group(sections, "emb.", path),
+                universe,
+                index_of,
+                insertion,
+            )
+            self.texts = PackedTextStore(
+                _column_group(sections, "txt.", path),
+                universe,
+                index_of,
+                insertion,
+            )
+        except IndexCorruptError:
+            raise
+        except (KeyError, ValueError, TypeError) as exc:
+            raise IndexCorruptError(
+                path, f"malformed v3 bundle: {exc}"
+            ) from exc
+        self.universe = universe
+        self.insertion_order = insertion
+        self.num_docs = len(universe)
+        self._buffer = buffer
+        self._mapped = mapped
+
+    def mapped_bytes(self) -> int:
+        """Total bytes of the underlying buffer (mapped or in-heap)."""
+        return len(self._buffer)

@@ -186,6 +186,9 @@ def _stats_payload(target) -> dict:
     report = target.last_index_report
     if report is not None:
         body["index_report"] = report.as_dict()
+    load_info = target.last_load_info
+    if load_info is not None:
+        body["index"] = load_info
     return body
 
 

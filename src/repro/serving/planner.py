@@ -128,3 +128,15 @@ class ShardPlanner:
             doc_counts=tuple(doc_counts),
         )
         return plan, shards
+
+    def precompile(self) -> None:
+        """Materialize the source engine's shareable state pre-fork.
+
+        Call before forking workers that serve the *source* engine
+        directly (mmap-loaded single-shard deployments): the compiled
+        graph, posting snapshots and BM25 caches build once in the
+        parent, and — when the source was mmap-loaded — the CRC pass at
+        load already prefaulted the mapped sections, so forked children
+        share every page copy-on-write instead of each re-deriving it.
+        """
+        self._source.precompile()

@@ -1,0 +1,93 @@
+"""Packed embedding/text arenas: round-trip fidelity, order, laziness."""
+
+from __future__ import annotations
+
+from repro.core.document_embedding import DocumentEmbedding
+from repro.core.embedding_store import (
+    PackedEmbeddingStore,
+    PackedTextStore,
+    pack_embeddings,
+    pack_texts,
+)
+from repro.core.lcag import LcagEmbedder
+from repro.kg.label_index import LabelIndex
+from repro.nlp.pipeline import NlpPipeline
+
+
+def _embeddings(figure1_graph) -> dict[str, DocumentEmbedding]:
+    pipeline = NlpPipeline(LabelIndex(figure1_graph))
+    embedder = LcagEmbedder(figure1_graph)
+    texts = {
+        "doc-b": "Taliban bombed Lahore. Peshawar mourned.",
+        "doc-a": "Taliban in Pakistan entered Khyber.",
+        "doc-c": "Upper Dir and Swat Valley are near Khyber.",
+    }
+    from repro.core.document_embedding import embed_document
+
+    embeddings = {}
+    for doc_id, text in texts.items():
+        processed = pipeline.process(text, doc_id)
+        embeddings[doc_id] = embed_document(processed, embedder)
+    return embeddings, texts
+
+
+def _stores(figure1_graph):
+    embeddings, texts = _embeddings(figure1_graph)
+    insertion = list(embeddings)  # original (non-sorted) insertion order
+    universe = tuple(sorted(embeddings))
+    index_of = {doc_id: i for i, doc_id in enumerate(universe)}
+    store = PackedEmbeddingStore(
+        pack_embeddings(embeddings, universe), universe, index_of, insertion
+    )
+    text_store = PackedTextStore(
+        pack_texts(texts, universe), universe, index_of, insertion
+    )
+    return embeddings, texts, store, text_store
+
+
+class TestPackedEmbeddingStore:
+    def test_round_trip_equality(self, figure1_graph):
+        embeddings, _, store, _ = _stores(figure1_graph)
+        assert len(store) == len(embeddings)
+        for doc_id, embedding in embeddings.items():
+            assert doc_id in store
+            decoded = store[doc_id]
+            assert decoded.doc_id == embedding.doc_id
+            assert decoded.node_counts == embedding.node_counts
+            assert decoded.graphs == embedding.graphs
+            assert decoded == embedding
+        assert "missing" not in store
+        assert store.get("missing") is None
+
+    def test_iteration_preserves_insertion_order(self, figure1_graph):
+        embeddings, texts, store, text_store = _stores(figure1_graph)
+        assert list(store) == list(embeddings)  # not the sorted universe
+        assert list(text_store) == list(texts)
+        assert [e.doc_id for e in store.values()] == list(embeddings)
+
+    def test_decode_is_lazy_and_cached(self, figure1_graph):
+        embeddings, _, store, _ = _stores(figure1_graph)
+        assert store.cached_count() == 0  # nothing decoded at open
+        first = next(iter(embeddings))
+        decoded = store[first]
+        assert store.cached_count() == 1
+        assert store[first] is decoded  # cached object, not re-decoded
+        # Membership checks must not decode.
+        for doc_id in embeddings:
+            assert doc_id in store
+        assert store.cached_count() == 1
+
+    def test_text_store_round_trip(self, figure1_graph):
+        _, texts, _, text_store = _stores(figure1_graph)
+        for doc_id, text in texts.items():
+            assert text_store[doc_id] == text
+        assert dict(text_store) == texts
+
+    def test_empty_and_unicode_texts(self):
+        texts = {"a": "", "b": "ünïcødé — em-dash ✓", "c": "plain"}
+        universe = tuple(sorted(texts))
+        index_of = {doc_id: i for i, doc_id in enumerate(universe)}
+        store = PackedTextStore(
+            pack_texts(texts, universe), universe, index_of, list(texts)
+        )
+        assert dict(store) == texts

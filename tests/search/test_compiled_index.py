@@ -295,7 +295,8 @@ class TestEngineBackends:
 
     def test_persistence_roundtrip_seeds_sorted_postings(self, tmp_path):
         path = tmp_path / "index.json"
-        self.compiled.save_index(path)
+        # The sorted-docs fast path under test is the v2 JSON loader's.
+        self.compiled.save_index(path, format="v2")
         fresh = NewsLinkEngine(
             self.dataset.world.graph,
             EngineConfig(ranking="pruned", pruned_backend="compiled"),

@@ -1,0 +1,140 @@
+"""Differential suite: mmap-loaded serving must be bit-identical to heap.
+
+The zero-copy load path is an invisible optimisation: for any query,
+``k``, ``beta`` and ranking path, an engine serving straight off the
+mapped v3 file returns the same doc ids, order and float scores as (a)
+the engine that built the index and (b) a heap-hydrated load of the
+same file — including after thaw-inducing mutations, a second
+persistence round-trip, and behind 1/2/4-shard scatter-gather serving.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import EngineConfig, FusionConfig, ServingConfig
+from repro.search.engine import NewsLinkEngine
+from repro.serving import Coordinator
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def as_tuples(results):
+    return [(r.doc_id, r.score, r.bow_score, r.bon_score) for r in results]
+
+
+@pytest.fixture(scope="module")
+def trio(tiny_dataset, tmp_path_factory) -> SimpleNamespace:
+    """Builder engine + mmap and heap loads of its saved v3 index."""
+    config = EngineConfig(fusion=FusionConfig(normalize=False))
+    builder = NewsLinkEngine(tiny_dataset.world.graph, config)
+    builder.index_corpus(tiny_dataset.split.full)
+    path = tmp_path_factory.mktemp("v3") / "index.nlx"
+    builder.save_index(path)
+    mapped = NewsLinkEngine(tiny_dataset.world.graph, config)
+    mapped.load_index(path, mmap=True)
+    heap = NewsLinkEngine(tiny_dataset.world.graph, config)
+    heap.load_index(path, mmap=False)
+    corpus = list(tiny_dataset.split.full)
+    vocabulary = sorted(
+        {
+            word
+            for doc in corpus[:20]
+            for word in doc.text.replace(".", " ").split()
+        }
+    )
+    return SimpleNamespace(
+        builder=builder,
+        mapped=mapped,
+        heap=heap,
+        path=path,
+        corpus=corpus,
+        vocabulary=vocabulary,
+        graph=tiny_dataset.world.graph,
+        config=config,
+    )
+
+
+class TestSearchDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_mmap_matches_builder_and_heap(self, trio, data):
+        words = data.draw(
+            st.lists(st.sampled_from(trio.vocabulary), min_size=1, max_size=5)
+        )
+        query = " ".join(words)
+        k = data.draw(st.sampled_from([1, 3, 10, 64]))
+        beta = data.draw(st.sampled_from([None, 0.0, 0.2, 0.7, 1.0]))
+        ranking = data.draw(st.sampled_from([None, "pruned", "exhaustive"]))
+        kwargs = {}
+        if beta is not None:
+            kwargs["beta"] = beta
+        if ranking is not None:
+            kwargs["ranking"] = ranking
+        want = as_tuples(trio.builder.search(query, k=k, **kwargs))
+        assert as_tuples(trio.mapped.search(query, k=k, **kwargs)) == want
+        assert as_tuples(trio.heap.search(query, k=k, **kwargs)) == want
+
+    def test_explain_and_snippets_match(self, trio):
+        query = " ".join(trio.vocabulary[:3])
+        results = trio.builder.search(query, k=1)
+        if not results:
+            pytest.skip("no hits for the probe query")
+        doc_id = results[0].doc_id
+        assert trio.mapped.snippet(query, doc_id) == trio.builder.snippet(
+            query, doc_id
+        )
+        assert trio.mapped.embedding(doc_id) == trio.builder.embedding(doc_id)
+        assert trio.mapped.document_text(doc_id) == (
+            trio.builder.document_text(doc_id)
+        )
+
+
+class TestMutationDifferential:
+    def test_thaw_then_mutate_stays_identical(self, trio, tmp_path):
+        mapped = NewsLinkEngine(trio.graph, trio.config)
+        mapped.load_index(trio.path)
+        reference = NewsLinkEngine(trio.graph, trio.config)
+        reference.load_index(trio.path, mmap=False)
+        victim = trio.corpus[0].doc_id
+        for engine in (mapped, reference):
+            engine.remove_document(victim)
+            engine.index_document(trio.corpus[0])
+        assert not mapped.is_frozen
+        queries = [" ".join(trio.vocabulary[i : i + 3]) for i in range(0, 12, 3)]
+        for query in queries:
+            for k in (1, 5, 20):
+                assert as_tuples(mapped.search(query, k=k)) == as_tuples(
+                    reference.search(query, k=k)
+                )
+        # A second persistence round-trip of the mutated state.
+        path = tmp_path / "round2.nlx"
+        mapped.save_index(path)
+        reloaded = NewsLinkEngine(trio.graph, trio.config)
+        reloaded.load_index(path)
+        assert reloaded.is_frozen
+        for query in queries:
+            assert as_tuples(reloaded.search(query, k=10)) == as_tuples(
+                reference.search(query, k=10)
+            )
+
+
+class TestShardedDifferential:
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_sharded_serving_off_mmap_engine(self, trio, num_shards):
+        coordinator = Coordinator.build(
+            trio.mapped,
+            ServingConfig(num_shards=num_shards, transport="inline"),
+        )
+        try:
+            for i in range(0, 15, 3):
+                query = " ".join(trio.vocabulary[i : i + 3])
+                for k in (1, 5, 20):
+                    want = as_tuples(trio.builder.search(query, k=k))
+                    assert as_tuples(coordinator.search(query, k=k)) == want
+        finally:
+            coordinator.close()

@@ -1,0 +1,253 @@
+"""Property suite for the v3 delta codec and packed posting reader.
+
+The packed layout (``repro.search.packed``) must be a lossless,
+bit-exact re-encoding of the compiled snapshot: every ascending uint32
+sequence round-trips through the gap codec (including gap-0 leading
+ids, adjacent ids, the uint32 ceiling and single-posting terms), the
+numpy and scalar codec paths produce identical bytes, and a
+``fused_top_k`` run over lazily-materialised mmap-style cursors returns
+the same floats as the heap-backed reference.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import FusionConfig
+from repro.search import packed
+from repro.search.bm25 import Bm25Scorer
+from repro.search.compiled_index import BLOCK_SIZE, fused_top_k
+from repro.search.inverted_index import InvertedIndex
+from repro.search.packed import (
+    FrozenInvertedIndex,
+    PackedPostingsReader,
+    decode_deltas,
+    decode_values,
+    encode_deltas,
+    encode_values,
+    pack_postings,
+    width_for,
+)
+
+ascending_docs = st.lists(
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    min_size=0,
+    max_size=300,
+    unique=True,
+).map(sorted)
+
+tf_lists = st.lists(
+    st.integers(min_value=1, max_value=0xFFFFFFFF), min_size=0, max_size=300
+)
+
+
+class TestDeltaCodec:
+    @settings(max_examples=200, deadline=None)
+    @given(ascending_docs)
+    def test_round_trip(self, docs):
+        width, payload = encode_deltas(docs)
+        assert len(payload) == len(docs) * width or not docs
+        assert list(decode_deltas(payload, len(docs), width)) == docs
+
+    @settings(max_examples=200, deadline=None)
+    @given(tf_lists)
+    def test_values_round_trip(self, values):
+        width, payload = encode_values(values)
+        assert list(decode_values(payload, len(values), width)) == values
+
+    def test_boundary_sequences(self):
+        cases = [
+            [],
+            [0],  # leading id 0 -> gap 0
+            [0, 1, 2, 3],  # adjacent ids -> gap 1
+            [7],  # single-posting term
+            [0xFFFFFFFF],  # max uint32 as a first (and only) gap
+            [0, 0xFFFFFFFF],  # max possible single gap
+            [255, 256],  # width-1/width-2 boundary
+            [65535, 65536],
+            list(range(1000)),
+        ]
+        for docs in cases:
+            width, payload = encode_deltas(docs)
+            assert list(decode_deltas(payload, len(docs), width)) == docs
+
+    def test_width_is_minimal(self):
+        assert width_for(0) == 1
+        assert width_for(0xFF) == 1
+        assert width_for(0x100) == 2
+        assert width_for(0xFFFF) == 2
+        assert width_for(0x10000) == 4
+        assert width_for(0xFFFFFFFF) == 4
+        # Dense lists compress to one byte per posting.
+        width, payload = encode_deltas(list(range(5, 205)))
+        assert width == 1
+        assert len(payload) == 200
+
+    @settings(max_examples=100, deadline=None)
+    @given(ascending_docs, tf_lists)
+    def test_scalar_and_numpy_paths_agree(self, docs, values):
+        if packed._np is None:
+            return  # scalar path is the only path
+        fast = (encode_deltas(docs), encode_values(values))
+        numpy = packed._np
+        try:
+            packed._np = None
+            slow = (encode_deltas(docs), encode_values(values))
+            assert slow == fast
+            width, payload = fast[0]
+            assert (
+                list(decode_deltas(payload, len(docs), width)) == docs
+            )
+        finally:
+            packed._np = numpy
+
+    def test_array_input_matches_list_input(self):
+        docs = list(range(0, 600, 3))
+        assert encode_deltas(array("I", docs)) == encode_deltas(docs)
+        assert encode_values(array("I", docs[1:])) == encode_values(docs[1:])
+
+
+def _reader_for(index: InvertedIndex) -> PackedPostingsReader:
+    universe = index.compiled().doc_ids
+    index_of = {doc_id: i for i, doc_id in enumerate(universe)}
+    meta, columns = pack_postings(index, universe)
+    return PackedPostingsReader(columns, universe, index_of, meta)
+
+
+corpus_strategy = st.dictionaries(
+    st.text(alphabet="abcdef", min_size=1, max_size=3).map(lambda s: f"d{s}"),
+    st.lists(
+        st.sampled_from(["alpha", "beta", "gamma", "delta", "eps"]),
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestPackedReader:
+    @settings(max_examples=60, deadline=None)
+    @given(corpus_strategy)
+    def test_materialised_terms_match_compiled_snapshot(self, docs):
+        index = InvertedIndex()
+        for doc_id, terms in docs.items():
+            index.add_document(doc_id, terms)
+        snapshot = index.compiled()
+        reader = _reader_for(index)
+        frozen_snapshot = packed.MmapCompiledPostings(reader)
+        assert frozen_snapshot.doc_ids == snapshot.doc_ids
+        for term in index.vocabulary():
+            want = snapshot.term(term)
+            got = frozen_snapshot.term(term)
+            assert list(got.docs) == list(want.docs)
+            assert list(got.tfs) == list(want.tfs)
+            assert list(got.block_last) == list(want.block_last)
+            assert list(got.block_max_tf) == list(want.block_max_tf)
+            assert got.max_tf == want.max_tf
+        assert frozen_snapshot.avg_doc_length == snapshot.avg_doc_length
+        assert list(frozen_snapshot.doc_lengths) == list(snapshot.doc_lengths)
+
+    def test_block_metadata_spans_multiple_blocks(self):
+        index = InvertedIndex()
+        for i in range(3 * BLOCK_SIZE + 7):
+            index.add_document(f"d{i:04d}", ["t"] * (1 + i % 5))
+        reader = _reader_for(index)
+        got = packed.MmapCompiledPostings(reader).term("t")
+        want = index.compiled().term("t")
+        assert got.num_blocks == want.num_blocks == 4
+        assert list(got.block_last) == list(want.block_last)
+        assert list(got.block_max_tf) == list(want.block_max_tf)
+
+    def test_frozen_index_read_api_matches_heap(self):
+        index = InvertedIndex()
+        docs = {
+            "a": ["x", "x", "y"],
+            "b": ["y", "z"],
+            "c": ["x", "z", "z", "z"],
+        }
+        for doc_id, terms in docs.items():
+            index.add_document(doc_id, terms)
+        frozen = FrozenInvertedIndex(_reader_for(index))
+        assert frozen.num_docs == index.num_docs
+        assert sorted(frozen.vocabulary()) == sorted(index.vocabulary())
+        assert frozen.avg_doc_length == index.avg_doc_length
+        assert frozen.doc_lengths() == index.doc_lengths()
+        for term in index.vocabulary():
+            assert frozen.postings(term) == index.postings(term)
+            assert list(frozen.sorted_postings(term)) == list(
+                index.sorted_postings(term)
+            )
+            assert frozen.doc_frequency(term) == index.doc_frequency(term)
+            assert frozen.max_term_frequency(term) == (
+                index.max_term_frequency(term)
+            )
+            assert frozen.min_doc_length(term) == index.min_doc_length(term)
+        for doc_id in docs:
+            assert frozen.doc_length(doc_id) == index.doc_length(doc_id)
+            assert sorted(frozen.doc_terms(doc_id)) == sorted(
+                index.doc_terms(doc_id)
+            )
+        assert frozen.to_forward_map().keys() == index.to_forward_map().keys()
+
+    def test_frozen_index_refuses_mutation(self):
+        index = InvertedIndex()
+        index.add_document("a", ["x"])
+        frozen = FrozenInvertedIndex(_reader_for(index))
+        for call in (
+            lambda: frozen.add_document("b", ["y"]),
+            lambda: frozen.add_document_counts("b", {"y": 1}),
+            lambda: frozen.load_documents_sorted([]),
+            lambda: frozen.remove_document("a"),
+        ):
+            try:
+                call()
+            except TypeError as exc:
+                assert "frozen" in str(exc)
+            else:  # pragma: no cover - would be a real bug
+                raise AssertionError("mutation did not raise")
+
+
+class TestFusedTopKOverPackedCursors:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        corpus_strategy,
+        st.lists(
+            st.sampled_from(["alpha", "beta", "gamma", "delta", "eps"]),
+            min_size=1,
+            max_size=4,
+        ),
+        st.sampled_from([1, 3, 10]),
+        st.sampled_from([0.0, 0.3, 1.0]),
+    )
+    def test_bit_identical_to_heap_reference(self, docs, query, k, beta):
+        heap_text = InvertedIndex()
+        heap_node = InvertedIndex()
+        for doc_id, terms in docs.items():
+            heap_text.add_document(doc_id, terms)
+            heap_node.add_document(doc_id, list(reversed(terms)))
+        universe = heap_text.compiled().doc_ids
+        index_of = {doc_id: i for i, doc_id in enumerate(universe)}
+
+        def frozen_of(index):
+            meta, columns = pack_postings(index, universe)
+            return FrozenInvertedIndex(
+                PackedPostingsReader(columns, universe, index_of, meta)
+            )
+
+        fusion = FusionConfig(beta=beta)
+        results = {}
+        for name, (text_index, node_index) in {
+            "heap": (heap_text, heap_node),
+            "packed": (frozen_of(heap_text), frozen_of(heap_node)),
+        }.items():
+            scorers = (Bm25Scorer(text_index), Bm25Scorer(node_index))
+            snapshots = (text_index.compiled(), node_index.compiled())
+            ranked, _ = fused_top_k(
+                scorers, snapshots, universe, query, query, k, fusion
+            )
+            results[name] = ranked
+        assert results["packed"] == results["heap"]  # bit-identical floats

@@ -1,0 +1,285 @@
+"""v3 container format: back-compat, corruption detection, fallbacks.
+
+Contracts under test:
+
+* every older on-disk generation (v1 JSON, v2 JSON+trailer) still loads,
+  and a legacy index re-saved as v3 serves identical results;
+* single-byte corruption or truncation of any v3 section raises
+  :class:`IndexCorruptError` naming the failing section, and a failed
+  load leaves the live engine untouched;
+* gzip archives cannot be mapped: requesting mmap logs a warning and
+  bumps ``newslink_index_load_fallback_total{reason="gzip"}`` (legacy
+  JSON likewise under ``reason="legacy_format"``, silently);
+* a frozen (mmap-loaded) engine thaws transparently on the first
+  mutation and keeps serving bit-identical results.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.data.document import Corpus, NewsDocument
+from repro.errors import IndexCorruptError
+from repro.obs.metrics import MetricsRegistry
+from repro.search import storage
+from repro.search.engine import NewsLinkEngine
+from repro.search.inverted_index import InvertedIndex
+
+QUERIES = ("Taliban Pakistan", "Taliban bombed", "Peshawar")
+
+
+def _engine(figure1_graph, **config) -> NewsLinkEngine:
+    # A private registry per engine: the fallback-counter and gauge
+    # assertions must not see samples from other tests' engines.
+    engine = NewsLinkEngine(
+        figure1_graph, EngineConfig(**config), registry=MetricsRegistry()
+    )
+    engine.index_corpus(
+        Corpus(
+            [
+                NewsDocument("a", "Taliban in Pakistan."),
+                NewsDocument("b", "Taliban bombed Lahore."),
+                NewsDocument("c", "Peshawar is near Khyber."),
+            ]
+        )
+    )
+    return engine
+
+
+def _results(engine) -> list:
+    return [engine.search(query, k=3) for query in QUERIES]
+
+
+class TestBackCompat:
+    def test_v1_file_loads_and_resaves_as_v3(self, figure1_graph, tmp_path):
+        engine = _engine(figure1_graph)
+        want = _results(engine)
+        path = tmp_path / "index.json"
+        engine.save_index(path, format="v2")
+        payload = path.read_text(encoding="utf-8").splitlines()[0]
+        path.write_text(
+            payload.replace('"version": 2', '"version": 1', 1),
+            encoding="utf-8",
+        )
+        fresh = NewsLinkEngine(figure1_graph)
+        fresh.load_index(path)
+        assert fresh.last_load_info["version"] == 1
+        assert _results(fresh) == want
+        # v1 -> v3 -> mmap load: still identical.
+        v3_path = tmp_path / "index.nlx"
+        fresh.save_index(v3_path, format="v3")
+        reloaded = NewsLinkEngine(figure1_graph)
+        reloaded.load_index(v3_path)
+        assert reloaded.is_frozen
+        assert _results(reloaded) == want
+
+    def test_v2_resaved_as_v3_loads_identically(self, figure1_graph, tmp_path):
+        engine = _engine(figure1_graph)
+        want = _results(engine)
+        v2_path = tmp_path / "index.json"
+        engine.save_index(v2_path, format="v2")
+        loaded = NewsLinkEngine(figure1_graph)
+        loaded.load_index(v2_path)
+        v3_path = tmp_path / "index.nlx"
+        loaded.save_index(v3_path, format="v3")
+        for mmap in (True, False):
+            fresh = NewsLinkEngine(figure1_graph)
+            fresh.load_index(v3_path, mmap=mmap)
+            assert fresh.is_frozen is mmap
+            assert fresh.last_load_info["version"] == 3
+            assert _results(fresh) == want
+
+    def test_v3_save_is_deterministic_across_build_orders(
+        self, figure1_graph, tmp_path
+    ):
+        first = _engine(figure1_graph)
+        path_a = tmp_path / "a.nlx"
+        first.save_index(path_a)
+        # Same logical state reached via a v3 heap round-trip.
+        second = NewsLinkEngine(figure1_graph)
+        second.load_index(path_a, mmap=False)
+        path_b = tmp_path / "b.nlx"
+        second.save_index(path_b)
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+
+def _section_entries(path):
+    raw = path.read_bytes()
+    header_len = int.from_bytes(raw[8:12], "little")
+    header = json.loads(raw[16 : 16 + header_len])
+    base = storage._aligned(16 + header_len)
+    return raw, base, header["sections"]
+
+
+class TestCorruption:
+    @pytest.mark.parametrize(
+        "section",
+        ["docids", "order", "text.gaps", "node.vocab", "emb.graphs", "txt.blocks"],
+    )
+    def test_single_byte_flip_names_the_section(
+        self, figure1_graph, tmp_path, section
+    ):
+        engine = _engine(figure1_graph)
+        path = tmp_path / "index.nlx"
+        engine.save_index(path)
+        raw, base, entries = _section_entries(path)
+        entry = next(e for e in entries if e["name"] == section)
+        assert entry["length"] > 0
+        offset = base + entry["offset"]
+        corrupted = bytearray(raw)
+        corrupted[offset] ^= 0xFF
+        path.write_bytes(bytes(corrupted))
+        for mmap in (True, False):
+            with pytest.raises(IndexCorruptError) as excinfo:
+                NewsLinkEngine(figure1_graph).load_index(path, mmap=mmap)
+            assert f"'{section}'" in str(excinfo.value)
+            assert "checksum mismatch" in str(excinfo.value)
+            assert str(path) in str(excinfo.value)
+
+    def test_truncated_file_names_the_section(self, figure1_graph, tmp_path):
+        engine = _engine(figure1_graph)
+        path = tmp_path / "index.nlx"
+        engine.save_index(path)
+        raw, base, entries = _section_entries(path)
+        last = entries[-1]
+        path.write_bytes(raw[: base + last["offset"] + last["length"] - 1])
+        with pytest.raises(IndexCorruptError, match="truncated"):
+            NewsLinkEngine(figure1_graph).load_index(path)
+
+    def test_header_corruption_detected(self, figure1_graph, tmp_path):
+        engine = _engine(figure1_graph)
+        path = tmp_path / "index.nlx"
+        engine.save_index(path)
+        raw = bytearray(path.read_bytes())
+        raw[20] ^= 0xFF  # inside the header JSON
+        path.write_bytes(bytes(raw))
+        with pytest.raises(IndexCorruptError, match="header checksum"):
+            NewsLinkEngine(figure1_graph).load_index(path)
+
+    def test_failed_v3_load_leaves_live_engine_untouched(
+        self, figure1_graph, tmp_path
+    ):
+        engine = _engine(figure1_graph)
+        want = _results(engine)
+        path = tmp_path / "index.nlx"
+        engine.save_index(path)
+        raw, base, entries = _section_entries(path)
+        corrupted = bytearray(raw)
+        corrupted[base + entries[0]["offset"]] ^= 0xFF
+        path.write_bytes(bytes(corrupted))
+        with pytest.raises(IndexCorruptError):
+            engine.load_index(path)
+        assert engine.num_indexed == 3
+        assert _results(engine) == want
+
+
+def _fallback_total(engine, reason: str) -> float:
+    snap = engine.metrics_registry.snapshot()
+    entry = snap["counters"].get("newslink_index_load_fallback_total")
+    if entry is None:
+        return 0.0
+    for labels, value in entry["samples"]:
+        if labels == [reason]:
+            return value
+    return 0.0
+
+
+class TestFallbacks:
+    def test_gzip_with_mmap_warns_and_counts(
+        self, figure1_graph, tmp_path, caplog
+    ):
+        engine = _engine(figure1_graph)
+        want = _results(engine)
+        path = tmp_path / "index.nlx.gz"
+        engine.save_index(path)
+        fresh = _engine(figure1_graph)
+        with caplog.at_level(logging.WARNING, logger="repro.search.engine"):
+            fresh.load_index(path, mmap=True)
+        assert any("cannot be memory-mapped" in r.message for r in caplog.records)
+        assert not fresh.is_frozen
+        info = fresh.last_load_info
+        assert info["fallback"] == "gzip"
+        assert info["mode"] == "heap"
+        assert _fallback_total(fresh, "gzip") == 1
+        assert _results(fresh) == want
+
+    def test_gzip_without_mmap_is_silent(self, figure1_graph, tmp_path, caplog):
+        engine = _engine(figure1_graph)
+        path = tmp_path / "index.nlx.gz"
+        engine.save_index(path)
+        fresh = _engine(figure1_graph)
+        with caplog.at_level(logging.WARNING, logger="repro.search.engine"):
+            fresh.load_index(path, mmap=False)
+        assert not caplog.records
+        assert fresh.last_load_info["fallback"] is None
+        assert _fallback_total(fresh, "gzip") == 0
+
+    def test_legacy_json_with_mmap_counts_without_warning(
+        self, figure1_graph, tmp_path, caplog
+    ):
+        engine = _engine(figure1_graph)
+        path = tmp_path / "index.json"
+        engine.save_index(path, format="v2")
+        fresh = _engine(figure1_graph)
+        with caplog.at_level(logging.WARNING, logger="repro.search.engine"):
+            fresh.load_index(path, mmap=True)
+        assert not caplog.records
+        assert fresh.last_load_info["fallback"] == "legacy_format"
+        assert _fallback_total(fresh, "legacy_format") == 1
+
+    def test_load_gauges_published(self, figure1_graph, tmp_path):
+        engine = _engine(figure1_graph)
+        path = tmp_path / "index.nlx"
+        engine.save_index(path)
+        fresh = NewsLinkEngine(figure1_graph, registry=MetricsRegistry())
+        fresh.load_index(path)
+        snap = fresh.metrics_registry.snapshot()
+        seconds = snap["gauges"]["newslink_index_load_seconds"]
+        assert [["mmap"]] == [labels for labels, _ in seconds["samples"]]
+        size = snap["gauges"]["newslink_index_bytes"]
+        assert size["samples"][0][1] == path.stat().st_size
+
+
+class TestThaw:
+    def test_add_thaws_and_stays_identical(self, figure1_graph, tmp_path):
+        engine = _engine(figure1_graph)
+        path = tmp_path / "index.nlx"
+        engine.save_index(path)
+        frozen = NewsLinkEngine(figure1_graph)
+        frozen.load_index(path)
+        assert frozen.is_frozen
+        assert _results(frozen) == _results(engine)
+        new_doc = NewsDocument("d", "Swat Valley near Khyber.")
+        engine.index_document(new_doc)
+        frozen.index_document(new_doc)
+        assert not frozen.is_frozen
+        assert isinstance(frozen._text_index, InvertedIndex)
+        assert _results(frozen) == _results(engine)
+
+    def test_remove_thaws_and_stays_identical(self, figure1_graph, tmp_path):
+        engine = _engine(figure1_graph)
+        path = tmp_path / "index.nlx"
+        engine.save_index(path)
+        frozen = NewsLinkEngine(figure1_graph)
+        frozen.load_index(path)
+        engine.remove_document("b")
+        frozen.remove_document("b")
+        assert not frozen.is_frozen
+        assert frozen.num_indexed == 2
+        assert _results(frozen) == _results(engine)
+
+    def test_read_paths_do_not_thaw(self, figure1_graph, tmp_path):
+        engine = _engine(figure1_graph)
+        path = tmp_path / "index.nlx"
+        engine.save_index(path)
+        frozen = NewsLinkEngine(figure1_graph)
+        frozen.load_index(path)
+        _results(frozen)
+        frozen.document_text("a")
+        frozen.embedding("a")
+        frozen.snippet(QUERIES[0], "a")
+        assert frozen.is_frozen

@@ -35,7 +35,7 @@ class TestGenerate:
 
 class TestIndex:
     def test_index_written(self, indexed_dir):
-        assert (indexed_dir / "index.json").exists()
+        assert (indexed_dir / "index.nlx").exists()
 
     def test_tree_variant(self, tmp_path):
         main(["generate", str(tmp_path), "--scale", "0.1"])

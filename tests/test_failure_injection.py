@@ -91,7 +91,7 @@ class TestCorruptedPersistence:
         engine = NewsLinkEngine(figure1_graph)
         engine.index_corpus(Corpus([NewsDocument("d", "Taliban in Pakistan.")]))
         path = tmp_path / "index.json"
-        engine.save_index(path)
+        engine.save_index(path, format="v2")
         # The payload is the first line; the trailer the second.
         payload_line = path.read_text(encoding="utf-8").splitlines()[0]
         payload = json.loads(payload_line)
@@ -106,7 +106,7 @@ class TestCorruptedPersistence:
         engine = NewsLinkEngine(figure1_graph)
         engine.index_corpus(Corpus([NewsDocument("d", "Taliban in Pakistan.")]))
         path = tmp_path / "index.json"
-        engine.save_index(path)
+        engine.save_index(path, format="v2")
         # Flip payload bytes without breaking JSON: the checksum must
         # catch silent single-field corruption a parser would accept.
         corrupted = path.read_text(encoding="utf-8").replace(
@@ -130,7 +130,7 @@ class TestCorruptedPersistence:
         )
         before = engine.search("Taliban Pakistan", k=2)
         path = tmp_path / "index.json"
-        engine.save_index(path)
+        engine.save_index(path, format="v2")
         corrupted = path.read_text(encoding="utf-8").replace(
             '"version": 2', '"version": 3', 1
         )
@@ -145,7 +145,7 @@ class TestCorruptedPersistence:
         engine = NewsLinkEngine(figure1_graph)
         engine.index_corpus(Corpus([NewsDocument("d", "Taliban in Pakistan.")]))
         path = tmp_path / "index.json"
-        engine.save_index(path)
+        engine.save_index(path, format="v2")
         payload_line = path.read_text(encoding="utf-8").splitlines()[0]
         legacy = payload_line.replace('"version": 2', '"version": 1', 1)
         path.write_text(legacy, encoding="utf-8")

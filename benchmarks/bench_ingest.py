@@ -1,0 +1,347 @@
+"""Streaming ingestion: sustained throughput, freshness SLO, crash recovery.
+
+Three experiments over the durable ingest pipeline (:mod:`repro.ingest`),
+all seeded and replayable:
+
+* **throughput** — three feed profiles (rss/social/filings) streaming
+  into one live engine: sustained events/s and docs/s, WAL write
+  amplification, and the ingest→searchable freshness p50/p99 that the
+  SLO is defined over;
+* **recovery** — a mid-stream crash at the ``ingest.wal_append`` fault
+  point (a genuinely torn WAL frame, no clean shutdown), then reopen:
+  recovery time, records replayed, and a digest check that the recovered
+  run converges bit-identically to an uninterrupted run over the same
+  seeds;
+* **isolation** — a permanently wedged source next to healthy ones: its
+  circuit breaker must trip open and the healthy sources must keep their
+  event cadence and freshness (the failure-isolation half of the SLO).
+
+Results go to ``BENCH_ingest.json`` at the repo root.  CI runs::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py --smoke
+
+(small world, few rounds, sanity asserts; the smoke run also publishes
+BENCH_ingest.json, marked ``"smoke": true``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import zlib
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+import pytest
+
+from repro.config import IngestConfig
+from repro.data.datasets import cnn_like_config
+from repro.errors import FaultInjectedError
+from repro.ingest import IngestPipeline, SyntheticFeed, WedgedFeed
+from repro.kg.io import graph_to_dict
+from repro.kg.synthetic import generate_world
+from repro.reliability import faults
+from repro.utils.rng import spawn_rngs
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_JSON = REPO_ROOT / "BENCH_ingest.json"
+SEED = 907
+PROFILES = ("rss", "social", "filings")
+
+
+def _build_world(scale: float):
+    world_config, _ = cnn_like_config(scale=scale)
+    world_rng, _, _ = spawn_rngs(world_config.seed, 3)
+    return generate_world(world_config, rng=world_rng)
+
+
+def _feeds(world) -> list[SyntheticFeed]:
+    return [
+        SyntheticFeed(profile, world, profile=profile, seed=SEED + offset)
+        for offset, profile in enumerate(PROFILES)
+    ]
+
+
+def _digest(engine) -> int:
+    """CRC over everything recovery must reconstruct, queries included."""
+    queries = sorted(node.label for node in list(engine.graph.nodes())[:6])
+    state = {
+        "docs": sorted(engine._embeddings),
+        "graph": graph_to_dict(engine.graph),
+        "results": {
+            query: [
+                (r.doc_id, r.score, r.bow_score, r.bon_score)
+                for r in engine.search(query, k=10)
+            ]
+            for query in queries
+        },
+    }
+    return zlib.crc32(json.dumps(state, sort_keys=True).encode("utf-8"))
+
+
+def _freshness_ms(stats: dict) -> dict:
+    freshness = stats["freshness"]
+    return {
+        "count": freshness["count"],
+        "p50_ms": round(freshness["p50"] * 1000, 3),
+        "p99_ms": round(freshness["p99"] * 1000, 3),
+    }
+
+
+def _run_throughput(world, directory: Path, rounds: int, config: IngestConfig) -> dict:
+    pipeline = IngestPipeline.open(
+        directory, world.graph, _feeds(world), config=config
+    )
+    started = time.perf_counter()
+    admitted = pipeline.run(rounds)
+    elapsed = time.perf_counter() - started
+    stats = pipeline.stats_payload()
+    adds = sum(s["applied"]["add"] for s in stats["sources"].values())
+    entry = {
+        "rounds": rounds,
+        "events": admitted,
+        "events_per_s": round(admitted / elapsed, 2),
+        "docs_indexed": pipeline.engine.num_indexed,
+        "docs_per_s": round(adds / elapsed, 2),
+        "elapsed_s": round(elapsed, 3),
+        "freshness": _freshness_ms(stats),
+        "wal": stats["wal"],
+        "checkpoints": stats["checkpoints"],
+        "dlq": stats["dlq"],
+        "resolution": stats["resolution"],
+    }
+    pipeline.close()
+    return entry
+
+
+def _run_recovery(world, base: Path, target: int) -> dict:
+    """Crash mid-WAL-append, reopen, converge; single source so both runs
+    can be driven to exactly the same per-source sequence number."""
+    config = IngestConfig(
+        batch_size=1, sync_every=1, checkpoint_every=17, fetch_attempts=1
+    )
+    source = [SyntheticFeed("rss", world, profile="rss", seed=SEED)]
+
+    reference = IngestPipeline.open(
+        base / "reference", world.graph, source, config=config
+    )
+    while reference.applied.get("rss", 0) < target:
+        reference.step()
+    want = _digest(reference.engine)
+    reference.close()
+
+    crashed = IngestPipeline.open(
+        base / "crash",
+        world.graph,
+        [SyntheticFeed("rss", world, profile="rss", seed=SEED)],
+        config=config,
+    )
+    faults.arm("ingest.wal_append", nth=max(2, (target * 3) // 5))
+    crashed_at = 0
+    try:
+        while crashed.applied.get("rss", 0) < target:
+            crashed.step()
+    except FaultInjectedError:
+        crashed_at = crashed.applied.get("rss", 0)
+    finally:
+        faults.reset()
+    assert crashed_at, "the injected crash never fired"
+    del crashed  # no close, no final sync: the torn WAL is all that survives
+
+    started = time.perf_counter()
+    recovered = IngestPipeline.open(
+        base / "crash",
+        world.graph,
+        [SyntheticFeed("rss", world, profile="rss", seed=SEED)],
+        config=config,
+    )
+    reopen_seconds = time.perf_counter() - started
+    replayed = recovered.replayed_records
+    while recovered.applied.get("rss", 0) < target:
+        recovered.step()
+    converged = _digest(recovered.engine) == want
+    recovered.close()
+    return {
+        "target_events": target,
+        "crashed_at_seq": crashed_at,
+        "recovery_seconds": round(reopen_seconds, 4),
+        "replayed_records": replayed,
+        "converged": converged,
+    }
+
+
+def _healthy_summary(stats: dict) -> dict:
+    return {
+        name: source["seq_applied"]
+        for name, source in stats["sources"].items()
+        if source["profile"] != "wedged"
+    }
+
+
+def _run_isolation(world, base: Path, rounds: int, config: IngestConfig) -> dict:
+    baseline_pipeline = IngestPipeline.open(
+        base / "baseline", world.graph, _feeds(world), config=config
+    )
+    baseline_pipeline.run(rounds)
+    baseline_stats = baseline_pipeline.stats_payload()
+    baseline_pipeline.close()
+
+    wedged = WedgedFeed("wedged")
+    mixed_pipeline = IngestPipeline.open(
+        base / "mixed", world.graph, [*_feeds(world), wedged], config=config
+    )
+    mixed_pipeline.run(rounds)
+    mixed_stats = mixed_pipeline.stats_payload()
+    mixed_pipeline.close()
+
+    return {
+        "rounds": rounds,
+        "baseline": {
+            "applied": _healthy_summary(baseline_stats),
+            "freshness": _freshness_ms(baseline_stats),
+        },
+        "with_wedged_source": {
+            "applied": _healthy_summary(mixed_stats),
+            "freshness": _freshness_ms(mixed_stats),
+            "wedged": mixed_stats["sources"]["wedged"],
+            "wedged_fetch_attempts": wedged.fetch_attempts,
+        },
+    }
+
+
+def run_ingest(scale: float, rounds: int, recovery_target: int) -> dict:
+    world = _build_world(scale)
+    config = IngestConfig(
+        batch_size=8,
+        sync_every=16,
+        checkpoint_every=256,
+        fetch_attempts=2,
+        fetch_base_delay=0.005,
+        fetch_max_delay=0.05,
+        failure_threshold=3,
+        breaker_reset_after=60.0,
+    )
+    with TemporaryDirectory(prefix="bench-ingest-") as tmp:
+        base = Path(tmp)
+        throughput = _run_throughput(world, base / "throughput", rounds, config)
+        recovery = _run_recovery(world, base / "recovery", recovery_target)
+        isolation = _run_isolation(world, base / "isolation", rounds, config)
+    return {
+        "benchmark": "ingest",
+        "seed": SEED,
+        "scale": scale,
+        "profiles": list(PROFILES),
+        "throughput": throughput,
+        "recovery": recovery,
+        "isolation": isolation,
+        "notes": [
+            "feeds are pure functions of (world, profile, seed): every run "
+            "streams the same events in the same order",
+            "the crash arm tears a real WAL frame (fault between header "
+            "and payload writes) and recovers without a clean shutdown; "
+            "'converged' compares docs, KG and query results by digest",
+            "freshness is fetch→searchable per event, observed on the "
+            "live path and again during replay (recovery debt is visible)",
+            "the wedged source burns only its own retry budget: its "
+            "breaker trips open and the healthy sources keep their "
+            "per-round cadence",
+        ],
+    }
+
+
+def _check(payload: dict) -> None:
+    """Sanity bar shared by the pytest wrapper and the CI smoke run."""
+    throughput = payload["throughput"]
+    assert throughput["events_per_s"] > 0, throughput
+    assert throughput["docs_indexed"] > 0, throughput
+    assert throughput["freshness"]["count"] == throughput["events"], throughput
+    recovery = payload["recovery"]
+    assert recovery["converged"], recovery
+    assert recovery["replayed_records"] > 0, recovery
+    assert recovery["crashed_at_seq"] < recovery["target_events"], recovery
+    isolation = payload["isolation"]
+    mixed = isolation["with_wedged_source"]
+    assert mixed["wedged"]["breaker"] == "open", mixed
+    assert mixed["wedged"]["breaker_skips"] > 0, mixed
+    # healthy sources kept their full cadence despite the wedged peer
+    assert mixed["applied"] == isolation["baseline"]["applied"], isolation
+
+
+def _render(payload: dict) -> str:
+    throughput = payload["throughput"]
+    recovery = payload["recovery"]
+    isolation = payload["isolation"]
+    mixed = isolation["with_wedged_source"]
+    lines = [
+        "Streaming ingestion — throughput, crash recovery, breaker isolation",
+        f"scale {payload['scale']}; profiles {', '.join(payload['profiles'])}; "
+        f"seed {payload['seed']}",
+        f"throughput: {throughput['events_per_s']:.1f} events/s "
+        f"({throughput['docs_per_s']:.1f} docs/s), "
+        f"{throughput['docs_indexed']} documents searchable, "
+        f"{throughput['checkpoints']} checkpoints, dlq {throughput['dlq']}",
+        f"freshness: p50 {throughput['freshness']['p50_ms']:.1f}ms "
+        f"p99 {throughput['freshness']['p99_ms']:.1f}ms "
+        f"over {throughput['freshness']['count']} events",
+        f"recovery: crashed at seq {recovery['crashed_at_seq']}/"
+        f"{recovery['target_events']}, reopen {recovery['recovery_seconds']}s, "
+        f"{recovery['replayed_records']} records replayed, "
+        f"converged={recovery['converged']}",
+        f"isolation: wedged breaker={mixed['wedged']['breaker']} "
+        f"(skips {mixed['wedged']['breaker_skips']}, "
+        f"{mixed['wedged_fetch_attempts']} fetch attempts); healthy applied "
+        f"{mixed['applied']} vs baseline {isolation['baseline']['applied']}",
+    ]
+    for note in payload["notes"]:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def main(scale: float | None = None, smoke: bool = False) -> dict:
+    from benchmarks.conftest import bench_scale, write_result
+
+    resolved_scale = bench_scale() if scale is None else scale
+    if smoke:
+        payload = run_ingest(
+            min(resolved_scale, 0.25), rounds=6, recovery_target=24
+        )
+        payload["smoke"] = True
+        _check(payload)
+        write_result("ingest_smoke", _render(payload))
+    else:
+        payload = run_ingest(resolved_scale, rounds=24, recovery_target=96)
+        payload["smoke"] = False
+        _check(payload)
+        write_result("ingest", _render(payload))
+    OUTPUT_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {OUTPUT_JSON}")
+    return payload
+
+
+@pytest.mark.benchmark(group="ingest")
+def test_ingest(benchmark):
+    payload = benchmark.pedantic(main, rounds=1, iterations=1)
+    _check(payload)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.path.insert(0, str(REPO_ROOT))
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="world scale (default: REPRO_BENCH_SCALE or 1.0)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: small world, few rounds, sanity asserts; still "
+        "publishes BENCH_ingest.json (marked smoke)",
+    )
+    arguments = parser.parse_args()
+    main(scale=arguments.scale, smoke=arguments.smoke)

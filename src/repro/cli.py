@@ -12,6 +12,14 @@ Subcommands::
         query's metrics/trace summary
     repro evaluate DIR [-k N]                             — quick Lucene
         vs NewsLink comparison on the dataset's test split
+    repro ingest DIR [--rounds N] [--sources rss,social,filings]
+                 [--state-dir D]                          — stream
+        simulated feeds through the durable ingestion pipeline (WAL +
+        checkpoints under the state dir; rerunning resumes where the
+        previous run — clean or crashed — left off)
+    repro serve DIR [--ingest]                            — serve over
+        HTTP; with --ingest, feeds stream into the live engine while
+        queries serve (freshness and breaker health on /stats)
 
 Run ``python -m repro <subcommand> --help`` for details.
 """
@@ -119,6 +127,43 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for indexing (0 = one per core, 1 = serial)",
     )
 
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="stream simulated feeds through the durable ingestion pipeline",
+    )
+    ingest.add_argument("directory", type=Path)
+    ingest.add_argument(
+        "--state-dir", type=Path, default=None,
+        help="pipeline state directory holding the WAL, snapshots and "
+        "manifest (default: DIR/ingest); rerunning with the same state "
+        "dir resumes after the last run, crashed or clean",
+    )
+    ingest.add_argument(
+        "--dataset", choices=("cnn", "kaggle"), default="cnn",
+        help="canned world configuration the feeds simulate from (must "
+        "match what `repro generate` used)",
+    )
+    ingest.add_argument("--scale", type=float, default=0.5)
+    ingest.add_argument(
+        "--sources", default="rss,social,filings",
+        help="comma-separated feed profiles to stream (rss, social, filings)",
+    )
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument(
+        "--rounds", type=int, default=10,
+        help="dispatch rounds to run before checkpointing and exiting",
+    )
+    ingest.add_argument("--batch-size", type=int, default=8)
+    ingest.add_argument(
+        "--checkpoint-every", type=int, default=256,
+        help="applied events between automatic compactions (0 = only "
+        "the final checkpoint on exit)",
+    )
+    ingest.add_argument(
+        "--stats", action="store_true",
+        help="print the full ingest stats payload as JSON on exit",
+    )
+
     serve = subparsers.add_parser(
         "serve", help="serve the indexed dataset over HTTP (JSON API)"
     )
@@ -175,6 +220,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="memory-map a v3 index instead of hydrating it onto the "
         "heap; forked shard workers then share the mapped pages "
         "copy-on-write (default: --mmap)",
+    )
+    serve.add_argument(
+        "--ingest", action="store_true",
+        help="stream simulated feeds into the live engine while serving "
+        "(single-engine mode only); /stats gains an ingest section with "
+        "freshness percentiles and per-source breaker health",
+    )
+    serve.add_argument(
+        "--ingest-dir", type=Path, default=None,
+        help="ingest state directory (default: DIR/ingest)",
+    )
+    serve.add_argument(
+        "--ingest-interval", type=float, default=0.5,
+        help="seconds between dispatch rounds of the background ingest loop",
+    )
+    serve.add_argument(
+        "--ingest-sources", default="rss,social,filings",
+        help="comma-separated feed profiles to stream while serving",
+    )
+    serve.add_argument("--ingest-seed", type=int, default=0)
+    serve.add_argument(
+        "--dataset", choices=("cnn", "kaggle"), default="cnn",
+        help="world configuration the simulated feeds draw from "
+        "(--ingest only; must match `repro generate`)",
+    )
+    serve.add_argument(
+        "--scale", type=float, default=0.5,
+        help="world scale for the simulated feeds (--ingest only)",
     )
     return parser
 
@@ -337,15 +410,147 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _feed_world(dataset: str, scale: float):
+    """The same world `repro generate` built (feeds simulate from it)."""
+    from repro.kg.synthetic import generate_world
+    from repro.utils.rng import spawn_rngs
+
+    factory = cnn_like_config if dataset == "cnn" else kaggle_like_config
+    world_config, _ = factory(scale=scale)
+    world_rng, _, _ = spawn_rngs(world_config.seed, 3)
+    return generate_world(world_config, rng=world_rng)
+
+
+def _build_feeds(sources: str, world, seed: int):
+    from repro.ingest import SyntheticFeed
+
+    profiles = [name.strip() for name in sources.split(",") if name.strip()]
+    if not profiles:
+        raise SystemExit("no feed sources given")
+    return [
+        SyntheticFeed(profile, world, profile=profile, seed=seed + offset)
+        for offset, profile in enumerate(profiles)
+    ]
+
+
+def _open_pipeline(
+    directory: Path,
+    state_dir: Path | None,
+    dataset: str,
+    scale: float,
+    sources: str,
+    seed: int,
+    config,
+    engine_config=None,
+):
+    from repro.ingest import IngestPipeline
+
+    world = _feed_world(dataset, scale)
+    kg_path = directory / _KG_FILE
+    base_graph = load_graph_json(kg_path) if kg_path.exists() else world.graph
+    bootstrap = None
+    for name in _INDEX_CANDIDATES:
+        candidate = directory / name
+        if candidate.exists():
+            bootstrap = candidate
+            break
+    return IngestPipeline.open(
+        state_dir or (directory / "ingest"),
+        base_graph,
+        _build_feeds(sources, world, seed),
+        config=config,
+        engine_config=engine_config,
+        bootstrap_index=bootstrap,
+    )
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.config import IngestConfig
+
+    pipeline = _open_pipeline(
+        args.directory,
+        args.state_dir,
+        args.dataset,
+        args.scale,
+        args.sources,
+        args.seed,
+        IngestConfig(
+            batch_size=args.batch_size,
+            checkpoint_every=args.checkpoint_every,
+        ),
+    )
+    if pipeline.replayed_records:
+        print(
+            f"recovered: replayed {pipeline.replayed_records} WAL records "
+            f"in {pipeline.last_recovery_seconds:.2f}s "
+            f"(generation {pipeline.generation})"
+        )
+    admitted = pipeline.run(args.rounds)
+    pipeline.close()
+    stats = pipeline.stats_payload()
+    freshness = stats["freshness"]
+    print(
+        f"ingested {admitted} events over {args.rounds} rounds: "
+        f"{pipeline.engine.num_indexed} documents searchable, "
+        f"generation {stats['generation']}, dlq {stats['dlq']}, "
+        f"freshness p50 {freshness['p50'] * 1000:.1f}ms "
+        f"p99 {freshness['p99'] * 1000:.1f}ms"
+    )
+    for name, source in stats["sources"].items():
+        print(
+            f"  {name:<10} seq={source['seq_applied']:<6} "
+            f"breaker={source['breaker']:<9} "
+            f"applied={source['applied']}"
+        )
+    if args.stats:
+        print(json_module.dumps(stats, indent=1, sort_keys=True))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import serve
 
-    engine = _load_engine(
-        args.directory,
-        deadline_ms=args.deadline_ms,
-        metrics_enabled=not args.no_metrics,
-        mmap=args.mmap,
-    )
+    if args.ingest and args.shards > 0:
+        raise SystemExit(
+            "--ingest requires single-engine serving (drop --shards); "
+            "shard workers hold forked index copies that live mutation "
+            "cannot reach"
+        )
+    pipeline = None
+    if args.ingest:
+        from repro.config import IngestConfig
+
+        pipeline = _open_pipeline(
+            args.directory,
+            args.ingest_dir,
+            args.dataset,
+            args.scale,
+            args.ingest_sources,
+            args.ingest_seed,
+            IngestConfig(),
+            engine_config=EngineConfig(
+                deadline_ms=args.deadline_ms,
+                metrics_enabled=not args.no_metrics,
+                mmap=args.mmap,
+            ),
+        )
+        engine = pipeline.engine
+        print(
+            f"ingest attached: {sorted(pipeline.source_states)} -> "
+            f"{args.ingest_dir or (args.directory / 'ingest')} "
+            f"(generation {pipeline.generation}, "
+            f"{pipeline.engine.num_indexed} documents at start)",
+            flush=True,
+        )
+    else:
+        engine = _load_engine(
+            args.directory,
+            deadline_ms=args.deadline_ms,
+            metrics_enabled=not args.no_metrics,
+            mmap=args.mmap,
+        )
     target = engine
     if args.shards > 0:
         from repro.config import ServingConfig
@@ -367,11 +572,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"max_queue={serving_config.max_queue}",
             flush=True,
         )
+    if pipeline is not None:
+        pipeline.start(args.ingest_interval)
     serve(
         target,
         host=args.host,
         port=args.port,
         request_timeout=args.request_timeout,
+        ingest=pipeline,
     )
     return 0
 
@@ -384,6 +592,7 @@ def main(argv: list[str] | None = None) -> int:
         "index": _cmd_index,
         "search": _cmd_search,
         "evaluate": _cmd_evaluate,
+        "ingest": _cmd_ingest,
         "serve": _cmd_serve,
     }
     return handlers[args.command](args)

@@ -337,6 +337,72 @@ class ServingConfig:
 
 
 @dataclass(frozen=True)
+class IngestConfig:
+    """Streaming-ingestion pipeline parameters (see ``docs/ingestion.md``).
+
+    Attributes:
+        batch_size: maximum events fetched from one source per dispatch
+            round — bounds how long a bursty source can monopolize the
+            loop before the others get a turn.
+        sync_every: WAL appends per ``fsync`` (durability batching).
+        segment_bytes: WAL segment size before rotation.
+        checkpoint_every: applied events between automatic compactions
+            (snapshot + manifest + WAL truncation); 0 disables automatic
+            checkpoints (callers checkpoint explicitly / on close).
+        apply_retries: bounded retries for a failing delta apply before
+            the event is quarantined to the dead-letter queue.
+        failure_threshold: consecutive fetch failures that trip a
+            source's circuit breaker open.
+        breaker_reset_after: seconds an open breaker waits before
+            letting one half-open probe through.
+        fetch_attempts: retry attempts per fetch (inside one dispatch
+            round; failures after that count against the breaker).
+        fetch_base_delay: initial fetch retry backoff, in seconds.
+        fetch_max_delay: cap on any single fetch retry sleep.
+        fetch_max_elapsed: total fetch retry budget per round in
+            seconds (None = attempts alone bound the retrying).
+        retry_seed: seed for the decorrelated-jitter retry schedule, so
+            runs are reproducible.
+        freshness_window: ingest→searchable latency samples retained
+            for the ``/stats`` freshness percentiles.
+    """
+
+    batch_size: int = 8
+    sync_every: int = 16
+    segment_bytes: int = 1 << 20
+    checkpoint_every: int = 256
+    apply_retries: int = 2
+    failure_threshold: int = 3
+    breaker_reset_after: float = 5.0
+    fetch_attempts: int = 3
+    fetch_base_delay: float = 0.02
+    fetch_max_delay: float = 0.5
+    fetch_max_elapsed: float | None = 5.0
+    retry_seed: int = 0
+    freshness_window: int = 4096
+
+    def __post_init__(self) -> None:
+        _require(self.batch_size >= 1, "batch_size must be >= 1")
+        _require(self.sync_every >= 1, "sync_every must be >= 1")
+        _require(self.segment_bytes >= 64, "segment_bytes must be >= 64")
+        _require(self.checkpoint_every >= 0, "checkpoint_every must be >= 0")
+        _require(self.apply_retries >= 0, "apply_retries must be >= 0")
+        _require(self.failure_threshold >= 1, "failure_threshold must be >= 1")
+        _require(
+            self.breaker_reset_after > 0, "breaker_reset_after must be positive"
+        )
+        _require(self.fetch_attempts >= 1, "fetch_attempts must be >= 1")
+        _require(self.fetch_base_delay > 0, "fetch_base_delay must be positive")
+        _require(self.fetch_max_delay > 0, "fetch_max_delay must be positive")
+        if self.fetch_max_elapsed is not None:
+            _require(
+                self.fetch_max_elapsed > 0,
+                "fetch_max_elapsed must be positive when set",
+            )
+        _require(self.freshness_window >= 1, "freshness_window must be >= 1")
+
+
+@dataclass(frozen=True)
 class Doc2VecConfig:
     """Doc2vec training hyperparameters (Gensim substitute).
 

@@ -108,6 +108,25 @@ class IndexCorruptError(DataError):
         self.detail = detail
 
 
+class IngestError(ReproError):
+    """Raised for failures in the streaming-ingestion pipeline."""
+
+
+class WalCorruptError(IngestError):
+    """Raised when a WAL segment fails validation beyond its torn tail.
+
+    Recovery silently truncates a torn *tail* (the expected signature of a
+    crash mid-append); anything else — bad magic, a corrupt frame followed
+    by valid data, CRC mismatch in the body — is real corruption and
+    raises this error instead of guessing.
+    """
+
+    def __init__(self, path: object, detail: str) -> None:
+        super().__init__(f"{path}: corrupt WAL segment: {detail}")
+        self.path = str(path)
+        self.detail = detail
+
+
 class ServingError(ReproError):
     """Raised for failures in the sharded serving layer."""
 

@@ -1,0 +1,40 @@
+"""``repro.ingest`` — durable streaming ingestion for the live engine.
+
+News corpora change continuously; this package grows the index and the
+knowledge graph *while queries serve*, and survives being killed at any
+instant.  The moving parts:
+
+* :class:`SyntheticFeed` / :class:`WedgedFeed` — deterministic per-source
+  event streams (rss / social / filings profiles).
+* :class:`CircuitBreaker` — per-source fault isolation.
+* :class:`Wal` — CRC-framed, fsync-batched, segment-rotated write-ahead
+  log with checkpoint records.
+* :class:`EntityResolver` — alias/near-duplicate gate in front of the KG.
+* :class:`DeadLetterQueue` — quarantine for poison events.
+* :class:`IngestPipeline` — the dispatch loop, idempotent apply, crash
+  recovery and compaction protocol tying it all together.
+
+See ``docs/ingestion.md`` for the WAL format and recovery semantics.
+"""
+
+from repro.ingest.breaker import CircuitBreaker
+from repro.ingest.dlq import DeadLetterQueue
+from repro.ingest.feeds import FeedEvent, SyntheticFeed, WedgedFeed
+from repro.ingest.pipeline import IngestPipeline, SourceState
+from repro.ingest.resolve import EntityResolver, ResolvedCard
+from repro.ingest.wal import Wal, WalRecord, WalScan
+
+__all__ = [
+    "CircuitBreaker",
+    "DeadLetterQueue",
+    "EntityResolver",
+    "FeedEvent",
+    "IngestPipeline",
+    "ResolvedCard",
+    "SourceState",
+    "SyntheticFeed",
+    "Wal",
+    "WalRecord",
+    "WalScan",
+    "WedgedFeed",
+]

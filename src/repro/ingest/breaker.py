@@ -1,0 +1,105 @@
+"""Per-source circuit breaker: closed → open → half-open.
+
+One breaker guards each feed adapter so a wedged source (repeated fetch
+failures) is cut off instead of burning the dispatch loop's time on
+retries — the failure-isolation half of the freshness SLO: healthy
+sources keep their freshness because the sick one stops consuming the
+loop.
+
+States follow the classic protocol:
+
+``closed``
+    Normal operation.  ``failure_threshold`` *consecutive* failures trip
+    the breaker open; any success resets the count.
+``open``
+    All calls are refused (``allow()`` is False) until ``reset_after``
+    seconds have passed on the injected clock, at which point the next
+    ``allow()`` moves to half-open.
+``half-open``
+    Exactly one probe call is let through.  Success closes the breaker;
+    failure re-opens it for another ``reset_after`` window.
+
+The clock is injectable (defaults to ``time.monotonic``) so tests drive
+state transitions without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a timed half-open probe."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        reset_after: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_after <= 0:
+            raise ValueError("reset_after must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        #: Transition counters for observability, keyed by entered state.
+        self.transitions: dict[str, int] = {CLOSED: 0, OPEN: 0, HALF_OPEN: 0}
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open when the window lapses."""
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.reset_after
+        ):
+            self._transition(HALF_OPEN)
+        return self._state
+
+    def allow(self) -> bool:
+        """True when a call may proceed; consumes the half-open probe slot."""
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and not self._probe_in_flight:
+            self._probe_in_flight = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._probe_in_flight = False
+        if self._state != CLOSED:
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        self._probe_in_flight = False
+        if self._state == HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if self._state == CLOSED and (
+            self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._transition(OPEN)
+
+    def _transition(self, state: str) -> None:
+        self._state = state
+        self.transitions[state] += 1
+        if state == HALF_OPEN:
+            self._probe_in_flight = False

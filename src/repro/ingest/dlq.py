@@ -1,0 +1,91 @@
+"""Dead-letter queue: quarantine for poison events.
+
+An event whose apply keeps failing after bounded retries is moved here —
+never dropped silently, never allowed to wedge the pipeline.  The queue
+is an append-only JSONL file (one entry per line: source, seq, type,
+reason, original payload) so operators can inspect, fix and re-submit by
+hand, plus an in-memory ``(source, seq)`` set so replay after a restart
+does not re-attempt an event that was already quarantined.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+FILENAME = "dlq.jsonl"
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One quarantined event."""
+
+    source: str
+    seq: int
+    type: str
+    reason: str
+    payload: dict
+
+
+class DeadLetterQueue:
+    """Append-only JSONL quarantine with a replay-visible membership set."""
+
+    def __init__(self, directory: Path) -> None:
+        self.path = Path(directory) / FILENAME
+        self._members: set[tuple[str, int]] = set()
+        self._entries = 0
+        if self.path.exists():
+            for line in self.path.read_text(encoding="utf-8").splitlines():
+                if not line.strip():
+                    continue
+                entry = json.loads(line)
+                self._members.add((entry["source"], int(entry["seq"])))
+                self._entries += 1
+
+    def quarantine(
+        self, source: str, seq: int, type_: str, reason: str, payload: dict
+    ) -> None:
+        """Record a poison event (idempotent per ``(source, seq)``)."""
+        if (source, seq) in self._members:
+            return
+        entry = {
+            "source": source,
+            "seq": seq,
+            "type": type_,
+            "reason": reason,
+            "payload": payload,
+        }
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._members.add((source, seq))
+        self._entries += 1
+
+    def __contains__(self, key: tuple[str, int]) -> bool:
+        return key in self._members
+
+    def __len__(self) -> int:
+        return self._entries
+
+    def entries(self) -> list[DeadLetter]:
+        """Read back every quarantined event (operator tooling / tests)."""
+        if not self.path.exists():
+            return []
+        out = []
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            entry = json.loads(line)
+            out.append(
+                DeadLetter(
+                    source=entry["source"],
+                    seq=int(entry["seq"]),
+                    type=entry["type"],
+                    reason=entry["reason"],
+                    payload=entry["payload"],
+                )
+            )
+        return out

@@ -1,0 +1,280 @@
+"""Deterministic per-source feed adapters for the ingest pipeline.
+
+Real deployments tail RSS feeds, social firehoses and regulatory-filing
+streams; the reproduction simulates those shapes deterministically from
+the synthetic-news seeds so every ingest test and benchmark is exactly
+replayable.  Each feed owns an independent seeded rng and emits a
+totally ordered stream of :class:`FeedEvent`\\ s with monotonic sequence
+numbers — the property the WAL's idempotent apply and the crash-recovery
+``fast_forward`` protocol are keyed on: a feed restarted and
+fast-forwarded to seq *n* regenerates events ``n+1, n+2, ...``
+bit-identically to a process that never crashed.
+
+Three profiles mimic the workload shapes:
+
+========  ==========  ========================================
+profile   cadence     deltas
+========  ==========  ========================================
+rss       medium      mostly adds, few retractions, some entities
+social    bursty      short docs, frequent retractions (deletes)
+filings   slow, long  long docs, entity-card heavy, no deletes
+========  ==========  ========================================
+
+Entity deltas are emitted as *entity cards* — one node plus all of its
+edges in a single event, where edges only ever reference the card's own
+node and pre-existing world node ids.  That atomicity is deliberate: no
+WAL record depends on resolver state outside itself, which is what makes
+replay-after-crash convergent (see ``docs/ingestion.md``).  Some cards
+intentionally duplicate existing entities under an alias or mangled
+label to exercise the entity-resolution gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import NewsConfig
+from repro.data.synthetic_news import NewsGenerator
+from repro.errors import IngestError
+from repro.kg.synthetic import SyntheticWorld
+from repro.reliability import faults
+from repro.utils.rng import ensure_rng
+
+#: Event kinds a feed can emit (checkpoints are WAL-internal).
+EVENT_KINDS = ("add", "remove", "entity")
+
+#: Per-profile workload shape: (sentences range, remove prob, entity prob,
+#: probability an entity card duplicates an existing node).
+_PROFILES: dict[str, dict] = {
+    "rss": {
+        "sentences": (3, 6),
+        "remove": 0.04,
+        "entity": 0.10,
+        "duplicate": 0.4,
+    },
+    "social": {
+        "sentences": (1, 3),
+        "remove": 0.15,
+        "entity": 0.04,
+        "duplicate": 0.5,
+    },
+    "filings": {
+        "sentences": (5, 9),
+        "remove": 0.0,
+        "entity": 0.22,
+        "duplicate": 0.3,
+    },
+}
+
+_RELATIONS = ("related_to", "member_of", "located_in", "participated_in")
+
+
+@dataclass(frozen=True)
+class FeedEvent:
+    """One delta emitted by a feed.
+
+    ``seq`` is monotonic (1-based) within ``source``; ``kind`` is one of
+    :data:`EVENT_KINDS`; ``payload`` is the WAL-record payload *minus*
+    ``fetched_at``, which the pipeline stamps at fetch time (the start
+    of the freshness clock).
+    """
+
+    source: str
+    seq: int
+    kind: str
+    payload: dict
+
+
+class SyntheticFeed:
+    """A deterministic, seekable event stream over a synthetic world.
+
+    Determinism contract: event ``seq`` depends only on
+    ``(world, profile, seed)`` and the seq number itself — never on wall
+    clock, fetch batching, or process lifetime.  :meth:`fast_forward`
+    regenerates and discards, so a restarted feed resumes exactly where
+    the WAL says the crashed process got to.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        world: SyntheticWorld,
+        *,
+        profile: str = "rss",
+        seed: int = 0,
+    ) -> None:
+        if profile not in _PROFILES:
+            raise IngestError(
+                f"unknown feed profile {profile!r}; choose from {sorted(_PROFILES)}"
+            )
+        self.name = name
+        self.profile = profile
+        self.seed = seed
+        self._world = world
+        self._shape = _PROFILES[profile]
+        news_config = NewsConfig(
+            sentences_per_doc=self._shape["sentences"], seed=seed
+        )
+        self._rng = ensure_rng(seed)
+        self._generator = NewsGenerator(world, news_config, rng=self._rng)
+        self._topics = self._generator.topics
+        self._anchor_pool = [
+            *world.organizations,
+            *world.persons,
+            *world.cities,
+        ]
+        self._seq = 0
+        self._live_doc_ids: list[str] = []
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the last emitted event (0 before the first)."""
+        return self._seq
+
+    def fetch(self, limit: int) -> list[FeedEvent]:
+        """Emit up to ``limit`` next events (``ingest.source_fetch`` point)."""
+        faults.fire("ingest.source_fetch")
+        return [self._next_event() for _ in range(max(0, limit))]
+
+    def fast_forward(self, seq: int) -> None:
+        """Advance to just past ``seq`` by regenerating and discarding.
+
+        Recovery calls this with the WAL's highest *synced* seq for this
+        source; events the crash lost from the un-synced tail are then
+        regenerated identically on the next :meth:`fetch`.
+        """
+        if seq < self._seq:
+            raise IngestError(
+                f"cannot rewind feed {self.name!r} from seq {self._seq} to {seq}"
+            )
+        while self._seq < seq:
+            self._next_event()
+
+    # -- event generation --------------------------------------------------
+
+    def _next_event(self) -> FeedEvent:
+        self._seq += 1
+        roll = float(self._rng.random())
+        if roll < self._shape["remove"] and self._live_doc_ids:
+            return self._remove_event()
+        if roll < self._shape["remove"] + self._shape["entity"]:
+            return self._entity_event()
+        return self._add_event()
+
+    def _add_event(self) -> FeedEvent:
+        topic = self._topics[int(self._rng.integers(len(self._topics)))]
+        doc_id = f"{self.name}-{self._seq:06d}"
+        document = self._generator.generate_document(doc_id, topic)
+        self._live_doc_ids.append(doc_id)
+        return FeedEvent(
+            source=self.name,
+            seq=self._seq,
+            kind="add",
+            payload={
+                "doc_id": document.doc_id,
+                "text": document.text,
+                "title": document.title,
+                "topic_id": document.topic_id,
+            },
+        )
+
+    def _remove_event(self) -> FeedEvent:
+        victim = self._live_doc_ids.pop(
+            int(self._rng.integers(len(self._live_doc_ids)))
+        )
+        return FeedEvent(
+            source=self.name,
+            seq=self._seq,
+            kind="remove",
+            payload={"doc_id": victim},
+        )
+
+    def _entity_event(self) -> FeedEvent:
+        """An entity card: one node + its edges, self-contained.
+
+        With probability ``duplicate`` the card describes an *existing*
+        world entity under one of its surface forms (or a mangled
+        variant) — the stream's near-duplicate noise the resolution gate
+        must catch.  Otherwise it introduces a genuinely new entity.
+        """
+        duplicate = float(self._rng.random()) < self._shape["duplicate"]
+        anchors = self._pick_anchors(count=2)
+        if duplicate and self._anchor_pool:
+            original = self._world.graph.node(
+                self._anchor_pool[
+                    int(self._rng.integers(len(self._anchor_pool)))
+                ]
+            )
+            forms = original.surface_forms()
+            label = forms[int(self._rng.integers(len(forms)))]
+            if self._rng.random() < 0.3:
+                label = f"The {label}"  # mangled near-duplicate form
+            node = {
+                "id": f"{self.name}-cand-{self._seq:06d}",
+                "label": label,
+                "type": original.entity_type.value,
+                "aliases": [],
+                "description": f"feed-observed mention of {original.label}",
+            }
+        else:
+            suffix = f"{self.name.title()}{self._seq:04d}"
+            node = {
+                "id": f"{self.name}-ent-{self._seq:06d}",
+                "label": f"Entity {suffix}",
+                "type": "ORG" if self._rng.random() < 0.5 else "PERSON",
+                "aliases": [f"E-{suffix}"],
+                "description": f"entity first observed on feed {self.name}",
+            }
+        edges = [
+            {
+                "source": node["id"],
+                "target": anchor,
+                "relation": _RELATIONS[
+                    int(self._rng.integers(len(_RELATIONS)))
+                ],
+                "weight": 1.0,
+            }
+            for anchor in anchors
+        ]
+        return FeedEvent(
+            source=self.name,
+            seq=self._seq,
+            kind="entity",
+            payload={"node": node, "edges": edges},
+        )
+
+    def _pick_anchors(self, count: int) -> list[str]:
+        if not self._anchor_pool:
+            return []
+        picks = self._rng.choice(
+            len(self._anchor_pool),
+            size=min(count, len(self._anchor_pool)),
+            replace=False,
+        )
+        return [self._anchor_pool[int(i)] for i in picks]
+
+
+class WedgedFeed:
+    """A permanently failing source: every fetch raises.
+
+    The benchmark and breaker tests use it to verify fault isolation —
+    its breaker must trip open while healthy feeds keep their freshness.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.profile = "wedged"
+        self.fetch_attempts = 0
+
+    @property
+    def seq(self) -> int:
+        return 0
+
+    def fetch(self, limit: int) -> list[FeedEvent]:
+        faults.fire("ingest.source_fetch")
+        self.fetch_attempts += 1
+        raise IngestError(f"source {self.name!r} is wedged")
+
+    def fast_forward(self, seq: int) -> None:
+        if seq:
+            raise IngestError("wedged source has no history to fast-forward")

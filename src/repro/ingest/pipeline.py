@@ -1,0 +1,586 @@
+"""The streaming-ingestion pipeline: fetch → resolve → WAL → apply.
+
+Orchestrates everything under ``repro.ingest`` into one durable loop
+that feeds incremental document and KG deltas into a live
+:class:`~repro.search.engine.NewsLinkEngine` while queries keep serving:
+
+1. **Fetch** — round-robin over per-source feed adapters, each behind
+   retry-with-backoff (decorrelated jitter, elapsed budget) and a
+   circuit breaker, so one wedged source never stalls the others.
+2. **Resolve** — entity cards pass the resolution gate *before* the WAL
+   append, so the log stores canonical deltas only.
+3. **WAL** — every event is appended (CRC-framed, fsync-batched) before
+   it touches the engine.
+4. **Apply** — deltas mutate the engine under ``engine_lock`` (thawing a
+   mmap-loaded index on first mutation), with bounded retries and a
+   dead-letter queue for poison events.  Freshness (fetch→searchable)
+   is observed per event — the SLO.
+5. **Checkpoint** — periodically the engine is re-compacted to a v3
+   snapshot + KG JSON + manifest, and the WAL is truncated, keeping
+   recovery O(tail).
+
+Crash recovery (:meth:`IngestPipeline.open`) inverts the write path:
+load the manifest's snapshot, replay the WAL tail (idempotent — records
+at or below each source's applied watermark are skipped, as are
+quarantined events), then fast-forward the deterministic feeds.  The
+recovered state is bit-identical to an uninterrupted run over the same
+seeds; ``tests/ingest/test_crash_recovery.py`` enforces exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.config import EngineConfig, IngestConfig
+from repro.data.document import NewsDocument
+from repro.errors import DocumentNotIndexedError, IngestError
+from repro.ingest.breaker import CircuitBreaker
+from repro.ingest.dlq import DeadLetterQueue
+from repro.ingest.feeds import FeedEvent
+from repro.ingest.resolve import EntityResolver
+from repro.ingest.wal import Wal, WalRecord, WalScan
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.io import graph_from_dict, graph_to_dict, save_graph_json
+from repro.kg.types import Edge, EntityType, Node
+from repro.obs.instruments import IngestInstruments
+from repro.reliability import faults
+from repro.search.engine import NewsLinkEngine
+from repro.utils.retry import retry_with_backoff
+from repro.utils.rng import ensure_rng
+
+MANIFEST = "manifest.json"
+WAL_DIRNAME = "wal"
+
+
+def _canonical(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Checksummed tmp-write + fsync + rename + directory fsync."""
+    body = dict(payload)
+    body["checksum"] = zlib.crc32(_canonical(payload))
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(body, handle, sort_keys=True, indent=1)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _read_manifest(path: Path) -> dict | None:
+    if not path.exists():
+        return None
+    body = json.loads(path.read_text(encoding="utf-8"))
+    checksum = body.pop("checksum", None)
+    if checksum != zlib.crc32(_canonical(body)):
+        raise IngestError(f"{path}: manifest checksum mismatch")
+    return body
+
+
+@dataclass
+class SourceState:
+    """Per-source pipeline bookkeeping (breaker, counters)."""
+
+    feed: object
+    breaker: CircuitBreaker
+    fetch_failures: int = 0
+    fetch_retries: int = 0
+    breaker_skips: int = 0
+    skipped_unembeddable: int = 0
+    remove_missing: int = 0
+    applied_by_kind: dict[str, int] = field(
+        default_factory=lambda: {"add": 0, "remove": 0, "entity": 0}
+    )
+
+
+class IngestPipeline:
+    """Durable streaming ingestion into one live engine.
+
+    Construct with :meth:`open` — it owns the recovery protocol.  The
+    pipeline is single-writer: one thread (the caller of :meth:`step` /
+    :meth:`run`, or the background thread from :meth:`start`) mutates
+    the engine, and concurrent readers (the HTTP server) serialize
+    against it via :attr:`engine_lock`.
+    """
+
+    def __init__(
+        self,
+        *,
+        engine: NewsLinkEngine,
+        directory: Path,
+        sources: list,
+        config: IngestConfig,
+        wal: Wal,
+        dlq: DeadLetterQueue,
+        applied: dict[str, int],
+        generation: int,
+        clock: Callable[[], float] = time.time,
+        monotonic: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        names = [source.name for source in sources]
+        if len(set(names)) != len(names):
+            raise IngestError(f"duplicate source names: {names}")
+        self.engine = engine
+        self.directory = Path(directory)
+        self.config = config
+        self.wal = wal
+        self.dlq = dlq
+        self.applied = applied
+        self.generation = generation
+        self.engine_lock = threading.RLock()
+        self.resolver = EntityResolver(engine.graph, engine.label_index)
+        self.source_states: dict[str, SourceState] = {
+            source.name: SourceState(
+                feed=source,
+                breaker=CircuitBreaker(
+                    failure_threshold=config.failure_threshold,
+                    reset_after=config.breaker_reset_after,
+                    clock=monotonic,
+                ),
+            )
+            for source in sources
+        }
+        self.checkpoints_total = 0
+        self.last_recovery_seconds = 0.0
+        self.replayed_records = 0
+        self.last_error: str | None = None
+        self._clock = clock
+        self._monotonic = monotonic
+        self._sleep = sleep
+        self._retry_rng = ensure_rng(config.retry_seed)
+        self._events_since_checkpoint = 0
+        self._freshness: list[float] = []
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._closed = False
+        registry = engine.metrics_registry
+        self.instruments = IngestInstruments(registry)
+        self.instruments.bind(self)
+
+    # -- construction / recovery ------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        base_graph: KnowledgeGraph,
+        sources: list,
+        *,
+        config: IngestConfig | None = None,
+        engine_config: EngineConfig | None = None,
+        bootstrap_index: str | Path | None = None,
+        clock: Callable[[], float] = time.time,
+        monotonic: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> "IngestPipeline":
+        """Open (or recover) the pipeline state under ``directory``.
+
+        Fresh directory: the engine starts over a private copy of
+        ``base_graph`` (ingest mutates its KG; the caller's graph stays
+        untouched), optionally seeded with a batch-built index from
+        ``bootstrap_index`` — typically mmap-loaded, so the first
+        streamed mutation thaws it.  Existing directory: state is
+        rebuilt from the manifest's snapshot + KG, the WAL tail is
+        replayed idempotently, and every feed is fast-forwarded past
+        what the log retained — after which fetching resumes exactly
+        where the previous process (crashed or not) left off.
+        ``bootstrap_index`` stays part of the recovery path only until
+        the first checkpoint supersedes it, so it must outlive the
+        state directory (or be checkpointed before removal).
+        """
+        started = monotonic()
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        config = config or IngestConfig()
+        engine_config = engine_config or EngineConfig()
+        manifest = _read_manifest(directory / MANIFEST)
+        if manifest is not None:
+            graph = _load_graph_checked(directory / manifest["graph"])
+            applied = {
+                source: int(seq)
+                for source, seq in manifest["applied"].items()
+            }
+            generation = int(manifest["generation"])
+        else:
+            graph = graph_from_dict(graph_to_dict(base_graph))
+            applied = {}
+            generation = 0
+        engine = NewsLinkEngine(graph, engine_config)
+        if manifest is not None:
+            engine.load_index(directory / manifest["snapshot"])
+        elif bootstrap_index is not None and Path(bootstrap_index).exists():
+            engine.load_index(bootstrap_index)
+        wal, scan = Wal.open(
+            directory / WAL_DIRNAME,
+            sync_every=config.sync_every,
+            segment_bytes=config.segment_bytes,
+        )
+        dlq = DeadLetterQueue(directory)
+        pipeline = cls(
+            engine=engine,
+            directory=directory,
+            sources=sources,
+            config=config,
+            wal=wal,
+            dlq=dlq,
+            applied=applied,
+            generation=generation,
+            clock=clock,
+            monotonic=monotonic,
+            sleep=sleep,
+        )
+        pipeline._replay(scan)
+        for name, state in pipeline.source_states.items():
+            state.feed.fast_forward(
+                max(applied.get(name, 0), scan.appended.get(name, 0))
+            )
+        pipeline.last_recovery_seconds = monotonic() - started
+        return pipeline
+
+    def _replay(self, scan: WalScan) -> None:
+        """Re-apply the WAL tail on top of the recovered snapshot."""
+        for record in self.wal.replay():
+            if record.type == "checkpoint":
+                continue
+            if record.seq <= self.applied.get(record.source, 0):
+                continue
+            if (record.source, record.seq) in self.dlq:
+                self.applied[record.source] = record.seq
+                continue
+            self._apply_record(record)
+            self.applied[record.source] = record.seq
+            self.replayed_records += 1
+            self._events_since_checkpoint += 1
+
+    # -- the dispatch loop -------------------------------------------------
+
+    def step(self) -> int:
+        """One round-robin pass over every source; returns events admitted."""
+        if self._closed:
+            raise IngestError("step() on a closed pipeline")
+        admitted = 0
+        for name, state in self.source_states.items():
+            if not state.breaker.allow():
+                state.breaker_skips += 1
+                continue
+            feed = state.feed
+
+            def _on_retry(attempt: int, exc: BaseException, state=state) -> None:
+                state.fetch_retries += 1
+
+            try:
+                events = retry_with_backoff(
+                    lambda feed=feed: feed.fetch(self.config.batch_size),
+                    attempts=self.config.fetch_attempts,
+                    base_delay=self.config.fetch_base_delay,
+                    max_delay=self.config.fetch_max_delay,
+                    jitter="decorrelated",
+                    rng=self._retry_rng,
+                    max_elapsed=self.config.fetch_max_elapsed,
+                    sleep=self._sleep,
+                    on_retry=_on_retry,
+                )
+            except Exception:
+                state.fetch_failures += 1
+                state.breaker.record_failure()
+                continue
+            state.breaker.record_success()
+            fetched_at = self._clock()
+            for event in events:
+                admitted += self._admit(event, fetched_at)
+        if (
+            self.config.checkpoint_every
+            and self._events_since_checkpoint >= self.config.checkpoint_every
+        ):
+            self.checkpoint()
+        return admitted
+
+    def run(self, rounds: int) -> int:
+        """Run ``rounds`` dispatch passes; returns total events admitted."""
+        return sum(self.step() for _ in range(rounds))
+
+    def start(self, interval: float = 0.5) -> None:
+        """Run the dispatch loop on a background thread until :meth:`stop`."""
+        if self._thread is not None:
+            raise IngestError("pipeline already started")
+        self._stop.clear()
+        self.last_error = None
+
+        def loop() -> None:
+            while not self._stop.is_set():
+                try:
+                    self.step()
+                except Exception as exc:  # noqa: BLE001 - thread boundary
+                    # A dispatch failure (e.g. an unrecoverable WAL
+                    # error) stops ingestion but must not die silently:
+                    # it lands in /stats and the next step() re-raises.
+                    self.last_error = f"{type(exc).__name__}: {exc}"
+                    return
+                self._stop.wait(interval)
+
+        self._thread = threading.Thread(
+            target=loop, name="ingest-dispatch", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the background loop (no-op when not started)."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    def close(self) -> None:
+        """Drain: stop the loop, flush the WAL, commit a final checkpoint.
+
+        The final checkpoint makes restart recovery O(tail): a clean
+        shutdown leaves an empty WAL tail, so the next :meth:`open` is a
+        pure snapshot load.  Skipped when nothing changed since the last
+        checkpoint.  Idempotent.
+        """
+        if self._closed:
+            return
+        self.stop()
+        with self.engine_lock:
+            self.wal.sync()
+            if self._events_since_checkpoint > 0:
+                self.checkpoint()
+            self.wal.close()
+        self._closed = True
+
+    # -- admission + apply -------------------------------------------------
+
+    def _admit(self, event: FeedEvent, fetched_at: float) -> int:
+        payload = dict(event.payload)
+        if event.kind == "entity":
+            resolved = self.resolver.resolve(payload)
+            payload = {
+                "node": resolved.node,
+                "edges": resolved.edges,
+                "decision": resolved.decision,
+            }
+        payload["fetched_at"] = fetched_at
+        record = WalRecord(
+            type=event.kind,
+            source=event.source,
+            seq=event.seq,
+            payload=payload,
+        )
+        self.wal.append(record)
+        self._apply_record(record)
+        self.applied[event.source] = event.seq
+        self._events_since_checkpoint += 1
+        return 1
+
+    def _apply_record(self, record: WalRecord) -> bool:
+        """Apply one WAL record with bounded retries; DLQ on exhaustion.
+
+        Returns True when the record reached the engine (including
+        deterministic no-ops like removing a never-indexed document) and
+        False when it was quarantined.
+        """
+        state = self.source_states.get(record.source)
+        with self.engine_lock:
+            last_error: Exception | None = None
+            for _ in range(self.config.apply_retries + 1):
+                try:
+                    faults.fire("ingest.apply")
+                    self._apply_once(record, state)
+                    last_error = None
+                    break
+                except Exception as exc:  # noqa: BLE001 - DLQ boundary
+                    last_error = exc
+            if last_error is not None:
+                self.dlq.quarantine(
+                    record.source,
+                    record.seq,
+                    record.type,
+                    f"{type(last_error).__name__}: {last_error}",
+                    record.payload,
+                )
+                return False
+        fetched_at = record.payload.get("fetched_at")
+        if fetched_at is not None:
+            freshness = max(0.0, self._clock() - float(fetched_at))
+            self.instruments.freshness.observe(freshness)
+            self._freshness.append(freshness)
+            overflow = len(self._freshness) - self.config.freshness_window
+            if overflow > 0:
+                del self._freshness[:overflow]
+        if state is not None:
+            state.applied_by_kind[record.type] = (
+                state.applied_by_kind.get(record.type, 0) + 1
+            )
+        return True
+
+    def _apply_once(self, record: WalRecord, state: SourceState | None) -> None:
+        payload = record.payload
+        if record.type == "add":
+            document = NewsDocument(
+                doc_id=payload["doc_id"],
+                text=payload["text"],
+                title=payload.get("title", ""),
+                topic_id=payload.get("topic_id", ""),
+            )
+            if not self.engine.index_document(document):
+                # Unembeddable: the engine filters such documents from
+                # the corpus (paper behaviour) — deterministic, not poison.
+                if state is not None:
+                    state.skipped_unembeddable += 1
+        elif record.type == "remove":
+            try:
+                self.engine.remove_document(payload["doc_id"])
+            except DocumentNotIndexedError:
+                # The matching add was skipped as unembeddable (or the
+                # feed retracted before we ever saw the add) — same
+                # no-op on the live path and on replay.
+                if state is not None:
+                    state.remove_missing += 1
+        elif record.type == "entity":
+            self._apply_entity(payload)
+        else:
+            raise IngestError(f"unknown WAL record type {record.type!r}")
+
+    def _apply_entity(self, payload: dict) -> None:
+        graph = self.engine.graph
+        raw = payload["node"]
+        if payload.get("decision") in ("new", "exact"):
+            node = Node(
+                node_id=str(raw["id"]),
+                label=str(raw["label"]),
+                entity_type=EntityType.from_string(raw.get("type", "OTHER")),
+                aliases=tuple(raw.get("aliases", ())),
+                description=str(raw.get("description", "")),
+            )
+            graph.add_node(node)
+            # New surface forms must reach NER, or documents mentioning
+            # the entity will never link to it.
+            self.engine.label_index.register(node)
+        for edge in payload.get("edges", ()):
+            graph.add_edge(
+                Edge(
+                    source=str(edge["source"]),
+                    target=str(edge["target"]),
+                    relation=str(edge["relation"]),
+                    weight=float(edge.get("weight", 1.0)),
+                )
+            )
+
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Compact: snapshot the engine, commit a manifest, truncate the WAL.
+
+        Commit order makes every crash window safe (docs/ingestion.md):
+        snapshot and KG are written under generation-suffixed names, the
+        manifest rename is the atomic commit point, and only then is the
+        WAL reset.  A crash before the manifest recovers from the old
+        generation + full WAL; after it, replay skips everything the new
+        snapshot already contains.  Returns the new generation.
+        """
+        with self.engine_lock:
+            self.wal.sync()
+            generation = self.generation + 1
+            snapshot_name = f"snapshot-{generation:06d}.nlx"
+            graph_name = f"kg-{generation:06d}.json"
+            self.engine.save_index(self.directory / snapshot_name)
+            _atomic_graph_save(self.engine.graph, self.directory / graph_name)
+            faults.fire("ingest.checkpoint")
+            _atomic_write_json(
+                self.directory / MANIFEST,
+                {
+                    "generation": generation,
+                    "applied": dict(self.applied),
+                    "snapshot": snapshot_name,
+                    "graph": graph_name,
+                },
+            )
+            self.generation = generation
+            self.wal.reset(generation, self.applied)
+            self._events_since_checkpoint = 0
+            self.checkpoints_total += 1
+            for pattern in ("snapshot-*.nlx", "kg-*.json"):
+                for stale in self.directory.glob(pattern):
+                    if stale.name not in (snapshot_name, graph_name):
+                        stale.unlink()
+        return generation
+
+    # -- introspection -----------------------------------------------------
+
+    def freshness_percentiles(self) -> dict[str, float | int]:
+        """p50/p99 over the retained freshness window."""
+        samples = sorted(self._freshness)
+        if not samples:
+            return {"count": 0, "p50": 0.0, "p99": 0.0}
+        def pct(q: float) -> float:
+            index = min(len(samples) - 1, int(q * len(samples)))
+            return samples[index]
+        return {"count": len(samples), "p50": pct(0.50), "p99": pct(0.99)}
+
+    def stats_payload(self) -> dict:
+        """The ``/stats`` ingest section (JSON-serializable)."""
+        sources = {}
+        for name, state in self.source_states.items():
+            sources[name] = {
+                "profile": getattr(state.feed, "profile", "unknown"),
+                "seq_applied": self.applied.get(name, 0),
+                "breaker": state.breaker.state,
+                "breaker_transitions": dict(state.breaker.transitions),
+                "breaker_skips": state.breaker_skips,
+                "fetch_failures": state.fetch_failures,
+                "fetch_retries": state.fetch_retries,
+                "applied": dict(state.applied_by_kind),
+                "skipped_unembeddable": state.skipped_unembeddable,
+                "remove_missing": state.remove_missing,
+            }
+        return {
+            "generation": self.generation,
+            "checkpoints": self.checkpoints_total,
+            "recovery_seconds": self.last_recovery_seconds,
+            "replayed_records": self.replayed_records,
+            "wal": {
+                "records": self.wal.appends_total,
+                "syncs": self.wal.syncs_total,
+                "segments": self.wal.segment_count,
+                "bytes": self.wal.size_bytes,
+            },
+            "dlq": len(self.dlq),
+            "last_error": self.last_error,
+            "resolution": dict(self.resolver.decisions),
+            "dropped_edges": self.resolver.dropped_edges_total,
+            "freshness": self.freshness_percentiles(),
+            "sources": sources,
+        }
+
+
+def _load_graph_checked(path: Path) -> KnowledgeGraph:
+    if not path.exists():
+        raise IngestError(f"manifest references missing KG file {path}")
+    return graph_from_dict(
+        json.loads(path.read_text(encoding="utf-8"))
+    )
+
+
+def _atomic_graph_save(graph: KnowledgeGraph, path: Path) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    save_graph_json(graph, tmp)
+    with open(tmp, "rb") as handle:
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)

@@ -1,0 +1,144 @@
+"""Entity-resolution gate: alias/near-duplicate disambiguation at admission.
+
+Feeds emit entity cards under candidate ids; letting every card straight
+into the KG would fill it with duplicate nodes for entities the graph
+already knows under another surface form ("Vallini" vs "Jorro Vallini",
+"The Harlow Group" vs "Harlow Group").  The gate runs *before* the WAL
+append, so the log stores only canonical deltas — replay after a crash
+never re-resolves, which removes resolver state from the recovery
+equation entirely (see ``docs/ingestion.md``).
+
+Decisions, tried in order:
+
+``exact``
+    The card's node id already exists — the card is a refresh of a
+    known node; edges are kept, the node body is not rewritten.
+``alias``
+    The card's label (or one of its aliases) exact-matches an existing
+    node's surface form after normalization; the card collapses onto
+    that node.
+``near_duplicate``
+    Same, after stripping a leading determiner ("The ", "A ") and
+    trailing punctuation — the cheap mangling real feeds exhibit.
+``new``
+    Nothing matched; the card enters the KG as a new node.
+
+Ambiguity (a surface form matching several nodes) resolves to the
+lexicographically smallest node id — an arbitrary but *deterministic*
+tiebreak, which matters more than being clever here: admission runs
+exactly once per event, and whatever it decides is what the WAL
+permanently records.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.label_index import LabelIndex, normalize_label
+
+_DETERMINER = re.compile(r"^(?:the|a|an)\s+", re.IGNORECASE)
+_TRAILING_PUNCT = re.compile(r"[\s.,;:!?]+$")
+
+#: Decision labels, in the order they are attempted.
+DECISIONS = ("exact", "alias", "near_duplicate", "new")
+
+
+@dataclass
+class ResolvedCard:
+    """The gate's verdict on one entity card.
+
+    ``node`` and ``edges`` are the canonical payload the WAL stores:
+    when the card collapsed onto an existing node, ``node["id"]`` is the
+    canonical id and edge endpoints are rewritten accordingly.
+    ``dropped_edges`` counts edges discarded because an endpoint exists
+    in neither the card nor the graph (they could never be applied).
+    """
+
+    decision: str
+    node: dict
+    edges: list[dict]
+    canonical_id: str
+    dropped_edges: int = 0
+
+
+@dataclass
+class EntityResolver:
+    """Stateless-per-event resolution against a live graph + label index."""
+
+    graph: KnowledgeGraph
+    labels: LabelIndex
+    #: Per-decision counters for observability.
+    decisions: dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in DECISIONS}
+    )
+    dropped_edges_total: int = 0
+
+    def resolve(self, card: dict) -> ResolvedCard:
+        """Canonicalize one entity-card payload (``{"node": .., "edges": ..}``)."""
+        node = dict(card["node"])
+        candidate_id = node["id"]
+        decision, canonical_id = self._decide(node)
+        self.decisions[decision] += 1
+        if canonical_id != candidate_id:
+            node["id"] = canonical_id
+        edges, dropped = self._rewrite_edges(
+            card.get("edges", []), candidate_id, canonical_id
+        )
+        self.dropped_edges_total += dropped
+        return ResolvedCard(
+            decision=decision,
+            node=node,
+            edges=edges,
+            canonical_id=canonical_id,
+            dropped_edges=dropped,
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _decide(self, node: dict) -> tuple[str, str]:
+        candidate_id = node["id"]
+        if self.graph.has_node(candidate_id):
+            return "exact", candidate_id
+        surface_forms = [node.get("label", ""), *node.get("aliases", [])]
+        for form in surface_forms:
+            matches = self.labels.try_lookup(form)
+            if matches:
+                return "alias", min(matches)
+        for form in surface_forms:
+            stripped = self._strip(form)
+            if stripped and normalize_label(stripped) != normalize_label(form):
+                matches = self.labels.try_lookup(stripped)
+                if matches:
+                    return "near_duplicate", min(matches)
+        return "new", candidate_id
+
+    @staticmethod
+    def _strip(form: str) -> str:
+        return _TRAILING_PUNCT.sub("", _DETERMINER.sub("", form)).strip()
+
+    def _rewrite_edges(
+        self, edges: list[dict], candidate_id: str, canonical_id: str
+    ) -> tuple[list[dict], int]:
+        kept: list[dict] = []
+        dropped = 0
+        for edge in edges:
+            rewritten = dict(edge)
+            for endpoint in ("source", "target"):
+                if rewritten.get(endpoint) == candidate_id:
+                    rewritten[endpoint] = canonical_id
+            resolvable = all(
+                rewritten.get(endpoint) == canonical_id
+                or self.graph.has_node(rewritten.get(endpoint, ""))
+                for endpoint in ("source", "target")
+            )
+            if not resolvable:
+                dropped += 1
+                continue
+            if rewritten["source"] == rewritten["target"]:
+                # Collapsing a duplicate can fold an edge onto itself.
+                dropped += 1
+                continue
+            kept.append(rewritten)
+        return kept, dropped

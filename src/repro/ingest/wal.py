@@ -1,0 +1,347 @@
+"""Crash-safe write-ahead log for streaming ingestion.
+
+Every delta (document add/remove, entity card, checkpoint marker) is
+appended to a segment file *before* it is applied to the live engine, so
+a crash at any instant loses at most un-synced tail records — and those
+are regenerated deterministically by the feeds (see
+``docs/ingestion.md``).  The format follows the persistence discipline
+of the v3 index container (:mod:`repro.search.storage`): explicit magic,
+little-endian framing, CRC over every payload, fail-closed validation.
+
+Segment layout::
+
+    8 bytes   magic  b"NLWAL1\\x00\\n"
+    repeated  frames: <II> (payload_length, crc32(payload)) + payload
+
+Payloads are canonical JSON (sorted keys, compact separators) of a
+:class:`WalRecord`.  Durability is batched: ``fsync`` runs every
+``sync_every`` appends and on :meth:`Wal.sync`; segments are opened
+unbuffered so a crash mid-append leaves a *genuinely* torn frame on
+disk, which recovery detects by CRC and truncates.  A torn tail is the
+expected crash signature and is silently healed; corruption anywhere
+else raises :class:`~repro.errors.WalCorruptError` — the log refuses to
+guess.
+
+Record types:
+
+``add``
+    ``payload`` holds ``doc_id``, ``text``, ``title``, ``topic_id`` and
+    ``fetched_at`` (epoch seconds stamped at fetch — the start of the
+    freshness clock).
+``remove``
+    ``payload`` holds ``doc_id`` and ``fetched_at``.
+``entity``
+    An *entity card*: one canonical node (``id``, ``label``, ``type``,
+    ``aliases``, ``description``) plus its ``edges`` — atomic, so no WAL
+    record ever references entity state outside itself or the base KG.
+``checkpoint``
+    ``payload`` holds ``generation`` and the per-source ``applied``
+    sequence map at the moment the snapshot covering them was committed.
+    Replay uses it (together with the manifest) to skip records already
+    folded into the snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import IngestError, WalCorruptError
+from repro.reliability import faults
+
+MAGIC = b"NLWAL1\x00\n"
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+
+#: Record types accepted by :meth:`Wal.append`.
+RECORD_TYPES = ("add", "remove", "entity", "checkpoint")
+
+_SEGMENT_GLOB = "wal-*.seg"
+
+
+def _segment_name(index: int) -> str:
+    return f"wal-{index:08d}.seg"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One framed WAL entry.
+
+    ``source``/``seq`` key idempotent apply: sequence numbers are
+    monotonic per source, so replay can skip anything at or below the
+    recovered applied watermark.  Checkpoint records use the reserved
+    source ``"_wal"`` and seq 0.
+    """
+
+    type: str
+    source: str
+    seq: int
+    payload: dict
+
+    def to_bytes(self) -> bytes:
+        return json.dumps(
+            {
+                "type": self.type,
+                "source": self.source,
+                "seq": self.seq,
+                "payload": self.payload,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "WalRecord":
+        data = json.loads(raw.decode("utf-8"))
+        return cls(
+            type=data["type"],
+            source=data["source"],
+            seq=int(data["seq"]),
+            payload=data["payload"],
+        )
+
+    @classmethod
+    def checkpoint(cls, generation: int, applied: dict[str, int]) -> "WalRecord":
+        return cls(
+            type="checkpoint",
+            source="_wal",
+            seq=0,
+            payload={"generation": generation, "applied": dict(applied)},
+        )
+
+
+@dataclass
+class WalScan:
+    """What :meth:`Wal.open` learned from the existing segments."""
+
+    #: Highest seq seen per source among intact (well-framed) records.
+    appended: dict[str, int]
+    #: Last checkpoint record encountered, if any.
+    checkpoint: WalRecord | None
+    #: Bytes truncated from a torn tail (0 on a clean log).
+    truncated_bytes: int
+    #: Intact records scanned across all segments.
+    records: int
+
+
+class Wal:
+    """Segmented, CRC-framed, fsync-batched write-ahead log.
+
+    Use :meth:`open` — it scans existing segments, heals a torn tail and
+    returns both the log and what it found, so the caller can replay and
+    fast-forward its feeds.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        *,
+        sync_every: int = 16,
+        segment_bytes: int = 1 << 20,
+    ) -> None:
+        if sync_every < 1:
+            raise ValueError("sync_every must be >= 1")
+        if segment_bytes < len(MAGIC) + _FRAME.size:
+            raise ValueError("segment_bytes too small to hold a record")
+        self.directory = Path(directory)
+        self.sync_every = sync_every
+        self.segment_bytes = segment_bytes
+        self._file = None
+        self._segment_index = 0
+        self._segment_size = 0
+        self._unsynced = 0
+        self.appends_total = 0
+        self.syncs_total = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: Path,
+        *,
+        sync_every: int = 16,
+        segment_bytes: int = 1 << 20,
+    ) -> tuple["Wal", WalScan]:
+        """Open (creating if needed) the log in ``directory``.
+
+        Scans every existing segment in order, CRC-checking each frame.
+        A torn tail on the *last* segment is truncated in place (the
+        crash-mid-append signature); any other damage raises
+        :class:`WalCorruptError`.
+        """
+        wal = cls(directory, sync_every=sync_every, segment_bytes=segment_bytes)
+        wal.directory.mkdir(parents=True, exist_ok=True)
+        segments = wal._segments()
+        scan = WalScan(appended={}, checkpoint=None, truncated_bytes=0, records=0)
+        for position, path in enumerate(segments):
+            last = position == len(segments) - 1
+            for record in wal._scan_segment(path, heal_tail=last, scan=scan):
+                scan.records += 1
+                if record.type == "checkpoint":
+                    scan.checkpoint = record
+                else:
+                    previous = scan.appended.get(record.source, -1)
+                    if record.seq > previous:
+                        scan.appended[record.source] = record.seq
+        if segments:
+            wal._segment_index = int(segments[-1].stem.split("-")[1])
+            wal._open_segment(append=True)
+        else:
+            wal._segment_index = 1
+            wal._open_segment(append=False)
+        return wal, scan
+
+    def close(self) -> None:
+        if self._file is not None:
+            self.sync()
+            self._file.close()
+            self._file = None
+
+    # -- append path -------------------------------------------------------
+
+    def append(self, record: WalRecord) -> None:
+        """Frame and write ``record``; fsync when the batch is due.
+
+        The frame header and payload are written separately with the
+        ``ingest.wal_append`` fault point between them, so an injected
+        crash leaves a header with no (or partial) payload — a real torn
+        tail for the recovery path to heal.
+        """
+        if self._file is None:
+            raise IngestError("append on a closed WAL")
+        if record.type not in RECORD_TYPES:
+            raise ValueError(f"unknown WAL record type {record.type!r}")
+        payload = record.to_bytes()
+        if self._segment_size + _FRAME.size + len(payload) > self.segment_bytes:
+            self._rotate()
+        self._file.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+        faults.fire("ingest.wal_append")
+        self._file.write(payload)
+        self._segment_size += _FRAME.size + len(payload)
+        self.appends_total += 1
+        self._unsynced += 1
+        if self._unsynced >= self.sync_every:
+            self.sync()
+
+    def sync(self) -> None:
+        """Force the current segment to stable storage."""
+        if self._file is None or self._unsynced == 0:
+            return
+        faults.fire("ingest.wal_sync")
+        os.fsync(self._file.fileno())
+        self._unsynced = 0
+        self.syncs_total += 1
+
+    def reset(self, generation: int, applied: dict[str, int]) -> None:
+        """Truncate history after a committed checkpoint.
+
+        Deletes every segment and starts a fresh one whose first record
+        is a checkpoint marker, so a log that is replayed immediately
+        after still knows which generation its (empty) tail extends.
+        """
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        for path in self._segments():
+            path.unlink()
+        self._segment_index += 1
+        self._open_segment(append=False)
+        self.append(WalRecord.checkpoint(generation, applied))
+        self.sync()
+
+    # -- read path ---------------------------------------------------------
+
+    def replay(self) -> Iterator[WalRecord]:
+        """Yield every intact record across all segments, in append order."""
+        self.sync()
+        for path in self._segments():
+            yield from self._scan_segment(path, heal_tail=False, scan=None)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments())
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self._segments())
+
+    # -- internals ---------------------------------------------------------
+
+    def _segments(self) -> list[Path]:
+        return sorted(self.directory.glob(_SEGMENT_GLOB))
+
+    def _open_segment(self, *, append: bool) -> None:
+        path = self.directory / _segment_name(self._segment_index)
+        if append and path.exists():
+            self._file = open(path, "r+b", buffering=0)
+            self._file.seek(0, os.SEEK_END)
+            self._segment_size = self._file.tell()
+        else:
+            self._file = open(path, "wb", buffering=0)
+            self._file.write(MAGIC)
+            self._segment_size = len(MAGIC)
+        self._unsynced = 0
+
+    def _rotate(self) -> None:
+        self.sync()
+        self._file.close()
+        self._segment_index += 1
+        self._open_segment(append=False)
+
+    def _scan_segment(
+        self, path: Path, *, heal_tail: bool, scan: WalScan | None
+    ) -> Iterator[WalRecord]:
+        raw = path.read_bytes()
+        if len(raw) < len(MAGIC) or raw[: len(MAGIC)] != MAGIC:
+            if heal_tail and not raw:
+                # A crash immediately after segment creation can leave an
+                # empty file; rewrite the magic so appends can continue.
+                path.write_bytes(MAGIC)
+                return
+            raise WalCorruptError(path, "bad or missing magic")
+        offset = len(MAGIC)
+        while offset < len(raw):
+            good = offset
+            if offset + _FRAME.size > len(raw):
+                self._heal_or_raise(path, raw, good, heal_tail, scan, "truncated frame header")
+                return
+            length, crc = _FRAME.unpack_from(raw, offset)
+            offset += _FRAME.size
+            if offset + length > len(raw):
+                self._heal_or_raise(path, raw, good, heal_tail, scan, "truncated payload")
+                return
+            payload = raw[offset : offset + length]
+            if zlib.crc32(payload) != crc:
+                self._heal_or_raise(path, raw, good, heal_tail, scan, "payload CRC mismatch")
+                return
+            offset += length
+            try:
+                record = WalRecord.from_bytes(payload)
+            except (ValueError, KeyError) as exc:
+                raise WalCorruptError(path, f"undecodable record: {exc}") from exc
+            yield record
+
+    @staticmethod
+    def _heal_or_raise(
+        path: Path,
+        raw: bytes,
+        good: int,
+        heal_tail: bool,
+        scan: WalScan | None,
+        detail: str,
+    ) -> None:
+        if not heal_tail:
+            raise WalCorruptError(path, detail)
+        with open(path, "r+b") as handle:
+            handle.truncate(good)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if scan is not None:
+            scan.truncated_bytes += len(raw) - good

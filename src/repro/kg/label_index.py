@@ -39,6 +39,19 @@ class LabelIndex:
         """The knowledge graph this index was built over."""
         return self._graph
 
+    def register(self, node) -> None:
+        """Index a node added to the graph after construction.
+
+        The index is built once from ``graph.nodes()``; live KG mutation
+        (streaming ingest) must register new nodes explicitly or their
+        surface forms stay invisible to NER.  Idempotent — re-registering
+        an already-indexed node is a no-op.
+        """
+        for form in node.surface_forms():
+            normalized = normalize_label(form)
+            if normalized:
+                self._index.setdefault(normalized, set()).add(node.node_id)
+
     def lookup(self, label: str) -> frozenset[str]:
         """Return ``S(label)`` — node ids whose surface forms exactly match.
 

@@ -23,7 +23,7 @@ from repro.obs.export import (
     render_prometheus,
     validate_prometheus_text,
 )
-from repro.obs.instruments import EngineInstruments
+from repro.obs.instruments import EngineInstruments, IngestInstruments
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -46,6 +46,7 @@ __all__ = [
     "EngineInstruments",
     "Gauge",
     "Histogram",
+    "IngestInstruments",
     "MetricsRegistry",
     "NULL_SPAN",
     "Snapshot",

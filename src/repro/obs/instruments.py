@@ -29,8 +29,30 @@ from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 from repro.obs.tracing import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ingest.pipeline import IngestPipeline
     from repro.search.engine import NewsLinkEngine
     from repro.serving.coordinator import Coordinator
+
+#: Buckets for ingest→searchable freshness: spans the healthy sub-second
+#: apply path up to minutes of backlog / post-crash recovery debt.
+FRESHNESS_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    120.0,
+    300.0,
+)
 
 #: Buckets for single-segment ``G*`` embedding time (generally slower
 #: than whole-query serving, so the range shifts up).
@@ -223,6 +245,128 @@ class EngineInstruments:
                     report.serial_fallback_chunks,
                     counter="serial_fallback_chunks",
                 )
+            return None
+
+        self.registry.add_collector(collect)
+
+
+class IngestInstruments:
+    """Metric handles for the streaming-ingestion pipeline.
+
+    Event-driven: the freshness SLO histogram
+    (``newslink_ingest_freshness_seconds`` — seconds from source fetch to
+    searchable, observed as each delta lands in the live engine,
+    including replayed deltas after a crash so recovery debt is visible
+    in the SLO).  Collector-driven: everything else — WAL, DLQ, breaker,
+    resolver and checkpoint totals, whose source of truth is pipeline
+    state — scraped, never written on the apply path.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.freshness = registry.histogram(
+            "newslink_ingest_freshness_seconds",
+            "Seconds from source fetch to searchable in the live engine "
+            "(the freshness SLO; includes post-crash replay debt)",
+            buckets=FRESHNESS_BUCKETS,
+        )
+        # Collector-driven (pipeline-state-backed).
+        self._events = registry.counter(
+            "newslink_ingest_events_total",
+            "Feed events applied to the live engine, by source and kind "
+            "(add, remove, entity)",
+            labelnames=("source", "kind"),
+        )
+        self._wal_records = registry.counter(
+            "newslink_ingest_wal_records_total",
+            "Records appended to the write-ahead log",
+        )
+        self._wal_syncs = registry.counter(
+            "newslink_ingest_wal_syncs_total",
+            "fsync batches flushed to the write-ahead log",
+        )
+        self._wal_bytes = registry.gauge(
+            "newslink_ingest_wal_bytes",
+            "Current on-disk size of the write-ahead log",
+        )
+        self._wal_segments = registry.gauge(
+            "newslink_ingest_wal_segments",
+            "Write-ahead log segments currently on disk",
+        )
+        self._dlq = registry.counter(
+            "newslink_ingest_dlq_total",
+            "Events quarantined to the dead-letter queue",
+        )
+        self._fetch_failures = registry.counter(
+            "newslink_ingest_fetch_failures_total",
+            "Source fetch rounds that failed after retries, by source",
+            labelnames=("source",),
+        )
+        self._breaker_open = registry.gauge(
+            "newslink_ingest_breaker_open",
+            "1 while a source's circuit breaker is open, else 0",
+            labelnames=("source",),
+        )
+        self._breaker_transitions = registry.counter(
+            "newslink_ingest_breaker_transitions_total",
+            "Circuit-breaker state entries, by source and entered state",
+            labelnames=("source", "state"),
+        )
+        self._resolutions = registry.counter(
+            "newslink_ingest_resolution_total",
+            "Entity-resolution gate decisions "
+            "(exact, alias, near_duplicate, new)",
+            labelnames=("decision",),
+        )
+        self._checkpoints = registry.counter(
+            "newslink_ingest_checkpoints_total",
+            "Compactions committed (snapshot + manifest + WAL truncation)",
+        )
+        self._generation = registry.gauge(
+            "newslink_ingest_generation",
+            "Compaction generation of the current snapshot",
+        )
+        self._recovery_seconds = registry.gauge(
+            "newslink_ingest_recovery_seconds",
+            "Wall-clock seconds the most recent open() spent recovering "
+            "(snapshot load + WAL replay)",
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def bind(self, pipeline: "IngestPipeline") -> None:
+        """Register the scrape-time collector for the pipeline's state."""
+        ref = weakref.ref(pipeline)
+
+        def collect() -> bool | None:
+            target = ref()
+            if target is None:
+                return False
+            for name, state in target.source_states.items():
+                for kind, total in state.applied_by_kind.items():
+                    self._events.set(total, source=name, kind=kind)
+                self._fetch_failures.set(state.fetch_failures, source=name)
+                breaker = state.breaker
+                self._breaker_open.set(
+                    1.0 if breaker.state == "open" else 0.0, source=name
+                )
+                for entered, total in breaker.transitions.items():
+                    self._breaker_transitions.set(
+                        total, source=name, state=entered
+                    )
+            wal = target.wal
+            self._wal_records.set(wal.appends_total)
+            self._wal_syncs.set(wal.syncs_total)
+            self._wal_bytes.set(wal.size_bytes)
+            self._wal_segments.set(wal.segment_count)
+            self._dlq.set(len(target.dlq))
+            for decision, total in target.resolver.decisions.items():
+                self._resolutions.set(total, decision=decision)
+            self._checkpoints.set(target.checkpoints_total)
+            self._generation.set(target.generation)
+            self._recovery_seconds.set(target.last_recovery_seconds)
             return None
 
         self.registry.add_collector(collect)

@@ -46,6 +46,11 @@ CATALOG: frozenset[str] = frozenset(
         "persist.write",  # save_index, before the payload is written
         "persist.load",  # load_index, before the file is read
         "serving.worker_request",  # shard worker, before serving a request
+        "ingest.source_fetch",  # feed adapter fetch, before events return
+        "ingest.wal_append",  # WAL append, between frame header and payload
+        "ingest.wal_sync",  # WAL fsync batching, before the fsync call
+        "ingest.apply",  # delta apply into the live engine
+        "ingest.checkpoint",  # compaction, between snapshot and manifest
     }
 )
 

@@ -42,6 +42,7 @@ threads are non-daemon and joined, so no request is cut off mid-reply.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import select
 import signal
@@ -146,29 +147,35 @@ def _document_payload(target, params: dict) -> dict:
     return {"doc_id": doc_id, "text": target.document_text(doc_id)}
 
 
-def _health_payload(target) -> dict:
+def _health_payload(target, ingest=None) -> dict:
     if _is_coordinator(target):
-        serving = target.serving_stats
-        return {
+        body = {
             "status": "ok",
             "indexed": target.num_indexed,
-            "queries": serving.queries,
-            "degraded_queries": serving.degraded_queries,
-            "partial_queries": serving.partial_queries,
-            "shed_queries": serving.shed_queries,
+            "queries": target.serving_stats.queries,
+            "degraded_queries": target.serving_stats.degraded_queries,
+            "partial_queries": target.serving_stats.partial_queries,
+            "shed_queries": target.serving_stats.shed_queries,
             "live_workers": target.shard_group.live_workers(),
         }
-    stats = target.query_stats
-    return {
-        "status": "ok",
-        "indexed": target.num_indexed,
-        "queries": stats.queries,
-        "degraded_queries": stats.degraded_queries,
-        "fallback_queries": stats.fallback_queries,
-    }
+    else:
+        stats = target.query_stats
+        body = {
+            "status": "ok",
+            "indexed": target.num_indexed,
+            "queries": stats.queries,
+            "degraded_queries": stats.degraded_queries,
+            "fallback_queries": stats.fallback_queries,
+        }
+    if ingest is not None:
+        body["ingest"] = {
+            name: state.breaker.state
+            for name, state in ingest.source_states.items()
+        }
+    return body
 
 
-def _stats_payload(target) -> dict:
+def _stats_payload(target, ingest=None) -> dict:
     """The registry plus the raw stats silos as one JSON document."""
     if _is_coordinator(target):
         return target.stats_payload()
@@ -189,6 +196,8 @@ def _stats_payload(target) -> dict:
     load_info = target.last_load_info
     if load_info is not None:
         body["index"] = load_info
+    if ingest is not None:
+        body["ingest"] = ingest.stats_payload()
     return body
 
 
@@ -218,9 +227,16 @@ class NewsLinkHTTPServer(ThreadingHTTPServer):
 
 
 def make_handler(
-    target, request_timeout: float = REQUEST_TIMEOUT_S
+    target, request_timeout: float = REQUEST_TIMEOUT_S, ingest=None
 ) -> type[BaseHTTPRequestHandler]:
-    """A request-handler class bound to ``target`` (engine or coordinator)."""
+    """A request-handler class bound to ``target`` (engine or coordinator).
+
+    With an attached :class:`~repro.ingest.IngestPipeline`, every request
+    serializes against its ``engine_lock`` — the ingest thread mutates
+    the same engine between requests, never during one — and ``/stats``
+    and ``/health`` grow an ``ingest`` section (WAL, DLQ, per-source
+    breaker health, freshness percentiles).
+    """
 
     class NewsLinkHandler(BaseHTTPRequestHandler):
         # Socket timeout for mid-request stalls: a client that goes
@@ -265,27 +281,35 @@ def make_handler(
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
             parsed = urlparse(self.path)
             params = parse_qs(parsed.query)
+            guard = (
+                ingest.engine_lock
+                if ingest is not None
+                else contextlib.nullcontext()
+            )
             try:
-                if parsed.path == "/health":
-                    body = _health_payload(target)
-                elif parsed.path == "/search":
-                    body = _search_payload(target, params)
-                elif parsed.path == "/explain":
-                    body = _explain_payload(target, params)
-                elif parsed.path == "/document":
-                    body = _document_payload(target, params)
-                elif parsed.path == "/metrics":
-                    self._reply_text(
-                        200,
-                        render_prometheus(_metrics_snapshot(target)),
-                        PROMETHEUS_CONTENT_TYPE,
-                    )
-                    return
-                elif parsed.path == "/stats":
-                    body = _stats_payload(target)
-                else:
-                    self._reply(404, {"error": f"unknown path {parsed.path}"})
-                    return
+                with guard:
+                    if parsed.path == "/health":
+                        body = _health_payload(target, ingest)
+                    elif parsed.path == "/search":
+                        body = _search_payload(target, params)
+                    elif parsed.path == "/explain":
+                        body = _explain_payload(target, params)
+                    elif parsed.path == "/document":
+                        body = _document_payload(target, params)
+                    elif parsed.path == "/metrics":
+                        self._reply_text(
+                            200,
+                            render_prometheus(_metrics_snapshot(target)),
+                            PROMETHEUS_CONTENT_TYPE,
+                        )
+                        return
+                    elif parsed.path == "/stats":
+                        body = _stats_payload(target, ingest)
+                    else:
+                        self._reply(
+                            404, {"error": f"unknown path {parsed.path}"}
+                        )
+                        return
             except _BadRequest as exc:
                 self._reply(400, {"error": str(exc)})
                 return
@@ -370,24 +394,30 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     request_timeout: float = REQUEST_TIMEOUT_S,
+    ingest=None,
 ) -> NewsLinkHTTPServer:
     """A ready-to-run server (``port=0`` picks a free port)."""
     return NewsLinkHTTPServer(
-        (host, port), make_handler(target, request_timeout)
+        (host, port), make_handler(target, request_timeout, ingest)
     )
 
 
-def shutdown_gracefully(server: NewsLinkHTTPServer, target) -> None:
+def shutdown_gracefully(server: NewsLinkHTTPServer, target, ingest=None) -> None:
     """Stop accepting, drain in-flight requests, release the target.
 
     The shutdown order matters: ``shutdown()`` stops the accept loop,
     ``server_close()`` joins the (non-daemon) handler threads so every
-    accepted request finishes its reply, and only then is the target
-    closed — a coordinator terminates its shard workers here, so no
-    forked process outlives the server.
+    accepted request finishes its reply; an attached ingest pipeline is
+    then closed — its dispatch thread stops, the WAL is flushed and a
+    final checkpoint committed, so the next start recovers O(tail)
+    instead of replaying history — and only then is the target closed (a
+    coordinator terminates its shard workers here, so no forked process
+    outlives the server).
     """
     server.shutdown()
     server.server_close()
+    if ingest is not None:
+        ingest.close()
     close = getattr(target, "close", None)
     if close is not None:
         close()
@@ -400,17 +430,19 @@ def serve(
     request_timeout: float = REQUEST_TIMEOUT_S,
     install_signals: bool | None = None,
     stop_event: threading.Event | None = None,
+    ingest=None,
 ) -> None:
     """Serve until SIGTERM/SIGINT (or ``stop_event``), then drain.
 
     ``install_signals`` defaults to True on the main thread (Python
     forbids installing handlers elsewhere); tests running ``serve`` on a
     helper thread pass their own ``stop_event`` instead.  On shutdown
-    the server stops accepting, finishes every in-flight request, and
-    closes the target (terminating shard workers when the target is a
-    coordinator) before returning.
+    the server stops accepting, finishes every in-flight request, closes
+    the attached ingest pipeline if any (WAL flush + final checkpoint),
+    and closes the target (terminating shard workers when the target is
+    a coordinator) before returning.
     """
-    server = make_server(target, host, port, request_timeout)
+    server = make_server(target, host, port, request_timeout, ingest)
     stop = stop_event or threading.Event()
     if install_signals is None:
         install_signals = (
@@ -435,7 +467,7 @@ def serve(
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         pass
     finally:
-        shutdown_gracefully(server, target)
+        shutdown_gracefully(server, target, ingest)
         loop.join()
         for signum, handler in previous.items():
             signal.signal(signum, handler)  # type: ignore[arg-type]

@@ -1,9 +1,13 @@
-"""Retry with exponential backoff.
+"""Retry with exponential backoff (optionally jittered, budgeted).
 
 One tiny, dependency-free helper shared by the fault-tolerant worker pool
-(:mod:`repro.parallel`) and available to any caller that talks to flaky
-resources.  Deterministic by design: no jitter, injectable ``sleep``, so
-tests can assert the exact delay sequence.
+(:mod:`repro.parallel`), the streaming-ingest fetch path
+(:mod:`repro.ingest`) and any caller that talks to flaky resources.
+Deterministic by design: the default is pure exponential backoff with no
+jitter and an injectable ``sleep``, so tests can assert the exact delay
+sequence; callers that want *decorrelated jitter* (the AWS backoff
+strategy that spreads retry storms across clients) opt in with
+``jitter="decorrelated"`` plus a seed, keeping the schedule reproducible.
 """
 
 from __future__ import annotations
@@ -12,6 +16,9 @@ import time
 from typing import Callable, TypeVar
 
 T = TypeVar("T")
+
+#: Valid values of the ``jitter`` argument.
+JITTER_MODES = (None, "decorrelated")
 
 
 def retry_with_backoff(
@@ -24,6 +31,10 @@ def retry_with_backoff(
     retry_on: tuple[type[BaseException], ...] = (Exception,),
     sleep: Callable[[float], None] = time.sleep,
     on_retry: Callable[[int, BaseException], None] | None = None,
+    jitter: str | None = None,
+    rng=None,
+    max_elapsed: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
 ) -> T:
     """Call ``fn`` until it succeeds, retrying on ``retry_on`` exceptions.
 
@@ -31,19 +42,45 @@ def retry_with_backoff(
         fn: zero-argument callable to run.
         attempts: total tries (>= 1); the last failure propagates.
         base_delay: sleep before the first retry, in seconds.
-        factor: multiplier applied to the delay after each retry.
+        factor: multiplier applied to the delay after each retry
+            (ignored under decorrelated jitter).
         max_delay: upper bound on any single sleep.
         retry_on: exception types that trigger a retry; anything else
             propagates immediately.
         sleep: injectable sleep (tests pass a recorder).
         on_retry: optional callback ``(attempt_number, exception)`` invoked
             before each backoff sleep — used for retry counters.
+        jitter: ``None`` (default) keeps the deterministic exponential
+            schedule ``base, base*factor, ...``; ``"decorrelated"`` draws
+            each delay uniformly from ``[base_delay, 3 * previous_delay]``
+            (capped at ``max_delay``), which decorrelates concurrent
+            retriers without ever sleeping less than ``base_delay``.
+        rng: seed or ``numpy.random.Generator`` for the jitter draws
+            (``None`` seeds with 0 via :func:`repro.utils.rng.ensure_rng`
+            so jittered schedules stay reproducible by default).
+        max_elapsed: optional total retry budget in seconds, measured on
+            ``clock`` from the first call.  When a failure occurs after
+            the budget is spent — or the next backoff sleep would
+            overrun it — the failure propagates immediately even if
+            attempts remain.  The budget never interrupts ``fn`` itself.
+        clock: injectable monotonic clock for the ``max_elapsed`` budget.
 
     Returns:
         ``fn()``'s result from the first successful attempt.
     """
     if attempts < 1:
         raise ValueError("attempts must be >= 1")
+    if jitter not in JITTER_MODES:
+        raise ValueError(
+            f"jitter must be one of {JITTER_MODES}, got {jitter!r}"
+        )
+    if max_elapsed is not None and max_elapsed <= 0:
+        raise ValueError("max_elapsed must be positive when set")
+    if jitter == "decorrelated":
+        from repro.utils.rng import ensure_rng
+
+        generator = ensure_rng(rng)
+    started = clock() if max_elapsed is not None else 0.0
     delay = base_delay
     for attempt in range(1, attempts + 1):
         try:
@@ -51,8 +88,21 @@ def retry_with_backoff(
         except retry_on as exc:
             if attempt == attempts:
                 raise
+            if jitter == "decorrelated":
+                pause = min(
+                    max_delay,
+                    float(generator.uniform(base_delay, max(base_delay, delay * 3.0))),
+                )
+            else:
+                pause = min(delay, max_delay)
+            if max_elapsed is not None and (
+                clock() - started + pause > max_elapsed
+            ):
+                # The budget is spent (or the next sleep would overrun
+                # it): give up now rather than retrying late.
+                raise
             if on_retry is not None:
                 on_retry(attempt, exc)
-            sleep(min(delay, max_delay))
-            delay *= factor
+            sleep(pause)
+            delay = pause if jitter == "decorrelated" else delay * factor
     raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,107 @@
+"""Subprocess driver for the crash-recovery differential suite.
+
+Runs a single-source ingest pipeline against a deterministic world until
+a target number of events has been applied, then dumps the complete
+engine state (doc ids, embeddings, KG, query battery) as JSON.  With
+``--kill-point`` the process SIGKILLs *itself* at the Nth hit of an
+ingest fault point — a genuine crash, not an exception: no finally
+blocks, no flushes, no atexit.  The parent test re-runs the child
+without the kill switch and asserts the recovered dump is bit-identical
+to an uninterrupted run.
+
+Invoked as ``python -m tests.ingest._crash_child`` (or by path) with
+``PYTHONPATH=src`` — see ``test_crash_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+from pathlib import Path
+
+from repro.config import IngestConfig, WorldConfig
+from repro.ingest.feeds import SyntheticFeed
+from repro.ingest.pipeline import IngestPipeline
+from repro.kg.io import graph_to_dict
+from repro.kg.synthetic import generate_world
+from repro.reliability import faults
+
+WORLD_CONFIG = WorldConfig(
+    num_countries=3,
+    provinces_per_country=2,
+    cities_per_province=3,
+    num_organizations=10,
+    num_persons=20,
+    num_events=6,
+    extra_edges=15,
+    seed=42,
+)
+
+#: checkpoint_every is deliberately co-prime with everything else so the
+#: injected crash lands at varied offsets relative to compaction.
+CONFIG = IngestConfig(
+    batch_size=1,
+    sync_every=1,
+    checkpoint_every=13,
+    fetch_attempts=1,
+    fetch_base_delay=0.0001,
+    fetch_max_delay=0.001,
+    fetch_max_elapsed=None,
+)
+
+
+def state_dump(engine) -> dict:
+    """Everything recovery must reconstruct, in JSON-comparable form."""
+    docs = sorted(engine._embeddings)
+    queries = sorted(node.label for node in list(engine.graph.nodes())[:8])
+    return {
+        "docs": docs,
+        "embeddings": {
+            doc_id: dict(sorted(engine.embedding(doc_id).node_counts.items()))
+            for doc_id in docs
+        },
+        "graph": graph_to_dict(engine.graph),
+        "results": {
+            query: [
+                [r.doc_id, float(r.score), float(r.bow_score), float(r.bon_score)]
+                for r in engine.search(query, k=10)
+            ]
+            for query in queries
+        },
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("state_dir")
+    parser.add_argument("dump_path")
+    parser.add_argument("--target", type=int, default=40)
+    parser.add_argument("--kill-point", default=None)
+    parser.add_argument("--kill-nth", type=int, default=1)
+    args = parser.parse_args()
+
+    world = generate_world(WORLD_CONFIG)
+    source = SyntheticFeed("rss", world, profile="rss", seed=3)
+    pipeline = IngestPipeline.open(
+        args.state_dir, world.graph, [source], config=CONFIG
+    )
+    if args.kill_point:
+        faults.arm(
+            args.kill_point,
+            callback=lambda: os.kill(os.getpid(), signal.SIGKILL),
+            nth=args.kill_nth,
+        )
+    while pipeline.applied.get("rss", 0) < args.target:
+        pipeline.step()
+    faults.reset()
+    pipeline.close()
+    Path(args.dump_path).write_text(
+        json.dumps(state_dump(pipeline.engine), sort_keys=True),
+        encoding="utf-8",
+    )
+
+
+if __name__ == "__main__":
+    main()

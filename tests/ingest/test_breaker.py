@@ -1,0 +1,104 @@
+"""Circuit-breaker state machine on an injected clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ingest.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock: FakeClock) -> CircuitBreaker:
+    return CircuitBreaker(failure_threshold=3, reset_after=30.0, clock=clock)
+
+
+class TestTransitions:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_consecutive_failures_trip(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_open_to_half_open_after_window(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(29.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_single_probe_slot(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # second caller refused
+
+    def test_half_open_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        # the window restarts from the re-trip
+        clock.advance(30.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_transition_counters(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.transitions == {CLOSED: 1, OPEN: 1, HALF_OPEN: 1}
+
+
+class TestValidation:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_reset_after_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_after=0.0)

@@ -1,0 +1,38 @@
+"""Dead-letter queue: durable quarantine, idempotence, reload."""
+
+from __future__ import annotations
+
+from repro.ingest.dlq import DeadLetterQueue
+
+
+class TestDeadLetterQueue:
+    def test_quarantine_and_membership(self, tmp_path):
+        dlq = DeadLetterQueue(tmp_path)
+        assert ("rss", 4) not in dlq
+        dlq.quarantine("rss", 4, "add", "apply failed", {"doc_id": "rss-4"})
+        assert ("rss", 4) in dlq
+        assert len(dlq) == 1
+
+    def test_idempotent_per_source_seq(self, tmp_path):
+        dlq = DeadLetterQueue(tmp_path)
+        dlq.quarantine("rss", 4, "add", "first", {"doc_id": "rss-4"})
+        dlq.quarantine("rss", 4, "add", "second", {"doc_id": "rss-4"})
+        assert len(dlq) == 1
+        assert [e.reason for e in dlq.entries()] == ["first"]
+
+    def test_survives_reopen(self, tmp_path):
+        dlq = DeadLetterQueue(tmp_path)
+        dlq.quarantine("rss", 4, "add", "boom", {"doc_id": "rss-4"})
+        dlq.quarantine("social", 9, "remove", "boom", {"doc_id": "social-9"})
+        reopened = DeadLetterQueue(tmp_path)
+        assert len(reopened) == 2
+        assert ("rss", 4) in reopened
+        assert ("social", 9) in reopened
+        entries = reopened.entries()
+        assert {(e.source, e.seq) for e in entries} == {("rss", 4), ("social", 9)}
+        assert entries[0].payload == {"doc_id": "rss-4"}
+
+    def test_empty_queue(self, tmp_path):
+        dlq = DeadLetterQueue(tmp_path)
+        assert len(dlq) == 0
+        assert dlq.entries() == []

@@ -1,0 +1,259 @@
+"""Pipeline integration: admission, recovery, DLQ, breaker isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import IngestConfig
+from repro.errors import IngestError
+from repro.ingest.feeds import SyntheticFeed, WedgedFeed
+from repro.ingest.pipeline import IngestPipeline
+from repro.kg.io import graph_to_dict
+from repro.reliability import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def make_config(**overrides) -> IngestConfig:
+    """Fast test defaults: tiny batches, no sleeping between retries."""
+    base = dict(
+        batch_size=4,
+        sync_every=4,
+        checkpoint_every=0,
+        fetch_attempts=2,
+        fetch_base_delay=0.0001,
+        fetch_max_delay=0.001,
+        fetch_max_elapsed=None,
+        failure_threshold=2,
+        breaker_reset_after=1000.0,
+    )
+    base.update(overrides)
+    return IngestConfig(**base)
+
+
+def open_pipeline(directory, world, *, sources=None, config=None, **kwargs):
+    if sources is None:
+        sources = [SyntheticFeed("rss", world, profile="rss", seed=3)]
+    return IngestPipeline.open(
+        directory,
+        world.graph,
+        sources,
+        config=config or make_config(),
+        sleep=lambda _s: None,
+        **kwargs,
+    )
+
+
+def engine_state(engine) -> dict:
+    """Everything that must converge across crash/recovery boundaries."""
+    queries = sorted(
+        node.label for node in list(engine.graph.nodes())[:8]
+    )
+    return {
+        "docs": sorted(engine._embeddings),
+        "graph": graph_to_dict(engine.graph),
+        "results": {
+            q: [
+                (r.doc_id, r.score)
+                for r in engine.search(q, k=10)
+            ]
+            for q in queries
+        },
+    }
+
+
+class TestAdmission:
+    def test_events_flow_into_engine(self, tiny_world, tmp_path):
+        pipeline = open_pipeline(tmp_path, tiny_world)
+        admitted = pipeline.run(4)
+        assert admitted == 16  # 4 rounds x batch_size 4
+        assert pipeline.engine.num_indexed > 0
+        assert pipeline.applied["rss"] == 16
+        stats = pipeline.stats_payload()
+        assert stats["sources"]["rss"]["breaker"] == "closed"
+        assert stats["freshness"]["count"] == 16
+        assert stats["wal"]["records"] == 16
+        pipeline.close()
+
+    def test_duplicate_source_names_rejected(self, tiny_world, tmp_path):
+        sources = [
+            SyntheticFeed("rss", tiny_world, seed=1),
+            SyntheticFeed("rss", tiny_world, seed=2),
+        ]
+        with pytest.raises(IngestError, match="duplicate source names"):
+            open_pipeline(tmp_path, tiny_world, sources=sources)
+
+    def test_step_after_close_raises(self, tiny_world, tmp_path):
+        pipeline = open_pipeline(tmp_path, tiny_world)
+        pipeline.close()
+        with pytest.raises(IngestError, match="closed pipeline"):
+            pipeline.step()
+        pipeline.close()  # idempotent
+
+
+class TestRecovery:
+    def test_clean_close_then_reopen_replays_nothing(self, tiny_world, tmp_path):
+        pipeline = open_pipeline(tmp_path, tiny_world)
+        pipeline.run(4)
+        want = engine_state(pipeline.engine)
+        pipeline.close()
+        assert pipeline.checkpoints_total == 1
+
+        recovered = open_pipeline(tmp_path, tiny_world)
+        assert recovered.replayed_records == 0  # pure snapshot load
+        assert recovered.generation == 1
+        assert engine_state(recovered.engine) == want
+        recovered.close()
+
+    def test_abandoned_run_converges_via_replay(self, tiny_world, tmp_path):
+        """Crash signature: no close(), WAL tail replays on reopen."""
+        reference = open_pipeline(tmp_path / "ref", tiny_world)
+        reference.run(8)
+        want = engine_state(reference.engine)
+        reference.close()
+
+        crashed = open_pipeline(
+            tmp_path / "crash", tiny_world, config=make_config(sync_every=1)
+        )
+        crashed.run(4)
+        del crashed  # abandon without close — the WAL is all that survives
+
+        recovered = open_pipeline(
+            tmp_path / "crash", tiny_world, config=make_config(sync_every=1)
+        )
+        assert recovered.replayed_records == 16
+        recovered.run(4)
+        assert engine_state(recovered.engine) == want
+        recovered.close()
+
+    def test_reopen_resumes_sequence(self, tiny_world, tmp_path):
+        pipeline = open_pipeline(tmp_path, tiny_world)
+        pipeline.run(2)
+        pipeline.close()
+        resumed = open_pipeline(tmp_path, tiny_world)
+        resumed.run(2)
+        assert resumed.applied["rss"] == 16
+        resumed.close()
+
+
+class TestCheckpointing:
+    def test_automatic_checkpoint_truncates_wal(self, tiny_world, tmp_path):
+        pipeline = open_pipeline(
+            tmp_path, tiny_world, config=make_config(checkpoint_every=8)
+        )
+        pipeline.run(4)
+        assert pipeline.checkpoints_total == 2
+        assert pipeline.generation == 2
+        # history is gone: one fresh segment holding just the marker
+        assert pipeline.wal.segment_count == 1
+        records = list(pipeline.wal.replay())
+        assert records[0].type == "checkpoint"
+        assert records[0].payload["generation"] == 2
+        pipeline.close()
+
+    def test_stale_generations_pruned(self, tiny_world, tmp_path):
+        pipeline = open_pipeline(tmp_path, tiny_world)
+        pipeline.run(2)
+        pipeline.checkpoint()
+        pipeline.run(2)
+        pipeline.checkpoint()
+        snapshots = sorted(p.name for p in tmp_path.glob("snapshot-*.nlx"))
+        graphs = sorted(p.name for p in tmp_path.glob("kg-*.json"))
+        assert snapshots == ["snapshot-000002.nlx"]
+        assert graphs == ["kg-000002.json"]
+        pipeline.close()
+
+    def test_manifest_checksum_validated(self, tiny_world, tmp_path):
+        pipeline = open_pipeline(tmp_path, tiny_world)
+        pipeline.run(1)
+        pipeline.close()
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(
+            manifest.read_text().replace('"generation": 1', '"generation": 2')
+        )
+        with pytest.raises(IngestError, match="checksum mismatch"):
+            open_pipeline(tmp_path, tiny_world)
+
+
+class TestDeadLetterQueue:
+    def test_poison_event_quarantined_not_wedging(self, tiny_world, tmp_path):
+        config = make_config(apply_retries=1)
+        pipeline = open_pipeline(tmp_path, tiny_world, config=config)
+        # fail the first apply on every attempt: event 1 exhausts its
+        # retries and is quarantined; later events apply normally
+        with faults.injected("ingest.apply", nth=1, times=2):
+            pipeline.run(1)
+        assert len(pipeline.dlq) == 1
+        entry = pipeline.dlq.entries()[0]
+        assert (entry.source, entry.seq) == ("rss", 1)
+        assert "FaultInjectedError" in entry.reason
+        assert pipeline.applied["rss"] == 4  # pipeline kept going
+        state_before = engine_state(pipeline.engine)
+        pipeline.close()
+
+        # replay after restart skips the quarantined event
+        recovered = open_pipeline(tmp_path, tiny_world, config=config)
+        assert engine_state(recovered.engine) == state_before
+        assert len(recovered.dlq) == 1
+        recovered.close()
+
+    def test_transient_apply_failure_retries_through(self, tiny_world, tmp_path):
+        config = make_config(apply_retries=2)
+        pipeline = open_pipeline(tmp_path, tiny_world, config=config)
+        with faults.injected("ingest.apply", nth=1, times=1):
+            pipeline.run(1)  # one failure, retry succeeds
+        assert len(pipeline.dlq) == 0
+        assert pipeline.applied["rss"] == 4
+        pipeline.close()
+
+
+class TestBreakerIsolation:
+    def test_wedged_source_trips_without_degrading_healthy(
+        self, tiny_world, tmp_path
+    ):
+        monotonic = FakeMonotonic()
+        sources = [
+            SyntheticFeed("rss", tiny_world, profile="rss", seed=3),
+            WedgedFeed("sick"),
+        ]
+        pipeline = IngestPipeline.open(
+            tmp_path,
+            tiny_world.graph,
+            sources,
+            config=make_config(failure_threshold=2, breaker_reset_after=60.0),
+            sleep=lambda _s: None,
+            monotonic=monotonic,
+        )
+        pipeline.run(6)
+        stats = pipeline.stats_payload()
+        # the wedged source tripped open after two failed rounds...
+        assert stats["sources"]["sick"]["breaker"] == "open"
+        assert stats["sources"]["sick"]["fetch_failures"] == 2
+        assert stats["sources"]["sick"]["breaker_skips"] == 4
+        # ...with retries inside each failed round
+        assert stats["sources"]["sick"]["fetch_retries"] == 2
+        # while the healthy source never missed a beat
+        assert pipeline.applied["rss"] == 24
+        assert stats["sources"]["rss"]["breaker"] == "closed"
+
+        # after the reset window one probe is allowed (and fails again)
+        monotonic.now += 61.0
+        pipeline.step()
+        stats = pipeline.stats_payload()
+        assert stats["sources"]["sick"]["fetch_failures"] == 3
+        assert stats["sources"]["sick"]["breaker"] == "open"
+        assert pipeline.applied["rss"] == 28
+        pipeline.close()
+
+
+class FakeMonotonic:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now

@@ -1,0 +1,146 @@
+"""Entity-resolution gate: the four decisions and edge canonicalization."""
+
+from __future__ import annotations
+
+from repro.ingest.resolve import EntityResolver
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.label_index import LabelIndex
+from repro.kg.types import EntityType, Node
+
+
+def make_resolver() -> EntityResolver:
+    graph = KnowledgeGraph()
+    graph.add_node(Node("org-1", "Harlow Group", EntityType.ORG, aliases=["HG"]))
+    graph.add_node(Node("per-1", "Jorro Vallini", EntityType.PERSON))
+    graph.add_node(Node("gpe-1", "Khyber", EntityType.GPE))
+    return EntityResolver(graph=graph, labels=LabelIndex(graph))
+
+
+def card(node_id: str, label: str, aliases=(), edges=()) -> dict:
+    return {
+        "node": {
+            "id": node_id,
+            "label": label,
+            "type": "ORG",
+            "aliases": list(aliases),
+            "description": "",
+        },
+        "edges": [dict(e) for e in edges],
+    }
+
+
+class TestDecisions:
+    def test_exact_id_match(self):
+        resolver = make_resolver()
+        resolved = resolver.resolve(card("org-1", "Harlow Group"))
+        assert resolved.decision == "exact"
+        assert resolved.canonical_id == "org-1"
+        assert resolver.decisions["exact"] == 1
+
+    def test_alias_match_collapses(self):
+        resolver = make_resolver()
+        resolved = resolver.resolve(card("feed-cand-1", "HG"))
+        assert resolved.decision == "alias"
+        assert resolved.canonical_id == "org-1"
+        assert resolved.node["id"] == "org-1"
+
+    def test_alias_match_via_card_alias(self):
+        resolver = make_resolver()
+        resolved = resolver.resolve(
+            card("feed-cand-2", "Unrelated Name", aliases=["jorro vallini"])
+        )
+        assert resolved.decision == "alias"
+        assert resolved.canonical_id == "per-1"
+
+    def test_near_duplicate_strips_determiner_and_punct(self):
+        resolver = make_resolver()
+        resolved = resolver.resolve(card("feed-cand-3", "The Harlow Group."))
+        assert resolved.decision == "near_duplicate"
+        assert resolved.canonical_id == "org-1"
+
+    def test_new_entity_keeps_candidate_id(self):
+        resolver = make_resolver()
+        resolved = resolver.resolve(card("feed-ent-4", "Completely Novel Org"))
+        assert resolved.decision == "new"
+        assert resolved.canonical_id == "feed-ent-4"
+        assert resolved.node["id"] == "feed-ent-4"
+
+    def test_ambiguity_resolves_to_smallest_id(self):
+        graph = KnowledgeGraph()
+        graph.add_node(Node("b-2", "Mercury", EntityType.ORG))
+        graph.add_node(Node("a-1", "Mercury", EntityType.PERSON))
+        resolver = EntityResolver(graph=graph, labels=LabelIndex(graph))
+        resolved = resolver.resolve(card("cand", "Mercury"))
+        assert resolved.canonical_id == "a-1"
+
+
+class TestEdgeRewriting:
+    def test_endpoints_rewritten_to_canonical(self):
+        resolver = make_resolver()
+        resolved = resolver.resolve(
+            card(
+                "feed-cand-5",
+                "HG",
+                edges=[
+                    {
+                        "source": "feed-cand-5",
+                        "target": "gpe-1",
+                        "relation": "located_in",
+                        "weight": 1.0,
+                    }
+                ],
+            )
+        )
+        assert resolved.edges == [
+            {
+                "source": "org-1",
+                "target": "gpe-1",
+                "relation": "located_in",
+                "weight": 1.0,
+            }
+        ]
+
+    def test_self_loop_after_collapse_dropped(self):
+        resolver = make_resolver()
+        resolved = resolver.resolve(
+            card(
+                "feed-cand-6",
+                "HG",
+                edges=[
+                    {
+                        "source": "feed-cand-6",
+                        "target": "org-1",
+                        "relation": "related_to",
+                        "weight": 1.0,
+                    }
+                ],
+            )
+        )
+        assert resolved.edges == []
+        assert resolved.dropped_edges == 1
+        assert resolver.dropped_edges_total == 1
+
+    def test_unresolvable_endpoint_dropped(self):
+        resolver = make_resolver()
+        resolved = resolver.resolve(
+            card(
+                "feed-ent-7",
+                "Novel Org",
+                edges=[
+                    {
+                        "source": "feed-ent-7",
+                        "target": "nonexistent-node",
+                        "relation": "related_to",
+                        "weight": 1.0,
+                    },
+                    {
+                        "source": "feed-ent-7",
+                        "target": "per-1",
+                        "relation": "member_of",
+                        "weight": 1.0,
+                    },
+                ],
+            )
+        )
+        assert resolved.dropped_edges == 1
+        assert [e["target"] for e in resolved.edges] == ["per-1"]

@@ -1,0 +1,206 @@
+"""Serving + live ingestion: /stats, /health, graceful drain.
+
+The ingest pipeline mutates the engine while the HTTP server reads it;
+both serialize on ``pipeline.engine_lock``.  Graceful shutdown must
+drain the dispatch loop, flush the WAL and commit a final checkpoint so
+the next start is a pure snapshot load (O(tail) recovery).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.config import IngestConfig
+from repro.ingest.feeds import SyntheticFeed
+from repro.ingest.pipeline import MANIFEST, IngestPipeline
+from repro.server import make_server, shutdown_gracefully
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def get_json(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def make_pipeline(directory, world) -> IngestPipeline:
+    return IngestPipeline.open(
+        directory,
+        world.graph,
+        [SyntheticFeed("rss", world, profile="rss", seed=3)],
+        config=IngestConfig(
+            batch_size=4, sync_every=1, checkpoint_every=0, fetch_attempts=1
+        ),
+    )
+
+
+class TestServeWithIngest:
+    def test_stats_and_health_carry_ingest_sections(self, tiny_world, tmp_path):
+        pipeline = make_pipeline(tmp_path, tiny_world)
+        pipeline.run(3)
+        server = make_server(pipeline.engine, port=0, ingest=pipeline)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        try:
+            status, health = get_json(f"{url}/health")
+            assert status == 200
+            assert health["ingest"] == {"rss": "closed"}
+
+            status, stats = get_json(f"{url}/stats")
+            assert status == 200
+            ingest = stats["ingest"]
+            assert ingest["sources"]["rss"]["seq_applied"] == 12
+            assert ingest["wal"]["records"] == 12
+            assert ingest["freshness"]["count"] == 12
+            assert ingest["dlq"] == 0
+
+            # streamed documents are searchable over HTTP
+            label = next(iter(tiny_world.graph.nodes())).label
+            status, body = get_json(
+                f"{url}/search?q={urllib.parse.quote(label)}&k=5"
+            )
+            assert status == 200
+        finally:
+            server.shutdown()
+            server.server_close()
+            pipeline.close()
+
+    def test_queries_serve_while_background_loop_ingests(
+        self, tiny_world, tmp_path
+    ):
+        pipeline = make_pipeline(tmp_path, tiny_world)
+        server = make_server(pipeline.engine, port=0, ingest=pipeline)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        pipeline.start(interval=0.01)
+        try:
+            deadline = time.monotonic() + 30
+            while (
+                pipeline.applied.get("rss", 0) < 8
+                and time.monotonic() < deadline
+            ):
+                status, _ = get_json(f"{url}/health")
+                assert status == 200
+            assert pipeline.applied.get("rss", 0) >= 8
+            assert pipeline.last_error is None
+            status, stats = get_json(f"{url}/stats")
+            assert stats["ingest"]["sources"]["rss"]["seq_applied"] >= 8
+        finally:
+            server.shutdown()
+            server.server_close()
+            pipeline.close()
+
+    def test_graceful_shutdown_commits_final_checkpoint(
+        self, tiny_world, tmp_path
+    ):
+        pipeline = make_pipeline(tmp_path, tiny_world)
+        server = make_server(pipeline.engine, port=0, ingest=pipeline)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        pipeline.start(interval=0.01)
+        deadline = time.monotonic() + 30
+        while not pipeline.applied.get("rss") and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert pipeline.applied.get("rss", 0) > 0
+
+        shutdown_gracefully(server, pipeline.engine, ingest=pipeline)
+
+        # drain flushed the WAL and committed a final checkpoint:
+        # restart recovery is a pure snapshot load with an empty tail
+        manifest = json.loads((tmp_path / MANIFEST).read_text())
+        assert manifest["generation"] == pipeline.generation >= 1
+        recovered = make_pipeline(tmp_path, tiny_world)
+        assert recovered.replayed_records == 0
+        assert recovered.applied == pipeline.applied
+        recovered.close()
+
+
+class TestServeIngestEndToEnd:
+    def test_cli_sigterm_drains_wal_and_checkpoints(self, tmp_path):
+        from repro.cli import main
+
+        directory = tmp_path / "dataset"
+        assert main(["generate", str(directory), "--scale", "0.1"]) == 0
+        assert main(["index", str(directory)]) == 0
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", str(directory),
+                "--port", "0", "--ingest", "--scale", "0.1",
+                "--ingest-interval", "0.02",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            port = None
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if not line:
+                    break
+                if "listening on" in line:
+                    port = int(line.rsplit(":", 1)[1])
+                    break
+            assert port is not None, "server never reported its port"
+            url = f"http://127.0.0.1:{port}"
+
+            # wait until the background loop has streamed something
+            applied = 0
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                status, stats = get_json(f"{url}/stats")
+                assert status == 200
+                applied = sum(
+                    s["seq_applied"] for s in stats["ingest"]["sources"].values()
+                )
+                if applied > 0:
+                    break
+                time.sleep(0.1)
+            assert applied > 0, "ingest loop never applied an event"
+            status, health = get_json(f"{url}/health")
+            assert status == 200
+            assert set(health["ingest"]) == {"rss", "social", "filings"}
+
+            proc.send_signal(signal.SIGTERM)
+            remaining, _ = proc.communicate(timeout=120)
+            assert proc.returncode == 0, remaining
+            assert "drained and stopped" in remaining
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup only
+                proc.kill()
+                proc.communicate(timeout=10)
+
+        # SIGTERM drain committed a final checkpoint: manifest present,
+        # WAL truncated to its marker record
+        state_dir = directory / "ingest"
+        manifest = json.loads((state_dir / MANIFEST).read_text())
+        assert manifest["generation"] >= 1
+        assert sum(s for s in manifest["applied"].values()) >= applied
+        segments = sorted((state_dir / "wal").glob("wal-*.seg"))
+        assert len(segments) == 1

@@ -1,0 +1,208 @@
+"""WAL format, durability batching, rotation and torn-tail recovery."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.errors import IngestError, WalCorruptError
+from repro.ingest.wal import MAGIC, Wal, WalRecord
+from repro.reliability import faults
+
+
+def record(source: str, seq: int, text: str = "x") -> WalRecord:
+    return WalRecord(
+        type="add",
+        source=source,
+        seq=seq,
+        payload={"doc_id": f"{source}-{seq}", "text": text},
+    )
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestRoundTrip:
+    def test_append_then_replay(self, tmp_path):
+        wal, scan = Wal.open(tmp_path)
+        assert scan.records == 0
+        for seq in range(1, 6):
+            wal.append(record("rss", seq))
+        wal.close()
+        reopened, scan = Wal.open(tmp_path)
+        assert scan.records == 5
+        assert scan.appended == {"rss": 5}
+        got = list(reopened.replay())
+        assert [r.seq for r in got] == [1, 2, 3, 4, 5]
+        assert got[0].payload["doc_id"] == "rss-1"
+        reopened.close()
+
+    def test_record_bytes_are_canonical(self):
+        a = WalRecord("add", "s", 1, {"b": 1, "a": 2})
+        b = WalRecord("add", "s", 1, {"a": 2, "b": 1})
+        assert a.to_bytes() == b.to_bytes()
+        assert WalRecord.from_bytes(a.to_bytes()) == a
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        wal, _ = Wal.open(tmp_path)
+        with pytest.raises(ValueError, match="unknown WAL record type"):
+            wal.append(WalRecord("bogus", "s", 1, {}))
+        wal.close()
+
+    def test_append_after_close_raises(self, tmp_path):
+        wal, _ = Wal.open(tmp_path)
+        wal.close()
+        with pytest.raises(IngestError, match="closed WAL"):
+            wal.append(record("rss", 1))
+
+    def test_checkpoint_record_round_trips(self, tmp_path):
+        wal, _ = Wal.open(tmp_path)
+        wal.append(WalRecord.checkpoint(3, {"rss": 17}))
+        wal.close()
+        _, scan = Wal.open(tmp_path)
+        assert scan.checkpoint is not None
+        assert scan.checkpoint.payload == {
+            "generation": 3,
+            "applied": {"rss": 17},
+        }
+        # checkpoint records do not advance per-source watermarks
+        assert scan.appended == {}
+
+
+class TestDurability:
+    def test_sync_batching(self, tmp_path):
+        wal, _ = Wal.open(tmp_path, sync_every=4)
+        for seq in range(1, 4):
+            wal.append(record("rss", seq))
+        assert wal.syncs_total == 0
+        wal.append(record("rss", 4))
+        assert wal.syncs_total == 1
+        wal.sync()  # nothing unsynced: no extra fsync
+        assert wal.syncs_total == 1
+        wal.close()
+
+    def test_rotation(self, tmp_path):
+        wal, _ = Wal.open(tmp_path, segment_bytes=256)
+        for seq in range(1, 30):
+            wal.append(record("rss", seq, text="padding " * 4))
+        assert wal.segment_count > 1
+        replayed = [r.seq for r in wal.replay()]
+        assert replayed == list(range(1, 30))
+        wal.close()
+        _, scan = Wal.open(tmp_path)
+        assert scan.appended == {"rss": 29}
+
+    def test_reset_truncates_history(self, tmp_path):
+        wal, _ = Wal.open(tmp_path, segment_bytes=256)
+        for seq in range(1, 20):
+            wal.append(record("rss", seq, text="padding " * 4))
+        wal.reset(2, {"rss": 19})
+        assert wal.segment_count == 1
+        records = list(wal.replay())
+        assert len(records) == 1
+        assert records[0].type == "checkpoint"
+        assert records[0].payload["generation"] == 2
+        wal.close()
+
+    def test_fault_point_fires_on_sync(self, tmp_path):
+        wal, _ = Wal.open(tmp_path, sync_every=1)
+        with faults.injected("ingest.wal_sync"):
+            with pytest.raises(Exception, match="injected fault"):
+                wal.append(record("rss", 1))
+
+
+class TestTornTail:
+    def _truncate(self, tmp_path, drop: int) -> None:
+        segment = sorted(tmp_path.glob("wal-*.seg"))[-1]
+        raw = segment.read_bytes()
+        segment.write_bytes(raw[: len(raw) - drop])
+
+    def test_torn_payload_is_healed(self, tmp_path):
+        wal, _ = Wal.open(tmp_path)
+        for seq in range(1, 4):
+            wal.append(record("rss", seq))
+        wal.close()
+        self._truncate(tmp_path, drop=3)  # cut into the last payload
+        reopened, scan = Wal.open(tmp_path)
+        assert scan.truncated_bytes > 0
+        assert scan.appended == {"rss": 2}
+        # the healed log accepts appends again, with no gap or duplicate
+        reopened.append(record("rss", 3))
+        assert [r.seq for r in reopened.replay()] == [1, 2, 3]
+        reopened.close()
+
+    def test_torn_header_is_healed(self, tmp_path):
+        wal, _ = Wal.open(tmp_path)
+        wal.append(record("rss", 1))
+        wal.append(record("rss", 2))
+        wal.close()
+        segment = sorted(tmp_path.glob("wal-*.seg"))[-1]
+        raw = segment.read_bytes()
+        segment.write_bytes(raw + struct.pack("<I", 99))  # half a frame header
+        _, scan = Wal.open(tmp_path)
+        assert scan.appended == {"rss": 2}
+        assert scan.truncated_bytes == 4
+
+    def test_fault_injected_append_leaves_real_torn_tail(self, tmp_path):
+        """ingest.wal_append fires between header and payload writes."""
+        wal, _ = Wal.open(tmp_path, sync_every=1)
+        wal.append(record("rss", 1))
+        with faults.injected("ingest.wal_append", nth=1):
+            with pytest.raises(Exception, match="injected fault"):
+                wal.append(record("rss", 2))
+        wal.close()
+        _, scan = Wal.open(tmp_path)
+        assert scan.appended == {"rss": 1}
+        assert scan.truncated_bytes > 0
+
+    def test_crc_mismatch_on_last_segment_heals_as_tail(self, tmp_path):
+        wal, _ = Wal.open(tmp_path)
+        wal.append(record("rss", 1))
+        wal.append(record("rss", 2))
+        wal.close()
+        segment = sorted(tmp_path.glob("wal-*.seg"))[-1]
+        raw = bytearray(segment.read_bytes())
+        raw[-2] ^= 0xFF  # flip a byte inside the final payload
+        segment.write_bytes(bytes(raw))
+        _, scan = Wal.open(tmp_path)
+        assert scan.appended == {"rss": 1}
+        assert scan.truncated_bytes > 0
+
+    def test_corrupt_non_last_segment_raises(self, tmp_path):
+        wal, _ = Wal.open(tmp_path, segment_bytes=256)
+        for seq in range(1, 20):
+            wal.append(record("rss", seq, text="padding " * 4))
+        assert wal.segment_count > 1
+        wal.close()
+        first = sorted(tmp_path.glob("wal-*.seg"))[0]
+        raw = bytearray(first.read_bytes())
+        raw[len(MAGIC) + 8 + 2] ^= 0xFF  # corrupt record 1's payload
+        first.write_bytes(bytes(raw))
+        with pytest.raises(WalCorruptError, match="CRC mismatch"):
+            Wal.open(tmp_path)
+
+    def test_bad_magic_raises(self, tmp_path):
+        wal, _ = Wal.open(tmp_path)
+        wal.append(record("rss", 1))
+        wal.close()
+        segment = sorted(tmp_path.glob("wal-*.seg"))[-1]
+        segment.write_bytes(b"NOTAWAL!" + segment.read_bytes()[8:])
+        with pytest.raises(WalCorruptError, match="magic"):
+            Wal.open(tmp_path)
+
+    def test_empty_last_segment_is_recreated(self, tmp_path):
+        wal, _ = Wal.open(tmp_path)
+        wal.append(record("rss", 1))
+        wal.close()
+        # simulate a crash right after rotation created an empty file
+        (tmp_path / "wal-00000002.seg").write_bytes(b"")
+        reopened, scan = Wal.open(tmp_path)
+        assert scan.appended == {"rss": 1}
+        reopened.append(record("rss", 2))
+        assert [r.seq for r in reopened.replay()] == [1, 2]
+        reopened.close()

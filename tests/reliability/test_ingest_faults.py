@@ -1,0 +1,169 @@
+"""Ingest fault points: every failure seam is exercisable and recoverable.
+
+The SIGKILL variants (a real process death at these same points) live in
+``tests/ingest/test_crash_recovery.py``; here the faults raise in
+process, which additionally pins down *what the survivor sees* — counters,
+breaker state, and the convergence of an abandoned directory.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.config import IngestConfig
+from repro.errors import FaultInjectedError
+from repro.ingest.feeds import SyntheticFeed
+from repro.ingest.pipeline import IngestPipeline
+from repro.kg.io import graph_to_dict
+from repro.reliability import faults
+
+INGEST_POINTS = (
+    "ingest.source_fetch",
+    "ingest.wal_append",
+    "ingest.wal_sync",
+    "ingest.apply",
+    "ingest.checkpoint",
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def make_pipeline(directory, world, **config_overrides) -> IngestPipeline:
+    config = dict(
+        batch_size=1,
+        sync_every=1,
+        checkpoint_every=0,
+        fetch_attempts=1,
+        fetch_max_elapsed=None,
+        failure_threshold=2,
+        breaker_reset_after=1000.0,
+    )
+    config.update(config_overrides)
+    return IngestPipeline.open(
+        directory,
+        world.graph,
+        [SyntheticFeed("rss", world, profile="rss", seed=3)],
+        config=IngestConfig(**config),
+        sleep=lambda _s: None,
+    )
+
+
+def engine_state(engine) -> dict:
+    docs = sorted(engine._embeddings)
+    return {"docs": docs, "graph": graph_to_dict(engine.graph)}
+
+
+def test_all_ingest_points_are_in_the_catalog():
+    for point in INGEST_POINTS:
+        assert point in faults.CATALOG
+
+
+def test_wal_append_fault_loses_nothing_and_duplicates_nothing(
+    tiny_world, tmp_path
+):
+    reference = make_pipeline(tmp_path / "ref", tiny_world)
+    reference.run(16)
+    want = engine_state(reference.engine)
+    reference.close()
+    assert len(want["docs"]) == len(set(want["docs"]))
+
+    crashed = make_pipeline(tmp_path / "crash", tiny_world)
+    faults.arm("ingest.wal_append", nth=7)
+    with pytest.raises(FaultInjectedError):
+        crashed.run(16)
+    faults.reset()
+    assert crashed.applied["rss"] == 6  # event 7 never reached the WAL
+    del crashed  # abandon: no close, no final sync
+
+    recovered = make_pipeline(tmp_path / "crash", tiny_world)
+    assert recovered.replayed_records == 6
+    recovered.run(10)
+    assert recovered.applied["rss"] == 16
+    assert engine_state(recovered.engine) == want
+    recovered.close()
+
+
+def test_checkpoint_fault_falls_back_to_previous_generation(
+    tiny_world, tmp_path
+):
+    reference = make_pipeline(tmp_path / "ref", tiny_world)
+    reference.run(12)
+    want = engine_state(reference.engine)
+    reference.close()
+
+    pipeline = make_pipeline(tmp_path / "state", tiny_world)
+    pipeline.run(6)
+    pipeline.checkpoint()
+    assert pipeline.generation == 1
+    pipeline.run(6)
+    # the crash window: snapshot written, manifest commit never happens
+    with faults.injected("ingest.checkpoint"):
+        with pytest.raises(FaultInjectedError):
+            pipeline.checkpoint()
+    assert pipeline.generation == 1  # commit point not reached
+    del pipeline  # abandon mid-compaction
+
+    recovered = make_pipeline(tmp_path / "state", tiny_world)
+    # recovery came from generation 1 + the WAL tail past it
+    assert recovered.generation == 1
+    assert recovered.replayed_records == 6
+    assert recovered.applied["rss"] == 12
+    assert engine_state(recovered.engine) == want
+    # and compaction itself still works after the failed attempt
+    assert recovered.checkpoint() == 2
+    recovered.close()
+
+
+def test_apply_fault_on_replay_quarantines_not_wedges(tiny_world, tmp_path):
+    pipeline = make_pipeline(tmp_path, tiny_world, apply_retries=0)
+    pipeline.run(8)
+    del pipeline  # abandon with a full WAL tail
+
+    # replay hits the fault on its first record: that one is quarantined,
+    # the remaining seven re-apply, recovery completes
+    faults.arm("ingest.apply", nth=1, times=1)
+    recovered = make_pipeline(tmp_path, tiny_world, apply_retries=0)
+    faults.reset()
+    assert recovered.replayed_records == 8
+    assert len(recovered.dlq) == 1
+    entry = recovered.dlq.entries()[0]
+    assert (entry.source, entry.seq) == ("rss", 1)
+    assert recovered.applied["rss"] == 8
+    recovered.close()
+
+
+def test_source_fetch_fault_feeds_the_breaker(tiny_world, tmp_path):
+    pipeline = make_pipeline(tmp_path, tiny_world)
+    with faults.injected("ingest.source_fetch"):
+        pipeline.run(3)
+    stats = pipeline.stats_payload()
+    assert stats["sources"]["rss"]["fetch_failures"] == 2
+    assert stats["sources"]["rss"]["breaker"] == "open"
+    assert stats["sources"]["rss"]["breaker_skips"] == 1
+    assert pipeline.applied.get("rss", 0) == 0
+    # disarmed + window elapsed is exercised in tests/ingest/test_pipeline.py
+    pipeline.close()
+
+
+def test_wal_sync_fault_surfaces_via_background_loop(tiny_world, tmp_path):
+    pipeline = make_pipeline(tmp_path, tiny_world)
+    faults.arm("ingest.wal_sync", nth=1)
+    pipeline.start(interval=0.01)
+    try:
+        deadline = 200
+        while pipeline.last_error is None and deadline:
+            deadline -= 1
+            time.sleep(0.01)
+        assert pipeline.last_error is not None
+        assert "FaultInjectedError" in pipeline.last_error
+        assert pipeline.stats_payload()["last_error"] == pipeline.last_error
+    finally:
+        faults.reset()
+        pipeline.close()

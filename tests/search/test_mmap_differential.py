@@ -17,6 +17,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.config import EngineConfig, FusionConfig, ServingConfig
+from repro.data.document import Corpus, NewsDocument
 from repro.search.engine import NewsLinkEngine
 from repro.serving import Coordinator
 
@@ -121,6 +122,79 @@ class TestMutationDifferential:
             assert as_tuples(reloaded.search(query, k=10)) == as_tuples(
                 reference.search(query, k=10)
             )
+
+
+class TestIncrementalDifferential:
+    """Streaming mutations on a thawed mmap engine vs a fresh build.
+
+    The ingest pipeline's central assumption: removing and adding
+    documents one at a time on an engine that started life mmap-loaded
+    must land on the *same* search behaviour as batch-indexing the final
+    corpus from scratch — for every ranking path the planner can pick.
+    """
+
+    def test_incremental_equals_fresh_build_over_final_corpus(self, trio):
+        mapped = NewsLinkEngine(trio.graph, trio.config)
+        mapped.load_index(trio.path, mmap=True)
+        assert mapped.is_frozen
+
+        corpus = trio.corpus
+        removed_ids = [corpus[i].doc_id for i in (0, 3, 7, 11)]
+        streamed = [
+            NewsDocument(
+                f"stream-{i}",
+                doc.text,
+                title=doc.title,
+                topic_id=doc.topic_id,
+            )
+            for i, doc in enumerate(corpus[5:10])
+        ]
+
+        mapped.remove_document(removed_ids[0])  # first mutation thaws
+        assert not mapped.is_frozen
+        for doc_id in removed_ids[1:]:
+            mapped.remove_document(doc_id)
+        for doc in streamed:
+            assert mapped.index_document(doc)
+        assert mapped.index_document(corpus[3])  # a retraction re-added
+
+        final = (
+            [d for d in corpus if d.doc_id not in removed_ids]
+            + streamed
+            + [corpus[3]]
+        )
+        fresh = NewsLinkEngine(trio.graph, trio.config)
+        fresh.index_corpus(Corpus(final))
+        assert mapped.num_indexed == fresh.num_indexed
+
+        queries = [
+            " ".join(trio.vocabulary[i : i + 3]) for i in range(0, 18, 3)
+        ]
+        for query in queries:
+            for ranking in ("auto", "pruned", "exhaustive"):
+                for k in (1, 5, 20):
+                    for beta in (None, 0.0, 0.5):
+                        kwargs = {"k": k, "ranking": ranking}
+                        if beta is not None:
+                            kwargs["beta"] = beta
+                        assert as_tuples(
+                            mapped.search(query, **kwargs)
+                        ) == as_tuples(fresh.search(query, **kwargs)), (
+                            f"divergence: {query!r} {kwargs}"
+                        )
+
+    def test_removed_docs_are_unfindable_and_new_docs_surface(self, trio):
+        mapped = NewsLinkEngine(trio.graph, trio.config)
+        mapped.load_index(trio.path, mmap=True)
+        victim = trio.corpus[2]
+        mapped.remove_document(victim.doc_id)
+        mapped.index_document(
+            NewsDocument("stream-live", victim.text, title=victim.title)
+        )
+        hits = as_tuples(mapped.search(victim.text[:120], k=64))
+        doc_ids = [doc_id for doc_id, *_ in hits]
+        assert victim.doc_id not in doc_ids
+        assert "stream-live" in doc_ids
 
 
 class TestShardedDifferential:

@@ -87,3 +87,139 @@ class TestRetry:
     def test_zero_attempts_rejected(self):
         with pytest.raises(ValueError):
             retry_with_backoff(lambda: None, attempts=0)
+
+
+class TestDecorrelatedJitter:
+    def test_unknown_jitter_mode_rejected(self):
+        with pytest.raises(ValueError, match="jitter"):
+            retry_with_backoff(lambda: None, jitter="full")
+
+    def test_same_seed_same_schedule(self):
+        def schedule() -> list[float]:
+            sleeps: list[float] = []
+            with pytest.raises(OSError):
+                retry_with_backoff(
+                    Flaky(10),
+                    attempts=6,
+                    base_delay=0.05,
+                    max_delay=10.0,
+                    jitter="decorrelated",
+                    rng=7,
+                    sleep=sleeps.append,
+                )
+            return sleeps
+
+        first = schedule()
+        assert len(first) == 5
+        assert first == schedule()
+
+    def test_different_seed_different_schedule(self):
+        def schedule(seed: int) -> list[float]:
+            sleeps: list[float] = []
+            with pytest.raises(OSError):
+                retry_with_backoff(
+                    Flaky(10),
+                    attempts=6,
+                    jitter="decorrelated",
+                    rng=seed,
+                    sleep=sleeps.append,
+                )
+            return sleeps
+
+        assert schedule(1) != schedule(2)
+
+    def test_sleeps_stay_within_decorrelated_bounds(self):
+        """Each pause lies in [base_delay, min(max_delay, 3*previous)]."""
+        sleeps: list[float] = []
+        with pytest.raises(OSError):
+            retry_with_backoff(
+                Flaky(10),
+                attempts=8,
+                base_delay=0.05,
+                max_delay=0.8,
+                jitter="decorrelated",
+                rng=3,
+                sleep=sleeps.append,
+            )
+        previous = 0.05
+        for pause in sleeps:
+            assert 0.05 <= pause <= 0.8
+            assert pause <= max(0.05, previous * 3.0) + 1e-12
+            previous = pause
+
+    def test_default_path_is_unchanged_by_the_new_parameters(self):
+        """No jitter, no budget: byte-compatible with the original helper."""
+        sleeps: list[float] = []
+        result = retry_with_backoff(
+            Flaky(2), attempts=3, base_delay=0.05, factor=2.0,
+            sleep=sleeps.append,
+        )
+        assert result == "ok"
+        assert sleeps == [0.05, 0.1]
+
+
+class TestMaxElapsedBudget:
+    def test_budget_spent_propagates_instead_of_sleeping(self):
+        clock_now = [0.0]
+
+        def clock() -> float:
+            return clock_now[0]
+
+        def sleep(seconds: float) -> None:
+            clock_now[0] += seconds
+
+        sleeps: list[float] = []
+
+        def recording_sleep(seconds: float) -> None:
+            sleeps.append(seconds)
+            sleep(seconds)
+
+        fn = Flaky(10)
+        # base 1.0, factor 2: sleeps 1 + 2 = 3; the third retry would
+        # need 4 more seconds and the budget is 5 — give up immediately
+        with pytest.raises(OSError, match="transient failure #3"):
+            retry_with_backoff(
+                fn,
+                attempts=10,
+                base_delay=1.0,
+                factor=2.0,
+                max_delay=100.0,
+                sleep=recording_sleep,
+                max_elapsed=5.0,
+                clock=clock,
+            )
+        assert fn.calls == 3
+        assert sleeps == [1.0, 2.0]
+
+    def test_slow_fn_exhausts_the_budget(self):
+        clock_now = [0.0]
+
+        def slow_fail() -> None:
+            clock_now[0] += 10.0  # fn itself burns the budget
+            raise OSError("slow failure")
+
+        with pytest.raises(OSError, match="slow failure"):
+            retry_with_backoff(
+                slow_fail,
+                attempts=5,
+                base_delay=0.1,
+                sleep=lambda _s: None,
+                max_elapsed=5.0,
+                clock=lambda: clock_now[0],
+            )
+
+    def test_generous_budget_never_interferes(self):
+        fn = Flaky(2)
+        result = retry_with_backoff(
+            fn,
+            attempts=5,
+            sleep=lambda _s: None,
+            max_elapsed=1e9,
+            clock=lambda: 0.0,
+        )
+        assert result == "ok"
+        assert fn.calls == 3
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_elapsed"):
+            retry_with_backoff(lambda: None, max_elapsed=0.0)

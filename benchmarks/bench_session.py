@@ -1,0 +1,262 @@
+"""Session search cost: per-turn cold vs warm latency, plus the eval lift.
+
+Personalized search adds a third fusion channel whose terms come from the
+user's profile and the session's accumulated query subgraph, and the
+query-state cache is keyed on that context (text, graph version, context
+revision, gamma).  Two questions follow:
+
+* **per-turn latency** — what does a session turn cost cold (first time
+  the (query, session-revision) pair is seen: full NLP + NE + context
+  blend) vs warm (identical repeat: a cache hit)?  Measured per turn
+  index across every simulated user, so a growing session subgraph shows
+  up as a trend, not an average.
+* **quality lift** — does the profile channel actually move held-out
+  clicks up the ranking?  The personalization evaluation
+  (:mod:`repro.eval.personalization`) runs over the same users and its
+  nDCG/MRR deltas are embedded in the payload.
+
+Results go to ``BENCH_session.json`` at the repo root.  CI runs::
+
+    PYTHONPATH=src python benchmarks/bench_session.py --smoke
+
+(small dataset, 4 users x 2 turns, sanity asserts, no JSON write).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.data.datasets import cnn_like_config, make_dataset
+from repro.data.sessions import generate_user_sessions
+from repro.eval.personalization import build_profile, evaluate_personalization
+from repro.personalize import Session
+from repro.search.engine import NewsLinkEngine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_JSON = REPO_ROOT / "BENCH_session.json"
+SEED = 2210
+GAMMA = 0.35
+K = 10
+WARM_REPEATS = 5
+
+
+def _build_engine(scale: float):
+    world_config, news_config = cnn_like_config(scale=scale)
+    dataset = make_dataset("cnn-like", world_config, news_config)
+    engine = NewsLinkEngine(dataset.world.graph)
+    engine.index_corpus(dataset.corpus)
+    return engine, dataset
+
+
+def _summary(samples_ms: list[float]) -> dict:
+    return {
+        "mean": round(statistics.fmean(samples_ms), 4),
+        "p50": round(statistics.median(samples_ms), 4),
+        "max": round(max(samples_ms), 4),
+    }
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return (time.perf_counter() - start) * 1000.0
+
+
+def _run_turns(engine, cases) -> list[dict]:
+    """Cold/warm latency per turn index, aggregated across users.
+
+    For each turn the first personalized search is a query-state cache
+    miss (new session revision in the key); identical repeats are hits.
+    The session is only advanced after the warm repeats, so they reuse
+    the cold call's cache entry.
+    """
+    num_turns = max(len(case.queries) for case in cases)
+    cold: list[list[float]] = [[] for _ in range(num_turns)]
+    warm: list[list[float]] = [[] for _ in range(num_turns)]
+    for case in cases:
+        profile = build_profile(engine, case)
+        session = Session(f"bench-{case.user_id}")
+        for turn, query in enumerate(case.queries):
+            search = lambda: engine.search(  # noqa: E731
+                query, k=K, profile=profile, session=session, gamma=GAMMA
+            )
+            cold[turn].append(_timed(search))
+            warm[turn].append(
+                min(_timed(search) for _ in range(WARM_REPEATS))
+            )
+            # Fold the turn into the session for the next iteration.
+            engine.search(
+                query, k=K, profile=profile, session=session,
+                gamma=GAMMA, advance_session=True,
+            )
+    return [
+        {
+            "turn": turn + 1,
+            "cold_ms": _summary(cold[turn]),
+            "warm_ms": _summary(warm[turn]),
+        }
+        for turn in range(num_turns)
+        if cold[turn]
+    ]
+
+
+def _anonymous_baseline(engine, cases) -> dict:
+    """Cold/warm for the same queries with no context channel at all."""
+    cold, warm = [], []
+    for case in cases:
+        for query in case.queries:
+            search = lambda: engine.search(query, k=K)  # noqa: E731
+            cold.append(_timed(search))
+            warm.append(min(_timed(search) for _ in range(WARM_REPEATS)))
+    return {"cold_ms": _summary(cold), "warm_ms": _summary(warm)}
+
+
+def run_session_bench(
+    scale: float, num_users: int, num_turns: int
+) -> dict:
+    engine, dataset = _build_engine(scale)
+    cases = generate_user_sessions(
+        dataset,
+        num_users=num_users,
+        history_clicks=3,
+        held_out_clicks=2,
+        num_turns=num_turns,
+        seed=SEED,
+    )
+    baseline = _anonymous_baseline(engine, cases)
+    turns = _run_turns(engine, cases)
+    report = evaluate_personalization(
+        engine, dataset, cases=cases, k=K, gamma=GAMMA
+    )
+    return {
+        "benchmark": "session",
+        "seed": SEED,
+        "scale": scale,
+        "documents": engine.num_indexed,
+        "users": len(cases),
+        "turns_per_user": num_turns,
+        "k": K,
+        "gamma": GAMMA,
+        "warm_repeats": WARM_REPEATS,
+        "anonymous": baseline,
+        "per_turn": turns,
+        "evaluation": report.as_dict(),
+        "notes": [
+            "cold = first personalized search of a (query, session "
+            "revision) pair: full NLP + NE + context blend",
+            "warm = best of identical repeats before the session "
+            "advances: a query-state cache hit",
+            "sessions and clicks are a pure function of the seed, so "
+            "every run replays the same users",
+            "the evaluation scores held-out clicks the profile never "
+            "saw; a positive ndcg_lift means the click-history "
+            "subgraph transfers to unseen documents",
+        ],
+    }
+
+
+def _check(payload: dict) -> None:
+    """Sanity bar shared by the pytest wrapper and the CI smoke run."""
+    assert payload["per_turn"], payload
+    for row in payload["per_turn"]:
+        assert row["cold_ms"]["p50"] > 0.0, row
+        # A warm turn is a cache lookup; it must not cost more than the
+        # cold embed that populated the entry.
+        assert row["warm_ms"]["p50"] <= row["cold_ms"]["p50"], row
+    evaluation = payload["evaluation"]
+    assert evaluation["queries"] == (
+        payload["users"] * payload["turns_per_user"]
+    ), evaluation
+    for name in ("ndcg_anonymous", "ndcg_personalized"):
+        assert 0.0 <= evaluation[name] <= 1.0, evaluation
+
+
+def _render(payload: dict) -> str:
+    lines = [
+        "Session search — per-turn cold vs warm latency + held-out lift",
+        f"scale {payload['scale']}; {payload['documents']} documents; "
+        f"{payload['users']} users x {payload['turns_per_user']} turns; "
+        f"k={payload['k']}; gamma={payload['gamma']}; "
+        f"seed {payload['seed']}",
+        f"{'turn':>6} {'cold p50 ms':>12} {'cold max ms':>12} "
+        f"{'warm p50 ms':>12}",
+    ]
+    anonymous = payload["anonymous"]
+    lines.append(
+        f"{'anon':>6} {anonymous['cold_ms']['p50']:>12.3f} "
+        f"{anonymous['cold_ms']['max']:>12.3f} "
+        f"{anonymous['warm_ms']['p50']:>12.3f}"
+    )
+    for row in payload["per_turn"]:
+        lines.append(
+            f"{row['turn']:>6} {row['cold_ms']['p50']:>12.3f} "
+            f"{row['cold_ms']['max']:>12.3f} "
+            f"{row['warm_ms']['p50']:>12.3f}"
+        )
+    evaluation = payload["evaluation"]
+    lines.append(
+        f"held-out quality over {evaluation['queries']} queries: "
+        f"nDCG@{payload['k']} {evaluation['ndcg_anonymous']:.3f} -> "
+        f"{evaluation['ndcg_personalized']:.3f} "
+        f"(lift {evaluation['ndcg_lift']:+.3f}); "
+        f"MRR {evaluation['mrr_anonymous']:.3f} -> "
+        f"{evaluation['mrr_personalized']:.3f} "
+        f"(lift {evaluation['mrr_lift']:+.3f})"
+    )
+    for note in payload["notes"]:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def main(scale: float | None = None, smoke: bool = False) -> dict:
+    from benchmarks.conftest import bench_scale, write_result
+
+    resolved_scale = bench_scale() if scale is None else scale
+    if smoke:
+        payload = run_session_bench(
+            min(resolved_scale, 0.25), num_users=4, num_turns=2
+        )
+        _check(payload)
+        write_result("session_smoke", _render(payload))
+        print("smoke ok (BENCH_session.json untouched)")
+        return payload
+    payload = run_session_bench(resolved_scale, num_users=8, num_turns=3)
+    _check(payload)
+    OUTPUT_JSON.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    write_result("session", _render(payload))
+    print(f"wrote {OUTPUT_JSON}")
+    return payload
+
+
+@pytest.mark.benchmark(group="session")
+def test_session(benchmark):
+    payload = benchmark.pedantic(main, rounds=1, iterations=1)
+    _check(payload)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.path.insert(0, str(REPO_ROOT))
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="dataset scale (default: REPRO_BENCH_SCALE or 1.0)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: small dataset, 4 users x 2 turns, sanity "
+        "asserts, no BENCH_session.json write",
+    )
+    arguments = parser.parse_args()
+    main(scale=arguments.scale, smoke=arguments.smoke)

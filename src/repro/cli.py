@@ -17,9 +17,11 @@ Subcommands::
         simulated feeds through the durable ingestion pipeline (WAL +
         checkpoints under the state dir; rerunning resumes where the
         previous run — clean or crashed — left off)
-    repro serve DIR [--ingest]                            — serve over
+    repro serve DIR [--ingest] [--profiles]               — serve over
         HTTP; with --ingest, feeds stream into the live engine while
-        queries serve (freshness and breaker health on /stats)
+        queries serve (freshness and breaker health on /stats); with
+        --profiles, /click and /search?user= maintain per-user
+        click-history profiles (single-engine serving only)
 
 Run ``python -m repro <subcommand> --help`` for details.
 """
@@ -248,6 +250,25 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--scale", type=float, default=0.5,
         help="world scale for the simulated feeds (--ingest only)",
+    )
+    serve.add_argument(
+        "--profiles", action="store_true",
+        help="enable per-user click-history profiles (/click and "
+        "/search?user=); single-engine serving only — the coordinator "
+        "frontend is document-free",
+    )
+    serve.add_argument(
+        "--gamma", type=float, default=None,
+        help="context-channel weight applied to personalized queries "
+        "that do not pass an explicit gamma= (default: 0.35)",
+    )
+    serve.add_argument(
+        "--session-capacity", type=int, default=None,
+        help="bound on resident sessions (least-recently-used eviction)",
+    )
+    serve.add_argument(
+        "--profile-capacity", type=int, default=None,
+        help="bound on resident profiles (least-recently-used eviction)",
     )
     return parser
 
@@ -510,13 +531,20 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.server import serve
+    from repro.personalize import ProfileStore, SessionStore
+    from repro.server import PersonalizationState, serve
 
     if args.ingest and args.shards > 0:
         raise SystemExit(
             "--ingest requires single-engine serving (drop --shards); "
             "shard workers hold forked index copies that live mutation "
             "cannot reach"
+        )
+    if args.profiles and args.shards > 0:
+        raise SystemExit(
+            "--profiles requires single-engine serving (drop --shards); "
+            "the coordinator frontend is document-free, so clicked "
+            "documents cannot be folded into user profiles"
         )
     pipeline = None
     if args.ingest:
@@ -572,6 +600,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"max_queue={serving_config.max_queue}",
             flush=True,
         )
+    session_kwargs = (
+        {"capacity": args.session_capacity}
+        if args.session_capacity is not None
+        else {}
+    )
+    profile_kwargs = (
+        {"capacity": args.profile_capacity}
+        if args.profile_capacity is not None
+        else {}
+    )
+    personalization_kwargs = (
+        {"default_gamma": args.gamma} if args.gamma is not None else {}
+    )
+    personalization = PersonalizationState(
+        sessions=SessionStore(**session_kwargs),
+        profiles=ProfileStore(**profile_kwargs) if args.profiles else None,
+        **personalization_kwargs,
+    )
+    if args.profiles:
+        print(
+            f"profiles enabled: capacity "
+            f"{personalization.profiles.capacity}, default gamma "
+            f"{personalization.default_gamma}",
+            flush=True,
+        )
     if pipeline is not None:
         pipeline.start(args.ingest_interval)
     serve(
@@ -580,6 +633,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         request_timeout=args.request_timeout,
         ingest=pipeline,
+        personalization=personalization,
     )
     return 0
 

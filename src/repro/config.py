@@ -127,10 +127,15 @@ class Bm25Config:
 
 @dataclass(frozen=True)
 class FusionConfig:
-    """Equation 3 score fusion: F = (1-beta)*BOW + beta*BON.
+    """Equation 3 score fusion: F = (1-beta)*BOW + beta*BON + gamma*CTX.
 
     Attributes:
         beta: weight on the Bag-Of-Node (subgraph embedding) channel.
+        gamma: weight on the optional personalization/session context
+            channel (profile or session subgraph nodes scored on the node
+            index).  ``0.0`` — the default — disables the channel entirely:
+            no context cursors are built and fusion is bit-identical to the
+            two-channel path.
         normalize: per-query max-normalize each channel before combining.
             Off by default: the paper combines raw BM25 scores, and raw
             magnitudes carry useful confidence — a query with a weak
@@ -142,11 +147,13 @@ class FusionConfig:
     """
 
     beta: float = 0.2
+    gamma: float = 0.0
     normalize: bool = False
     candidate_pool: int = 200
 
     def __post_init__(self) -> None:
         _require(0.0 <= self.beta <= 1.0, "beta must lie in [0, 1]")
+        _require(0.0 <= self.gamma <= 1.0, "gamma must lie in [0, 1]")
         _require(self.candidate_pool > 0, "candidate_pool must be positive")
 
 

@@ -13,8 +13,11 @@ from repro.data.datasets import (
     kaggle_like_config,
 )
 from repro.data.loaders import save_corpus_jsonl, load_corpus_jsonl
+from repro.data.sessions import UserSessionCase, generate_user_sessions
 
 __all__ = [
+    "UserSessionCase",
+    "generate_user_sessions",
     "save_corpus_jsonl",
     "load_corpus_jsonl",
     "NewsDocument",

@@ -1,0 +1,128 @@
+"""Synthetic user sessions: a seeded click model over planted topics.
+
+The personalization evaluation needs users with *coherent* interests and
+ground truth about what they would click next.  A synthetic world gives
+both for free: every non-noise document carries the ``topic_id`` of the
+planted event it was written about, so a user is modeled as an interest
+in one topic — their click history is a sample of that topic's documents
+and the *held-out* on-topic documents are the relevance labels a
+personalized ranking should surface (``repro.eval.personalization``
+scores exactly that).
+
+Session turns are short, deliberately underspecified queries drawn from
+the topic's entity mentions and vocabulary — the kind of follow-up
+("<entity> unrest") whose best answer depends on which conversation it
+appears in.  Everything is driven by one ``random.Random(seed)``: the
+same dataset and seed always produce the same users, clicks and turns.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.data.datasets import DatasetBundle
+from repro.data.document import NewsDocument
+
+
+@dataclass(frozen=True)
+class UserSessionCase:
+    """One simulated user: interest topic, history, labels, and turns.
+
+    Attributes:
+        user_id: stable synthetic id ("u000", "u001", ...).
+        topic_id: the planted event this user reads about.
+        history_clicks: doc ids the user clicked before evaluation —
+            these build the :class:`repro.personalize.UserProfile`.
+        held_out_clicks: on-topic doc ids *not* in the history; the
+            relevance labels the personalized ranking should recover.
+        queries: the session's turn queries, oldest first.
+    """
+
+    user_id: str
+    topic_id: str
+    history_clicks: tuple[str, ...]
+    held_out_clicks: tuple[str, ...]
+    queries: tuple[str, ...]
+
+
+def _topic_documents(dataset: DatasetBundle) -> dict[str, list[NewsDocument]]:
+    by_topic: dict[str, list[NewsDocument]] = {}
+    for doc in dataset.corpus:
+        if doc.topic_id:
+            by_topic.setdefault(doc.topic_id, []).append(doc)
+    return by_topic
+
+
+def _turn_queries(
+    dataset: DatasetBundle,
+    topic,
+    rng: random.Random,
+    num_turns: int,
+) -> tuple[str, ...]:
+    """Short ambiguous queries: one entity mention + one topical word."""
+    labels = [
+        dataset.world.graph.node(node_id).label
+        for node_id in topic.mention_pool
+    ]
+    queries = []
+    for _ in range(num_turns):
+        label = rng.choice(labels)
+        word = rng.choice(topic.vocabulary)
+        queries.append(f"{label} {word}")
+    return tuple(queries)
+
+
+def generate_user_sessions(
+    dataset: DatasetBundle,
+    num_users: int = 8,
+    history_clicks: int = 4,
+    held_out_clicks: int = 3,
+    num_turns: int = 3,
+    seed: int = 0,
+) -> list[UserSessionCase]:
+    """Simulated users with seeded click histories and session turns.
+
+    Each user is assigned a topic (round-robin over topics with enough
+    documents, topic order shuffled by ``seed``), clicks a random sample
+    of its documents, and holds out a disjoint on-topic sample as
+    relevance labels.  Deterministic for a given ``(dataset, seed)``.
+
+    Raises ``ValueError`` when no topic has
+    ``history_clicks + held_out_clicks`` documents to split.
+    """
+    if num_users <= 0:
+        raise ValueError("num_users must be positive")
+    if history_clicks <= 0 or held_out_clicks <= 0:
+        raise ValueError("click counts must be positive")
+    rng = random.Random(seed)
+    by_topic = _topic_documents(dataset)
+    topics = [
+        topic
+        for topic in dataset.topics
+        if len(by_topic.get(topic.topic_id, []))
+        >= history_clicks + held_out_clicks
+    ]
+    if not topics:
+        raise ValueError(
+            "no topic has enough documents for "
+            f"{history_clicks} history + {held_out_clicks} held-out clicks"
+        )
+    rng.shuffle(topics)
+    cases: list[UserSessionCase] = []
+    for index in range(num_users):
+        topic = topics[index % len(topics)]
+        docs = [doc.doc_id for doc in by_topic[topic.topic_id]]
+        rng.shuffle(docs)
+        history = tuple(docs[:history_clicks])
+        held_out = tuple(docs[history_clicks:history_clicks + held_out_clicks])
+        cases.append(
+            UserSessionCase(
+                user_id=f"u{index:03d}",
+                topic_id=topic.topic_id,
+                history_clicks=history,
+                held_out_clicks=held_out,
+                queries=_turn_queries(dataset, topic, rng, num_turns),
+            )
+        )
+    return cases

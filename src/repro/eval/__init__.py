@@ -6,7 +6,18 @@ simulated user study (Fig 5), and component timing (Fig 7, Table VIII).
 """
 
 from repro.eval.fasttext import FastTextModel
-from repro.eval.metrics import sim_at_k, hit_at_k, MetricTable
+from repro.eval.metrics import (
+    sim_at_k,
+    hit_at_k,
+    ndcg_at_k,
+    reciprocal_rank,
+    MetricTable,
+)
+from repro.eval.personalization import (
+    PersonalizationReport,
+    build_profile,
+    evaluate_personalization,
+)
 from repro.eval.queries import select_query_sentence, QueryCase, build_query_cases
 from repro.eval.tasks import PartialQueryTask, TaskScores
 from repro.eval.harness import (
@@ -39,7 +50,12 @@ __all__ = [
     "FastTextModel",
     "sim_at_k",
     "hit_at_k",
+    "ndcg_at_k",
+    "reciprocal_rank",
     "MetricTable",
+    "PersonalizationReport",
+    "build_profile",
+    "evaluate_personalization",
     "select_query_sentence",
     "QueryCase",
     "build_query_cases",

@@ -1,7 +1,14 @@
-"""Evaluation metrics: SIM@k (Equation 4) and HIT@k (§VII-B)."""
+"""Evaluation metrics: SIM@k (Equation 4), HIT@k (§VII-B), nDCG and MRR.
+
+nDCG@k and MRR are binary-relevance rank metrics used by the
+personalization evaluation (:mod:`repro.eval.personalization`): held-out
+clicks are the relevant set, and the question is how much higher a
+profile-aware ranking places them than the anonymous one.
+"""
 
 from __future__ import annotations
 
+import math
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -21,6 +28,39 @@ def sim_at_k(similarities: Sequence[float], k: int) -> float:
 def hit_at_k(query_doc_id: str, ranked_ids: Sequence[str], k: int) -> bool:
     """True when the query's source document appears in the top ``k``."""
     return query_doc_id in ranked_ids[:k]
+
+
+def ndcg_at_k(
+    relevant: set[str] | frozenset[str], ranked_ids: Sequence[str], k: int
+) -> float:
+    """Binary-relevance nDCG@k.
+
+    Gain is 1 for ids in ``relevant``, discounted by log2(rank+1); the
+    ideal ordering places all relevant ids first.  0.0 when ``relevant``
+    is empty or nothing relevant was ranked.
+    """
+    if not relevant or k <= 0:
+        return 0.0
+    dcg = sum(
+        1.0 / math.log2(rank + 1)
+        for rank, doc_id in enumerate(ranked_ids[:k], start=1)
+        if doc_id in relevant
+    )
+    ideal = sum(
+        1.0 / math.log2(rank + 1)
+        for rank in range(1, min(len(relevant), k) + 1)
+    )
+    return dcg / ideal
+
+
+def reciprocal_rank(
+    relevant: set[str] | frozenset[str], ranked_ids: Sequence[str]
+) -> float:
+    """1/rank of the first relevant id (0.0 when none is ranked)."""
+    for rank, doc_id in enumerate(ranked_ids, start=1):
+        if doc_id in relevant:
+            return 1.0 / rank
+    return 0.0
 
 
 @dataclass

@@ -23,7 +23,11 @@ from repro.obs.export import (
     render_prometheus,
     validate_prometheus_text,
 )
-from repro.obs.instruments import EngineInstruments, IngestInstruments
+from repro.obs.instruments import (
+    EngineInstruments,
+    IngestInstruments,
+    PersonalizationInstruments,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -49,6 +53,7 @@ __all__ = [
     "IngestInstruments",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PersonalizationInstruments",
     "Snapshot",
     "Span",
     "Tracer",

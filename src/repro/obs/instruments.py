@@ -119,7 +119,8 @@ class EngineInstruments:
         )
         self.cache_invalidations = registry.counter(
             "newslink_cache_invalidations_total",
-            "Cache flushes forced by a knowledge-graph version change",
+            "Cache entries flushed: knowledge-graph version changes and "
+            "query-LRU capacity evictions",
             labelnames=("cache",),
         )
         self.embed_seconds = embed_histogram(registry)
@@ -152,6 +153,11 @@ class EngineInstruments:
             "Cost-based query planner path decisions "
             "(ranking='auto' queries only)",
             labelnames=("path",),
+        )
+        self._personalized = registry.counter(
+            "newslink_personalized_queries_total",
+            "Queries ranked with an active profile/session context "
+            "channel (gamma > 0 and non-empty context terms)",
         )
         self._gstar = registry.counter(
             "newslink_gstar_total",
@@ -218,6 +224,7 @@ class EngineInstruments:
             self._planner_decisions.set(
                 query_stats.planner_exhaustive, path="exhaustive"
             )
+            self._personalized.set(query_stats.personalized_queries)
             search_stats = target.search_stats
             for counter in ("pops", "candidates", "relaxations", "heap_pushes"):
                 self._gstar.set(
@@ -245,6 +252,90 @@ class EngineInstruments:
                     report.serial_fallback_chunks,
                     counter="serial_fallback_chunks",
                 )
+            return None
+
+        self.registry.add_collector(collect)
+
+
+class PersonalizationInstruments:
+    """Metric handles for the profile/session stores.
+
+    Entirely collector-driven: the LRU stores
+    (:mod:`repro.personalize.store`) count their own hits, misses,
+    creations and evictions under their locks; a scrape-time collector
+    copies the snapshots into the ``newslink_session_*`` /
+    ``newslink_profile_*`` series.  Session-turn totals are derived from
+    the resident sessions at scrape time.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._sessions_active = registry.gauge(
+            "newslink_sessions_active",
+            "Sessions currently resident in the session store",
+        )
+        self._session_store = registry.counter(
+            "newslink_session_store_total",
+            "Session-store lifecycle events "
+            "(created, evicted, hit, miss)",
+            labelnames=("event",),
+        )
+        self._session_turns = registry.gauge(
+            "newslink_session_turns",
+            "Accumulated turns across all resident sessions",
+        )
+        self._profiles_active = registry.gauge(
+            "newslink_profiles_active",
+            "Profiles currently resident in the profile store",
+        )
+        self._profile_cache = registry.counter(
+            "newslink_profile_cache_total",
+            "Profile-store lifecycle events "
+            "(created, evicted, hit, miss)",
+            labelnames=("event",),
+        )
+        self._profile_clicks = registry.gauge(
+            "newslink_profile_clicks",
+            "Remembered clicks across all resident profiles",
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def bind(self, sessions, profiles=None) -> None:
+        """Register the scrape-time collector for the stores' counters."""
+        sessions_ref = weakref.ref(sessions)
+        profiles_ref = weakref.ref(profiles) if profiles is not None else None
+
+        def collect() -> bool | None:
+            session_store = sessions_ref()
+            if session_store is None:
+                return False
+            snap = session_store.snapshot()
+            self._sessions_active.set(snap["size"])
+            self._session_store.set(snap["created"], event="created")
+            self._session_store.set(snap["evictions"], event="evicted")
+            self._session_store.set(snap["hits"], event="hit")
+            self._session_store.set(snap["misses"], event="miss")
+            self._session_turns.set(
+                sum(s.num_turns for s in session_store.values_snapshot())
+            )
+            if profiles_ref is not None:
+                profile_store = profiles_ref()
+                if profile_store is not None:
+                    snap = profile_store.snapshot()
+                    self._profiles_active.set(snap["size"])
+                    self._profile_cache.set(snap["created"], event="created")
+                    self._profile_cache.set(snap["evictions"], event="evicted")
+                    self._profile_cache.set(snap["hits"], event="hit")
+                    self._profile_cache.set(snap["misses"], event="miss")
+                    self._profile_clicks.set(
+                        sum(
+                            p.num_clicks
+                            for p in profile_store.values_snapshot()
+                        )
+                    )
             return None
 
         self.registry.add_collector(collect)

@@ -1,0 +1,27 @@
+"""Personalized and session-aware search state.
+
+The third channel of Equation 3's fusion (``gamma``, see
+:mod:`repro.search.fusion`) blends a *context subgraph* into ranking:
+
+* :class:`UserProfile` — the union subgraph of a user's click history
+  (LKPNR-style personalization), incrementally updatable per click;
+* :class:`Session` — the accumulated query subgraph of a conversational
+  session (Schneider et al.), re-anchoring each follow-up turn and
+  doubling as a dialogue-style explanation context.
+
+Both expose ``bon_terms()`` — node ids scored on the engine's node
+index — so the pruned ranker, planner, and deadline plumbing are reused
+unchanged.  :class:`ProfileStore` / :class:`SessionStore` are the
+bounded, thread-safe LRU stores the HTTP server serves from.
+"""
+
+from repro.personalize.profile import UserProfile
+from repro.personalize.session import Session
+from repro.personalize.store import ProfileStore, SessionStore
+
+__all__ = [
+    "UserProfile",
+    "Session",
+    "ProfileStore",
+    "SessionStore",
+]

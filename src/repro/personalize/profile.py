@@ -1,0 +1,136 @@
+"""User profiles: the union subgraph of a click history.
+
+Following LKPNR (see PAPERS.md), a user's interest model is the union of
+the knowledge subgraphs of the documents they clicked.  Embeddings are
+already computed per document by the engine (``G*`` node counts), so a
+profile is maintained incrementally: each click folds one document's
+``node_counts`` into a running union, and evicting the oldest click
+subtracts it back out — no re-embedding, ever.
+
+The profile's ranking contribution is :meth:`UserProfile.bon_terms`:
+the top ``max_terms`` union nodes (by count, node-id tie-break) emitted
+in canonical sorted order with count repeats, exactly the shape
+:func:`repro.search.bon.bon_terms` produces for a query embedding.  The
+``revision`` counter versions the profile for the engine's query-cache
+key — any mutation invalidates cached personalized rankings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from typing import Mapping
+
+from repro.core.document_embedding import DocumentEmbedding
+
+#: Default bound on remembered clicks per profile.
+DEFAULT_MAX_CLICKS = 64
+#: Default bound on distinct context nodes contributed to ranking.
+DEFAULT_MAX_TERMS = 128
+
+
+class UserProfile:
+    """Bounded, incrementally-maintained click-history subgraph union."""
+
+    def __init__(
+        self,
+        user_id: str,
+        max_clicks: int = DEFAULT_MAX_CLICKS,
+        max_terms: int = DEFAULT_MAX_TERMS,
+    ) -> None:
+        if max_clicks <= 0:
+            raise ValueError("max_clicks must be positive")
+        if max_terms <= 0:
+            raise ValueError("max_terms must be positive")
+        self._user_id = user_id
+        self._max_clicks = max_clicks
+        self._max_terms = max_terms
+        # doc_id -> that click's node counts, in click order (oldest first).
+        self._clicks: OrderedDict[str, dict[str, int]] = OrderedDict()
+        self._counts: Counter[str] = Counter()
+        self._revision = 0
+        self._terms_cache: tuple[int, tuple[str, ...]] | None = None
+
+    @property
+    def user_id(self) -> str:
+        return self._user_id
+
+    @property
+    def profile_id(self) -> str:
+        """Cache-key identity (alias of ``user_id``)."""
+        return self._user_id
+
+    @property
+    def revision(self) -> int:
+        """Monotone mutation counter; part of the engine's cache key."""
+        return self._revision
+
+    @property
+    def num_clicks(self) -> int:
+        return len(self._clicks)
+
+    @property
+    def clicked_doc_ids(self) -> tuple[str, ...]:
+        """Remembered clicks, oldest first."""
+        return tuple(self._clicks)
+
+    @property
+    def node_counts(self) -> Mapping[str, int]:
+        """The live union's node multiset (read-only view)."""
+        return dict(self._counts)
+
+    def record_click(self, doc_id: str, embedding: DocumentEmbedding) -> None:
+        """Fold one clicked document's subgraph into the profile.
+
+        Re-clicking a remembered document refreshes its recency (and its
+        counts, should the document have been re-embedded since).  When
+        the click window overflows ``max_clicks`` the oldest click's
+        counts are subtracted back out of the union.
+        """
+        if doc_id in self._clicks:
+            self._subtract(self._clicks.pop(doc_id))
+        counts = dict(embedding.node_counts)
+        self._clicks[doc_id] = counts
+        self._counts.update(counts)
+        while len(self._clicks) > self._max_clicks:
+            _, evicted = self._clicks.popitem(last=False)
+            self._subtract(evicted)
+        self._revision += 1
+        self._terms_cache = None
+
+    def _subtract(self, counts: Mapping[str, int]) -> None:
+        self._counts.subtract(counts)
+        # Counter.subtract keeps zero/negative entries; drop them so the
+        # union stays an exact multiset of the remembered clicks.
+        for node in [n for n, c in self._counts.items() if c <= 0]:
+            del self._counts[node]
+
+    def bon_terms(self) -> tuple[str, ...]:
+        """Context-channel terms: capped union nodes, canonical order.
+
+        Deterministic for a given click history: the ``max_terms``
+        highest-count nodes are selected (node-id ascending on ties),
+        then emitted sorted by node id with each node repeated by its
+        count — the same canonical shape as a query embedding's BON
+        terms, so per-candidate score folds are order-stable.
+        """
+        cached = self._terms_cache
+        if cached is not None and cached[0] == self._revision:
+            return cached[1]
+        selected = sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        selected = sorted(selected[: self._max_terms])
+        terms = tuple(
+            node for node, count in selected for _ in range(count)
+        )
+        self._terms_cache = (self._revision, terms)
+        return terms
+
+    def as_dict(self) -> dict[str, object]:
+        """Stats/diagnostics payload (not a serialization format)."""
+        return {
+            "user_id": self._user_id,
+            "revision": self._revision,
+            "clicks": len(self._clicks),
+            "distinct_nodes": len(self._counts),
+            "max_clicks": self._max_clicks,
+            "max_terms": self._max_terms,
+        }

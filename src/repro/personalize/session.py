@@ -1,0 +1,153 @@
+"""Conversational session state: the accumulated query subgraph.
+
+Exploratory search is rarely one-shot (Schneider et al., PAPERS.md): a
+follow-up query like *"what about the peace talks?"* should re-anchor on
+the entities of the turns before it.  A :class:`Session` accumulates the
+query subgraph across turns — each :meth:`advance` folds the turn's
+query embedding (graphs **and** node counts) into the running context —
+and contributes that context to ranking through the same ``gamma``
+fusion channel a :class:`repro.personalize.profile.UserProfile` uses.
+
+The retained segment graphs additionally let the LCAG path explanations
+speak with session context: :meth:`dialogue_embedding` unions the
+accumulated graphs with the current query's, producing an embedding the
+engine's ``explanation``/``explain_verbalized`` machinery consumes
+directly, so the rendered paths read as a dialogue summary of the whole
+session, not just the last utterance.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.ancestor_graph import CommonAncestorGraph
+from repro.core.document_embedding import DocumentEmbedding, union_embedding
+
+#: Default bound on remembered turns per session.
+DEFAULT_MAX_TURNS = 16
+#: Default bound on distinct context nodes contributed to ranking.
+DEFAULT_MAX_TERMS = 128
+
+
+class _Turn:
+    __slots__ = ("query", "counts", "graphs")
+
+    def __init__(
+        self,
+        query: str,
+        counts: dict[str, int],
+        graphs: tuple[CommonAncestorGraph, ...],
+    ) -> None:
+        self.query = query
+        self.counts = counts
+        self.graphs = graphs
+
+
+class Session:
+    """Bounded accumulated query subgraph across conversation turns."""
+
+    def __init__(
+        self,
+        session_id: str,
+        max_turns: int = DEFAULT_MAX_TURNS,
+        max_terms: int = DEFAULT_MAX_TERMS,
+    ) -> None:
+        if max_turns <= 0:
+            raise ValueError("max_turns must be positive")
+        if max_terms <= 0:
+            raise ValueError("max_terms must be positive")
+        self._session_id = session_id
+        self._max_turns = max_turns
+        self._max_terms = max_terms
+        self._turns: list[_Turn] = []
+        self._counts: Counter[str] = Counter()
+        self._revision = 0
+        self._terms_cache: tuple[int, tuple[str, ...]] | None = None
+
+    @property
+    def session_id(self) -> str:
+        return self._session_id
+
+    @property
+    def revision(self) -> int:
+        """Monotone mutation counter; part of the engine's cache key."""
+        return self._revision
+
+    @property
+    def num_turns(self) -> int:
+        return len(self._turns)
+
+    @property
+    def turns(self) -> tuple[str, ...]:
+        """The remembered turn queries, oldest first."""
+        return tuple(turn.query for turn in self._turns)
+
+    def advance(self, query: str, embedding: DocumentEmbedding) -> None:
+        """Fold one turn's query embedding into the session context.
+
+        Turns beyond ``max_turns`` age out oldest-first, subtracting
+        their node counts back out so the context tracks the window
+        exactly.
+        """
+        counts = dict(embedding.node_counts)
+        self._turns.append(_Turn(query, counts, tuple(embedding.graphs)))
+        self._counts.update(counts)
+        while len(self._turns) > self._max_turns:
+            evicted = self._turns.pop(0)
+            self._counts.subtract(evicted.counts)
+            for node in [n for n, c in self._counts.items() if c <= 0]:
+                del self._counts[node]
+        self._revision += 1
+        self._terms_cache = None
+
+    def reset(self) -> None:
+        """Forget all accumulated context (new conversation thread)."""
+        self._turns.clear()
+        self._counts.clear()
+        self._revision += 1
+        self._terms_cache = None
+
+    def bon_terms(self) -> tuple[str, ...]:
+        """Context-channel terms, canonical sorted order with repeats.
+
+        Same selection rule as :meth:`UserProfile.bon_terms`: the
+        ``max_terms`` highest-count nodes (node-id tie-break), emitted
+        sorted by node id repeated by count.
+        """
+        cached = self._terms_cache
+        if cached is not None and cached[0] == self._revision:
+            return cached[1]
+        selected = sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        selected = sorted(selected[: self._max_terms])
+        terms = tuple(
+            node for node, count in selected for _ in range(count)
+        )
+        self._terms_cache = (self._revision, terms)
+        return terms
+
+    def dialogue_embedding(
+        self, query_embedding: DocumentEmbedding | None = None
+    ) -> DocumentEmbedding:
+        """Session context (optionally ∪ the current query) as an embedding.
+
+        Feeding this to the engine's explanation machinery renders LCAG
+        paths against the *whole conversation's* subgraph, so the
+        verbalized connections double as dialogue-style explanations.
+        """
+        graphs: list[CommonAncestorGraph] = []
+        for turn in self._turns:
+            graphs.extend(turn.graphs)
+        if query_embedding is not None:
+            graphs.extend(query_embedding.graphs)
+        return union_embedding(f"__session__{self._session_id}", tuple(graphs))
+
+    def as_dict(self) -> dict[str, object]:
+        """Stats/diagnostics payload (not a serialization format)."""
+        return {
+            "session_id": self._session_id,
+            "revision": self._revision,
+            "turns": len(self._turns),
+            "distinct_nodes": len(self._counts),
+            "max_turns": self._max_turns,
+            "max_terms": self._max_terms,
+        }

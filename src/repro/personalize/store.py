@@ -1,0 +1,173 @@
+"""Bounded, thread-safe LRU stores for profiles and sessions.
+
+The HTTP server keeps per-user and per-session state here.  Both stores
+are strict LRUs: capacity overflow evicts the least-recently-*used*
+entry (reads refresh recency), and every eviction/creation/lookup is
+counted so :class:`repro.obs.PersonalizationInstruments` can export the
+``newslink_session_*`` / ``newslink_profile_*`` gauges and counters.
+
+``ProfileStore.get`` passes through the ``session.profile_load`` fault
+point (:mod:`repro.reliability.faults`) so the failure-injection suite
+can drill a profile-backend outage: an injected fault surfaces as a 500
+from ``/search`` without poisoning the store.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Iterator
+
+from repro.personalize.profile import UserProfile
+from repro.personalize.session import Session
+from repro.reliability import faults
+
+#: Default bound on resident profiles / sessions.
+DEFAULT_CAPACITY = 1024
+
+
+class _LruStore:
+    """Shared LRU mechanics; subclasses provide the entry factory."""
+
+    def __init__(self, capacity: int, factory: Callable[[str], object]) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._factory = factory
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.RLock()
+        self._created = 0
+        self._evictions = 0
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        with self._lock:
+            return iter(tuple(self._entries))
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def peek(self, key: str):
+        """Lookup without creating (returns None when absent)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+            else:
+                self._misses += 1
+            return entry
+
+    def get_or_create(self, key: str):
+        """Lookup, creating (and possibly evicting LRU) on miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry
+            self._misses += 1
+            entry = self._factory(key)
+            self._entries[key] = entry
+            self._created += 1
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return entry
+
+    def discard(self, key: str) -> bool:
+        """Drop an entry; returns whether it existed."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def values_snapshot(self) -> tuple:
+        """Resident entries, without touching recency or hit counters.
+
+        For observability collectors: scrapes must not perturb the LRU
+        order or the lookup statistics they report.
+        """
+        with self._lock:
+            return tuple(self._entries.values())
+
+    def snapshot(self) -> dict[str, int]:
+        """Counter snapshot for observability collectors."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self._capacity,
+                "created": self._created,
+                "evictions": self._evictions,
+                "hits": self._hits,
+                "misses": self._misses,
+            }
+
+
+class ProfileStore(_LruStore):
+    """LRU of :class:`UserProfile`, keyed by user id."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        max_clicks: int | None = None,
+        max_terms: int | None = None,
+    ) -> None:
+        kwargs: dict[str, int] = {}
+        if max_clicks is not None:
+            kwargs["max_clicks"] = max_clicks
+        if max_terms is not None:
+            kwargs["max_terms"] = max_terms
+        super().__init__(capacity, lambda uid: UserProfile(uid, **kwargs))
+
+    def get(self, user_id: str) -> UserProfile:
+        """The user's profile, created on first sight.
+
+        Fault point ``session.profile_load`` fires here — the first
+        touch of per-user state on a request path.
+        """
+        if faults.ACTIVE:
+            faults.fire("session.profile_load")
+        return self.get_or_create(user_id)  # type: ignore[return-value]
+
+
+class SessionStore(_LruStore):
+    """LRU of :class:`Session`, keyed by session id.
+
+    Ids are minted by :meth:`create` from a monotone counter — opaque,
+    process-local, and deterministic (no wall clock, no randomness), so
+    tests and replayed traffic see stable ids.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        max_turns: int | None = None,
+        max_terms: int | None = None,
+    ) -> None:
+        kwargs: dict[str, int] = {}
+        if max_turns is not None:
+            kwargs["max_turns"] = max_turns
+        if max_terms is not None:
+            kwargs["max_terms"] = max_terms
+        super().__init__(capacity, lambda sid: Session(sid, **kwargs))
+        self._next_id = 0
+
+    def create(self) -> Session:
+        """Mint a new session with a fresh id."""
+        with self._lock:
+            self._next_id += 1
+            session_id = f"s{self._next_id:06d}"
+        return self.get_or_create(session_id)  # type: ignore[return-value]
+
+    def get(self, session_id: str) -> Session | None:
+        """Lookup an existing session (None when unknown/evicted)."""
+        return self.peek(session_id)  # type: ignore[return-value]

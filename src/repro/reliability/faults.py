@@ -51,6 +51,7 @@ CATALOG: frozenset[str] = frozenset(
         "ingest.wal_sync",  # WAL fsync batching, before the fsync call
         "ingest.apply",  # delta apply into the live engine
         "ingest.checkpoint",  # compaction, between snapshot and manifest
+        "session.profile_load",  # profile-store lookup on the search path
     }
 )
 

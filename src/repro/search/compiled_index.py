@@ -392,16 +392,19 @@ def _build_cursors(
     snapshots: tuple[CompiledPostings, CompiledPostings],
     bow_terms: Sequence[str],
     bon_terms: Sequence[str],
-    channel_weights: tuple[float, float],
+    channel_weights: tuple[float, float, float],
+    profile_terms: Sequence[str] = (),
 ) -> list[_BlockCursor]:
     cursors: list[_BlockCursor] = []
     ordinal = 0
-    for channel, terms in enumerate((bow_terms, bon_terms)):
+    for channel, terms in enumerate((bow_terms, bon_terms, profile_terms)):
         channel_weight = channel_weights[channel]
         if channel_weight <= 0.0 or not terms:
             continue
-        scorer = scorers[channel]
-        snapshot = snapshots[channel]
+        # Channel 2 (context) scores on the node index, same as BON.
+        source = min(channel, 1)
+        scorer = scorers[source]
+        snapshot = snapshots[source]
         for term, weight in Counter(terms).items():
             table = scorer.compiled_term(term, snapshot)
             if table is None:
@@ -446,32 +449,35 @@ def fused_top_k(
     bon_terms: Sequence[str],
     k: int,
     fusion: FusionConfig | None = None,
+    profile_terms: Sequence[str] = (),
 ) -> tuple[list[FusedHit], QueryStats]:
     """Compiled block-max variant of :meth:`FusedRanker.top_k`.
 
     Both snapshots must intern into ``universe`` (the same dense int
     space) — :meth:`FusedRanker` guarantees this by reusing each index's
     own snapshot when the doc sets coincide and compiling against the
-    sorted union otherwise.  Output is bit-identical to the reference.
+    sorted union otherwise.  ``profile_terms`` (context channel, weighted
+    by ``fusion.gamma``) score on the node snapshot.  Output is
+    bit-identical to the reference.
     """
     fusion = fusion or FusionConfig()
     beta = fusion.beta
-    channel_weights = (1.0 - beta, beta)
+    channel_weights = (1.0 - beta, beta, fusion.gamma)
     stats = QueryStats(queries=1, pruned_queries=1)
     if k <= 0:
         return [], stats
     cursors = _build_cursors(
-        scorers, snapshots, bow_terms, bon_terms, channel_weights
+        scorers, snapshots, bow_terms, bon_terms, channel_weights, profile_terms
     )
     if not cursors:
         return [], stats
     cursors.sort(key=lambda c: c.eff_bound)
     prefix = _prefix_bounds(cursors)
 
-    # Min-heap of (score, -doc_int, bow_sum, bon_sum): ints are interned
-    # in sorted order, so -doc_int reverses doc order exactly like the
-    # reference's _ReverseStr wrapper (repro.search.order).
-    heap: list[tuple[float, int, float, float]] = []
+    # Min-heap of (score, -doc_int, bow_sum, bon_sum, ctx_sum): ints are
+    # interned in sorted order, so -doc_int reverses doc order exactly
+    # like the reference's _ReverseStr wrapper (repro.search.order).
+    heap: list[tuple[float, int, float, float, float]] = []
     threshold = float("-inf")
     first_essential = 0
 
@@ -552,8 +558,8 @@ def fused_top_k(
                 # Exact score: per-channel left folds in query-term
                 # order, combined exactly like the reference ranker.
                 matches.sort(key=lambda c: c.ordinal)
-                sums = [0.0, 0.0]
-                matched = [False, False]
+                sums = [0.0, 0.0, 0.0]
+                matched = [False, False, False]
                 for cursor in matches:
                     contribution = cursor.contrib[cursor.position]
                     sums[cursor.channel] = (
@@ -567,12 +573,15 @@ def fused_top_k(
                     score = channel_weights[0] * sums[0]
                 if matched[1]:
                     score = score + channel_weights[1] * sums[1]
+                if matched[2]:
+                    score = score + channel_weights[2] * sums[2]
                 stats.candidates_examined += 1
                 entry = (
                     score,
                     -candidate,
                     sums[0] if matched[0] else 0.0,
                     sums[1] if matched[1] else 0.0,
+                    sums[2] if matched[2] else 0.0,
                 )
                 if len(heap) < k:
                     heapq.heappush(heap, entry)
@@ -595,8 +604,8 @@ def fused_top_k(
     ranked = sorted(heap, key=lambda entry: (-entry[0], -entry[1]))
     return (
         [
-            FusedHit(universe[-neg_doc], score, bow, bon)
-            for score, neg_doc, bow, bon in ranked
+            FusedHit(universe[-neg_doc], score, bow, bon, ctx)
+            for score, neg_doc, bow, bon, ctx in ranked
         ],
         stats,
     )

@@ -31,7 +31,7 @@ from repro.core.document_embedding import (
     SegmentEmbedder,
     embed_document,
 )
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, NamedTuple, Sequence
 
 from repro.core.explain import RelationshipPath, explain_pair, verbalize_path
 
@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.cache import CacheStats
     from repro.core.presentation import Explanation, ExplanationOptions
     from repro.parallel.merge import IndexReport
+    from repro.personalize import Session, UserProfile
     from repro.search.snippets import Snippet
 from repro.core.lcag import LcagEmbedder, SearchStats
 from repro.core.tree_emb import TreeEmbedder
@@ -78,6 +79,8 @@ class SearchResult:
         score: the fused Equation 3 score.
         bow_score: the text channel's (normalized) contribution basis.
         bon_score: the node channel's (normalized) contribution basis.
+        profile_score: the personalization/session context channel's
+            contribution basis (0.0 for anonymous queries or gamma=0).
         degraded: True when the query's deadline expired and this result
             came from the text-only fallback ranking.
         degraded_reason: human-readable reason for the degradation
@@ -88,6 +91,7 @@ class SearchResult:
     score: float
     bow_score: float
     bon_score: float
+    profile_score: float = 0.0
     degraded: bool = False
     degraded_reason: str | None = None
 
@@ -108,6 +112,21 @@ class _Crc32Writer:
     def write(self, data: str) -> None:
         self.crc = zlib.crc32(data.encode("utf-8"), self.crc)
         self._fh.write(data)
+
+
+class _QueryContext(NamedTuple):
+    """Resolved personalization context for one query.
+
+    ``key`` is the hashable identity — ``(kind, id, revision)`` triples
+    for the supplied profile/session — that, together with ``gamma``,
+    distinguishes this query's cache entry from the anonymous one and
+    from any other context revision.  ``terms`` are the context-channel
+    node terms the ranking consumes.
+    """
+
+    key: tuple
+    terms: tuple[str, ...]
+    gamma: float
 
 
 class NewsLinkEngine:
@@ -177,8 +196,12 @@ class NewsLinkEngine:
         self._snippet_generator = None
         self._embeddings: dict[str, DocumentEmbedding] = {}
         self._texts: dict[str, str] = {}
+        # Keyed (text, graph_version, context_key, gamma): personalized
+        # and anonymous variants of the same query text are distinct
+        # entries — see _cached_query_state and docs/personalization.md.
         self._query_cache: OrderedDict[
-            str, tuple[ProcessedDocument, DocumentEmbedding]
+            tuple,
+            tuple[ProcessedDocument, DocumentEmbedding, tuple[str, ...]],
         ] = OrderedDict()
         self._last_index_report: "IndexReport | None" = None
         # The mmap-backed bundle the frozen stores view into (None when
@@ -534,6 +557,38 @@ class NewsLinkEngine:
             )
         return processed, embedding
 
+    def _resolve_context(
+        self,
+        profile: "UserProfile | None",
+        session: "Session | None",
+        gamma: float | None,
+    ) -> _QueryContext | None:
+        """Fold profile/session into a :class:`_QueryContext` (or None).
+
+        ``gamma`` defaults to the configured ``fusion.gamma``.  Returns
+        None — the anonymous context, bit-identical to two-channel
+        ranking — when no state is supplied, the effective gamma is 0,
+        or the supplied state contributes no terms (e.g. a profile with
+        no clicks yet).
+        """
+        if gamma is None:
+            gamma = self._config.fusion.gamma
+        elif not 0.0 <= gamma <= 1.0:
+            raise DataError(f"gamma must lie in [0, 1], got {gamma!r}")
+        if gamma <= 0.0 or (profile is None and session is None):
+            return None
+        key: list[tuple[str, str, int]] = []
+        terms: list[str] = []
+        if profile is not None:
+            key.append(("p", profile.profile_id, profile.revision))
+            terms.extend(profile.bon_terms())
+        if session is not None:
+            key.append(("s", session.session_id, session.revision))
+            terms.extend(session.bon_terms())
+        if not terms:
+            return None
+        return _QueryContext(tuple(key), tuple(terms), gamma)
+
     def query_state(
         self,
         text: str,
@@ -546,12 +601,53 @@ class NewsLinkEngine:
         the resulting term lists to the shards."""
         return self._query_state(text, timing=timing, deadline=deadline)
 
+    def contextual_query_state(
+        self,
+        text: str,
+        profile: "UserProfile | None" = None,
+        session: "Session | None" = None,
+        gamma: float | None = None,
+        timing: TimingBreakdown | None = None,
+        deadline: Deadline | None = None,
+    ) -> tuple[ProcessedDocument, DocumentEmbedding, tuple[str, ...], float]:
+        """:meth:`query_state` plus the resolved context channel.
+
+        Returns ``(processed, embedding, context_terms, gamma)`` where
+        ``context_terms``/``gamma`` are ``()``/``0.0`` for anonymous
+        queries.  This is what the scatter-gather coordinator calls on
+        its document-free frontend: the context terms ship to the shards
+        alongside the query term lists, so shard workers stay stateless.
+        """
+        context = self._resolve_context(profile, session, gamma)
+        processed, embedding, ctx_terms = self._cached_query_state(
+            text, timing, deadline, context
+        )
+        return (
+            processed,
+            embedding,
+            ctx_terms,
+            context.gamma if context is not None else 0.0,
+        )
+
     def _query_state(
         self,
         text: str,
         timing: TimingBreakdown | None = None,
         deadline: Deadline | None = None,
     ) -> tuple[ProcessedDocument, DocumentEmbedding]:
+        """Anonymous :meth:`_cached_query_state` (the common case)."""
+        processed, embedding, _ = self._cached_query_state(
+            text, timing, deadline, None
+        )
+        return processed, embedding
+
+    def _cached_query_state(
+        self,
+        text: str,
+        timing: TimingBreakdown | None,
+        deadline: Deadline | None,
+        context: _QueryContext | None,
+    ) -> tuple[ProcessedDocument, DocumentEmbedding, tuple[str, ...]]:
         """:meth:`process_query` behind a small LRU.
 
         Queries depend only on the pipeline and graph — never on the
@@ -561,6 +657,19 @@ class NewsLinkEngine:
         ``explain*`` calls for the same query costs one embedding.  On a
         hit, zero-duration nlp/ne entries keep timing breakdowns shaped
         the same as on a miss.
+
+        **Cache-key contract:** entries are keyed on
+        ``(text, graph_version, context_key, gamma)`` — never on text
+        alone.  The cached value includes the context terms the ranking
+        consumes, so a personalized entry served for an anonymous query
+        (or vice versa, or across profile/session revisions) would leak
+        one user's ranking state into another's results; the full key
+        makes such cross-contamination structurally impossible.  The
+        graph version is part of the key as defense in depth even though
+        a version change also flushes the LRU wholesale.  Capacity
+        evictions are counted under
+        ``newslink_cache_invalidations_total{cache="query"}``.
+        Regression-tested in ``tests/search/test_stale_cache.py``.
 
         **Deadline contract:** a cache hit deliberately never consults
         ``deadline``.  The budget exists to bound the *expensive* NE
@@ -572,10 +681,14 @@ class NewsLinkEngine:
         self._sync_graph_version()
         obs = self._obs
         limit = self._config.query_cache_size
+        if context is None:
+            key = (text, self._graph_version_seen, None, 0.0)
+        else:
+            key = (text, self._graph_version_seen, context.key, context.gamma)
         if limit:
-            state = self._query_cache.get(text)
+            state = self._query_cache.get(key)
             if state is not None:
-                self._query_cache.move_to_end(text)
+                self._query_cache.move_to_end(key)
                 if timing is not None:
                     timing.add("nlp", 0.0)
                     timing.add("ne", 0.0)
@@ -591,13 +704,22 @@ class NewsLinkEngine:
             if span is not None:
                 span.annotate("query_cache", "miss")
         if deadline is None:
-            state = self.process_query(text, timing=timing)
+            processed, embedding = self.process_query(text, timing=timing)
         else:
-            state = self.process_query(text, timing=timing, deadline=deadline)
+            processed, embedding = self.process_query(
+                text, timing=timing, deadline=deadline
+            )
+        state = (
+            processed,
+            embedding,
+            context.terms if context is not None else (),
+        )
         if limit:
-            self._query_cache[text] = state
+            self._query_cache[key] = state
             if len(self._query_cache) > limit:
                 self._query_cache.popitem(last=False)
+                if obs.enabled:
+                    obs.cache_invalidations.inc(cache="query")
         return state
 
     def search(
@@ -608,6 +730,10 @@ class NewsLinkEngine:
         beta: float | None = None,
         ranking: str | None = None,
         deadline_ms: float | None = None,
+        profile: "UserProfile | None" = None,
+        session: "Session | None" = None,
+        gamma: float | None = None,
+        advance_session: bool = False,
     ) -> list[SearchResult]:
         """Top-``k`` search with Equation 3 fusion.
 
@@ -617,6 +743,16 @@ class NewsLinkEngine:
         (``"pruned"`` / ``"exhaustive"``) per query, which is how the
         differential tests and the latency benchmark compare both paths
         on a single index.
+
+        ``profile`` / ``session`` supply personalization context
+        (:mod:`repro.personalize`): their subgraph nodes are blended as
+        Equation 3's third channel, weighted by ``gamma`` (default
+        ``fusion.gamma``).  With ``gamma=0`` or no context the result is
+        bit-identical to the anonymous two-channel ranking.
+        ``advance_session=True`` additionally folds this query's
+        embedding into ``session`` after ranking (conversational
+        re-anchoring) — skipped when the query degrades, since no
+        embedding was computed.
 
         ``deadline_ms`` bounds the whole query (overriding
         :attr:`EngineConfig.deadline_ms` for this call).  When the
@@ -637,7 +773,10 @@ class NewsLinkEngine:
         timing = timing or TimingBreakdown()
         obs = self._obs
         if not obs.enabled:
-            return self._search_impl(text, k, timing, beta, ranking, deadline_ms)
+            return self._search_impl(
+                text, k, timing, beta, ranking, deadline_ms,
+                profile, session, gamma, advance_session,
+            )
         stage_totals_before = dict(timing.totals)
         start = time.perf_counter()
         with obs.tracer.span("query", query=text, k=k) as span:
@@ -646,7 +785,8 @@ class NewsLinkEngine:
                 timing.span = span
             try:
                 results = self._search_impl(
-                    text, k, timing, beta, ranking, deadline_ms
+                    text, k, timing, beta, ranking, deadline_ms,
+                    profile, session, gamma, advance_session,
                 )
             finally:
                 timing.span = previous_span
@@ -671,22 +811,42 @@ class NewsLinkEngine:
         beta: float | None,
         ranking: str | None,
         deadline_ms: float | None,
+        profile: "UserProfile | None" = None,
+        session: "Session | None" = None,
+        gamma: float | None = None,
+        advance_session: bool = False,
     ) -> list[SearchResult]:
         """The uninstrumented serving path (see :meth:`search`)."""
+        context = self._resolve_context(profile, session, gamma)
+        ctx_gamma = context.gamma if context is not None else None
         budget = self._config.deadline_ms if deadline_ms is None else deadline_ms
         if budget is None:
-            _, query_embedding = self._query_state(text, timing=timing)
-            with timing.measure("ns"):
-                return self._rank(text, query_embedding, k, beta, ranking)
-        deadline = Deadline(budget)
-        try:
-            _, query_embedding = self._query_state(
-                text, timing=timing, deadline=deadline
+            _, query_embedding, ctx_terms = self._cached_query_state(
+                text, timing, None, context
             )
-        except DeadlineExpiredError as exc:
-            return self._search_degraded(text, k, timing, ranking, str(exc))
+        else:
+            deadline = Deadline(budget)
+            try:
+                _, query_embedding, ctx_terms = self._cached_query_state(
+                    text, timing, deadline, context
+                )
+            except DeadlineExpiredError as exc:
+                # Degradation drops the context channel along with BON:
+                # both need the embedding work the deadline just denied.
+                return self._search_degraded(text, k, timing, ranking, str(exc))
         with timing.measure("ns"):
-            return self._rank(text, query_embedding, k, beta, ranking)
+            results = self._rank(
+                text,
+                query_embedding,
+                k,
+                beta,
+                ranking,
+                profile_terms=ctx_terms,
+                gamma=ctx_gamma,
+            )
+        if advance_session and session is not None:
+            session.advance(text, query_embedding)
+        return results
 
     def _search_degraded(
         self,
@@ -739,6 +899,8 @@ class NewsLinkEngine:
         k: int,
         beta: float | None = None,
         ranking: str | None = None,
+        profile_terms: Sequence[str] = (),
+        gamma: float | None = None,
     ) -> list[SearchResult]:
         fusion = self._config.fusion
         if beta is not None and beta != fusion.beta:
@@ -750,7 +912,15 @@ class NewsLinkEngine:
             if beta > 0.0 and not query_embedding.is_empty
             else []
         )
-        return self.rank_terms(bow_query, bon_query, k, beta=beta, ranking=ranking)
+        return self.rank_terms(
+            bow_query,
+            bon_query,
+            k,
+            beta=beta,
+            ranking=ranking,
+            profile_terms=profile_terms,
+            gamma=gamma,
+        )
 
     def rank_terms(
         self,
@@ -759,20 +929,30 @@ class NewsLinkEngine:
         k: int,
         beta: float | None = None,
         ranking: str | None = None,
+        profile_terms: Sequence[str] | None = None,
+        gamma: float | None = None,
     ) -> list[SearchResult]:
         """Rank from already-analyzed query terms (the NS stage alone).
 
         ``bow_query`` are analyzed text terms, ``bon_query`` the node
-        terms of the query's subgraph embedding (``bon_terms``).  This is
-        the entry point shard workers serve: the coordinator runs the
-        NLP and NE stages once and scatters the term lists, so every
-        shard ranks without re-embedding the query.  Produces exactly
-        what :meth:`search` produces for the same terms — the planner,
-        pruned and exhaustive paths all flow through here.
+        terms of the query's subgraph embedding (``bon_terms``);
+        ``profile_terms`` are optional personalization/session context
+        nodes weighted by ``gamma``.  This is the entry point shard
+        workers serve: the coordinator runs the NLP and NE stages once
+        and scatters the term lists (context included — shards hold no
+        per-user state), so every shard ranks without re-embedding the
+        query.  Produces exactly what :meth:`search` produces for the
+        same terms — the planner, pruned and exhaustive paths all flow
+        through here.
         """
         fusion = self._config.fusion
         if beta is not None and beta != fusion.beta:
             fusion = replace(fusion, beta=beta)
+        if gamma is not None:
+            if not 0.0 <= gamma <= 1.0:
+                raise DataError(f"gamma must lie in [0, 1], got {gamma!r}")
+            if gamma != fusion.gamma:
+                fusion = replace(fusion, gamma=gamma)
         beta = fusion.beta
         if ranking is None:
             ranking = self._config.ranking
@@ -782,9 +962,19 @@ class NewsLinkEngine:
             )
         bow_query = list(bow_query) if beta < 1.0 else []
         bon_query = list(bon_query) if beta > 0.0 else []
+        profile_query = (
+            list(profile_terms)
+            if profile_terms and fusion.gamma > 0.0
+            else []
+        )
+        if profile_query:
+            self._query_stats.merge(QueryStats(personalized_queries=1))
+            self._annotate_path_attr("personalized", len(profile_query))
         if ranking != "exhaustive" and supports_pruned_ranking(fusion):
             if ranking == "auto":
-                decision = self._planner.plan(bow_query, bon_query, k, fusion)
+                decision = self._planner.plan(
+                    bow_query, bon_query, k, fusion, profile_terms=profile_query
+                )
                 self._query_stats.merge(
                     QueryStats(
                         planner_pruned=int(decision.path == "pruned"),
@@ -793,9 +983,23 @@ class NewsLinkEngine:
                 )
                 self._annotate_planner(decision)
                 if decision.path == "exhaustive":
-                    return self._rank_exhaustive(bow_query, bon_query, k, fusion)
-            return self._rank_pruned(bow_query, bon_query, k, fusion)
-        return self._rank_exhaustive(bow_query, bon_query, k, fusion)
+                    return self._rank_exhaustive(
+                        bow_query, bon_query, profile_query, k, fusion
+                    )
+            return self._rank_pruned(
+                bow_query, bon_query, profile_query, k, fusion
+            )
+        return self._rank_exhaustive(
+            bow_query, bon_query, profile_query, k, fusion
+        )
+
+    def _annotate_path_attr(self, name: str, value) -> None:
+        """Tag the active query span with an arbitrary attribute."""
+        obs = self._obs
+        if obs.enabled:
+            span = obs.tracer.current
+            if span is not None:
+                span.annotate(name, value)
 
     def _annotate_planner(self, decision) -> None:
         """Tag the active query span with the planner's cost estimate."""
@@ -809,11 +1013,14 @@ class NewsLinkEngine:
         self,
         bow_query: list[str],
         bon_query: list[str],
+        profile_query: list[str],
         k: int,
         fusion,
     ) -> list[SearchResult]:
         """The dynamic-pruning fast path (identical results, less work)."""
-        hits, stats = self._fused_ranker.top_k(bow_query, bon_query, k, fusion)
+        hits, stats = self._fused_ranker.top_k(
+            bow_query, bon_query, k, fusion, profile_terms=profile_query
+        )
         self._query_stats.merge(stats)
         self._annotate_path("pruned")
         return [
@@ -822,6 +1029,7 @@ class NewsLinkEngine:
                 score=hit.score,
                 bow_score=hit.bow_score,
                 bon_score=hit.bon_score,
+                profile_score=hit.profile_score,
             )
             for hit in hits
         ]
@@ -830,6 +1038,7 @@ class NewsLinkEngine:
         self,
         bow_query: list[str],
         bon_query: list[str],
+        profile_query: list[str],
         k: int,
         fusion,
     ) -> list[SearchResult]:
@@ -838,16 +1047,21 @@ class NewsLinkEngine:
         Required whenever the complete fused map is needed — per-query
         max-normalization (``fusion.normalize``) or callers that want
         every matching document's score.  The term lists arrive already
-        gated by beta (:meth:`rank_terms` empties the unused channel).
+        gated by beta/gamma (:meth:`rank_terms` empties unused channels).
         """
         beta = fusion.beta
         bow_scores: dict[str, float] = {}
         bon_scores: dict[str, float] = {}
+        profile_scores: dict[str, float] = {}
         if beta < 1.0:
             bow_scores = self._text_scorer.score(bow_query)
         if beta > 0.0 and bon_query:
             bon_scores = self._node_scorer.score(bon_query)
-        fused = fuse_scores(bow_scores, bon_scores, fusion)
+        if fusion.gamma > 0.0 and profile_query:
+            profile_scores = self._node_scorer.score(profile_query)
+        fused = fuse_scores(
+            bow_scores, bon_scores, fusion, profile_scores=profile_scores
+        )
         ranked = top_k(fused, k)
         self._query_stats.merge(
             QueryStats(
@@ -864,6 +1078,7 @@ class NewsLinkEngine:
                 score=score,
                 bow_score=bow_scores.get(doc_id, 0.0),
                 bon_score=bon_scores.get(doc_id, 0.0),
+                profile_score=profile_scores.get(doc_id, 0.0),
             )
             for doc_id, score in ranked
         ]

@@ -1,8 +1,15 @@
 """Equation 3 score fusion.
 
-``F(T_q, T_c) = (1 - beta) * F_BOW(T_q, T_c) + beta * F_BON(G*_q, G*_c)``
+``F(T_q, T_c) = (1 - beta) * F_BOW(T_q, T_c) + beta * F_BON(G*_q, G*_c)
++ gamma * F_CTX(G*_u, G*_c)``
 
-Both channels are BM25 scores, combined raw by default as in the paper:
+The optional third term blends a personalization/session context subgraph
+(the union of a user's click-history embeddings, or the accumulated query
+subgraph of a conversational session — see :mod:`repro.personalize`)
+scored on the same node index as the BON channel.  With ``gamma = 0`` the
+term vanishes and fusion is bit-identical to the two-channel form.
+
+All channels are BM25 scores, combined raw by default as in the paper:
 raw magnitudes carry confidence, so a query whose subgraph embedding is
 weak naturally contributes little BON mass.  Per-query max-normalization
 is available as an option and compared in
@@ -46,13 +53,24 @@ def fuse_scores(
     bow_scores: Mapping[str, float],
     bon_scores: Mapping[str, float],
     config: FusionConfig | None = None,
+    profile_scores: Mapping[str, float] | None = None,
 ) -> dict[str, float]:
-    """Combine the two channels per Equation 3."""
+    """Combine the channels per Equation 3.
+
+    ``profile_scores`` is the optional context channel (profile/session
+    subgraph nodes scored on the node index), weighted by
+    ``config.gamma``.  Passing ``None``/empty — or ``gamma = 0`` — skips
+    the loop entirely, so the two-channel result is reproduced without a
+    single extra floating-point operation.
+    """
     config = config or FusionConfig()
     beta = config.beta
+    gamma = config.gamma
     if config.normalize:
         bow_scores = _max_normalize(bow_scores)
         bon_scores = _max_normalize(bon_scores)
+        if profile_scores:
+            profile_scores = _max_normalize(profile_scores)
     fused: dict[str, float] = {}
     if beta < 1.0:
         for doc_id, score in bow_scores.items():
@@ -60,4 +78,7 @@ def fuse_scores(
     if beta > 0.0:
         for doc_id, score in bon_scores.items():
             fused[doc_id] = fused.get(doc_id, 0.0) + beta * score
+    if gamma > 0.0 and profile_scores:
+        for doc_id, score in profile_scores.items():
+            fused[doc_id] = fused.get(doc_id, 0.0) + gamma * score
     return fused

@@ -123,23 +123,25 @@ class QueryPlanner:
         bon_terms: Sequence[str],
         k: int,
         fusion: FusionConfig | None = None,
+        profile_terms: Sequence[str] = (),
     ) -> PlanDecision:
         """Estimate both paths' costs and pick the cheaper one."""
         fusion = fusion or FusionConfig()
         beta = fusion.beta
-        channel_weights = (1.0 - beta, beta)
+        channel_weights = (1.0 - beta, beta, fusion.gamma)
         cfg = self._config
         scorers = self._ranker.scorers
 
         # Cheap features first: document frequency per distinct
         # (channel, term), straight from the index — no snapshot needed.
+        # Channel 2 (context) scores on the node index, same as BON.
         entries: list[tuple[int, str, float, float, int]] = []
         total = 0
-        for channel, terms in enumerate((bow_terms, bon_terms)):
+        for channel, terms in enumerate((bow_terms, bon_terms, profile_terms)):
             channel_weight = channel_weights[channel]
             if channel_weight <= 0.0 or not terms:
                 continue
-            index = scorers[channel].index
+            index = scorers[min(channel, 1)].index
             for term, weight in Counter(terms).items():
                 df = index.doc_frequency(term)
                 if df == 0:
@@ -170,7 +172,8 @@ class QueryPlanner:
         snapshots, _ = self._ranker.compiled_state()
         cursors: list[tuple[int, float, float, object]] = []
         for channel, term, weight, channel_weight, df in entries:
-            table = scorers[channel].compiled_term(term, snapshots[channel])
+            source = min(channel, 1)
+            table = scorers[source].compiled_term(term, snapshots[source])
             if table is None:
                 continue
             eff = channel_weight * (weight * table.upper)

@@ -8,10 +8,15 @@ NS component instead "employ[s] existing top-k ranking algorithms [49],
 fast path: a MaxScore-style document-at-a-time ranker that walks the
 posting lists of *both* indexes at once under the Equation 3 weighted sum
 
-``F = (1 - beta) * F_BOW + beta * F_BON``
+``F = (1 - beta) * F_BOW + beta * F_BON + gamma * F_CTX``
 
 with per-term upper bounds scaled by the channel weights, so a document
-is scored only when it could still enter the top k.
+is scored only when it could still enter the top k.  The optional CTX
+channel carries personalization/session context nodes
+(:mod:`repro.personalize`) scored on the *same* node index as BON; with
+``gamma = 0`` or no context terms it contributes no cursors, and both
+control flow and float summation order are exactly the two-channel
+ranker's.
 
 Exactness
 ---------
@@ -83,12 +88,16 @@ class QueryStats:
             pruned path (``ranking="auto"`` only).
         planner_exhaustive: queries the planner routed to the
             exhaustive path (``ranking="auto"`` only).
+        personalized_queries: queries ranked with an active context
+            channel (non-empty profile/session terms and ``gamma > 0``);
+            always also counted in ``queries``.
     """
 
     queries: int = 0
     pruned_queries: int = 0
     fallback_queries: int = 0
     degraded_queries: int = 0
+    personalized_queries: int = 0
     matching_docs: int = 0
     candidates_examined: int = 0
     docs_pruned: int = 0
@@ -119,6 +128,7 @@ class FusedHit(NamedTuple):
     score: float
     bow_score: float
     bon_score: float
+    profile_score: float = 0.0
 
 
 class _FusedCursor:
@@ -282,15 +292,18 @@ class FusedRanker:
         self,
         bow_terms: Sequence[str],
         bon_terms: Sequence[str],
-        channel_weights: tuple[float, float],
+        channel_weights: tuple[float, float, float],
+        profile_terms: Sequence[str] = (),
     ) -> list[_FusedCursor]:
         cursors: list[_FusedCursor] = []
         ordinal = 0
-        for channel, terms in enumerate((bow_terms, bon_terms)):
+        # Channel 2 (context) scores on the node index, same as BON.
+        scorers = (self._scorers[0], self._scorers[1], self._scorers[1])
+        for channel, terms in enumerate((bow_terms, bon_terms, profile_terms)):
             channel_weight = channel_weights[channel]
             if channel_weight <= 0.0 or not terms:
                 continue
-            scorer = self._scorers[channel]
+            scorer = scorers[channel]
             index = scorer.index
             for term, weight in Counter(terms).items():
                 postings = index.sorted_postings(term)
@@ -332,14 +345,17 @@ class FusedRanker:
         k: int,
         fusion: FusionConfig | None = None,
         backend: str | None = None,
+        profile_terms: Sequence[str] = (),
     ) -> tuple[list[FusedHit], QueryStats]:
         """The top-``k`` documents under the fused Equation 3 score.
 
         ``bow_terms`` are analyzed text terms; ``bon_terms`` are the
-        query embedding's BON node ids.  Returns the ranked hits and the
-        query's pruning counters.  ``backend`` overrides the ranker's
-        default (``"compiled"`` or ``"reference"``); both return
-        bit-identical output.
+        query embedding's BON node ids; ``profile_terms`` are optional
+        personalization/session context nodes weighted by
+        ``fusion.gamma``.  Returns the ranked hits and the query's
+        pruning counters.  ``backend`` overrides the ranker's default
+        (``"compiled"`` or ``"reference"``); both return bit-identical
+        output.
         """
         if backend is None:
             backend = self._backend
@@ -353,25 +369,34 @@ class FusedRanker:
 
             snapshots, universe = self.compiled_state()
             return fused_top_k(
-                self._scorers, snapshots, universe, bow_terms, bon_terms, k, fusion
+                self._scorers,
+                snapshots,
+                universe,
+                bow_terms,
+                bon_terms,
+                k,
+                fusion,
+                profile_terms=profile_terms,
             )
         fusion = fusion or FusionConfig()
         beta = fusion.beta
-        channel_weights = (1.0 - beta, beta)
+        channel_weights = (1.0 - beta, beta, fusion.gamma)
         stats = QueryStats(queries=1, pruned_queries=1)
         if k <= 0:
             return [], stats
-        cursors = self._build_cursors(bow_terms, bon_terms, channel_weights)
+        cursors = self._build_cursors(
+            bow_terms, bon_terms, channel_weights, profile_terms
+        )
         if not cursors:
             return [], stats
         cursors.sort(key=lambda c: c.eff_bound)
         prefix = self._prefix_bounds(cursors)
-        scorers = self._scorers
+        scorers = (self._scorers[0], self._scorers[1], self._scorers[1])
 
-        # Min-heap of (score, reversed-doc-id, bow_sum, bon_sum): the
-        # worst kept entry sits at the root; between equal scores the
-        # worst is the largest doc id (see wand._ReverseStr).
-        heap: list[tuple[float, _ReverseStr, float, float]] = []
+        # Min-heap of (score, reversed-doc-id, bow_sum, bon_sum,
+        # ctx_sum): the worst kept entry sits at the root; between equal
+        # scores the worst is the largest doc id (see wand._ReverseStr).
+        heap: list[tuple[float, _ReverseStr, float, float, float]] = []
         threshold = float("-inf")
         first_essential = 0
 
@@ -429,8 +454,8 @@ class FusedRanker:
                     # Exact score: per-channel left folds in query-term
                     # order, combined exactly like fuse_scores.
                     matches.sort(key=lambda c: c.ordinal)
-                    sums = [0.0, 0.0]
-                    matched = [False, False]
+                    sums = [0.0, 0.0, 0.0]
+                    matched = [False, False, False]
                     for cursor in matches:
                         contribution = scorers[cursor.channel].term_contribution(
                             cursor.term, cursor.current_tf, candidate
@@ -446,12 +471,15 @@ class FusedRanker:
                         score = channel_weights[0] * sums[0]
                     if matched[1]:
                         score = score + channel_weights[1] * sums[1]
+                    if matched[2]:
+                        score = score + channel_weights[2] * sums[2]
                     stats.candidates_examined += 1
                     entry = (
                         score,
                         _ReverseStr(candidate),
                         sums[0] if matched[0] else 0.0,
                         sums[1] if matched[1] else 0.0,
+                        sums[2] if matched[2] else 0.0,
                     )
                     if len(heap) < k:
                         heapq.heappush(heap, entry)
@@ -480,8 +508,8 @@ class FusedRanker:
         )
         return (
             [
-                FusedHit(rev.value, score, bow, bon)
-                for score, rev, bow, bon in ranked
+                FusedHit(rev.value, score, bow, bon, ctx)
+                for score, rev, bow, bon, ctx in ranked
             ],
             stats,
         )

@@ -7,9 +7,21 @@ engine the corresponding service surface using only the standard library:
 * ``GET /health``                         — liveness, index size, degradation counters
 * ``GET /search?q=...&k=5&beta=0.2``      — ranked results with snippets
   (``deadline_ms=50`` bounds the query; expired queries come back
-  ``degraded`` instead of failing)
+  ``degraded`` instead of failing).  Personalization rides along:
+  ``session=<id>`` re-anchors the query on the conversation so far and
+  advances the session; ``user=<id>`` blends the user's click-history
+  profile (single-engine serving only); ``gamma=`` overrides the
+  context-channel weight (defaults to :data:`DEFAULT_GAMMA` whenever a
+  session or user is given, 0 otherwise)
 * ``GET /explain?q=...&doc=<doc_id>``     — shared entities + paths
+  (``session=<id>`` renders them against the whole conversation's
+  subgraph — dialogue-style explanations)
 * ``GET /document?id=<doc_id>``           — the stored raw text
+* ``POST /session``                       — mint a conversational session
+* ``GET /session?id=<sid>``               — session diagnostics
+* ``POST /session/reset?id=<sid>``        — forget accumulated context
+* ``POST /click?user=<uid>&doc=<doc_id>`` — fold a clicked document's
+  subgraph into the user's profile (single-engine serving only)
 * ``GET /metrics``                        — Prometheus text exposition
   (the unified registry: latency histograms, cache hit/miss, degraded
   and G* counters; see ``docs/observability.md``)
@@ -60,9 +72,11 @@ from repro.errors import (
 )
 from repro.obs import (
     PROMETHEUS_CONTENT_TYPE,
+    PersonalizationInstruments,
     render_json,
     render_prometheus,
 )
+from repro.personalize import ProfileStore, SessionStore
 from repro.search.engine import NewsLinkEngine
 
 #: Default seconds an accepted connection may idle before its request
@@ -71,13 +85,18 @@ from repro.search.engine import NewsLinkEngine
 #: once bytes went missing mid-stream there is no safe write to make).
 REQUEST_TIMEOUT_S = 30.0
 
+#: Context-channel weight applied when ``/search`` carries a session or
+#: user but no explicit ``gamma=``.  Strong enough to re-rank on shared
+#: context, weak enough that the query's own two channels still dominate.
+DEFAULT_GAMMA = 0.35
+
 
 def _is_coordinator(target: object) -> bool:
     """Duck-typed: a sharded coordinator (vs a single engine)."""
     return hasattr(target, "search_detailed")
 
 
-def _search_payload(target, params: dict) -> dict:
+def _search_payload(target, params: dict, personalization) -> dict:
     query = params.get("q", [""])[0]
     if not query:
         raise _BadRequest("missing required parameter: q")
@@ -88,17 +107,54 @@ def _search_payload(target, params: dict) -> dict:
     deadline_ms = float(deadline_values[0]) if deadline_values else None
     if deadline_ms is not None and deadline_ms <= 0:
         raise _BadRequest("deadline_ms must be positive")
+    session_values = params.get("session")
+    session = (
+        personalization.session(session_values[0]) if session_values else None
+    )
+    user_values = params.get("user")
+    profile = (
+        personalization.profile(target, user_values[0])
+        if user_values
+        else None
+    )
+    gamma_values = params.get("gamma")
+    gamma = float(gamma_values[0]) if gamma_values else None
+    if gamma is None and (session is not None or profile is not None):
+        gamma = personalization.default_gamma
+    # Captured *before* the search advances the session: "personalized"
+    # mirrors the engine's gate for THIS query — a context channel only
+    # engages when gamma is positive and the profile/session had terms.
+    has_context = bool(
+        (profile is not None and profile.bon_terms())
+        or (session is not None and session.bon_terms())
+    )
     partial = False
     failed_shards: tuple[int, ...] = ()
     if _is_coordinator(target):
         outcome = target.search_detailed(
-            query, k, beta=beta, deadline_ms=deadline_ms
+            query,
+            k,
+            beta=beta,
+            deadline_ms=deadline_ms,
+            profile=profile,
+            session=session,
+            gamma=gamma,
+            advance_session=session is not None,
         )
         results = outcome.results
         partial = outcome.partial
         failed_shards = outcome.failed_shards
     else:
-        results = target.search(query, k=k, beta=beta, deadline_ms=deadline_ms)
+        results = target.search(
+            query,
+            k=k,
+            beta=beta,
+            deadline_ms=deadline_ms,
+            profile=profile,
+            session=session,
+            gamma=gamma,
+            advance_session=session is not None,
+        )
     degraded = bool(results) and results[0].degraded
     payload = []
     for rank, result in enumerate(results, start=1):
@@ -110,11 +166,21 @@ def _search_payload(target, params: dict) -> dict:
                 "score": result.score,
                 "bow_score": result.bow_score,
                 "bon_score": result.bon_score,
+                "profile_score": result.profile_score,
                 "degraded": result.degraded,
                 "snippet": snippet.text,
             }
         )
     body = {"query": query, "k": k, "degraded": degraded, "results": payload}
+    body["personalized"] = bool(
+        gamma is not None and gamma > 0.0 and has_context and not degraded
+    )
+    if session is not None:
+        body["session"] = {
+            "id": session.session_id,
+            "turns": session.num_turns,
+            "advanced": not degraded,
+        }
     if degraded:
         body["degraded_reason"] = results[0].degraded_reason
     if _is_coordinator(target):
@@ -124,13 +190,27 @@ def _search_payload(target, params: dict) -> dict:
     return body
 
 
-def _explain_payload(target, params: dict) -> dict:
+def _explain_payload(target, params: dict, personalization) -> dict:
     query = params.get("q", [""])[0]
     doc_id = params.get("doc", [""])[0]
     if not query or not doc_id:
         raise _BadRequest("missing required parameters: q and doc")
-    explanation = target.explanation(query, doc_id)
-    return {
+    session_values = params.get("session")
+    query_embedding = None
+    session_id = None
+    if session_values:
+        # Dialogue-style explanation: LCAG paths are rendered against
+        # the conversation's accumulated subgraph (which, after a
+        # session search, already contains the current query's turn),
+        # so the connections explain the whole thread of questions.
+        session = personalization.session(session_values[0])
+        session_id = session.session_id
+        if session.num_turns:
+            query_embedding = session.dialogue_embedding()
+    explanation = target.explanation(
+        query, doc_id, query_embedding=query_embedding
+    )
+    body = {
         "query": query,
         "doc_id": doc_id,
         "shared_entities": list(explanation.shared_entity_labels),
@@ -138,6 +218,43 @@ def _explain_payload(target, params: dict) -> dict:
         "novelty": explanation.novelty,
         "total_nodes": explanation.total_nodes,
     }
+    if session_id is not None:
+        body["session"] = session_id
+    return body
+
+
+def _session_info_payload(personalization, params: dict) -> dict:
+    session_id = params.get("id", [""])[0]
+    if not session_id:
+        raise _BadRequest("missing required parameter: id")
+    return personalization.session(session_id).as_dict()
+
+
+def _session_create_payload(personalization) -> dict:
+    session = personalization.sessions.create()
+    return {"session_id": session.session_id}
+
+
+def _session_reset_payload(personalization, params: dict) -> dict:
+    session_id = params.get("id", [""])[0]
+    if not session_id:
+        raise _BadRequest("missing required parameter: id")
+    session = personalization.session(session_id)
+    session.reset()
+    return session.as_dict()
+
+
+def _click_payload(target, params: dict, personalization) -> dict:
+    user_id = params.get("user", [""])[0]
+    doc_id = params.get("doc", [""])[0]
+    if not user_id or not doc_id:
+        raise _BadRequest("missing required parameters: user and doc")
+    profile = personalization.profile(target, user_id)
+    # Raises DocumentNotIndexedError (mapped to 404) for unknown docs,
+    # so a bad click can never poison the profile.
+    embedding = target.embedding(doc_id)
+    profile.record_click(doc_id, embedding)
+    return profile.as_dict()
 
 
 def _document_payload(target, params: dict) -> dict:
@@ -147,7 +264,7 @@ def _document_payload(target, params: dict) -> dict:
     return {"doc_id": doc_id, "text": target.document_text(doc_id)}
 
 
-def _health_payload(target, ingest=None) -> dict:
+def _health_payload(target, ingest=None, personalization=None) -> dict:
     if _is_coordinator(target):
         body = {
             "status": "ok",
@@ -172,13 +289,20 @@ def _health_payload(target, ingest=None) -> dict:
             name: state.breaker.state
             for name, state in ingest.source_states.items()
         }
+    if personalization is not None:
+        body["sessions"] = len(personalization.sessions)
+        if personalization.profiles is not None:
+            body["profiles"] = len(personalization.profiles)
     return body
 
 
-def _stats_payload(target, ingest=None) -> dict:
+def _stats_payload(target, ingest=None, personalization=None) -> dict:
     """The registry plus the raw stats silos as one JSON document."""
     if _is_coordinator(target):
-        return target.stats_payload()
+        body = target.stats_payload()
+        if personalization is not None:
+            body["personalization"] = personalization.stats_payload()
+        return body
     snapshot = target.metrics_registry.snapshot()
     body: dict = {
         "indexed": target.num_indexed,
@@ -198,6 +322,8 @@ def _stats_payload(target, ingest=None) -> dict:
         body["index"] = load_info
     if ingest is not None:
         body["ingest"] = ingest.stats_payload()
+    if personalization is not None:
+        body["personalization"] = personalization.stats_payload()
     return body
 
 
@@ -209,6 +335,72 @@ def _metrics_snapshot(target) -> dict:
 
 class _BadRequest(Exception):
     pass
+
+
+class _NotFound(Exception):
+    pass
+
+
+class PersonalizationState:
+    """Server-side conversational + per-user search state.
+
+    Sessions are always available — they live entirely on the frontend
+    (accumulated *query* subgraphs), so they work identically against a
+    single engine and a sharded coordinator.  Profiles additionally need
+    per-document embeddings to fold clicks in, and the coordinator
+    frontend is document-free, so the profile store exists only under
+    single-engine serving (the CLI's ``--profiles`` flag).
+    """
+
+    def __init__(
+        self,
+        sessions: SessionStore | None = None,
+        profiles: ProfileStore | None = None,
+        default_gamma: float = DEFAULT_GAMMA,
+    ) -> None:
+        self.sessions = sessions if sessions is not None else SessionStore()
+        self.profiles = profiles
+        self.default_gamma = default_gamma
+        self._instruments: PersonalizationInstruments | None = None
+
+    def bind_instruments(self, registry) -> None:
+        """Export the stores' counters through ``registry`` (idempotent)."""
+        if self._instruments is not None:
+            return
+        instruments = PersonalizationInstruments(registry)
+        instruments.bind(self.sessions, self.profiles)
+        self._instruments = instruments
+
+    def session(self, session_id: str):
+        """A live session by id; 404s when unknown or evicted."""
+        session = self.sessions.get(session_id)
+        if session is None:
+            raise _NotFound(f"unknown session: {session_id}")
+        return session
+
+    def profile(self, target, user_id: str):
+        """The user's profile; 400s when profiles cannot serve here."""
+        if _is_coordinator(target):
+            raise _BadRequest(
+                "user profiles require single-engine serving: the "
+                "coordinator frontend is document-free and cannot fold "
+                "clicked documents into a profile"
+            )
+        if self.profiles is None:
+            raise _BadRequest(
+                "user profiles are not enabled on this server "
+                "(start it with --profiles)"
+            )
+        return self.profiles.get(user_id)
+
+    def stats_payload(self) -> dict:
+        body: dict = {
+            "default_gamma": self.default_gamma,
+            "sessions": self.sessions.snapshot(),
+        }
+        if self.profiles is not None:
+            body["profiles"] = self.profiles.snapshot()
+        return body
 
 
 class NewsLinkHTTPServer(ThreadingHTTPServer):
@@ -227,7 +419,10 @@ class NewsLinkHTTPServer(ThreadingHTTPServer):
 
 
 def make_handler(
-    target, request_timeout: float = REQUEST_TIMEOUT_S, ingest=None
+    target,
+    request_timeout: float = REQUEST_TIMEOUT_S,
+    ingest=None,
+    personalization: PersonalizationState | None = None,
 ) -> type[BaseHTTPRequestHandler]:
     """A request-handler class bound to ``target`` (engine or coordinator).
 
@@ -236,7 +431,21 @@ def make_handler(
     the same engine between requests, never during one — and ``/stats``
     and ``/health`` grow an ``ingest`` section (WAL, DLQ, per-source
     breaker health, freshness percentiles).
+
+    ``personalization`` defaults to a fresh :class:`PersonalizationState`
+    with sessions only; pass one with a :class:`ProfileStore` to enable
+    per-user profiles (single-engine serving).  Its store counters are
+    bound into the target's metrics registry so ``/metrics`` exports the
+    ``newslink_session_*`` / ``newslink_profile_*`` series.
     """
+    if personalization is None:
+        personalization = PersonalizationState()
+    registry = (
+        target.frontend.metrics_registry
+        if _is_coordinator(target)
+        else target.metrics_registry
+    )
+    personalization.bind_instruments(registry)
 
     class NewsLinkHandler(BaseHTTPRequestHandler):
         # Socket timeout for mid-request stalls: a client that goes
@@ -279,6 +488,46 @@ def make_handler(
             super().handle_one_request()
 
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            self._dispatch("POST")
+
+        def _route(self, method: str, path: str, params: dict):
+            """Payload for one request; None when already replied."""
+            if method == "GET":
+                if path == "/health":
+                    return _health_payload(target, ingest, personalization)
+                if path == "/search":
+                    return _search_payload(target, params, personalization)
+                if path == "/explain":
+                    return _explain_payload(target, params, personalization)
+                if path == "/document":
+                    return _document_payload(target, params)
+                if path == "/session":
+                    return _session_info_payload(personalization, params)
+                if path == "/metrics":
+                    self._reply_text(
+                        200,
+                        render_prometheus(_metrics_snapshot(target)),
+                        PROMETHEUS_CONTENT_TYPE,
+                    )
+                    return None
+                if path == "/stats":
+                    return _stats_payload(target, ingest, personalization)
+            elif method == "POST":
+                if path == "/session":
+                    return _session_create_payload(personalization)
+                if path == "/session/reset":
+                    return _session_reset_payload(personalization, params)
+                if path == "/click":
+                    return _click_payload(target, params, personalization)
+            self._reply(
+                404, {"error": f"unknown path {path} for {method}"}
+            )
+            return None
+
+        def _dispatch(self, method: str) -> None:
             parsed = urlparse(self.path)
             params = parse_qs(parsed.query)
             guard = (
@@ -288,32 +537,13 @@ def make_handler(
             )
             try:
                 with guard:
-                    if parsed.path == "/health":
-                        body = _health_payload(target, ingest)
-                    elif parsed.path == "/search":
-                        body = _search_payload(target, params)
-                    elif parsed.path == "/explain":
-                        body = _explain_payload(target, params)
-                    elif parsed.path == "/document":
-                        body = _document_payload(target, params)
-                    elif parsed.path == "/metrics":
-                        self._reply_text(
-                            200,
-                            render_prometheus(_metrics_snapshot(target)),
-                            PROMETHEUS_CONTENT_TYPE,
-                        )
-                        return
-                    elif parsed.path == "/stats":
-                        body = _stats_payload(target, ingest)
-                    else:
-                        self._reply(
-                            404, {"error": f"unknown path {parsed.path}"}
-                        )
+                    body = self._route(method, parsed.path, params)
+                    if body is None:
                         return
             except _BadRequest as exc:
                 self._reply(400, {"error": str(exc)})
                 return
-            except DocumentNotIndexedError as exc:
+            except (_NotFound, DocumentNotIndexedError) as exc:
                 self._reply(404, {"error": str(exc)})
                 return
             except OverloadShedError as exc:
@@ -395,10 +625,12 @@ def make_server(
     port: int = 0,
     request_timeout: float = REQUEST_TIMEOUT_S,
     ingest=None,
+    personalization: PersonalizationState | None = None,
 ) -> NewsLinkHTTPServer:
     """A ready-to-run server (``port=0`` picks a free port)."""
     return NewsLinkHTTPServer(
-        (host, port), make_handler(target, request_timeout, ingest)
+        (host, port),
+        make_handler(target, request_timeout, ingest, personalization),
     )
 
 
@@ -431,6 +663,7 @@ def serve(
     install_signals: bool | None = None,
     stop_event: threading.Event | None = None,
     ingest=None,
+    personalization: PersonalizationState | None = None,
 ) -> None:
     """Serve until SIGTERM/SIGINT (or ``stop_event``), then drain.
 
@@ -442,7 +675,9 @@ def serve(
     and closes the target (terminating shard workers when the target is
     a coordinator) before returning.
     """
-    server = make_server(target, host, port, request_timeout, ingest)
+    server = make_server(
+        target, host, port, request_timeout, ingest, personalization
+    )
     stop = stop_event or threading.Event()
     if install_signals is None:
         install_signals = (

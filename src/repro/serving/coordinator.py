@@ -203,11 +203,23 @@ class Coordinator:
         beta: float | None = None,
         ranking: str | None = None,
         deadline_ms: float | None = None,
+        profile=None,
+        session=None,
+        gamma: float | None = None,
+        advance_session: bool = False,
     ) -> list[SearchResult]:
         """Merged top-``k`` (drops the completeness flags; see
         :meth:`search_detailed`)."""
         return self.search_detailed(
-            text, k, beta=beta, ranking=ranking, deadline_ms=deadline_ms
+            text,
+            k,
+            beta=beta,
+            ranking=ranking,
+            deadline_ms=deadline_ms,
+            profile=profile,
+            session=session,
+            gamma=gamma,
+            advance_session=advance_session,
         ).results
 
     def search_detailed(
@@ -217,6 +229,10 @@ class Coordinator:
         beta: float | None = None,
         ranking: str | None = None,
         deadline_ms: float | None = None,
+        profile=None,
+        session=None,
+        gamma: float | None = None,
+        advance_session: bool = False,
     ) -> GatherOutcome:
         """Admission → embed once → scatter → gather → merge.
 
@@ -225,6 +241,13 @@ class Coordinator:
         and/or partial).  The deadline bounds admission waiting and the
         NE stage — ranking itself always runs to completion, exactly
         like the single engine's deadline contract.
+
+        ``profile`` / ``session`` / ``gamma`` personalize exactly like
+        :meth:`NewsLinkEngine.search`: context terms are resolved on the
+        document-free frontend and shipped inside the scatter payload,
+        so shard workers stay stateless.  ``advance_session=True`` folds
+        the query embedding into ``session`` after a non-degraded
+        gather.
         """
         budget = (
             self._frontend.config.deadline_ms
@@ -243,7 +266,8 @@ class Coordinator:
             raise
         try:
             outcome, degraded = self._search_admitted(
-                text, k, beta, ranking, deadline
+                text, k, beta, ranking, deadline,
+                profile, session, gamma, advance_session,
             )
         finally:
             self._admission.release()
@@ -271,6 +295,10 @@ class Coordinator:
         beta: float | None,
         ranking: str | None,
         deadline: Deadline | None,
+        profile=None,
+        session=None,
+        gamma: float | None = None,
+        advance_session: bool = False,
     ) -> tuple[GatherOutcome, bool]:
         """The post-admission serving path; returns (outcome, degraded)."""
         frontend = self._frontend
@@ -283,10 +311,17 @@ class Coordinator:
         effective_beta = fusion.beta
         degraded = False
         degraded_reason: str | None = None
+        query_embedding = None
         embed_start = time.perf_counter() if obs.enabled else 0.0
         try:
-            _, query_embedding = frontend.query_state(
-                text, deadline=deadline
+            _, query_embedding, ctx_terms, ctx_gamma = (
+                frontend.contextual_query_state(
+                    text,
+                    profile=profile,
+                    session=session,
+                    gamma=gamma,
+                    deadline=deadline,
+                )
             )
             bow = (
                 frontend.analyzer.analyze(text)
@@ -300,12 +335,14 @@ class Coordinator:
             )
         except DeadlineExpiredError as exc:
             # Same fallback as NewsLinkEngine._search_degraded: rank the
-            # text channel alone (beta=0) and flag every result.
+            # text channel alone (beta=0, context dropped) and flag
+            # every result.
             degraded = True
             degraded_reason = str(exc)
             effective_beta = 0.0
             bow = frontend.analyzer.analyze(text)
             bon = []
+            ctx_terms, ctx_gamma = (), 0.0
         if obs.enabled:
             obs.request_latency.observe(
                 time.perf_counter() - embed_start, stage="embed"
@@ -317,6 +354,8 @@ class Coordinator:
             "k": k,
             "beta": effective_beta,
             "ranking": ranking,
+            "profile": list(ctx_terms),
+            "gamma": ctx_gamma,
         }
         scatter_start = time.perf_counter() if obs.enabled else 0.0
         replies = self._group.scatter(
@@ -351,6 +390,13 @@ class Coordinator:
             partial=bool(failed),
             failed_shards=tuple(failed),
         )
+        if (
+            advance_session
+            and session is not None
+            and not degraded
+            and query_embedding is not None
+        ):
+            session.advance(text, query_embedding)
         return outcome, degraded
 
     # -- single-document requests (routed to the owning shard) ---------
@@ -378,12 +424,18 @@ class Coordinator:
             self._config.gather_timeout_ms,
         )
 
-    def explanation(self, query_text: str, doc_id: str) -> "Explanation":
+    def explanation(
+        self, query_text: str, doc_id: str, query_embedding=None
+    ) -> "Explanation":
         """A presentable explanation; the query embeds at the frontend
         (LRU-shared with :meth:`search`), paths compute on the owning
-        shard where the result embedding lives."""
+        shard where the result embedding lives.  ``query_embedding``
+        overrides the query's own embedding — the server passes a
+        session's dialogue embedding here so explanations re-anchor on
+        the whole conversation."""
         shard_id = self._shard_of(doc_id)
-        _, query_embedding = self._frontend.query_state(query_text)
+        if query_embedding is None:
+            _, query_embedding = self._frontend.query_state(query_text)
         return self._group.request(
             shard_id,
             "explain",

@@ -71,12 +71,18 @@ class ShardReply(NamedTuple):
 def _handle_request(engine: "NewsLinkEngine", kind: str, payload: dict) -> Any:
     """Serve one request against the (shard) engine.  Runs in the worker."""
     if kind == "search":
+        # "profile"/"gamma" are optional for wire compatibility with
+        # coordinators that predate the personalization channel; context
+        # terms are computed once on the frontend, so shard workers stay
+        # stateless.
         return engine.rank_terms(
             payload["bow"],
             payload["bon"],
             payload["k"],
             beta=payload.get("beta"),
             ranking=payload.get("ranking"),
+            profile_terms=payload.get("profile"),
+            gamma=payload.get("gamma"),
         )
     if kind == "snippet":
         return engine.snippet(payload["query"], payload["doc_id"])

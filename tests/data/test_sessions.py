@@ -1,0 +1,70 @@
+"""Tests for the synthetic user-session generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import generate_user_sessions
+
+
+class TestGeneration:
+    def test_shapes(self, tiny_dataset):
+        cases = generate_user_sessions(
+            tiny_dataset,
+            num_users=5,
+            history_clicks=2,
+            held_out_clicks=2,
+            num_turns=3,
+            seed=0,
+        )
+        assert len(cases) == 5
+        for case in cases:
+            assert len(case.history_clicks) == 2
+            assert len(case.held_out_clicks) == 2
+            assert len(case.queries) == 3
+            assert all(query.strip() for query in case.queries)
+
+    def test_user_ids_are_stable(self, tiny_dataset):
+        cases = generate_user_sessions(tiny_dataset, num_users=3)
+        assert [case.user_id for case in cases] == ["u000", "u001", "u002"]
+
+    def test_history_and_held_out_disjoint(self, tiny_dataset):
+        for case in generate_user_sessions(tiny_dataset, num_users=8):
+            assert not set(case.history_clicks) & set(case.held_out_clicks)
+
+    def test_clicks_stay_on_topic(self, tiny_dataset):
+        topic_of = {
+            doc.doc_id: doc.topic_id for doc in tiny_dataset.corpus
+        }
+        for case in generate_user_sessions(tiny_dataset, num_users=8):
+            clicks = case.history_clicks + case.held_out_clicks
+            assert {topic_of[doc_id] for doc_id in clicks} == {case.topic_id}
+
+    def test_deterministic_for_seed(self, tiny_dataset):
+        first = generate_user_sessions(tiny_dataset, seed=7)
+        second = generate_user_sessions(tiny_dataset, seed=7)
+        assert first == second
+
+    def test_seed_changes_assignment(self, tiny_dataset):
+        first = generate_user_sessions(tiny_dataset, seed=1)
+        second = generate_user_sessions(tiny_dataset, seed=2)
+        assert first != second
+
+
+class TestValidation:
+    def test_rejects_nonpositive_users(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            generate_user_sessions(tiny_dataset, num_users=0)
+
+    def test_rejects_nonpositive_clicks(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            generate_user_sessions(tiny_dataset, history_clicks=0)
+        with pytest.raises(ValueError):
+            generate_user_sessions(tiny_dataset, held_out_clicks=0)
+
+    def test_rejects_impossible_split(self, tiny_dataset):
+        # No planted topic has hundreds of documents in the tiny world.
+        with pytest.raises(ValueError, match="no topic has enough"):
+            generate_user_sessions(
+                tiny_dataset, history_clicks=500, held_out_clicks=500
+            )

@@ -1,0 +1,133 @@
+"""Tests for nDCG/MRR and the personalized-vs-anonymous evaluation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import generate_user_sessions
+from repro.eval import (
+    build_profile,
+    evaluate_personalization,
+    ndcg_at_k,
+    reciprocal_rank,
+)
+
+
+class TestNdcg:
+    def test_perfect_ranking_is_one(self):
+        assert ndcg_at_k({"a", "b"}, ["a", "b", "c"], 3) == pytest.approx(1.0)
+
+    def test_relevant_at_bottom_scores_lower(self):
+        top = ndcg_at_k({"a"}, ["a", "b", "c"], 3)
+        bottom = ndcg_at_k({"a"}, ["b", "c", "a"], 3)
+        assert 0.0 < bottom < top == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # Single relevant doc at rank 2: DCG = 1/log2(3), ideal = 1.
+        assert ndcg_at_k({"a"}, ["b", "a"], 2) == pytest.approx(
+            1.0 / math.log2(3)
+        )
+
+    def test_empty_relevant_or_k(self):
+        assert ndcg_at_k(set(), ["a"], 3) == 0.0
+        assert ndcg_at_k({"a"}, ["a"], 0) == 0.0
+
+    def test_nothing_relevant_ranked(self):
+        assert ndcg_at_k({"z"}, ["a", "b"], 2) == 0.0
+
+    @given(
+        relevant=st.sets(st.sampled_from("abcdefgh"), min_size=1),
+        ranked=st.lists(st.sampled_from("abcdefgh"), max_size=8, unique=True),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    def test_bounded(self, relevant, ranked, k):
+        assert 0.0 <= ndcg_at_k(relevant, ranked, k) <= 1.0
+
+
+class TestReciprocalRank:
+    def test_first_hit_counts(self):
+        assert reciprocal_rank({"a"}, ["a", "b"]) == 1.0
+        assert reciprocal_rank({"b"}, ["a", "b"]) == 0.5
+
+    def test_earliest_of_many(self):
+        assert reciprocal_rank({"b", "c"}, ["a", "b", "c"]) == 0.5
+
+    def test_no_hit(self):
+        assert reciprocal_rank({"z"}, ["a", "b"]) == 0.0
+        assert reciprocal_rank(set(), ["a"]) == 0.0
+
+
+class TestEvaluatePersonalization:
+    @pytest.fixture(scope="class")
+    def engine(self, tiny_dataset):
+        from repro.search import NewsLinkEngine
+
+        engine = NewsLinkEngine(tiny_dataset.world.graph)
+        engine.index_corpus(tiny_dataset.corpus)
+        return engine
+
+    @pytest.fixture(scope="class")
+    def cases(self, tiny_dataset):
+        return generate_user_sessions(
+            tiny_dataset,
+            num_users=4,
+            history_clicks=2,
+            held_out_clicks=2,
+            num_turns=2,
+            seed=3,
+        )
+
+    def test_profile_built_from_history_only(self, engine, cases):
+        case = cases[0]
+        profile = build_profile(engine, case)
+        assert profile.user_id == case.user_id
+        assert set(profile.clicked_doc_ids) <= set(case.history_clicks)
+        assert profile.num_clicks > 0
+
+    def test_report_shape(self, engine, tiny_dataset, cases):
+        report = evaluate_personalization(
+            engine, tiny_dataset, cases=cases, k=5, gamma=0.4
+        )
+        payload = report.as_dict()
+        assert payload["users"] == 4
+        assert payload["queries"] == 8
+        assert payload["k"] == 5
+        assert payload["gamma"] == pytest.approx(0.4)
+        for name in (
+            "ndcg_anonymous",
+            "ndcg_personalized",
+            "mrr_anonymous",
+            "mrr_personalized",
+        ):
+            assert 0.0 <= payload[name] <= 1.0
+        assert payload["ndcg_lift"] == pytest.approx(
+            report.ndcg_personalized - report.ndcg_anonymous
+        )
+        assert payload["mrr_lift"] == pytest.approx(
+            report.mrr_personalized - report.mrr_anonymous
+        )
+
+    def test_gamma_zero_has_no_lift(self, engine, tiny_dataset, cases):
+        report = evaluate_personalization(
+            engine, tiny_dataset, cases=cases, k=5, gamma=0.0
+        )
+        assert report.ndcg_lift == pytest.approx(0.0)
+        assert report.mrr_lift == pytest.approx(0.0)
+
+    def test_generates_cases_when_not_given(self, engine, tiny_dataset):
+        report = evaluate_personalization(engine, tiny_dataset, k=5, seed=0)
+        assert report.users == 8
+        assert report.queries == 24
+
+    def test_deterministic(self, engine, tiny_dataset, cases):
+        first = evaluate_personalization(
+            engine, tiny_dataset, cases=cases, k=5, gamma=0.4
+        )
+        second = evaluate_personalization(
+            engine, tiny_dataset, cases=cases, k=5, gamma=0.4
+        )
+        assert first == second

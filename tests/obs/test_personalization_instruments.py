@@ -1,0 +1,99 @@
+"""Tests for the session/profile store metrics (PersonalizationInstruments)."""
+
+from __future__ import annotations
+
+from repro.obs import PersonalizationInstruments, disabled_registry
+from repro.obs.metrics import MetricsRegistry
+from repro.personalize import ProfileStore, SessionStore
+from repro.search.engine import NewsLinkEngine
+from repro.data.document import NewsDocument
+from tests.conftest import build_figure1_graph
+
+
+def _gauge(registry: MetricsRegistry, name: str) -> float:
+    registry.snapshot()  # scrape: runs the store collectors
+    return registry.gauge(name).value()
+
+
+def _event(registry: MetricsRegistry, name: str, event: str) -> float:
+    registry.snapshot()
+    return registry.counter(name, labelnames=("event",)).value(event=event)
+
+
+class TestCollector:
+    def test_session_series_track_the_store(self) -> None:
+        registry = MetricsRegistry()
+        sessions = SessionStore(capacity=2)
+        instruments = PersonalizationInstruments(registry)
+        instruments.bind(sessions)
+        first = sessions.create()
+        sessions.create()
+        sessions.create()  # evicts `first`
+        assert sessions.get(first.session_id) is None  # miss
+        engine = NewsLinkEngine(build_figure1_graph())
+        survivor = sessions.get("s000002")
+        survivor.advance(
+            "Protests in Lahore",
+            engine.process_query("Protests in Lahore")[1],
+        )
+        assert _gauge(registry, "newslink_sessions_active") == 2
+        assert _gauge(registry, "newslink_session_turns") == 1
+        name = "newslink_session_store_total"
+        assert _event(registry, name, "created") == 3
+        assert _event(registry, name, "evicted") == 1
+        # Every create is a miss-then-create, plus the evicted lookup.
+        assert _event(registry, name, "miss") == 4
+
+    def test_profile_series_track_the_store(self) -> None:
+        registry = MetricsRegistry()
+        sessions = SessionStore()
+        profiles = ProfileStore()
+        PersonalizationInstruments(registry).bind(sessions, profiles)
+        engine = NewsLinkEngine(build_figure1_graph())
+        assert engine.index_document(
+            NewsDocument("d_lahore", "Protests in Lahore today.")
+        )
+        alice = profiles.get("alice")
+        alice.record_click("d_lahore", engine.embedding("d_lahore"))
+        profiles.get("alice")  # hit
+        assert _gauge(registry, "newslink_profiles_active") == 1
+        assert _gauge(registry, "newslink_profile_clicks") == 1
+        name = "newslink_profile_cache_total"
+        assert _event(registry, name, "created") == 1
+        assert _event(registry, name, "hit") == 1
+
+    def test_scrape_does_not_perturb_store_counters(self) -> None:
+        registry = MetricsRegistry()
+        sessions = SessionStore()
+        PersonalizationInstruments(registry).bind(sessions)
+        sessions.create()
+        before = sessions.snapshot()
+        registry.snapshot()
+        registry.snapshot()
+        assert sessions.snapshot() == before
+
+    def test_collector_unregisters_when_store_is_dropped(self) -> None:
+        registry = MetricsRegistry()
+        sessions = SessionStore()
+        PersonalizationInstruments(registry).bind(sessions)
+        sessions.create()
+        assert _gauge(registry, "newslink_sessions_active") == 1
+        del sessions
+        # The weakref-bound collector reports itself dead; the scrape
+        # must not raise and the stale gauge keeps its last value.
+        assert _gauge(registry, "newslink_sessions_active") == 1
+
+    def test_disabled_registry_is_a_noop(self) -> None:
+        instruments = PersonalizationInstruments(disabled_registry())
+        assert instruments.enabled is False
+        sessions = SessionStore()
+        instruments.bind(sessions)
+        sessions.create()
+        snapshot = instruments.registry.snapshot()
+        samples = [
+            sample
+            for entries in snapshot.values()
+            for entry in entries.values()
+            for sample in entry.get("samples", [])
+        ]
+        assert samples == []

@@ -1,0 +1,118 @@
+"""Unit tests for :class:`repro.personalize.UserProfile`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.personalize import UserProfile
+from repro.search.engine import NewsLinkEngine
+from repro.data.document import NewsDocument
+from tests.conftest import build_figure1_graph
+
+
+@pytest.fixture()
+def engine() -> NewsLinkEngine:
+    engine = NewsLinkEngine(build_figure1_graph())
+    assert engine.index_document(
+        NewsDocument("d_lahore", "Protests in Lahore today.")
+    )
+    assert engine.index_document(
+        NewsDocument("d_swat", "Floods in Swat Valley.")
+    )
+    assert engine.index_document(
+        NewsDocument("d_waz", "Fighting reported in Waziristan.")
+    )
+    return engine
+
+
+class TestClickUnion:
+    def test_click_folds_node_counts_in(self, engine) -> None:
+        profile = UserProfile("u")
+        assert profile.num_clicks == 0
+        assert profile.bon_terms() == ()
+        profile.record_click("d_lahore", engine.embedding("d_lahore"))
+        assert profile.num_clicks == 1
+        assert set(profile.node_counts) == set(
+            engine.embedding("d_lahore").node_counts
+        )
+
+    def test_union_accumulates_across_clicks(self, engine) -> None:
+        profile = UserProfile("u")
+        profile.record_click("d_lahore", engine.embedding("d_lahore"))
+        profile.record_click("d_swat", engine.embedding("d_swat"))
+        expected = dict(engine.embedding("d_lahore").node_counts)
+        for node, count in engine.embedding("d_swat").node_counts.items():
+            expected[node] = expected.get(node, 0) + count
+        assert dict(profile.node_counts) == expected
+
+    def test_eviction_subtracts_exactly(self, engine) -> None:
+        profile = UserProfile("u", max_clicks=2)
+        profile.record_click("d_lahore", engine.embedding("d_lahore"))
+        profile.record_click("d_swat", engine.embedding("d_swat"))
+        profile.record_click("d_waz", engine.embedding("d_waz"))
+        # d_lahore (oldest) aged out; the union is exactly the survivors.
+        assert profile.clicked_doc_ids == ("d_swat", "d_waz")
+        expected = dict(engine.embedding("d_swat").node_counts)
+        for node, count in engine.embedding("d_waz").node_counts.items():
+            expected[node] = expected.get(node, 0) + count
+        assert dict(profile.node_counts) == expected
+
+    def test_reclick_refreshes_recency(self, engine) -> None:
+        profile = UserProfile("u", max_clicks=2)
+        profile.record_click("d_lahore", engine.embedding("d_lahore"))
+        profile.record_click("d_swat", engine.embedding("d_swat"))
+        profile.record_click("d_lahore", engine.embedding("d_lahore"))
+        profile.record_click("d_waz", engine.embedding("d_waz"))
+        # d_swat was oldest after the re-click, so it aged out first.
+        assert profile.clicked_doc_ids == ("d_lahore", "d_waz")
+
+
+class TestRevisionAndTerms:
+    def test_every_mutation_bumps_the_revision(self, engine) -> None:
+        profile = UserProfile("u")
+        seen = {profile.revision}
+        profile.record_click("d_lahore", engine.embedding("d_lahore"))
+        seen.add(profile.revision)
+        profile.record_click("d_swat", engine.embedding("d_swat"))
+        seen.add(profile.revision)
+        assert len(seen) == 3  # strictly monotone: each state distinct
+
+    def test_bon_terms_canonical_order_with_repeats(self, engine) -> None:
+        profile = UserProfile("u")
+        profile.record_click("d_lahore", engine.embedding("d_lahore"))
+        profile.record_click("d_swat", engine.embedding("d_swat"))
+        terms = profile.bon_terms()
+        assert list(terms) == sorted(terms)  # canonical node-id order
+        counts: dict[str, int] = {}
+        for term in terms:
+            counts[term] = counts.get(term, 0) + 1
+        assert counts == dict(profile.node_counts)
+
+    def test_max_terms_caps_distinct_nodes(self, engine) -> None:
+        profile = UserProfile("u", max_terms=1)
+        profile.record_click("d_lahore", engine.embedding("d_lahore"))
+        profile.record_click("d_swat", engine.embedding("d_swat"))
+        assert len(set(profile.bon_terms())) == 1
+
+    def test_terms_cache_tracks_revision(self, engine) -> None:
+        profile = UserProfile("u")
+        profile.record_click("d_lahore", engine.embedding("d_lahore"))
+        first = profile.bon_terms()
+        assert profile.bon_terms() is first  # cached per revision
+        profile.record_click("d_swat", engine.embedding("d_swat"))
+        assert profile.bon_terms() != first
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            UserProfile("u", max_clicks=0)
+        with pytest.raises(ValueError):
+            UserProfile("u", max_terms=0)
+
+    def test_as_dict_shape(self, engine) -> None:
+        profile = UserProfile("u")
+        profile.record_click("d_lahore", engine.embedding("d_lahore"))
+        payload = profile.as_dict()
+        assert payload["user_id"] == "u"
+        assert payload["clicks"] == 1
+        assert payload["revision"] == profile.revision
+        assert payload["distinct_nodes"] == len(profile.node_counts)

@@ -1,0 +1,99 @@
+"""Unit tests for :class:`repro.personalize.Session`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.personalize import Session
+from repro.search.engine import NewsLinkEngine
+from tests.conftest import build_figure1_graph
+
+
+@pytest.fixture()
+def engine() -> NewsLinkEngine:
+    return NewsLinkEngine(build_figure1_graph())
+
+
+def _advance(session: Session, engine: NewsLinkEngine, text: str) -> None:
+    session.advance(text, engine.process_query(text)[1])
+
+
+class TestAccumulation:
+    def test_turns_accumulate_counts_and_queries(self, engine) -> None:
+        session = Session("s")
+        assert session.num_turns == 0
+        assert session.bon_terms() == ()
+        _advance(session, engine, "Protests in Lahore")
+        _advance(session, engine, "Floods in Swat Valley")
+        assert session.num_turns == 2
+        assert session.turns == ("Protests in Lahore", "Floods in Swat Valley")
+        nodes = set(session.bon_terms())
+        lahore = set(engine.process_query("Protests in Lahore")[1].node_counts)
+        swat = set(
+            engine.process_query("Floods in Swat Valley")[1].node_counts
+        )
+        assert nodes == lahore | swat
+
+    def test_turn_window_evicts_oldest(self, engine) -> None:
+        session = Session("s", max_turns=1)
+        _advance(session, engine, "Protests in Lahore")
+        _advance(session, engine, "Floods in Swat Valley")
+        assert session.turns == ("Floods in Swat Valley",)
+        swat = set(
+            engine.process_query("Floods in Swat Valley")[1].node_counts
+        )
+        assert set(session.bon_terms()) == swat
+
+    def test_reset_forgets_everything(self, engine) -> None:
+        session = Session("s")
+        _advance(session, engine, "Protests in Lahore")
+        revision = session.revision
+        session.reset()
+        assert session.num_turns == 0
+        assert session.bon_terms() == ()
+        assert session.revision > revision  # reset is a mutation too
+
+    def test_revision_monotone_per_mutation(self, engine) -> None:
+        session = Session("s")
+        revisions = [session.revision]
+        _advance(session, engine, "Protests in Lahore")
+        revisions.append(session.revision)
+        session.reset()
+        revisions.append(session.revision)
+        assert revisions == sorted(set(revisions))
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            Session("s", max_turns=0)
+        with pytest.raises(ValueError):
+            Session("s", max_terms=0)
+
+
+class TestDialogueEmbedding:
+    def test_unions_accumulated_turn_graphs(self, engine) -> None:
+        session = Session("s")
+        _advance(session, engine, "Taliban attack in Khyber")
+        dialogue = session.dialogue_embedding()
+        turn = engine.process_query("Taliban attack in Khyber")[1]
+        assert set(dialogue.node_counts) == set(turn.node_counts)
+
+    def test_includes_the_current_query_when_given(self, engine) -> None:
+        session = Session("s")
+        _advance(session, engine, "Protests in Lahore")
+        current = engine.process_query("Taliban attack in Khyber")[1]
+        dialogue = session.dialogue_embedding(current)
+        assert set(current.node_counts) <= set(dialogue.node_counts)
+        lahore = set(engine.process_query("Protests in Lahore")[1].node_counts)
+        assert lahore <= set(dialogue.node_counts)
+
+    def test_empty_session_yields_empty_embedding(self) -> None:
+        session = Session("s")
+        assert session.dialogue_embedding().node_counts == {}
+
+    def test_as_dict_shape(self, engine) -> None:
+        session = Session("s")
+        _advance(session, engine, "Protests in Lahore")
+        payload = session.as_dict()
+        assert payload["session_id"] == "s"
+        assert payload["turns"] == 1
+        assert payload["revision"] == session.revision

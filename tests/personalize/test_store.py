@@ -1,0 +1,117 @@
+"""Unit tests for the bounded LRU profile/session stores."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultInjectedError
+from repro.personalize import ProfileStore, Session, SessionStore, UserProfile
+from repro.reliability import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestProfileStore:
+    def test_get_creates_once(self) -> None:
+        store = ProfileStore()
+        alice = store.get("alice")
+        assert isinstance(alice, UserProfile)
+        assert alice.user_id == "alice"
+        assert store.get("alice") is alice
+        assert store.snapshot()["created"] == 1
+
+    def test_capacity_evicts_least_recently_used(self) -> None:
+        store = ProfileStore(capacity=2)
+        alice = store.get("alice")
+        store.get("bob")
+        store.get("alice")  # refresh: bob is now LRU
+        store.get("carol")  # evicts bob
+        assert "bob" not in store
+        assert store.get("alice") is alice
+        snap = store.snapshot()
+        assert snap["evictions"] == 1
+        assert snap["size"] == 2
+
+    def test_configured_bounds_reach_profiles(self) -> None:
+        store = ProfileStore(max_clicks=3, max_terms=5)
+        payload = store.get("alice").as_dict()
+        assert payload["max_clicks"] == 3
+        assert payload["max_terms"] == 5
+
+    def test_profile_load_fault_point_fires(self) -> None:
+        store = ProfileStore()
+        with faults.injected("session.profile_load"):
+            with pytest.raises(FaultInjectedError):
+                store.get("alice")
+        # The failed lookup did not poison the store.
+        assert "alice" not in store
+        assert store.get("alice").user_id == "alice"
+
+    def test_invalid_capacity(self) -> None:
+        with pytest.raises(ValueError):
+            ProfileStore(capacity=0)
+
+
+class TestSessionStore:
+    def test_create_mints_deterministic_ids(self) -> None:
+        store = SessionStore()
+        first = store.create()
+        second = store.create()
+        assert isinstance(first, Session)
+        assert (first.session_id, second.session_id) == ("s000001", "s000002")
+        assert store.get(first.session_id) is first
+
+    def test_unknown_session_is_none(self) -> None:
+        store = SessionStore()
+        assert store.get("s999999") is None
+        assert store.snapshot()["misses"] == 1
+
+    def test_capacity_evicts_oldest_session(self) -> None:
+        store = SessionStore(capacity=2)
+        first = store.create()
+        store.create()
+        store.create()
+        assert store.get(first.session_id) is None  # evicted
+        assert store.snapshot()["evictions"] == 1
+
+    def test_configured_bounds_reach_sessions(self) -> None:
+        store = SessionStore(max_turns=2, max_terms=7)
+        payload = store.create().as_dict()
+        assert payload["max_turns"] == 2
+        assert payload["max_terms"] == 7
+
+    def test_discard(self) -> None:
+        store = SessionStore()
+        session = store.create()
+        assert store.discard(session.session_id) is True
+        assert store.discard(session.session_id) is False
+        assert store.get(session.session_id) is None
+
+
+class TestSnapshots:
+    def test_values_snapshot_does_not_perturb_counters(self) -> None:
+        store = SessionStore()
+        store.create()
+        before = store.snapshot()
+        values = store.values_snapshot()
+        assert len(values) == 1
+        assert store.snapshot() == before
+
+    def test_snapshot_shape(self) -> None:
+        store = ProfileStore(capacity=4)
+        store.get("alice")
+        store.get("alice")
+        snap = store.snapshot()
+        assert snap == {
+            "size": 1,
+            "capacity": 4,
+            "created": 1,
+            "evictions": 0,
+            "hits": 1,
+            "misses": 1,
+        }

@@ -1,0 +1,244 @@
+"""Differential suite: gamma=0 must be bit-identical to two-channel ranking.
+
+Equation 3's third (context) channel is strictly additive: with
+``gamma=0``, an empty profile/session, or no context at all, the fused
+scores must be *bit-identical* — same float operations, not merely
+approximately equal — to the anonymous two-channel ranking, across
+every execution path (exhaustive, pruned on both posting backends,
+auto), after KG mutation, and on the degraded deadline path.  A
+``hypothesis`` sweep drives random gammas and click subsets through the
+same oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import EngineConfig
+from repro.data.document import NewsDocument
+from repro.kg.types import Edge
+from repro.obs.metrics import MetricsRegistry
+from repro.personalize import Session, UserProfile
+from repro.search.engine import NewsLinkEngine
+from tests.conftest import build_figure1_graph
+
+_DOCS = [
+    NewsDocument("d1", "Taliban attack in Pakistan near the border."),
+    NewsDocument("d2", "Pakistan and Taliban talks continue in Peshawar."),
+    NewsDocument("d3", "Lahore hosts a summit about Pakistan trade."),
+    NewsDocument("d4", "Peshawar bazaar reopens after the Taliban threat."),
+    NewsDocument("d5", "Floods in Swat Valley displace families."),
+]
+
+QUERIES = [
+    "Taliban in Pakistan",
+    "Peshawar attack aftermath",
+    "Lahore summit",
+    "Swat Valley floods",
+]
+
+RANKINGS = ("auto", "pruned", "exhaustive")
+BACKENDS = ("compiled", "reference")
+
+#: Always expired before the pre-NE check: degrades deterministically.
+_TINY_BUDGET_MS = 1e-4
+
+
+def _build_engine(backend: str) -> NewsLinkEngine:
+    engine = NewsLinkEngine(
+        build_figure1_graph(),
+        EngineConfig(pruned_backend=backend),
+        registry=MetricsRegistry(),
+    )
+    for doc in _DOCS:
+        assert engine.index_document(doc)
+    return engine
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def engine(request) -> NewsLinkEngine:
+    return _build_engine(request.param)
+
+
+def _clicked(engine: NewsLinkEngine, *doc_ids: str) -> UserProfile:
+    profile = UserProfile("u")
+    for doc_id in doc_ids:
+        profile.record_click(doc_id, engine.embedding(doc_id))
+    return profile
+
+
+def as_bits(results):
+    """Results with float fields in hex: equality here IS bit identity."""
+    return [
+        (
+            r.doc_id,
+            r.score.hex(),
+            r.bow_score.hex(),
+            r.bon_score.hex(),
+            r.profile_score.hex(),
+            r.degraded,
+        )
+        for r in results
+    ]
+
+
+class TestGammaZeroBitIdentity:
+    @pytest.mark.parametrize("ranking", RANKINGS)
+    def test_gamma_zero_with_real_profile(self, engine, ranking) -> None:
+        profile = _clicked(engine, "d3", "d5")
+        for query in QUERIES:
+            anonymous = engine.search(query, k=10, ranking=ranking)
+            personalized = engine.search(
+                query, k=10, ranking=ranking, profile=profile, gamma=0.0
+            )
+            assert as_bits(personalized) == as_bits(anonymous)
+
+    @pytest.mark.parametrize("ranking", RANKINGS)
+    def test_empty_profile_with_positive_gamma(self, engine, ranking) -> None:
+        profile = UserProfile("u")
+        for query in QUERIES:
+            anonymous = engine.search(query, k=10, ranking=ranking)
+            personalized = engine.search(
+                query, k=10, ranking=ranking, profile=profile, gamma=0.7
+            )
+            assert as_bits(personalized) == as_bits(anonymous)
+
+    @pytest.mark.parametrize("ranking", RANKINGS)
+    def test_empty_session_with_positive_gamma(self, engine, ranking) -> None:
+        session = Session("s")
+        for query in QUERIES:
+            anonymous = engine.search(query, k=10, ranking=ranking)
+            contextual = engine.search(
+                query, k=10, ranking=ranking, session=session, gamma=0.7
+            )
+            assert as_bits(contextual) == as_bits(anonymous)
+
+    def test_beta_sweep_stays_identical(self, engine) -> None:
+        profile = _clicked(engine, "d3")
+        for beta in (0.0, 0.3, 0.5, 1.0):
+            for query in QUERIES:
+                anonymous = engine.search(query, k=10, beta=beta)
+                personalized = engine.search(
+                    query, k=10, beta=beta, profile=profile, gamma=0.0
+                )
+                assert as_bits(personalized) == as_bits(anonymous)
+
+    def test_holds_after_kg_mutation(self) -> None:
+        engine = _build_engine("compiled")
+        profile = _clicked(engine, "d3", "d5")
+        engine.graph.add_edge(Edge("v2", "v0", "operates_in"))
+        for ranking in RANKINGS:
+            for query in QUERIES:
+                anonymous = engine.search(query, k=10, ranking=ranking)
+                personalized = engine.search(
+                    query, k=10, ranking=ranking, profile=profile, gamma=0.0
+                )
+                assert as_bits(personalized) == as_bits(anonymous)
+
+    @pytest.mark.parametrize("ranking", RANKINGS)
+    def test_degraded_path_drops_the_context_channel(
+        self, engine, ranking
+    ) -> None:
+        profile = _clicked(engine, "d3", "d5")
+        anonymous = engine.search(
+            "Taliban Pakistan",
+            k=10,
+            ranking=ranking,
+            deadline_ms=_TINY_BUDGET_MS,
+        )
+        assert anonymous and all(r.degraded for r in anonymous)
+        personalized = engine.search(
+            "Taliban Pakistan",
+            k=10,
+            ranking=ranking,
+            deadline_ms=_TINY_BUDGET_MS,
+            profile=profile,
+            gamma=0.9,
+        )
+        assert all(r.degraded for r in personalized)
+        assert as_bits(personalized) == as_bits(anonymous)
+
+    def test_degraded_search_does_not_advance_the_session(
+        self, engine
+    ) -> None:
+        session = Session("s")
+        engine.search(
+            "Taliban Pakistan",
+            deadline_ms=_TINY_BUDGET_MS,
+            session=session,
+            gamma=0.5,
+            advance_session=True,
+        )
+        assert session.num_turns == 0
+        engine.search(
+            "Taliban Pakistan",
+            session=session,
+            gamma=0.5,
+            advance_session=True,
+        )
+        assert session.num_turns == 1
+
+    def test_positive_gamma_with_context_changes_ranking(
+        self, engine
+    ) -> None:
+        """The suite is not vacuous: the channel does move scores."""
+        profile = _clicked(engine, "d3")
+        anonymous = engine.search("Pakistan news", k=10)
+        personalized = engine.search(
+            "Pakistan news", k=10, profile=profile, gamma=0.9
+        )
+        assert as_bits(personalized) != as_bits(anonymous)
+        by_id = {r.doc_id: r for r in personalized}
+        assert by_id["d3"].profile_score > 0.0
+
+
+class TestHypothesisSweep:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_inactive_context_is_bit_identical(self, engine, data) -> None:
+        """Random (clicks, gamma) pairs with an inactive channel.
+
+        The channel is inactive when gamma is 0 or there are no clicks;
+        either way the ranking must be bit-identical to anonymous.
+        """
+        clicks = data.draw(
+            st.lists(
+                st.sampled_from([doc.doc_id for doc in _DOCS]),
+                unique=True,
+                max_size=3,
+            )
+        )
+        gamma = data.draw(st.sampled_from([0.0, 0.25, 0.8, 1.0]))
+        if gamma > 0.0 and clicks:
+            clicks = []  # keep the channel inactive for this oracle
+        ranking = data.draw(st.sampled_from(RANKINGS))
+        query = data.draw(st.sampled_from(QUERIES))
+        k = data.draw(st.sampled_from([1, 3, 10]))
+        profile = _clicked(engine, *clicks)
+        anonymous = engine.search(query, k=k, ranking=ranking)
+        personalized = engine.search(
+            query, k=k, ranking=ranking, profile=profile, gamma=gamma
+        )
+        assert as_bits(personalized) == as_bits(anonymous)
+
+    @settings(max_examples=15, deadline=None)
+    @given(gamma=st.floats(min_value=0.0, max_value=1.0))
+    def test_rankings_agree_for_any_gamma(self, engine, gamma) -> None:
+        """Active or not, all execution paths agree with each other."""
+        profile = _clicked(engine, "d3", "d5")
+        for query in QUERIES:
+            reference = engine.search(
+                query, k=10, ranking="exhaustive", profile=profile, gamma=gamma
+            )
+            for ranking in ("auto", "pruned"):
+                other = engine.search(
+                    query, k=10, ranking=ranking, profile=profile, gamma=gamma
+                )
+                assert [
+                    (r.doc_id, pytest.approx(r.score), pytest.approx(r.profile_score))
+                    for r in other
+                ] == [
+                    (r.doc_id, r.score, r.profile_score) for r in reference
+                ]

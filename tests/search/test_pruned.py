@@ -196,6 +196,7 @@ class TestStats:
             "blocks_skipped",
             "planner_pruned",
             "planner_exhaustive",
+            "personalized_queries",
         }
 
 

@@ -1,4 +1,4 @@
-"""Regression tests: KG mutation must invalidate query-derived caches.
+"""Regression tests: query-derived caches must key on full query state.
 
 The engine caches query embeddings (the ``_query_state`` LRU) and —
 with ``cache_embeddings=True`` — segment embeddings, both of which are
@@ -12,6 +12,16 @@ The mutation used throughout: the Figure 1 graph has
 ``Taliban -> Khyber`` edge shortens it to 1, which *shrinks* the query
 embedding for "Taliban Khyber" (the old path nodes drop out).  A stale
 cache keeps serving the old, larger embedding.
+
+A second bug class pinned here (``TestPersonalizedCacheKeying``): the
+LRU was once keyed on the query *text* alone, so once personalization
+landed, an anonymous entry could be served for a personalized query
+(silently dropping the user's context channel) and — worse — a
+personalized entry could leak one user's context terms into another
+user's or an anonymous ranking.  The key now carries
+``(text, graph_version, context identity+revision, gamma)`` and the
+context terms travel inside the cached value, so both leak directions
+are structurally impossible; these tests fail against text-only keying.
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ from repro.core.cache import CachingEmbedder
 from repro.data.document import NewsDocument
 from repro.kg.types import Edge
 from repro.obs.metrics import MetricsRegistry
+from repro.personalize import Session, UserProfile
 from repro.search.engine import NewsLinkEngine
 from tests.conftest import build_figure1_graph
 
@@ -99,6 +110,119 @@ class TestQueryCacheInvalidation:
             "newslink_cache_invalidations_total", labelnames=("cache",)
         )
         assert invalidations.value(cache="query") == 2.0
+
+
+def _personalized_engine() -> NewsLinkEngine:
+    """Figure 1 engine with one query-matched and one profile-only doc.
+
+    ``d_waz`` matches the Taliban/Khyber query's BON channel (v1 is on
+    the Taliban->Khyber shortest paths); ``d_lahore``/``d_swat`` share
+    no node with the query embedding, so they can surface *only*
+    through the context channel of a profile or session that saw them.
+    """
+    engine = NewsLinkEngine(build_figure1_graph(), registry=MetricsRegistry())
+    assert engine.index_document(
+        NewsDocument("d_waz", "Fighting reported in Waziristan.")
+    )
+    assert engine.index_document(
+        NewsDocument("d_lahore", "Protests in Lahore today.")
+    )
+    assert engine.index_document(
+        NewsDocument("d_swat", "Floods in Swat Valley.")
+    )
+    return engine
+
+
+class TestPersonalizedCacheKeying:
+    """Text-only cache keys leak ranking context; the full key must not.
+
+    Every test here fails against a cache keyed on query text alone.
+    """
+
+    def test_anonymous_entry_not_served_to_personalized_query(self) -> None:
+        engine = _personalized_engine()
+        # Warm the LRU anonymously; a text-only key would now pin this
+        # query to "no context terms" for every later caller.
+        assert [r.doc_id for r in engine.search(QUERY, beta=1.0)] == ["d_waz"]
+        profile = UserProfile("alice")
+        profile.record_click("d_lahore", engine.embedding("d_lahore"))
+        results = engine.search(QUERY, beta=1.0, profile=profile, gamma=0.5)
+        by_id = {r.doc_id: r for r in results}
+        assert "d_lahore" in by_id  # context channel engaged, not dropped
+        assert by_id["d_lahore"].profile_score > 0.0
+        assert engine.query_stats.personalized_queries == 1
+
+    def test_personalized_entry_not_served_to_anonymous_query(self) -> None:
+        engine = _personalized_engine()
+        profile = UserProfile("alice")
+        profile.record_click("d_lahore", engine.embedding("d_lahore"))
+        personalized = engine.search(
+            QUERY, beta=1.0, profile=profile, gamma=0.5
+        )
+        assert {r.doc_id for r in personalized} == {"d_waz", "d_lahore"}
+        # The anonymous caller must not inherit alice's context terms.
+        anonymous = engine.search(QUERY, beta=1.0)
+        assert [r.doc_id for r in anonymous] == ["d_waz"]
+        assert all(r.profile_score == 0.0 for r in anonymous)
+
+    def test_profiles_do_not_share_entries(self) -> None:
+        engine = _personalized_engine()
+        alice = UserProfile("alice")
+        alice.record_click("d_lahore", engine.embedding("d_lahore"))
+        bob = UserProfile("bob")
+        bob.record_click("d_swat", engine.embedding("d_swat"))
+        for_alice = engine.search(QUERY, beta=1.0, profile=alice, gamma=0.5)
+        for_bob = engine.search(QUERY, beta=1.0, profile=bob, gamma=0.5)
+        assert {r.doc_id for r in for_alice} == {"d_waz", "d_lahore"}
+        assert {r.doc_id for r in for_bob} == {"d_waz", "d_swat"}
+
+    def test_profile_revision_invalidates_cached_context(self) -> None:
+        engine = _personalized_engine()
+        profile = UserProfile("alice")
+        profile.record_click("d_lahore", engine.embedding("d_lahore"))
+        first = engine.search(QUERY, beta=1.0, profile=profile, gamma=0.5)
+        assert "d_swat" not in {r.doc_id for r in first}
+        profile.record_click("d_swat", engine.embedding("d_swat"))
+        second = engine.search(QUERY, beta=1.0, profile=profile, gamma=0.5)
+        assert {r.doc_id for r in second} == {"d_waz", "d_lahore", "d_swat"}
+
+    def test_sessions_do_not_share_entries(self) -> None:
+        engine = _personalized_engine()
+        lahore_turn = "Protests in Lahore"
+        s1 = Session("s1")
+        s1.advance(lahore_turn, engine.process_query(lahore_turn)[1])
+        s2 = Session("s2")
+        personalized = engine.search(QUERY, beta=1.0, session=s1, gamma=0.5)
+        assert "d_lahore" in {r.doc_id for r in personalized}
+        # Same text, different (empty) session: no leaked context.
+        fresh = engine.search(QUERY, beta=1.0, session=s2, gamma=0.5)
+        assert [r.doc_id for r in fresh] == ["d_waz"]
+
+    def test_gamma_is_part_of_the_key(self) -> None:
+        engine = _personalized_engine()
+        profile = UserProfile("alice")
+        profile.record_click("d_lahore", engine.embedding("d_lahore"))
+        boosted = engine.search(QUERY, beta=1.0, profile=profile, gamma=0.5)
+        assert "d_lahore" in {r.doc_id for r in boosted}
+        # gamma=0 disables the channel outright — it must not reuse the
+        # gamma=0.5 entry's terms (and stays bit-identical to anonymous).
+        plain = engine.search(QUERY, beta=1.0, profile=profile, gamma=0.0)
+        assert [(r.doc_id, r.score) for r in plain] == [
+            (r.doc_id, r.score) for r in engine.search(QUERY, beta=1.0)
+        ]
+
+    def test_capacity_evictions_are_counted(self) -> None:
+        engine = NewsLinkEngine(
+            build_figure1_graph(),
+            EngineConfig(query_cache_size=2),
+            registry=MetricsRegistry(),
+        )
+        for text in ("Taliban", "Khyber", "Waziristan news"):
+            engine._query_state(text)
+        invalidations = engine.metrics_registry.counter(
+            "newslink_cache_invalidations_total", labelnames=("cache",)
+        )
+        assert invalidations.value(cache="query") == 1.0
 
 
 class TestSegmentCacheInvalidation:

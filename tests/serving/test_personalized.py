@@ -1,0 +1,140 @@
+"""Personalized scatter-gather: shards stay stateless, results exact.
+
+The coordinator resolves profile/session context once on its
+document-free frontend and ships the context *terms* to the shards, so
+personalized sharded serving must be bit-identical to the same search
+on the whole-corpus oracle engine — for 1, 2 and 4 shards — and
+``gamma=0`` through the coordinator must be bit-identical to the
+anonymous sharded search.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ServingConfig
+from repro.personalize import Session, UserProfile
+from repro.serving import Coordinator
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def as_bits(results):
+    return [
+        (
+            r.doc_id,
+            r.score.hex(),
+            r.bow_score.hex(),
+            r.bon_score.hex(),
+            r.profile_score.hex(),
+        )
+        for r in results
+    ]
+
+
+@pytest.fixture(scope="module")
+def coordinators(oracle):
+    built = {
+        n: Coordinator.build(
+            oracle.engine, ServingConfig(num_shards=n, transport="inline")
+        )
+        for n in SHARD_COUNTS
+    }
+    yield built
+    for coordinator in built.values():
+        coordinator.close()
+
+
+def _profile(oracle, *doc_ids):
+    profile = UserProfile("u")
+    for doc_id in doc_ids:
+        profile.record_click(doc_id, oracle.engine.embedding(doc_id))
+    return profile
+
+
+def _clickable(oracle, count=3):
+    return [
+        doc.doc_id
+        for doc in oracle.corpus
+        if oracle.engine.has_embedding(doc.doc_id)
+    ][:count]
+
+
+class TestShardedPersonalization:
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_profile_search_matches_the_oracle(
+        self, oracle, coordinators, num_shards
+    ) -> None:
+        profile = _profile(oracle, *_clickable(oracle))
+        coordinator = coordinators[num_shards]
+        for query in oracle.queries[:5]:
+            want = oracle.engine.search(
+                query, k=10, profile=profile, gamma=0.5
+            )
+            got = coordinator.search(query, k=10, profile=profile, gamma=0.5)
+            assert as_bits(got) == as_bits(want)
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_gamma_zero_is_bit_identical_to_anonymous(
+        self, oracle, coordinators, num_shards
+    ) -> None:
+        profile = _profile(oracle, *_clickable(oracle))
+        coordinator = coordinators[num_shards]
+        for query in oracle.queries[:5]:
+            anonymous = coordinator.search(query, k=10)
+            personalized = coordinator.search(
+                query, k=10, profile=profile, gamma=0.0
+            )
+            assert as_bits(personalized) == as_bits(anonymous)
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_session_search_matches_the_oracle(
+        self, oracle, coordinators, num_shards
+    ) -> None:
+        coordinator = coordinators[num_shards]
+        turn = oracle.queries[0]
+        session = Session("s_coord")
+        session.advance(
+            turn, coordinator.frontend.process_query(turn)[1]
+        )
+        mirror = Session("s_coord")
+        mirror.advance(turn, oracle.engine.process_query(turn)[1])
+        for query in oracle.queries[1:4]:
+            want = oracle.engine.search(
+                query, k=10, session=mirror, gamma=0.5
+            )
+            got = coordinator.search(query, k=10, session=session, gamma=0.5)
+            assert as_bits(got) == as_bits(want)
+
+    def test_advance_session_folds_the_query_in(
+        self, oracle, coordinators
+    ) -> None:
+        coordinator = coordinators[2]
+        session = Session("s_adv")
+        coordinator.search(
+            oracle.queries[0],
+            k=5,
+            session=session,
+            gamma=0.5,
+            advance_session=True,
+        )
+        assert session.num_turns == 1
+        assert session.turns == (oracle.queries[0],)
+
+    def test_personalization_changes_sharded_ranking(
+        self, oracle, coordinators
+    ) -> None:
+        """Not vacuous: the shipped context terms do move shard scores."""
+        clicked = _clickable(oracle)
+        profile = _profile(oracle, *clicked)
+        coordinator = coordinators[4]
+        moved = False
+        for query in oracle.queries[:8]:
+            anonymous = coordinator.search(query, k=10)
+            personalized = coordinator.search(
+                query, k=10, profile=profile, gamma=0.9
+            )
+            if as_bits(personalized) != as_bits(anonymous):
+                moved = True
+                break
+        assert moved

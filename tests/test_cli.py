@@ -210,6 +210,49 @@ class TestServe:
         monkeypatch.setattr("repro.server.serve", fake_serve)
         assert main(["serve", str(indexed_dir)]) == 0
 
+    def test_profiles_with_shards_fails_fast(self, indexed_dir):
+        """--profiles needs the engine's document embeddings; a sharded
+        coordinator frontend is document-free, so the combination must
+        be rejected before any worker forks."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", str(indexed_dir), "--profiles", "--shards", "2"])
+        assert "--profiles requires single-engine serving" in str(
+            excinfo.value
+        )
+
+    def test_profiles_flag_builds_a_profile_store(
+        self, indexed_dir, monkeypatch
+    ):
+        captured = {}
+
+        def fake_serve(engine, host="127.0.0.1", port=8080, **kwargs):
+            captured["personalization"] = kwargs["personalization"]
+
+        monkeypatch.setattr("repro.server.serve", fake_serve)
+        assert main(
+            [
+                "serve",
+                str(indexed_dir),
+                "--profiles",
+                "--gamma",
+                "0.5",
+                "--profile-capacity",
+                "7",
+                "--session-capacity",
+                "9",
+            ]
+        ) == 0
+        state = captured["personalization"]
+        assert state.profiles is not None
+        assert state.profiles.capacity == 7
+        assert state.sessions.capacity == 9
+        assert state.default_gamma == pytest.approx(0.5)
+        # Without --profiles, sessions exist but profiles stay off.
+        assert main(["serve", str(indexed_dir)]) == 0
+        state = captured["personalization"]
+        assert state.profiles is None
+        assert state.sessions is not None
+
     def test_no_metrics_flag_disables_the_registry(
         self, indexed_dir, monkeypatch
     ):

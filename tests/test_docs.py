@@ -57,5 +57,6 @@ class TestTutorial:
         for subpackage in ("repro.kg", "repro.nlp", "repro.core", "repro.search",
                            "repro.baselines", "repro.data", "repro.eval",
                            "repro.viz", "repro.cli", "repro.server",
-                           "repro.parallel", "repro.reliability"):
+                           "repro.parallel", "repro.reliability",
+                           "repro.personalize"):
             assert subpackage in api, subpackage

@@ -79,7 +79,7 @@ class TestSearch:
         top = body["results"][0]
         assert set(top) == {
             "rank", "doc_id", "score", "bow_score", "bon_score",
-            "degraded", "snippet",
+            "profile_score", "degraded", "snippet",
         }
         assert top["degraded"] is False
         assert "**Taliban**" in top["snippet"]
@@ -626,3 +626,235 @@ class TestGracefulShutdown:
             assert str(directory).encode() not in cmdline, (
                 f"orphaned serving process {entry}"
             )
+
+
+def post_json(url: str) -> tuple[int, dict]:
+    request = urllib.request.Request(url, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=5) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture(scope="module")
+def personalized_server(figure1_graph):
+    """Engine-backed server with sessions *and* profiles enabled."""
+    from repro.personalize import ProfileStore
+    from repro.server import PersonalizationState
+
+    engine = NewsLinkEngine(figure1_graph, registry=MetricsRegistry())
+    engine.index_corpus(
+        Corpus(
+            [
+                NewsDocument(
+                    "p_border",
+                    "Pakistan security forces increase patrols near Khyber.",
+                ),
+                NewsDocument("p_lahore", "Protests continue in Lahore streets."),
+                NewsDocument(
+                    "p_swat", "Pakistan sends aid after floods in Swat Valley."
+                ),
+            ]
+        )
+    )
+    state = PersonalizationState(profiles=ProfileStore())
+    server = make_server(engine, port=0, personalization=state)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+
+
+class TestSessionFlow:
+    """End-to-end conversational search: create, follow-ups, reset."""
+
+    def test_full_session_lifecycle(self, personalized_server):
+        url = personalized_server
+        status, body = post_json(f"{url}/session")
+        assert status == 200
+        sid = body["session_id"]
+
+        # Anonymous baseline for the re-anchored query below.
+        status, anonymous = get_json(f"{url}/search?q=Pakistan+security&k=5")
+        assert status == 200
+        anonymous_ids = [r["doc_id"] for r in anonymous["results"]]
+        assert "p_lahore" not in anonymous_ids  # no text/entity overlap
+
+        # Turn 1: an empty session must not change the ranking.
+        status, first = get_json(
+            f"{url}/search?q=Taliban+attack+in+Khyber&k=5&session={sid}"
+        )
+        assert status == 200
+        assert first["personalized"] is False
+        assert first["session"] == {"id": sid, "turns": 1, "advanced": True}
+
+        # Turns 2 and 3: the conversation wanders to Lahore.
+        for turn_query in ("Protests+in+Lahore", "Lahore+unrest"):
+            status, body = get_json(
+                f"{url}/search?q={turn_query}&k=5&session={sid}"
+            )
+            assert status == 200
+        status, info = get_json(f"{url}/session?id={sid}")
+        assert status == 200
+        assert info["turns"] == 3
+
+        # Turn 4 re-anchors "Pakistan security" on the accumulated
+        # context: the Lahore document now surfaces through the
+        # context channel even though the query text never matched it.
+        status, personalized = get_json(
+            f"{url}/search?q=Pakistan+security&k=5&session={sid}"
+        )
+        assert status == 200
+        assert personalized["personalized"] is True
+        by_id = {r["doc_id"]: r for r in personalized["results"]}
+        assert "p_lahore" in by_id
+        assert by_id["p_lahore"]["profile_score"] > 0.0
+        assert [r["doc_id"] for r in personalized["results"]] != anonymous_ids
+
+        # Reset forgets the context; ranking returns to anonymous.
+        status, body = post_json(f"{url}/session/reset?id={sid}")
+        assert status == 200
+        assert body["turns"] == 0
+        status, after_reset = get_json(
+            f"{url}/search?q=Pakistan+security&k=5&session={sid}"
+        )
+        assert status == 200
+        assert after_reset["personalized"] is False
+        assert [r["doc_id"] for r in after_reset["results"]] == anonymous_ids
+
+    def test_unknown_session_is_404(self, personalized_server):
+        url = personalized_server
+        for endpoint in (
+            "/search?q=Pakistan&session=s999999",
+            "/session?id=s999999",
+        ):
+            status, body = get_json(f"{url}{endpoint}")
+            assert status == 404
+            assert "unknown session" in body["error"]
+        status, body = post_json(f"{url}/session/reset?id=s999999")
+        assert status == 404
+
+    def test_session_info_requires_id(self, personalized_server):
+        status, body = get_json(f"{personalized_server}/session")
+        assert status == 400
+
+    def test_explain_with_session_context(self, personalized_server):
+        url = personalized_server
+        _, body = post_json(f"{url}/session")
+        sid = body["session_id"]
+        get_json(f"{url}/search?q=Protests+in+Lahore&session={sid}")
+        get_json(f"{url}/search?q=Pakistan+security&session={sid}")
+        status, body = get_json(
+            f"{url}/explain?q=Pakistan+security&doc=p_lahore&session={sid}"
+        )
+        assert status == 200
+        assert body["session"] == sid
+        # The dialogue embedding carries the Lahore turn's entities.
+        assert any("Lahore" in label for label in body["shared_entities"])
+
+
+class TestProfileEndpoints:
+    def test_click_then_personalized_search(self, personalized_server):
+        url = personalized_server
+        status, body = post_json(f"{url}/click?user=alice&doc=p_lahore")
+        assert status == 200
+        assert body["clicks"] == 1
+        status, body = get_json(
+            f"{url}/search?q=Pakistan+security&k=5&user=alice"
+        )
+        assert status == 200
+        assert body["personalized"] is True
+        by_id = {r["doc_id"]: r for r in body["results"]}
+        assert "p_lahore" in by_id
+        assert by_id["p_lahore"]["profile_score"] > 0.0
+
+    def test_gamma_zero_disables_the_channel(self, personalized_server):
+        url = personalized_server
+        post_json(f"{url}/click?user=bob&doc=p_lahore")
+        _, anonymous = get_json(f"{url}/search?q=Pakistan+security&k=5")
+        status, body = get_json(
+            f"{url}/search?q=Pakistan+security&k=5&user=bob&gamma=0"
+        )
+        assert status == 200
+        assert body["personalized"] is False
+        assert body["results"] == anonymous["results"]
+
+    def test_click_unknown_document_is_404(self, personalized_server):
+        status, body = post_json(
+            f"{personalized_server}/click?user=alice&doc=nope"
+        )
+        assert status == 404
+
+    def test_click_requires_user_and_doc(self, personalized_server):
+        status, _ = post_json(f"{personalized_server}/click?user=alice")
+        assert status == 400
+
+    def test_invalid_gamma_is_400(self, personalized_server):
+        status, body = get_json(
+            f"{personalized_server}/search?q=Pakistan&user=alice&gamma=2.0"
+        )
+        assert status == 400
+        assert "gamma" in body["error"]
+
+    def test_profile_load_fault_surfaces_as_500(self, personalized_server):
+        url = personalized_server
+        faults.reset()
+        try:
+            with faults.injected("session.profile_load"):
+                status, body = get_json(
+                    f"{url}/search?q=Pakistan&user=carol"
+                )
+                assert status == 500
+                assert "session.profile_load" in body["error"]
+        finally:
+            faults.reset()
+        # The outage did not poison the store: carol works afterwards.
+        status, _ = get_json(f"{url}/search?q=Pakistan&user=carol")
+        assert status == 200
+
+    def test_stats_and_metrics_expose_the_stores(self, personalized_server):
+        url = personalized_server
+        status, body = get_json(f"{url}/stats")
+        assert status == 200
+        personalization = body["personalization"]
+        assert personalization["sessions"]["created"] >= 1
+        assert personalization["profiles"]["created"] >= 1
+        assert personalization["default_gamma"] == pytest.approx(0.35)
+        with urllib.request.urlopen(f"{url}/metrics", timeout=5) as response:
+            metrics = validate_prometheus_text(response.read().decode("utf-8"))
+        assert "newslink_sessions_active" in metrics
+        assert "newslink_profiles_active" in metrics
+
+    def test_user_without_profiles_enabled_is_400(self, figure1_graph):
+        engine = _tiny_engine(figure1_graph)
+        server = make_server(engine, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            status, body = get_json(
+                f"http://{host}:{port}/search?q=Pakistan&user=alice"
+            )
+            assert status == 400
+            assert "--profiles" in body["error"]
+        finally:
+            server.shutdown()
+
+    def test_user_on_coordinator_is_400(self, coordinator_server):
+        url, _, _ = coordinator_server
+        status, body = get_json(f"{url}/search?q=Pakistan&user=alice")
+        assert status == 400
+        assert "single-engine" in body["error"]
+
+    def test_sessions_work_on_the_coordinator(self, coordinator_server):
+        url, _, _ = coordinator_server
+        status, body = post_json(f"{url}/session")
+        assert status == 200
+        sid = body["session_id"]
+        status, body = get_json(
+            f"{url}/search?q=Taliban+in+Pakistan&k=2&session={sid}"
+        )
+        assert status == 200
+        assert body["session"]["turns"] == 1
